@@ -1,0 +1,231 @@
+//! View composition: views defined over views.
+//!
+//! The paper's §7 singles out composed views ("particularly when views
+//! are defined over views") as the case where empty surrogates
+//! proliferate. A [`Pipeline`] applies a sequence of algebraic operations,
+//! each over the previous derivation's result type; helpers count empty
+//! surrogates so the minimization ablation (experiment COMP) can measure
+//! exactly the effect the paper speculates about.
+
+use std::collections::BTreeSet;
+use td_core::{minimize_surrogates, project, Derivation, ProjectionOptions};
+use td_model::{AttrId, Schema, TypeId};
+
+use crate::error::{AlgebraError, Result};
+use crate::select::{select, Predicate, Selection};
+
+/// One step of a view pipeline.
+#[derive(Debug, Clone)]
+pub enum ViewOp {
+    /// Project onto the named attributes.
+    Project(Vec<String>),
+    /// Select by predicate, naming the view type.
+    Select {
+        /// Name for the derived selection type.
+        name: String,
+        /// The predicate.
+        predicate: Predicate,
+    },
+}
+
+/// What one pipeline step produced.
+#[derive(Debug, Clone)]
+pub enum StepOutcome {
+    /// A projection derivation.
+    Projected(Box<Derivation>),
+    /// A selection view.
+    Selected(Selection),
+}
+
+impl StepOutcome {
+    /// The step's result type (the next step's source).
+    pub fn result_type(&self) -> TypeId {
+        match self {
+            StepOutcome::Projected(d) => d.derived,
+            StepOutcome::Selected(s) => s.derived,
+        }
+    }
+}
+
+/// A sequence of view operations applied left to right.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    ops: Vec<ViewOp>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Appends a projection step.
+    pub fn project(mut self, attrs: &[&str]) -> Pipeline {
+        self.ops
+            .push(ViewOp::Project(attrs.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Appends a selection step.
+    pub fn select(mut self, name: &str, predicate: Predicate) -> Pipeline {
+        self.ops.push(ViewOp::Select {
+            name: name.to_string(),
+            predicate,
+        });
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the pipeline has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies every step, starting from `source`. Returns the step
+    /// outcomes in order; the last one's [`StepOutcome::result_type`] is
+    /// the pipeline's view type.
+    pub fn apply(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        opts: &ProjectionOptions,
+    ) -> Result<Vec<StepOutcome>> {
+        let mut current = source;
+        let mut outcomes = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let outcome = match op {
+                ViewOp::Project(names) => {
+                    let projection: BTreeSet<AttrId> = names
+                        .iter()
+                        .map(|n| schema.attr_id(n).map_err(AlgebraError::from))
+                        .collect::<Result<_>>()?;
+                    StepOutcome::Projected(Box::new(project(schema, current, &projection, opts)?))
+                }
+                ViewOp::Select { name, predicate } => {
+                    StepOutcome::Selected(select(schema, current, name, predicate.clone())?)
+                }
+            };
+            current = outcome.result_type();
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Counts live surrogate types with empty local state — the §7 metric.
+pub fn count_empty_surrogates(schema: &Schema) -> usize {
+    schema
+        .live_type_ids()
+        .filter(|&t| {
+            let node = schema.type_(t);
+            node.is_surrogate() && node.local_attrs.is_empty()
+        })
+        .count()
+}
+
+/// Runs [`minimize_surrogates`] protecting the given view types, and
+/// reports `(empty surrogates before, after, removed)`.
+pub fn minimize_pipeline_surrogates(
+    schema: &mut Schema,
+    protected: &BTreeSet<TypeId>,
+) -> Result<(usize, usize, usize)> {
+    let before = count_empty_surrogates(schema);
+    let outcome = minimize_surrogates(schema, protected).map_err(AlgebraError::Core)?;
+    let after = count_empty_surrogates(schema);
+    Ok((before, after, outcome.removed.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::CmpOp;
+    use td_store::Value;
+    use td_workload::figures;
+
+    #[test]
+    fn project_then_project_composes() {
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let pipeline = Pipeline::new()
+            .project(&["SSN", "date_of_birth", "pay_rate"])
+            .project(&["SSN"]);
+        let outcomes = pipeline
+            .apply(&mut s, employee, &ProjectionOptions::default())
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let final_ty = outcomes.last().unwrap().result_type();
+        let ssn = s.attr_id("SSN").unwrap();
+        assert_eq!(
+            s.cumulative_attrs(final_ty),
+            [ssn].into_iter().collect()
+        );
+        // Both steps checked their invariants.
+        for o in &outcomes {
+            if let StepOutcome::Projected(d) = o {
+                assert!(d.invariants_ok());
+            }
+        }
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn select_over_projection() {
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let pay = s.attr_id("pay_rate").unwrap();
+        let pipeline = Pipeline::new()
+            .project(&["SSN", "pay_rate"])
+            .select(
+                "CheapBadge",
+                Predicate::cmp(pay, CmpOp::Lt, Value::Float(10.0)),
+            );
+        let outcomes = pipeline
+            .apply(&mut s, employee, &ProjectionOptions::default())
+            .unwrap();
+        let view = outcomes.last().unwrap().result_type();
+        // The selection type sits below the projection type.
+        let proj_ty = outcomes[0].result_type();
+        assert!(s.is_subtype(view, proj_ty));
+        assert_eq!(s.cumulative_attrs(view).len(), 2);
+    }
+
+    #[test]
+    fn views_over_views_accumulate_empty_surrogates_and_minimize() {
+        let mut s = figures::fig3();
+        let a = s.type_id("A").unwrap();
+        // Two stacked projections over the deep Figure 3 hierarchy.
+        let pipeline = Pipeline::new().project(&["a2", "e2", "h2"]).project(&["h2"]);
+        let outcomes = pipeline
+            .apply(&mut s, a, &ProjectionOptions::default())
+            .unwrap();
+        let before = count_empty_surrogates(&s);
+        assert!(before > 0, "stacked views must create empty surrogates");
+        let protected: BTreeSet<TypeId> =
+            outcomes.iter().map(|o| o.result_type()).collect();
+        let (b, after, removed) =
+            minimize_pipeline_surrogates(&mut s, &protected).unwrap();
+        assert_eq!(b, before);
+        assert!(removed > 0, "minimization must remove some empty surrogate");
+        assert_eq!(after, before - removed);
+        s.validate().unwrap();
+        // The stacked view still exposes exactly {h2}.
+        let h2 = s.attr_id("h2").unwrap();
+        let final_ty = outcomes.last().unwrap().result_type();
+        assert_eq!(s.cumulative_attrs(final_ty), [h2].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let outcomes = Pipeline::new()
+            .apply(&mut s, employee, &ProjectionOptions::default())
+            .unwrap();
+        assert!(outcomes.is_empty());
+        assert!(Pipeline::new().is_empty());
+    }
+}

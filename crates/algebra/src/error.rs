@@ -1,0 +1,74 @@
+//! Error type for the algebraic view operations.
+
+use std::fmt;
+use td_core::CoreError;
+use td_model::{AttrId, ModelError, TypeId};
+use td_store::StoreError;
+
+/// Errors raised by selection, join and pipeline evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// An underlying schema operation failed.
+    Model(ModelError),
+    /// A projection derivation failed.
+    Core(CoreError),
+    /// An object-store operation failed.
+    Store(StoreError),
+    /// A predicate references an attribute not available at the source.
+    PredicateAttrUnavailable {
+        /// The attribute.
+        attr: AttrId,
+        /// The selection source.
+        source: TypeId,
+    },
+    /// A predicate compares an attribute with a value of the wrong kind.
+    PredicateTypeMismatch {
+        /// The attribute.
+        attr: AttrId,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The two join operands cannot be combined (e.g. joining a type with
+    /// itself, or the combined precedence constraints do not linearize).
+    BadJoin(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Model(e) => write!(f, "schema error: {e}"),
+            AlgebraError::Core(e) => write!(f, "derivation error: {e}"),
+            AlgebraError::Store(e) => write!(f, "store error: {e}"),
+            AlgebraError::PredicateAttrUnavailable { attr, source } => {
+                write!(f, "predicate attribute {attr} is not available at {source}")
+            }
+            AlgebraError::PredicateTypeMismatch { attr, detail } => {
+                write!(f, "predicate on {attr} has wrong type: {detail}")
+            }
+            AlgebraError::BadJoin(msg) => write!(f, "bad join: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<ModelError> for AlgebraError {
+    fn from(e: ModelError) -> Self {
+        AlgebraError::Model(e)
+    }
+}
+
+impl From<CoreError> for AlgebraError {
+    fn from(e: CoreError) -> Self {
+        AlgebraError::Core(e)
+    }
+}
+
+impl From<StoreError> for AlgebraError {
+    fn from(e: StoreError) -> Self {
+        AlgebraError::Store(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,230 @@
+//! Join views: `T₁ ⋈ T₂`.
+//!
+//! At the type level (after Shaw & Zdonik's object-algebra treatment,
+//! the paper's reference \[18\]), the join of two types is a type carrying
+//! the *union* of their attributes — i.e. a common **subtype** under
+//! multiple inheritance. Globally unique attribute names (§2) make the
+//! union well-defined without renaming. Methods of both operands apply to
+//! the join type by inclusion polymorphism.
+//!
+//! At the instance level the join is keyed: pairs of source instances
+//! agreeing on a key attribute pair produce one joined instance.
+
+use td_model::{AttrId, Schema, TypeId};
+use td_store::{Database, ObjId, Value};
+
+use crate::error::{AlgebraError, Result};
+
+/// A derived join view type with its key.
+#[derive(Debug, Clone)]
+pub struct Join {
+    /// The derived join type (subtype of both operands).
+    pub derived: TypeId,
+    /// Left operand.
+    pub left: TypeId,
+    /// Right operand.
+    pub right: TypeId,
+    /// Key attributes: `left.0 = right.1`.
+    pub on: (AttrId, AttrId),
+}
+
+/// Derives `left ⋈_{lkey = rkey} right` as a view type named `name`.
+///
+/// Fails when the operands are identical, related by subtyping (the join
+/// would be degenerate — use selection instead), the keys are not
+/// available at their operands, or the combined precedence constraints
+/// do not linearize.
+pub fn join(
+    schema: &mut Schema,
+    left: TypeId,
+    right: TypeId,
+    name: &str,
+    on: (AttrId, AttrId),
+) -> Result<Join> {
+    if left == right {
+        return Err(AlgebraError::BadJoin("operands are the same type".into()));
+    }
+    if schema.is_subtype(left, right) || schema.is_subtype(right, left) {
+        return Err(AlgebraError::BadJoin(
+            "operands are related by subtyping; use selection".into(),
+        ));
+    }
+    if !schema.attr_available_at(on.0, left) {
+        return Err(AlgebraError::PredicateAttrUnavailable {
+            attr: on.0,
+            source: left,
+        });
+    }
+    if !schema.attr_available_at(on.1, right) {
+        return Err(AlgebraError::PredicateAttrUnavailable {
+            attr: on.1,
+            source: right,
+        });
+    }
+    let derived = schema.add_type(name, &[left, right])?;
+    if schema.cpl(derived).is_err() {
+        // The operands' precedence constraints conflict; undo.
+        schema.remove_super_edge(derived, left);
+        schema.remove_super_edge(derived, right);
+        schema
+            .retire_type(derived)
+            .expect("fresh type with no edges is retirable");
+        return Err(AlgebraError::BadJoin(
+            "combined precedence constraints do not linearize".into(),
+        ));
+    }
+    Ok(Join {
+        derived,
+        left,
+        right,
+        on,
+    })
+}
+
+impl Join {
+    /// The `(left, right)` source pairs currently agreeing on the key.
+    /// Null keys never join.
+    pub fn matching_pairs(&self, db: &Database) -> Result<Vec<(ObjId, ObjId)>> {
+        let mut out = Vec::new();
+        let rights = db.deep_extent(self.right);
+        for l in db.deep_extent(self.left) {
+            let lk = db.get_field(l, self.on.0)?;
+            if lk == Value::Null {
+                continue;
+            }
+            for &r in &rights {
+                let rk = db.get_field(r, self.on.1)?;
+                if lk == rk {
+                    out.push((l, r));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the join: one object of the derived type per matching
+    /// pair, fields copied left-then-right (left wins on attributes the
+    /// operands share through common ancestors). Returns
+    /// `(left, right, view)` triples.
+    pub fn materialize(&self, db: &mut Database) -> Result<Vec<(ObjId, ObjId, ObjId)>> {
+        let pairs = self.matching_pairs(db)?;
+        let left_attrs: Vec<AttrId> =
+            db.schema().cumulative_attrs(self.left).into_iter().collect();
+        let right_attrs: Vec<AttrId> = db
+            .schema()
+            .cumulative_attrs(self.right)
+            .into_iter()
+            .collect();
+        let mut out = Vec::with_capacity(pairs.len());
+        for (l, r) in pairs {
+            let mut fields: Vec<(AttrId, Value)> = Vec::new();
+            for &a in &right_attrs {
+                fields.push((a, db.get_field(r, a)?));
+            }
+            for &a in &left_attrs {
+                // Pushed later; Database::create applies in order, so the
+                // left value overwrites a shared attribute.
+                fields.push((a, db.get_field(l, a)?));
+            }
+            let v = db.create(self.derived, fields)?;
+            out.push((l, r, v));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::ValueType;
+
+    /// Employee {eid, dept_id} and Department {did, budget}.
+    fn setup() -> (Database, TypeId, TypeId, AttrId, AttrId) {
+        let mut s = Schema::new();
+        let emp = s.add_type("Employee", &[]).unwrap();
+        let dept = s.add_type("Department", &[]).unwrap();
+        let eid = s.add_attr("eid", ValueType::INT, emp).unwrap();
+        let dept_id = s.add_attr("dept_id", ValueType::INT, emp).unwrap();
+        let did = s.add_attr("did", ValueType::INT, dept).unwrap();
+        let budget = s.add_attr("budget", ValueType::FLOAT, dept).unwrap();
+        for a in [eid, dept_id, did, budget] {
+            s.add_accessors(a).unwrap();
+        }
+        let mut db = Database::new(s);
+        for (e, d) in [(1, 10), (2, 10), (3, 20)] {
+            db.create_named(
+                "Employee",
+                &[("eid", Value::Int(e)), ("dept_id", Value::Int(d))],
+            )
+            .unwrap();
+        }
+        for (d, b) in [(10, 1000.0), (20, 2000.0), (30, 3000.0)] {
+            db.create_named(
+                "Department",
+                &[("did", Value::Int(d)), ("budget", Value::Float(b))],
+            )
+            .unwrap();
+        }
+        (db, emp, dept, dept_id, did)
+    }
+
+    #[test]
+    fn join_type_unites_state_and_behavior() {
+        let (mut db, emp, dept, dept_id, did) = setup();
+        let j = join(db.schema_mut(), emp, dept, "EmpDept", (dept_id, did)).unwrap();
+        let s = db.schema();
+        assert!(s.is_subtype(j.derived, emp));
+        assert!(s.is_subtype(j.derived, dept));
+        assert_eq!(s.cumulative_attrs(j.derived).len(), 4);
+        // Accessors of both operands apply to the join type.
+        let methods = s.methods_applicable_to_type(j.derived);
+        assert_eq!(methods.len(), 8);
+    }
+
+    #[test]
+    fn materialized_join_matches_keys() {
+        let (mut db, emp, dept, dept_id, did) = setup();
+        let j = join(db.schema_mut(), emp, dept, "EmpDept", (dept_id, did)).unwrap();
+        let triples = j.materialize(&mut db).unwrap();
+        // e1,e2 -> d10; e3 -> d20.
+        assert_eq!(triples.len(), 3);
+        let budget = db.schema().attr_id("budget").unwrap();
+        let (_, _, v) = triples[0];
+        assert_eq!(db.get_field(v, budget).unwrap(), Value::Float(1000.0));
+        // The joined object answers accessors from both sides.
+        assert_eq!(
+            db.call_named("get_eid", &[Value::Ref(v)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            db.call_named("get_budget", &[Value::Ref(v)]).unwrap(),
+            Value::Float(1000.0)
+        );
+    }
+
+    #[test]
+    fn degenerate_joins_rejected() {
+        let (mut db, emp, _dept, dept_id, _did) = setup();
+        let err = join(db.schema_mut(), emp, emp, "Bad", (dept_id, dept_id)).unwrap_err();
+        assert!(matches!(err, AlgebraError::BadJoin(_)));
+        let sub = db.schema_mut().add_type("Manager", &[emp]).unwrap();
+        let err = join(db.schema_mut(), sub, emp, "Bad2", (dept_id, dept_id)).unwrap_err();
+        assert!(matches!(err, AlgebraError::BadJoin(_)));
+    }
+
+    #[test]
+    fn key_availability_checked() {
+        let (mut db, emp, dept, _dept_id, did) = setup();
+        // `did` is not available at Employee.
+        let err = join(db.schema_mut(), emp, dept, "Bad", (did, did)).unwrap_err();
+        assert!(matches!(err, AlgebraError::PredicateAttrUnavailable { .. }));
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let (mut db, emp, dept, dept_id, did) = setup();
+        db.create_named("Employee", &[("eid", Value::Int(9))]).unwrap(); // null dept_id
+        let j = join(db.schema_mut(), emp, dept, "EmpDept", (dept_id, did)).unwrap();
+        assert_eq!(j.matching_pairs(&db).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # td-algebra — algebraic view operations beyond projection
+//!
+//! The paper's conclusion (§7) calls for applying its methodology "to the
+//! remaining algebraic operations". This crate provides the natural next
+//! steps:
+//!
+//! * [`select`][fn@select] — `σ_pred(T)` derives a direct *subtype* view (all state,
+//!   all behavior, filtered extent);
+//! * [`join`][fn@join] — `T₁ ⋈ T₂` derives a common-*subtype* view carrying the
+//!   union of attributes, with keyed instance-level materialization;
+//! * [`extend`][fn@extend] — `ε_{a := f}(T)` derives a view with a *computed*
+//!   attribute, materialized by running `f` through the interpreter;
+//! * [`compose`] — pipelines of operations (views over views), the case
+//!   §7 flags for surrogate proliferation, with helpers to measure and
+//!   minimize empty surrogates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod compose;
+pub mod error;
+pub mod extend;
+pub mod join;
+pub mod select;
+
+pub use compose::{
+    count_empty_surrogates, minimize_pipeline_surrogates, Pipeline, StepOutcome, ViewOp,
+};
+pub use error::{AlgebraError, Result};
+pub use extend::{extend, Extension};
+pub use join::{join, Join};
+pub use select::{select, CmpOp, Predicate, Selection};

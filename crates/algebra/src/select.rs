@@ -1,0 +1,365 @@
+//! Selection views: `σ_pred(T)`.
+//!
+//! Selection is the easy algebraic operation for type derivation — the
+//! paper picks projection precisely because selection is not: a selection
+//! view keeps *all* attributes, so the derived type is simply a direct
+//! **subtype** of its source with no local state. Every method applicable
+//! to the source is applicable to the view by inclusion polymorphism; no
+//! refactoring, factoring or augmentation is needed.
+//!
+//! The instance-level half filters the source extent by the predicate.
+
+use td_model::{AttrId, Schema, TypeId, ValueType};
+use td_store::{Database, ObjId, Value};
+
+use crate::error::{AlgebraError, Result};
+
+/// Comparison operators usable in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A selection predicate over a single object's attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the full view).
+    True,
+    /// Compare an attribute against a constant.
+    Cmp {
+        /// The attribute read from the candidate object.
+        attr: AttrId,
+        /// The comparison.
+        op: CmpOp,
+        /// The constant operand.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr op value` leaf constructor.
+    pub fn cmp(attr: AttrId, op: CmpOp, value: Value) -> Predicate {
+        Predicate::Cmp { attr, op, value }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// All attributes the predicate reads.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        match self {
+            Predicate::True => vec![],
+            Predicate::Cmp { attr, .. } => vec![*attr],
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                let mut v = a.attrs();
+                v.extend(b.attrs());
+                v
+            }
+            Predicate::Not(a) => a.attrs(),
+        }
+    }
+
+    /// Evaluates the predicate against a stored object.
+    pub fn eval(&self, db: &Database, obj: ObjId) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Cmp { attr, op, value } => {
+                let actual = db.get_field(obj, *attr)?;
+                compare(*op, &actual, value)?
+            }
+            Predicate::And(a, b) => a.eval(db, obj)? && b.eval(db, obj)?,
+            Predicate::Or(a, b) => a.eval(db, obj)? || b.eval(db, obj)?,
+            Predicate::Not(a) => !a.eval(db, obj)?,
+        })
+    }
+}
+
+fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool> {
+    use CmpOp::*;
+    match op {
+        Eq => return Ok(l == r),
+        Ne => return Ok(l != r),
+        _ => {}
+    }
+    let ord = match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a.partial_cmp(b),
+        (Value::Str(a), Value::Str(b)) => a.partial_cmp(b),
+        _ => match (l.as_float(), r.as_float()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => None,
+        },
+    };
+    let Some(ord) = ord else {
+        return Ok(false); // nulls / incomparable kinds never satisfy an order
+    };
+    Ok(match op {
+        Lt => ord.is_lt(),
+        Le => ord.is_le(),
+        Gt => ord.is_gt(),
+        Ge => ord.is_ge(),
+        Eq | Ne => unreachable!("handled above"),
+    })
+}
+
+/// A derived selection view type plus its predicate.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The derived view type (a direct subtype of the source).
+    pub derived: TypeId,
+    /// The selection source.
+    pub source: TypeId,
+    /// The predicate.
+    pub predicate: Predicate,
+}
+
+/// Derives `σ_predicate(source)` as a view type named `name`.
+///
+/// Validates that every predicate attribute is available at the source
+/// and compared against a compatible constant.
+pub fn select(
+    schema: &mut Schema,
+    source: TypeId,
+    name: &str,
+    predicate: Predicate,
+) -> Result<Selection> {
+    for attr in predicate.attrs() {
+        if !schema.attr_available_at(attr, source) {
+            return Err(AlgebraError::PredicateAttrUnavailable { attr, source });
+        }
+    }
+    // Constant kinds must match attribute kinds.
+    fn check_kinds(schema: &Schema, p: &Predicate) -> Result<()> {
+        match p {
+            Predicate::Cmp { attr, value, .. } => {
+                let ok = match (schema.attr(*attr).ty, value) {
+                    (_, Value::Null) => true,
+                    (ValueType::Prim(p), v) => v.prim_type() == Some(p),
+                    (ValueType::Object(_), Value::Ref(_)) => true,
+                    _ => false,
+                };
+                if ok {
+                    Ok(())
+                } else {
+                    Err(AlgebraError::PredicateTypeMismatch {
+                        attr: *attr,
+                        detail: format!(
+                            "attribute is {}, constant is {value}",
+                            schema.attr(*attr).ty
+                        ),
+                    })
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                check_kinds(schema, a)?;
+                check_kinds(schema, b)
+            }
+            Predicate::Not(a) => check_kinds(schema, a),
+            Predicate::True => Ok(()),
+        }
+    }
+    check_kinds(schema, &predicate)?;
+
+    let derived = schema.add_type(name, &[source])?;
+    Ok(Selection {
+        derived,
+        source,
+        predicate,
+    })
+}
+
+impl Selection {
+    /// The source objects currently satisfying the predicate (the view's
+    /// virtual extent).
+    pub fn filter(&self, db: &Database) -> Result<Vec<ObjId>> {
+        let mut out = Vec::new();
+        for o in db.deep_extent(self.source) {
+            if self.predicate.eval(db, o)? {
+                out.push(o);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the view: creates an object of the derived type (full
+    /// attribute copy) per qualifying source object. Returns
+    /// `(source, view)` pairs.
+    pub fn materialize(&self, db: &mut Database) -> Result<Vec<(ObjId, ObjId)>> {
+        let qualifying = self.filter(db)?;
+        let attrs: Vec<AttrId> = db
+            .schema()
+            .cumulative_attrs(self.derived)
+            .into_iter()
+            .collect();
+        let mut pairs = Vec::with_capacity(qualifying.len());
+        for src in qualifying {
+            let fields: Vec<(AttrId, Value)> = attrs
+                .iter()
+                .map(|&a| Ok((a, db.get_field(src, a)?)))
+                .collect::<Result<_>>()?;
+            let v = db.create(self.derived, fields)?;
+            pairs.push((src, v));
+        }
+        Ok(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_workload::figures;
+
+    fn db_with_people() -> Database {
+        let mut db = Database::new(figures::fig1());
+        for (ssn, pay) in [(1, 30.0), (2, 60.0), (3, 90.0)] {
+            db.create_named(
+                "Employee",
+                &[
+                    ("SSN", Value::Int(ssn)),
+                    ("pay_rate", Value::Float(pay)),
+                    ("hrs_worked", Value::Float(10.0)),
+                    ("date_of_birth", Value::Int(1990)),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn selection_type_is_subtype_with_full_state() {
+        let mut db = db_with_people();
+        let employee = db.schema().type_id("Employee").unwrap();
+        let pay = db.schema().attr_id("pay_rate").unwrap();
+        let sel = select(
+            db.schema_mut(),
+            employee,
+            "HighlyPaid",
+            Predicate::cmp(pay, CmpOp::Gt, Value::Float(50.0)),
+        )
+        .unwrap();
+        assert!(db.schema().is_subtype(sel.derived, employee));
+        assert_eq!(
+            db.schema().cumulative_attrs(sel.derived),
+            db.schema().cumulative_attrs(employee)
+        );
+        // Every Employee method applies to the view type.
+        let methods = db.schema().methods_applicable_to_type(sel.derived);
+        assert_eq!(
+            methods.len(),
+            db.schema().methods_applicable_to_type(employee).len()
+        );
+    }
+
+    #[test]
+    fn filter_and_materialize() {
+        let mut db = db_with_people();
+        let employee = db.schema().type_id("Employee").unwrap();
+        let pay = db.schema().attr_id("pay_rate").unwrap();
+        let sel = select(
+            db.schema_mut(),
+            employee,
+            "HighlyPaid",
+            Predicate::cmp(pay, CmpOp::Gt, Value::Float(50.0)),
+        )
+        .unwrap();
+        assert_eq!(sel.filter(&db).unwrap().len(), 2);
+        let pairs = sel.materialize(&mut db).unwrap();
+        assert_eq!(pairs.len(), 2);
+        // Materialized view objects answer income (they kept all state).
+        let (_, v) = pairs[0];
+        assert_eq!(
+            db.call_named("income", &[Value::Ref(v)]).unwrap(),
+            Value::Float(600.0)
+        );
+    }
+
+    #[test]
+    fn compound_predicates() {
+        let mut db = db_with_people();
+        let employee = db.schema().type_id("Employee").unwrap();
+        let pay = db.schema().attr_id("pay_rate").unwrap();
+        let ssn = db.schema().attr_id("SSN").unwrap();
+        let p = Predicate::cmp(pay, CmpOp::Ge, Value::Float(60.0))
+            .and(Predicate::cmp(ssn, CmpOp::Ne, Value::Int(3)));
+        let sel = select(db.schema_mut(), employee, "Mid", p).unwrap();
+        assert_eq!(sel.filter(&db).unwrap().len(), 1);
+        let neg = Selection {
+            predicate: sel.predicate.clone().not(),
+            ..sel.clone()
+        };
+        assert_eq!(neg.filter(&db).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn predicate_validation() {
+        let mut db = db_with_people();
+        let person = db.schema().type_id("Person").unwrap();
+        let pay = db.schema().attr_id("pay_rate").unwrap();
+        // pay_rate is not available at Person.
+        let err = select(
+            db.schema_mut(),
+            person,
+            "Bad",
+            Predicate::cmp(pay, CmpOp::Gt, Value::Float(1.0)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AlgebraError::PredicateAttrUnavailable { .. }));
+        // Wrong constant kind.
+        let employee = db.schema().type_id("Employee").unwrap();
+        let err = select(
+            db.schema_mut(),
+            employee,
+            "Bad2",
+            Predicate::cmp(pay, CmpOp::Gt, Value::Str("x".into())),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AlgebraError::PredicateTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_never_satisfies_order_comparisons() {
+        let mut db = db_with_people();
+        let employee = db.schema().type_id("Employee").unwrap();
+        let pay = db.schema().attr_id("pay_rate").unwrap();
+        // An employee with null pay.
+        db.create_named("Employee", &[("SSN", Value::Int(4))]).unwrap();
+        let sel = select(
+            db.schema_mut(),
+            employee,
+            "Paid",
+            Predicate::cmp(pay, CmpOp::Ge, Value::Float(0.0)),
+        )
+        .unwrap();
+        assert_eq!(sel.filter(&db).unwrap().len(), 3); // null excluded
+    }
+}

@@ -1,0 +1,26 @@
+//! # td-baselines — the related-work strategies, made measurable
+//!
+//! The paper's §1.1 surveys how earlier OODB view proposals place a
+//! derived type: as a standalone entity, as a direct subtype of the
+//! root, with only the local edge to the source, or with the applicable
+//! methods hand-picked by the type definer. This crate implements each
+//! of those strategies against the same [`td_model::Schema`] substrate
+//! and provides an auditor that replays the paper's preservation
+//! invariants against them — turning the paper's qualitative criticism
+//! ("error-prone", "existing types are affected") into counted
+//! violations. Experiment BASE in `EXPERIMENTS.md` is generated from
+//! these audits.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod strategies;
+
+pub use audit::{audit_all, audit_strategy, AuditResult};
+pub use strategies::{
+    ground_truth_applicable, DefinerChoice, DefinerSpecifiedStrategy, DerivationStrategy,
+    LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy, StandaloneStrategy,
+    StrategyOutcome,
+};

@@ -1,0 +1,332 @@
+//! Derived-type placement strategies from the paper's related work
+//! (§1.1), implemented so their shortcomings can be *measured* rather
+//! than asserted.
+//!
+//! | Strategy | Lineage | Shape |
+//! |---|---|---|
+//! | [`PaperStrategy`] | this paper | full factorization pipeline |
+//! | [`StandaloneStrategy`] | Heiler & Zdonik \[9\] | view type as a separate entity, no hierarchy integration |
+//! | [`RootPlacementStrategy`] | Kim \[12\] | view type as a direct subtype of the hierarchy roots |
+//! | [`LocalEdgeStrategy`] | Kaul et al. \[10\], Morsi et al. \[14\], Schrefl & Neuhold \[17\] | only the local supertype edge to the source; attributes moved without recursive factoring |
+//! | [`DefinerSpecifiedStrategy`] | Abiteboul & Bonner \[1\], Bertino \[6\] | correct state factoring, but applicable methods chosen by the type definer |
+//!
+//! Every strategy produces a [`StrategyOutcome`]; `audit` (in
+//! [`crate::audit`]) replays the paper's invariants against it.
+
+use std::collections::BTreeSet;
+use td_core::factor_state::{factor_state, FactorStateOutcome};
+use td_core::{compute_applicability, project, ProjectionOptions, SurrogateRegistry};
+use td_model::{AttrId, MethodId, ModelError, Schema, TypeId};
+
+/// What a strategy produced.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The derived view type.
+    pub derived: TypeId,
+    /// Methods the strategy claims are applicable to the view.
+    pub claimed_applicable: Vec<MethodId>,
+}
+
+/// A derived-type placement strategy.
+pub trait DerivationStrategy {
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Derives `Π_projection(source)` in `schema` per this strategy's
+    /// rules.
+    fn derive(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+    ) -> Result<StrategyOutcome, String>;
+}
+
+/// The paper's full pipeline (ground truth).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PaperStrategy;
+
+impl DerivationStrategy for PaperStrategy {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn derive(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+    ) -> Result<StrategyOutcome, String> {
+        let d = project(schema, source, projection, &ProjectionOptions::fast())
+            .map_err(|e| e.to_string())?;
+        Ok(StrategyOutcome {
+            derived: d.derived,
+            claimed_applicable: d.applicability.applicable,
+        })
+    }
+}
+
+/// Fresh unique name for a baseline view type over `source`.
+fn view_name(schema: &Schema, source: TypeId, tag: &str) -> String {
+    let base = format!("{}_{tag}", schema.type_name(source));
+    if schema.type_id(&base).is_err() {
+        return base;
+    }
+    for i in 2.. {
+        let cand = format!("{base}#{i}");
+        if schema.type_id(&cand).is_err() {
+            return cand;
+        }
+    }
+    unreachable!("counter exhausted")
+}
+
+/// Copies the projected attributes as *fresh* attributes (new identities,
+/// prefixed names) onto `target` — what a strategy that cannot share
+/// state must do.
+fn copy_attrs(
+    schema: &mut Schema,
+    target: TypeId,
+    projection: &BTreeSet<AttrId>,
+) -> Result<(), ModelError> {
+    let target_name = schema.type_name(target).to_string();
+    for &a in projection {
+        let def = schema.attr(a).clone();
+        schema.add_attr(format!("{}__{}", target_name, def.name), def.ty, target)?;
+    }
+    Ok(())
+}
+
+/// Heiler & Zdonik-style: the view type is a separate entity — no
+/// supertype or subtype edges at all. State must be duplicated and no
+/// existing method can apply.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StandaloneStrategy;
+
+impl DerivationStrategy for StandaloneStrategy {
+    fn name(&self) -> &'static str {
+        "standalone"
+    }
+
+    fn derive(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+    ) -> Result<StrategyOutcome, String> {
+        let name = view_name(schema, source, "view");
+        let derived = schema.add_type(name, &[]).map_err(|e| e.to_string())?;
+        copy_attrs(schema, derived, projection).map_err(|e| e.to_string())?;
+        Ok(StrategyOutcome {
+            derived,
+            claimed_applicable: Vec::new(),
+        })
+    }
+}
+
+/// Kim-style: the view type becomes a direct subtype of the hierarchy
+/// roots. Inherits whatever the roots carry (usually the wrong state) and
+/// still duplicates the projected attributes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RootPlacementStrategy;
+
+impl DerivationStrategy for RootPlacementStrategy {
+    fn name(&self) -> &'static str {
+        "root-placement"
+    }
+
+    fn derive(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+    ) -> Result<StrategyOutcome, String> {
+        let roots = schema.roots();
+        let name = view_name(schema, source, "rootview");
+        let derived = schema.add_type(name, &[]).map_err(|e| e.to_string())?;
+        for (i, r) in roots.into_iter().enumerate() {
+            if r != derived {
+                schema
+                    .add_super_with_prec(derived, r, i as i32 + 1)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        copy_attrs(schema, derived, projection).map_err(|e| e.to_string())?;
+        let claimed = schema.methods_applicable_to_type(derived);
+        Ok(StrategyOutcome {
+            derived,
+            claimed_applicable: claimed,
+        })
+    }
+}
+
+/// Local-relationship-only placement: make the view a direct supertype of
+/// the source (the right local edge!) and *move* the projected attributes
+/// up to it from wherever they live — without the paper's recursive
+/// factorization. Siblings that inherited those attributes through other
+/// paths silently lose state. Method applicability is claimed by the
+/// naive signature-only test (every method applicable to the source).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalEdgeStrategy;
+
+impl DerivationStrategy for LocalEdgeStrategy {
+    fn name(&self) -> &'static str {
+        "local-edge"
+    }
+
+    fn derive(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+    ) -> Result<StrategyOutcome, String> {
+        let name = view_name(schema, source, "localview");
+        let derived = schema
+            .add_surrogate(name, source)
+            .map_err(|e| e.to_string())?;
+        schema
+            .add_super_highest(source, derived)
+            .map_err(|e| e.to_string())?;
+        for &a in projection {
+            schema.move_attr(a, derived).map_err(|e| e.to_string())?;
+        }
+        let claimed = schema.methods_applicable_to_type(source);
+        Ok(StrategyOutcome {
+            derived,
+            claimed_applicable: claimed,
+        })
+    }
+}
+
+/// How the type definer picks the methods in the definer-specified
+/// strategy.
+#[derive(Debug, Clone)]
+pub enum DefinerChoice {
+    /// The common mistake the paper warns about: assume every method
+    /// applicable to the source stays applicable ("signature-only").
+    SignatureOnly,
+    /// An explicit hand-picked list.
+    Explicit(Vec<MethodId>),
+}
+
+/// Abiteboul/Bonner- and Bertino-style: state is factored correctly (we
+/// reuse the paper's `FactorState`), but the *behavior* of the view is
+/// whatever the type definer declares — which the paper argues is
+/// error-prone. The auditor quantifies exactly how error-prone.
+#[derive(Debug, Clone)]
+pub struct DefinerSpecifiedStrategy {
+    /// The definer's method selection.
+    pub choice: DefinerChoice,
+}
+
+impl DerivationStrategy for DefinerSpecifiedStrategy {
+    fn name(&self) -> &'static str {
+        "definer-specified"
+    }
+
+    fn derive(
+        &self,
+        schema: &mut Schema,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+    ) -> Result<StrategyOutcome, String> {
+        let mut registry = SurrogateRegistry::new();
+        let mut outcome = FactorStateOutcome::default();
+        let derived = factor_state(schema, &mut registry, projection, source, &mut outcome)
+            .map_err(|e| e.to_string())?;
+        let claimed = match &self.choice {
+            DefinerChoice::SignatureOnly => schema.methods_applicable_to_type(source),
+            DefinerChoice::Explicit(list) => list.clone(),
+        };
+        Ok(StrategyOutcome {
+            derived,
+            claimed_applicable: claimed,
+        })
+    }
+}
+
+/// Ground truth for method applicability: the paper's `IsApplicable`,
+/// run against the *unmodified* schema.
+pub fn ground_truth_applicable(
+    schema: &Schema,
+    source: TypeId,
+    projection: &BTreeSet<AttrId>,
+) -> Vec<MethodId> {
+    compute_applicability(schema, source, projection, false)
+        .map(|a| a.applicable)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::ValueType;
+
+    fn chain() -> (Schema, TypeId, BTreeSet<AttrId>) {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        s.add_reader(x, a).unwrap();
+        let proj: BTreeSet<AttrId> = [x].into_iter().collect();
+        (s, b, proj)
+    }
+
+    #[test]
+    fn paper_strategy_matches_project() {
+        let (mut s, b, proj) = chain();
+        let out = PaperStrategy.derive(&mut s, b, &proj).unwrap();
+        assert_eq!(s.type_name(out.derived), "^B");
+        assert_eq!(out.claimed_applicable.len(), 1); // get_x
+    }
+
+    #[test]
+    fn standalone_makes_island() {
+        let (mut s, b, proj) = chain();
+        let out = StandaloneStrategy.derive(&mut s, b, &proj).unwrap();
+        assert!(s.type_(out.derived).supers().is_empty());
+        assert!(!s.is_subtype(b, out.derived));
+        // State was duplicated, not shared.
+        let x = s.attr_id("x").unwrap();
+        assert!(!s.cumulative_attrs(out.derived).contains(&x));
+        assert_eq!(s.cumulative_attrs(out.derived).len(), 1);
+    }
+
+    #[test]
+    fn local_edge_steals_state_from_siblings() {
+        // A{x} with two children B and C; local-edge derivation over B
+        // moves x onto the view, so C loses it.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let proj: BTreeSet<AttrId> = [x].into_iter().collect();
+        let out = LocalEdgeStrategy.derive(&mut s, b, &proj).unwrap();
+        assert!(s.is_subtype(b, out.derived));
+        assert!(s.cumulative_attrs(b).contains(&x)); // B keeps it (via view)
+        assert!(!s.cumulative_attrs(c).contains(&x)); // C lost it!
+    }
+
+    #[test]
+    fn definer_specified_uses_factor_state_but_trusts_definer() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let y = s.add_attr("y", ValueType::INT, a).unwrap();
+        let (_, get_x) = s.add_reader(x, a).unwrap();
+        let (_, get_y) = s.add_reader(y, a).unwrap();
+        let proj: BTreeSet<AttrId> = [x].into_iter().collect();
+        let strat = DefinerSpecifiedStrategy {
+            choice: DefinerChoice::SignatureOnly,
+        };
+        let out = strat.derive(&mut s, a, &proj).unwrap();
+        // State is correct…
+        assert_eq!(s.cumulative_attrs(out.derived), proj);
+        // …but the claim includes get_y, which reads unprojected state.
+        assert!(out.claimed_applicable.contains(&get_y));
+        let truth = ground_truth_applicable(&s, a, &proj);
+        assert!(truth.contains(&get_x));
+        assert!(!truth.contains(&get_y));
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment SCALE-A: `IsApplicable` scaling.
+//!
+//! Rows: call-graph depth (linear chains), cycle ring length, and random
+//! schemas of growing method counts — plus the stack algorithm vs. the
+//! fixpoint oracle, whose gap shows what the paper's lazy evaluation buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{call_chain_workload, call_cycle_workload, random_workload};
+use td_core::{applicability_fixpoint, compute_applicability};
+
+fn bench_call_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isapplicable/call_chain_depth");
+    for depth in [10usize, 50, 200, 500] {
+        let w = call_chain_workload(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &w, |b, w| {
+            b.iter(|| {
+                compute_applicability(&w.schema, w.source, &w.projection, false).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isapplicable/cycle_length");
+    for len in [4usize, 16, 64, 128] {
+        let w = call_cycle_workload(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &w, |b, w| {
+            b.iter(|| {
+                compute_applicability(&w.schema, w.source, &w.projection, false).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isapplicable/random_schema_types");
+    for n in [16usize, 48, 96, 192] {
+        let w = random_workload(n, 0xBEEF + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                compute_applicability(&w.schema, w.source, &w.projection, false).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stack_vs_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isapplicable/stack_vs_oracle");
+    let w = random_workload(96, 0xFACE);
+    group.bench_function("stack", |b| {
+        b.iter(|| {
+            compute_applicability(
+                black_box(&w.schema),
+                w.source,
+                &w.projection,
+                false,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("fixpoint_oracle", |b| {
+        b.iter(|| applicability_fixpoint(black_box(&w.schema), w.source, &w.projection).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_call_chain_depth, bench_cycle_length, bench_random_methods, bench_stack_vs_oracle
+}
+criterion_main!(benches);

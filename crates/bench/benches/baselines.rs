@@ -1,0 +1,64 @@
+//! Experiment BASE: derivation cost of the paper's full pipeline vs. the
+//! related-work placement strategies (correctness is compared by the
+//! `repro` binary's audit table; here we measure what the extra work
+//! costs in time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_baselines::{
+    DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy,
+    StandaloneStrategy,
+};
+use td_bench::random_workload;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/derive_time");
+    let w = random_workload(48, 0xBA5E);
+    let strategies: Vec<(&str, &dyn DerivationStrategy)> = vec![
+        ("paper", &PaperStrategy),
+        ("standalone", &StandaloneStrategy),
+        ("root_placement", &RootPlacementStrategy),
+        ("local_edge", &LocalEdgeStrategy),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| {
+                let mut schema = w.schema.clone();
+                strategy
+                    .derive(&mut schema, w.source, &w.projection)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_scaling_vs_local_edge(c: &mut Criterion) {
+    // How the full pipeline's cost grows relative to the (incorrect)
+    // O(local) strategy as schemas grow.
+    let mut group = c.benchmark_group("baselines/scaling");
+    for n in [24usize, 96, 192] {
+        let w = random_workload(n, 0x5EED + n as u64);
+        group.bench_with_input(BenchmarkId::new("paper", n), &w, |b, w| {
+            b.iter(|| {
+                let mut schema = w.schema.clone();
+                PaperStrategy.derive(&mut schema, w.source, &w.projection).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local_edge", n), &w, |b, w| {
+            b.iter(|| {
+                let mut schema = w.schema.clone();
+                LocalEdgeStrategy
+                    .derive(&mut schema, w.source, &w.projection)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_strategies, bench_paper_scaling_vs_local_edge
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment COMP: views over views — pipeline depth scaling and the
+//! surrogate-minimization ablation (§7 future work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use td_algebra::Pipeline;
+use td_core::{minimize_surrogates, ProjectionOptions};
+use td_model::TypeId;
+use td_workload::figures;
+
+fn stacked_pipeline(layers: usize) -> Pipeline {
+    // Each layer narrows the Figure 3 projection further.
+    let all: [&[&str]; 3] = [&["a2", "e2", "h2"], &["e2", "h2"], &["h2"]];
+    let mut p = Pipeline::new();
+    for attrs in all.iter().take(layers) {
+        p = p.project(attrs);
+    }
+    p
+}
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose/pipeline_depth");
+    for layers in [1usize, 2, 3] {
+        let pipeline = stacked_pipeline(layers);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &pipeline, |b, p| {
+            b.iter(|| {
+                let mut s = figures::fig3();
+                let a = s.type_id("A").unwrap();
+                p.apply(&mut s, a, &ProjectionOptions::fast()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose/minimization");
+    // Pre-build the three-layer stacked schema once per iteration batch.
+    group.bench_function("minimize_after_3_layers", |b| {
+        b.iter_batched(
+            || {
+                let mut s = figures::fig3();
+                let a = s.type_id("A").unwrap();
+                let outcomes = stacked_pipeline(3)
+                    .apply(&mut s, a, &ProjectionOptions::fast())
+                    .unwrap();
+                let protected: BTreeSet<TypeId> =
+                    outcomes.iter().map(|o| o.result_type()).collect();
+                (s, protected)
+            },
+            |(mut s, protected)| minimize_surrogates(&mut s, &protected).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline_depth, bench_minimization
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment SCALE-D: dispatch cost before vs. after refactoring.
+//!
+//! The paper's transparency claim implies derivations should not tax the
+//! *original* types' method lookup. We measure `most_specific` on the
+//! same calls against the pristine and the refactored schema (which has
+//! roughly twice the types on the inheritance paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_core::{project_named, ProjectionOptions};
+use td_model::{CallArg, Schema};
+use td_workload::{chain_schema, figures};
+
+fn bench_fig1_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch/fig1");
+    let before = figures::fig1();
+    let mut after = figures::fig1();
+    project_named(
+        &mut after,
+        "Employee",
+        &["SSN", "date_of_birth", "pay_rate"],
+        &ProjectionOptions::fast(),
+    )
+    .unwrap();
+
+    let run = |schema: &Schema| {
+        let employee = schema.type_id("Employee").unwrap();
+        let args = [CallArg::Object(employee)];
+        for gf_name in ["age", "income", "promote", "get_SSN"] {
+            let gf = schema.gf_id(gf_name).unwrap();
+            black_box(schema.most_specific(gf, &args).unwrap());
+        }
+    };
+    group.bench_function("before_derivation", |b| b.iter(|| run(&before)));
+    group.bench_function("after_derivation", |b| b.iter(|| run(&after)));
+    group.finish();
+}
+
+fn bench_deep_chain_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch/chain_depth");
+    for depth in [16usize, 64, 256] {
+        let before = chain_schema(depth);
+        let mut after = chain_schema(depth);
+        let leaf = format!("T{}", depth - 1);
+        project_named(&mut after, &leaf, &["t0_a"], &ProjectionOptions::fast()).unwrap();
+
+        let make_runner = |schema: Schema| {
+            let leaf_ty = schema.type_id(&leaf).unwrap();
+            let gf = schema.gf_id("get_t0_a").unwrap();
+            move || {
+                let args = [CallArg::Object(leaf_ty)];
+                black_box(schema.most_specific(gf, &args).unwrap());
+            }
+        };
+        let run_before = make_runner(before);
+        let run_after = make_runner(after);
+        group.bench_with_input(BenchmarkId::new("before", depth), &depth, |b, _| {
+            b.iter(&run_before)
+        });
+        group.bench_with_input(BenchmarkId::new("after", depth), &depth, |b, _| {
+            b.iter(&run_after)
+        });
+    }
+    group.finish();
+}
+
+fn bench_subtype_index(c: &mut Criterion) {
+    // Bulk subtype queries: per-query DFS vs the precomputed bitset index.
+    use td_model::SubtypeIndex;
+    let mut group = c.benchmark_group("dispatch/subtype_bulk");
+    let w = td_bench::random_workload(128, 0x1D);
+    let schema = &w.schema;
+    let types: Vec<td_model::TypeId> = schema.live_type_ids().collect();
+    group.bench_function("naive_dfs", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &x in &types {
+                for &y in &types {
+                    count += usize::from(schema.is_subtype(x, y));
+                }
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("bitset_index", |b| {
+        let idx = SubtypeIndex::build(schema);
+        b.iter(|| {
+            let mut count = 0usize;
+            for &x in &types {
+                for &y in &types {
+                    count += usize::from(idx.is_subtype(x, y));
+                }
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("bitset_build", |b| b.iter(|| SubtypeIndex::build(black_box(schema))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig1_dispatch, bench_deep_chain_dispatch, bench_subtype_index
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment SCALE-F: `FactorState`/`Augment` and full-pipeline scaling
+//! over hierarchy depth and multiple-inheritance density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::{chain_workload, ladder_workload, random_workload, Workload};
+use td_core::factor_state::{factor_state, FactorStateOutcome};
+use td_core::{project, ProjectionOptions, SurrogateRegistry};
+
+fn run_full(w: &Workload) {
+    let mut schema = w.schema.clone();
+    project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast()).unwrap();
+}
+
+fn run_factor_state_only(w: &Workload) {
+    let mut schema = w.schema.clone();
+    let mut registry = SurrogateRegistry::new();
+    let mut outcome = FactorStateOutcome::default();
+    factor_state(&mut schema, &mut registry, &w.projection, w.source, &mut outcome).unwrap();
+}
+
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization/chain_depth");
+    for depth in [8usize, 32, 128, 512] {
+        let w = chain_workload(depth);
+        group.bench_with_input(BenchmarkId::new("full_projection", depth), &w, |b, w| {
+            b.iter(|| run_full(w))
+        });
+        group.bench_with_input(BenchmarkId::new("factor_state_only", depth), &w, |b, w| {
+            b.iter(|| run_factor_state_only(w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ladder_height(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization/ladder_height");
+    for height in [8usize, 24, 64] {
+        let w = ladder_workload(height);
+        group.bench_with_input(BenchmarkId::from_parameter(height), &w, |b, w| {
+            b.iter(|| run_full(w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization/random_schema_types");
+    for n in [16usize, 48, 96, 192] {
+        let w = random_workload(n, 0xC0FFEE + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| run_full(w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_project_unproject_cycle(c: &mut Criterion) {
+    // View lifecycle: derive + drop, the round trip a view server pays.
+    use td_core::unproject;
+    let mut group = c.benchmark_group("factorization/project_unproject");
+    for depth in [8usize, 64] {
+        let w = chain_workload(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &w, |b, w| {
+            b.iter(|| {
+                let mut schema = w.schema.clone();
+                let d = project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast())
+                    .unwrap();
+                unproject(&mut schema, &d).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_invariant_checking_overhead(c: &mut Criterion) {
+    // The ablation behind ProjectionOptions::fast(): how much the I1–I5
+    // sweep costs relative to the derivation itself.
+    let mut group = c.benchmark_group("factorization/invariant_overhead");
+    let w = random_workload(48, 0xAB);
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            let mut schema = w.schema.clone();
+            project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast()).unwrap()
+        })
+    });
+    group.bench_function("checked", |b| {
+        b.iter(|| {
+            let mut schema = w.schema.clone();
+            project(
+                &mut schema,
+                w.source,
+                &w.projection,
+                &ProjectionOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chain_depth, bench_ladder_height, bench_random_size, bench_project_unproject_cycle, bench_invariant_checking_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiments FIG2 / EX1 / FIG4 / EX3 / EX4–FIG5: end-to-end cost of
+//! regenerating each of the paper's artifacts, with the outcome asserted
+//! inside the measured closure so a regression in *correctness* fails the
+//! bench run, not just the tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use td_core::{project_named, ProjectionOptions};
+use td_workload::figures;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("figures/fig2_person_employee", |b| {
+        b.iter(|| {
+            let mut s = figures::fig1();
+            let d = project_named(
+                &mut s,
+                "Employee",
+                &["SSN", "date_of_birth", "pay_rate"],
+                &ProjectionOptions::fast(),
+            )
+            .unwrap();
+            assert_eq!(d.applicable().len(), 8);
+            d
+        })
+    });
+}
+
+fn bench_ex1_fig4(c: &mut Criterion) {
+    c.bench_function("figures/ex1_fig4_projection_over_A", |b| {
+        b.iter(|| {
+            let mut s = figures::fig3();
+            let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::fast())
+                .unwrap();
+            assert_eq!(d.applicable().len(), figures::EX1_APPLICABLE.len());
+            assert_eq!(d.factor_surrogates.len(), figures::FIG4_SURROGATE_SOURCES.len());
+            d
+        })
+    });
+}
+
+fn bench_ex4_fig5(c: &mut Criterion) {
+    c.bench_function("figures/ex4_fig5_with_z1", |b| {
+        b.iter(|| {
+            let mut s = figures::fig3_with_z1();
+            let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::fast())
+                .unwrap();
+            assert_eq!(d.augment_surrogates.len(), figures::FIG5_AUGMENT_SOURCES.len());
+            d
+        })
+    });
+}
+
+fn bench_fig_with_invariants(c: &mut Criterion) {
+    // The same derivation with the full I1–I5 sweep, as the repro harness
+    // runs it.
+    c.bench_function("figures/ex1_fig4_with_invariant_sweep", |b| {
+        b.iter(|| {
+            let mut s = figures::fig3();
+            let d = project_named(
+                &mut s,
+                "A",
+                figures::FIG4_PROJECTION,
+                &ProjectionOptions::default(),
+            )
+            .unwrap();
+            assert!(d.invariants_ok());
+            d
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig2, bench_ex1_fig4, bench_ex4_fig5, bench_fig_with_invariants
+}
+criterion_main!(benches);

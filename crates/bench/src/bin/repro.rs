@@ -1,0 +1,512 @@
+//! The reproduction harness: regenerates every figure and worked example
+//! in the paper, checks each against the outcome the paper states, and
+//! prints the result table `EXPERIMENTS.md` records — plus the synthetic
+//! scaling/audit/ablation experiments (the paper has no performance
+//! evaluation of its own; these characterize the implementation).
+//!
+//! ```sh
+//! cargo run -p td-bench --release --bin repro
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+use td_algebra::{count_empty_surrogates, minimize_pipeline_surrogates, Pipeline};
+use td_baselines::{
+    audit_all, DefinerChoice, DefinerSpecifiedStrategy, DerivationStrategy, LocalEdgeStrategy,
+    PaperStrategy, RootPlacementStrategy, StandaloneStrategy,
+};
+use td_bench::{call_chain_workload, chain_workload, random_workload, Workload};
+use td_core::{compute_applicability, project_named, ProjectionOptions, TraceEvent};
+use td_model::{CallArg, Schema, TypeId};
+use td_workload::figures;
+
+struct Report {
+    rows: Vec<(String, String, String, bool)>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report { rows: Vec::new() }
+    }
+
+    fn row(&mut self, id: &str, expected: impl Into<String>, measured: impl Into<String>, ok: bool) {
+        self.rows.push((id.to_string(), expected.into(), measured.into(), ok));
+    }
+
+    fn print(&self) {
+        println!("| experiment | paper says | measured | status |");
+        println!("|---|---|---|---|");
+        for (id, expected, measured, ok) in &self.rows {
+            println!(
+                "| {id} | {expected} | {measured} | {} |",
+                if *ok { "✅ match" } else { "❌ MISMATCH" }
+            );
+        }
+        let failures = self.rows.iter().filter(|r| !r.3).count();
+        println!(
+            "\n{} experiments, {} match, {} mismatch",
+            self.rows.len(),
+            self.rows.len() - failures,
+            failures
+        );
+    }
+}
+
+fn names(s: &Schema, ms: &[td_model::MethodId]) -> BTreeSet<String> {
+    ms.iter().map(|&m| s.method(m).label.clone()).collect()
+}
+
+fn main() {
+    let mut report = Report::new();
+
+    fig1_and_fig3(&mut report);
+    fig2(&mut report);
+    ex1(&mut report);
+    fig4(&mut report);
+    ex3(&mut report);
+    ex4_fig5(&mut report);
+    scale_experiments(&mut report);
+    baseline_audit(&mut report);
+    compose_ablation(&mut report);
+    deviation_ablation(&mut report);
+
+    println!();
+    report.print();
+}
+
+fn fig1_and_fig3(report: &mut Report) {
+    let s = figures::fig1();
+    let employee = s.type_id("Employee").expect("fig1");
+    let ok = s.cumulative_attrs(employee).len() == 5 && s.n_methods() == 13;
+    report.row(
+        "FIG1 schema",
+        "Employee inherits Person's 3 attrs + 2 local; age/income/promote defined",
+        format!(
+            "{} cumulative attrs, {} methods",
+            s.cumulative_attrs(employee).len(),
+            s.n_methods()
+        ),
+        ok,
+    );
+
+    let s = figures::fig3();
+    let a = s.type_id("A").expect("fig3");
+    let ok = s.ancestors(a).len() == 7
+        && s.methods_applicable_to_type(a).len() == 13
+        && s.render_hierarchy().contains("A {a1, a2} <- C(1) B(2)");
+    report.row(
+        "FIG3 schema",
+        "8-type MI hierarchy; all 13 methods applicable to A",
+        format!(
+            "{} ancestors of A, {} methods applicable",
+            s.ancestors(a).len(),
+            s.methods_applicable_to_type(a).len()
+        ),
+        ok,
+    );
+}
+
+fn fig2(report: &mut Report) {
+    let mut s = figures::fig1();
+    let d = project_named(
+        &mut s,
+        "Employee",
+        &["SSN", "date_of_birth", "pay_rate"],
+        &ProjectionOptions::default(),
+    )
+    .expect("fig2 projection");
+    let app = names(&s, d.applicable());
+    let ok = app.contains("age")
+        && app.contains("promote")
+        && !app.contains("income")
+        && s.render_hierarchy().contains("^Person [surrogate of Person] {SSN, date_of_birth}")
+        && s.render_hierarchy().contains("^Employee [surrogate of Employee] {pay_rate} <- ^Person(1)")
+        && d.invariants_ok();
+    report.row(
+        "FIG2 refactor",
+        "age+promote survive, income dies; ^Person{SSN,dob}, ^Employee{pay_rate}",
+        format!(
+            "applicable={:?}, surrogates={}, invariants={}",
+            app.iter().filter(|n| !n.starts_with("get_") && !n.starts_with("set_")).collect::<Vec<_>>(),
+            d.factor_surrogates.len(),
+            d.invariants_ok()
+        ),
+        ok,
+    );
+}
+
+fn ex1(report: &mut Report) {
+    let mut s = figures::fig3();
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions {
+            record_trace: true,
+            ..Default::default()
+        },
+    )
+    .expect("ex1 projection");
+    let applicable = names(&s, d.applicable());
+    let not_applicable = names(&s, d.not_applicable());
+    let expected_app: BTreeSet<String> =
+        figures::EX1_APPLICABLE.iter().map(|n| n.to_string()).collect();
+    let expected_not: BTreeSet<String> = figures::EX1_NOT_APPLICABLE
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+
+    let y1 = s.method_by_label("y1").expect("fig3");
+    let x1 = s.method_by_label("x1").expect("fig3");
+    let y1_retracted = d.applicability.trace.iter().any(|e| {
+        matches!(e, TraceEvent::DependentsRetracted { failed, removed }
+                 if *failed == x1 && removed.contains(&y1))
+    });
+
+    let ok = applicable == expected_app && not_applicable == expected_not && y1_retracted;
+    report.row(
+        "EX1 IsApplicable",
+        format!("applicable = {:?}; y1 optimistically assumed then retracted", figures::EX1_APPLICABLE),
+        format!(
+            "applicable = {:?}; y1 retracted = {}",
+            applicable.iter().collect::<Vec<_>>(),
+            y1_retracted
+        ),
+        ok,
+    );
+
+    // Cross-check with the independent fixpoint oracle.
+    let s2 = figures::fig3();
+    let a = s2.type_id("A").expect("fig3");
+    let proj = figures::FIG4_PROJECTION
+        .iter()
+        .map(|n| s2.attr_id(n).expect("fig3 attr"))
+        .collect();
+    let oracle = td_core::applicability_fixpoint(&s2, a, &proj).expect("oracle");
+    let oracle_names: BTreeSet<String> =
+        oracle.iter().map(|&m| s2.method(m).label.clone()).collect();
+    report.row(
+        "EX1 oracle cross-check",
+        "greatest-fixpoint oracle agrees with the stack algorithm",
+        format!("oracle = {:?}", oracle_names.iter().collect::<Vec<_>>()),
+        oracle_names == expected_app,
+    );
+}
+
+fn fig4(report: &mut Report) {
+    let mut s = figures::fig3();
+    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
+        .expect("fig4 projection");
+    let sources: BTreeSet<String> = d
+        .factor_surrogates
+        .iter()
+        .map(|&(src, _)| s.type_name(src).to_string())
+        .collect();
+    let expected: BTreeSet<String> = figures::FIG4_SURROGATE_SOURCES
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    let moved: Vec<String> = d
+        .moved_attrs
+        .iter()
+        .map(|&(a, from, to)| {
+            format!("{}:{}→{}", s.attr(a).name, s.type_name(from), s.type_name(to))
+        })
+        .collect();
+    let render = s.render_hierarchy();
+    let wiring_ok = [
+        "^A [surrogate of A] {a2} <- ^C(1) ^B(2)",
+        "^C [surrogate of C] {} <- ^F(1) ^E(2)",
+        "^B [surrogate of B] {} <- ^E(2)",
+        "^E [surrogate of E] {e2} <- ^H(2)",
+        "^F [surrogate of F] {} <- ^H(1)",
+        "^H [surrogate of H] {h2}",
+    ]
+    .iter()
+    .all(|line| render.lines().any(|l| l == *line));
+    let ok = sources == expected && wiring_ok && d.invariants_ok();
+    report.row(
+        "FIG4 factored hierarchy",
+        "surrogates for A,B,C,E,F,H (not D,G); a2→^A, e2→^E, h2→^H; paper's wiring",
+        format!("surrogates for {:?}; moves {:?}; wiring ok = {wiring_ok}", sources, moved),
+        ok,
+    );
+}
+
+fn ex3(report: &mut Report) {
+    let mut s = figures::fig3();
+    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
+        .expect("ex3 projection");
+    let sigs: BTreeSet<String> = d
+        .applicable()
+        .iter()
+        .map(|&m| s.render_signature(m))
+        .collect();
+    let expected: BTreeSet<String> =
+        figures::EX3_SIGNATURES.iter().map(|x| x.to_string()).collect();
+    report.row(
+        "EX3 factored signatures",
+        format!("{:?}", figures::EX3_SIGNATURES),
+        format!("{:?}", sigs.iter().collect::<Vec<_>>()),
+        sigs == expected,
+    );
+}
+
+fn ex4_fig5(report: &mut Report) {
+    let mut s = figures::fig3_with_z1();
+    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
+        .expect("ex4 projection");
+    let z: BTreeSet<String> = d
+        .z_types
+        .iter()
+        .map(|&t| s.type_name(t).to_string())
+        .collect();
+    let aug: Vec<String> = d
+        .augment_surrogates
+        .iter()
+        .map(|&(src, _)| s.type_name(src).to_string())
+        .collect();
+    let z1 = s.method_by_label("z1").expect("z1");
+    let sig = s.render_signature(z1);
+    let locals: Vec<String> = s
+        .method(z1)
+        .body()
+        .expect("general")
+        .locals
+        .iter()
+        .map(|l| format!("{}: {}", l.name, match l.ty {
+            td_model::ValueType::Object(t) => s.type_name(t).to_string(),
+            td_model::ValueType::Prim(p) => p.to_string(),
+        }))
+        .collect();
+    let ok = z == ["D", "G"].iter().map(|x| x.to_string()).collect::<BTreeSet<_>>()
+        && aug == vec!["G".to_string(), "D".to_string()]
+        && sig == "z1(^C, ^B)"
+        && locals == vec!["g: ^G".to_string(), "d: ^D".to_string()]
+        && d.invariants_ok();
+    report.row(
+        "EX4/FIG5 augmentation",
+        "Z={D,G}; Augment adds ^G then ^D; z1(^C,^B) with g:^G, d:^D",
+        format!("Z={:?}; augmented {:?}; {sig} with {:?}", z, aug, locals),
+        ok,
+    );
+}
+
+/// Medians over `n` runs of `f`, in microseconds.
+fn time_us<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn scale_experiments(report: &mut Report) {
+    // SCALE-A: IsApplicable vs call-graph depth — expect ~linear growth.
+    let mut times = Vec::new();
+    for depth in [10usize, 100, 1000] {
+        let w = call_chain_workload(depth);
+        let t = time_us(15, || {
+            compute_applicability(&w.schema, w.source, &w.projection, false).unwrap();
+        });
+        times.push((depth, t));
+    }
+    let ratio = times[2].1 / times[0].1;
+    report.row(
+        "SCALE-A call-graph depth",
+        "near-linear in call-graph size (100× depth ⇒ ≲ ~300× time)",
+        format!(
+            "{} (100× depth ⇒ {:.0}× time)",
+            times
+                .iter()
+                .map(|(d, t)| format!("depth {d}: {t:.0}µs"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            ratio
+        ),
+        ratio < 300.0,
+    );
+
+    // SCALE-F: full projection vs hierarchy depth.
+    let mut times = Vec::new();
+    for depth in [8usize, 64, 512] {
+        let w = chain_workload(depth);
+        let t = time_us(15, || {
+            let mut schema = w.schema.clone();
+            td_core::project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast())
+                .unwrap();
+        });
+        times.push((depth, t));
+    }
+    let ratio = times[2].1 / times[0].1;
+    report.row(
+        "SCALE-F factorization depth",
+        "polynomial, dominated by hierarchy traversals (64× depth ⇒ ≲ ~4096× time)",
+        format!(
+            "{} (64× depth ⇒ {:.0}× time)",
+            times
+                .iter()
+                .map(|(d, t)| format!("depth {d}: {t:.0}µs"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            ratio
+        ),
+        ratio < 4096.0,
+    );
+
+    // SCALE-D: dispatch before/after a derivation must not diverge.
+    let before = figures::fig1();
+    let mut after = figures::fig1();
+    project_named(
+        &mut after,
+        "Employee",
+        &["SSN", "date_of_birth", "pay_rate"],
+        &ProjectionOptions::fast(),
+    )
+    .expect("derivation");
+    let dispatch_time = |schema: &Schema| {
+        let employee = schema.type_id("Employee").expect("fig1");
+        let age = schema.gf_id("age").expect("fig1");
+        time_us(300, || {
+            schema
+                .most_specific(age, &[CallArg::Object(employee)])
+                .unwrap();
+        })
+    };
+    let tb = dispatch_time(&before);
+    let ta = dispatch_time(&after);
+    report.row(
+        "SCALE-D dispatch transparency",
+        "original-type dispatch within ~3× after refactoring (1 extra CPL entry per factored type)",
+        format!("before {tb:.2}µs, after {ta:.2}µs ({:.2}×)", ta / tb.max(0.001)),
+        ta / tb.max(0.001) < 3.0,
+    );
+}
+
+fn baseline_audit(report: &mut Report) {
+    let strategies: Vec<&dyn DerivationStrategy> = vec![
+        &PaperStrategy,
+        &StandaloneStrategy,
+        &RootPlacementStrategy,
+        &LocalEdgeStrategy,
+    ];
+    let definer = DefinerSpecifiedStrategy {
+        choice: DefinerChoice::SignatureOnly,
+    };
+
+    // Fig. 3 workload.
+    let s = figures::fig3();
+    let a = s.type_id("A").expect("fig3");
+    let proj = figures::FIG4_PROJECTION
+        .iter()
+        .map(|n| s.attr_id(n).expect("fig3 attr"))
+        .collect();
+    println!("\n== BASE: baseline audit on the Figure 3 workload ==");
+    let mut results = audit_all(&strategies, &s, a, &proj);
+    results.push(td_baselines::audit_strategy(&definer, &s, a, &proj));
+    for r in &results {
+        println!("  {}", r.row());
+    }
+    let paper_clean = results[0].total_violations() == 0;
+    let all_baselines_dirty = results[1..].iter().all(|r| r.total_violations() > 0);
+    report.row(
+        "BASE fig3 audit",
+        "paper: 0 violations; every related-work strategy: >0",
+        format!(
+            "paper={} violations; baselines min={} violations",
+            results[0].total_violations(),
+            results[1..]
+                .iter()
+                .map(|r| r.total_violations())
+                .min()
+                .expect("non-empty")
+        ),
+        paper_clean && all_baselines_dirty,
+    );
+
+    // Randomized workloads.
+    let mut clean = 0usize;
+    let mut dirty = 0usize;
+    let runs = 25usize;
+    for seed in 0..runs as u64 {
+        let Workload {
+            schema,
+            source,
+            projection,
+        } = random_workload(24, 0x9000 + seed);
+        let results = audit_all(&strategies, &schema, source, &projection);
+        if results[0].total_violations() == 0 {
+            clean += 1;
+        }
+        dirty += usize::from(results[1..].iter().all(|r| r.total_violations() > 0));
+    }
+    report.row(
+        "BASE randomized audit",
+        format!("paper clean on {runs}/{runs} seeds; baselines violate on all"),
+        format!("paper clean on {clean}/{runs}; baselines all-dirty on {dirty}/{runs}"),
+        clean == runs && dirty == runs,
+    );
+}
+
+fn deviation_ablation(report: &mut Report) {
+    // DEV: the paper's literal §4.1 dependency-list retraction vs the
+    // repaired suffix retraction, both judged by the greatest-fixpoint
+    // oracle over random schemas (see DESIGN.md deviation 2).
+    use td_core::ablation::{compare_on, AblationOutcome};
+    let mut outcome = AblationOutcome::default();
+    let runs = 2000usize;
+    for seed in 0..runs as u64 {
+        // Cycle-dense shape: few types, deep call graphs, scarce accessors
+        // and narrow projections — the regime where optimistic assumptions
+        // actually fail and retraction precision matters.
+        let schema = td_workload::random_schema(&td_workload::GenParams {
+            seed,
+            n_types: 4,
+            attrs_per_type: 1,
+            reader_fraction: 0.3,
+            n_gfs: 6,
+            methods_per_gf: 3,
+            max_arity: 2,
+            calls_per_body: 4,
+            ..td_workload::GenParams::default()
+        });
+        let source = td_workload::deepest_type(&schema);
+        let projection = td_workload::random_projection(&schema, source, 0.1, seed ^ 0x77);
+        compare_on(&schema, source, &projection, &mut outcome).expect("ablation run");
+    }
+    report.row(
+        "DEV retraction ablation",
+        "the paper's literal dependency-list retraction under-retracts on some schemas; the repaired suffix retraction never disagrees with the fixpoint",
+        format!(
+            "literal mismatches {}/{} runs; repaired mismatches {}/{}",
+            outcome.literal_mismatches, outcome.runs, outcome.repaired_mismatches, outcome.runs
+        ),
+        outcome.repaired_mismatches == 0,
+    );
+}
+
+fn compose_ablation(report: &mut Report) {
+    let mut s = figures::fig3();
+    let a = s.type_id("A").expect("fig3");
+    let outcomes = Pipeline::new()
+        .project(&["a2", "e2", "h2"])
+        .project(&["e2", "h2"])
+        .project(&["h2"])
+        .apply(&mut s, a, &ProjectionOptions::default())
+        .expect("stacked views");
+    let empties = count_empty_surrogates(&s);
+    let protected: BTreeSet<TypeId> = outcomes.iter().map(|o| o.result_type()).collect();
+    let (before, after, removed) =
+        minimize_pipeline_surrogates(&mut s, &protected).expect("minimize");
+    s.validate().expect("well-formed after minimization");
+    report.row(
+        "COMP views-over-views",
+        "stacked views proliferate empty surrogates (§7); minimization reclaims a strict subset, invariants intact",
+        format!("3 layers ⇒ {empties} empty surrogates; minimization {before}→{after} (removed {removed})"),
+        empties > 0 && removed > 0 && after < before,
+    );
+}

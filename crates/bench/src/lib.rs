@@ -1,0 +1,116 @@
+//! # td-bench — shared helpers for the benchmark and reproduction harness
+//!
+//! The Criterion benches (one per experiment row in `EXPERIMENTS.md`) and
+//! the `repro` binary both need the same workload constructions; they live
+//! here so the two stay in sync.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use td_model::{AttrId, Schema, TypeId};
+use td_workload::{deepest_type, random_projection, random_schema, GenParams};
+
+/// A ready-to-project workload: schema + source + projection list.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The schema.
+    pub schema: Schema,
+    /// Projection source.
+    pub source: TypeId,
+    /// Projection list.
+    pub projection: BTreeSet<AttrId>,
+}
+
+/// A random workload of roughly `n_types` types with methods, seeded.
+pub fn random_workload(n_types: usize, seed: u64) -> Workload {
+    let schema = random_schema(&GenParams {
+        n_types,
+        n_gfs: (n_types / 2).max(4),
+        seed,
+        ..GenParams::default()
+    });
+    let source = deepest_type(&schema);
+    let projection = random_projection(&schema, source, 0.5, seed ^ 0xABCD);
+    Workload {
+        schema,
+        source,
+        projection,
+    }
+}
+
+/// A linear-chain workload projecting the root attribute from the leaf.
+pub fn chain_workload(depth: usize) -> Workload {
+    let schema = td_workload::chain_schema(depth);
+    let source = schema.type_id(&format!("T{}", depth - 1)).expect("leaf");
+    let projection = [schema.attr_id("t0_a").expect("root attr")]
+        .into_iter()
+        .collect();
+    Workload {
+        schema,
+        source,
+        projection,
+    }
+}
+
+/// A multiple-inheritance ladder workload projecting half the attributes.
+pub fn ladder_workload(height: usize) -> Workload {
+    let schema = td_workload::ladder_schema(height);
+    let source = schema.type_id(&format!("L{}", height - 1)).expect("top");
+    let projection: BTreeSet<AttrId> = (0..height)
+        .step_by(2)
+        .map(|i| schema.attr_id(&format!("l{i}_a")).expect("attr"))
+        .collect();
+    Workload {
+        schema,
+        source,
+        projection,
+    }
+}
+
+/// A call-chain workload of the given depth (one type, linear call graph).
+pub fn call_chain_workload(depth: usize) -> Workload {
+    let schema = td_workload::call_chain_schema(depth);
+    let source = schema.type_id("A").expect("A");
+    let projection = [schema.attr_id("x").expect("x")].into_iter().collect();
+    Workload {
+        schema,
+        source,
+        projection,
+    }
+}
+
+/// A call-cycle workload of the given ring length.
+pub fn call_cycle_workload(len: usize) -> Workload {
+    let schema = td_workload::call_cycle_schema(len);
+    let source = schema.type_id("A").expect("A");
+    let projection = [schema.attr_id("x").expect("x")].into_iter().collect();
+    Workload {
+        schema,
+        source,
+        projection,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{project, ProjectionOptions};
+
+    #[test]
+    fn workloads_project_cleanly() {
+        for w in [
+            random_workload(20, 7),
+            chain_workload(16),
+            ladder_workload(12),
+            call_chain_workload(32),
+            call_cycle_workload(8),
+        ] {
+            let mut schema = w.schema.clone();
+            let d = project(&mut schema, w.source, &w.projection, &ProjectionOptions::default())
+                .expect("workload projects");
+            assert!(d.invariants_ok(), "workload violates invariants");
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! # td-cli — the `tdv` command-line tool
+//!
+//! A thin, testable command layer over the typederive library. Schemas
+//! are read from files in the text DSL ([`td_model::text`]).
+//!
+//! ```text
+//! tdv check     <schema.td>                         parse + validate + stats
+//! tdv show      <schema.td>                         hierarchy, methods, stats
+//! tdv dot       <schema.td>                         Graphviz DOT export
+//! tdv applicable <schema.td> <Type> <a1,a2,…>       IsApplicable classification
+//! tdv project   <schema.td> <Type> <a1,a2,…>        derive; print summary + refactored schema
+//! tdv explain   <schema.td> <Type> <a1,a2,…> <m>    why did method m (not) survive?
+//! tdv audit     <schema.td> <Type> <a1,a2,…>        baseline strategy audit
+//! tdv extent    <schema.td> <data.td> <Type>        list the deep extent
+//! tdv call      <schema.td> <data.td> <gf> <args>   execute a generic-function call
+//! ```
+//!
+//! Every command is a pure function from arguments to output text, so the
+//! test suite drives [`run`] directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use td_baselines::{
+    audit_all, DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy,
+    StandaloneStrategy,
+};
+use td_core::{explain, project, ProjectionOptions};
+use td_model::{parse_schema, AttrId, Schema, TypeId};
+use td_store::{parse_objects, Database, Value};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code to use.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tdv — type derivation using the projection operation
+
+USAGE:
+  tdv check      <schema.td>
+  tdv show       <schema.td>
+  tdv dot        <schema.td>
+  tdv applicable <schema.td> <Type> <attr,attr,…>
+  tdv project    <schema.td> <Type> <attr,attr,…>
+  tdv explain    <schema.td> <Type> <attr,attr,…> <method-label>
+  tdv audit      <schema.td> <Type> <attr,attr,…>
+  tdv extent     <schema.td> <data.td> <Type>
+  tdv call       <schema.td> <data.td> <gf> <arg,arg,…>
+
+call arguments: object names from the data file, or literals
+(42, 3.5, true, \"text\", null).
+";
+
+/// Runs one command. `args` excludes the program name. Returns the text
+/// to print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(fail(USAGE));
+    };
+    match command.as_str() {
+        "check" => {
+            let schema = load(args.get(1))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "schema OK");
+            let _ = writeln!(out, "{}", schema.stats());
+            Ok(out)
+        }
+        "show" => {
+            let schema = load(args.get(1))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", schema.render_hierarchy());
+            let _ = writeln!(out, "{}", schema.render_methods());
+            let _ = writeln!(out, "{}", schema.stats());
+            Ok(out)
+        }
+        "dot" => {
+            let schema = load(args.get(1))?;
+            Ok(schema.render_dot())
+        }
+        "applicable" => {
+            let schema = load(args.get(1))?;
+            let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
+            let r = td_core::compute_applicability(&schema, source, &projection, false)
+                .map_err(|e| fail(e.to_string()))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "applicable:     {}",
+                r.applicable
+                    .iter()
+                    .map(|&m| schema.method(m).label.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "not applicable: {}",
+                r.not_applicable
+                    .iter()
+                    .map(|&m| schema.method(m).label.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            Ok(out)
+        }
+        "project" => {
+            let mut schema = load(args.get(1))?;
+            let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
+            let d = project(&mut schema, source, &projection, &ProjectionOptions::default())
+                .map_err(|e| fail(e.to_string()))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", d.summary(&schema));
+            let _ = writeln!(out, "{}", schema.render_hierarchy());
+            if !d.invariants_ok() {
+                return Err(fail(format!(
+                    "{out}\nINVARIANT VIOLATIONS: {:#?}",
+                    d.invariants
+                )));
+            }
+            Ok(out)
+        }
+        "explain" => {
+            let schema = load(args.get(1))?;
+            let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
+            let label = args
+                .get(4)
+                .ok_or_else(|| fail("explain: missing method label"))?;
+            let method = schema
+                .method_by_label(label)
+                .map_err(|e| fail(e.to_string()))?;
+            let e = explain(&schema, source, &projection, method)
+                .map_err(|e| fail(e.to_string()))?;
+            Ok(e.render(&schema))
+        }
+        "audit" => {
+            let schema = load(args.get(1))?;
+            let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
+            let strategies: Vec<&dyn DerivationStrategy> = vec![
+                &PaperStrategy,
+                &StandaloneStrategy,
+                &RootPlacementStrategy,
+                &LocalEdgeStrategy,
+            ];
+            let mut out = String::new();
+            for result in audit_all(&strategies, &schema, source, &projection) {
+                let _ = writeln!(out, "{}", result.row());
+            }
+            Ok(out)
+        }
+        "extent" => {
+            let (db, names) = load_db(args.get(1), args.get(2))?;
+            let ty = args.get(3).ok_or_else(|| fail("missing type argument"))?;
+            let ty = db.schema().type_id(ty).map_err(|e| fail(e.to_string()))?;
+            let mut out = String::new();
+            for obj in db.deep_extent(ty) {
+                let o = db.object(obj).map_err(|e| fail(e.to_string()))?;
+                let display_name = names
+                    .iter()
+                    .find(|(_, &id)| id == obj)
+                    .map(|(n, _)| n.as_str())
+                    .unwrap_or("<anonymous>");
+                let mut fields: Vec<String> = o
+                    .fields()
+                    .map(|(a, v)| (db.schema().attr(a).name.clone(), v))
+                    .map(|(n, v)| format!("{n} = {v}"))
+                    .collect();
+                fields.sort();
+                let _ = writeln!(
+                    out,
+                    "{display_name}: {} {{ {} }}",
+                    db.schema().type_name(o.ty),
+                    fields.join(", ")
+                );
+            }
+            Ok(out)
+        }
+        "call" => {
+            let (mut db, names) = load_db(args.get(1), args.get(2))?;
+            let gf_name = args
+                .get(3)
+                .ok_or_else(|| fail("missing generic-function argument"))?;
+            let gf = db.schema().gf_id(gf_name).map_err(|e| fail(e.to_string()))?;
+            let raw = args.get(4).map(String::as_str).unwrap_or("");
+            let values = raw
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|tok| parse_value(tok.trim(), &names))
+                .collect::<Result<Vec<Value>, CliError>>()?;
+            let result = db.call(gf, &values).map_err(|e| fail(e.to_string()))?;
+            Ok(format!("{result}\n"))
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(fail(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn load_db(
+    schema_path: Option<&String>,
+    data_path: Option<&String>,
+) -> Result<(Database, std::collections::HashMap<String, td_store::ObjId>), CliError> {
+    let schema = load(schema_path)?;
+    let mut db = Database::new(schema);
+    let path = data_path.ok_or_else(|| fail("missing data file argument"))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    let names = parse_objects(&mut db, &src).map_err(|e| fail(format!("{path}: {e}")))?;
+    Ok((db, names))
+}
+
+fn parse_value(
+    token: &str,
+    names: &std::collections::HashMap<String, td_store::ObjId>,
+) -> Result<Value, CliError> {
+    if let Some(&id) = names.get(token) {
+        return Ok(Value::Ref(id));
+    }
+    if token == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if token == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if token == "null" {
+        return Ok(Value::Null);
+    }
+    if token.starts_with('"') && token.ends_with('"') && token.len() >= 2 {
+        return Ok(Value::Str(token[1..token.len() - 1].to_string()));
+    }
+    if let Ok(i) = token.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(fail(format!(
+        "`{token}` is neither a known object name nor a literal"
+    )))
+}
+
+fn load(path: Option<&String>) -> Result<Schema, CliError> {
+    let path = path.ok_or_else(|| fail("missing schema file argument"))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    parse_schema(&src).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+fn view_args(
+    schema: &Schema,
+    ty: Option<&String>,
+    attrs: Option<&String>,
+) -> Result<(TypeId, BTreeSet<AttrId>), CliError> {
+    let ty = ty.ok_or_else(|| fail("missing source type argument"))?;
+    let attrs = attrs.ok_or_else(|| fail("missing attribute list argument"))?;
+    let source = schema.type_id(ty).map_err(|e| fail(e.to_string()))?;
+    let projection = attrs
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|n| schema.attr_id(n.trim()).map_err(|e| fail(e.to_string())))
+        .collect::<Result<BTreeSet<AttrId>, CliError>>()?;
+    Ok((source, projection))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const FIG1: &str = r#"
+        type Person { SSN: int  name: str  date_of_birth: int }
+        type Employee : Person { pay_rate: float  hrs_worked: float }
+        accessors SSN
+        accessors date_of_birth
+        accessors pay_rate
+        accessors hrs_worked
+        method age(Person) -> int { return 2026 - get_date_of_birth($0); }
+        method income(Employee) -> float { return get_pay_rate($0) * get_hrs_worked($0); }
+    "#;
+
+    fn fixture(name: &str, contents: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("td_cli_test_{}_{name}.td", std::process::id()));
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .unwrap_or_else(|e| panic!("command {args:?} failed: {e}"))
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .err()
+            .unwrap_or_else(|| panic!("command {args:?} unexpectedly succeeded"))
+    }
+
+    #[test]
+    fn check_and_show() {
+        let f = fixture("check", FIG1);
+        let out = run_ok(&["check", f.to_str().unwrap()]);
+        assert!(out.contains("schema OK"));
+        assert!(out.contains("types: 2"));
+        let out = run_ok(&["show", f.to_str().unwrap()]);
+        assert!(out.contains("Employee {pay_rate, hrs_worked} <- Person(1)"));
+        assert!(out.contains("age(Person)"));
+    }
+
+    #[test]
+    fn dot_export() {
+        let f = fixture("dot", FIG1);
+        let out = run_ok(&["dot", f.to_str().unwrap()]);
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("\"Employee\" -> \"Person\""));
+    }
+
+    #[test]
+    fn applicable_and_project() {
+        let f = fixture("proj", FIG1);
+        let out = run_ok(&[
+            "applicable",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,date_of_birth,pay_rate",
+        ]);
+        assert!(out.contains("age"));
+        assert!(out.lines().next().unwrap().contains("age"));
+        assert!(out.lines().nth(1).unwrap().contains("income"));
+
+        let out = run_ok(&[
+            "project",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,date_of_birth,pay_rate",
+        ]);
+        assert!(out.contains("derived ^Employee"));
+        assert!(out.contains("all hold"));
+        assert!(out.contains("^Person [surrogate of Person]"));
+    }
+
+    #[test]
+    fn explain_names_the_attribute() {
+        let f = fixture("explain", FIG1);
+        let out = run_ok(&[
+            "explain",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,date_of_birth",
+            "income",
+        ]);
+        assert!(out.contains("income"));
+        assert!(out.contains("pay_rate") || out.contains("get_pay_rate"), "{out}");
+    }
+
+    #[test]
+    fn audit_ranks_strategies() {
+        let f = fixture("audit", FIG1);
+        let out = run_ok(&["audit", f.to_str().unwrap(), "Employee", "SSN"]);
+        assert!(out.contains("paper"));
+        assert!(out.contains("standalone"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let e = run_err(&["project", "/nonexistent/file.td", "A", "x"]);
+        assert!(e.message.contains("cannot read"));
+        let f = fixture("err", FIG1);
+        let e = run_err(&["project", f.to_str().unwrap(), "Nope", "SSN"]);
+        assert!(e.message.contains("unknown type name"));
+        let e = run_err(&["project", f.to_str().unwrap(), "Employee", "nope"]);
+        assert!(e.message.contains("unknown attribute"));
+        let e = run_err(&["frobnicate"]);
+        assert!(e.message.contains("unknown command"));
+        let e = run_err(&[]);
+        assert!(e.message.contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_schema_file_reports_position() {
+        let f = fixture("bad", "type A : Missing { }");
+        let e = run_err(&["check", f.to_str().unwrap()]);
+        assert!(e.message.contains("Missing"));
+    }
+
+    const FIG1_DATA: &str = r#"
+        obj alice = Employee {
+            SSN = 1
+            name = "Alice"
+            date_of_birth = 1990
+            pay_rate = 55.0
+            hrs_worked = 38.0
+        }
+        obj bob = Person { SSN = 2  name = "Bob"  date_of_birth = 2000 }
+    "#;
+
+    #[test]
+    fn extent_lists_objects() {
+        let s = fixture("extent_s", FIG1);
+        let d = fixture("extent_d", FIG1_DATA);
+        let out = run_ok(&["extent", s.to_str().unwrap(), d.to_str().unwrap(), "Person"]);
+        assert!(out.contains("alice: Employee"));
+        assert!(out.contains("bob: Person"));
+        let out = run_ok(&["extent", s.to_str().unwrap(), d.to_str().unwrap(), "Employee"]);
+        assert!(out.contains("alice"));
+        assert!(!out.contains("bob"));
+    }
+
+    #[test]
+    fn call_executes_methods() {
+        let s = fixture("call_s", FIG1);
+        let d = fixture("call_d", FIG1_DATA);
+        let out = run_ok(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "age", "alice"]);
+        assert_eq!(out.trim(), "36");
+        let out = run_ok(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "income", "alice"]);
+        assert_eq!(out.trim(), "2090");
+        // Writers take literal second arguments.
+        let out = run_ok(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "set_SSN", "alice,9"]);
+        assert_eq!(out.trim(), "null");
+        let e = run_err(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "income", "bob"]);
+        assert!(e.message.contains("no applicable method"));
+        let e = run_err(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "age", "whoops"]);
+        assert!(e.message.contains("neither a known object"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `tdv` entry point: parse arguments, run, print, exit.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match td_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Ablation: the paper's §4.1 algorithm, taken literally.
+//!
+//! DESIGN.md (deviation 2) documents why the production
+//! [`crate::compute_applicability`] retracts the whole `Applicable`
+//! suffix of the current top-level call when an optimistic assumption
+//! fails, instead of only the recorded `dependencyList`. This module
+//! keeps the *literal* transcription — retract exactly the dependency
+//! list, nothing else — so the difference is measurable rather than
+//! anecdotal: experiment DEV in the reproduction harness runs both
+//! against the greatest-fixpoint oracle over random schemas and reports
+//! the literal algorithm's misclassification rate.
+//!
+//! Do not use this for real derivations; it exists to be wrong in
+//! public.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use td_model::dataflow::CallSite;
+use td_model::{AttrId, MethodId, Schema, TypeId};
+
+use crate::applicability::call_candidates;
+use crate::error::{CoreError, Result};
+
+/// Computes the applicable set with the paper's literal dependency-list
+/// retraction. Returns the applicable methods as a sorted set.
+pub fn compute_applicability_literal(
+    schema: &Schema,
+    source: TypeId,
+    projection: &BTreeSet<AttrId>,
+) -> Result<BTreeSet<MethodId>> {
+    let universe = schema.methods_applicable_to_type(source);
+    let mut ctx = LiteralCtx {
+        schema,
+        source,
+        projection,
+        applicable: Vec::new(),
+        applicable_set: HashSet::new(),
+        not_applicable_set: HashSet::new(),
+        stack: Vec::new(),
+        sites_cache: HashMap::new(),
+    };
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        if passes > universe.len() + 2 {
+            return Err(CoreError::NonConvergence { iterations: passes });
+        }
+        for &m in &universe {
+            if !ctx.is_classified(m) {
+                ctx.test(m)?;
+            }
+        }
+        if universe.iter().all(|&m| ctx.is_classified(m)) {
+            return Ok(ctx.applicable_set.into_iter().collect());
+        }
+    }
+}
+
+struct LiteralCtx<'a> {
+    schema: &'a Schema,
+    source: TypeId,
+    projection: &'a BTreeSet<AttrId>,
+    applicable: Vec<MethodId>,
+    applicable_set: HashSet<MethodId>,
+    not_applicable_set: HashSet<MethodId>,
+    stack: Vec<(MethodId, Vec<MethodId>)>,
+    sites_cache: HashMap<MethodId, Vec<CallSite>>,
+}
+
+impl LiteralCtx<'_> {
+    fn is_classified(&self, m: MethodId) -> bool {
+        self.applicable_set.contains(&m) || self.not_applicable_set.contains(&m)
+    }
+
+    fn relevant_sites(&mut self, m: MethodId) -> Result<Vec<CallSite>> {
+        if !self.sites_cache.contains_key(&m) {
+            let sites: Vec<CallSite> = self
+                .schema
+                .call_sites(m, self.source)?
+                .into_iter()
+                .filter(|s| !s.source_positions.is_empty())
+                .collect();
+            self.sites_cache.insert(m, sites);
+        }
+        Ok(self.sites_cache[&m].clone())
+    }
+
+    fn test(&mut self, m: MethodId) -> Result<bool> {
+        if self.applicable_set.contains(&m) {
+            return Ok(true);
+        }
+        if self.not_applicable_set.contains(&m) {
+            return Ok(false);
+        }
+        let method = self.schema.method(m);
+        if let Some(attr) = method.kind.accessed_attr() {
+            if self.projection.contains(&attr) {
+                self.applicable_set.insert(m);
+                self.applicable.push(m);
+                return Ok(true);
+            }
+            self.not_applicable_set.insert(m);
+            return Ok(false);
+        }
+        if let Some(pos) = self.stack.iter().position(|(x, _)| *x == m) {
+            let above: Vec<MethodId> = self.stack[pos + 1..].iter().map(|(x, _)| *x).collect();
+            self.stack[pos].1.extend(above);
+            return Ok(true);
+        }
+        self.stack.push((m, Vec::new()));
+        for site in self.relevant_sites(m)? {
+            let (candidates, _) = call_candidates(self.schema, self.source, &site);
+            let mut satisfied = false;
+            for c in candidates {
+                if self.test(c)? {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if !satisfied {
+                let (_, deps) = self.stack.pop().expect("frame pushed above");
+                // THE LITERAL RULE: remove exactly the dependency list.
+                for d in deps {
+                    if self.applicable_set.remove(&d) {
+                        self.applicable.retain(|&x| x != d);
+                    }
+                }
+                self.not_applicable_set.insert(m);
+                return Ok(false);
+            }
+        }
+        self.applicable_set.insert(m);
+        self.applicable.push(m);
+        self.stack.pop();
+        Ok(true)
+    }
+}
+
+/// Outcome of one literal-vs-oracle comparison sweep.
+#[derive(Debug, Clone, Default)]
+pub struct AblationOutcome {
+    /// Workloads examined.
+    pub runs: usize,
+    /// Workloads where the literal algorithm's result differs from the
+    /// greatest fixpoint.
+    pub literal_mismatches: usize,
+    /// Workloads where the production algorithm differs (must stay 0).
+    pub repaired_mismatches: usize,
+}
+
+/// Runs the literal algorithm, the production algorithm and the fixpoint
+/// oracle over one workload, recording disagreements into `outcome`.
+pub fn compare_on(
+    schema: &Schema,
+    source: TypeId,
+    projection: &BTreeSet<AttrId>,
+    outcome: &mut AblationOutcome,
+) -> Result<()> {
+    let oracle = crate::oracle::applicability_fixpoint(schema, source, projection)?;
+    let literal = compute_applicability_literal(schema, source, projection)?;
+    let repaired: BTreeSet<MethodId> =
+        crate::applicability::compute_applicability(schema, source, projection, false)?
+            .applicable
+            .into_iter()
+            .collect();
+    outcome.runs += 1;
+    outcome.literal_mismatches += usize::from(literal != oracle);
+    outcome.repaired_mismatches += usize::from(repaired != oracle);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_workload::figures;
+
+    #[test]
+    fn literal_matches_on_the_paper_example() {
+        // The paper's own example is within the literal algorithm's power
+        // (the dependency list is exact there).
+        let s = figures::fig3();
+        let a = s.type_id("A").unwrap();
+        let proj: BTreeSet<AttrId> = figures::FIG4_PROJECTION
+            .iter()
+            .map(|n| s.attr_id(n).unwrap())
+            .collect();
+        let literal = compute_applicability_literal(&s, a, &proj).unwrap();
+        let oracle = crate::oracle::applicability_fixpoint(&s, a, &proj).unwrap();
+        assert_eq!(literal, oracle);
+    }
+
+    #[test]
+    fn literal_misclassifies_the_stranded_dependent() {
+        // The counterexample family from DESIGN.md deviation 2, distilled.
+        //
+        //   f2_m(T)  = { f12($0); get_dead($0) }
+        //   f12_m(T) = { f5($0); f2($0) }
+        //   f5_m(T)  = { f12($0) }
+        //
+        // Testing f2_m pushes [f2_m, f12_m, f5_m]; f5_m hits the cycle on
+        // f12_m, so f5_m lands in *f12_m's* dependency list and is then
+        // classified applicable. f12_m's own frame SUCCEEDS (optimism on
+        // f2_m), discarding that list. When f2_m later fails, its list
+        // holds only f12_m — retracting it strands f5_m, whose support
+        // (f12_m) is re-checked to not-applicable while f5_m stays
+        // "applicable" forever. The fixpoint (and the repaired algorithm)
+        // kill all three.
+        use td_model::{BodyBuilder, Expr, MethodKind, Specializer, ValueType};
+        let mut s = td_model::Schema::new();
+        let t = s.add_type("T", &[]).unwrap();
+        let dead = s.add_attr("dead", ValueType::INT, t).unwrap();
+        let (get_dead, _) = s.add_reader(dead, t).unwrap();
+        let f2 = s.add_gf("f2", 1, None).unwrap();
+        let f12 = s.add_gf("f12", 1, None).unwrap();
+        let f5 = s.add_gf("f5", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f12, vec![Expr::Param(0)]);
+        bb.call(get_dead, vec![Expr::Param(0)]);
+        s.add_method(f2, "f2_m", vec![Specializer::Type(t)], MethodKind::General(bb.finish()), None)
+            .unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f5, vec![Expr::Param(0)]);
+        bb.call(f2, vec![Expr::Param(0)]);
+        s.add_method(f12, "f12_m", vec![Specializer::Type(t)], MethodKind::General(bb.finish()), None)
+            .unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f12, vec![Expr::Param(0)]);
+        let f5_m = s
+            .add_method(f5, "f5_m", vec![Specializer::Type(t)], MethodKind::General(bb.finish()), None)
+            .unwrap();
+
+        let proj = BTreeSet::new(); // nothing projected: everything must die
+        let oracle = crate::oracle::applicability_fixpoint(&s, t, &proj).unwrap();
+        assert!(oracle.is_empty(), "fixpoint kills the whole cycle");
+        let repaired: BTreeSet<MethodId> =
+            crate::applicability::compute_applicability(&s, t, &proj, false)
+                .unwrap()
+                .applicable
+                .into_iter()
+                .collect();
+        assert_eq!(repaired, oracle, "production algorithm matches the oracle");
+        let literal = compute_applicability_literal(&s, t, &proj).unwrap();
+        assert_eq!(
+            literal,
+            [f5_m].into_iter().collect::<BTreeSet<_>>(),
+            "the literal dependency-list rule strands f5_m \
+             (this is the documented deviation-2 counterexample)"
+        );
+    }
+
+    #[test]
+    fn sweep_counts_mismatches() {
+        use td_workload::{deepest_type, random_projection, random_schema, GenParams};
+        let mut outcome = AblationOutcome::default();
+        for seed in 0..40 {
+            let schema = random_schema(&GenParams {
+                seed,
+                n_types: 10,
+                n_gfs: 8,
+                calls_per_body: 4,
+                ..GenParams::default()
+            });
+            let source = deepest_type(&schema);
+            let projection = random_projection(&schema, source, 0.3, seed ^ 0x55);
+            compare_on(&schema, source, &projection, &mut outcome).unwrap();
+        }
+        assert_eq!(outcome.runs, 40);
+        assert_eq!(
+            outcome.repaired_mismatches, 0,
+            "production algorithm must always match the oracle"
+        );
+        // The literal rule's mismatch count is whatever it is — the point
+        // of the ablation is to report it, not to pin it.
+    }
+}

@@ -1,0 +1,179 @@
+//! `Augment` — extending the surrogate lattice for method-body typing
+//! (§6.4).
+//!
+//! Rewriting an applicable method's signature onto surrogates can break
+//! its body: in the paper's example, `z1(c: C) = { g: G; g ← c; … }`
+//! becomes `z1(c: Ĉ)`, and the assignment `g ← c` is only type-correct if
+//! a surrogate `Ĝ` with `Ĉ ≤ Ĝ` exists. `Augment` walks the original
+//! hierarchy upward from the projection source and spins off (empty-state)
+//! surrogates for the supertypes needed so that the surrogate lattice
+//! mirrors the original subtype relationships along every path to a type
+//! in `Z` (the types that transitively receive values of factored types
+//! but got no surrogate from `FactorState`).
+
+use std::collections::BTreeSet;
+use td_model::{Schema, SuperLink, TypeId};
+
+use crate::error::{CoreError, Result};
+use crate::surrogates::{SurrogateKind, SurrogateRegistry};
+
+/// Runs `Augment(source, Z)`. Returns the `(source, surrogate)` pairs the
+/// pass created, in creation order.
+pub fn augment(
+    schema: &mut Schema,
+    registry: &mut SurrogateRegistry,
+    source: TypeId,
+    z: &BTreeSet<TypeId>,
+) -> Result<Vec<(TypeId, TypeId)>> {
+    let mut created = Vec::new();
+    let mut visited = vec![false; schema.n_types()];
+    augment_rec(schema, registry, source, z, &mut created, &mut visited)?;
+    Ok(created)
+}
+
+fn augment_rec(
+    schema: &mut Schema,
+    registry: &mut SurrogateRegistry,
+    t: TypeId,
+    z: &BTreeSet<TypeId>,
+    created: &mut Vec<(TypeId, TypeId)>,
+    visited: &mut Vec<bool>,
+) -> Result<()> {
+    // `Augment(S, Z)` depends only on S; a diamond would otherwise repeat
+    // identical work.
+    if visited[t.index()] {
+        return Ok(());
+    }
+    visited[t.index()] = true;
+
+    // "if T has a supertype that is a subtype of one of the types in Z"
+    let relevant = schema
+        .ancestors(t)
+        .into_iter()
+        .any(|u| z.iter().any(|&zt| schema.is_subtype(u, zt)));
+    if !relevant {
+        return Ok(());
+    }
+
+    // T's own surrogate must exist: the initial call starts at the
+    // projection source (whose surrogate is the derived type) and every
+    // recursive call creates the child's surrogate first.
+    let t_hat = registry
+        .surrogate(t)
+        .ok_or(CoreError::MissingSurrogate(t))?;
+
+    // "for all direct supertypes of T except T̂ in order of precedence"
+    let supers: Vec<SuperLink> = schema
+        .type_(t)
+        .supers()
+        .iter()
+        .copied()
+        .filter(|l| registry.surrogate(t) != Some(l.target))
+        .collect();
+    for link in supers {
+        let s = link.target;
+        // "if Ŝ does not exist then create Ŝ; make S a subtype of Ŝ with
+        //  highest precedence"
+        let (s_hat, fresh) = registry.get_or_create(schema, s, SurrogateKind::Augment)?;
+        if fresh {
+            schema.add_super_highest(s, s_hat)?;
+            created.push((s, s_hat));
+        }
+        // "if T̂ is not already a subtype of Ŝ then make T̂ a subtype of Ŝ
+        //  with precedence p"
+        if !schema.is_subtype(t_hat, s_hat) {
+            schema.add_super_with_prec(t_hat, s_hat, link.prec)?;
+        }
+        augment_rec(schema, registry, s, z, created, visited)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor_state::{factor_state, FactorStateOutcome};
+    use td_model::{AttrId, ValueType};
+
+    /// B <= A <- chain with attribute at A; projection creates ^B and ^A;
+    /// a Z-type G above A must be augmented.
+    #[test]
+    fn augment_creates_missing_supertype_surrogates() {
+        let mut s = Schema::new();
+        let g = s.add_type("G", &[]).unwrap();
+        let a = s.add_type("A", &[g]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let proj: BTreeSet<AttrId> = [x].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        let derived = factor_state(&mut s, &mut reg, &proj, b, &mut out).unwrap();
+        assert!(reg.surrogate(g).is_none()); // FactorState skipped G
+
+        let z: BTreeSet<TypeId> = [g].into_iter().collect();
+        let created = augment(&mut s, &mut reg, b, &z).unwrap();
+        assert_eq!(created.len(), 1);
+        let g_hat = reg.surrogate(g).unwrap();
+        assert_eq!(created[0], (g, g_hat));
+        // G <=(highest) ^G; ^A <= ^G mirroring A <= G; derived <= ^G.
+        assert_eq!(s.type_(g).super_ids().next(), Some(g_hat));
+        let a_hat = reg.surrogate(a).unwrap();
+        assert!(s.is_subtype(a_hat, g_hat));
+        assert!(s.is_subtype(derived, g_hat));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn augment_noop_when_z_unreachable() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let unrelated = s.add_type("U", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let proj: BTreeSet<AttrId> = [x].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        factor_state(&mut s, &mut reg, &proj, b, &mut out).unwrap();
+        let n_before = reg.len();
+        let z: BTreeSet<TypeId> = [unrelated].into_iter().collect();
+        let created = augment(&mut s, &mut reg, b, &z).unwrap();
+        assert!(created.is_empty());
+        assert_eq!(reg.len(), n_before);
+    }
+
+    #[test]
+    fn augment_with_empty_z_is_noop() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let proj: BTreeSet<AttrId> = [x].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        factor_state(&mut s, &mut reg, &proj, b, &mut out).unwrap();
+        let created = augment(&mut s, &mut reg, b, &BTreeSet::new()).unwrap();
+        assert!(created.is_empty());
+    }
+
+    #[test]
+    fn existing_surrogate_edges_not_duplicated() {
+        // Z reachable through a type whose surrogate already exists with
+        // the subtype edge in place: augment must not add a second edge.
+        let mut s = Schema::new();
+        let g = s.add_type("G", &[]).unwrap();
+        let a = s.add_type("A", &[g]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let gx = s.add_attr("gx", ValueType::INT, g).unwrap();
+        let proj: BTreeSet<AttrId> = [x, gx].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        factor_state(&mut s, &mut reg, &proj, b, &mut out).unwrap();
+        // ^G already exists from FactorState (gx is projected).
+        assert!(reg.surrogate(g).is_some());
+        let z: BTreeSet<TypeId> = [g].into_iter().collect();
+        let created = augment(&mut s, &mut reg, b, &z).unwrap();
+        assert!(created.is_empty());
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! The view catalog: named, managed derivations over one schema.
+//!
+//! The paper treats a view as "simply added to the list of existing
+//! relations" (§1). This module is that list for derived types: views
+//! are created and dropped *by name*, stacking is tracked (a view whose
+//! source is another view depends on it), and drops are refused while
+//! dependents exist — the discipline `unproject` requires, enforced
+//! rather than documented.
+
+use std::collections::BTreeSet;
+use td_model::{AttrId, Schema, TypeId};
+
+use crate::error::{CoreError, Result};
+use crate::minimize::minimize_surrogates;
+use crate::projection::{project, Derivation, ProjectionOptions};
+use crate::unproject::unproject;
+
+/// One managed view.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The view's catalog name (unique).
+    pub name: String,
+    /// The full derivation record.
+    pub derivation: Derivation,
+    /// Catalog name of the view this one is stacked on, if its source is
+    /// itself a managed view.
+    pub parent: Option<String>,
+}
+
+/// A registry of named projection views over a schema.
+///
+/// The catalog does not own the schema (the schema usually lives inside a
+/// `td_store::Database`); every operation takes `&mut Schema` and the
+/// caller must pass the same schema each time.
+#[derive(Debug, Clone, Default)]
+pub struct ViewCatalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl ViewCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> ViewCatalog {
+        ViewCatalog::default()
+    }
+
+    /// Creates a view named `name` as `Π_projection(source)`.
+    pub fn create(
+        &mut self,
+        schema: &mut Schema,
+        name: &str,
+        source: TypeId,
+        projection: &BTreeSet<AttrId>,
+        opts: &ProjectionOptions,
+    ) -> Result<&CatalogEntry> {
+        if self.entry(name).is_some() {
+            return Err(CoreError::Model(td_model::ModelError::Invalid(format!(
+                "a view named `{name}` already exists"
+            ))));
+        }
+        let parent = self
+            .entries
+            .iter()
+            .find(|e| e.derivation.derived == source)
+            .map(|e| e.name.clone());
+        let derivation = project(schema, source, projection, opts)?;
+        self.entries.push(CatalogEntry {
+            name: name.to_string(),
+            derivation,
+            parent,
+        });
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Looks a view up by name.
+    pub fn entry(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The derived type of the named view.
+    pub fn view_type(&self, name: &str) -> Option<TypeId> {
+        self.entry(name).map(|e| e.derivation.derived)
+    }
+
+    /// Names of views stacked directly on `name`.
+    pub fn dependents(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.parent.as_deref() == Some(name))
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+
+    /// Drops the named view, restoring the schema state it introduced.
+    /// Refused while dependent (stacked) views exist.
+    pub fn drop_view(&mut self, schema: &mut Schema, name: &str) -> Result<()> {
+        let Some(pos) = self.entries.iter().position(|e| e.name == name) else {
+            return Err(CoreError::Model(td_model::ModelError::Invalid(format!(
+                "no view named `{name}`"
+            ))));
+        };
+        let dependents = self.dependents(name);
+        if !dependents.is_empty() {
+            return Err(CoreError::Model(td_model::ModelError::Invalid(format!(
+                "cannot drop `{name}`: dependent views exist ({})",
+                dependents.join(", ")
+            ))));
+        }
+        unproject(schema, &self.entries[pos].derivation)?;
+        self.entries.remove(pos);
+        Ok(())
+    }
+
+    /// Drops every view, dependents first. Leaves the schema as it was
+    /// before the first creation.
+    pub fn drop_all(&mut self, schema: &mut Schema) -> Result<()> {
+        // Repeatedly drop leaves (views with no dependents).
+        while !self.entries.is_empty() {
+            let leaf = self
+                .entries
+                .iter()
+                .find(|e| self.dependents(&e.name).is_empty())
+                .map(|e| e.name.clone())
+                .ok_or_else(|| {
+                    CoreError::Model(td_model::ModelError::Invalid(
+                        "dependency cycle among views".into(),
+                    ))
+                })?;
+            self.drop_view(schema, &leaf)?;
+        }
+        Ok(())
+    }
+
+    /// Runs surrogate minimization, protecting every managed view type.
+    pub fn minimize(&self, schema: &mut Schema) -> Result<usize> {
+        let protected: BTreeSet<TypeId> =
+            self.entries.iter().map(|e| e.derivation.derived).collect();
+        Ok(minimize_surrogates(schema, &protected)?.removed.len())
+    }
+
+    /// Iterates the entries in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of live views.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// One line per view: name, definition, parent.
+    pub fn describe(&self, schema: &Schema) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let attrs: Vec<&str> = e
+                .derivation
+                .projection
+                .iter()
+                .map(|&a| schema.attr(a).name.as_str())
+                .collect();
+            let _ = write!(
+                out,
+                "{} = Π_{{{}}}({})",
+                e.name,
+                attrs.join(", "),
+                schema.type_name(e.derivation.source)
+            );
+            if let Some(p) = &e.parent {
+                let _ = write!(out, "  [stacked on {p}]");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_workload::figures;
+
+    fn proj(s: &Schema, names: &[&str]) -> BTreeSet<AttrId> {
+        names.iter().map(|n| s.attr_id(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let mut cat = ViewCatalog::new();
+        let p = proj(&s, &["SSN", "pay_rate"]);
+        cat.create(&mut s, "badge", employee, &p, &ProjectionOptions::default())
+            .unwrap();
+        assert_eq!(cat.len(), 1);
+        let vt = cat.view_type("badge").unwrap();
+        assert_eq!(s.cumulative_attrs(vt), p);
+        assert!(cat.entry("badge").unwrap().parent.is_none());
+        cat.drop_view(&mut s, "badge").unwrap();
+        assert!(cat.is_empty());
+        assert_eq!(s.render_hierarchy(), figures::fig1().render_hierarchy());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let mut cat = ViewCatalog::new();
+        let p = proj(&s, &["SSN"]);
+        cat.create(&mut s, "v", employee, &p, &ProjectionOptions::default())
+            .unwrap();
+        let err = cat
+            .create(&mut s, "v", employee, &p, &ProjectionOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"));
+    }
+
+    #[test]
+    fn stacking_tracks_parents_and_blocks_drops() {
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let mut cat = ViewCatalog::new();
+        let p_outer = proj(&s, &["SSN", "date_of_birth"]);
+        cat.create(&mut s, "outer", employee, &p_outer, &ProjectionOptions::default())
+            .unwrap();
+        let outer_ty = cat.view_type("outer").unwrap();
+        let p_inner = proj(&s, &["SSN"]);
+        cat.create(&mut s, "inner", outer_ty, &p_inner, &ProjectionOptions::default())
+            .unwrap();
+        assert_eq!(cat.entry("inner").unwrap().parent.as_deref(), Some("outer"));
+        assert_eq!(cat.dependents("outer"), vec!["inner"]);
+
+        let err = cat.drop_view(&mut s, "outer").unwrap_err();
+        assert!(err.to_string().contains("dependent views exist"));
+        assert_eq!(cat.len(), 2, "failed drop must not remove the entry");
+
+        let text = cat.describe(&s);
+        assert!(text.contains("inner = Π_{SSN}"));
+        assert!(text.contains("[stacked on outer]"));
+
+        cat.drop_all(&mut s).unwrap();
+        assert!(cat.is_empty());
+        assert_eq!(s.render_hierarchy(), figures::fig1().render_hierarchy());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn minimize_protects_views() {
+        let mut s = figures::fig3();
+        let a = s.type_id("A").unwrap();
+        let mut cat = ViewCatalog::new();
+        let p1 = proj(&s, &["a2", "e2", "h2"]);
+        cat.create(&mut s, "v1", a, &p1, &ProjectionOptions::default())
+            .unwrap();
+        let v1 = cat.view_type("v1").unwrap();
+        let p2 = proj(&s, &["h2"]);
+        cat.create(&mut s, "v2", v1, &p2, &ProjectionOptions::default())
+            .unwrap();
+        let removed = cat.minimize(&mut s).unwrap();
+        assert!(removed > 0);
+        assert!(s.is_live(cat.view_type("v1").unwrap()));
+        assert!(s.is_live(cat.view_type("v2").unwrap()));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let mut s = figures::fig1();
+        let mut cat = ViewCatalog::new();
+        let err = cat.drop_view(&mut s, "ghost").unwrap_err();
+        assert!(err.to_string().contains("no view named"));
+        assert!(cat.view_type("ghost").is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the derivation algorithms.
+
+use std::fmt;
+use td_model::{AttrId, ModelError, TypeId};
+
+/// Errors raised while deriving a type by projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying schema operation failed.
+    Model(ModelError),
+    /// A projected attribute is not available (locally or by inheritance)
+    /// at the projection's source type.
+    AttrNotAvailable {
+        /// The offending attribute.
+        attr: AttrId,
+        /// The projection source.
+        source: TypeId,
+    },
+    /// The applicability driver failed to converge (should be impossible;
+    /// guards against a bug rather than a user error).
+    NonConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// After `Augment`, a type that must be re-typed still has no
+    /// surrogate — indicates an inconsistency in the def-use analysis.
+    MissingSurrogate(TypeId),
+    /// The projection list was empty and the options forbid empty views.
+    EmptyProjection(TypeId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "schema error: {e}"),
+            CoreError::AttrNotAvailable { attr, source } => {
+                write!(f, "attribute {attr} is not available at projection source {source}")
+            }
+            CoreError::NonConvergence { iterations } => {
+                write!(f, "applicability driver did not converge after {iterations} passes")
+            }
+            CoreError::MissingSurrogate(t) => {
+                write!(f, "no surrogate exists for {t} after augmentation")
+            }
+            CoreError::EmptyProjection(t) => {
+                write!(f, "empty projection list over {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::AttrNotAvailable {
+            attr: AttrId(1),
+            source: TypeId(2),
+        };
+        assert!(e.to_string().contains("a1"));
+        let e: CoreError = ModelError::BadTypeId(TypeId(0)).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,249 @@
+//! `FactorState` — refactoring the hierarchy to host a derived type (§5).
+//!
+//! Creating `T̂ = Π_A(T)` splits every type `Q` through which `T̂` inherits
+//! projected attributes into a surrogate `Q̂` (receiving the projected
+//! attributes local to `Q`) plus the residual `Q`. `Q` becomes a direct
+//! subtype of `Q̂` at **highest precedence**, so the combined `Q̂ + Q` pair
+//! is observationally identical to the original `Q`. The surrogates are
+//! wired to each other mirroring the original precedence annotations, and
+//! the derived type is simply `T̂`, the surrogate of the source itself.
+//!
+//! This is a faithful transcription of the paper's §5.1 pseudocode; the
+//! §5.2 worked example (Figure 4) is a golden test in `td-workload`.
+
+use std::collections::BTreeSet;
+use td_model::{AttrId, Schema, SuperLink, TypeId};
+
+use crate::error::Result;
+use crate::surrogates::{SurrogateKind, SurrogateRegistry};
+
+/// What `FactorState` did: every attribute move, in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct FactorStateOutcome {
+    /// `(attribute, from, to)` — attributes moved from a source type to
+    /// its surrogate.
+    pub moved_attrs: Vec<(AttrId, TypeId, TypeId)>,
+}
+
+/// Runs `FactorState(projection, source, NULL, 0)`, creating the derived
+/// type and the surrogate chain above it. Returns the derived type (the
+/// surrogate of `source`).
+pub fn factor_state(
+    schema: &mut Schema,
+    registry: &mut SurrogateRegistry,
+    projection: &BTreeSet<AttrId>,
+    source: TypeId,
+    outcome: &mut FactorStateOutcome,
+) -> Result<TypeId> {
+    let list: Vec<AttrId> = projection.iter().copied().collect();
+    factor_rec(schema, registry, &list, source, None, 0, outcome)
+}
+
+/// The recursive body of §5.1:
+/// `FactorState(A: attributeList, T: type, ĥ: type, P: precedence)`.
+fn factor_rec(
+    schema: &mut Schema,
+    registry: &mut SurrogateRegistry,
+    attrs: &[AttrId],
+    t: TypeId,
+    h_hat: Option<TypeId>,
+    p: i32,
+    outcome: &mut FactorStateOutcome,
+) -> Result<TypeId> {
+    // "if the surrogate type T̂ for T and A does not already exist then
+    //  create a new type T̂; make T̂ a supertype of T such that T̂ has
+    //  highest precedence among the supertypes of T"
+    let (t_hat, created) = registry.get_or_create(schema, t, SurrogateKind::Factor)?;
+    if created {
+        schema.add_super_highest(t, t_hat)?;
+    }
+
+    // "if ĥ ≠ NULL then make ĥ a subtype of T̂ with precedence P"
+    if let Some(h) = h_hat {
+        if !schema.type_(h).super_ids().any(|s| s == t_hat) {
+            schema.add_super_with_prec(h, t_hat, p)?;
+        }
+    }
+
+    // "if type T̂ was created in this call then …"
+    if created {
+        // "∀ a ∈ A such that a is a local attribute of T do move a to T̂"
+        let locals: Vec<AttrId> = schema
+            .type_(t)
+            .local_attrs
+            .iter()
+            .copied()
+            .filter(|a| attrs.contains(a))
+            .collect();
+        for a in locals {
+            schema.move_attr(a, t_hat)?;
+            outcome.moved_attrs.push((a, t, t_hat));
+        }
+
+        // "let S be the list of the direct supertypes of T, excluding T̂;
+        //  ∀ s ∈ S in order of inheritance precedence do …"
+        let supers: Vec<SuperLink> = schema
+            .type_(t)
+            .supers()
+            .iter()
+            .copied()
+            .filter(|l| l.target != t_hat)
+            .collect();
+        for link in supers {
+            // "let L be the list of attributes in A that are available at s"
+            let l: Vec<AttrId> = attrs
+                .iter()
+                .copied()
+                .filter(|&a| schema.attr_available_at(a, link.target))
+                .collect();
+            if !l.is_empty() {
+                // "call FactorState(L, s, T̂, p)" with p the precedence of
+                // s among the supertypes of T.
+                factor_rec(schema, registry, &l, link.target, Some(t_hat), link.prec, outcome)?;
+            }
+        }
+    }
+    Ok(t_hat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::ValueType;
+
+    /// The paper's Figure 1 schema: Employee <= Person with
+    /// Person{SSN, name, date_of_birth}, Employee{pay_rate, hrs_worked}.
+    fn fig1() -> (Schema, TypeId, TypeId) {
+        let mut s = Schema::new();
+        let person = s.add_type("Person", &[]).unwrap();
+        let employee = s.add_type("Employee", &[person]).unwrap();
+        for (n, t, owner) in [
+            ("SSN", ValueType::INT, person),
+            ("name", ValueType::STR, person),
+            ("date_of_birth", ValueType::INT, person),
+            ("pay_rate", ValueType::FLOAT, employee),
+            ("hrs_worked", ValueType::FLOAT, employee),
+        ] {
+            let a = s.add_attr(n, t, owner).unwrap();
+            s.add_accessors(a).unwrap();
+        }
+        (s, person, employee)
+    }
+
+    #[test]
+    fn fig2_state_factorization() {
+        // Π_{SSN, date_of_birth, pay_rate}(Employee)  — the §3.1 example.
+        let (mut s, person, employee) = fig1();
+        let proj: BTreeSet<AttrId> = ["SSN", "date_of_birth", "pay_rate"]
+            .iter()
+            .map(|n| s.attr_id(n).unwrap())
+            .collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        let derived = factor_state(&mut s, &mut reg, &proj, employee, &mut out).unwrap();
+
+        let e_hat = s.type_id("^Employee").unwrap();
+        let p_hat = s.type_id("^Person").unwrap();
+        assert_eq!(derived, e_hat);
+
+        // ^Employee carries pay_rate; ^Person carries SSN + date_of_birth.
+        let names =
+            |t: TypeId| -> Vec<&str> { s.type_(t).local_attrs.iter().map(|&a| s.attr(a).name.as_str()).collect() };
+        assert_eq!(names(e_hat), vec!["pay_rate"]);
+        assert_eq!(names(p_hat), vec!["SSN", "date_of_birth"]);
+        assert_eq!(names(person), vec!["name"]);
+        assert_eq!(names(employee), vec!["hrs_worked"]);
+
+        // Wiring: Employee <=(0) ^Employee; Person <=(0) ^Person;
+        // ^Employee <=(1) ^Person. Person is NOT a supertype of ^Employee.
+        assert_eq!(s.type_(employee).super_ids().next(), Some(e_hat));
+        assert_eq!(s.type_(person).super_ids().next(), Some(p_hat));
+        let e_hat_supers: Vec<(TypeId, i32)> =
+            s.type_(e_hat).supers().iter().map(|l| (l.target, l.prec)).collect();
+        assert_eq!(e_hat_supers, vec![(p_hat, 1)]);
+        assert!(!s.is_subtype(e_hat, person));
+
+        // Cumulative state of the derived type is exactly the projection.
+        assert_eq!(s.cumulative_attrs(e_hat), proj);
+        // Original types keep their cumulative state.
+        assert_eq!(s.cumulative_attrs(employee).len(), 5);
+        assert_eq!(s.cumulative_attrs(person).len(), 3);
+        s.validate().unwrap();
+
+        // Attribute moves recorded in execution order.
+        assert_eq!(out.moved_attrs.len(), 3);
+        assert_eq!(out.moved_attrs[0].1, employee);
+    }
+
+    #[test]
+    fn projection_of_only_local_attrs_touches_no_ancestor() {
+        let (mut s, person, employee) = fig1();
+        let proj: BTreeSet<AttrId> = [s.attr_id("pay_rate").unwrap()].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        factor_state(&mut s, &mut reg, &proj, employee, &mut out).unwrap();
+        // Only ^Employee exists; Person untouched.
+        assert!(s.type_id("^Employee").is_ok());
+        assert!(s.type_id("^Person").is_err());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(s.type_(person).super_ids().count(), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn projection_of_only_inherited_attrs_leaves_source_surrogate_empty() {
+        let (mut s, _person, employee) = fig1();
+        let proj: BTreeSet<AttrId> = [s.attr_id("SSN").unwrap()].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        let derived = factor_state(&mut s, &mut reg, &proj, employee, &mut out).unwrap();
+        assert!(s.type_(derived).local_attrs.is_empty());
+        let p_hat = s.type_id("^Person").unwrap();
+        assert_eq!(s.cumulative_attrs(derived), proj);
+        assert_eq!(s.type_(p_hat).local_attrs.len(), 1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn diamond_shares_one_surrogate() {
+        // D <= B,C <= A with the projected attribute at A: both recursion
+        // paths reach A, but only one ^A may exist.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[a]).unwrap();
+        let d = s.add_type("D", &[b, c]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let bx = s.add_attr("bx", ValueType::INT, b).unwrap();
+        let cx = s.add_attr("cx", ValueType::INT, c).unwrap();
+        let proj: BTreeSet<AttrId> = [x, bx, cx].into_iter().collect();
+        let mut reg = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        let derived = factor_state(&mut s, &mut reg, &proj, d, &mut out).unwrap();
+        assert_eq!(reg.len(), 4); // ^D ^B ^C ^A
+        let a_hat = s.type_id("^A").unwrap();
+        let b_hat = s.type_id("^B").unwrap();
+        let c_hat = s.type_id("^C").unwrap();
+        // Both ^B and ^C inherit from the single ^A.
+        assert!(s.is_subtype(b_hat, a_hat));
+        assert!(s.is_subtype(c_hat, a_hat));
+        assert_eq!(s.cumulative_attrs(derived), proj);
+        // x is inherited once by ^D despite the diamond.
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn second_projection_reuses_nothing_from_first() {
+        let (mut s, _person, employee) = fig1();
+        let proj: BTreeSet<AttrId> = [s.attr_id("SSN").unwrap()].into_iter().collect();
+        let mut reg1 = SurrogateRegistry::new();
+        let mut out = FactorStateOutcome::default();
+        let d1 = factor_state(&mut s, &mut reg1, &proj, employee, &mut out).unwrap();
+        let mut reg2 = SurrogateRegistry::new();
+        let d2 = factor_state(&mut s, &mut reg2, &proj, employee, &mut out).unwrap();
+        assert_ne!(d1, d2);
+        assert_eq!(s.cumulative_attrs(d1), proj);
+        assert_eq!(s.cumulative_attrs(d2), proj);
+        s.validate().unwrap();
+    }
+}

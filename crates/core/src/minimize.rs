@@ -1,0 +1,210 @@
+//! Surrogate minimization — the paper's §7 open problem.
+//!
+//! "It needs to be investigated how — if at all — the number of surrogate
+//! types with empty states can be reduced in the refactored type
+//! hierarchy, particularly when views are defined over views."
+//!
+//! This pass implements a conservative answer: a surrogate is *removable*
+//! when it carries no state, no method mentions it (specializer, result or
+//! local-variable type), and contracting it — splicing its supertypes into
+//! each of its direct subtypes at the surrogate's precedence slot — leaves
+//! every other type's class precedence list (restricted to the remaining
+//! types) unchanged. The CPL condition is checked, not assumed: each
+//! removal is attempted transactionally against a snapshot and rolled back
+//! if any observable order shifts. Because dispatch ranking is a function
+//! of CPL positions and no method mentions the victim, unchanged CPLs
+//! imply unchanged dispatch.
+
+use std::collections::BTreeSet;
+use td_model::{Schema, SuperLink, TypeId, ValueType};
+
+use crate::error::Result;
+
+/// Outcome of a minimization run.
+#[derive(Debug, Clone, Default)]
+pub struct MinimizeOutcome {
+    /// Surrogates removed, in removal order.
+    pub removed: Vec<TypeId>,
+    /// Candidate surrogates examined (including kept ones).
+    pub examined: usize,
+}
+
+/// Repeatedly removes removable empty surrogates until none is left.
+/// Types in `protected` (typically the derived view types themselves) are
+/// never removed.
+pub fn minimize_surrogates(
+    schema: &mut Schema,
+    protected: &BTreeSet<TypeId>,
+) -> Result<MinimizeOutcome> {
+    let mut outcome = MinimizeOutcome::default();
+    loop {
+        let candidates: Vec<TypeId> = schema
+            .live_type_ids()
+            .filter(|&t| schema.type_(t).is_surrogate() && !protected.contains(&t))
+            .collect();
+        let mut removed_this_round = false;
+        for s in candidates {
+            if !schema.is_live(s) {
+                continue;
+            }
+            outcome.examined += 1;
+            if try_remove(schema, s)? {
+                outcome.removed.push(s);
+                removed_this_round = true;
+            }
+        }
+        if !removed_this_round {
+            return Ok(outcome);
+        }
+    }
+}
+
+/// True when some method mentions `t` in a specializer, result type or
+/// local-variable declaration.
+fn mentioned_by_methods(schema: &Schema, t: TypeId) -> bool {
+    schema.method_ids().any(|m| {
+        let method = schema.method(m);
+        if method.type_specializers().any(|(_, ty)| ty == t) {
+            return true;
+        }
+        if method.result == Some(ValueType::Object(t)) {
+            return true;
+        }
+        method
+            .body()
+            .map(|b| b.locals.iter().any(|l| l.ty == ValueType::Object(t)))
+            .unwrap_or(false)
+    })
+}
+
+fn try_remove(schema: &mut Schema, s: TypeId) -> Result<bool> {
+    if !schema.type_(s).local_attrs.is_empty() || mentioned_by_methods(schema, s) {
+        return Ok(false);
+    }
+    let snapshot = schema.clone();
+
+    // Contract: each direct subtype adopts s's supertypes at s's slot.
+    let s_supers: Vec<SuperLink> = schema.type_(s).supers().to_vec();
+    let subs = schema.direct_subtypes(s);
+    for &x in &subs {
+        let slot = schema
+            .type_(x)
+            .supers()
+            .iter()
+            .find(|l| l.target == s)
+            .map(|l| l.prec)
+            .expect("direct subtype has the edge");
+        schema.remove_super_edge(x, s);
+        for link in &s_supers {
+            // Only adopt supertypes that would otherwise become
+            // unreachable; re-adding an already-reachable one at s's slot
+            // can invert precedence (e.g. placing a type's surrogate ahead
+            // of the type itself).
+            if schema.is_subtype(x, link.target) {
+                continue;
+            }
+            schema.add_super_with_prec(x, link.target, slot)?;
+        }
+    }
+    for link in s_supers {
+        schema.remove_super_edge(s, link.target);
+    }
+    if schema.retire_type(s).is_err() {
+        *schema = snapshot;
+        return Ok(false);
+    }
+
+    // Semantic check: every remaining type's CPL, with s filtered from the
+    // old one, is unchanged; cumulative state is unchanged.
+    let snapshot_types: Vec<TypeId> = snapshot.live_type_ids().collect();
+    for t in snapshot_types {
+        if t == s {
+            continue;
+        }
+        let old_ok = snapshot.cpl(t);
+        let new_ok = schema.cpl(t);
+        let equal = match (old_ok, new_ok) {
+            (Ok(old), Ok(new)) => {
+                let old_f: Vec<TypeId> = old.into_iter().filter(|&x| x != s).collect();
+                old_f == new
+            }
+            _ => false,
+        };
+        if !equal || snapshot.cumulative_attrs(t) != schema.cumulative_attrs(t) {
+            *schema = snapshot;
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::{project_named, ProjectionOptions};
+    use td_model::ValueType;
+
+    /// Chain C <= B <= A with one attribute at A; projecting it from C
+    /// creates three surrogates, of which ^C (derived, protected) keeps
+    /// the view, ^B and ^A... ^A holds the attribute, ^B is empty.
+    #[test]
+    fn removes_empty_intermediate_surrogate() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let _c = s.add_type("C", &[b]).unwrap();
+        s.add_attr("x", ValueType::INT, a).unwrap();
+        let d = project_named(&mut s, "C", &["x"], &ProjectionOptions::default()).unwrap();
+        assert!(d.invariants_ok());
+        let b_hat = s.type_id("^B").unwrap();
+        assert!(s.type_(b_hat).local_attrs.is_empty());
+
+        let protected: BTreeSet<TypeId> = [d.derived].into_iter().collect();
+        let out = minimize_surrogates(&mut s, &protected).unwrap();
+        // ^C is the derived type (protected, though empty); ^B is empty and
+        // removable; ^A holds x and must stay.
+        assert!(out.removed.contains(&b_hat));
+        assert!(s.type_id("^A").is_ok());
+        assert!(s.type_id("^B").is_err());
+        assert!(s.is_live(d.derived));
+        s.validate().unwrap();
+        // The derived view still sees exactly {x}.
+        let x = s.attr_id("x").unwrap();
+        assert_eq!(s.cumulative_attrs(d.derived), [x].into_iter().collect());
+        // B still reaches x through the contracted chain.
+        assert!(s.cumulative_attrs(s.type_id("B").unwrap()).contains(&x));
+    }
+
+    #[test]
+    fn keeps_surrogates_that_carry_state_or_methods() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let _b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        s.add_reader(x, a).unwrap();
+        let d = project_named(&mut s, "B", &["x"], &ProjectionOptions::default()).unwrap();
+        assert!(d.invariants_ok());
+        // ^A carries x (state) and get_x was factored onto it (method).
+        let a_hat = s.type_id("^A").unwrap();
+        let protected: BTreeSet<TypeId> = [d.derived].into_iter().collect();
+        let out = minimize_surrogates(&mut s, &protected).unwrap();
+        assert!(!out.removed.contains(&a_hat));
+        assert!(s.is_live(a_hat));
+    }
+
+    #[test]
+    fn protected_types_never_removed() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        s.add_attr("x", ValueType::INT, a).unwrap();
+        // Project only inherited state: the derived ^B is empty but is the
+        // whole point of the derivation.
+        let d = project_named(&mut s, "B", &["x"], &ProjectionOptions::default()).unwrap();
+        assert!(s.type_(d.derived).local_attrs.is_empty());
+        let protected: BTreeSet<TypeId> = [d.derived].into_iter().collect();
+        minimize_surrogates(&mut s, &protected).unwrap();
+        assert!(s.is_live(d.derived));
+        let _ = b;
+    }
+}

@@ -1,0 +1,166 @@
+//! The surrogate registry shared by `FactorState`, `FactorMethods` and
+//! `Augment`.
+//!
+//! §5: "A surrogate type is a type that assumes a part of the state or
+//! behavior of the source type from which it is spun off." Each derivation
+//! keeps one registry so that the §5.1 check "if the surrogate type T̂ for
+//! T and A does not already exist" and the §6.4 check "if Ŝ does not
+//! exist" consult the same mapping.
+
+use std::collections::HashMap;
+use td_model::{Schema, TypeId};
+
+use crate::error::Result;
+
+/// Which pass created a surrogate. `FactorMethods` only rewrites
+/// specializers to surrogates created by `FactorState` (§6.1); the body
+/// re-typing pass (§6.3) uses both kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateKind {
+    /// Created by `FactorState` — carries projected state.
+    Factor,
+    /// Created by `Augment` — empty-state, exists to keep re-typed method
+    /// bodies type-correct.
+    Augment,
+}
+
+/// Per-derivation mapping from source types to their surrogates.
+#[derive(Debug, Default, Clone)]
+pub struct SurrogateRegistry {
+    map: HashMap<TypeId, (TypeId, SurrogateKind)>,
+}
+
+impl SurrogateRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The surrogate for `source`, regardless of which pass created it.
+    pub fn surrogate(&self, source: TypeId) -> Option<TypeId> {
+        self.map.get(&source).map(|&(t, _)| t)
+    }
+
+    /// The surrogate for `source` only if `FactorState` created it.
+    pub fn factor_surrogate(&self, source: TypeId) -> Option<TypeId> {
+        match self.map.get(&source) {
+            Some(&(t, SurrogateKind::Factor)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the existing surrogate for `source` or creates one in
+    /// `schema` (named `^<source>`, disambiguated if taken) recording the
+    /// creating pass. The boolean is `true` when the surrogate was created
+    /// by this call — §5.1 branches on exactly that ("if type T̂ was
+    /// created in this call").
+    pub fn get_or_create(
+        &mut self,
+        schema: &mut Schema,
+        source: TypeId,
+        kind: SurrogateKind,
+    ) -> Result<(TypeId, bool)> {
+        if let Some(&(t, _)) = self.map.get(&source) {
+            return Ok((t, false));
+        }
+        let name = unique_surrogate_name(schema, schema.type_name(source));
+        let hat = schema.add_surrogate(name, source)?;
+        self.map.insert(source, (hat, kind));
+        Ok((hat, true))
+    }
+
+    /// All `(source, surrogate)` pairs created by the given pass, sorted by
+    /// source id for deterministic reporting.
+    pub fn pairs(&self, kind: SurrogateKind) -> Vec<(TypeId, TypeId)> {
+        let mut v: Vec<(TypeId, TypeId)> = self
+            .map
+            .iter()
+            .filter(|(_, &(_, k))| k == kind)
+            .map(|(&s, &(t, _))| (s, t))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All `(source, surrogate)` pairs from both passes, sorted.
+    pub fn all_pairs(&self) -> Vec<(TypeId, TypeId)> {
+        let mut v: Vec<(TypeId, TypeId)> =
+            self.map.iter().map(|(&s, &(t, _))| (s, t)).collect();
+        v.sort();
+        v
+    }
+
+    /// Number of surrogates registered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no surrogate has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Picks `^base`, falling back to `^base#2`, `^base#3`, … when a previous
+/// derivation already claimed the plain name.
+fn unique_surrogate_name(schema: &Schema, base: &str) -> String {
+    let plain = format!("^{base}");
+    if schema.type_id(&plain).is_err() {
+        return plain;
+    }
+    for i in 2.. {
+        let candidate = format!("^{base}#{i}");
+        if schema.type_id(&candidate).is_err() {
+            return candidate;
+        }
+    }
+    unreachable!("counter exhausted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let mut reg = SurrogateRegistry::new();
+        let (hat, created) = reg.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
+        assert!(created);
+        let (hat2, created2) = reg.get_or_create(&mut s, a, SurrogateKind::Augment).unwrap();
+        assert!(!created2);
+        assert_eq!(hat, hat2);
+        assert_eq!(s.type_name(hat), "^A");
+        assert_eq!(reg.surrogate(a), Some(hat));
+        // The kind recorded is the first creator's.
+        assert_eq!(reg.factor_surrogate(a), Some(hat));
+    }
+
+    #[test]
+    fn names_disambiguate_across_derivations() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let mut reg1 = SurrogateRegistry::new();
+        let (h1, _) = reg1.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
+        let mut reg2 = SurrogateRegistry::new();
+        let (h2, _) = reg2.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(s.type_name(h2), "^A#2");
+    }
+
+    #[test]
+    fn pairs_filter_by_kind() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[]).unwrap();
+        let mut reg = SurrogateRegistry::new();
+        let (ha, _) = reg.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
+        let (hb, _) = reg.get_or_create(&mut s, b, SurrogateKind::Augment).unwrap();
+        assert_eq!(reg.pairs(SurrogateKind::Factor), vec![(a, ha)]);
+        assert_eq!(reg.pairs(SurrogateKind::Augment), vec![(b, hb)]);
+        assert_eq!(reg.all_pairs().len(), 2);
+        assert_eq!(reg.factor_surrogate(b), None);
+        assert_eq!(reg.surrogate(b), Some(hb));
+    }
+}

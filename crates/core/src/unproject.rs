@@ -1,0 +1,200 @@
+//! Dropping a derived view: the inverse of [`crate::project`].
+//!
+//! Views are dynamic — the paper's premise is that they are derived "as a
+//! result of defining algebraic views over object types" — so a complete
+//! system must also *remove* them. Because a [`crate::Derivation`] records
+//! everything the pipeline did (attribute moves, signature rewrites,
+//! body re-typings, created surrogates), the derivation is invertible:
+//!
+//! 1. restore every rewritten method signature, result type and local
+//!    variable declaration;
+//! 2. move every relocated attribute back to its original owner;
+//! 3. unlink every surrogate (each source lost exactly one edge — the one
+//!    to its surrogate — and original-to-original edges were never
+//!    touched) and retire it.
+//!
+//! The result is *observably identical* to the pre-projection schema:
+//! same hierarchy rendering, same method signatures and bodies, same
+//! dispatch. (Arena slots of retired surrogates remain allocated; ids of
+//! original entities are untouched.)
+
+use td_model::{Schema, ValueType};
+
+use crate::error::{CoreError, Result};
+use crate::projection::Derivation;
+
+/// Removes the view created by `derivation`, restoring the schema.
+///
+/// Fails (without modifying anything) if later derivations still depend
+/// on this one — i.e. some surrogate of this derivation has a subtype
+/// edge from a type this derivation did not create (a stacked view must
+/// be dropped first, inner-most last).
+pub fn unproject(schema: &mut Schema, derivation: &Derivation) -> Result<()> {
+    let mut surrogates: Vec<_> = derivation
+        .factor_surrogates
+        .iter()
+        .chain(derivation.augment_surrogates.iter())
+        .copied()
+        .collect();
+
+    // -- pre-flight: every surrogate's subtypes are either its source or
+    //    another surrogate of this derivation.
+    for &(source, hat) in &surrogates {
+        if !schema.is_live(hat) {
+            return Err(CoreError::Model(td_model::ModelError::BadTypeId(hat)));
+        }
+        for sub in schema.direct_subtypes(hat) {
+            let internal = sub == source || surrogates.iter().any(|&(_, h)| h == sub);
+            if !internal {
+                return Err(CoreError::Model(td_model::ModelError::Invalid(format!(
+                    "cannot drop view {}: type {} still inherits from surrogate {}",
+                    schema.type_name(derivation.derived),
+                    schema.type_name(sub),
+                    schema.type_name(hat)
+                ))));
+            }
+        }
+        // A later derivation may also have factored the surrogate itself.
+        if schema
+            .type_(hat)
+            .super_ids()
+            .any(|s| schema.type_(s).surrogate_source() == Some(hat))
+        {
+            return Err(CoreError::Model(td_model::ModelError::Invalid(format!(
+                "cannot drop view {}: surrogate {} was itself factored by a later derivation",
+                schema.type_name(derivation.derived),
+                schema.type_name(hat)
+            ))));
+        }
+    }
+
+    // -- 1. restore method signatures, result types, local declarations.
+    for (m, old, _) in &derivation.signature_changes {
+        schema.method_mut(*m).specializers = old.clone();
+    }
+    for &(m, old, _) in &derivation.retypes.results {
+        schema.method_mut(m).result = Some(ValueType::Object(old));
+    }
+    for &(m, var, old, _) in &derivation.retypes.locals {
+        if let Some(body) = schema.method_mut(m).body_mut() {
+            body.locals[var.index()].ty = ValueType::Object(old);
+        }
+    }
+
+    // -- 2. move attributes home.
+    for &(attr, from, _to) in derivation.moved_attrs.iter().rev() {
+        schema.move_attr(attr, from)?;
+    }
+
+    // -- 3. unlink and retire surrogates (children before parents so the
+    //    retire pre-conditions hold; a reverse topological order works).
+    surrogates.sort_by_key(|&(_, hat)| std::cmp::Reverse(schema.ancestors(hat).len()));
+    for &(source, hat) in &surrogates {
+        schema.remove_super_edge(source, hat);
+        for sup in schema.type_(hat).super_ids().collect::<Vec<_>>() {
+            schema.remove_super_edge(hat, sup);
+        }
+        for sub in schema.direct_subtypes(hat) {
+            schema.remove_super_edge(sub, hat);
+        }
+        schema.retire_type(hat)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::{project_named, ProjectionOptions};
+    use td_workload::figures;
+
+    #[test]
+    fn unproject_restores_fig3_exactly() {
+        let mut s = figures::fig3_with_z1();
+        let before_h = s.render_hierarchy();
+        let before_m = s.render_methods();
+        let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
+            .unwrap();
+        assert_ne!(s.render_hierarchy(), before_h);
+
+        unproject(&mut s, &d).unwrap();
+        assert_eq!(s.render_hierarchy(), before_h);
+        assert_eq!(s.render_methods(), before_m);
+        s.validate().unwrap();
+        // z1's body declarations restored too.
+        let z1 = s.method_by_label("z1").unwrap();
+        let g = s.type_id("G").unwrap();
+        let body = s.method(z1).body().unwrap();
+        assert_eq!(body.locals[0].ty, ValueType::Object(g));
+        assert_eq!(s.method(z1).result, Some(ValueType::Object(g)));
+    }
+
+    #[test]
+    fn unproject_then_reproject_is_stable() {
+        let mut s = figures::fig1();
+        let d1 = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default())
+            .unwrap();
+        unproject(&mut s, &d1).unwrap();
+        let d2 = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default())
+            .unwrap();
+        assert!(d2.invariants_ok());
+        // The name ^Employee was freed by the drop and is reused.
+        assert_eq!(s.type_name(d2.derived), "^Employee");
+    }
+
+    #[test]
+    fn stacked_views_must_be_dropped_inner_first() {
+        let mut s = figures::fig1();
+        let d1 = project_named(
+            &mut s,
+            "Employee",
+            &["SSN", "date_of_birth"],
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
+        let inner_name = s.type_name(d1.derived).to_string();
+        let d2 = project_named(&mut s, &inner_name, &["SSN"], &ProjectionOptions::default())
+            .unwrap();
+
+        // Dropping the base view while the stacked one exists must fail…
+        let err = unproject(&mut s, &d1).unwrap_err();
+        assert!(err.to_string().contains("cannot drop view"));
+        s.validate().unwrap();
+
+        // …but inner-most-last works.
+        unproject(&mut s, &d2).unwrap();
+        unproject(&mut s, &d1).unwrap();
+        s.validate().unwrap();
+        assert!(s.type_id("^Employee").is_err());
+        assert_eq!(s.render_hierarchy(), figures::fig1().render_hierarchy());
+    }
+
+    #[test]
+    fn double_drop_fails_cleanly() {
+        let mut s = figures::fig1();
+        let d = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default())
+            .unwrap();
+        unproject(&mut s, &d).unwrap();
+        let err = unproject(&mut s, &d).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn unproject_restores_dispatch_observably() {
+        use td_model::CallArg;
+        let mut s = figures::fig1();
+        let employee = s.type_id("Employee").unwrap();
+        let age = s.gf_id("age").unwrap();
+        let before = s.most_specific(age, &[CallArg::Object(employee)]).unwrap();
+        let d = project_named(
+            &mut s,
+            "Employee",
+            &["SSN", "date_of_birth", "pay_rate"],
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
+        unproject(&mut s, &d).unwrap();
+        let after = s.most_specific(age, &[CallArg::Object(employee)]).unwrap();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,295 @@
+//! Edge cases of the derivation pipeline that the paper's examples never
+//! exercise.
+
+use std::collections::BTreeSet;
+use td_core::{
+    compute_applicability, project, project_named, unproject, ProjectionOptions,
+};
+use td_model::{
+    BodyBuilder, CallArg, Expr, MethodKind, Schema, Specializer, ValueType,
+};
+
+fn opts() -> ProjectionOptions {
+    ProjectionOptions::default()
+}
+
+/// Projecting a root type: no ancestors to factor, surrogate carries the
+/// projected locals directly.
+#[test]
+fn projection_over_a_root_type() {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).unwrap();
+    let x = s.add_attr("x", ValueType::INT, a).unwrap();
+    let _y = s.add_attr("y", ValueType::INT, a).unwrap();
+    s.add_accessors(x).unwrap();
+    let d = project_named(&mut s, "A", &["x"], &opts()).unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+    assert_eq!(d.factor_surrogates.len(), 1);
+    assert_eq!(s.cumulative_attrs(d.derived), [x].into_iter().collect());
+    // A keeps y locally, x lives on ^A.
+    assert_eq!(s.type_(a).local_attrs.len(), 1);
+}
+
+/// A type with two unrelated roots: both branches are factored when both
+/// carry projected attributes.
+#[test]
+fn projection_across_multiple_roots() {
+    let mut s = Schema::new();
+    let r1 = s.add_type("R1", &[]).unwrap();
+    let r2 = s.add_type("R2", &[]).unwrap();
+    let c = s.add_type("C", &[r1, r2]).unwrap();
+    let x1 = s.add_attr("x1", ValueType::INT, r1).unwrap();
+    let x2 = s.add_attr("x2", ValueType::INT, r2).unwrap();
+    s.add_attr("c1", ValueType::INT, c).unwrap();
+    let proj: BTreeSet<_> = [x1, x2].into_iter().collect();
+    let d = project(&mut s, c, &proj, &opts()).unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+    assert_eq!(d.factor_surrogates.len(), 3); // ^C ^R1 ^R2
+    assert_eq!(s.cumulative_attrs(d.derived), proj);
+    // The surrogate lattice mirrors the fork: ^C <= ^R1(1), ^R2(2).
+    let supers: Vec<&str> = s.type_(d.derived).super_ids().map(|t| s.type_name(t)).collect();
+    assert_eq!(supers, vec!["^R1", "^R2"]);
+}
+
+/// §4.1 case 2, isolated: a call with TWO source-derived arguments must
+/// find a method applicable to the call *as written* — a method that only
+/// matches after substituting the source at one position does not count.
+#[test]
+fn case_two_requires_all_combinations()  {
+    let mut s = Schema::new();
+    let b = s.add_type("B", &[]).unwrap();
+    let c = s.add_type("C", &[]).unwrap();
+    // A <= B, C.
+    let a = s.add_type("A", &[b, c]).unwrap();
+    let x = s.add_attr("x", ValueType::INT, b).unwrap();
+    let (get_x, _) = s.add_reader(x, b).unwrap();
+
+    // n has one method n1(A, A) = {get_x($0)} — applicable to the call
+    // n(A, A) but NOT to n(B, C).
+    let n = s.add_gf("n", 2, None).unwrap();
+    let mut bb = BodyBuilder::new();
+    bb.call(get_x, vec![Expr::Param(0)]);
+    let n1 = s
+        .add_method(
+            n,
+            "n1",
+            vec![Specializer::Type(a), Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+
+    // m1(B, C) = { n($0, $1) } — both arguments are source-derived, so
+    // case 2 applies: candidates must be applicable to n(B, C). n1 is
+    // not, so m1 dies even though n(Â, Â) would have a method.
+    let m = s.add_gf("m", 2, None).unwrap();
+    let mut bb = BodyBuilder::new();
+    bb.call(n, vec![Expr::Param(0), Expr::Param(1)]);
+    let m1 = s
+        .add_method(
+            m,
+            "m1",
+            vec![Specializer::Type(b), Specializer::Type(c)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+
+    let proj: BTreeSet<_> = [x].into_iter().collect();
+    let r = compute_applicability(&s, a, &proj, false).unwrap();
+    assert!(!r.is_applicable(m1), "case 2 must reject m1");
+    // n1 itself is applicable (its relevant call bottoms out in get_x).
+    assert!(r.is_applicable(n1));
+}
+
+/// §4.1 case 1, isolated: with a single source-derived argument the
+/// candidate set substitutes the source type, so a *more specific* method
+/// unusable at the static type still rescues the call.
+#[test]
+fn case_one_substitutes_the_source() {
+    let mut s = Schema::new();
+    let b = s.add_type("B", &[]).unwrap();
+    let a = s.add_type("A", &[b]).unwrap();
+    let x = s.add_attr("x", ValueType::INT, a).unwrap();
+    let (get_x, _) = s.add_reader(x, a).unwrap();
+
+    // n1(A) reads projected state; there is NO method n(B).
+    let n = s.add_gf("n", 1, None).unwrap();
+    let mut bb = BodyBuilder::new();
+    bb.call(get_x, vec![Expr::Param(0)]);
+    s.add_method(n, "n1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+        .unwrap();
+
+    // m1(B) = { n($0) }: statically, n(B) has no applicable method at
+    // all; case 1 substitutes A and finds n1.
+    let m = s.add_gf("m", 1, None).unwrap();
+    let mut bb = BodyBuilder::new();
+    bb.call(n, vec![Expr::Param(0)]);
+    let m1 = s
+        .add_method(m, "m1", vec![Specializer::Type(b)], MethodKind::General(bb.finish()), None)
+        .unwrap();
+
+    let proj: BTreeSet<_> = [x].into_iter().collect();
+    let r = compute_applicability(&s, a, &proj, false).unwrap();
+    assert!(r.is_applicable(m1), "case 1 must substitute the source type");
+}
+
+/// Writers follow the same accessor rule as readers.
+#[test]
+fn writer_applicability_follows_projection() {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).unwrap();
+    let x = s.add_attr("x", ValueType::INT, a).unwrap();
+    let y = s.add_attr("y", ValueType::INT, a).unwrap();
+    s.add_accessors(x).unwrap();
+    s.add_accessors(y).unwrap();
+    let d = project_named(&mut s, "A", &["x"], &opts()).unwrap();
+    let labels: Vec<&str> = d
+        .applicable()
+        .iter()
+        .map(|&m| s.method(m).label.as_str())
+        .collect();
+    assert!(labels.contains(&"get_x"));
+    assert!(labels.contains(&"set_x"));
+    assert!(!labels.contains(&"get_y"));
+    assert!(!labels.contains(&"set_y"));
+    // set_x was factored with its prim position intact.
+    let set_x = s.method_by_label("set_x").unwrap();
+    assert!(matches!(
+        s.method(set_x).specializers[1],
+        Specializer::Prim(_)
+    ));
+    assert!(d.invariants_ok());
+}
+
+/// Three stacked derivations, then dropped outer-first, restore the
+/// original schema exactly.
+#[test]
+fn three_deep_stack_and_unwind() {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).unwrap();
+    for n in ["x", "y", "z"] {
+        let attr = s.add_attr(n, ValueType::INT, a).unwrap();
+        s.add_accessors(attr).unwrap();
+    }
+    let pristine_h = s.render_hierarchy();
+    let pristine_m = s.render_methods();
+
+    let d1 = project_named(&mut s, "A", &["x", "y"], &opts()).unwrap();
+    let v1 = s.type_name(d1.derived).to_string();
+    let d2 = project_named(&mut s, &v1, &["x"], &opts()).unwrap();
+    let v2 = s.type_name(d2.derived).to_string();
+    let d3 = project_named(&mut s, &v2, &["x"], &opts()).unwrap();
+    assert!(d1.invariants_ok() && d2.invariants_ok() && d3.invariants_ok());
+    let x = s.attr_id("x").unwrap();
+    assert_eq!(s.cumulative_attrs(d3.derived), [x].into_iter().collect());
+
+    unproject(&mut s, &d3).unwrap();
+    unproject(&mut s, &d2).unwrap();
+    unproject(&mut s, &d1).unwrap();
+    assert_eq!(s.render_hierarchy(), pristine_h);
+    assert_eq!(s.render_methods(), pristine_m);
+    s.validate().unwrap();
+}
+
+/// A generic function whose methods specialize only on primitives never
+/// enters the applicability universe.
+#[test]
+fn prim_only_methods_are_outside_the_universe() {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).unwrap();
+    let x = s.add_attr("x", ValueType::INT, a).unwrap();
+    s.add_reader(x, a).unwrap();
+    let f = s.add_gf("f", 1, None).unwrap();
+    let m = s
+        .add_method(
+            f,
+            "f_prim",
+            vec![Specializer::Prim(td_model::PrimType::Int)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+    let proj: BTreeSet<_> = [x].into_iter().collect();
+    let r = compute_applicability(&s, a, &proj, false).unwrap();
+    assert!(!r.universe.contains(&m));
+    let d = project(&mut s, a, &proj, &opts()).unwrap();
+    assert!(d.invariants_ok());
+    // The prim-only method keeps its signature.
+    assert_eq!(
+        s.method(m).specializers,
+        vec![Specializer::Prim(td_model::PrimType::Int)]
+    );
+}
+
+/// Projected attributes reachable through a diamond are factored once and
+/// inherited once.
+#[test]
+fn diamond_projection_inherits_once() {
+    let mut s = Schema::new();
+    let top = s.add_type("Top", &[]).unwrap();
+    let l = s.add_type("L", &[top]).unwrap();
+    let r = s.add_type("R", &[top]).unwrap();
+    let bottom = s.add_type("Bottom", &[l, r]).unwrap();
+    let t = s.add_attr("t", ValueType::INT, top).unwrap();
+    s.add_attr("l", ValueType::INT, l).unwrap();
+    s.add_attr("r", ValueType::INT, r).unwrap();
+    let proj: BTreeSet<_> = [t].into_iter().collect();
+    let d = project(&mut s, bottom, &proj, &opts()).unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+    // ^Top exists once; both ^L and ^R inherit from it.
+    let top_hat = s.type_id("^Top").unwrap();
+    let l_hat = s.type_id("^L").unwrap();
+    let r_hat = s.type_id("^R").unwrap();
+    assert!(s.is_subtype(l_hat, top_hat));
+    assert!(s.is_subtype(r_hat, top_hat));
+    assert_eq!(s.cumulative_attrs(d.derived).len(), 1);
+}
+
+/// Projection lists are order-insensitive (they are sets).
+#[test]
+fn projection_is_a_set() {
+    let mut s1 = td_workload::figures::fig1();
+    let mut s2 = td_workload::figures::fig1();
+    let d1 = project_named(&mut s1, "Employee", &["SSN", "pay_rate"], &opts()).unwrap();
+    let d2 = project_named(&mut s2, "Employee", &["pay_rate", "SSN"], &opts()).unwrap();
+    assert_eq!(s1.render_hierarchy(), s2.render_hierarchy());
+    assert_eq!(
+        d1.applicable().len(),
+        d2.applicable().len()
+    );
+}
+
+/// Dispatch on the derived type selects among factored methods with the
+/// same relative precedence as the originals had.
+#[test]
+fn derived_type_dispatch_mirrors_source_ranking() {
+    let mut s = Schema::new();
+    let p = s.add_type("P", &[]).unwrap();
+    let e = s.add_type("E", &[p]).unwrap();
+    let x = s.add_attr("x", ValueType::INT, p).unwrap();
+    let (get_x, _) = s.add_reader(x, p).unwrap();
+    let f = s.add_gf("f", 1, Some(ValueType::INT)).unwrap();
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::call(get_x, vec![Expr::Param(0)]));
+    let f_p = s
+        .add_method(f, "f_p", vec![Specializer::Type(p)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .unwrap();
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::call(get_x, vec![Expr::Param(0)]));
+    let f_e = s
+        .add_method(f, "f_e", vec![Specializer::Type(e)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .unwrap();
+
+    let proj: BTreeSet<_> = [x].into_iter().collect();
+    let d = project(&mut s, e, &proj, &opts()).unwrap();
+    assert!(d.invariants_ok());
+    // Both survive; on the derived type the (factored) f_e outranks f_p,
+    // mirroring the original E ranking.
+    assert!(d.applicable().contains(&f_p) && d.applicable().contains(&f_e));
+    let ranked = s.rank_applicable(f, &[CallArg::Object(d.derived)]).unwrap();
+    assert_eq!(ranked, vec![f_e, f_p]);
+    // And on the original E nothing changed.
+    let ranked = s.rank_applicable(f, &[CallArg::Object(e)]).unwrap();
+    assert_eq!(ranked, vec![f_e, f_p]);
+}

@@ -1,0 +1,292 @@
+//! Golden tests: the paper's worked examples, end to end.
+//!
+//! * Example 1 (§4.2): `IsApplicable` over the Figure 3 schema for
+//!   `Π_{a2,e2,h2}(A)` classifies exactly {v1, u3, w2, get_h2} applicable.
+//! * Figure 4 (§5.2): `FactorState` produces surrogates for A, B, C, E,
+//!   F, H (not D, G) with the exact wiring and attribute moves drawn.
+//! * Example 3 (§6.2): factored signatures v1(Â,Ĉ), u3(B̂), w2(Ĉ),
+//!   get_h2(B̂).
+//! * Example 4 / Figure 5 (§6.4–6.5): with the z1 body, Z = {D, G} and
+//!   `Augment` adds D̂ and Ĝ wired as in Figure 5.
+
+use std::collections::BTreeSet;
+use td_core::{applicability_fixpoint, project_named, ProjectionOptions, TraceEvent};
+use td_model::{MethodId, Schema, Specializer, TypeId};
+use td_workload::figures;
+
+fn labels(s: &Schema, ms: &[MethodId]) -> BTreeSet<String> {
+    ms.iter().map(|&m| s.method(m).label.clone()).collect()
+}
+
+fn set(names: &[&str]) -> BTreeSet<String> {
+    names.iter().map(|n| n.to_string()).collect()
+}
+
+#[test]
+fn example_1_applicability() {
+    let mut s = figures::fig3();
+    let opts = ProjectionOptions {
+        record_trace: true,
+        ..Default::default()
+    };
+    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &opts).unwrap();
+
+    assert_eq!(
+        labels(&s, d.applicable()),
+        set(figures::EX1_APPLICABLE),
+        "applicable set must match Example 1"
+    );
+    assert_eq!(
+        labels(&s, d.not_applicable()),
+        set(figures::EX1_NOT_APPLICABLE),
+        "not-applicable set must match Example 1"
+    );
+
+    // The x1/y1 interplay the paper narrates: y1 is optimistically
+    // assumed applicable during the x1 test, then retracted when x1
+    // fails, and finally classified not applicable.
+    let y1 = s.method_by_label("y1").unwrap();
+    let x1 = s.method_by_label("x1").unwrap();
+    let retraction = d.applicability.trace.iter().any(|e| {
+        matches!(e, TraceEvent::DependentsRetracted { failed, removed }
+                 if *failed == x1 && removed.contains(&y1))
+    });
+    assert!(retraction, "y1 must be retracted when x1 fails");
+    let cycle = d.applicability.trace.iter().any(|e| {
+        matches!(e, TraceEvent::CycleAssumed { method, dependents }
+                 if *method == x1 && dependents.contains(&y1))
+    });
+    assert!(cycle, "x1 must be optimistically assumed while testing y1");
+
+    // Independent oracle agrees.
+    let a = s2_source();
+    let (schema2, proj2) = a;
+    let fix = applicability_fixpoint(&schema2, proj2.0, &proj2.1).unwrap();
+    let fix_labels: BTreeSet<String> =
+        fix.iter().map(|&m| schema2.method(m).label.clone()).collect();
+    assert_eq!(fix_labels, set(figures::EX1_APPLICABLE));
+}
+
+/// Fresh Figure 3 schema plus the (source, projection) pair of §4.2, for
+/// runs that must not see the mutated hierarchy.
+fn s2_source() -> (Schema, (TypeId, BTreeSet<td_model::AttrId>)) {
+    let s = figures::fig3();
+    let a = s.type_id("A").unwrap();
+    let proj = figures::FIG4_PROJECTION
+        .iter()
+        .map(|n| s.attr_id(n).unwrap())
+        .collect();
+    (s, (a, proj))
+}
+
+#[test]
+fn figure_4_factored_hierarchy() {
+    let mut s = figures::fig3();
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+
+    // Exactly the six surrogates of Figure 4, none for D or G.
+    let sources: BTreeSet<String> = d
+        .factor_surrogates
+        .iter()
+        .map(|&(src, _)| s.type_name(src).to_string())
+        .collect();
+    assert_eq!(
+        sources,
+        figures::FIG4_SURROGATE_SOURCES
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<BTreeSet<_>>()
+    );
+    assert!(d.augment_surrogates.is_empty(), "no Augment without z1");
+
+    // Attribute moves: a2 -> ^A, e2 -> ^E, h2 -> ^H (exact order of the
+    // §5.2 trace: a2 first, then the C-branch reaches H, then E).
+    let moved: Vec<(String, String, String)> = d
+        .moved_attrs
+        .iter()
+        .map(|&(a, from, to)| {
+            (
+                s.attr(a).name.clone(),
+                s.type_name(from).to_string(),
+                s.type_name(to).to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        moved,
+        vec![
+            ("a2".into(), "A".into(), "^A".into()),
+            ("h2".into(), "H".into(), "^H".into()),
+            ("e2".into(), "E".into(), "^E".into()),
+        ]
+    );
+
+    // The exact wiring of Figure 4 (supertype lists with precedences).
+    let render = s.render_hierarchy();
+    let expect_lines = [
+        "A {a1} <- ^A(0) C(1) B(2)",
+        "^A [surrogate of A] {a2} <- ^C(1) ^B(2)",
+        "B {b1} <- ^B(0) D(1) E(2)",
+        "^B [surrogate of B] {} <- ^E(2)",
+        "C {c1} <- ^C(0) F(1) E(2)",
+        "^C [surrogate of C] {} <- ^F(1) ^E(2)",
+        "E {e1} <- ^E(0) G(1) H(2)",
+        "^E [surrogate of E] {e2} <- ^H(2)",
+        "F {f1} <- ^F(0) H(1)",
+        "^F [surrogate of F] {} <- ^H(1)",
+        "H {h1} <- ^H(0)",
+        "^H [surrogate of H] {h2}",
+        "D {d1}",
+        "G {g1}",
+    ];
+    for line in expect_lines {
+        assert!(
+            render.lines().any(|l| l == line),
+            "missing hierarchy line `{line}` in:\n{render}"
+        );
+    }
+
+    // Derived type state is exactly the projection.
+    let e_hat = s.type_id("^A").unwrap();
+    assert_eq!(d.derived, e_hat);
+    let cum: BTreeSet<String> = s
+        .cumulative_attrs(e_hat)
+        .into_iter()
+        .map(|a| s.attr(a).name.clone())
+        .collect();
+    assert_eq!(cum, set(figures::FIG4_PROJECTION));
+}
+
+#[test]
+fn example_3_factored_signatures() {
+    let mut s = figures::fig3();
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    let rendered: BTreeSet<String> = d
+        .applicable()
+        .iter()
+        .map(|&m| s.render_signature(m))
+        .collect();
+    assert_eq!(rendered, set(figures::EX3_SIGNATURES));
+    // Non-applicable methods keep their original signatures.
+    let x1 = s.method_by_label("x1").unwrap();
+    assert_eq!(s.render_signature(x1), "x1(A, B)");
+}
+
+#[test]
+fn example_4_and_figure_5_augmentation() {
+    let mut s = figures::fig3_with_z1();
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+
+    // z1 is applicable (its only relevant call resolves through u3).
+    assert!(labels(&s, d.applicable()).contains("z1"));
+
+    // Z = {D, G} exactly as Example 4 posits.
+    let z_names: BTreeSet<String> = d
+        .z_types
+        .iter()
+        .map(|&t| s.type_name(t).to_string())
+        .collect();
+    assert_eq!(z_names, set(&["D", "G"]));
+
+    // Augment created ^G then ^D (the §6.4 walk reaches G through C's
+    // branch before it reaches D through B's).
+    let aug: Vec<(String, String)> = d
+        .augment_surrogates
+        .iter()
+        .map(|&(src, hat)| (s.type_name(src).to_string(), s.type_name(hat).to_string()))
+        .collect();
+    assert_eq!(
+        aug,
+        vec![
+            ("G".to_string(), "^G".to_string()),
+            ("D".to_string(), "^D".to_string())
+        ]
+    );
+
+    // Figure 5 wiring.
+    let render = s.render_hierarchy();
+    for line in [
+        "^G [surrogate of G] {}",
+        "G {g1} <- ^G(0)",
+        "^D [surrogate of D] {}",
+        "D {d1} <- ^D(0)",
+        "^E [surrogate of E] {e2} <- ^G(1) ^H(2)",
+        "^B [surrogate of B] {} <- ^D(1) ^E(2)",
+    ] {
+        assert!(
+            render.lines().any(|l| l == line),
+            "missing hierarchy line `{line}` in:\n{render}"
+        );
+    }
+
+    // z1's signature and body were re-typed: z1(^C, ^B), locals g: ^G and
+    // d: ^D, result ^G.
+    let z1 = s.method_by_label("z1").unwrap();
+    assert_eq!(s.render_signature(z1), "z1(^C, ^B)");
+    let c_hat = s.type_id("^C").unwrap();
+    let b_hat = s.type_id("^B").unwrap();
+    assert_eq!(
+        s.method(z1).specializers,
+        vec![Specializer::Type(c_hat), Specializer::Type(b_hat)]
+    );
+    let g_hat = s.type_id("^G").unwrap();
+    let d_hat = s.type_id("^D").unwrap();
+    let body = s.method(z1).body().unwrap();
+    assert_eq!(body.locals[0].ty, td_model::ValueType::Object(g_hat));
+    assert_eq!(body.locals[1].ty, td_model::ValueType::Object(d_hat));
+    assert_eq!(s.method(z1).result, Some(td_model::ValueType::Object(g_hat)));
+
+    // The re-typed assignment is type-correct: ^C <= ^G through ^E.
+    assert!(s.is_subtype(c_hat, g_hat));
+    assert!(s.is_subtype(b_hat, d_hat));
+    s.validate().unwrap();
+}
+
+#[test]
+fn figure_2_person_employee() {
+    let mut s = figures::fig1();
+    let d = project_named(
+        &mut s,
+        "Employee",
+        &["SSN", "date_of_birth", "pay_rate"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+    let app = labels(&s, d.applicable());
+    assert!(app.contains("age"));
+    assert!(app.contains("promote"));
+    assert!(!app.contains("income"));
+    let render = s.render_hierarchy();
+    for line in [
+        "^Person [surrogate of Person] {SSN, date_of_birth}",
+        "Person {name} <- ^Person(0)",
+        "^Employee [surrogate of Employee] {pay_rate} <- ^Person(1)",
+        "Employee {hrs_worked} <- ^Employee(0) Person(1)",
+    ] {
+        assert!(
+            render.lines().any(|l| l == line),
+            "missing hierarchy line `{line}` in:\n{render}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Attributes and the small value-type lattice they range over.
+//!
+//! Per §2 of the paper, the *state* of a type is a set of named attributes,
+//! each associated with a type. We distinguish primitive-valued attributes
+//! (integers, floats, booleans, strings) from object-valued attributes that
+//! reference another type in the hierarchy. Attribute names are globally
+//! unique (a simplifying assumption made by the paper and enforced here).
+
+use crate::ids::TypeId;
+use std::fmt;
+
+/// Primitive (non-object) value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for PrimType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimType::Int => write!(f, "int"),
+            PrimType::Float => write!(f, "float"),
+            PrimType::Bool => write!(f, "bool"),
+            PrimType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// The static type of an attribute, variable, parameter or result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// A primitive value.
+    Prim(PrimType),
+    /// A reference to an instance of the given type (or any subtype —
+    /// inclusion polymorphism, §2).
+    Object(TypeId),
+}
+
+impl ValueType {
+    /// Shorthand for `ValueType::Prim(PrimType::Int)`.
+    pub const INT: ValueType = ValueType::Prim(PrimType::Int);
+    /// Shorthand for `ValueType::Prim(PrimType::Float)`.
+    pub const FLOAT: ValueType = ValueType::Prim(PrimType::Float);
+    /// Shorthand for `ValueType::Prim(PrimType::Bool)`.
+    pub const BOOL: ValueType = ValueType::Prim(PrimType::Bool);
+    /// Shorthand for `ValueType::Prim(PrimType::Str)`.
+    pub const STR: ValueType = ValueType::Prim(PrimType::Str);
+
+    /// Returns the referenced type if this is an object type.
+    #[inline]
+    pub fn as_object(self) -> Option<TypeId> {
+        match self {
+            ValueType::Object(t) => Some(t),
+            ValueType::Prim(_) => None,
+        }
+    }
+
+    /// True if this is an object type.
+    #[inline]
+    pub fn is_object(self) -> bool {
+        matches!(self, ValueType::Object(_))
+    }
+}
+
+impl From<PrimType> for ValueType {
+    fn from(p: PrimType) -> Self {
+        ValueType::Prim(p)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Prim(p) => write!(f, "{p}"),
+            ValueType::Object(t) => write!(f, "obj({t})"),
+        }
+    }
+}
+
+/// Definition of one named attribute.
+///
+/// The *owner* is where the attribute is currently local; state
+/// factorization (§5) moves attributes between a type and its surrogate,
+/// which updates the owner but never the identity ([`crate::ids::AttrId`])
+/// of the attribute — that identity stability is what makes the paper's
+/// "same cumulative state" invariant checkable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Globally unique attribute name.
+    pub name: String,
+    /// Type of the attribute's values.
+    pub ty: ValueType,
+    /// The type at which the attribute is currently locally defined.
+    pub owner: TypeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_type_display() {
+        assert_eq!(ValueType::INT.to_string(), "int");
+        assert_eq!(ValueType::Object(TypeId(4)).to_string(), "obj(T4)");
+    }
+
+    #[test]
+    fn as_object() {
+        assert_eq!(ValueType::Object(TypeId(1)).as_object(), Some(TypeId(1)));
+        assert_eq!(ValueType::STR.as_object(), None);
+        assert!(ValueType::Object(TypeId(0)).is_object());
+        assert!(!ValueType::BOOL.is_object());
+    }
+
+    #[test]
+    fn prim_into_value_type() {
+        let v: ValueType = PrimType::Bool.into();
+        assert_eq!(v, ValueType::BOOL);
+    }
+}

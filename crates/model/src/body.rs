@@ -1,0 +1,360 @@
+//! A small imperative IR for method bodies.
+//!
+//! The paper's algorithms need to see *inside* method bodies:
+//!
+//! * `IsApplicable` (§4.1) walks "all generic function calls in the method
+//!   body that are relevant to the arguments of m" — found by data-flow
+//!   analysis over this IR ([`crate::dataflow`]).
+//! * Method-body processing (§6.3) re-types variables along def-use chains
+//!   ("the reachability set for the use of all parameters that are to be
+//!   converted to their corresponding surrogate types").
+//!
+//! The IR is deliberately tiny: straight-line statements, `if`, assignment,
+//! generic-function calls, a return, and just enough expression forms to
+//! write the paper's running examples and realistic demo methods. It has no
+//! loops — recursion happens through generic-function calls, which is
+//! exactly the case the paper's cycle handling addresses.
+
+use crate::attrs::ValueType;
+use crate::ids::{GfId, VarId};
+use std::fmt;
+
+/// Literal constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// The null object reference.
+    Null,
+}
+
+/// Binary operators usable inside bodies (for realistic demo methods;
+/// the derivation algorithms treat them as opaque primitive computations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (ints, floats) or concatenation (strings).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Less-than comparison.
+    Lt,
+    /// Equality comparison.
+    Eq,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Eq => "==",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The i-th formal parameter of the enclosing method.
+    Param(usize),
+    /// A local variable.
+    Var(VarId),
+    /// A literal constant.
+    Lit(Literal),
+    /// A call to a generic function — dispatch happens on the runtime
+    /// argument types (multi-methods, §2).
+    Call {
+        /// Called generic function.
+        gf: GfId,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A primitive binary operation.
+    BinOp {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a call expression.
+    pub fn call(gf: GfId, args: Vec<Expr>) -> Expr {
+        Expr::Call { gf, args }
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn binop(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::BinOp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Literal::Int(v))
+    }
+
+    /// Visits this expression and all sub-expressions, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::BinOp { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Param(_) | Expr::Var(_) | Expr::Lit(_) => {}
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var <- expr` — variable binding / assignment (the paper's `g ← c`).
+    Assign {
+        /// Target local variable.
+        var: VarId,
+        /// Assigned expression.
+        value: Expr,
+    },
+    /// Evaluate an expression for its effects (typically a call).
+    Expr(Expr),
+    /// Two-way conditional.
+    If {
+        /// Condition expression (boolean).
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// Return a value from the method.
+    Return(Expr),
+}
+
+/// A declared local variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalVar {
+    /// Variable name (for display only).
+    pub name: String,
+    /// Declared static type. §6.3 re-types object-typed locals to their
+    /// surrogate types when the def-use analysis requires it.
+    pub ty: ValueType,
+}
+
+/// A method body: declared locals plus a statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Body {
+    /// Declared local variables; [`VarId`] indexes this vector.
+    pub locals: Vec<LocalVar>,
+    /// Top-level statement sequence.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Body {
+    /// Creates an empty body.
+    pub fn new() -> Body {
+        Body::default()
+    }
+
+    /// Visits every statement in the body, including nested `if` branches,
+    /// in source order.
+    pub fn visit_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        fn walk<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+            for s in stmts {
+                f(s);
+                if let Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } = s
+                {
+                    walk(then_branch, f);
+                    walk(else_branch, f);
+                }
+            }
+        }
+        walk(&self.stmts, f);
+    }
+
+    /// Visits every expression appearing anywhere in the body (including
+    /// sub-expressions), in source order.
+    pub fn visit_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        self.visit_stmts(&mut |s| match s {
+            Stmt::Assign { value, .. } | Stmt::Expr(value) | Stmt::Return(value) => {
+                value.visit(f);
+            }
+            Stmt::If { cond, .. } => cond.visit(f),
+        });
+    }
+
+    /// Collects every generic-function call expression in the body,
+    /// outermost-first within each statement.
+    pub fn calls(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.visit_exprs(&mut |e| {
+            if matches!(e, Expr::Call { .. }) {
+                out.push(e);
+            }
+        });
+        out
+    }
+}
+
+/// Fluent builder for [`Body`] used by tests, examples and the workload
+/// generator.
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    body: Body,
+}
+
+impl BodyBuilder {
+    /// Creates a new empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a local variable, returning its id.
+    pub fn local(&mut self, name: impl Into<String>, ty: ValueType) -> VarId {
+        let id = VarId::from_index(self.body.locals.len());
+        self.body.locals.push(LocalVar {
+            name: name.into(),
+            ty,
+        });
+        id
+    }
+
+    /// Appends `var <- value`.
+    pub fn assign(&mut self, var: VarId, value: Expr) -> &mut Self {
+        self.body.stmts.push(Stmt::Assign { var, value });
+        self
+    }
+
+    /// Appends a statement-position call `gf(args)`.
+    pub fn call(&mut self, gf: GfId, args: Vec<Expr>) -> &mut Self {
+        self.body.stmts.push(Stmt::Expr(Expr::call(gf, args)));
+        self
+    }
+
+    /// Appends an arbitrary expression statement.
+    pub fn expr(&mut self, e: Expr) -> &mut Self {
+        self.body.stmts.push(Stmt::Expr(e));
+        self
+    }
+
+    /// Appends `return value`.
+    pub fn ret(&mut self, value: Expr) -> &mut Self {
+        self.body.stmts.push(Stmt::Return(value));
+        self
+    }
+
+    /// Appends an `if` statement.
+    pub fn if_(&mut self, cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> &mut Self {
+        self.body.stmts.push(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        });
+        self
+    }
+
+    /// Finishes the builder, yielding the body.
+    pub fn finish(self) -> Body {
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let mut b = BodyBuilder::new();
+        let g = b.local("g", ValueType::Object(crate::ids::TypeId(3)));
+        b.assign(g, Expr::Param(0));
+        b.call(GfId(1), vec![Expr::Param(0)]);
+        b.ret(Expr::Var(g));
+        let body = b.finish();
+        assert_eq!(body.locals.len(), 1);
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(body.stmts[0], Stmt::Assign { .. }));
+        assert!(matches!(body.stmts[2], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn calls_finds_nested_calls() {
+        // return f(g(p0), 1 + h(p1))
+        let inner_g = Expr::call(GfId(1), vec![Expr::Param(0)]);
+        let inner_h = Expr::call(GfId(2), vec![Expr::Param(1)]);
+        let sum = Expr::binop(BinOp::Add, Expr::int(1), inner_h);
+        let outer = Expr::call(GfId(0), vec![inner_g, sum]);
+        let body = Body {
+            locals: vec![],
+            stmts: vec![Stmt::Return(outer)],
+        };
+        let calls = body.calls();
+        assert_eq!(calls.len(), 3);
+        // Outermost first.
+        assert!(matches!(calls[0], Expr::Call { gf: GfId(0), .. }));
+    }
+
+    #[test]
+    fn visit_stmts_descends_into_if() {
+        let body = Body {
+            locals: vec![],
+            stmts: vec![Stmt::If {
+                cond: Expr::Lit(Literal::Bool(true)),
+                then_branch: vec![Stmt::Return(Expr::int(1))],
+                else_branch: vec![Stmt::Return(Expr::int(2))],
+            }],
+        };
+        let mut n = 0;
+        body.visit_stmts(&mut |_| n += 1);
+        assert_eq!(n, 3); // if + 2 returns
+    }
+
+    #[test]
+    fn visit_exprs_covers_condition() {
+        let body = Body {
+            locals: vec![],
+            stmts: vec![Stmt::If {
+                cond: Expr::call(GfId(5), vec![]),
+                then_branch: vec![],
+                else_branch: vec![],
+            }],
+        };
+        assert_eq!(body.calls().len(), 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Intraprocedural data-flow analyses over method bodies.
+//!
+//! The paper relies on (but does not spell out) two analyses:
+//!
+//! * §4.1: "the set of generic function calls in the body of `m_k` that
+//!   need to be checked … is determined by data flow analysis" — for each
+//!   call we must know which argument positions carry values that
+//!   *correspond to* (i.e. flow from) formal parameters of `m_k` whose
+//!   types are supertypes of the source type `T`.
+//! * §6.4: "the set of types that are assigned transitively a value of one
+//!   of the types in X … is determined by the standard definition-use flow
+//!   analysis" — assignments and returns induce type-to-type flow edges.
+//!
+//! Both are simple forward may-analyses; the IR has no loops (recursion is
+//! inter-method, handled by `IsApplicable`'s cycle machinery), so a
+//! fixpoint over the statement list converges in at most `#locals + 1`
+//! passes.
+
+use crate::attrs::{PrimType, ValueType};
+use crate::body::{BinOp, Expr, Literal, Stmt};
+use crate::dispatch::CallArg;
+use crate::error::Result;
+use crate::ids::{GfId, MethodId, TypeId};
+use crate::methods::Specializer;
+use crate::schema::Schema;
+
+/// One generic-function call found in a method body, with the static types
+/// of its arguments and the argument positions that carry source-relevant
+/// parameter flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called generic function.
+    pub gf: GfId,
+    /// Static type of each actual argument.
+    pub args: Vec<CallArg>,
+    /// Argument positions whose value flows from a formal parameter of the
+    /// enclosing method whose specializer is a supertype of the source
+    /// type, and whose own static type is also a supertype of the source
+    /// type — the positions §4.1's case analysis substitutes.
+    pub source_positions: Vec<usize>,
+}
+
+impl Schema {
+    /// Static type of an expression within `method`'s body, as a
+    /// [`CallArg`]. `Null` is returned for null literals and for calls to
+    /// generic functions without a declared result.
+    pub fn static_expr_type(&self, method: MethodId, expr: &Expr) -> CallArg {
+        let m = self.method(method);
+        match expr {
+            Expr::Param(i) => match m.specializers.get(*i) {
+                Some(Specializer::Type(t)) => CallArg::Object(*t),
+                Some(Specializer::Prim(p)) => CallArg::Prim(*p),
+                None => CallArg::Null,
+            },
+            Expr::Var(v) => match m.body().and_then(|b| b.locals.get(v.index())) {
+                Some(local) => match local.ty {
+                    ValueType::Object(t) => CallArg::Object(t),
+                    ValueType::Prim(p) => CallArg::Prim(p),
+                },
+                None => CallArg::Null,
+            },
+            Expr::Lit(Literal::Int(_)) => CallArg::Prim(PrimType::Int),
+            Expr::Lit(Literal::Float(_)) => CallArg::Prim(PrimType::Float),
+            Expr::Lit(Literal::Bool(_)) => CallArg::Prim(PrimType::Bool),
+            Expr::Lit(Literal::Str(_)) => CallArg::Prim(PrimType::Str),
+            Expr::Lit(Literal::Null) => CallArg::Null,
+            Expr::Call { gf, .. } => match self.gf(*gf).result {
+                Some(ValueType::Object(t)) => CallArg::Object(t),
+                Some(ValueType::Prim(p)) => CallArg::Prim(p),
+                None => CallArg::Null,
+            },
+            Expr::BinOp { op, lhs, .. } => match op {
+                BinOp::Lt | BinOp::Eq | BinOp::And | BinOp::Or => CallArg::Prim(PrimType::Bool),
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    self.static_expr_type(method, lhs)
+                }
+            },
+        }
+    }
+
+    /// Computes, for each local variable of `method`, whether a value
+    /// flowing from one of the `seed` parameters may reach it (forward
+    /// may-taint to fixpoint; `if` branches join with logical or).
+    pub fn taint_locals(&self, method: MethodId, seed: &[bool]) -> Vec<bool> {
+        let Some(body) = self.method(method).body() else {
+            return Vec::new();
+        };
+        let mut tainted = vec![false; body.locals.len()];
+        loop {
+            let mut changed = false;
+            body.visit_stmts(&mut |s| {
+                if let Stmt::Assign { var, value } = s {
+                    if !tainted[var.index()] && expr_tainted(value, seed, &tainted) {
+                        tainted[var.index()] = true;
+                        changed = true;
+                    }
+                }
+            });
+            if !changed {
+                return tainted;
+            }
+        }
+    }
+
+    /// All generic-function calls in `method`'s body with their static
+    /// argument types and source-relevant positions with respect to the
+    /// projection source type `source` (§4.1).
+    ///
+    /// Calls with no source-relevant position impose no applicability
+    /// constraint and are still returned (with empty `source_positions`)
+    /// so callers can see the whole call graph.
+    pub fn call_sites(&self, method: MethodId, source: TypeId) -> Result<Vec<CallSite>> {
+        self.check_type(source)?;
+        let m = self.method(method);
+        let Some(body) = m.body() else {
+            return Ok(Vec::new());
+        };
+        // Seed: parameters whose object specializer is a supertype of
+        // `source` ("those method arguments that are supertypes of the
+        // source type T").
+        let seed: Vec<bool> = m
+            .specializers
+            .iter()
+            .map(|s| matches!(s, Specializer::Type(t) if self.is_subtype(source, *t)))
+            .collect();
+        let tainted = self.taint_locals(method, &seed);
+
+        let mut out = Vec::new();
+        body.visit_exprs(&mut |e| {
+            if let Expr::Call { gf, args } = e {
+                let mut site = CallSite {
+                    gf: *gf,
+                    args: Vec::with_capacity(args.len()),
+                    source_positions: Vec::new(),
+                };
+                for (j, a) in args.iter().enumerate() {
+                    let st = self.static_expr_type(method, a);
+                    let flows_from_param = expr_tainted(a, &seed, &tainted);
+                    let supertype_of_source =
+                        matches!(st, CallArg::Object(u) if self.is_subtype(source, u));
+                    if flows_from_param && supertype_of_source {
+                        site.source_positions.push(j);
+                    }
+                    site.args.push(st);
+                }
+                out.push(site);
+            }
+        });
+        Ok(out)
+    }
+
+    /// Definition-use flow edges of `method` at the type level (§6.4):
+    /// `(target, value)` pairs where an expression whose static type is
+    /// `Object(value)` is assigned to a variable declared `Object(target)`
+    /// or returned from a method whose result is `Object(target)`.
+    pub fn assignment_edges(&self, method: MethodId) -> Vec<(TypeId, TypeId)> {
+        let m = self.method(method);
+        let Some(body) = m.body() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let result_obj = match m.result {
+            Some(ValueType::Object(t)) => Some(t),
+            _ => None,
+        };
+        body.visit_stmts(&mut |s| match s {
+            Stmt::Assign { var, value } => {
+                let target = match body.locals.get(var.index()).map(|l| l.ty) {
+                    Some(ValueType::Object(t)) => t,
+                    _ => return,
+                };
+                if let CallArg::Object(v) = self.static_expr_type(method, value) {
+                    out.push((target, v));
+                }
+            }
+            Stmt::Return(value) => {
+                if let (Some(target), CallArg::Object(v)) =
+                    (result_obj, self.static_expr_type(method, value))
+                {
+                    out.push((target, v));
+                }
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// True iff some `return` expression of `method` carries a value
+    /// flowing from one of the given parameter positions — used by §6.3's
+    /// "the result type of the method is processed in the same way".
+    pub fn returns_tainted(&self, method: MethodId, converted_params: &[usize]) -> bool {
+        let m = self.method(method);
+        let Some(body) = m.body() else {
+            return false;
+        };
+        let n = m.specializers.len();
+        let mut seed = vec![false; n];
+        for &p in converted_params {
+            if p < n {
+                seed[p] = true;
+            }
+        }
+        let tainted = self.taint_locals(method, &seed);
+        let mut found = false;
+        body.visit_stmts(&mut |s| {
+            if let Stmt::Return(e) = s {
+                if expr_tainted(e, &seed, &tainted) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Local variables of `method` whose declared (object) types must be
+    /// re-typed when the given parameter positions are converted to
+    /// surrogate types: the §6.3 "reachability set for the use of all
+    /// parameters that are to be converted".
+    pub fn locals_reached_by_params(
+        &self,
+        method: MethodId,
+        converted_params: &[usize],
+    ) -> Vec<crate::ids::VarId> {
+        let m = self.method(method);
+        let n = m.specializers.len();
+        let mut seed = vec![false; n];
+        for &p in converted_params {
+            if p < n {
+                seed[p] = true;
+            }
+        }
+        let tainted = self.taint_locals(method, &seed);
+        tainted
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| crate::ids::VarId::from_index(i))
+            .collect()
+    }
+}
+
+fn expr_tainted(e: &Expr, param_seed: &[bool], var_taint: &[bool]) -> bool {
+    match e {
+        Expr::Param(i) => param_seed.get(*i).copied().unwrap_or(false),
+        Expr::Var(v) => var_taint.get(v.index()).copied().unwrap_or(false),
+        // A call result is a fresh value, not "the parameter itself": the
+        // paper's correspondence is between call arguments and formals.
+        Expr::Call { .. } | Expr::Lit(_) => false,
+        Expr::BinOp { lhs, rhs, .. } => {
+            expr_tainted(lhs, param_seed, var_taint) || expr_tainted(rhs, param_seed, var_taint)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyBuilder;
+    use crate::methods::MethodKind;
+
+    /// B <= A. Method on B with locals and calls; source = B.
+    struct Fix {
+        s: Schema,
+        a: TypeId,
+        b: TypeId,
+        n: GfId,
+        m: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let n = s.add_gf("n", 1, Some(ValueType::Object(a))).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        // f(x: A) = { v: A; v <- x; n(v); n(n(x)) }
+        let mut bb = BodyBuilder::new();
+        let v = bb.local("v", ValueType::Object(a));
+        bb.assign(v, Expr::Param(0));
+        bb.call(n, vec![Expr::Var(v)]);
+        bb.call(n, vec![Expr::call(n, vec![Expr::Param(0)])]);
+        let m = s
+            .add_method(
+                f,
+                "f1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        Fix { s, a, b, n, m }
+    }
+
+    #[test]
+    fn taint_flows_through_assignment() {
+        let Fix { s, m, .. } = fix();
+        let tainted = s.taint_locals(m, &[true]);
+        assert_eq!(tainted, vec![true]);
+        let untainted = s.taint_locals(m, &[false]);
+        assert_eq!(untainted, vec![false]);
+    }
+
+    #[test]
+    fn call_sites_find_source_positions() {
+        let Fix { s, a, b, n, m } = fix();
+        let sites = s.call_sites(m, b).unwrap();
+        // Three calls: n(v), n(n(x)) outer, n(x) inner.
+        assert_eq!(sites.len(), 3);
+        // n(v): v is tainted and declared A, B <= A -> position 0 relevant.
+        assert_eq!(sites[0].gf, n);
+        assert_eq!(sites[0].source_positions, vec![0]);
+        assert_eq!(sites[0].args, vec![CallArg::Object(a)]);
+        // Outer n(n(x)): argument is a call result -> not a correspondence.
+        assert_eq!(sites[1].source_positions, Vec::<usize>::new());
+        // Inner n(x): x is the parameter itself.
+        assert_eq!(sites[2].source_positions, vec![0]);
+    }
+
+    #[test]
+    fn static_types_of_literals_and_ops() {
+        let Fix { s, m, .. } = fix();
+        assert_eq!(
+            s.static_expr_type(m, &Expr::int(3)),
+            CallArg::Prim(PrimType::Int)
+        );
+        assert_eq!(
+            s.static_expr_type(m, &Expr::Lit(Literal::Null)),
+            CallArg::Null
+        );
+        let cmp = Expr::binop(BinOp::Lt, Expr::int(1), Expr::int(2));
+        assert_eq!(s.static_expr_type(m, &cmp), CallArg::Prim(PrimType::Bool));
+        let add = Expr::binop(BinOp::Add, Expr::int(1), Expr::int(2));
+        assert_eq!(s.static_expr_type(m, &add), CallArg::Prim(PrimType::Int));
+    }
+
+    #[test]
+    fn assignment_edges_cover_assign_and_return() {
+        // z1(c: C) = { g: G; g <- c; return g }  — the paper's §6.3 example:
+        // assigning a C value into a G variable.
+        let mut s = Schema::new();
+        let g_ty = s.add_type("G", &[]).unwrap();
+        let c_ty = s.add_type("C", &[g_ty]).unwrap();
+        let z = s.add_gf("z", 1, Some(ValueType::Object(g_ty))).unwrap();
+        let mut bb = BodyBuilder::new();
+        let g = bb.local("g", ValueType::Object(g_ty));
+        bb.assign(g, Expr::Param(0));
+        bb.ret(Expr::Var(g));
+        let m = s
+            .add_method(
+                z,
+                "z1",
+                vec![Specializer::Type(c_ty)],
+                MethodKind::General(bb.finish()),
+                Some(ValueType::Object(g_ty)),
+            )
+            .unwrap();
+        let edges = s.assignment_edges(m);
+        assert_eq!(edges, vec![(g_ty, c_ty), (g_ty, g_ty)]);
+    }
+
+    #[test]
+    fn reachability_set_for_converted_params() {
+        let Fix { s, m, .. } = fix();
+        let vars = s.locals_reached_by_params(m, &[0]);
+        assert_eq!(vars.len(), 1);
+        let none = s.locals_reached_by_params(m, &[]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn taint_joins_if_branches() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        let v = bb.local("v", ValueType::Object(a));
+        let w = bb.local("w", ValueType::Object(a));
+        bb.if_(
+            Expr::Lit(Literal::Bool(true)),
+            vec![Stmt::Assign {
+                var: v,
+                value: Expr::Param(0),
+            }],
+            vec![],
+        );
+        // w <- v : tainted only via the then-branch.
+        bb.assign(w, Expr::Var(v));
+        let m = s
+            .add_method(
+                f,
+                "f1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        assert_eq!(s.taint_locals(m, &[true]), vec![true, true]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Multi-method applicability and dispatch (§2, §4).
+//!
+//! Two distinct notions of applicability appear in the paper and both live
+//! here:
+//!
+//! * **applicable to a type** — `m_k(T¹_k … Tⁿ_k)` is applicable to type
+//!   `T` if some `T ≤ Tⁱ_k`. This selects the methods whose behavior a
+//!   derived type *might* inherit; `IsApplicable` in `td-core` then filters
+//!   by what the bodies actually touch.
+//! * **applicable to a call** — `m_k` is applicable to the call
+//!   `m(T¹ … Tⁿ)` if `∀i. Tⁱ ≤ Tⁱ_k`.
+//!
+//! Among several methods applicable to a call, precedence is decided by the
+//! standard argument-ordered comparison: compare the CPL positions of the
+//! specializers in the actual argument types' CPLs, left to right.
+
+use crate::attrs::PrimType;
+use crate::error::Result;
+use crate::ids::{GfId, MethodId, TypeId};
+use crate::methods::Specializer;
+use crate::schema::Schema;
+
+/// The (static or dynamic) type of one actual argument of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallArg {
+    /// An object of the given type (an instance of it or, statically, an
+    /// expression of that declared type).
+    Object(TypeId),
+    /// A primitive of the given kind.
+    Prim(PrimType),
+    /// The null reference — compatible with every object specializer.
+    Null,
+}
+
+impl CallArg {
+    fn matches(self, schema: &Schema, spec: Specializer) -> bool {
+        match (self, spec) {
+            (CallArg::Object(t), Specializer::Type(s)) => schema.is_subtype(t, s),
+            (CallArg::Prim(p), Specializer::Prim(q)) => p == q,
+            (CallArg::Null, Specializer::Type(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Schema {
+    /// True iff method `m` is *applicable to the type* `t`: some object
+    /// specializer `Tⁱ` of `m` satisfies `t ≤ Tⁱ` (§4).
+    pub fn method_applicable_to_type(&self, m: MethodId, t: TypeId) -> bool {
+        self.method(m)
+            .type_specializers()
+            .any(|(_, spec)| self.is_subtype(t, spec))
+    }
+
+    /// All methods (of any generic function) applicable to the type `t`,
+    /// in method-id order. These are the candidates `IsApplicable` tests
+    /// for a projection over `t`.
+    pub fn methods_applicable_to_type(&self, t: TypeId) -> Vec<MethodId> {
+        self.method_ids()
+            .filter(|&m| self.method_applicable_to_type(m, t))
+            .collect()
+    }
+
+    /// True iff method `m` is applicable to a call of its generic function
+    /// with the given actual argument types.
+    pub fn method_applicable_to_call(&self, m: MethodId, args: &[CallArg]) -> bool {
+        let specs = &self.method(m).specializers;
+        specs.len() == args.len()
+            && args
+                .iter()
+                .zip(specs.iter())
+                .all(|(&a, &s)| a.matches(self, s))
+    }
+
+    /// The methods of `gf` applicable to a call with the given argument
+    /// types, in definition order (unranked).
+    pub fn applicable_methods(&self, gf: GfId, args: &[CallArg]) -> Vec<MethodId> {
+        self.gf(gf)
+            .methods
+            .iter()
+            .copied()
+            .filter(|&m| self.method_applicable_to_call(m, args))
+            .collect()
+    }
+
+    /// Per-type specificity ranks for one argument's CPL, with surrogate
+    /// collapse: a surrogate type ranks **equal to its source** when the
+    /// source also appears in the CPL.
+    ///
+    /// Rationale: factorization splits a type `Q` into `Q̂ + Q` whose
+    /// combination is observationally the original `Q` (§5), and inserts
+    /// `Q̂` immediately after `Q` in every CPL containing both. Ranking
+    /// `Q̂` at `Q`'s position extends that transparency to method
+    /// precedence — without it, rewriting an applicable method's
+    /// specializer from `Q` to `Q̂` (§6.1) would demote it by one rank and
+    /// could flip a tie it previously won at a later argument position,
+    /// changing dispatch for pre-existing types. For derived types (whose
+    /// CPLs contain only surrogates) the collapse is inert and positions
+    /// rank as-is.
+    fn collapsed_ranks(&self, cpl: &[TypeId]) -> Vec<(TypeId, usize)> {
+        let mut ranks: Vec<(TypeId, usize)> = Vec::with_capacity(cpl.len());
+        let mut next = 0usize;
+        for &t in cpl {
+            let collapsed = self
+                .type_(t)
+                .surrogate_source()
+                .and_then(|src| ranks.iter().find(|&&(x, _)| x == src).map(|&(_, r)| r));
+            match collapsed {
+                Some(r) => ranks.push((t, r)),
+                None => {
+                    ranks.push((t, next));
+                    next += 1;
+                }
+            }
+        }
+        ranks
+    }
+
+    /// The methods of `gf` applicable to the call, ranked most-specific
+    /// first by left-to-right argument CPL comparison (with surrogate
+    /// collapse — see [`Schema::rank_applicable`]'s source). Ties keep
+    /// definition order.
+    pub fn rank_applicable(&self, gf: GfId, args: &[CallArg]) -> Result<Vec<MethodId>> {
+        let applicable = self.applicable_methods(gf, args);
+        if applicable.len() <= 1 {
+            return Ok(applicable);
+        }
+        // Collapsed rank tables of the object-typed argument positions.
+        let mut cpls: Vec<Option<Vec<(TypeId, usize)>>> = Vec::with_capacity(args.len());
+        for &a in args {
+            cpls.push(match a {
+                CallArg::Object(t) => Some(self.collapsed_ranks(&self.cpl(t)?)),
+                CallArg::Prim(_) | CallArg::Null => None,
+            });
+        }
+        let rank_vec = |m: MethodId| -> Vec<usize> {
+            self.method(m)
+                .specializers
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| match (spec, &cpls[i]) {
+                    (Specializer::Type(s), Some(ranks)) => ranks
+                        .iter()
+                        .find(|&&(x, _)| x == *s)
+                        .map(|&(_, r)| r)
+                        .expect("applicable method specializer must appear in argument CPL"),
+                    _ => 0,
+                })
+                .collect()
+        };
+        let mut keyed: Vec<(Vec<usize>, MethodId)> =
+            applicable.into_iter().map(|m| (rank_vec(m), m)).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(keyed.into_iter().map(|(_, m)| m).collect())
+    }
+
+    /// The most specific applicable method for the call, if any.
+    pub fn most_specific(&self, gf: GfId, args: &[CallArg]) -> Result<Option<MethodId>> {
+        Ok(self.rank_applicable(gf, args)?.into_iter().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::ValueType;
+    use crate::methods::MethodKind;
+
+    /// B <= A; gf `f` with methods on A and B; gf `g2(A,A)` multi-method.
+    struct Fix {
+        s: Schema,
+        a: TypeId,
+        b: TypeId,
+        f: GfId,
+        f_a: MethodId,
+        f_b: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let f_a = s
+            .add_method(
+                f,
+                "f_a",
+                vec![Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        let f_b = s
+            .add_method(
+                f,
+                "f_b",
+                vec![Specializer::Type(b)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        Fix { s, a, b, f, f_a, f_b }
+    }
+
+    #[test]
+    fn applicable_to_type_uses_any_position() {
+        let Fix { s, a, b, f_a, f_b, .. } = fix();
+        assert!(s.method_applicable_to_type(f_a, b)); // b <= a
+        assert!(s.method_applicable_to_type(f_b, b));
+        assert!(s.method_applicable_to_type(f_a, a));
+        assert!(!s.method_applicable_to_type(f_b, a)); // a is not <= b
+    }
+
+    #[test]
+    fn call_applicability_and_ranking() {
+        let Fix { s, a, b, f, f_a, f_b } = fix();
+        let on_b = [CallArg::Object(b)];
+        assert_eq!(s.applicable_methods(f, &on_b), vec![f_a, f_b]);
+        assert_eq!(s.rank_applicable(f, &on_b).unwrap(), vec![f_b, f_a]);
+        assert_eq!(s.most_specific(f, &on_b).unwrap(), Some(f_b));
+        let on_a = [CallArg::Object(a)];
+        assert_eq!(s.rank_applicable(f, &on_a).unwrap(), vec![f_a]);
+        assert_eq!(s.most_specific(f, &on_a).unwrap(), Some(f_a));
+    }
+
+    #[test]
+    fn multi_method_left_to_right_precedence() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let g = s.add_gf("g", 2, None).unwrap();
+        // g1(B, A) vs g2(A, B): for call (B, B), left argument wins.
+        let g1 = s
+            .add_method(
+                g,
+                "g1",
+                vec![Specializer::Type(b), Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        let g2 = s
+            .add_method(
+                g,
+                "g2",
+                vec![Specializer::Type(a), Specializer::Type(b)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        let args = [CallArg::Object(b), CallArg::Object(b)];
+        assert_eq!(s.rank_applicable(g, &args).unwrap(), vec![g1, g2]);
+    }
+
+    #[test]
+    fn prim_and_null_args() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        s.add_accessors(x).unwrap();
+        let set = s.gf_id("set_x").unwrap();
+        let ok = [CallArg::Object(a), CallArg::Prim(PrimType::Int)];
+        assert_eq!(s.applicable_methods(set, &ok).len(), 1);
+        let bad_kind = [CallArg::Object(a), CallArg::Prim(PrimType::Str)];
+        assert!(s.applicable_methods(set, &bad_kind).is_empty());
+        let null_recv = [CallArg::Null, CallArg::Prim(PrimType::Int)];
+        assert_eq!(s.applicable_methods(set, &null_recv).len(), 1);
+    }
+
+    #[test]
+    fn wrong_arity_call_never_applicable() {
+        let Fix { s, b, f_a, .. } = fix();
+        assert!(!s.method_applicable_to_call(f_a, &[CallArg::Object(b), CallArg::Object(b)]));
+        assert!(!s.method_applicable_to_call(f_a, &[]));
+    }
+
+    #[test]
+    fn surrogate_insertion_preserves_most_specific() {
+        // The transparency property factorization relies on: retargeting a
+        // method from A to a fresh highest-precedence surrogate ^A does not
+        // change dispatch for existing types.
+        let Fix { mut s, a, b, f, f_a, f_b } = fix();
+        let hat = s.add_surrogate("^A", a).unwrap();
+        s.add_super_highest(a, hat).unwrap();
+        s.method_mut(f_a).specializers = vec![Specializer::Type(hat)];
+        assert_eq!(
+            s.most_specific(f, &[CallArg::Object(b)]).unwrap(),
+            Some(f_b)
+        );
+        assert_eq!(
+            s.most_specific(f, &[CallArg::Object(a)]).unwrap(),
+            Some(f_a)
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic textual rendering of schemas.
+//!
+//! The reproduction harness regenerates the paper's figures as text; golden
+//! tests compare against the hierarchies drawn in the paper. Output is
+//! sorted by type name so it is stable across runs and schema-construction
+//! orders.
+
+use crate::ids::TypeId;
+use crate::methods::Specializer;
+use crate::schema::Schema;
+use std::fmt::Write as _;
+
+impl Schema {
+    /// Renders the hierarchy, one line per live type:
+    ///
+    /// ```text
+    /// Employee {pay_rate, hrs_worked} <- Person(1)
+    /// ^Employee [surrogate of Employee] {pay_rate} <- ^Person(1)
+    /// ```
+    pub fn render_hierarchy(&self) -> String {
+        let mut ids: Vec<TypeId> = self.live_type_ids().collect();
+        ids.sort_by(|&x, &y| self.type_name(x).cmp(self.type_name(y)));
+        let mut out = String::new();
+        for t in ids {
+            let node = self.type_(t);
+            let _ = write!(out, "{}", node.name);
+            if let Some(src) = node.surrogate_source() {
+                let _ = write!(out, " [surrogate of {}]", self.type_name(src));
+            }
+            let attrs: Vec<&str> = node
+                .local_attrs
+                .iter()
+                .map(|&a| self.attr(a).name.as_str())
+                .collect();
+            let _ = write!(out, " {{{}}}", attrs.join(", "));
+            if !node.supers().is_empty() {
+                let supers: Vec<String> = node
+                    .supers()
+                    .iter()
+                    .map(|l| format!("{}({})", self.type_name(l.target), l.prec))
+                    .collect();
+                let _ = write!(out, " <- {}", supers.join(" "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the hierarchy as a Graphviz DOT digraph: subtype→supertype
+    /// edges labeled with precedence, surrogates drawn dashed and grouped
+    /// with their sources by color. Paste into `dot -Tsvg` to draw the
+    /// paper's figures.
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph hierarchy {\n  rankdir=BT;\n  node [shape=record];\n");
+        let mut ids: Vec<crate::ids::TypeId> = self.live_type_ids().collect();
+        ids.sort_by(|&x, &y| self.type_name(x).cmp(self.type_name(y)));
+        for t in ids.iter().copied() {
+            let node = self.type_(t);
+            let attrs: Vec<&str> = node
+                .local_attrs
+                .iter()
+                .map(|&a| self.attr(a).name.as_str())
+                .collect();
+            let style = if node.is_surrogate() {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [label=\"{{{}|{}}}\"{}];",
+                node.name,
+                node.name.replace('^', "\\^"),
+                attrs.join("\\n"),
+                style
+            );
+        }
+        for t in ids {
+            for link in self.type_(t).supers() {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                    self.type_name(t),
+                    self.type_name(link.target),
+                    link.prec
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders one method signature, e.g. `v1(^A, ^C)`.
+    pub fn render_signature(&self, m: crate::ids::MethodId) -> String {
+        let method = self.method(m);
+        let args: Vec<String> = method
+            .specializers
+            .iter()
+            .map(|s| match s {
+                Specializer::Type(t) => self.type_name(*t).to_string(),
+                Specializer::Prim(p) => p.to_string(),
+            })
+            .collect();
+        format!("{}({})", method.label, args.join(", "))
+    }
+
+    /// Renders every method signature grouped by generic function, sorted
+    /// by generic-function name then definition order.
+    pub fn render_methods(&self) -> String {
+        let mut gfs: Vec<_> = self.gf_ids().collect();
+        gfs.sort_by(|&x, &y| self.gf(x).name.cmp(&self.gf(y).name));
+        let mut out = String::new();
+        for g in gfs {
+            for &m in &self.gf(g).methods {
+                let _ = writeln!(out, "{}", self.render_signature(m));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::ValueType;
+    use crate::methods::MethodKind;
+
+    #[test]
+    fn hierarchy_rendering_is_sorted_and_complete() {
+        let mut s = Schema::new();
+        let p = s.add_type("Person", &[]).unwrap();
+        let e = s.add_type("Employee", &[p]).unwrap();
+        s.add_attr("name", ValueType::STR, p).unwrap();
+        s.add_attr("pay_rate", ValueType::FLOAT, e).unwrap();
+        let r = s.render_hierarchy();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "Employee {pay_rate} <- Person(1)");
+        assert_eq!(lines[1], "Person {name}");
+    }
+
+    #[test]
+    fn surrogates_are_annotated() {
+        let mut s = Schema::new();
+        let p = s.add_type("Person", &[]).unwrap();
+        let hat = s.add_surrogate("^Person", p).unwrap();
+        s.add_super_highest(p, hat).unwrap();
+        let r = s.render_hierarchy();
+        assert!(r.contains("^Person [surrogate of Person] {}"));
+        assert!(r.contains("Person {} <- ^Person(0)"));
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let mut s = Schema::new();
+        let p = s.add_type("Person", &[]).unwrap();
+        let e = s.add_type("Employee", &[p]).unwrap();
+        s.add_attr("pay", ValueType::FLOAT, e).unwrap();
+        let hat = s.add_surrogate("^Person", p).unwrap();
+        s.add_super_highest(p, hat).unwrap();
+        let dot = s.render_dot();
+        assert!(dot.starts_with("digraph hierarchy {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("\"Employee\" -> \"Person\" [label=\"1\"]"));
+        assert!(dot.contains("\"Person\" -> \"^Person\" [label=\"0\"]"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("pay"));
+    }
+
+    #[test]
+    fn signatures_render_types_and_prims() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        s.add_accessors(x).unwrap();
+        let f = s.add_gf("v", 2, None).unwrap();
+        let m = s
+            .add_method(
+                f,
+                "v1",
+                vec![Specializer::Type(a), Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        assert_eq!(s.render_signature(m), "v1(A, A)");
+        let methods = s.render_methods();
+        assert!(methods.contains("get_x(A)"));
+        assert!(methods.contains("set_x(A, int)"));
+        assert!(methods.contains("v1(A, A)"));
+    }
+}

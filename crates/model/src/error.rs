@@ -1,0 +1,164 @@
+//! Error type for schema construction and queries.
+
+use crate::ids::{AttrId, GfId, MethodId, TypeId};
+use std::fmt;
+
+/// Errors raised by schema construction, validation and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A type name was defined twice.
+    DuplicateTypeName(String),
+    /// An attribute name was defined twice. The paper assumes globally
+    /// unique attribute names (§2); the schema enforces that assumption.
+    DuplicateAttrName(String),
+    /// A generic-function name was defined twice.
+    DuplicateGfName(String),
+    /// Lookup of a type by name failed.
+    UnknownTypeName(String),
+    /// Lookup of an attribute by name failed.
+    UnknownAttrName(String),
+    /// Lookup of a generic function by name failed.
+    UnknownGfName(String),
+    /// A referenced `TypeId` is out of range for this schema.
+    BadTypeId(TypeId),
+    /// A referenced `AttrId` is out of range for this schema.
+    BadAttrId(AttrId),
+    /// A referenced `GfId` is out of range for this schema.
+    BadGfId(GfId),
+    /// A referenced `MethodId` is out of range for this schema.
+    BadMethodId(MethodId),
+    /// Adding a supertype edge would create a cycle in the hierarchy.
+    CycleIntroduced {
+        /// The would-be subtype.
+        sub: TypeId,
+        /// The would-be supertype.
+        sup: TypeId,
+    },
+    /// A supertype edge was added twice.
+    DuplicateSuperEdge {
+        /// The subtype.
+        sub: TypeId,
+        /// The supertype.
+        sup: TypeId,
+    },
+    /// A method was defined with the wrong number of specializers for its
+    /// generic function.
+    ArityMismatch {
+        /// The generic function.
+        gf: GfId,
+        /// Its declared arity.
+        expected: usize,
+        /// The offending specializer count.
+        got: usize,
+    },
+    /// An accessor method was declared for an attribute that is not
+    /// available (locally or by inheritance) at its specializer.
+    AccessorAttrUnavailable {
+        /// The accessed attribute.
+        attr: AttrId,
+        /// The accessor's specializer type.
+        at: TypeId,
+    },
+    /// A method body references a parameter index out of range.
+    BadParamIndex {
+        /// The offending method.
+        method: MethodId,
+        /// The out-of-range parameter index.
+        index: usize,
+    },
+    /// A method body references an undeclared local variable.
+    BadVarIndex {
+        /// The offending method.
+        method: MethodId,
+        /// The undeclared variable index.
+        index: usize,
+    },
+    /// A call in a method body passes the wrong number of arguments.
+    CallArityMismatch {
+        /// The called generic function.
+        gf: GfId,
+        /// Its declared arity.
+        expected: usize,
+        /// The argument count at the call site.
+        got: usize,
+    },
+    /// No class precedence list exists (inconsistent precedence constraints).
+    InconsistentPrecedence(TypeId),
+    /// The hierarchy contains a cycle (checked during validation).
+    CyclicHierarchy(TypeId),
+    /// A free-form validation failure with context.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateTypeName(n) => write!(f, "duplicate type name `{n}`"),
+            ModelError::DuplicateAttrName(n) => write!(f, "duplicate attribute name `{n}`"),
+            ModelError::DuplicateGfName(n) => write!(f, "duplicate generic function name `{n}`"),
+            ModelError::UnknownTypeName(n) => write!(f, "unknown type name `{n}`"),
+            ModelError::UnknownAttrName(n) => write!(f, "unknown attribute name `{n}`"),
+            ModelError::UnknownGfName(n) => write!(f, "unknown generic function name `{n}`"),
+            ModelError::BadTypeId(t) => write!(f, "type id {t} out of range"),
+            ModelError::BadAttrId(a) => write!(f, "attribute id {a} out of range"),
+            ModelError::BadGfId(g) => write!(f, "generic function id {g} out of range"),
+            ModelError::BadMethodId(m) => write!(f, "method id {m} out of range"),
+            ModelError::CycleIntroduced { sub, sup } => {
+                write!(f, "edge {sub} <= {sup} would create a cycle")
+            }
+            ModelError::DuplicateSuperEdge { sub, sup } => {
+                write!(f, "edge {sub} <= {sup} already exists")
+            }
+            ModelError::ArityMismatch { gf, expected, got } => write!(
+                f,
+                "method of {gf} has {got} specializers, generic function expects {expected}"
+            ),
+            ModelError::AccessorAttrUnavailable { attr, at } => {
+                write!(f, "accessor attribute {attr} is not available at type {at}")
+            }
+            ModelError::BadParamIndex { method, index } => {
+                write!(f, "method {method} references parameter #{index} out of range")
+            }
+            ModelError::BadVarIndex { method, index } => {
+                write!(f, "method {method} references local variable #{index} out of range")
+            }
+            ModelError::CallArityMismatch { gf, expected, got } => {
+                write!(f, "call to {gf} passes {got} arguments, expects {expected}")
+            }
+            ModelError::InconsistentPrecedence(t) => {
+                write!(f, "no class precedence list exists for type {t}")
+            }
+            ModelError::CyclicHierarchy(t) => {
+                write!(f, "type hierarchy contains a cycle through {t}")
+            }
+            ModelError::Invalid(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = ModelError::CycleIntroduced {
+            sub: TypeId(1),
+            sup: TypeId(2),
+        };
+        assert_eq!(e.to_string(), "edge T1 <= T2 would create a cycle");
+        let e = ModelError::UnknownTypeName("Foo".into());
+        assert!(e.to_string().contains("Foo"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(ModelError::BadTypeId(TypeId(0)));
+    }
+}

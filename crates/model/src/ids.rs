@@ -1,0 +1,106 @@
+//! Dense, copyable identifiers for every entity in a [`crate::Schema`].
+//!
+//! All identifiers are newtypes over `u32` indexing arenas inside the schema.
+//! They are cheap to copy, hash and order, and deliberately carry no
+//! lifetime or reference — the schema is the single source of truth and the
+//! projection algorithms mutate it heavily.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw arena index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a type (class) in the hierarchy.
+    TypeId,
+    "T"
+);
+id_newtype!(
+    /// Identifies a named attribute. Attribute names are globally unique
+    /// (a simplifying assumption stated in §2 of the paper).
+    AttrId,
+    "a"
+);
+id_newtype!(
+    /// Identifies a generic function (a named operation with a set of
+    /// type-specific methods).
+    GfId,
+    "g"
+);
+id_newtype!(
+    /// Identifies one method of a generic function.
+    MethodId,
+    "m"
+);
+id_newtype!(
+    /// Identifies a local variable within one method body.
+    VarId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let t = TypeId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t, TypeId(7));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TypeId(3).to_string(), "T3");
+        assert_eq!(AttrId(0).to_string(), "a0");
+        assert_eq!(GfId(1).to_string(), "g1");
+        assert_eq!(MethodId(9).to_string(), "m9");
+        assert_eq!(VarId(2).to_string(), "v2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TypeId(1) < TypeId(2));
+        assert!(MethodId(0) < MethodId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_overflow_panics() {
+        let _ = TypeId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,217 @@
+//! A precomputed subtype-reachability index.
+//!
+//! [`crate::Schema::is_subtype`] walks the DAG per query, which is right
+//! for the mutation-heavy factorization algorithms. Read-heavy consumers
+//! (bulk extent scans, repeated applicability sweeps, analysis tools)
+//! can build a [`SubtypeIndex`] once — an ancestor bitset per type — and
+//! answer queries in O(1).
+//!
+//! The index is a snapshot: it does **not** track later schema mutations.
+//! [`SubtypeIndex::is_current`] cheaply detects growth (new types), but a
+//! caller that mutates edges must rebuild.
+
+use crate::ids::TypeId;
+use crate::schema::Schema;
+
+/// Immutable O(1) subtype oracle for a schema snapshot.
+#[derive(Debug, Clone)]
+pub struct SubtypeIndex {
+    n: usize,
+    words_per_row: usize,
+    /// Row `t` = bitset of `t`'s ancestors, inclusive of `t`.
+    bits: Vec<u64>,
+}
+
+impl SubtypeIndex {
+    /// Builds the index from the current hierarchy (live types only;
+    /// retired slots have empty rows).
+    pub fn build(schema: &Schema) -> SubtypeIndex {
+        let n = schema.n_types();
+        let words_per_row = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * words_per_row];
+
+        // Process in topological order (supertypes before subtypes) so a
+        // row is the union of its direct supers' completed rows. Id order
+        // is not topological after factorization (surrogates get higher
+        // ids yet sit at the top), so compute the order by DFS.
+        let mut order: Vec<TypeId> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = new, 1 = open, 2 = done
+        for root in schema.live_type_ids() {
+            if state[root.index()] != 0 {
+                continue;
+            }
+            let mut stack = vec![(root, false)];
+            while let Some((t, finished)) = stack.pop() {
+                if finished {
+                    state[t.index()] = 2;
+                    order.push(t);
+                    continue;
+                }
+                if state[t.index()] != 0 {
+                    continue;
+                }
+                state[t.index()] = 1;
+                stack.push((t, true));
+                for link in schema.type_(t).supers() {
+                    if state[link.target.index()] == 0 {
+                        stack.push((link.target, false));
+                    }
+                }
+            }
+        }
+
+        for t in order {
+            let ti = t.index();
+            // Self bit.
+            bits[ti * words_per_row + ti / 64] |= 1u64 << (ti % 64);
+            let supers: Vec<TypeId> = schema.type_(t).super_ids().collect();
+            for s in supers {
+                // Row union: bits[t] |= bits[s].
+                for w in 0..words_per_row {
+                    let sv = bits[s.index() * words_per_row + w];
+                    bits[ti * words_per_row + w] |= sv;
+                }
+            }
+        }
+
+        SubtypeIndex {
+            n,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// `a <= b` per the snapshot.
+    #[inline]
+    pub fn is_subtype(&self, a: TypeId, b: TypeId) -> bool {
+        debug_assert!(a.index() < self.n && b.index() < self.n);
+        let word = self.bits[a.index() * self.words_per_row + b.index() / 64];
+        word & (1u64 << (b.index() % 64)) != 0
+    }
+
+    /// All ancestors of `t` (inclusive), in id order.
+    pub fn ancestors_inclusive(&self, t: TypeId) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        for w in 0..self.words_per_row {
+            let mut word = self.bits[t.index() * self.words_per_row + w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(TypeId::from_index(w * 64 + bit));
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// True while the schema has not grown since the index was built
+    /// (edge mutations are *not* detectable — rebuild after factorization).
+    pub fn is_current(&self, schema: &Schema) -> bool {
+        schema.n_types() == self.n
+    }
+
+    /// Number of type slots indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the indexed schema had no types.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::ValueType;
+
+    #[test]
+    fn agrees_with_schema_on_diamond() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[a]).unwrap();
+        let d = s.add_type("D", &[b, c]).unwrap();
+        let idx = SubtypeIndex::build(&s);
+        for x in [a, b, c, d] {
+            for y in [a, b, c, d] {
+                assert_eq!(idx.is_subtype(x, y), s.is_subtype(x, y), "{x} <= {y}");
+            }
+        }
+        assert_eq!(idx.ancestors_inclusive(d), vec![a, b, c, d]);
+        assert!(idx.is_current(&s));
+        s.add_type("E", &[]).unwrap();
+        assert!(!idx.is_current(&s));
+    }
+
+    #[test]
+    fn surrogate_high_ids_handled() {
+        // Surrogates get high ids but sit at the TOP of the hierarchy —
+        // the topological build must handle supertypes with larger ids.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let hat = s.add_surrogate("^A", a).unwrap();
+        s.add_super_highest(a, hat).unwrap();
+        let idx = SubtypeIndex::build(&s);
+        assert!(idx.is_subtype(b, hat));
+        assert!(idx.is_subtype(a, hat));
+        assert!(!idx.is_subtype(hat, a));
+    }
+
+    #[test]
+    fn wide_schema_crosses_word_boundaries() {
+        // >64 types to exercise multi-word rows.
+        let mut s = Schema::new();
+        let root = s.add_type("T0", &[]).unwrap();
+        let mut prev = root;
+        for i in 1..130 {
+            prev = s.add_type(format!("T{i}"), &[prev]).unwrap();
+        }
+        let idx = SubtypeIndex::build(&s);
+        let leaf = s.type_id("T129").unwrap();
+        assert!(idx.is_subtype(leaf, root));
+        assert!(!idx.is_subtype(root, leaf));
+        assert_eq!(idx.ancestors_inclusive(leaf).len(), 130);
+        let mid = s.type_id("T64").unwrap();
+        assert!(idx.is_subtype(leaf, mid));
+        assert!(idx.is_subtype(mid, root));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        let idx = SubtypeIndex::build(&s);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn agrees_with_schema_on_random_hierarchies() {
+        // Structured pseudo-random DAG: type i inherits from up to three
+        // of the previous types, chosen by a small LCG.
+        let mut s = Schema::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut types = vec![s.add_type("T0", &[]).unwrap()];
+        for i in 1..80 {
+            let mut supers = Vec::new();
+            let k = 1 + (state % 3) as usize;
+            for _ in 0..k.min(types.len()) {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let cand = types[(state >> 33) as usize % types.len()];
+                if !supers.contains(&cand) {
+                    supers.push(cand);
+                }
+            }
+            types.push(s.add_type(format!("T{i}"), &supers).unwrap());
+        }
+        // One attribute so the schema is not degenerate.
+        s.add_attr("x", ValueType::INT, types[0]).unwrap();
+        let idx = SubtypeIndex::build(&s);
+        for &x in &types {
+            for &y in &types {
+                assert_eq!(idx.is_subtype(x, y), s.is_subtype(x, y));
+            }
+        }
+    }
+}

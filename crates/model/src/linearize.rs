@@ -1,0 +1,189 @@
+//! Class precedence lists (CPLs).
+//!
+//! The paper assumes "a precedence relationship among the direct supertypes
+//! of a type" and defers method-precedence mechanics to its reference \[2\]
+//! (Agrawal, DeMichiel & Lindsay, OOPSLA '91). We realize that relationship
+//! with the standard CLOS linearization: a topological sort of
+//!
+//! * each type preceding its direct supertypes, and
+//! * direct supertypes pairwise ordered by their local precedence,
+//!
+//! with CLOS's determinism rule for ties (prefer the candidate having a
+//! direct subtype *rightmost* in the list built so far).
+//!
+//! The CPL is what makes surrogate insertion transparent: `FactorState`
+//! inserts `T̂` as the highest-precedence direct supertype of `T`, so
+//! `cpl(T)` becomes `[T, T̂, …unchanged relative order…]` and every lookup
+//! that previously found something at `T` finds the same thing at `T` or
+//! `T̂` in the same relative position.
+
+use crate::error::{ModelError, Result};
+use crate::ids::TypeId;
+use crate::schema::Schema;
+
+impl Schema {
+    /// Computes the class precedence list of `t`: `t` first, then every
+    /// supertype, ordered most-specific-first.
+    ///
+    /// Returns [`ModelError::InconsistentPrecedence`] when the local
+    /// precedence orders cannot be reconciled into a total order.
+    pub fn cpl(&self, t: TypeId) -> Result<Vec<TypeId>> {
+        self.check_type(t)?;
+        let members = self.ancestors_inclusive(t);
+        // Pair (a, b) means `a` must precede `b` in the CPL.
+        let mut constraints: Vec<(TypeId, TypeId)> = Vec::new();
+        for &c in &members {
+            let supers: Vec<TypeId> = self.type_(c).super_ids().collect();
+            if let Some(&first) = supers.first() {
+                constraints.push((c, first));
+            }
+            for w in supers.windows(2) {
+                constraints.push((w[0], w[1]));
+            }
+        }
+
+        let mut remaining: Vec<TypeId> = members.clone();
+        let mut out: Vec<TypeId> = Vec::with_capacity(members.len());
+        while !remaining.is_empty() {
+            // Candidates: remaining types with no remaining predecessor.
+            let candidates: Vec<TypeId> = remaining
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    !constraints
+                        .iter()
+                        .any(|&(p, q)| q == c && remaining.contains(&p))
+                })
+                .collect();
+            let chosen = match candidates.len() {
+                0 => return Err(ModelError::InconsistentPrecedence(t)),
+                1 => candidates[0],
+                _ => {
+                    // CLOS rule: pick the candidate with a direct subtype
+                    // rightmost in the partial CPL.
+                    let mut best = candidates[0];
+                    let mut best_pos: isize = -1;
+                    for &c in &candidates {
+                        let pos = out
+                            .iter()
+                            .rposition(|&placed| {
+                                self.type_(placed).super_ids().any(|s| s == c)
+                            })
+                            .map(|p| p as isize)
+                            .unwrap_or(-1);
+                        if pos > best_pos {
+                            best_pos = pos;
+                            best = c;
+                        }
+                    }
+                    best
+                }
+            };
+            out.push(chosen);
+            remaining.retain(|&c| c != chosen);
+        }
+        Ok(out)
+    }
+
+    /// Position of `sup` in `cpl(t)`, if present. Lower = more specific.
+    pub fn cpl_position(&self, t: TypeId, sup: TypeId) -> Result<Option<usize>> {
+        Ok(self.cpl(t)?.iter().position(|&x| x == sup))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[b]).unwrap();
+        assert_eq!(s.cpl(c).unwrap(), vec![c, b, a]);
+    }
+
+    #[test]
+    fn diamond_respects_local_order() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[a]).unwrap();
+        let d = s.add_type("D", &[b, c]).unwrap();
+        assert_eq!(s.cpl(d).unwrap(), vec![d, b, c, a]);
+        let e = s.add_type("E", &[c, b]).unwrap();
+        assert_eq!(s.cpl(e).unwrap(), vec![e, c, b, a]);
+    }
+
+    #[test]
+    fn surrogate_inserted_at_front_preserves_suffix_order() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[b]).unwrap();
+        let before = s.cpl(c).unwrap();
+        let hat = s.add_surrogate("^B", b).unwrap();
+        s.add_super_highest(b, hat).unwrap();
+        let after = s.cpl(c).unwrap();
+        // `after` is `before` with `hat` spliced in right after b.
+        let filtered: Vec<TypeId> = after.iter().copied().filter(|&x| x != hat).collect();
+        assert_eq!(filtered, before);
+        let b_pos = after.iter().position(|&x| x == b).unwrap();
+        assert_eq!(after[b_pos + 1], hat);
+    }
+
+    #[test]
+    fn paper_fig3_cpl_of_a() {
+        // A <= [C(1), B(2)], C <= [F(1), E(2)], B <= [D(1), E(2)],
+        // F <= [H], E <= [G(1), H(2)].
+        let mut s = Schema::new();
+        let d = s.add_type("D", &[]).unwrap();
+        let g = s.add_type("G", &[]).unwrap();
+        let h = s.add_type("H", &[]).unwrap();
+        let f = s.add_type("F", &[h]).unwrap();
+        let e = s.add_type("E", &[g, h]).unwrap();
+        let c = s.add_type("C", &[f, e]).unwrap();
+        let b = s.add_type("B", &[d, e]).unwrap();
+        let a = s.add_type("A", &[c, b]).unwrap();
+        let cpl = s.cpl(a).unwrap();
+        assert_eq!(cpl[0], a);
+        assert_eq!(cpl[1], c); // C precedes B (local order at A)
+        // Every constraint: each type precedes its direct supers.
+        let pos = |x: TypeId| cpl.iter().position(|&y| y == x).unwrap();
+        assert!(pos(c) < pos(f) && pos(c) < pos(e));
+        assert!(pos(b) < pos(d) && pos(b) < pos(e));
+        assert!(pos(f) < pos(h));
+        assert!(pos(e) < pos(g) && pos(g) < pos(h)); // local order at E
+        assert_eq!(cpl.len(), 8);
+    }
+
+    #[test]
+    fn inconsistent_precedence_detected() {
+        // X <= [P, Q]; Y <= [Q, P]; Z <= [X, Y] has no consistent order
+        // for P and Q.
+        let mut s = Schema::new();
+        let p = s.add_type("P", &[]).unwrap();
+        let q = s.add_type("Q", &[]).unwrap();
+        let x = s.add_type("X", &[p, q]).unwrap();
+        let y = s.add_type("Y", &[q, p]).unwrap();
+        let z = s.add_type("Z", &[x, y]).unwrap();
+        assert!(matches!(
+            s.cpl(z),
+            Err(ModelError::InconsistentPrecedence(_))
+        ));
+        // The sub-hierarchies alone are fine.
+        assert!(s.cpl(x).is_ok());
+        assert!(s.cpl(y).is_ok());
+    }
+
+    #[test]
+    fn cpl_position_queries() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        assert_eq!(s.cpl_position(b, a).unwrap(), Some(1));
+        assert_eq!(s.cpl_position(b, b).unwrap(), Some(0));
+        assert_eq!(s.cpl_position(a, b).unwrap(), None);
+    }
+}

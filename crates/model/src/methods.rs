@@ -1,0 +1,201 @@
+//! Generic functions and multi-methods (§2 of the paper).
+//!
+//! Operations on instances are defined by *generic functions*; a generic
+//! function corresponds to a set of *methods* defining its type-specific
+//! behavior. A method is selected at call time on the basis of the types of
+//! **all** actual arguments (multi-method dispatch, as in CommonLoops/CLOS
+//! and the era's proposed SQL3). Single-dispatch languages are the special
+//! case where only the first argument's specializer varies.
+//!
+//! Methods are either *accessors* (readers/writers of a single attribute —
+//! the only way to touch state) or *general* methods with a body
+//! ([`crate::body::Body`]) that may invoke other generic functions.
+
+use crate::attrs::{PrimType, ValueType};
+use crate::body::Body;
+use crate::ids::{AttrId, GfId, MethodId, TypeId};
+use std::fmt;
+
+/// A generic function: a named operation with fixed arity and a declared
+/// result contract, implemented by a set of methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenericFunction {
+    /// Unique name, e.g. `"income"` or `"get_SSN"`.
+    pub name: String,
+    /// Number of formal arguments every method must specialize.
+    pub arity: usize,
+    /// Declared result type (`None` = procedure with no result).
+    pub result: Option<ValueType>,
+    /// Methods implementing this generic function, in definition order.
+    pub methods: Vec<MethodId>,
+}
+
+/// What one formal argument position of a method dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Specializer {
+    /// The argument must be an instance of this type or a subtype
+    /// (inclusion polymorphism).
+    Type(TypeId),
+    /// The argument must be a primitive of this kind (used for e.g. the
+    /// value argument of writer accessors). Primitive positions never
+    /// participate in the paper's applicability analysis.
+    Prim(PrimType),
+}
+
+impl Specializer {
+    /// The specializing type, if this position dispatches on an object type.
+    #[inline]
+    pub fn as_type(self) -> Option<TypeId> {
+        match self {
+            Specializer::Type(t) => Some(t),
+            Specializer::Prim(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Specializer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Specializer::Type(t) => write!(f, "{t}"),
+            Specializer::Prim(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// The flavor of a method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodKind {
+    /// Reader accessor: returns the value of one attribute of its single
+    /// object argument.
+    Reader(AttrId),
+    /// Writer (the paper's "mutator") accessor: stores its second argument
+    /// into one attribute of its first argument.
+    Writer(AttrId),
+    /// A general method with an analyzable, executable body.
+    General(Body),
+}
+
+impl MethodKind {
+    /// The attribute directly accessed, if this is an accessor.
+    #[inline]
+    pub fn accessed_attr(&self) -> Option<AttrId> {
+        match self {
+            MethodKind::Reader(a) | MethodKind::Writer(a) => Some(*a),
+            MethodKind::General(_) => None,
+        }
+    }
+
+    /// True for readers and writers.
+    #[inline]
+    pub fn is_accessor(&self) -> bool {
+        !matches!(self, MethodKind::General(_))
+    }
+}
+
+/// One method of a generic function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// Owning generic function.
+    pub gf: GfId,
+    /// Display label, e.g. `"v1"` or `"get_h2"` — used by traces, the
+    /// reproduction harness and error messages.
+    pub label: String,
+    /// One specializer per formal argument; length equals the generic
+    /// function's arity. Method factorization (§6.1) rewrites `Type`
+    /// entries to surrogate types.
+    pub specializers: Vec<Specializer>,
+    /// Accessor or general body.
+    pub kind: MethodKind,
+    /// Declared result type of this method (must agree with the generic
+    /// function's contract when both are present).
+    pub result: Option<ValueType>,
+}
+
+impl Method {
+    /// True for readers and writers.
+    #[inline]
+    pub fn is_accessor(&self) -> bool {
+        self.kind.is_accessor()
+    }
+
+    /// The body, if this is a general method.
+    #[inline]
+    pub fn body(&self) -> Option<&Body> {
+        match &self.kind {
+            MethodKind::General(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the body, if general.
+    #[inline]
+    pub fn body_mut(&mut self) -> Option<&mut Body> {
+        match &mut self.kind {
+            MethodKind::General(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Iterates the object-type specializers together with their argument
+    /// positions.
+    pub fn type_specializers(&self) -> impl Iterator<Item = (usize, TypeId)> + '_ {
+        self.specializers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_type().map(|t| (i, t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_method() -> Method {
+        Method {
+            gf: GfId(0),
+            label: "v1".into(),
+            specializers: vec![
+                Specializer::Type(TypeId(1)),
+                Specializer::Prim(PrimType::Int),
+                Specializer::Type(TypeId(2)),
+            ],
+            kind: MethodKind::General(Body::new()),
+            result: None,
+        }
+    }
+
+    #[test]
+    fn type_specializers_skips_prims() {
+        let m = mk_method();
+        let ts: Vec<_> = m.type_specializers().collect();
+        assert_eq!(ts, vec![(0, TypeId(1)), (2, TypeId(2))]);
+    }
+
+    #[test]
+    fn accessor_kind_queries() {
+        let r = MethodKind::Reader(AttrId(3));
+        assert!(r.is_accessor());
+        assert_eq!(r.accessed_attr(), Some(AttrId(3)));
+        let g = MethodKind::General(Body::new());
+        assert!(!g.is_accessor());
+        assert_eq!(g.accessed_attr(), None);
+    }
+
+    #[test]
+    fn body_access() {
+        let mut m = mk_method();
+        assert!(m.body().is_some());
+        m.body_mut().unwrap().stmts.clear();
+        let r = Method {
+            kind: MethodKind::Reader(AttrId(0)),
+            ..mk_method()
+        };
+        assert!(r.body().is_none());
+    }
+
+    #[test]
+    fn specializer_display() {
+        assert_eq!(Specializer::Type(TypeId(7)).to_string(), "T7");
+        assert_eq!(Specializer::Prim(PrimType::Str).to_string(), "str");
+    }
+}

@@ -1,0 +1,539 @@
+//! The [`Schema`]: single owner of types, attributes, generic functions and
+//! methods.
+//!
+//! Everything the paper's algorithms touch lives here, addressed by dense
+//! ids. The struct is `Clone` — the invariant checkers snapshot a schema
+//! before a derivation and compare observable behavior afterwards.
+
+use crate::attrs::{AttrDef, ValueType};
+use crate::error::{ModelError, Result};
+use crate::hierarchy::{TypeNode, TypeOrigin};
+use crate::ids::{AttrId, GfId, MethodId, TypeId};
+use crate::methods::{GenericFunction, Method, MethodKind, Specializer};
+use std::collections::HashMap;
+
+/// An object-oriented schema per §2 of the paper: a DAG of types with
+/// precedence-ordered multiple inheritance, globally unique named
+/// attributes, and generic functions implemented by multi-methods.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    types: Vec<TypeNode>,
+    type_names: HashMap<String, TypeId>,
+    attrs: Vec<AttrDef>,
+    attr_names: HashMap<String, AttrId>,
+    gfs: Vec<GenericFunction>,
+    gf_names: HashMap<String, GfId>,
+    methods: Vec<Method>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    // ---------------------------------------------------------------- types
+
+    /// Adds an original type with the given direct supertypes; the slice
+    /// order defines inheritance precedence (first = highest, numbered 1).
+    pub fn add_type(&mut self, name: impl Into<String>, supers: &[TypeId]) -> Result<TypeId> {
+        self.add_type_with_origin(name, supers, TypeOrigin::Original)
+    }
+
+    /// Adds a surrogate type (no supertype edges yet — `FactorState` wires
+    /// them explicitly).
+    pub fn add_surrogate(&mut self, name: impl Into<String>, source: TypeId) -> Result<TypeId> {
+        self.check_type(source)?;
+        self.add_type_with_origin(name, &[], TypeOrigin::Surrogate { source })
+    }
+
+    fn add_type_with_origin(
+        &mut self,
+        name: impl Into<String>,
+        supers: &[TypeId],
+        origin: TypeOrigin,
+    ) -> Result<TypeId> {
+        let name = name.into();
+        if self.type_names.contains_key(&name) {
+            return Err(ModelError::DuplicateTypeName(name));
+        }
+        for &s in supers {
+            self.check_type(s)?;
+        }
+        let id = TypeId::from_index(self.types.len());
+        self.types.push(TypeNode {
+            name: name.clone(),
+            local_attrs: Vec::new(),
+            supers: Vec::new(),
+            origin,
+            dead: false,
+        });
+        self.type_names.insert(name, id);
+        for (i, &s) in supers.iter().enumerate() {
+            self.add_super_with_prec(id, s, i as i32 + 1)?;
+        }
+        Ok(id)
+    }
+
+    /// Re-marks an existing type as a surrogate of `source` (used by the
+    /// text parser, where `surrogate of` clauses may reference types
+    /// declared later in the file).
+    pub fn mark_surrogate(&mut self, t: TypeId, source: TypeId) -> Result<()> {
+        self.check_type(t)?;
+        self.check_type(source)?;
+        if t == source {
+            return Err(ModelError::Invalid(format!(
+                "type {t} cannot be its own surrogate"
+            )));
+        }
+        self.type_node_mut(t).origin = TypeOrigin::Surrogate { source };
+        Ok(())
+    }
+
+    /// Immutable access to a type node.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id (ids are only minted by this schema, so
+    /// this indicates a cross-schema mixup).
+    #[inline]
+    pub fn type_(&self, t: TypeId) -> &TypeNode {
+        &self.types[t.index()]
+    }
+
+    /// Looks a type up by name.
+    pub fn type_id(&self, name: &str) -> Result<TypeId> {
+        self.type_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownTypeName(name.to_string()))
+    }
+
+    /// The name of a type.
+    #[inline]
+    pub fn type_name(&self, t: TypeId) -> &str {
+        &self.type_(t).name
+    }
+
+    /// Number of allocated type slots (including retired ones).
+    #[inline]
+    pub fn n_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Iterates ids of live (non-retired) types.
+    pub fn live_type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.dead)
+            .map(|(i, _)| TypeId::from_index(i))
+    }
+
+    /// True if the id refers to a live type.
+    pub fn is_live(&self, t: TypeId) -> bool {
+        t.index() < self.types.len() && !self.types[t.index()].dead
+    }
+
+    pub(crate) fn check_type(&self, t: TypeId) -> Result<()> {
+        if self.is_live(t) {
+            Ok(())
+        } else {
+            Err(ModelError::BadTypeId(t))
+        }
+    }
+
+    pub(crate) fn types_mut(&mut self) -> &mut Vec<TypeNode> {
+        &mut self.types
+    }
+
+    pub(crate) fn unregister_type_name(&mut self, name: &str) {
+        self.type_names.remove(name);
+    }
+
+    // ---------------------------------------------------------- attributes
+
+    /// Defines a new attribute local to `owner`. Names are globally unique.
+    pub fn add_attr(
+        &mut self,
+        name: impl Into<String>,
+        ty: ValueType,
+        owner: TypeId,
+    ) -> Result<AttrId> {
+        let name = name.into();
+        self.check_type(owner)?;
+        if self.attr_names.contains_key(&name) {
+            return Err(ModelError::DuplicateAttrName(name));
+        }
+        if let ValueType::Object(t) = ty {
+            self.check_type(t)?;
+        }
+        let id = AttrId::from_index(self.attrs.len());
+        self.attrs.push(AttrDef {
+            name: name.clone(),
+            ty,
+            owner,
+        });
+        self.attr_names.insert(name, id);
+        self.type_node_mut(owner).local_attrs.push(id);
+        Ok(id)
+    }
+
+    /// Immutable access to an attribute definition.
+    #[inline]
+    pub fn attr(&self, a: AttrId) -> &AttrDef {
+        &self.attrs[a.index()]
+    }
+
+    pub(crate) fn attr_mut(&mut self, a: AttrId) -> &mut AttrDef {
+        &mut self.attrs[a.index()]
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        self.attr_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownAttrName(name.to_string()))
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterates all attribute ids.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attrs.len()).map(AttrId::from_index)
+    }
+
+    pub(crate) fn check_attr(&self, a: AttrId) -> Result<()> {
+        if a.index() < self.attrs.len() {
+            Ok(())
+        } else {
+            Err(ModelError::BadAttrId(a))
+        }
+    }
+
+    // ---------------------------------------------------- generic functions
+
+    /// Declares a generic function with the given arity and result contract.
+    pub fn add_gf(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        result: Option<ValueType>,
+    ) -> Result<GfId> {
+        let name = name.into();
+        if self.gf_names.contains_key(&name) {
+            return Err(ModelError::DuplicateGfName(name));
+        }
+        let id = GfId::from_index(self.gfs.len());
+        self.gfs.push(GenericFunction {
+            name: name.clone(),
+            arity,
+            result,
+            methods: Vec::new(),
+        });
+        self.gf_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Immutable access to a generic function.
+    #[inline]
+    pub fn gf(&self, g: GfId) -> &GenericFunction {
+        &self.gfs[g.index()]
+    }
+
+    /// Looks a generic function up by name.
+    pub fn gf_id(&self, name: &str) -> Result<GfId> {
+        self.gf_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownGfName(name.to_string()))
+    }
+
+    /// Number of generic functions.
+    #[inline]
+    pub fn n_gfs(&self) -> usize {
+        self.gfs.len()
+    }
+
+    /// Iterates all generic-function ids.
+    pub fn gf_ids(&self) -> impl Iterator<Item = GfId> {
+        (0..self.gfs.len()).map(GfId::from_index)
+    }
+
+    pub(crate) fn check_gf(&self, g: GfId) -> Result<()> {
+        if g.index() < self.gfs.len() {
+            Ok(())
+        } else {
+            Err(ModelError::BadGfId(g))
+        }
+    }
+
+    // -------------------------------------------------------------- methods
+
+    /// Adds a method to a generic function. The specializer list length must
+    /// equal the generic function's arity; accessor methods must access an
+    /// attribute available at their (single) specializer.
+    pub fn add_method(
+        &mut self,
+        gf: GfId,
+        label: impl Into<String>,
+        specializers: Vec<Specializer>,
+        kind: MethodKind,
+        result: Option<ValueType>,
+    ) -> Result<MethodId> {
+        self.check_gf(gf)?;
+        let expected = self.gf(gf).arity;
+        if specializers.len() != expected {
+            return Err(ModelError::ArityMismatch {
+                gf,
+                expected,
+                got: specializers.len(),
+            });
+        }
+        for s in &specializers {
+            if let Specializer::Type(t) = s {
+                self.check_type(*t)?;
+            }
+        }
+        // Two methods of one generic function with identical specializer
+        // tuples would make dispatch ambiguous (CLOS redefines instead of
+        // coexisting); reject them.
+        if self
+            .gf(gf)
+            .methods
+            .iter()
+            .any(|&m| self.method(m).specializers == specializers)
+        {
+            return Err(ModelError::Invalid(format!(
+                "duplicate method signature for generic function `{}`",
+                self.gf(gf).name
+            )));
+        }
+        if let Some(attr) = kind.accessed_attr() {
+            self.check_attr(attr)?;
+            let at = specializers
+                .first()
+                .and_then(|s| s.as_type())
+                .ok_or_else(|| {
+                    ModelError::Invalid("accessor method needs an object first argument".into())
+                })?;
+            if !self.attr_available_at(attr, at) {
+                return Err(ModelError::AccessorAttrUnavailable { attr, at });
+            }
+        }
+        let id = MethodId::from_index(self.methods.len());
+        self.methods.push(Method {
+            gf,
+            label: label.into(),
+            specializers,
+            kind,
+            result,
+        });
+        self.gfs[gf.index()].methods.push(id);
+        Ok(id)
+    }
+
+    /// Immutable access to a method.
+    #[inline]
+    pub fn method(&self, m: MethodId) -> &Method {
+        &self.methods[m.index()]
+    }
+
+    /// Mutable access to a method (used by method factorization to rewrite
+    /// signatures and bodies in place, preserving the method's identity).
+    #[inline]
+    pub fn method_mut(&mut self, m: MethodId) -> &mut Method {
+        &mut self.methods[m.index()]
+    }
+
+    /// Number of methods.
+    #[inline]
+    pub fn n_methods(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Iterates all method ids.
+    pub fn method_ids(&self) -> impl Iterator<Item = MethodId> {
+        (0..self.methods.len()).map(MethodId::from_index)
+    }
+
+    /// Looks a method up by its display label.
+    pub fn method_by_label(&self, label: &str) -> Result<MethodId> {
+        self.method_ids()
+            .find(|&m| self.method(m).label == label)
+            .ok_or_else(|| ModelError::Invalid(format!("no method labelled `{label}`")))
+    }
+
+    // ------------------------------------------------- accessor conveniences
+
+    /// Creates the reader generic function + method `get_<attr>` specialized
+    /// at `at` (which may be a proper subtype of the attribute's owner, as
+    /// with the paper's `get_h2(B)`). Returns `(gf, method)`.
+    pub fn add_reader(&mut self, attr: AttrId, at: TypeId) -> Result<(GfId, MethodId)> {
+        self.check_attr(attr)?;
+        let name = format!("get_{}", self.attr(attr).name);
+        let result = Some(self.attr(attr).ty);
+        let gf = match self.gf_id(&name) {
+            Ok(g) => g,
+            Err(_) => self.add_gf(name.clone(), 1, result)?,
+        };
+        let m = self.add_method(
+            gf,
+            name,
+            vec![Specializer::Type(at)],
+            MethodKind::Reader(attr),
+            result,
+        )?;
+        Ok((gf, m))
+    }
+
+    /// Creates the writer generic function + method `set_<attr>` specialized
+    /// at `at`, taking the new value as a second argument. Returns
+    /// `(gf, method)`.
+    pub fn add_writer(&mut self, attr: AttrId, at: TypeId) -> Result<(GfId, MethodId)> {
+        self.check_attr(attr)?;
+        let name = format!("set_{}", self.attr(attr).name);
+        let value_spec = match self.attr(attr).ty {
+            ValueType::Prim(p) => Specializer::Prim(p),
+            ValueType::Object(t) => Specializer::Type(t),
+        };
+        let gf = match self.gf_id(&name) {
+            Ok(g) => g,
+            Err(_) => self.add_gf(name.clone(), 2, None)?,
+        };
+        let m = self.add_method(
+            gf,
+            name,
+            vec![Specializer::Type(at), value_spec],
+            MethodKind::Writer(attr),
+            None,
+        )?;
+        Ok((gf, m))
+    }
+
+    /// Creates reader and writer accessors for `attr` at its owner type.
+    pub fn add_accessors(&mut self, attr: AttrId) -> Result<()> {
+        let owner = self.attr(attr).owner;
+        self.add_reader(attr, owner)?;
+        self.add_writer(attr, owner)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::PrimType;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = Schema::new();
+        s.add_type("A", &[]).unwrap();
+        assert!(matches!(
+            s.add_type("A", &[]),
+            Err(ModelError::DuplicateTypeName(_))
+        ));
+        let a = s.type_id("A").unwrap();
+        s.add_attr("x", ValueType::INT, a).unwrap();
+        assert!(matches!(
+            s.add_attr("x", ValueType::STR, a),
+            Err(ModelError::DuplicateAttrName(_))
+        ));
+        s.add_gf("f", 1, None).unwrap();
+        assert!(matches!(
+            s.add_gf("f", 2, None),
+            Err(ModelError::DuplicateGfName(_))
+        ));
+    }
+
+    #[test]
+    fn method_arity_checked() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let f = s.add_gf("f", 2, None).unwrap();
+        let err = s
+            .add_method(
+                f,
+                "f1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn accessor_attr_must_be_available() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[]).unwrap(); // unrelated
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        assert!(s.add_reader(x, b).is_err());
+        // ...but a subtype of the owner is fine (paper: get_h2(B)).
+        let c = s.add_type("C", &[a]).unwrap();
+        s.add_reader(x, c).unwrap();
+    }
+
+    #[test]
+    fn accessor_conveniences_create_gfs() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let x = s.add_attr("pay", ValueType::FLOAT, a).unwrap();
+        s.add_accessors(x).unwrap();
+        let get = s.gf_id("get_pay").unwrap();
+        let set = s.gf_id("set_pay").unwrap();
+        assert_eq!(s.gf(get).arity, 1);
+        assert_eq!(s.gf(set).arity, 2);
+        assert_eq!(s.gf(get).result, Some(ValueType::FLOAT));
+        let m = s.gf(set).methods[0];
+        assert_eq!(
+            s.method(m).specializers[1],
+            Specializer::Prim(PrimType::Float)
+        );
+    }
+
+    #[test]
+    fn shared_reader_gf_for_subtype_specializations() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let (g1, _) = s.add_reader(x, a).unwrap();
+        let (g2, _) = s.add_reader(x, b).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(s.gf(g1).methods.len(), 2);
+    }
+
+    #[test]
+    fn method_lookup_by_label() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let m = s
+            .add_method(
+                f,
+                "f_a",
+                vec![Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        assert_eq!(s.method_by_label("f_a").unwrap(), m);
+        assert!(s.method_by_label("nope").is_err());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let snapshot = s.clone();
+        s.add_attr("x", ValueType::INT, a).unwrap();
+        assert_eq!(snapshot.n_attrs(), 0);
+        assert_eq!(s.n_attrs(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Schema metrics: size, shape and surrogate accounting.
+//!
+//! Used by the CLI's `show`/`check` commands and the reproduction
+//! harness to summarize a schema at a glance.
+
+use crate::schema::Schema;
+use std::fmt;
+
+/// Aggregate metrics for one schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaStats {
+    /// Live (non-retired) types.
+    pub types: usize,
+    /// Live surrogate types.
+    pub surrogates: usize,
+    /// Surrogates with no local attributes.
+    pub empty_surrogates: usize,
+    /// Attributes.
+    pub attrs: usize,
+    /// Generic functions.
+    pub gfs: usize,
+    /// Methods in total.
+    pub methods: usize,
+    /// Accessor methods (readers + writers).
+    pub accessors: usize,
+    /// Types with more than one direct supertype.
+    pub multiple_inheritance_types: usize,
+    /// Root types (no supertypes).
+    pub roots: usize,
+    /// Length of the longest supertype chain (edges).
+    pub max_depth: usize,
+}
+
+impl Schema {
+    /// Computes aggregate metrics for the live portion of the schema.
+    pub fn stats(&self) -> SchemaStats {
+        let mut stats = SchemaStats {
+            types: 0,
+            surrogates: 0,
+            empty_surrogates: 0,
+            attrs: self.n_attrs(),
+            gfs: self.n_gfs(),
+            methods: self.n_methods(),
+            accessors: self
+                .method_ids()
+                .filter(|&m| self.method(m).is_accessor())
+                .count(),
+            multiple_inheritance_types: 0,
+            roots: 0,
+            max_depth: 0,
+        };
+        for t in self.live_type_ids() {
+            stats.types += 1;
+            let node = self.type_(t);
+            if node.is_surrogate() {
+                stats.surrogates += 1;
+                if node.local_attrs.is_empty() {
+                    stats.empty_surrogates += 1;
+                }
+            }
+            match node.supers().len() {
+                0 => stats.roots += 1,
+                1 => {}
+                _ => stats.multiple_inheritance_types += 1,
+            }
+            stats.max_depth = stats.max_depth.max(self.depth_of(t));
+        }
+        stats
+    }
+
+    /// Length (in edges) of the longest chain from `t` to a root.
+    pub fn depth_of(&self, t: crate::ids::TypeId) -> usize {
+        self.type_(t)
+            .super_ids()
+            .map(|s| 1 + self.depth_of(s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SchemaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "types: {} ({} surrogates, {} empty), roots: {}, max depth: {}, MI types: {}",
+            self.types,
+            self.surrogates,
+            self.empty_surrogates,
+            self.roots,
+            self.max_depth,
+            self.multiple_inheritance_types
+        )?;
+        write!(
+            f,
+            "attrs: {}, generic functions: {}, methods: {} ({} accessors)",
+            self.attrs, self.gfs, self.methods, self.accessors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::ValueType;
+
+    #[test]
+    fn stats_of_small_schema() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let c = s.add_type("C", &[a]).unwrap();
+        let _d = s.add_type("D", &[b, c]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        s.add_accessors(x).unwrap();
+        let hat = s.add_surrogate("^A", a).unwrap();
+        s.add_super_highest(a, hat).unwrap();
+
+        let st = s.stats();
+        assert_eq!(st.types, 5);
+        assert_eq!(st.surrogates, 1);
+        assert_eq!(st.empty_surrogates, 1);
+        assert_eq!(st.roots, 1); // ^A
+        assert_eq!(st.multiple_inheritance_types, 1); // D
+        assert_eq!(st.max_depth, 3); // D -> B -> A -> ^A
+        assert_eq!(st.accessors, 2);
+        assert_eq!(st.methods, 2);
+        let text = st.to_string();
+        assert!(text.contains("types: 5"));
+        assert!(text.contains("accessors"));
+    }
+
+    #[test]
+    fn depth_of_roots_is_zero() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        assert_eq!(s.depth_of(a), 0);
+        assert_eq!(s.stats().max_depth, 0);
+    }
+}

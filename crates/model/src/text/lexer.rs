@@ -1,0 +1,458 @@
+//! Tokenizer for the schema definition language.
+
+use std::fmt;
+
+/// A token with its source position (1-based line/column of its start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`type`, `method`, …) — keywords are
+    /// distinguished by the parser so identifiers may shadow nothing.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains a `.`).
+    Float(f64),
+    /// Double-quoted string literal (supports `\"` and `\\`).
+    Str(String),
+    /// `$<n>` — method parameter reference.
+    Param(usize),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=` is not in the expression grammar, but lexed for better errors.
+    BangEq,
+    /// `<`
+    Lt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Param(i) => write!(f, "${i}"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::BangEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+/// Tokenizes `src`. Comments run from `#` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |kind: TokenKind| tokens.push(Token { kind, line: tline, col: tcol });
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push(TokenKind::LBrace);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push(TokenKind::RBrace);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push(TokenKind::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(TokenKind::RParen);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push(TokenKind::Colon);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(TokenKind::Comma);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(TokenKind::Semi);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push(TokenKind::Plus);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push(TokenKind::Star);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push(TokenKind::Slash);
+                i += 1;
+                col += 1;
+            }
+            '<' => {
+                push(TokenKind::Lt);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    push(TokenKind::Arrow);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Minus);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(TokenKind::EqEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Assign);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                push(TokenKind::BangEq);
+                i += 2;
+                col += 2;
+            }
+            '&' if bytes.get(i + 1) == Some(&'&') => {
+                push(TokenKind::AndAnd);
+                i += 2;
+                col += 2;
+            }
+            '|' if bytes.get(i + 1) == Some(&'|') => {
+                push(TokenKind::OrOr);
+                i += 2;
+                col += 2;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end == start {
+                    err!("expected digits after `$`");
+                }
+                let text: String = bytes[start..end].iter().collect();
+                let n: usize = match text.parse() {
+                    Ok(n) => n,
+                    Err(_) => err!("parameter index `{text}` out of range"),
+                };
+                push(TokenKind::Param(n));
+                col += end - i;
+                i = end;
+            }
+            '"' => {
+                let mut out = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '"' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        '\\' => {
+                            match bytes.get(j + 1) {
+                                Some('"') => out.push('"'),
+                                Some('\\') => out.push('\\'),
+                                Some('n') => out.push('\n'),
+                                _ => err!("bad escape in string literal"),
+                            }
+                            j += 2;
+                        }
+                        '\n' => err!("unterminated string literal"),
+                        ch => {
+                            out.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    err!("unterminated string literal");
+                }
+                push(TokenKind::Str(out));
+                col += j - i;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_digit()
+                        || (bytes[end] == '.'
+                            && !is_float
+                            && bytes.get(end + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    if bytes[end] == '.' {
+                        is_float = true;
+                    }
+                    end += 1;
+                }
+                let text: String = bytes[start..end].iter().collect();
+                if is_float {
+                    match text.parse::<f64>() {
+                        Ok(x) => push(TokenKind::Float(x)),
+                        Err(_) => err!("bad float literal `{text}`"),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(n) => push(TokenKind::Int(n)),
+                        Err(_) => err!("integer literal `{text}` out of range"),
+                    }
+                }
+                col += end - start;
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' || c == '^' => {
+                // `^` begins surrogate-style names so round-tripping a
+                // factored schema works.
+                let start = i;
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_alphanumeric()
+                        || bytes[end] == '_'
+                        || bytes[end] == '#'
+                        || bytes[end] == '^')
+                {
+                    end += 1;
+                }
+                let text: String = bytes[start..end].iter().collect();
+                push(TokenKind::Ident(text));
+                col += end - start;
+                i = end;
+            }
+            other => err!("unexpected character `{other}`"),
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("type A : B { x: int }"),
+            vec![
+                TokenKind::Ident("type".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("B".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("int".into()),
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        assert_eq!(
+            kinds(r#"1 + 2.5 == $0 && "hi\n" || a < b -> c"#),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Float(2.5),
+                TokenKind::EqEq,
+                TokenKind::Param(0),
+                TokenKind::AndAnd,
+                TokenKind::Str("hi\n".into()),
+                TokenKind::OrOr,
+                TokenKind::Ident("a".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("b".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a # comment\nb // another\nc"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn surrogate_names_lex() {
+        assert_eq!(
+            kinds("^Employee ^A#2 ^^T9#4"),
+            vec![
+                TokenKind::Ident("^Employee".into()),
+                TokenKind::Ident("^A#2".into()),
+                TokenKind::Ident("^^T9#4".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("a\n  @").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+        assert!(e.to_string().contains("unexpected character"));
+        assert!(lex("\"abc").is_err());
+        assert!(lex("$x").is_err());
+    }
+
+    #[test]
+    fn float_vs_field_access() {
+        // `1.` without digits is an int then an error char — we only treat
+        // `.` as part of a float when followed by a digit.
+        assert_eq!(kinds("2.75"), vec![TokenKind::Float(2.75), TokenKind::Eof]);
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42), TokenKind::Eof]);
+    }
+}

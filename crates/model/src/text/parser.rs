@@ -1,0 +1,977 @@
+//! Recursive-descent parser for the schema definition language.
+//!
+//! ```text
+//! type Person { SSN: int  name: str }
+//! type Employee : Person { pay_rate: float }
+//!
+//! accessors SSN                 # reader + writer at the owner
+//! reader pay_rate at Employee   # reader specialized at a given type
+//!
+//! method age(Person) -> int {
+//!     return 2026 - get_SSN($0);
+//! }
+//! method v1 = v(A, C) {         # explicit label, gf `v`
+//!     u($0); w($1);
+//! }
+//! ```
+//!
+//! Forward references are allowed everywhere: all types are created
+//! first, then attributes and supertype edges, then accessors, then
+//! method signatures (so mutually recursive bodies resolve), then bodies.
+
+use crate::attrs::{PrimType, ValueType};
+use crate::body::{BinOp, Body, Expr, Literal, LocalVar, Stmt};
+use crate::ids::VarId;
+use crate::methods::{MethodKind, Specializer};
+use crate::schema::Schema;
+use crate::text::lexer::{lex, Token, TokenKind};
+use crate::text::TextError;
+
+/// Parses a schema definition, returning a validated [`Schema`].
+pub fn parse_schema(src: &str) -> Result<Schema, TextError> {
+    let tokens = lex(src).map_err(TextError::Lex)?;
+    let items = Parser { tokens, pos: 0 }.parse_items()?;
+    build(items)
+}
+
+// ---------------------------------------------------------------- AST
+
+#[derive(Debug)]
+enum Item {
+    Gf {
+        name: String,
+        arity: usize,
+        result: Option<TypeRef>,
+        line: usize,
+    },
+    Type {
+        name: String,
+        surrogate_of: Option<String>,
+        supers: Vec<(String, Option<i64>)>,
+        attrs: Vec<(String, TypeRef)>,
+        line: usize,
+    },
+    Accessors {
+        attr: String,
+        line: usize,
+    },
+    Reader {
+        attr: String,
+        at: String,
+        line: usize,
+    },
+    Writer {
+        attr: String,
+        at: String,
+        line: usize,
+    },
+    Method {
+        label: String,
+        gf: String,
+        specs: Vec<TypeRef>,
+        result: Option<TypeRef>,
+        body: AstBody,
+        line: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TypeRef {
+    Prim(PrimType),
+    Named(String),
+}
+
+#[derive(Debug, Default)]
+struct AstBody {
+    locals: Vec<(String, TypeRef)>,
+    stmts: Vec<AstStmt>,
+}
+
+#[derive(Debug)]
+enum AstStmt {
+    Assign(String, AstExpr, usize),
+    Expr(AstExpr),
+    Return(AstExpr),
+    If(AstExpr, Vec<AstStmt>, Vec<AstStmt>),
+}
+
+#[derive(Debug)]
+enum AstExpr {
+    Param(usize),
+    Name(String, usize),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Call(String, Vec<AstExpr>, usize),
+    Bin(BinOp, Box<AstExpr>, Box<AstExpr>),
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+macro_rules! perr {
+    ($tok:expr, $($arg:tt)*) => {
+        return Err(TextError::parse(format!($($arg)*), $tok.line, $tok.col))
+    };
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> Result<Token, TextError> {
+        let t = self.next();
+        if &t.kind == kind {
+            Ok(t)
+        } else {
+            perr!(t, "expected {kind}, found {}", t.kind)
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, usize), TextError> {
+        let t = self.next();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, t.line)),
+            other => perr!(t, "expected identifier, found {other}"),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn parse_items(mut self) -> Result<Vec<Item>, TextError> {
+        let mut items = Vec::new();
+        loop {
+            let t = self.peek().clone();
+            match &t.kind {
+                TokenKind::Eof => return Ok(items),
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "type" => items.push(self.parse_type()?),
+                    "accessors" => {
+                        self.next();
+                        let (attr, line) = self.ident()?;
+                        items.push(Item::Accessors { attr, line });
+                    }
+                    "reader" | "writer" => {
+                        let is_reader = kw == "reader";
+                        self.next();
+                        let (attr, line) = self.ident()?;
+                        let (at_kw, _) = self.ident()?;
+                        if at_kw != "at" {
+                            perr!(t, "expected `at` after the attribute name");
+                        }
+                        let (at, _) = self.ident()?;
+                        items.push(if is_reader {
+                            Item::Reader { attr, at, line }
+                        } else {
+                            Item::Writer { attr, at, line }
+                        });
+                    }
+                    "method" => items.push(self.parse_method()?),
+                    "gf" => {
+                        self.next();
+                        let (name, line) = self.ident()?;
+                        self.eat(&TokenKind::LParen)?;
+                        let t = self.next();
+                        let TokenKind::Int(arity) = t.kind else {
+                            perr!(t, "expected the arity (an integer), found {}", t.kind)
+                        };
+                        if arity < 0 {
+                            perr!(t, "arity cannot be negative");
+                        }
+                        self.eat(&TokenKind::RParen)?;
+                        let result = if self.peek().kind == TokenKind::Arrow {
+                            self.next();
+                            Some(self.parse_type_ref()?)
+                        } else {
+                            None
+                        };
+                        items.push(Item::Gf {
+                            name,
+                            arity: arity as usize,
+                            result,
+                            line,
+                        });
+                    }
+                    other => perr!(
+                        t,
+                        "expected `type`, `gf`, `method`, `accessors`, `reader` or `writer`, found `{other}`"
+                    ),
+                },
+                other => perr!(t, "expected a declaration, found {other}"),
+            }
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Item, TextError> {
+        self.next(); // `type`
+        let (name, line) = self.ident()?;
+        // Optional `surrogate of <source>` clause.
+        let surrogate_of = if self.at_keyword("surrogate") {
+            self.next();
+            let (of_kw, _) = self.ident()?;
+            if of_kw != "of" {
+                let t = self.peek().clone();
+                perr!(t, "expected `of` after `surrogate`");
+            }
+            Some(self.ident()?.0)
+        } else {
+            None
+        };
+        let mut supers = Vec::new();
+        if self.peek().kind == TokenKind::Colon {
+            self.next();
+            loop {
+                let (s, _) = self.ident()?;
+                // Optional explicit precedence `(n)` — surrogate
+                // insertion uses 0 and below, so round-tripping factored
+                // schemas requires it.
+                let prec = if self.peek().kind == TokenKind::LParen {
+                    self.next();
+                    let t = self.next();
+                    let p = match t.kind {
+                        TokenKind::Int(p) => p,
+                        TokenKind::Minus => {
+                            let t2 = self.next();
+                            match t2.kind {
+                                TokenKind::Int(p) => -p,
+                                other => perr!(t2, "expected precedence integer, found {other}"),
+                            }
+                        }
+                        other => perr!(t, "expected precedence integer, found {other}"),
+                    };
+                    self.eat(&TokenKind::RParen)?;
+                    Some(p)
+                } else {
+                    None
+                };
+                supers.push((s, prec));
+                if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&TokenKind::LBrace)?;
+        let mut attrs = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let (attr_name, _) = self.ident()?;
+            self.eat(&TokenKind::Colon)?;
+            let ty = self.parse_type_ref()?;
+            attrs.push((attr_name, ty));
+        }
+        self.eat(&TokenKind::RBrace)?;
+        Ok(Item::Type {
+            name,
+            surrogate_of,
+            supers,
+            attrs,
+            line,
+        })
+    }
+
+    fn parse_type_ref(&mut self) -> Result<TypeRef, TextError> {
+        let (name, _) = self.ident()?;
+        Ok(match name.as_str() {
+            "int" => TypeRef::Prim(PrimType::Int),
+            "float" => TypeRef::Prim(PrimType::Float),
+            "bool" => TypeRef::Prim(PrimType::Bool),
+            "str" => TypeRef::Prim(PrimType::Str),
+            _ => TypeRef::Named(name),
+        })
+    }
+
+    fn parse_method(&mut self) -> Result<Item, TextError> {
+        self.next(); // `method`
+        let (first, line) = self.ident()?;
+        let (label, gf) = if self.peek().kind == TokenKind::Assign {
+            self.next();
+            let (gf, _) = self.ident()?;
+            (first, gf)
+        } else {
+            (first.clone(), first)
+        };
+        self.eat(&TokenKind::LParen)?;
+        let mut specs = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                specs.push(self.parse_type_ref()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen)?;
+        let result = if self.peek().kind == TokenKind::Arrow {
+            self.next();
+            Some(self.parse_type_ref()?)
+        } else {
+            None
+        };
+        let body = self.parse_block()?;
+        Ok(Item::Method {
+            label,
+            gf,
+            specs,
+            result,
+            body,
+            line,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<AstBody, TextError> {
+        self.eat(&TokenKind::LBrace)?;
+        let mut body = AstBody::default();
+        let stmts = self.parse_stmts(&mut body)?;
+        body.stmts = stmts;
+        self.eat(&TokenKind::RBrace)?;
+        Ok(body)
+    }
+
+    fn parse_stmts(&mut self, body: &mut AstBody) -> Result<Vec<AstStmt>, TextError> {
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace && self.peek().kind != TokenKind::Eof {
+            stmts.push(self.parse_stmt(body)?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self, body: &mut AstBody) -> Result<AstStmt, TextError> {
+        let t = self.peek().clone();
+        if self.at_keyword("let") {
+            self.next();
+            let (name, _) = self.ident()?;
+            self.eat(&TokenKind::Colon)?;
+            let ty = self.parse_type_ref()?;
+            self.eat(&TokenKind::Semi)?;
+            body.locals.push((name, ty));
+            // A declaration is not itself a statement; parse the next one
+            // unless the block ends here.
+            if self.peek().kind == TokenKind::RBrace {
+                // Empty trailing declaration: produce a no-op by returning
+                // a trivially-true `if` with empty branches? Simpler:
+                // represent as an empty statement via 0-branch if.
+                return Ok(AstStmt::If(AstExpr::Bool(true), Vec::new(), Vec::new()));
+            }
+            return self.parse_stmt(body);
+        }
+        if self.at_keyword("return") {
+            self.next();
+            let e = self.parse_expr()?;
+            self.eat(&TokenKind::Semi)?;
+            return Ok(AstStmt::Return(e));
+        }
+        if self.at_keyword("if") {
+            self.next();
+            let cond = self.parse_expr()?;
+            let mut then_body = AstBody::default();
+            self.eat(&TokenKind::LBrace)?;
+            let then_branch = self.parse_stmts(&mut then_body)?;
+            self.eat(&TokenKind::RBrace)?;
+            body.locals.extend(then_body.locals);
+            let else_branch = if self.at_keyword("else") {
+                self.next();
+                let mut else_body = AstBody::default();
+                self.eat(&TokenKind::LBrace)?;
+                let stmts = self.parse_stmts(&mut else_body)?;
+                self.eat(&TokenKind::RBrace)?;
+                body.locals.extend(else_body.locals);
+                stmts
+            } else {
+                Vec::new()
+            };
+            return Ok(AstStmt::If(cond, then_branch, else_branch));
+        }
+        // `name = expr;` (assignment) or `expr;`.
+        if let TokenKind::Ident(name) = &t.kind {
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Assign) {
+                let name = name.clone();
+                self.next();
+                self.next();
+                let e = self.parse_expr()?;
+                self.eat(&TokenKind::Semi)?;
+                return Ok(AstStmt::Assign(name, e, t.line));
+            }
+        }
+        let e = self.parse_expr()?;
+        self.eat(&TokenKind::Semi)?;
+        Ok(AstStmt::Expr(e))
+    }
+
+    fn parse_expr(&mut self) -> Result<AstExpr, TextError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr, TextError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek().kind == TokenKind::OrOr {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = AstExpr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr, TextError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek().kind == TokenKind::AndAnd {
+            self.next();
+            let rhs = self.parse_cmp()?;
+            lhs = AstExpr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<AstExpr, TextError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek().kind {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::EqEq => BinOp::Eq,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.parse_add()?;
+        Ok(AstExpr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_add(&mut self) -> Result<AstExpr, TextError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.parse_mul()?;
+            lhs = AstExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<AstExpr, TextError> {
+        let mut lhs = self.parse_atom()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.parse_atom()?;
+            lhs = AstExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<AstExpr, TextError> {
+        let t = self.next();
+        Ok(match t.kind {
+            TokenKind::Int(i) => AstExpr::Int(i),
+            TokenKind::Float(x) => AstExpr::Float(x),
+            TokenKind::Str(s) => AstExpr::Str(s),
+            TokenKind::Param(i) => AstExpr::Param(i),
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.eat(&TokenKind::RParen)?;
+                e
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "true" => AstExpr::Bool(true),
+                "false" => AstExpr::Bool(false),
+                "null" => AstExpr::Null,
+                _ => {
+                    if self.peek().kind == TokenKind::LParen {
+                        self.next();
+                        let mut args = Vec::new();
+                        if self.peek().kind != TokenKind::RParen {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if self.peek().kind == TokenKind::Comma {
+                                    self.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat(&TokenKind::RParen)?;
+                        AstExpr::Call(name, args, t.line)
+                    } else {
+                        AstExpr::Name(name, t.line)
+                    }
+                }
+            },
+            other => perr!(t, "expected an expression, found {other}"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------- build
+
+fn build(items: Vec<Item>) -> Result<Schema, TextError> {
+    let mut schema = Schema::new();
+
+    // Phase 1: create all types (names only) so references may be forward.
+    for item in &items {
+        if let Item::Type { name, line, .. } = item {
+            schema
+                .add_type(name.clone(), &[])
+                .map_err(|e| TextError::at(e, *line))?;
+        }
+    }
+
+    // Phase 1b: surrogate origins (source types now all exist).
+    for item in &items {
+        if let Item::Type {
+            name,
+            surrogate_of: Some(source),
+            line,
+            ..
+        } = item
+        {
+            let t = schema.type_id(name).map_err(|e| TextError::at(e, *line))?;
+            let src_ty = schema
+                .type_id(source)
+                .map_err(|e| TextError::at(e, *line))?;
+            schema
+                .mark_surrogate(t, src_ty)
+                .map_err(|e| TextError::at(e, *line))?;
+        }
+    }
+
+    // Phase 2: supertype edges and attributes, in declaration order.
+    for item in &items {
+        if let Item::Type {
+            name,
+            supers,
+            attrs,
+            line,
+            ..
+        } = item
+        {
+            let ty = schema.type_id(name).map_err(|e| TextError::at(e, *line))?;
+            for (i, (sup_name, prec)) in supers.iter().enumerate() {
+                let sup = schema
+                    .type_id(sup_name)
+                    .map_err(|e| TextError::at(e, *line))?;
+                let p = prec.map(|p| p as i32).unwrap_or(i as i32 + 1);
+                schema
+                    .add_super_with_prec(ty, sup, p)
+                    .map_err(|e| TextError::at(e, *line))?;
+            }
+            for (attr_name, ty_ref) in attrs {
+                let vt = resolve_type_ref(&schema, ty_ref, *line)?;
+                schema
+                    .add_attr(attr_name.clone(), vt, ty)
+                    .map_err(|e| TextError::at(e, *line))?;
+            }
+        }
+    }
+
+    // Phase 2.5: explicitly declared generic functions (so generic
+    // functions without methods — and accessor generic functions that must
+    // keep a stable id order — round-trip).
+    for item in &items {
+        if let Item::Gf {
+            name,
+            arity,
+            result,
+            line,
+        } = item
+        {
+            let result_vt = result
+                .as_ref()
+                .map(|r| resolve_type_ref(&schema, r, *line))
+                .transpose()?;
+            schema
+                .add_gf(name.clone(), *arity, result_vt)
+                .map_err(|e| TextError::at(e, *line))?;
+        }
+    }
+
+    // Phase 3: accessors.
+    for item in &items {
+        match item {
+            Item::Accessors { attr, line } => {
+                let a = schema.attr_id(attr).map_err(|e| TextError::at(e, *line))?;
+                schema.add_accessors(a).map_err(|e| TextError::at(e, *line))?;
+            }
+            Item::Reader { attr, at, line } => {
+                let a = schema.attr_id(attr).map_err(|e| TextError::at(e, *line))?;
+                let t = schema.type_id(at).map_err(|e| TextError::at(e, *line))?;
+                schema.add_reader(a, t).map_err(|e| TextError::at(e, *line))?;
+            }
+            Item::Writer { attr, at, line } => {
+                let a = schema.attr_id(attr).map_err(|e| TextError::at(e, *line))?;
+                let t = schema.type_id(at).map_err(|e| TextError::at(e, *line))?;
+                schema.add_writer(a, t).map_err(|e| TextError::at(e, *line))?;
+            }
+            _ => {}
+        }
+    }
+
+    // Phase 4: method signatures — generic functions first so bodies can
+    // call forward (and mutually recursive) generic functions.
+    for item in &items {
+        if let Item::Method {
+            gf,
+            specs,
+            result,
+            line,
+            ..
+        } = item
+        {
+            let result_vt = result
+                .as_ref()
+                .map(|r| resolve_type_ref(&schema, r, *line))
+                .transpose()?;
+            match schema.gf_id(gf) {
+                Ok(existing) => {
+                    let decl = schema.gf(existing);
+                    if decl.arity != specs.len() {
+                        return Err(TextError::parse(
+                            format!(
+                                "method of `{gf}` has {} arguments but the generic function was declared with {}",
+                                specs.len(),
+                                decl.arity
+                            ),
+                            *line,
+                            0,
+                        ));
+                    }
+                }
+                Err(_) => {
+                    schema
+                        .add_gf(gf.clone(), specs.len(), result_vt)
+                        .map_err(|e| TextError::at(e, *line))?;
+                }
+            }
+        }
+    }
+
+    // Phase 5: methods with bodies.
+    for item in &items {
+        if let Item::Method {
+            label,
+            gf,
+            specs,
+            result,
+            body,
+            line,
+        } = item
+        {
+            let gf_id = schema.gf_id(gf).map_err(|e| TextError::at(e, *line))?;
+            let specializers: Vec<Specializer> = specs
+                .iter()
+                .map(|s| {
+                    Ok(match s {
+                        TypeRef::Prim(p) => Specializer::Prim(*p),
+                        TypeRef::Named(n) => Specializer::Type(
+                            schema.type_id(n).map_err(|e| TextError::at(e, *line))?,
+                        ),
+                    })
+                })
+                .collect::<Result<_, TextError>>()?;
+            let result_vt = result
+                .as_ref()
+                .map(|r| resolve_type_ref(&schema, r, *line))
+                .transpose()?;
+            let built = build_body(&schema, body, specs.len(), *line)?;
+            schema
+                .add_method(
+                    gf_id,
+                    label.clone(),
+                    specializers,
+                    MethodKind::General(built),
+                    result_vt,
+                )
+                .map_err(|e| TextError::at(e, *line))?;
+        }
+    }
+
+    schema.validate().map_err(|e| TextError::at(e, 0))?;
+    Ok(schema)
+}
+
+fn resolve_type_ref(schema: &Schema, r: &TypeRef, line: usize) -> Result<ValueType, TextError> {
+    Ok(match r {
+        TypeRef::Prim(p) => ValueType::Prim(*p),
+        TypeRef::Named(n) => {
+            ValueType::Object(schema.type_id(n).map_err(|e| TextError::at(e, line))?)
+        }
+    })
+}
+
+fn build_body(
+    schema: &Schema,
+    ast: &AstBody,
+    arity: usize,
+    line: usize,
+) -> Result<Body, TextError> {
+    let mut locals = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (name, ty) in &ast.locals {
+        if names.contains(name) {
+            return Err(TextError::parse(
+                format!("duplicate local variable `{name}`"),
+                line,
+                0,
+            ));
+        }
+        locals.push(LocalVar {
+            name: name.clone(),
+            ty: resolve_type_ref(schema, ty, line)?,
+        });
+        names.push(name.clone());
+    }
+    let stmts = build_stmts(schema, &ast.stmts, &names, arity)?;
+    Ok(Body { locals, stmts })
+}
+
+fn build_stmts(
+    schema: &Schema,
+    ast: &[AstStmt],
+    names: &[String],
+    arity: usize,
+) -> Result<Vec<Stmt>, TextError> {
+    let mut out = Vec::new();
+    for stmt in ast {
+        match stmt {
+            AstStmt::Assign(name, e, line) => {
+                let idx = names.iter().position(|n| n == name).ok_or_else(|| {
+                    TextError::parse(format!("assignment to undeclared variable `{name}`"), *line, 0)
+                })?;
+                out.push(Stmt::Assign {
+                    var: VarId::from_index(idx),
+                    value: build_expr(schema, e, names, arity)?,
+                });
+            }
+            AstStmt::Expr(e) => out.push(Stmt::Expr(build_expr(schema, e, names, arity)?)),
+            AstStmt::Return(e) => out.push(Stmt::Return(build_expr(schema, e, names, arity)?)),
+            AstStmt::If(cond, then_branch, else_branch) => {
+                // A `let`-only trailing declaration parses as an empty if;
+                // drop it.
+                if then_branch.is_empty() && else_branch.is_empty() {
+                    if let AstExpr::Bool(true) = cond {
+                        continue;
+                    }
+                }
+                out.push(Stmt::If {
+                    cond: build_expr(schema, cond, names, arity)?,
+                    then_branch: build_stmts(schema, then_branch, names, arity)?,
+                    else_branch: build_stmts(schema, else_branch, names, arity)?,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn build_expr(
+    schema: &Schema,
+    ast: &AstExpr,
+    names: &[String],
+    arity: usize,
+) -> Result<Expr, TextError> {
+    Ok(match ast {
+        AstExpr::Param(i) => {
+            if *i >= arity {
+                return Err(TextError::parse(
+                    format!("parameter ${i} out of range (method has {arity} parameters)"),
+                    0,
+                    0,
+                ));
+            }
+            Expr::Param(*i)
+        }
+        AstExpr::Int(i) => Expr::Lit(Literal::Int(*i)),
+        AstExpr::Float(x) => Expr::Lit(Literal::Float(*x)),
+        AstExpr::Str(s) => Expr::Lit(Literal::Str(s.clone())),
+        AstExpr::Bool(b) => Expr::Lit(Literal::Bool(*b)),
+        AstExpr::Null => Expr::Lit(Literal::Null),
+        AstExpr::Name(name, line) => {
+            let idx = names.iter().position(|n| n == name).ok_or_else(|| {
+                TextError::parse(format!("unknown variable `{name}`"), *line, 0)
+            })?;
+            Expr::Var(VarId::from_index(idx))
+        }
+        AstExpr::Call(gf, args, line) => {
+            let gf_id = schema.gf_id(gf).map_err(|e| TextError::at(e, *line))?;
+            let built: Vec<Expr> = args
+                .iter()
+                .map(|a| build_expr(schema, a, names, arity))
+                .collect::<Result<_, TextError>>()?;
+            Expr::Call {
+                gf: gf_id,
+                args: built,
+            }
+        }
+        AstExpr::Bin(op, l, r) => Expr::binop(
+            *op,
+            build_expr(schema, l, names, arity)?,
+            build_expr(schema, r, names, arity)?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1_TEXT: &str = r#"
+        # The paper's Figure 1, in the schema definition language.
+        type Person {
+            SSN: int
+            name: str
+            date_of_birth: int
+        }
+        type Employee : Person {
+            pay_rate: float
+            hrs_worked: float
+        }
+
+        accessors SSN
+        accessors date_of_birth
+        accessors pay_rate
+        accessors hrs_worked
+
+        method age(Person) -> int {
+            return 2026 - get_date_of_birth($0);
+        }
+        method income(Employee) -> float {
+            return get_pay_rate($0) * get_hrs_worked($0);
+        }
+        method promote(Employee) -> bool {
+            return (2026 - get_date_of_birth($0)) < get_pay_rate($0);
+        }
+    "#;
+
+    #[test]
+    fn parses_fig1() {
+        let s = parse_schema(FIG1_TEXT).unwrap();
+        let employee = s.type_id("Employee").unwrap();
+        assert_eq!(s.cumulative_attrs(employee).len(), 5);
+        assert_eq!(s.gf(s.gf_id("age").unwrap()).arity, 1);
+        assert!(s.method_by_label("income").is_ok());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn explicit_labels_and_mutual_recursion() {
+        let s = parse_schema(
+            r#"
+            type A { a1: int }
+            type B : A { }
+            reader a1 at A
+            method x1 = x(A, B) { y($0, $1); }
+            method y1 = y(A, B) { x($0, $1); }
+            "#,
+        )
+        .unwrap();
+        assert!(s.method_by_label("x1").is_ok());
+        assert!(s.method_by_label("y1").is_ok());
+    }
+
+    #[test]
+    fn locals_ifs_and_object_types() {
+        let s = parse_schema(
+            r#"
+            type G { }
+            type C : G { x: int }
+            reader x at C
+            method z1 = z(C) -> G {
+                let g: G;
+                g = $0;
+                if get_x($0) < 3 { u($0); } else { }
+                return g;
+            }
+            method u1 = u(C) { get_x($0); }
+            "#,
+        )
+        .unwrap();
+        let z1 = s.method_by_label("z1").unwrap();
+        let body = s.method(z1).body().unwrap();
+        assert_eq!(body.locals.len(), 1);
+        assert!(matches!(body.stmts[0], Stmt::Assign { .. }));
+        assert!(matches!(body.stmts[1], Stmt::If { .. }));
+        assert!(matches!(body.stmts[2], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn forward_type_references_allowed() {
+        let s = parse_schema(
+            r#"
+            type Dept { boss: Person }
+            type Person { }
+            "#,
+        )
+        .unwrap();
+        let boss = s.attr_id("boss").unwrap();
+        assert_eq!(s.attr(boss).ty, ValueType::Object(s.type_id("Person").unwrap()));
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let e = parse_schema("type A : Missing { }").unwrap_err();
+        assert!(e.to_string().contains("Missing"), "{e}");
+        let e = parse_schema("method m(A) { }").unwrap_err();
+        assert!(e.to_string().contains("unknown type name"), "{e}");
+        let e = parse_schema("type A { }\nmethod m(A) { $3; }").unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+        let e = parse_schema("type A { }\nmethod m(A) { zz; }").unwrap_err();
+        assert!(e.to_string().contains("unknown variable"), "{e}");
+        let e = parse_schema("banana").unwrap_err();
+        assert!(e.to_string().contains("expected"), "{e}");
+    }
+
+    #[test]
+    fn gf_arity_consistency_enforced() {
+        let e = parse_schema(
+            r#"
+            type A { }
+            method f(A) { }
+            method f2 = f(A, A) { }
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("arguments"), "{e}");
+    }
+
+    #[test]
+    fn precedence_parses_correctly() {
+        let s = parse_schema(
+            r#"
+            type A { x: int }
+            reader x at A
+            method f(A) -> int {
+                return 1 + 2 * 3 - get_x($0) / 2;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = s.method_by_label("f").unwrap();
+        // 1 + (2*3) - (get_x/2): top node is Sub(Add(1, Mul), Div).
+        let body = s.method(f).body().unwrap();
+        let Stmt::Return(Expr::BinOp { op, .. }) = &body.stmts[0] else {
+            panic!("expected return of a binop");
+        };
+        assert_eq!(*op, BinOp::Sub);
+    }
+}

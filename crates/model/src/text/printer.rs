@@ -1,0 +1,283 @@
+//! Printer: renders a [`Schema`] back into the schema definition
+//! language, such that `parse_schema(schema_to_text(s))` reconstructs a
+//! structurally identical schema (same hierarchy rendering, same method
+//! signatures, same bodies).
+
+use crate::attrs::ValueType;
+use crate::body::{Body, Expr, Literal, Stmt};
+use crate::methods::{MethodKind, Specializer};
+use crate::schema::Schema;
+use std::fmt::Write as _;
+
+/// Renders the whole schema as parseable text.
+pub fn schema_to_text(schema: &Schema) -> String {
+    let mut out = String::new();
+
+    // Types in id order (the parser allows forward references).
+    for t in schema.live_type_ids() {
+        let node = schema.type_(t);
+        let _ = write!(out, "type {}", node.name);
+        if let Some(src) = node.surrogate_source() {
+            let _ = write!(out, " surrogate of {}", schema.type_name(src));
+        }
+        let supers: Vec<String> = node
+            .supers()
+            .iter()
+            .map(|l| format!("{}({})", schema.type_name(l.target), l.prec))
+            .collect();
+        if !supers.is_empty() {
+            let _ = write!(out, " : {}", supers.join(", "));
+        }
+        if node.local_attrs.is_empty() {
+            let _ = writeln!(out, " {{ }}");
+        } else {
+            let _ = writeln!(out, " {{");
+            for &a in &node.local_attrs {
+                let def = schema.attr(a);
+                let _ = writeln!(out, "    {}: {}", def.name, type_text(schema, def.ty));
+            }
+            let _ = writeln!(out, "}}");
+        }
+    }
+    let _ = writeln!(out);
+
+    // Every generic function, declared explicitly so id order and
+    // method-less generic functions survive the round-trip.
+    for g in schema.gf_ids() {
+        let gf = schema.gf(g);
+        let _ = write!(out, "gf {}({})", gf.name, gf.arity);
+        if let Some(r) = gf.result {
+            let _ = write!(out, " -> {}", type_text(schema, r));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+
+    // Accessors and general methods in method-id order, so labels keep
+    // their relative definition order per generic function.
+    for m in schema.method_ids() {
+        let method = schema.method(m);
+        match &method.kind {
+            MethodKind::Reader(attr) => {
+                let at = method.specializers[0]
+                    .as_type()
+                    .expect("reader has object receiver");
+                let _ = writeln!(
+                    out,
+                    "reader {} at {}",
+                    schema.attr(*attr).name,
+                    schema.type_name(at)
+                );
+            }
+            MethodKind::Writer(attr) => {
+                let at = method.specializers[0]
+                    .as_type()
+                    .expect("writer has object receiver");
+                let _ = writeln!(
+                    out,
+                    "writer {} at {}",
+                    schema.attr(*attr).name,
+                    schema.type_name(at)
+                );
+            }
+            MethodKind::General(body) => {
+                let gf = schema.gf(method.gf);
+                let _ = write!(out, "method ");
+                if method.label == gf.name {
+                    let _ = write!(out, "{}", gf.name);
+                } else {
+                    let _ = write!(out, "{} = {}", method.label, gf.name);
+                }
+                let specs: Vec<String> = method
+                    .specializers
+                    .iter()
+                    .map(|s| match s {
+                        Specializer::Type(t) => schema.type_name(*t).to_string(),
+                        Specializer::Prim(p) => p.to_string(),
+                    })
+                    .collect();
+                let _ = write!(out, "({})", specs.join(", "));
+                if let Some(r) = method.result {
+                    let _ = write!(out, " -> {}", type_text(schema, r));
+                }
+                let _ = writeln!(out, " {{");
+                print_body(schema, body, &mut out);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+    out
+}
+
+fn type_text(schema: &Schema, ty: ValueType) -> String {
+    match ty {
+        ValueType::Prim(p) => p.to_string(),
+        ValueType::Object(t) => schema.type_name(t).to_string(),
+    }
+}
+
+fn print_body(schema: &Schema, body: &Body, out: &mut String) {
+    for local in &body.locals {
+        let _ = writeln!(out, "    let {}: {};", local.name, type_text(schema, local.ty));
+    }
+    print_stmts(schema, body, &body.stmts, 1, out);
+}
+
+fn print_stmts(schema: &Schema, body: &Body, stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {};",
+                    body.locals[var.index()].name,
+                    expr_text(schema, body, value)
+                );
+            }
+            Stmt::Expr(e) => {
+                let _ = writeln!(out, "{pad}{};", expr_text(schema, body, e));
+            }
+            Stmt::Return(e) => {
+                let _ = writeln!(out, "{pad}return {};", expr_text(schema, body, e));
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let _ = writeln!(out, "{pad}if {} {{", expr_text(schema, body, cond));
+                print_stmts(schema, body, then_branch, indent + 1, out);
+                if else_branch.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    print_stmts(schema, body, else_branch, indent + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+}
+
+fn expr_text(schema: &Schema, body: &Body, e: &Expr) -> String {
+    match e {
+        Expr::Param(i) => format!("${i}"),
+        Expr::Var(v) => body.locals[v.index()].name.clone(),
+        Expr::Lit(Literal::Int(i)) => i.to_string(),
+        Expr::Lit(Literal::Float(x)) => {
+            // Keep a decimal point so it re-lexes as a float.
+            if x.fract() == 0.0 && x.is_finite() {
+                format!("{x:.1}")
+            } else {
+                x.to_string()
+            }
+        }
+        Expr::Lit(Literal::Bool(b)) => b.to_string(),
+        Expr::Lit(Literal::Str(s)) => {
+            format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n"))
+        }
+        Expr::Lit(Literal::Null) => "null".to_string(),
+        Expr::Call { gf, args } => {
+            let rendered: Vec<String> =
+                args.iter().map(|a| expr_text(schema, body, a)).collect();
+            format!("{}({})", schema.gf(*gf).name, rendered.join(", "))
+        }
+        Expr::BinOp { op, lhs, rhs } => {
+            // Fully parenthesized: correctness over prettiness.
+            format!(
+                "({} {op} {})",
+                expr_text(schema, body, lhs),
+                expr_text(schema, body, rhs)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_schema;
+
+    fn roundtrip(src: &str) {
+        let s1 = parse_schema(src).unwrap();
+        let text = schema_to_text(&s1);
+        let s2 = parse_schema(&text).unwrap_or_else(|e| {
+            panic!("printed schema failed to re-parse: {e}\n--- printed ---\n{text}")
+        });
+        assert_eq!(
+            s1.render_hierarchy(),
+            s2.render_hierarchy(),
+            "hierarchy changed across round-trip:\n{text}"
+        );
+        assert_eq!(
+            s1.render_methods(),
+            s2.render_methods(),
+            "methods changed across round-trip:\n{text}"
+        );
+        // Bodies survive structurally.
+        for m in s1.method_ids() {
+            assert_eq!(
+                s1.method(m).body().map(|b| b.stmts.len()),
+                s2.method(m).body().map(|b| b.stmts.len())
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(
+            r#"
+            type Person { SSN: int  name: str }
+            type Employee : Person { pay_rate: float }
+            accessors SSN
+            accessors pay_rate
+            method age(Person) -> int { return 2026 - get_SSN($0); }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_complex_bodies() {
+        roundtrip(
+            r#"
+            type G { }
+            type C : G { x: int }
+            type B : C { }
+            reader x at C
+            writer x at B
+            method u1 = u(C) { get_x($0); }
+            method z1 = z(C, B) -> G {
+                let g: G;
+                g = $0;
+                if (get_x($0) < 3) && true {
+                    u($0);
+                } else {
+                    u($1);
+                    set_x($1, (get_x($0) + 1));
+                }
+                return g;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_literals() {
+        roundtrip(
+            r#"
+            type A { s: str  f: float  b: bool }
+            accessors s
+            accessors f
+            accessors b
+            method m(A) {
+                set_s($0, "he said \"hi\"\n");
+                set_f($0, 2.0);
+                set_f($0, 3.25);
+                set_b($0, false);
+                set_s($0, null);
+            }
+            "#,
+        );
+    }
+}

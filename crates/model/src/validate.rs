@@ -1,0 +1,345 @@
+//! Whole-schema validation.
+//!
+//! The builder APIs enforce local invariants at insertion time; `validate`
+//! re-checks everything globally, which matters after the projection
+//! algorithms have rewritten the hierarchy, moved attributes and retargeted
+//! method signatures. Invariant I5 ("the refactored hierarchy is still a
+//! well-formed schema") is exactly a `validate` call.
+
+use crate::attrs::ValueType;
+use crate::body::{Expr, Stmt};
+use crate::dispatch::CallArg;
+use crate::error::{ModelError, Result};
+use crate::ids::TypeId;
+use crate::methods::Specializer;
+use crate::schema::Schema;
+
+impl Schema {
+    /// Validates the whole schema:
+    ///
+    /// 1. the hierarchy is acyclic;
+    /// 2. every live type has a consistent class precedence list;
+    /// 3. every attribute's owner lists it locally (and only the owner);
+    /// 4. accessor methods access attributes available at their
+    ///    specializer;
+    /// 5. method specializer lists match their generic function's arity;
+    /// 6. method bodies are well-formed: parameter/variable indices in
+    ///    range, call arity correct, and call arguments statically
+    ///    compatible with at least one method of the callee when the
+    ///    callee has any methods;
+    /// 7. assignments and returns are type-compatible (`value <= target`
+    ///    for object types) — the §6.3 property the `Augment` pass exists
+    ///    to preserve.
+    pub fn validate(&self) -> Result<()> {
+        self.validate_hierarchy()?;
+        self.validate_attrs()?;
+        self.validate_methods()?;
+        Ok(())
+    }
+
+    fn validate_hierarchy(&self) -> Result<()> {
+        // Acyclicity via DFS coloring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.n_types();
+        let mut color = vec![Color::White; n];
+        for root in self.live_type_ids() {
+            if color[root.index()] != Color::White {
+                continue;
+            }
+            // Iterative DFS with explicit finish events.
+            let mut stack: Vec<(TypeId, bool)> = vec![(root, false)];
+            while let Some((t, finished)) = stack.pop() {
+                if finished {
+                    color[t.index()] = Color::Black;
+                    continue;
+                }
+                match color[t.index()] {
+                    Color::Black => continue,
+                    Color::Grey => return Err(ModelError::CyclicHierarchy(t)),
+                    Color::White => {}
+                }
+                color[t.index()] = Color::Grey;
+                stack.push((t, true));
+                for link in self.type_(t).supers() {
+                    match color[link.target.index()] {
+                        Color::Grey => return Err(ModelError::CyclicHierarchy(link.target)),
+                        Color::White => stack.push((link.target, false)),
+                        Color::Black => {}
+                    }
+                }
+            }
+        }
+        // CPL existence.
+        for t in self.live_type_ids() {
+            self.cpl(t)?;
+        }
+        Ok(())
+    }
+
+    fn validate_attrs(&self) -> Result<()> {
+        for a in self.attr_ids() {
+            let def = self.attr(a);
+            self.check_type(def.owner)?;
+            if !self.type_(def.owner).local_attrs.contains(&a) {
+                return Err(ModelError::Invalid(format!(
+                    "attribute {a} ({}) not listed locally at its owner {}",
+                    def.name,
+                    self.type_name(def.owner)
+                )));
+            }
+        }
+        for t in self.live_type_ids() {
+            for &a in &self.type_(t).local_attrs {
+                self.check_attr(a)?;
+                if self.attr(a).owner != t {
+                    return Err(ModelError::Invalid(format!(
+                        "type {} lists attribute {a} whose owner is {}",
+                        self.type_name(t),
+                        self.type_name(self.attr(a).owner)
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_methods(&self) -> Result<()> {
+        for m in self.method_ids() {
+            let method = self.method(m);
+            self.check_gf(method.gf)?;
+            let gf = self.gf(method.gf);
+            if method.specializers.len() != gf.arity {
+                return Err(ModelError::ArityMismatch {
+                    gf: method.gf,
+                    expected: gf.arity,
+                    got: method.specializers.len(),
+                });
+            }
+            for spec in &method.specializers {
+                if let Specializer::Type(t) = spec {
+                    self.check_type(*t)?;
+                }
+            }
+            if let Some(attr) = method.kind.accessed_attr() {
+                self.check_attr(attr)?;
+                let at = method
+                    .specializers
+                    .first()
+                    .and_then(|s| s.as_type())
+                    .ok_or_else(|| {
+                        ModelError::Invalid(format!(
+                            "accessor {} lacks an object first argument",
+                            method.label
+                        ))
+                    })?;
+                if !self.attr_available_at(attr, at) {
+                    return Err(ModelError::AccessorAttrUnavailable { attr, at });
+                }
+            }
+            if let Some(body) = method.body() {
+                self.validate_body(m, body)?;
+            }
+        }
+        // No generic function may hold two methods with identical
+        // specializer tuples (ambiguous dispatch).
+        for g in self.gf_ids() {
+            let methods = &self.gf(g).methods;
+            for (i, &m1) in methods.iter().enumerate() {
+                for &m2 in &methods[i + 1..] {
+                    if self.method(m1).specializers == self.method(m2).specializers {
+                        return Err(ModelError::Invalid(format!(
+                            "generic function `{}` has duplicate method signatures ({} and {})",
+                            self.gf(g).name,
+                            self.method(m1).label,
+                            self.method(m2).label
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_body(&self, m: crate::ids::MethodId, body: &crate::body::Body) -> Result<()> {
+        let method = self.method(m);
+        for local in &body.locals {
+            if let ValueType::Object(t) = local.ty {
+                self.check_type(t)?;
+            }
+        }
+        let mut result: Result<()> = Ok(());
+        body.visit_exprs(&mut |e| {
+            if result.is_err() {
+                return;
+            }
+            match e {
+                Expr::Param(i) if *i >= method.specializers.len() => {
+                    result = Err(ModelError::BadParamIndex { method: m, index: *i });
+                }
+                Expr::Var(v) if v.index() >= body.locals.len() => {
+                    result = Err(ModelError::BadVarIndex {
+                        method: m,
+                        index: v.index(),
+                    });
+                }
+                Expr::Call { gf, args } => {
+                    if self.check_gf(*gf).is_err() {
+                        result = Err(ModelError::BadGfId(*gf));
+                    } else if self.gf(*gf).arity != args.len() {
+                        result = Err(ModelError::CallArityMismatch {
+                            gf: *gf,
+                            expected: self.gf(*gf).arity,
+                            got: args.len(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        });
+        result?;
+        // Assignment / return compatibility (the §6.3 concern).
+        let mut flow_err: Result<()> = Ok(());
+        body.visit_stmts(&mut |s| {
+            if flow_err.is_err() {
+                return;
+            }
+            if let Stmt::Assign { var, value } = s {
+                let Some(local) = body.locals.get(var.index()) else {
+                    return;
+                };
+                if let ValueType::Object(target) = local.ty {
+                    if let CallArg::Object(v) = self.static_expr_type(m, value) {
+                        if !self.is_subtype(v, target) {
+                            flow_err = Err(ModelError::Invalid(format!(
+                                "type error in `{}`: assigning {} into variable `{}` of type {}",
+                                self.method(m).label,
+                                self.type_name(v),
+                                local.name,
+                                self.type_name(target)
+                            )));
+                        }
+                    }
+                }
+            }
+        });
+        flow_err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyBuilder;
+    use crate::methods::MethodKind;
+
+    #[test]
+    fn valid_schema_passes() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        s.add_accessors(x).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let get_x = s.gf_id("get_x").unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_x, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f1",
+            vec![Specializer::Type(b)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_param_index_caught() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.expr(Expr::Param(4));
+        s.add_method(
+            f,
+            "f1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        assert!(matches!(
+            s.validate(),
+            Err(ModelError::BadParamIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn call_arity_mismatch_caught() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let g = s.add_gf("g", 2, None).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(g, vec![Expr::Param(0)]); // g expects 2 args
+        s.add_method(
+            f,
+            "f1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        assert!(matches!(
+            s.validate(),
+            Err(ModelError::CallArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incompatible_assignment_caught() {
+        // g: G; g <- (param of unrelated type C) where C is NOT <= G.
+        let mut s = Schema::new();
+        let g_ty = s.add_type("G", &[]).unwrap();
+        let c_ty = s.add_type("C", &[]).unwrap(); // unrelated
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        let g = bb.local("g", ValueType::Object(g_ty));
+        bb.assign(g, Expr::Param(0));
+        s.add_method(
+            f,
+            "f1",
+            vec![Specializer::Type(c_ty)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("type error"));
+    }
+
+    #[test]
+    fn dangling_specializer_caught() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let m = s
+            .add_method(
+                f,
+                "f1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        // Simulate corruption: point the specializer at a bogus type.
+        s.method_mut(m).specializers = vec![Specializer::Type(TypeId(99))];
+        assert!(matches!(s.validate(), Err(ModelError::BadTypeId(_))));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the object store and interpreter.
+
+use std::fmt;
+use td_model::{AttrId, GfId, ModelError, TypeId};
+
+use crate::object::ObjId;
+
+/// Errors raised by object creation, attribute access and method
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An underlying schema operation failed.
+    Model(ModelError),
+    /// A referenced object id is out of range.
+    BadObjId(ObjId),
+    /// An attribute was supplied or requested that is not part of the
+    /// object's cumulative state.
+    AttrNotInType {
+        /// The attribute.
+        attr: AttrId,
+        /// The object's type.
+        ty: TypeId,
+    },
+    /// A supplied value does not match the attribute's declared type.
+    ValueTypeMismatch {
+        /// The attribute.
+        attr: AttrId,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A generic-function call had no applicable method for the actual
+    /// argument types.
+    NoApplicableMethod {
+        /// The called generic function's name.
+        gf: String,
+        /// Rendered actual argument types.
+        args: String,
+    },
+    /// A call passed the wrong number of arguments.
+    ArityMismatch {
+        /// The called generic function.
+        gf: GfId,
+        /// Declared arity.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// A runtime type error inside a method body (bad operand kinds,
+    /// null dereference, …).
+    TypeError(String),
+    /// Method-call recursion exceeded the interpreter's depth limit.
+    DepthExceeded(usize),
+    /// Integer division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Model(e) => write!(f, "schema error: {e}"),
+            StoreError::BadObjId(o) => write!(f, "object id {o} out of range"),
+            StoreError::AttrNotInType { attr, ty } => {
+                write!(f, "attribute {attr} is not part of type {ty}")
+            }
+            StoreError::ValueTypeMismatch { attr, detail } => {
+                write!(f, "value for attribute {attr} has wrong type: {detail}")
+            }
+            StoreError::NoApplicableMethod { gf, args } => {
+                write!(f, "no applicable method for {gf}({args})")
+            }
+            StoreError::ArityMismatch { gf, expected, got } => {
+                write!(f, "{gf} expects {expected} arguments, got {got}")
+            }
+            StoreError::TypeError(msg) => write!(f, "runtime type error: {msg}"),
+            StoreError::DepthExceeded(d) => write!(f, "call depth limit {d} exceeded"),
+            StoreError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for StoreError {
+    fn from(e: ModelError) -> Self {
+        StoreError::Model(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,366 @@
+//! The method interpreter: executable multi-method dispatch.
+//!
+//! Generic-function calls dispatch on the runtime types of **all**
+//! arguments (§2), ranked by the class precedence lists of the actual
+//! argument types. Accessor methods read/write object state — the only
+//! state access in the model — and general methods execute their IR
+//! bodies, which may invoke further generic functions.
+//!
+//! The interpreter is what makes behavior preservation *observable*: the
+//! examples call the same generic functions on the same objects before
+//! and after a derivation and compare results.
+
+use td_model::{BinOp, CallArg, Expr, GfId, MethodId, MethodKind, Stmt};
+
+use crate::error::{Result, StoreError};
+use crate::object::Database;
+use crate::value::Value;
+
+/// Maximum method-call nesting before the interpreter gives up (the IR
+/// has no loops, so nontermination can only come from inter-method
+/// recursion).
+pub const MAX_CALL_DEPTH: usize = 256;
+
+impl Database {
+    /// Calls generic function `gf` with the given argument values,
+    /// dispatching to the most specific applicable method.
+    pub fn call(&mut self, gf: GfId, args: &[Value]) -> Result<Value> {
+        self.call_at_depth(gf, args, 0)
+    }
+
+    /// Calls a generic function by name.
+    pub fn call_named(&mut self, gf: &str, args: &[Value]) -> Result<Value> {
+        let gf = self.schema().gf_id(gf)?;
+        self.call(gf, args)
+    }
+
+    /// The runtime [`CallArg`] of a value (object values report their
+    /// stored type).
+    pub fn runtime_arg(&self, v: &Value) -> Result<CallArg> {
+        Ok(match v {
+            Value::Ref(o) => CallArg::Object(self.object(*o)?.ty),
+            Value::Null => CallArg::Null,
+            prim => CallArg::Prim(prim.prim_type().expect("non-ref, non-null is prim")),
+        })
+    }
+
+    fn call_at_depth(&mut self, gf: GfId, args: &[Value], depth: usize) -> Result<Value> {
+        if depth > MAX_CALL_DEPTH {
+            return Err(StoreError::DepthExceeded(MAX_CALL_DEPTH));
+        }
+        if gf.index() >= self.schema().n_gfs() {
+            return Err(StoreError::Model(td_model::ModelError::BadGfId(gf)));
+        }
+        let expected = self.schema().gf(gf).arity;
+        if args.len() != expected {
+            return Err(StoreError::ArityMismatch {
+                gf,
+                expected,
+                got: args.len(),
+            });
+        }
+        let rt_args: Vec<CallArg> = args
+            .iter()
+            .map(|v| self.runtime_arg(v))
+            .collect::<Result<_>>()?;
+        let method = self
+            .schema()
+            .most_specific(gf, &rt_args)
+            .map_err(StoreError::Model)?
+            .ok_or_else(|| StoreError::NoApplicableMethod {
+                gf: self.schema().gf(gf).name.clone(),
+                args: rt_args
+                    .iter()
+                    .map(|a| format!("{a:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            })?;
+        self.execute(method, args, depth)
+    }
+
+    fn execute(&mut self, method: MethodId, args: &[Value], depth: usize) -> Result<Value> {
+        match self.schema().method(method).kind.clone() {
+            MethodKind::Reader(attr) => {
+                let obj = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| StoreError::TypeError("reader on null/non-object".into()))?;
+                self.get_field(obj, attr)
+            }
+            MethodKind::Writer(attr) => {
+                let obj = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| StoreError::TypeError("writer on null/non-object".into()))?;
+                self.set_field(obj, attr, args[1].clone())?;
+                Ok(Value::Null)
+            }
+            MethodKind::General(body) => {
+                let mut env = Env {
+                    params: args.to_vec(),
+                    locals: vec![Value::Null; body.locals.len()],
+                };
+                match self.exec_block(&body.stmts, &mut env, depth)? {
+                    Flow::Return(v) => Ok(v),
+                    Flow::Fall => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env, depth: usize) -> Result<Flow> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { var, value } => {
+                    let v = self.eval(value, env, depth)?;
+                    env.locals[var.index()] = v;
+                }
+                Stmt::Expr(e) => {
+                    self.eval(e, env, depth)?;
+                }
+                Stmt::Return(e) => {
+                    let v = self.eval(e, env, depth)?;
+                    return Ok(Flow::Return(v));
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let c = self
+                        .eval(cond, env, depth)?
+                        .as_bool()
+                        .ok_or_else(|| StoreError::TypeError("if condition not boolean".into()))?;
+                    let branch = if c { then_branch } else { else_branch };
+                    if let Flow::Return(v) = self.exec_block(branch, env, depth)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+            }
+        }
+        Ok(Flow::Fall)
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env, depth: usize) -> Result<Value> {
+        match e {
+            Expr::Param(i) => Ok(env.params[*i].clone()),
+            Expr::Var(v) => Ok(env.locals[v.index()].clone()),
+            Expr::Lit(l) => Ok(Value::from(l)),
+            Expr::Call { gf, args } => {
+                let values: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a, env, depth))
+                    .collect::<Result<_>>()?;
+                self.call_at_depth(*gf, &values, depth + 1)
+            }
+            Expr::BinOp { op, lhs, rhs } => {
+                let l = self.eval(lhs, env, depth)?;
+                let r = self.eval(rhs, env, depth)?;
+                apply_binop(*op, l, r)
+            }
+        }
+    }
+}
+
+enum Flow {
+    Return(Value),
+    Fall,
+}
+
+struct Env {
+    params: Vec<Value>,
+    locals: Vec<Value>,
+}
+
+fn apply_binop(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => arith(op, l, r),
+        Lt => match (l.as_float(), r.as_float()) {
+            (Some(a), Some(b)) => Ok(Value::Bool(a < b)),
+            _ => Err(StoreError::TypeError("`<` needs numbers".into())),
+        },
+        Eq => Ok(Value::Bool(l == r)),
+        And | Or => match (l.as_bool(), r.as_bool()) {
+            (Some(a), Some(b)) => Ok(Value::Bool(if op == And { a && b } else { a || b })),
+            _ => Err(StoreError::TypeError("logical op needs booleans".into())),
+        },
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match (&l, &r) {
+        (Value::Str(a), Value::Str(b)) if op == Add => Ok(Value::Str(format!("{a}{b}"))),
+        (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+            Add => a.wrapping_add(*b),
+            Sub => a.wrapping_sub(*b),
+            Mul => a.wrapping_mul(*b),
+            Div => {
+                if *b == 0 {
+                    return Err(StoreError::DivisionByZero);
+                }
+                a.wrapping_div(*b)
+            }
+            _ => unreachable!("arith called with comparison"),
+        })),
+        _ => match (l.as_float(), r.as_float()) {
+            (Some(a), Some(b)) => Ok(Value::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => unreachable!("arith called with comparison"),
+            })),
+            _ => Err(StoreError::TypeError(format!(
+                "cannot apply {op} to {l} and {r}"
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_workload::figures;
+
+    fn fig1_db() -> Database {
+        Database::new(figures::fig1())
+    }
+
+    #[test]
+    fn accessors_read_and_write() {
+        let mut db = fig1_db();
+        let o = db
+            .create_named("Employee", &[("SSN", Value::Int(42))])
+            .unwrap();
+        assert_eq!(
+            db.call_named("get_SSN", &[Value::Ref(o)]).unwrap(),
+            Value::Int(42)
+        );
+        db.call_named("set_SSN", &[Value::Ref(o), Value::Int(7)])
+            .unwrap();
+        assert_eq!(
+            db.call_named("get_SSN", &[Value::Ref(o)]).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn general_methods_compute() {
+        let mut db = fig1_db();
+        let o = db
+            .create_named(
+                "Employee",
+                &[
+                    ("date_of_birth", Value::Int(1990)),
+                    ("pay_rate", Value::Float(50.0)),
+                    ("hrs_worked", Value::Float(10.0)),
+                ],
+            )
+            .unwrap();
+        // age = 2026 - 1990
+        assert_eq!(
+            db.call_named("age", &[Value::Ref(o)]).unwrap(),
+            Value::Int(36)
+        );
+        // income = 50 * 10
+        assert_eq!(
+            db.call_named("income", &[Value::Ref(o)]).unwrap(),
+            Value::Float(500.0)
+        );
+        // promote: (2026-1990)=36 < 50 -> true
+        assert_eq!(
+            db.call_named("promote", &[Value::Ref(o)]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn age_applies_to_plain_persons_too() {
+        let mut db = fig1_db();
+        let p = db
+            .create_named("Person", &[("date_of_birth", Value::Int(2000))])
+            .unwrap();
+        assert_eq!(
+            db.call_named("age", &[Value::Ref(p)]).unwrap(),
+            Value::Int(26)
+        );
+        // income does not apply to a Person.
+        let err = db.call_named("income", &[Value::Ref(p)]).unwrap_err();
+        assert!(matches!(err, StoreError::NoApplicableMethod { .. }));
+    }
+
+    #[test]
+    fn subtype_method_overrides() {
+        use td_model::{BodyBuilder, Expr, MethodKind, Specializer, ValueType};
+        let mut s = td_model::Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let f = s.add_gf("f", 1, Some(ValueType::INT)).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.ret(Expr::int(1));
+        s.add_method(f, "f_a", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), Some(ValueType::INT)).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.ret(Expr::int(2));
+        s.add_method(f, "f_b", vec![Specializer::Type(b)], MethodKind::General(bb.finish()), Some(ValueType::INT)).unwrap();
+        let mut db = Database::new(s);
+        let oa = db.create(a, vec![]).unwrap();
+        let ob = db.create(b, vec![]).unwrap();
+        assert_eq!(db.call_named("f", &[Value::Ref(oa)]).unwrap(), Value::Int(1));
+        assert_eq!(db.call_named("f", &[Value::Ref(ob)]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn runaway_recursion_is_bounded() {
+        use td_model::{BodyBuilder, Expr, MethodKind, Specializer};
+        let mut s = td_model::Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f, vec![Expr::Param(0)]);
+        s.add_method(f, "f1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .unwrap();
+        let mut db = Database::new(s);
+        let o = db.create(a, vec![]).unwrap();
+        let err = db.call_named("f", &[Value::Ref(o)]).unwrap_err();
+        assert!(matches!(err, StoreError::DepthExceeded(_)));
+    }
+
+    #[test]
+    fn arity_checked_at_call() {
+        let mut db = fig1_db();
+        let o = db.create_named("Person", &[]).unwrap();
+        let err = db
+            .call_named("age", &[Value::Ref(o), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(
+            apply_binop(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Add, Value::Str("a".into()), Value::Str("b".into())).unwrap(),
+            Value::Str("ab".into())
+        );
+        assert_eq!(
+            apply_binop(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert!(matches!(
+            apply_binop(BinOp::Div, Value::Int(1), Value::Int(0)),
+            Err(StoreError::DivisionByZero)
+        ));
+        assert_eq!(
+            apply_binop(BinOp::Mul, Value::Int(2), Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Eq, Value::Null, Value::Null).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(apply_binop(BinOp::And, Value::Int(1), Value::Bool(true)).is_err());
+    }
+}

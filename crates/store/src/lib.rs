@@ -1,0 +1,53 @@
+//! # td-store — the OODB instantiation substrate
+//!
+//! The paper separates the *type derivation* problem (solved by
+//! `td-core`) from the *type instantiation* problem — "the manipulation
+//! of instances of the source types of the view to obtain the instances
+//! of the type derived by the view operation" (§1) — which it leaves to
+//! the host system. This crate is that host system: an in-memory object
+//! database with
+//!
+//! * typed objects with flat state ([`Database`], [`Object`], [`Value`]),
+//! * per-type direct extents and subtype-closed deep extents,
+//! * an interpreter executing method bodies with true multi-method
+//!   dispatch ([`Database::call`]),
+//! * materialized and virtual view extents for derived types
+//!   ([`MaterializedView`], [`VirtualView`]), with write-through /
+//!   push / pull synchronization ([`update`]).
+//!
+//! Because the interpreter exists, behavior preservation stops being a
+//! theorem and becomes a test: run the same calls on the same objects
+//! before and after a derivation and compare the values.
+//!
+//! ```
+//! use td_store::{Database, Value};
+//! use td_workload::figures;
+//!
+//! let mut db = Database::new(figures::fig1());
+//! let o = db.create_named("Employee", &[
+//!     ("date_of_birth", Value::Int(1990)),
+//!     ("pay_rate", Value::Float(50.0)),
+//!     ("hrs_worked", Value::Float(10.0)),
+//! ]).unwrap();
+//! assert_eq!(db.call_named("income", &[Value::Ref(o)]).unwrap(), Value::Float(500.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod interp;
+pub mod object;
+pub mod text;
+pub mod txn;
+pub mod update;
+pub mod value;
+pub mod view;
+
+pub use error::{Result, StoreError};
+pub use object::{Database, ObjId, Object};
+pub use value::Value;
+pub use text::{parse_objects, DataError};
+pub use txn::Savepoint;
+pub use view::{MaterializedView, VirtualView};

@@ -1,0 +1,294 @@
+//! Objects, extents and the [`Database`].
+//!
+//! Types and type extents are decoupled in the paper's model (§1, citing
+//! the OODB manifesto); the store keeps a *direct* extent per type and
+//! computes *deep* extents (instances of a type or any subtype) on
+//! demand, which is what inclusion polymorphism means operationally.
+
+use std::collections::HashMap;
+use std::fmt;
+use td_model::{AttrId, Schema, TypeId, ValueType};
+
+use crate::error::{Result, StoreError};
+use crate::value::Value;
+
+/// Identifies a stored object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Raw index accessor.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A stored object: its (most specific) type and a flat field map holding
+/// both local and inherited attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// The object's type.
+    pub ty: TypeId,
+    fields: HashMap<AttrId, Value>,
+}
+
+impl Object {
+    /// Reads a field (`None` when the attribute is not part of the
+    /// object's state).
+    pub fn get(&self, attr: AttrId) -> Option<&Value> {
+        self.fields.get(&attr)
+    }
+
+    /// Iterates `(attribute, value)` pairs in unspecified order.
+    pub fn fields(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.fields.iter().map(|(&a, v)| (a, v))
+    }
+}
+
+/// An in-memory object database bound to a [`Schema`].
+///
+/// The schema is owned (and mutable through [`Database::schema_mut`])
+/// because deriving view types rewrites it in place; existing objects are
+/// unaffected by a derivation — that is precisely the state-preservation
+/// guarantee the paper proves and [`td_core::invariants`] checks.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    objects: Vec<Object>,
+    direct_extents: HashMap<TypeId, Vec<ObjId>>,
+}
+
+impl Database {
+    /// Wraps a schema in an empty database.
+    pub fn new(schema: Schema) -> Database {
+        Database {
+            schema,
+            objects: Vec::new(),
+            direct_extents: HashMap::new(),
+        }
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema (used to derive view types with
+    /// `td_core::project`).
+    #[inline]
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Verifies that `value` may be stored in `attr`.
+    pub fn check_value(&self, attr: AttrId, value: &Value) -> Result<()> {
+        let ty = self.schema.attr(attr).ty;
+        match (value, ty) {
+            (Value::Null, _) => Ok(()),
+            (Value::Ref(o), ValueType::Object(t)) => {
+                let obj = self.object(*o)?;
+                if self.schema.is_subtype(obj.ty, t) {
+                    Ok(())
+                } else {
+                    Err(StoreError::ValueTypeMismatch {
+                        attr,
+                        detail: format!(
+                            "object of type {} is not a subtype of {}",
+                            self.schema.type_name(obj.ty),
+                            self.schema.type_name(t)
+                        ),
+                    })
+                }
+            }
+            (v, ty) if v.prim_compatible(ty) => Ok(()),
+            (v, ty) => Err(StoreError::ValueTypeMismatch {
+                attr,
+                detail: format!("{v} is not a {ty}"),
+            }),
+        }
+    }
+
+    /// Creates an object of type `ty`. Every supplied attribute must be
+    /// part of the type's cumulative state and type-compatible; attributes
+    /// not supplied are initialized to [`Value::Null`].
+    pub fn create(&mut self, ty: TypeId, values: Vec<(AttrId, Value)>) -> Result<ObjId> {
+        self.schema
+            .is_live(ty)
+            .then_some(())
+            .ok_or(StoreError::Model(td_model::ModelError::BadTypeId(ty)))?;
+        let cumulative = self.schema.cumulative_attrs(ty);
+        let mut fields: HashMap<AttrId, Value> =
+            cumulative.iter().map(|&a| (a, Value::Null)).collect();
+        for (attr, value) in values {
+            if !cumulative.contains(&attr) {
+                return Err(StoreError::AttrNotInType { attr, ty });
+            }
+            self.check_value(attr, &value)?;
+            fields.insert(attr, value);
+        }
+        let id = ObjId(u32::try_from(self.objects.len()).expect("store overflow"));
+        self.objects.push(Object { ty, fields });
+        self.direct_extents.entry(ty).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Creates an object addressing attributes by name.
+    pub fn create_named(
+        &mut self,
+        ty_name: &str,
+        values: &[(&str, Value)],
+    ) -> Result<ObjId> {
+        let ty = self.schema.type_id(ty_name)?;
+        let resolved = values
+            .iter()
+            .map(|(n, v)| Ok((self.schema.attr_id(n)?, v.clone())))
+            .collect::<Result<Vec<_>>>()?;
+        self.create(ty, resolved)
+    }
+
+    /// Immutable object access.
+    pub fn object(&self, id: ObjId) -> Result<&Object> {
+        self.objects.get(id.index()).ok_or(StoreError::BadObjId(id))
+    }
+
+    /// Reads `attr` from `obj`, checking availability.
+    pub fn get_field(&self, obj: ObjId, attr: AttrId) -> Result<Value> {
+        let o = self.object(obj)?;
+        o.get(attr)
+            .cloned()
+            .ok_or(StoreError::AttrNotInType { attr, ty: o.ty })
+    }
+
+    /// Writes `attr` on `obj`, checking availability and value type.
+    pub fn set_field(&mut self, obj: ObjId, attr: AttrId, value: Value) -> Result<()> {
+        self.check_value(attr, &value)?;
+        let o = self
+            .objects
+            .get_mut(obj.index())
+            .ok_or(StoreError::BadObjId(obj))?;
+        match o.fields.get_mut(&attr) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(StoreError::AttrNotInType { attr, ty: o.ty }),
+        }
+    }
+
+    /// Number of stored objects.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The objects whose most-specific type is exactly `ty`.
+    pub fn direct_extent(&self, ty: TypeId) -> &[ObjId] {
+        self.direct_extents
+            .get(&ty)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The deep extent of `ty`: every object whose type is `ty` or a
+    /// subtype — "every instance of A is also an instance of B" (§2).
+    pub fn deep_extent(&self, ty: TypeId) -> Vec<ObjId> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| self.schema.is_subtype(o.ty, ty))
+            .map(|(i, _)| ObjId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_db() -> (Database, TypeId, TypeId, AttrId, AttrId) {
+        let mut s = Schema::new();
+        let person = s.add_type("Person", &[]).unwrap();
+        let employee = s.add_type("Employee", &[person]).unwrap();
+        let name = s.add_attr("name", ValueType::STR, person).unwrap();
+        let pay = s.add_attr("pay", ValueType::FLOAT, employee).unwrap();
+        (Database::new(s), person, employee, name, pay)
+    }
+
+    #[test]
+    fn create_and_read() {
+        let (mut db, _p, e, name, pay) = person_db();
+        let o = db
+            .create(e, vec![(name, "ada".into()), (pay, Value::Float(99.0))])
+            .unwrap();
+        assert_eq!(db.get_field(o, name).unwrap(), Value::Str("ada".into()));
+        assert_eq!(db.get_field(o, pay).unwrap(), Value::Float(99.0));
+    }
+
+    #[test]
+    fn missing_fields_default_to_null() {
+        let (mut db, _p, e, name, pay) = person_db();
+        let o = db.create(e, vec![]).unwrap();
+        assert_eq!(db.get_field(o, name).unwrap(), Value::Null);
+        assert_eq!(db.get_field(o, pay).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn person_cannot_have_employee_state() {
+        let (mut db, p, _e, _name, pay) = person_db();
+        let err = db.create(p, vec![(pay, Value::Float(1.0))]).unwrap_err();
+        assert!(matches!(err, StoreError::AttrNotInType { .. }));
+        let o = db.create(p, vec![]).unwrap();
+        assert!(matches!(
+            db.get_field(o, pay),
+            Err(StoreError::AttrNotInType { .. })
+        ));
+        assert!(matches!(
+            db.set_field(o, pay, Value::Float(2.0)),
+            Err(StoreError::AttrNotInType { .. })
+        ));
+    }
+
+    #[test]
+    fn value_types_enforced() {
+        let (mut db, _p, e, name, _pay) = person_db();
+        let err = db.create(e, vec![(name, Value::Int(3))]).unwrap_err();
+        assert!(matches!(err, StoreError::ValueTypeMismatch { .. }));
+        // Null is always allowed.
+        db.create(e, vec![(name, Value::Null)]).unwrap();
+    }
+
+    #[test]
+    fn ref_values_checked_against_subtyping() {
+        let mut s = Schema::new();
+        let person = s.add_type("Person", &[]).unwrap();
+        let dept = s.add_type("Dept", &[]).unwrap();
+        let boss = s.add_attr("boss", ValueType::Object(person), dept).unwrap();
+        let mut db = Database::new(s);
+        let p = db.create(person, vec![]).unwrap();
+        let d = db.create(dept, vec![(boss, Value::Ref(p))]).unwrap();
+        assert_eq!(db.get_field(d, boss).unwrap(), Value::Ref(p));
+        // A Dept is not a Person.
+        let d2 = db.create(dept, vec![]).unwrap();
+        let err = db.set_field(d2, boss, Value::Ref(d)).unwrap_err();
+        assert!(matches!(err, StoreError::ValueTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn extents_are_deep_through_subtyping() {
+        let (mut db, p, e, _name, _pay) = person_db();
+        let o1 = db.create(p, vec![]).unwrap();
+        let o2 = db.create(e, vec![]).unwrap();
+        assert_eq!(db.direct_extent(p), &[o1]);
+        assert_eq!(db.direct_extent(e), &[o2]);
+        assert_eq!(db.deep_extent(p), vec![o1, o2]);
+        assert_eq!(db.deep_extent(e), vec![o2]);
+    }
+}

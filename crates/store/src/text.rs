@@ -1,0 +1,359 @@
+//! A small data definition language: populate a [`Database`] from text.
+//!
+//! Complements the schema DSL in [`td_model::text`] — a schema file
+//! defines the types, a data file defines named objects:
+//!
+//! ```text
+//! obj alice = Employee {
+//!     SSN = 12345
+//!     name = "Alice"
+//!     pay_rate = 55.0
+//!     manager = bob        # reference to another named object
+//! }
+//! obj bob = Manager { SSN = 1 }
+//! ```
+//!
+//! References may be forward (objects are created first, fields assigned
+//! second). The lexer is shared with the schema DSL.
+
+use std::collections::HashMap;
+use std::fmt;
+use td_model::text::{lex, LexError, Token, TokenKind};
+
+use crate::error::StoreError;
+use crate::object::{Database, ObjId};
+use crate::value::Value;
+
+/// Errors from parsing data text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// The token stream did not match the grammar.
+    Parse {
+        /// Description.
+        message: String,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Creating or populating an object failed.
+    Store {
+        /// The underlying store error.
+        error: StoreError,
+        /// 1-based line of the object declaration.
+        line: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Lex(e) => write!(f, "lex error at {e}"),
+            DataError::Parse { message, line } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Store { error, line } => write!(f, "data error at line {line}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Store { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ObjDecl {
+    name: String,
+    ty: String,
+    fields: Vec<(String, RawValue, usize)>,
+    line: usize,
+}
+
+#[derive(Debug)]
+enum RawValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Ref(String),
+}
+
+/// Parses object declarations and creates them in `db`. Returns the
+/// name → object-id map.
+pub fn parse_objects(
+    db: &mut Database,
+    src: &str,
+) -> Result<HashMap<String, ObjId>, DataError> {
+    let tokens = lex(src).map_err(DataError::Lex)?;
+    let decls = parse_decls(&tokens)?;
+
+    // Duplicate names?
+    let mut by_name: HashMap<String, ObjId> = HashMap::new();
+
+    // Phase 1: create every object (all fields null) so references may be
+    // forward.
+    for decl in &decls {
+        if by_name.contains_key(&decl.name) {
+            return Err(DataError::Parse {
+                message: format!("duplicate object name `{}`", decl.name),
+                line: decl.line,
+            });
+        }
+        let ty = db.schema().type_id(&decl.ty).map_err(|e| DataError::Store {
+            error: StoreError::Model(e),
+            line: decl.line,
+        })?;
+        let id = db.create(ty, vec![]).map_err(|error| DataError::Store {
+            error,
+            line: decl.line,
+        })?;
+        by_name.insert(decl.name.clone(), id);
+    }
+
+    // Phase 2: assign fields.
+    for decl in &decls {
+        let obj = by_name[&decl.name];
+        for (attr_name, raw, line) in &decl.fields {
+            let attr = db
+                .schema()
+                .attr_id(attr_name)
+                .map_err(|e| DataError::Store {
+                    error: StoreError::Model(e),
+                    line: *line,
+                })?;
+            let value = match raw {
+                RawValue::Int(i) => Value::Int(*i),
+                RawValue::Float(x) => Value::Float(*x),
+                RawValue::Str(s) => Value::Str(s.clone()),
+                RawValue::Bool(b) => Value::Bool(*b),
+                RawValue::Null => Value::Null,
+                RawValue::Ref(name) => match by_name.get(name) {
+                    Some(&id) => Value::Ref(id),
+                    None => {
+                        return Err(DataError::Parse {
+                            message: format!("unknown object `{name}`"),
+                            line: *line,
+                        })
+                    }
+                },
+            };
+            db.set_field(obj, attr, value).map_err(|error| DataError::Store {
+                error,
+                line: *line,
+            })?;
+        }
+    }
+    Ok(by_name)
+}
+
+fn parse_decls(tokens: &[Token]) -> Result<Vec<ObjDecl>, DataError> {
+    let mut pos = 0usize;
+    let mut decls = Vec::new();
+
+    let err = |message: String, line: usize| DataError::Parse { message, line };
+
+    macro_rules! tok {
+        () => {
+            &tokens[pos.min(tokens.len() - 1)]
+        };
+    }
+
+    while tok!().kind != TokenKind::Eof {
+        // `obj NAME = TYPE { fields }`
+        let t = tok!().clone();
+        let TokenKind::Ident(kw) = &t.kind else {
+            return Err(err(format!("expected `obj`, found {}", t.kind), t.line));
+        };
+        if kw != "obj" {
+            return Err(err(format!("expected `obj`, found `{kw}`"), t.line));
+        }
+        pos += 1;
+        let t = tok!().clone();
+        let TokenKind::Ident(name) = t.kind else {
+            return Err(err(format!("expected object name, found {}", t.kind), t.line));
+        };
+        pos += 1;
+        if tok!().kind != TokenKind::Assign {
+            let t = tok!();
+            return Err(err(format!("expected `=`, found {}", t.kind), t.line));
+        }
+        pos += 1;
+        let t = tok!().clone();
+        let TokenKind::Ident(ty) = t.kind else {
+            return Err(err(format!("expected type name, found {}", t.kind), t.line));
+        };
+        let decl_line = t.line;
+        pos += 1;
+        if tok!().kind != TokenKind::LBrace {
+            let t = tok!();
+            return Err(err(format!("expected `{{`, found {}", t.kind), t.line));
+        }
+        pos += 1;
+
+        let mut fields = Vec::new();
+        while tok!().kind != TokenKind::RBrace {
+            let t = tok!().clone();
+            let TokenKind::Ident(attr) = t.kind else {
+                return Err(err(format!("expected attribute name, found {}", t.kind), t.line));
+            };
+            let field_line = t.line;
+            pos += 1;
+            if tok!().kind != TokenKind::Assign {
+                let t = tok!();
+                return Err(err(format!("expected `=`, found {}", t.kind), t.line));
+            }
+            pos += 1;
+            let t = tok!().clone();
+            let (raw, extra) = match &t.kind {
+                TokenKind::Int(i) => (RawValue::Int(*i), 0),
+                TokenKind::Float(x) => (RawValue::Float(*x), 0),
+                TokenKind::Str(s) => (RawValue::Str(s.clone()), 0),
+                TokenKind::Minus => {
+                    let t2 = tokens.get(pos + 1).cloned();
+                    match t2.map(|t| t.kind) {
+                        Some(TokenKind::Int(i)) => (RawValue::Int(-i), 1),
+                        Some(TokenKind::Float(x)) => (RawValue::Float(-x), 1),
+                        _ => return Err(err("expected number after `-`".into(), t.line)),
+                    }
+                }
+                TokenKind::Ident(id) => match id.as_str() {
+                    "true" => (RawValue::Bool(true), 0),
+                    "false" => (RawValue::Bool(false), 0),
+                    "null" => (RawValue::Null, 0),
+                    other => (RawValue::Ref(other.to_string()), 0),
+                },
+                other => {
+                    return Err(err(format!("expected a value, found {other}"), t.line));
+                }
+            };
+            pos += 1 + extra;
+            fields.push((attr, raw, field_line));
+        }
+        pos += 1; // consume `}`
+        decls.push(ObjDecl {
+            name,
+            ty,
+            fields,
+            line: decl_line,
+        });
+    }
+    Ok(decls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_workload::figures;
+
+    fn db() -> Database {
+        Database::new(figures::fig1())
+    }
+
+    #[test]
+    fn objects_parse_and_populate() {
+        let mut db = db();
+        let names = parse_objects(
+            &mut db,
+            r#"
+            obj alice = Employee {
+                SSN = 12345
+                name = "Alice"
+                pay_rate = 55.0
+                hrs_worked = 38.0
+                date_of_birth = 1990
+            }
+            obj bob = Person { SSN = 2  name = "Bob" }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(names.len(), 2);
+        let alice = names["alice"];
+        assert_eq!(
+            db.call_named("income", &[Value::Ref(alice)]).unwrap(),
+            Value::Float(2090.0)
+        );
+        let bob = names["bob"];
+        let name = db.schema().attr_id("name").unwrap();
+        assert_eq!(db.get_field(bob, name).unwrap(), Value::Str("Bob".into()));
+    }
+
+    #[test]
+    fn forward_references_between_objects() {
+        let mut s = td_model::Schema::new();
+        let person = s.add_type("Person", &[]).unwrap();
+        s.add_attr("friend", td_model::ValueType::Object(person), person)
+            .unwrap();
+        let mut db = Database::new(s);
+        let names = parse_objects(
+            &mut db,
+            r#"
+            obj a = Person { friend = b }
+            obj b = Person { friend = a }
+            "#,
+        )
+        .unwrap();
+        let friend = db.schema().attr_id("friend").unwrap();
+        assert_eq!(
+            db.get_field(names["a"], friend).unwrap(),
+            Value::Ref(names["b"])
+        );
+        assert_eq!(
+            db.get_field(names["b"], friend).unwrap(),
+            Value::Ref(names["a"])
+        );
+    }
+
+    #[test]
+    fn negative_numbers_booleans_and_null() {
+        let mut s = td_model::Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        s.add_attr("i", td_model::ValueType::INT, a).unwrap();
+        s.add_attr("f", td_model::ValueType::FLOAT, a).unwrap();
+        s.add_attr("b", td_model::ValueType::BOOL, a).unwrap();
+        s.add_attr("s", td_model::ValueType::STR, a).unwrap();
+        let mut db = Database::new(s);
+        let names = parse_objects(
+            &mut db,
+            r#"obj o = A { i = -3  f = -2.5  b = true  s = null }"#,
+        )
+        .unwrap();
+        let o = names["o"];
+        let get = |n: &str| db.get_field(o, db.schema().attr_id(n).unwrap()).unwrap();
+        assert_eq!(get("i"), Value::Int(-3));
+        assert_eq!(get("f"), Value::Float(-2.5));
+        assert_eq!(get("b"), Value::Bool(true));
+        assert_eq!(get("s"), Value::Null);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let mut db = db();
+        let e = parse_objects(&mut db, "obj x = Nope { }").unwrap_err();
+        assert!(e.to_string().contains("Nope"));
+        let e = parse_objects(&mut db, "obj x = Person { pay_rate = 1.0 }").unwrap_err();
+        assert!(e.to_string().contains("not part of type"));
+        let e = parse_objects(&mut db, "obj x = Person { SSN = missing_obj }").unwrap_err();
+        assert!(e.to_string().contains("unknown object"));
+        let e = parse_objects(
+            &mut db,
+            "obj x = Person { }\nobj x = Person { }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("duplicate object name"));
+        let e = parse_objects(&mut db, "notobj").unwrap_err();
+        assert!(e.to_string().contains("expected `obj`"));
+    }
+
+    #[test]
+    fn type_mismatch_reported_with_line() {
+        let mut db = db();
+        let e = parse_objects(&mut db, "obj x = Person {\n  SSN = \"oops\"\n}").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("wrong type"), "{msg}");
+    }
+}

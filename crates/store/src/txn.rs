@@ -1,0 +1,119 @@
+//! Snapshot transactions for the [`Database`].
+//!
+//! Multi-step operations (materializing a view, a batch of writes through
+//! an updatable view) should be all-or-nothing. The database is a value
+//! (schema + objects), so transactions are snapshot-based: `begin` clones
+//! the state, `rollback` restores it, `commit` discards the snapshot.
+//! Transactions nest (a stack of snapshots).
+//!
+//! [`Database::transact`] wraps the pattern: run a closure, committing on
+//! `Ok` and rolling back on `Err`.
+
+use crate::error::Result;
+use crate::object::Database;
+
+/// Saved state for one open transaction.
+#[derive(Debug, Clone)]
+pub struct Savepoint {
+    db: Database,
+}
+
+impl Database {
+    /// Opens a transaction: captures the current state.
+    pub fn begin(&self) -> Savepoint {
+        Savepoint { db: self.clone() }
+    }
+
+    /// Abandons changes made since the savepoint was taken.
+    pub fn rollback(&mut self, savepoint: Savepoint) {
+        *self = savepoint.db;
+    }
+
+    /// Runs `f` transactionally: on `Ok` the changes stay, on `Err` the
+    /// database is restored to its pre-call state and the error returned.
+    pub fn transact<T>(&mut self, f: impl FnOnce(&mut Database) -> Result<T>) -> Result<T> {
+        let savepoint = self.begin();
+        match f(self) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.rollback(savepoint);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StoreError;
+    use crate::value::Value;
+    use td_workload::figures;
+
+    #[test]
+    fn rollback_restores_objects_and_schema() {
+        let mut db = Database::new(figures::fig1());
+        let o = db.create_named("Person", &[("SSN", Value::Int(1))]).unwrap();
+        let save = db.begin();
+
+        // Mutate objects AND the schema.
+        db.create_named("Person", &[("SSN", Value::Int(2))]).unwrap();
+        let ssn = db.schema().attr_id("SSN").unwrap();
+        db.set_field(o, ssn, Value::Int(99)).unwrap();
+        td_core::project_named(
+            db.schema_mut(),
+            "Employee",
+            &["SSN"],
+            &td_core::ProjectionOptions::fast(),
+        )
+        .unwrap();
+        assert_eq!(db.n_objects(), 2);
+        assert!(db.schema().type_id("^Employee").is_ok());
+
+        db.rollback(save);
+        assert_eq!(db.n_objects(), 1);
+        assert_eq!(db.get_field(o, ssn).unwrap(), Value::Int(1));
+        assert!(db.schema().type_id("^Employee").is_err());
+    }
+
+    #[test]
+    fn transact_commits_on_ok() {
+        let mut db = Database::new(figures::fig1());
+        let created = db
+            .transact(|db| db.create_named("Person", &[("SSN", Value::Int(7))]))
+            .unwrap();
+        let ssn = db.schema().attr_id("SSN").unwrap();
+        assert_eq!(db.get_field(created, ssn).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn transact_rolls_back_on_err() {
+        let mut db = Database::new(figures::fig1());
+        let err = db
+            .transact(|db| {
+                db.create_named("Person", &[("SSN", Value::Int(1))])?;
+                db.create_named("Person", &[("SSN", Value::Str("bad".into()))])
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ValueTypeMismatch { .. }));
+        // The first create was rolled back with the second's failure.
+        assert_eq!(db.n_objects(), 0);
+    }
+
+    #[test]
+    fn transactions_nest() {
+        let mut db = Database::new(figures::fig1());
+        db.transact(|db| {
+            db.create_named("Person", &[])?;
+            let inner = db.transact(|db| {
+                db.create_named("Person", &[])?;
+                Err::<(), _>(StoreError::DivisionByZero)
+            });
+            assert!(inner.is_err());
+            assert_eq!(db.n_objects(), 1); // inner rolled back, outer intact
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.n_objects(), 1);
+    }
+}

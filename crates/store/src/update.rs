@@ -1,0 +1,188 @@
+//! Updatable materialized views (after the paper's reference \[16\],
+//! Scholl, Laasch & Tresch, *Updatable Views in Object-Oriented
+//! Databases*, DOOD '91).
+//!
+//! A projection view is trivially updatable: every view attribute *is* a
+//! source attribute (identity is preserved by derivation), so updates
+//! translate 1:1. Three synchronization primitives are provided:
+//!
+//! * [`MaterializedView::set_through`] — write one view field and its
+//!   source field atomically;
+//! * [`MaterializedView::push`] — propagate all view-object fields back
+//!   to their sources;
+//! * [`MaterializedView::pull`] — refresh all view-object fields from
+//!   their sources (after direct source updates).
+
+use td_model::AttrId;
+
+use crate::error::{Result, StoreError};
+use crate::object::{Database, ObjId};
+use crate::value::Value;
+use crate::view::MaterializedView;
+
+impl MaterializedView {
+    /// Verifies that `attr` is part of the view and that `view_obj` was
+    /// materialized by this view, returning its source object.
+    fn check_update(&self, attr: AttrId, view_obj: ObjId) -> Result<ObjId> {
+        if !self.projection.contains(&attr) {
+            return Err(StoreError::AttrNotInType {
+                attr,
+                ty: self.derived,
+            });
+        }
+        self.source_of(view_obj)
+            .ok_or(StoreError::BadObjId(view_obj))
+    }
+
+    /// Writes `attr` on a view object **and** on the source object it was
+    /// materialized from. Fails (changing nothing) if the attribute is
+    /// outside the projection or the object is not part of this view.
+    pub fn set_through(
+        &self,
+        db: &mut Database,
+        view_obj: ObjId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<()> {
+        let src = self.check_update(attr, view_obj)?;
+        // Validate against the source first so a type error cannot leave
+        // the pair half-updated.
+        db.check_value(attr, &value)?;
+        db.set_field(src, attr, value.clone())?;
+        db.set_field(view_obj, attr, value)?;
+        Ok(())
+    }
+
+    /// Propagates every projected field of every view object back to its
+    /// source. Returns the number of fields actually changed.
+    pub fn push(&self, db: &mut Database) -> Result<usize> {
+        let mut changed = 0usize;
+        for &(src, view) in &self.pairs {
+            for &attr in &self.projection {
+                let new = db.get_field(view, attr)?;
+                if db.get_field(src, attr)? != new {
+                    db.set_field(src, attr, new)?;
+                    changed += 1;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Refreshes every projected field of every view object from its
+    /// source. Returns the number of fields actually changed.
+    pub fn pull(&self, db: &mut Database) -> Result<usize> {
+        let mut changed = 0usize;
+        for &(src, view) in &self.pairs {
+            for &attr in &self.projection {
+                let new = db.get_field(src, attr)?;
+                if db.get_field(view, attr)? != new {
+                    db.set_field(view, attr, new)?;
+                    changed += 1;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Fields whose view and source values currently disagree:
+    /// `(source, view, attr)` triples. Empty means fully synchronized.
+    pub fn divergent(&self, db: &Database) -> Result<Vec<(ObjId, ObjId, AttrId)>> {
+        let mut out = Vec::new();
+        for &(src, view) in &self.pairs {
+            for &attr in &self.projection {
+                if db.get_field(src, attr)? != db.get_field(view, attr)? {
+                    out.push((src, view, attr));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{project_named, ProjectionOptions};
+    use td_workload::figures;
+
+    fn setup() -> (Database, MaterializedView, ObjId, ObjId, AttrId, AttrId) {
+        let mut db = Database::new(figures::fig1());
+        let src = db
+            .create_named(
+                "Employee",
+                &[("SSN", Value::Int(1)), ("name", Value::Str("ada".into()))],
+            )
+            .unwrap();
+        let d = project_named(
+            db.schema_mut(),
+            "Employee",
+            &["SSN", "pay_rate"],
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
+        let view = MaterializedView::materialize(&mut db, &d).unwrap();
+        let v = view.view_of(src).unwrap();
+        let ssn = db.schema().attr_id("SSN").unwrap();
+        let name = db.schema().attr_id("name").unwrap();
+        (db, view, src, v, ssn, name)
+    }
+
+    #[test]
+    fn set_through_updates_both_sides() {
+        let (mut db, view, src, v, ssn, _) = setup();
+        view.set_through(&mut db, v, ssn, Value::Int(99)).unwrap();
+        assert_eq!(db.get_field(src, ssn).unwrap(), Value::Int(99));
+        assert_eq!(db.get_field(v, ssn).unwrap(), Value::Int(99));
+        assert!(view.divergent(&db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unprojected_attr_rejected() {
+        let (mut db, view, src, v, _, name) = setup();
+        let err = view
+            .set_through(&mut db, v, name, Value::Str("x".into()))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::AttrNotInType { .. }));
+        // Neither side changed.
+        assert_eq!(db.get_field(src, name).unwrap(), Value::Str("ada".into()));
+    }
+
+    #[test]
+    fn foreign_object_rejected() {
+        let (mut db, view, src, _, ssn, _) = setup();
+        // The source itself is not a view object of this view.
+        let err = view.set_through(&mut db, src, ssn, Value::Int(5)).unwrap_err();
+        assert!(matches!(err, StoreError::BadObjId(_)));
+    }
+
+    #[test]
+    fn type_error_leaves_pair_consistent() {
+        let (mut db, view, _, v, ssn, _) = setup();
+        let err = view
+            .set_through(&mut db, v, ssn, Value::Str("oops".into()))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ValueTypeMismatch { .. }));
+        assert!(view.divergent(&db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_and_pull_converge() {
+        let (mut db, view, src, v, ssn, _) = setup();
+        // Diverge via a direct write to the view object only.
+        db.set_field(v, ssn, Value::Int(7)).unwrap();
+        assert_eq!(view.divergent(&db).unwrap().len(), 1);
+        assert_eq!(view.push(&mut db).unwrap(), 1);
+        assert_eq!(db.get_field(src, ssn).unwrap(), Value::Int(7));
+        assert!(view.divergent(&db).unwrap().is_empty());
+
+        // Diverge via a direct write to the source.
+        db.set_field(src, ssn, Value::Int(8)).unwrap();
+        assert_eq!(view.pull(&mut db).unwrap(), 1);
+        assert_eq!(db.get_field(v, ssn).unwrap(), Value::Int(8));
+
+        // Idempotent when synchronized.
+        assert_eq!(view.push(&mut db).unwrap(), 0);
+        assert_eq!(view.pull(&mut db).unwrap(), 0);
+    }
+}

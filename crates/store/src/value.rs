@@ -1,0 +1,161 @@
+//! Runtime values.
+
+use std::fmt;
+use td_model::{Literal, PrimType, ValueType};
+
+use crate::object::ObjId;
+
+/// A runtime value: a primitive, an object reference or null.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Reference to a stored object.
+    Ref(ObjId),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// The primitive kind, if this is a primitive.
+    pub fn prim_type(&self) -> Option<PrimType> {
+        match self {
+            Value::Int(_) => Some(PrimType::Int),
+            Value::Float(_) => Some(PrimType::Float),
+            Value::Bool(_) => Some(PrimType::Bool),
+            Value::Str(_) => Some(PrimType::Str),
+            Value::Ref(_) | Value::Null => None,
+        }
+    }
+
+    /// True when the value is compatible with the declared type
+    /// (object-typed checks need the store and live in
+    /// [`crate::object::Database::check_value`]).
+    pub fn prim_compatible(&self, ty: ValueType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (v, ValueType::Prim(p)) => v.prim_type() == Some(p),
+            (Value::Ref(_), ValueType::Object(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Reference accessor.
+    pub fn as_ref_id(&self) -> Option<ObjId> {
+        match self {
+            Value::Ref(o) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+impl From<&Literal> for Value {
+    fn from(l: &Literal) -> Self {
+        match l {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(f) => Value::Float(*f),
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Null => Value::Null,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(o) => write!(f, "{o}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(3i64).as_float(), Some(3.0));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(&Literal::Null), Value::Null);
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn prim_compat() {
+        assert!(Value::Int(1).prim_compatible(ValueType::INT));
+        assert!(!Value::Int(1).prim_compatible(ValueType::STR));
+        assert!(Value::Null.prim_compatible(ValueType::INT));
+        assert!(Value::Ref(ObjId(0)).prim_compatible(ValueType::Object(td_model::TypeId(0))));
+        assert!(!Value::Ref(ObjId(0)).prim_compatible(ValueType::BOOL));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

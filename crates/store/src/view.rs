@@ -1,0 +1,228 @@
+//! The *type instantiation* problem: obtaining instances of a derived
+//! type from instances of its source (§1 — the half of view support the
+//! paper explicitly leaves to a companion mechanism).
+//!
+//! Two standard realizations are provided:
+//!
+//! * [`MaterializedView`] — eagerly creates first-class objects of the
+//!   derived type by projecting every source instance, remembering the
+//!   source↔view correspondence; [`MaterializedView::refresh`] picks up
+//!   source objects created later (incremental maintenance).
+//! * [`VirtualView`] — computes projected tuples on demand with no
+//!   storage; reads always see current source state.
+
+use std::collections::BTreeSet;
+use td_core::Derivation;
+use td_model::{AttrId, TypeId};
+
+use crate::error::Result;
+use crate::object::{Database, ObjId};
+use crate::value::Value;
+
+/// An eagerly materialized view extent.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// The derived type.
+    pub derived: TypeId,
+    /// The source type.
+    pub source: TypeId,
+    /// The projected attributes.
+    pub projection: BTreeSet<AttrId>,
+    /// `(source object, view object)` pairs, in materialization order.
+    pub pairs: Vec<(ObjId, ObjId)>,
+}
+
+impl MaterializedView {
+    /// Materializes the current deep extent of the derivation's source.
+    pub fn materialize(db: &mut Database, derivation: &Derivation) -> Result<MaterializedView> {
+        let mut view = MaterializedView {
+            derived: derivation.derived,
+            source: derivation.source,
+            projection: derivation.projection.clone(),
+            pairs: Vec::new(),
+        };
+        view.refresh(db)?;
+        Ok(view)
+    }
+
+    /// Materializes any source object not yet reflected in the view.
+    /// Returns the number of view objects created.
+    pub fn refresh(&mut self, db: &mut Database) -> Result<usize> {
+        let seen: BTreeSet<ObjId> = self.pairs.iter().map(|&(s, _)| s).collect();
+        let todo: Vec<ObjId> = db
+            .deep_extent(self.source)
+            .into_iter()
+            .filter(|o| !seen.contains(o))
+            .collect();
+        let n = todo.len();
+        for src in todo {
+            let fields: Vec<(AttrId, Value)> = self
+                .projection
+                .iter()
+                .map(|&a| Ok((a, db.get_field(src, a)?)))
+                .collect::<Result<_>>()?;
+            let v = db.create(self.derived, fields)?;
+            self.pairs.push((src, v));
+        }
+        Ok(n)
+    }
+
+    /// The view object materialized from `source`, if any.
+    pub fn view_of(&self, source: ObjId) -> Option<ObjId> {
+        self.pairs
+            .iter()
+            .find(|&&(s, _)| s == source)
+            .map(|&(_, v)| v)
+    }
+
+    /// The source object behind a view object, if any.
+    pub fn source_of(&self, view: ObjId) -> Option<ObjId> {
+        self.pairs
+            .iter()
+            .find(|&&(_, v)| v == view)
+            .map(|&(s, _)| s)
+    }
+}
+
+/// One projected tuple: `(attribute, value)` pairs in projection order.
+pub type ViewTuple = Vec<(AttrId, Value)>;
+
+/// A virtual (unmaterialized) view: tuples are computed from the live
+/// source extent at read time.
+#[derive(Debug, Clone)]
+pub struct VirtualView {
+    /// The derived type.
+    pub derived: TypeId,
+    /// The source type.
+    pub source: TypeId,
+    /// The projected attributes.
+    pub projection: BTreeSet<AttrId>,
+}
+
+impl VirtualView {
+    /// Wraps a derivation as a virtual view.
+    pub fn new(derivation: &Derivation) -> VirtualView {
+        VirtualView {
+            derived: derivation.derived,
+            source: derivation.source,
+            projection: derivation.projection.clone(),
+        }
+    }
+
+    /// Projects one source object to its view tuple.
+    pub fn tuple(&self, db: &Database, source: ObjId) -> Result<ViewTuple> {
+        self.projection
+            .iter()
+            .map(|&a| Ok((a, db.get_field(source, a)?)))
+            .collect()
+    }
+
+    /// Projects the whole (current) deep extent of the source.
+    pub fn tuples(&self, db: &Database) -> Result<Vec<(ObjId, ViewTuple)>> {
+        db.deep_extent(self.source)
+            .into_iter()
+            .map(|o| Ok((o, self.tuple(db, o)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{project_named, ProjectionOptions};
+    use td_workload::figures;
+
+    fn setup() -> (Database, Derivation) {
+        let mut db = Database::new(figures::fig1());
+        for (ssn, dob, pay, hrs) in [(1, 1990, 50.0, 10.0), (2, 1980, 70.0, 20.0)] {
+            db.create_named(
+                "Employee",
+                &[
+                    ("SSN", Value::Int(ssn)),
+                    ("date_of_birth", Value::Int(dob)),
+                    ("pay_rate", Value::Float(pay)),
+                    ("hrs_worked", Value::Float(hrs)),
+                    ("name", Value::Str(format!("e{ssn}"))),
+                ],
+            )
+            .unwrap();
+        }
+        let d = project_named(
+            db.schema_mut(),
+            "Employee",
+            &["SSN", "date_of_birth", "pay_rate"],
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
+        (db, d)
+    }
+
+    #[test]
+    fn materialized_view_projects_each_source() {
+        let (mut db, d) = setup();
+        let view = MaterializedView::materialize(&mut db, &d).unwrap();
+        assert_eq!(view.pairs.len(), 2);
+        let ssn = db.schema().attr_id("SSN").unwrap();
+        let name = db.schema().attr_id("name").unwrap();
+        for &(src, v) in &view.pairs {
+            assert_eq!(db.get_field(v, ssn).unwrap(), db.get_field(src, ssn).unwrap());
+            // The view object has no `name` field.
+            assert!(db.get_field(v, name).is_err());
+            assert_eq!(view.view_of(src), Some(v));
+            assert_eq!(view.source_of(v), Some(src));
+        }
+    }
+
+    #[test]
+    fn applicable_methods_run_on_view_objects() {
+        let (mut db, d) = setup();
+        let view = MaterializedView::materialize(&mut db, &d).unwrap();
+        let (_, v0) = view.pairs[0];
+        // age and promote survive the projection and run on view objects.
+        assert_eq!(
+            db.call_named("age", &[Value::Ref(v0)]).unwrap(),
+            Value::Int(36)
+        );
+        assert_eq!(
+            db.call_named("promote", &[Value::Ref(v0)]).unwrap(),
+            Value::Bool(true)
+        );
+        // income does not (hrs_worked was projected away).
+        let err = db.call_named("income", &[Value::Ref(v0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StoreError::NoApplicableMethod { .. }
+        ));
+        // Source objects still answer everything exactly as before.
+        let (s0, _) = view.pairs[0];
+        assert_eq!(
+            db.call_named("income", &[Value::Ref(s0)]).unwrap(),
+            Value::Float(500.0)
+        );
+    }
+
+    #[test]
+    fn refresh_is_incremental() {
+        let (mut db, d) = setup();
+        let mut view = MaterializedView::materialize(&mut db, &d).unwrap();
+        assert_eq!(view.refresh(&mut db).unwrap(), 0);
+        db.create_named("Employee", &[("SSN", Value::Int(3))]).unwrap();
+        assert_eq!(view.refresh(&mut db).unwrap(), 1);
+        assert_eq!(view.pairs.len(), 3);
+    }
+
+    #[test]
+    fn virtual_view_reads_live_state() {
+        let (mut db, d) = setup();
+        let view = VirtualView::new(&d);
+        let tuples = view.tuples(&db).unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].1.len(), 3);
+        // Mutate the source; the virtual view sees it immediately.
+        let (src, _) = tuples[0];
+        let ssn = db.schema().attr_id("SSN").unwrap();
+        db.set_field(src, ssn, Value::Int(99)).unwrap();
+        let t = view.tuple(&db, src).unwrap();
+        assert!(t.contains(&(ssn, Value::Int(99))));
+    }
+}

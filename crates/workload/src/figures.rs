@@ -1,0 +1,391 @@
+//! Exact reconstructions of the schemas in the paper's figures and worked
+//! examples, together with the outcomes the paper states for them.
+//!
+//! * [`fig1`] — the §3.1 Person/Employee hierarchy with `age`, `income`
+//!   and `promote` (Figure 1); projecting
+//!   `Π_{SSN,date_of_birth,pay_rate}(Employee)` must yield Figure 2.
+//! * [`fig3`] — the §4.2 eight-type A–H multiple-inheritance hierarchy
+//!   with the `u`/`v`/`w`/`x`/`y` method suite (Figure 3, Example 1);
+//!   projecting `Π_{a2,e2,h2}(A)` must yield Figure 4 and the Example 1
+//!   classification, and factoring must produce the Example 3 signatures.
+//! * [`fig3_with_z1`] — [`fig3`] extended with the §6.3 method
+//!   `z1(c: C, b: B) = { g: G; d: D; g ← c; d ← b; u(c); return g }`,
+//!   which forces `Z = {D, G}` so that `Augment` reproduces Figure 5.
+
+use td_model::{
+    BodyBuilder, Expr, MethodKind, Schema, Specializer, ValueType,
+};
+
+/// Methods the paper says survive `Π_{a2,e2,h2}(A)` (Example 1 / 3).
+pub const EX1_APPLICABLE: &[&str] = &["v1", "u3", "w2", "get_h2"];
+
+/// Methods the paper says are ruled out (Example 1).
+pub const EX1_NOT_APPLICABLE: &[&str] = &[
+    "u1", "u2", "w1", "v2", "x1", "y1", "get_a1", "get_b1", "get_g1",
+];
+
+/// Factored signatures of Example 3, rendered as
+/// `label(specializer, …)` with `^` marking surrogates.
+pub const EX3_SIGNATURES: &[&str] = &["v1(^A, ^C)", "u3(^B)", "w2(^C)", "get_h2(^B)"];
+
+/// The projection list of §4.2 / Figure 4.
+pub const FIG4_PROJECTION: &[&str] = &["a2", "e2", "h2"];
+
+/// The surrogates Figure 4 contains (sources). `D` and `G` must *not*
+/// have surrogates after `FactorState` alone.
+pub const FIG4_SURROGATE_SOURCES: &[&str] = &["A", "B", "C", "E", "F", "H"];
+
+/// The additional surrogates of Figure 5 (sources), created by `Augment`
+/// for `Z = {D, G}`.
+pub const FIG5_AUGMENT_SOURCES: &[&str] = &["G", "D"];
+
+/// Builds the Figure 1 schema.
+///
+/// `Person {SSN, name, date_of_birth}`; `Employee <= Person` adds
+/// `{pay_rate, hrs_worked}`. Every attribute gets reader/writer
+/// accessors, and the three §3.1 methods are defined:
+///
+/// * `age(Person)` — uses `date_of_birth`;
+/// * `income(Employee)` — uses `pay_rate` and `hrs_worked`;
+/// * `promote(Employee)` — uses `date_of_birth` and `pay_rate`.
+pub fn fig1() -> Schema {
+    let mut s = Schema::new();
+    let person = s.add_type("Person", &[]).expect("fresh schema");
+    let employee = s.add_type("Employee", &[person]).expect("fresh schema");
+    for (name, ty, owner) in [
+        ("SSN", ValueType::INT, person),
+        ("name", ValueType::STR, person),
+        ("date_of_birth", ValueType::INT, person),
+        ("pay_rate", ValueType::FLOAT, employee),
+        ("hrs_worked", ValueType::FLOAT, employee),
+    ] {
+        let a = s.add_attr(name, ty, owner).expect("unique attr");
+        s.add_accessors(a).expect("accessors");
+    }
+    let get_dob = s.gf_id("get_date_of_birth").expect("created above");
+    let get_pay = s.gf_id("get_pay_rate").expect("created above");
+    let get_hrs = s.gf_id("get_hrs_worked").expect("created above");
+
+    let age = s.add_gf("age", 1, Some(ValueType::INT)).expect("fresh gf");
+    let mut bb = BodyBuilder::new();
+    // age(p) = { return 2026 - get_date_of_birth(p) }
+    bb.ret(Expr::binop(
+        td_model::BinOp::Sub,
+        Expr::int(2026),
+        Expr::call(get_dob, vec![Expr::Param(0)]),
+    ));
+    s.add_method(
+        age,
+        "age",
+        vec![Specializer::Type(person)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::INT),
+    )
+    .expect("age method");
+
+    let income = s.add_gf("income", 1, Some(ValueType::FLOAT)).expect("fresh gf");
+    let mut bb = BodyBuilder::new();
+    // income(e) = { return get_pay_rate(e) * get_hrs_worked(e) }
+    bb.ret(Expr::binop(
+        td_model::BinOp::Mul,
+        Expr::call(get_pay, vec![Expr::Param(0)]),
+        Expr::call(get_hrs, vec![Expr::Param(0)]),
+    ));
+    s.add_method(
+        income,
+        "income",
+        vec![Specializer::Type(employee)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::FLOAT),
+    )
+    .expect("income method");
+
+    let promote = s.add_gf("promote", 1, Some(ValueType::BOOL)).expect("fresh gf");
+    let mut bb = BodyBuilder::new();
+    // promote(e) = { return (2026 - get_date_of_birth(e)) < get_pay_rate(e) }
+    bb.ret(Expr::binop(
+        td_model::BinOp::Lt,
+        Expr::binop(
+            td_model::BinOp::Sub,
+            Expr::int(2026),
+            Expr::call(get_dob, vec![Expr::Param(0)]),
+        ),
+        Expr::call(get_pay, vec![Expr::Param(0)]),
+    ));
+    s.add_method(
+        promote,
+        "promote",
+        vec![Specializer::Type(employee)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::BOOL),
+    )
+    .expect("promote method");
+
+    s.validate().expect("figure 1 schema is well-formed");
+    s
+}
+
+/// Builds the Figure 3 schema (§4.2, Example 1).
+///
+/// Hierarchy (arrow annotations are the paper's precedence integers):
+///
+/// ```text
+/// A {a1,a2} <- C(1) B(2)      C {c1} <- F(1) E(2)     B {b1} <- D(1) E(2)
+/// F {f1}    <- H(1)           E {e1,e2} <- G(1) H(2)
+/// D {d1}    G {g1}    H {h1,h2}
+/// ```
+///
+/// Accessor methods (only the four the paper lists): `get_a1(A)`,
+/// `get_b1(B)`, `get_h2(B)`, `get_g1(C)`. General methods:
+///
+/// ```text
+/// u1(A) = {get_a1(A)}     u2(C) = {get_g1(C)}     u3(B) = {get_h2(B)}
+/// v1(A,C) = {u(A); w(C)}  v2(B,C) = {get_b1(B); u(C)}
+/// w1(A) = {get_a1(A)}     w2(C) = {u(C)}
+/// x1(A,B) = {y(A,B); v(B,A)}
+/// y1(A,B) = {x(A,B)}
+/// ```
+pub fn fig3() -> Schema {
+    let mut s = Schema::new();
+    let d = s.add_type("D", &[]).expect("fresh schema");
+    let g = s.add_type("G", &[]).expect("fresh schema");
+    let h = s.add_type("H", &[]).expect("fresh schema");
+    let f = s.add_type("F", &[h]).expect("fresh schema");
+    let e = s.add_type("E", &[g, h]).expect("fresh schema");
+    let c = s.add_type("C", &[f, e]).expect("fresh schema");
+    let b = s.add_type("B", &[d, e]).expect("fresh schema");
+    let a = s.add_type("A", &[c, b]).expect("fresh schema");
+
+    for (name, owner) in [
+        ("a1", a),
+        ("a2", a),
+        ("b1", b),
+        ("c1", c),
+        ("d1", d),
+        ("e1", e),
+        ("e2", e),
+        ("f1", f),
+        ("g1", g),
+        ("h1", h),
+        ("h2", h),
+    ] {
+        s.add_attr(name, ValueType::INT, owner).expect("unique attr");
+    }
+
+    // The four accessors of Example 1 — note get_h2 and get_g1 are
+    // specialized below the attribute's owner.
+    let a1 = s.attr_id("a1").expect("defined above");
+    let b1 = s.attr_id("b1").expect("defined above");
+    let h2 = s.attr_id("h2").expect("defined above");
+    let g1 = s.attr_id("g1").expect("defined above");
+    let (get_a1, _) = s.add_reader(a1, a).expect("accessor");
+    let (get_b1, _) = s.add_reader(b1, b).expect("accessor");
+    let (get_h2, _) = s.add_reader(h2, b).expect("accessor");
+    let (get_g1, _) = s.add_reader(g1, c).expect("accessor");
+
+    let u = s.add_gf("u", 1, None).expect("fresh gf");
+    let v = s.add_gf("v", 2, None).expect("fresh gf");
+    let w = s.add_gf("w", 1, None).expect("fresh gf");
+    let x = s.add_gf("x", 2, None).expect("fresh gf");
+    let y = s.add_gf("y", 2, None).expect("fresh gf");
+
+    let body1 = |calls: Vec<Expr>| {
+        let mut bb = BodyBuilder::new();
+        for call in calls {
+            bb.expr(call);
+        }
+        bb.finish()
+    };
+
+    // u1(A) = {get_a1(A)}
+    s.add_method(
+        u,
+        "u1",
+        vec![Specializer::Type(a)],
+        MethodKind::General(body1(vec![Expr::call(get_a1, vec![Expr::Param(0)])])),
+        None,
+    )
+    .expect("u1");
+    // u2(C) = {get_g1(C)}
+    s.add_method(
+        u,
+        "u2",
+        vec![Specializer::Type(c)],
+        MethodKind::General(body1(vec![Expr::call(get_g1, vec![Expr::Param(0)])])),
+        None,
+    )
+    .expect("u2");
+    // u3(B) = {get_h2(B)}
+    s.add_method(
+        u,
+        "u3",
+        vec![Specializer::Type(b)],
+        MethodKind::General(body1(vec![Expr::call(get_h2, vec![Expr::Param(0)])])),
+        None,
+    )
+    .expect("u3");
+    // v1(A,C) = {u(A); w(C)}
+    s.add_method(
+        v,
+        "v1",
+        vec![Specializer::Type(a), Specializer::Type(c)],
+        MethodKind::General(body1(vec![
+            Expr::call(u, vec![Expr::Param(0)]),
+            Expr::call(w, vec![Expr::Param(1)]),
+        ])),
+        None,
+    )
+    .expect("v1");
+    // v2(B,C) = {get_b1(B); u(C)}
+    s.add_method(
+        v,
+        "v2",
+        vec![Specializer::Type(b), Specializer::Type(c)],
+        MethodKind::General(body1(vec![
+            Expr::call(get_b1, vec![Expr::Param(0)]),
+            Expr::call(u, vec![Expr::Param(1)]),
+        ])),
+        None,
+    )
+    .expect("v2");
+    // w1(A) = {get_a1(A)}
+    s.add_method(
+        w,
+        "w1",
+        vec![Specializer::Type(a)],
+        MethodKind::General(body1(vec![Expr::call(get_a1, vec![Expr::Param(0)])])),
+        None,
+    )
+    .expect("w1");
+    // w2(C) = {u(C)}
+    s.add_method(
+        w,
+        "w2",
+        vec![Specializer::Type(c)],
+        MethodKind::General(body1(vec![Expr::call(u, vec![Expr::Param(0)])])),
+        None,
+    )
+    .expect("w2");
+    // x1(A,B) = {y(A,B); v(B,A)}
+    s.add_method(
+        x,
+        "x1",
+        vec![Specializer::Type(a), Specializer::Type(b)],
+        MethodKind::General(body1(vec![
+            Expr::call(y, vec![Expr::Param(0), Expr::Param(1)]),
+            Expr::call(v, vec![Expr::Param(1), Expr::Param(0)]),
+        ])),
+        None,
+    )
+    .expect("x1");
+    // y1(A,B) = {x(A,B)}
+    s.add_method(
+        y,
+        "y1",
+        vec![Specializer::Type(a), Specializer::Type(b)],
+        MethodKind::General(body1(vec![Expr::call(
+            x,
+            vec![Expr::Param(0), Expr::Param(1)],
+        )])),
+        None,
+    )
+    .expect("y1");
+
+    s.validate().expect("figure 3 schema is well-formed");
+    s
+}
+
+/// [`fig3`] plus the §6.3 method that drives Example 4 / Figure 5:
+///
+/// ```text
+/// z1(c: C, b: B) = { g: G; d: D; g ← c; d ← b; u(c); return g }
+/// ```
+///
+/// Assignments force `Y ⊇ {G, D}`; neither has a `FactorState` surrogate
+/// under `Π_{a2,e2,h2}(A)`, so `Z = {D, G}` exactly as the paper posits.
+pub fn fig3_with_z1() -> Schema {
+    let mut s = fig3();
+    let c = s.type_id("C").expect("fig3 type");
+    let b = s.type_id("B").expect("fig3 type");
+    let g = s.type_id("G").expect("fig3 type");
+    let d = s.type_id("D").expect("fig3 type");
+    let u = s.gf_id("u").expect("fig3 gf");
+    let z = s.add_gf("z", 2, Some(ValueType::Object(g))).expect("fresh gf");
+    let mut bb = BodyBuilder::new();
+    let g_var = bb.local("g", ValueType::Object(g));
+    let d_var = bb.local("d", ValueType::Object(d));
+    bb.assign(g_var, Expr::Param(0));
+    bb.assign(d_var, Expr::Param(1));
+    bb.call(u, vec![Expr::Param(0)]);
+    bb.ret(Expr::Var(g_var));
+    s.add_method(
+        z,
+        "z1",
+        vec![Specializer::Type(c), Specializer::Type(b)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::Object(g)),
+    )
+    .expect("z1");
+    s.validate().expect("extended figure 3 schema is well-formed");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let s = fig1();
+        let person = s.type_id("Person").unwrap();
+        let employee = s.type_id("Employee").unwrap();
+        assert!(s.is_subtype(employee, person));
+        assert_eq!(s.cumulative_attrs(employee).len(), 5);
+        assert_eq!(s.cumulative_attrs(person).len(), 3);
+        // 5 attrs × (get+set) + age + income + promote = 13 methods.
+        assert_eq!(s.n_methods(), 13);
+    }
+
+    #[test]
+    fn fig3_shape() {
+        let s = fig3();
+        let a = s.type_id("A").unwrap();
+        // A's supertypes per Figure 3.
+        let anc = s.ancestors(a);
+        assert_eq!(anc.len(), 7);
+        // Precedence order of direct supers: C then B.
+        let supers: Vec<&str> = s.type_(a).super_ids().map(|t| s.type_name(t)).collect();
+        assert_eq!(supers, vec!["C", "B"]);
+        let e = s.type_id("E").unwrap();
+        let supers: Vec<&str> = s.type_(e).super_ids().map(|t| s.type_name(t)).collect();
+        assert_eq!(supers, vec!["G", "H"]);
+        // 4 accessors + 9 general methods.
+        assert_eq!(s.n_methods(), 13);
+        // All methods are applicable to the source type A (the paper
+        // notes this explicitly).
+        assert_eq!(s.methods_applicable_to_type(a).len(), 13);
+    }
+
+    #[test]
+    fn fig3_render_is_stable() {
+        let s = fig3();
+        let r = s.render_hierarchy();
+        assert!(r.contains("A {a1, a2} <- C(1) B(2)"));
+        assert!(r.contains("E {e1, e2} <- G(1) H(2)"));
+        assert!(r.contains("H {h1, h2}"));
+    }
+
+    #[test]
+    fn fig3_with_z1_adds_one_method() {
+        let s = fig3_with_z1();
+        assert_eq!(s.n_methods(), 14);
+        let z1 = s.method_by_label("z1").unwrap();
+        let edges = s.assignment_edges(z1);
+        let g = s.type_id("G").unwrap();
+        let d = s.type_id("D").unwrap();
+        let c = s.type_id("C").unwrap();
+        let b = s.type_id("B").unwrap();
+        assert!(edges.contains(&(g, c)));
+        assert!(edges.contains(&(d, b)));
+    }
+}

@@ -1,0 +1,431 @@
+//! Seeded schema generators: structured families for scaling benches and
+//! a randomized family for property tests.
+//!
+//! Everything here is deterministic given its parameters (random families
+//! take an explicit seed), so benchmark rows and property-test failures
+//! are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use td_model::{
+    AttrId, BodyBuilder, Expr, GfId, MethodKind, Schema, Specializer, TypeId, ValueType,
+};
+
+/// Parameters for [`random_schema`].
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Number of types.
+    pub n_types: usize,
+    /// Maximum direct supertypes per type.
+    pub max_supers: usize,
+    /// Probability that a non-root type has more than one supertype.
+    pub mi_fraction: f64,
+    /// Attributes defined locally at each type.
+    pub attrs_per_type: usize,
+    /// Probability that an attribute gets a reader accessor.
+    pub reader_fraction: f64,
+    /// Number of general generic functions.
+    pub n_gfs: usize,
+    /// Methods defined per generic function.
+    pub methods_per_gf: usize,
+    /// Maximum method arity.
+    pub max_arity: usize,
+    /// Generic-function calls per method body.
+    pub calls_per_body: usize,
+    /// Probability that a body declares a local bound to a parameter
+    /// (exercising the §6.3/§6.4 def-use machinery).
+    pub assign_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            n_types: 24,
+            max_supers: 3,
+            mi_fraction: 0.35,
+            attrs_per_type: 2,
+            reader_fraction: 0.8,
+            n_gfs: 10,
+            methods_per_gf: 3,
+            max_arity: 2,
+            calls_per_body: 3,
+            assign_fraction: 0.3,
+            seed: 0xD0_0D,
+        }
+    }
+}
+
+/// Generates a random well-formed schema (validated before returning).
+///
+/// Multiple-inheritance edges that would make a class precedence list
+/// inconsistent are retried with fewer supertypes, so every generated
+/// schema linearizes.
+pub fn random_schema(params: &GenParams) -> Schema {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut s = Schema::new();
+
+    // ---- types -------------------------------------------------------------
+    let mut types: Vec<TypeId> = Vec::with_capacity(params.n_types);
+    for i in 0..params.n_types {
+        let t = s.add_type(format!("T{i}"), &[]).expect("unique name");
+        if !types.is_empty() {
+            let want_multi = rng.gen_bool(params.mi_fraction.clamp(0.0, 1.0));
+            let mut k = if want_multi {
+                rng.gen_range(2..=params.max_supers.max(2))
+            } else {
+                1
+            };
+            k = k.min(types.len());
+            // Retry with fewer supers until the CPL is consistent.
+            loop {
+                let mut chosen: Vec<TypeId> = Vec::new();
+                while chosen.len() < k {
+                    let cand = types[rng.gen_range(0..types.len())];
+                    if !chosen.contains(&cand) {
+                        chosen.push(cand);
+                    }
+                }
+                for (p, &sup) in chosen.iter().enumerate() {
+                    s.add_super_with_prec(t, sup, p as i32 + 1)
+                        .expect("edge to earlier type cannot cycle");
+                }
+                if s.cpl(t).is_ok() {
+                    break;
+                }
+                for &sup in &chosen {
+                    s.remove_super_edge(t, sup);
+                }
+                if k == 1 {
+                    break; // single inheritance always linearizes
+                }
+                k -= 1;
+            }
+        }
+        types.push(t);
+    }
+
+    // ---- attributes ----------------------------------------------------------
+    let mut attrs: Vec<AttrId> = Vec::new();
+    for (i, &t) in types.iter().enumerate() {
+        for j in 0..params.attrs_per_type {
+            let a = s
+                .add_attr(format!("t{i}_a{j}"), ValueType::INT, t)
+                .expect("unique attr");
+            attrs.push(a);
+            if rng.gen_bool(params.reader_fraction.clamp(0.0, 1.0)) {
+                // Occasionally specialize the reader below the owner, like
+                // the paper's get_h2(B).
+                let descendants = s.descendants(t);
+                let at = if !descendants.is_empty() && rng.gen_bool(0.2) {
+                    descendants[rng.gen_range(0..descendants.len())]
+                } else {
+                    t
+                };
+                s.add_reader(a, at).expect("attr available at descendant");
+            }
+        }
+    }
+
+    // ---- generic functions ---------------------------------------------------
+    let mut gfs: Vec<GfId> = Vec::new();
+    for k in 0..params.n_gfs {
+        let arity = rng.gen_range(1..=params.max_arity.max(1));
+        gfs.push(s.add_gf(format!("gf{k}"), arity, None).expect("unique gf"));
+    }
+
+    // ---- methods ---------------------------------------------------------------
+    let accessor_gfs: Vec<GfId> = s
+        .gf_ids()
+        .filter(|&g| s.gf(g).name.starts_with("get_"))
+        .collect();
+    for (k, &gf) in gfs.iter().enumerate() {
+        let arity = s.gf(gf).arity;
+        for mi in 0..params.methods_per_gf {
+            let specs: Vec<Specializer> = (0..arity)
+                .map(|_| Specializer::Type(types[rng.gen_range(0..types.len())]))
+                .collect();
+            let spec_types: Vec<TypeId> = specs
+                .iter()
+                .filter_map(|sp| sp.as_type())
+                .collect();
+            let mut bb = BodyBuilder::new();
+
+            // Optionally bind a parameter into a local of a supertype —
+            // feeds Y/Z computation and body re-typing.
+            if rng.gen_bool(params.assign_fraction.clamp(0.0, 1.0)) {
+                let pi = rng.gen_range(0..spec_types.len().max(1)).min(spec_types.len() - 1);
+                let param_ty = spec_types[pi];
+                let ups = s.ancestors_inclusive(param_ty);
+                let target = ups[rng.gen_range(0..ups.len())];
+                let v = bb.local(format!("l{mi}"), ValueType::Object(target));
+                bb.assign(v, Expr::Param(pi));
+            }
+
+            for _ in 0..params.calls_per_body {
+                // Call a random callee: mostly general gfs, sometimes an
+                // accessor (which is what grounds applicability).
+                let callee = if !accessor_gfs.is_empty() && rng.gen_bool(0.45) {
+                    accessor_gfs[rng.gen_range(0..accessor_gfs.len())]
+                } else {
+                    gfs[rng.gen_range(0..gfs.len())]
+                };
+                let callee_arity = s.gf(callee).arity;
+                let args: Vec<Expr> = (0..callee_arity)
+                    .map(|_| Expr::Param(rng.gen_range(0..arity)))
+                    .collect();
+                bb.call(callee, args);
+            }
+            // A randomly drawn specializer tuple may collide with an
+            // earlier method of the same generic function; such duplicates
+            // are rejected by the schema (ambiguous dispatch), so skip.
+            let _ = s.add_method(
+                gf,
+                format!("gf{k}_m{mi}"),
+                specs,
+                MethodKind::General(bb.finish()),
+                None,
+            );
+        }
+    }
+
+    s.validate().expect("generated schema is well-formed");
+    s
+}
+
+/// Picks the type with the most ancestors (ties: lowest id) — the most
+/// interesting projection source.
+pub fn deepest_type(s: &Schema) -> TypeId {
+    s.live_type_ids()
+        .max_by_key(|&t| (s.ancestors(t).len(), std::cmp::Reverse(t)))
+        .expect("schema has at least one type")
+}
+
+/// Selects a deterministic pseudo-random subset of the attributes
+/// available at `source`, keeping roughly `keep_fraction` of them (always
+/// at least one when any is available).
+pub fn random_projection(
+    s: &Schema,
+    source: TypeId,
+    keep_fraction: f64,
+    seed: u64,
+) -> BTreeSet<AttrId> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let all: Vec<AttrId> = s.cumulative_attrs(source).into_iter().collect();
+    let mut kept: BTreeSet<AttrId> = all
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(keep_fraction.clamp(0.0, 1.0)))
+        .collect();
+    if kept.is_empty() {
+        if let Some(&first) = all.first() {
+            kept.insert(first);
+        }
+    }
+    kept
+}
+
+/// A linear chain `T0 <- T1 <- … <- T(n-1)` with one attribute and one
+/// reader per level. Deterministic; used for depth-scaling benches.
+pub fn chain_schema(n: usize) -> Schema {
+    let mut s = Schema::new();
+    let mut prev: Option<TypeId> = None;
+    for i in 0..n {
+        let supers: Vec<TypeId> = prev.into_iter().collect();
+        let t = s.add_type(format!("T{i}"), &supers).expect("unique");
+        let a = s
+            .add_attr(format!("t{i}_a"), ValueType::INT, t)
+            .expect("unique");
+        s.add_reader(a, t).expect("available");
+        prev = Some(t);
+    }
+    s
+}
+
+/// A "ladder" with heavy multiple inheritance: type `i` inherits from
+/// `i-1` and `i-2`. Stresses CPLs and the factorization recursion.
+pub fn ladder_schema(n: usize) -> Schema {
+    let mut s = Schema::new();
+    let mut types: Vec<TypeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let supers: Vec<TypeId> = match i {
+            0 => vec![],
+            1 => vec![types[0]],
+            _ => vec![types[i - 1], types[i - 2]],
+        };
+        let t = s.add_type(format!("L{i}"), &supers).expect("unique");
+        let a = s
+            .add_attr(format!("l{i}_a"), ValueType::INT, t)
+            .expect("unique");
+        s.add_reader(a, t).expect("available");
+        types.push(t);
+    }
+    s
+}
+
+/// A single-dispatch (C++/Smalltalk-style) schema: a class chain
+/// `C0 <- C1 <- … <- C(n-1)`, one attribute + accessors per class, and
+/// for each class an override of the unary generic function `describe`
+/// whose body reads that class's own attribute. The paper (§2) notes
+/// single-argument dispatch is the special case of multi-methods where
+/// only the first specializer varies — this family exercises exactly it.
+pub fn single_dispatch_schema(n_classes: usize) -> Schema {
+    let mut s = Schema::new();
+    let describe = s
+        .add_gf("describe", 1, Some(ValueType::INT))
+        .expect("fresh");
+    let mut prev: Option<TypeId> = None;
+    for i in 0..n_classes {
+        let supers: Vec<TypeId> = prev.into_iter().collect();
+        let c = s.add_type(format!("C{i}"), &supers).expect("unique");
+        let a = s
+            .add_attr(format!("c{i}_f"), ValueType::INT, c)
+            .expect("unique");
+        s.add_accessors(a).expect("accessors");
+        let getter = s.gf_id(&format!("get_c{i}_f")).expect("created above");
+        let mut bb = BodyBuilder::new();
+        bb.ret(Expr::call(getter, vec![Expr::Param(0)]));
+        s.add_method(
+            describe,
+            format!("describe_c{i}"),
+            vec![Specializer::Type(c)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
+        .expect("override per class");
+        prev = Some(c);
+    }
+    s.validate().expect("single-dispatch schema is well-formed");
+    s
+}
+
+/// One type with an attribute, plus a chain of `depth` methods
+/// `m0 → m1 → … → m(depth-1) → get_x`. Used to scale `IsApplicable` call
+/// graph depth. Returns the schema; the source type is named `"A"` and
+/// the entry method `"m0"`.
+pub fn call_chain_schema(depth: usize) -> Schema {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+    let x = s.add_attr("x", ValueType::INT, a).expect("fresh");
+    let (get_x, _) = s.add_reader(x, a).expect("fresh");
+    let mut next_callee = get_x;
+    for i in (0..depth).rev() {
+        let gf = s.add_gf(format!("f{i}"), 1, None).expect("unique");
+        let mut bb = BodyBuilder::new();
+        bb.call(next_callee, vec![Expr::Param(0)]);
+        s.add_method(
+            gf,
+            format!("m{i}"),
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh");
+        next_callee = gf;
+    }
+    s
+}
+
+/// One type plus a ring of `len` mutually recursive methods, the last of
+/// which also reads the attribute. Scales the cycle machinery.
+pub fn call_cycle_schema(len: usize) -> Schema {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+    let x = s.add_attr("x", ValueType::INT, a).expect("fresh");
+    let (get_x, _) = s.add_reader(x, a).expect("fresh");
+    let gfs: Vec<GfId> = (0..len)
+        .map(|i| s.add_gf(format!("f{i}"), 1, None).expect("unique"))
+        .collect();
+    for i in 0..len {
+        let mut bb = BodyBuilder::new();
+        bb.call(gfs[(i + 1) % len], vec![Expr::Param(0)]);
+        if i == len - 1 {
+            bb.call(get_x, vec![Expr::Param(0)]);
+        }
+        s.add_method(
+            gfs[i],
+            format!("m{i}"),
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schema_is_deterministic() {
+        let p = GenParams::default();
+        let s1 = random_schema(&p);
+        let s2 = random_schema(&p);
+        assert_eq!(s1.render_hierarchy(), s2.render_hierarchy());
+        assert_eq!(s1.n_methods(), s2.n_methods());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s1 = random_schema(&GenParams::default());
+        let s2 = random_schema(&GenParams {
+            seed: 99,
+            ..GenParams::default()
+        });
+        // Hierarchies are generated randomly; distinct seeds should give
+        // distinct shapes for the default size.
+        assert_ne!(s1.render_hierarchy(), s2.render_hierarchy());
+    }
+
+    #[test]
+    fn generated_schemas_validate_across_seeds() {
+        for seed in 0..25 {
+            let s = random_schema(&GenParams {
+                seed,
+                n_types: 15,
+                ..GenParams::default()
+            });
+            s.validate().unwrap();
+            for t in s.live_type_ids() {
+                s.cpl(t).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn projection_picker_nonempty_and_available() {
+        let s = random_schema(&GenParams::default());
+        let src = deepest_type(&s);
+        let proj = random_projection(&s, src, 0.5, 7);
+        assert!(!proj.is_empty());
+        for a in proj {
+            assert!(s.attr_available_at(a, src));
+        }
+    }
+
+    #[test]
+    fn chain_and_ladder_shapes() {
+        let c = chain_schema(10);
+        let top = c.type_id("T9").unwrap();
+        assert_eq!(c.ancestors(top).len(), 9);
+        let l = ladder_schema(10);
+        let top = l.type_id("L9").unwrap();
+        assert_eq!(l.ancestors(top).len(), 9);
+        l.validate().unwrap();
+        l.cpl(top).unwrap();
+    }
+
+    #[test]
+    fn call_chain_and_cycle_validate() {
+        let s = call_chain_schema(50);
+        s.validate().unwrap();
+        assert_eq!(s.n_methods(), 51);
+        let s = call_cycle_schema(12);
+        s.validate().unwrap();
+        assert_eq!(s.n_methods(), 13);
+    }
+}

@@ -1,0 +1,28 @@
+//! # td-workload — schemas for tests, benches and the reproduction harness
+//!
+//! Two families:
+//!
+//! * [`figures`] — exact reconstructions of the paper's Figure 1 and
+//!   Figure 3 schemas (plus the §6.3 `z1` extension), together with the
+//!   outcomes the paper states for Examples 1, 3 and 4. These are the
+//!   ground truth the reproduction harness checks against.
+//! * [`gen`] — deterministic structured families (chains, ladders, call
+//!   chains, call cycles, single-dispatch class chains) and a seeded
+//!   random-schema generator for property tests and scaling benchmarks.
+//! * [`scenarios`] — a realistic mid-size university schema with diamond
+//!   inheritance and genuine binary multi-methods.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod gen;
+pub mod scenarios;
+
+pub use figures::{fig1, fig3, fig3_with_z1};
+pub use scenarios::university;
+pub use gen::{
+    call_chain_schema, call_cycle_schema, chain_schema, deepest_type, ladder_schema,
+    random_projection, random_schema, single_dispatch_schema, GenParams,
+};

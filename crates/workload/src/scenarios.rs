@@ -1,0 +1,171 @@
+//! A realistic mid-size scenario: a university schema with diamond
+//! inheritance and genuine multi-methods.
+//!
+//! The paper's figures are minimal by design; this scenario is what a
+//! downstream OODB schema actually looks like — a `TA` that is both a
+//! `Student` and an `Employee` (diamond through `Person`), compensation
+//! logic split across overrides, and a binary multi-method
+//! `assign(TA, Section)` whose applicability depends on state from *both*
+//! argument hierarchies. Used by integration tests and available for
+//! benches.
+
+use td_model::{BodyBuilder, Expr, MethodKind, Schema, Specializer, ValueType};
+
+/// Builds the university schema:
+///
+/// ```text
+/// Person {pid, name, birth_year}
+/// Student : Person {program, credits}
+/// Employee : Person {salary, dept_id}
+/// Faculty : Employee {tenure}
+/// TA : Student(1), Employee(2) {stipend_pct}
+/// Section {sec_id, enrollment, weekly_hours}
+/// ```
+///
+/// Methods:
+/// * `age(Person)` — birth_year;
+/// * `comp(Employee)` — salary; `comp(TA)` override — salary × stipend_pct;
+/// * `load(Student)` — credits;
+/// * `assign(TA, Section)` — multi-method reading `stipend_pct` (left) and
+///   `weekly_hours` (right);
+/// * `evaluate(Faculty)` — tenure + salary.
+pub fn university() -> Schema {
+    let mut s = Schema::new();
+    let person = s.add_type("Person", &[]).expect("fresh");
+    let student = s.add_type("Student", &[person]).expect("fresh");
+    let employee = s.add_type("Employee", &[person]).expect("fresh");
+    let faculty = s.add_type("Faculty", &[employee]).expect("fresh");
+    let ta = s.add_type("TA", &[student, employee]).expect("fresh");
+    let section = s.add_type("Section", &[]).expect("fresh");
+
+    for (name, ty, owner) in [
+        ("pid", ValueType::INT, person),
+        ("name", ValueType::STR, person),
+        ("birth_year", ValueType::INT, person),
+        ("program", ValueType::STR, student),
+        ("credits", ValueType::INT, student),
+        ("salary", ValueType::FLOAT, employee),
+        ("dept_id", ValueType::INT, employee),
+        ("tenure", ValueType::BOOL, faculty),
+        ("stipend_pct", ValueType::FLOAT, ta),
+        ("sec_id", ValueType::INT, section),
+        ("enrollment", ValueType::INT, section),
+        ("weekly_hours", ValueType::INT, section),
+    ] {
+        let a = s.add_attr(name, ty, owner).expect("unique");
+        s.add_accessors(a).expect("accessors");
+    }
+
+    let get = |s: &Schema, n: &str| s.gf_id(&format!("get_{n}")).expect("accessor exists");
+
+    // age(Person) = 2026 - birth_year
+    let age = s.add_gf("age", 1, Some(ValueType::INT)).expect("fresh");
+    let g_by = get(&s, "birth_year");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::binop(
+        td_model::BinOp::Sub,
+        Expr::int(2026),
+        Expr::call(g_by, vec![Expr::Param(0)]),
+    ));
+    s.add_method(age, "age", vec![Specializer::Type(person)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .expect("fresh");
+
+    // comp(Employee) = salary; comp(TA) = salary * stipend_pct
+    let comp = s.add_gf("comp", 1, Some(ValueType::FLOAT)).expect("fresh");
+    let g_salary = get(&s, "salary");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::call(g_salary, vec![Expr::Param(0)]));
+    s.add_method(comp, "comp_employee", vec![Specializer::Type(employee)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
+        .expect("fresh");
+    let g_stipend = get(&s, "stipend_pct");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::binop(
+        td_model::BinOp::Mul,
+        Expr::call(g_salary, vec![Expr::Param(0)]),
+        Expr::call(g_stipend, vec![Expr::Param(0)]),
+    ));
+    s.add_method(comp, "comp_ta", vec![Specializer::Type(ta)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
+        .expect("fresh");
+
+    // load(Student) = credits
+    let load = s.add_gf("load", 1, Some(ValueType::INT)).expect("fresh");
+    let g_credits = get(&s, "credits");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::call(g_credits, vec![Expr::Param(0)]));
+    s.add_method(load, "load", vec![Specializer::Type(student)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .expect("fresh");
+
+    // assign(TA, Section) = stipend_pct(left) used against
+    // weekly_hours(right): a genuine binary multi-method.
+    let assign = s.add_gf("assign", 2, Some(ValueType::BOOL)).expect("fresh");
+    let g_hours = get(&s, "weekly_hours");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::binop(
+        td_model::BinOp::Lt,
+        Expr::call(g_hours, vec![Expr::Param(1)]),
+        Expr::binop(
+            td_model::BinOp::Mul,
+            Expr::call(g_stipend, vec![Expr::Param(0)]),
+            Expr::int(40),
+        ),
+    ));
+    s.add_method(
+        assign,
+        "assign_ta_section",
+        vec![Specializer::Type(ta), Specializer::Type(section)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::BOOL),
+    )
+    .expect("fresh");
+
+    // evaluate(Faculty) = tenure || salary < 100k
+    let evaluate = s.add_gf("evaluate", 1, Some(ValueType::BOOL)).expect("fresh");
+    let g_tenure = get(&s, "tenure");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::binop(
+        td_model::BinOp::Or,
+        Expr::call(g_tenure, vec![Expr::Param(0)]),
+        Expr::binop(
+            td_model::BinOp::Lt,
+            Expr::call(g_salary, vec![Expr::Param(0)]),
+            Expr::Lit(td_model::Literal::Float(100_000.0)),
+        ),
+    ));
+    s.add_method(evaluate, "evaluate", vec![Specializer::Type(faculty)], MethodKind::General(bb.finish()), Some(ValueType::BOOL))
+        .expect("fresh");
+
+    s.validate().expect("university schema is well-formed");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let s = university();
+        let ta = s.type_id("TA").unwrap();
+        let person = s.type_id("Person").unwrap();
+        assert!(s.is_subtype(ta, person));
+        // The diamond: TA reaches Person through both parents, inheriting
+        // pid exactly once.
+        assert_eq!(s.cumulative_attrs(ta).len(), 8);
+        assert_eq!(s.cpl(ta).unwrap().len(), 4); // TA, Student, Employee, Person
+        // 12 attrs × 2 accessors + 6 general methods.
+        assert_eq!(s.n_methods(), 30);
+    }
+
+    #[test]
+    fn ta_dispatch_prefers_its_override() {
+        use td_model::CallArg;
+        let s = university();
+        let ta = s.type_id("TA").unwrap();
+        let comp = s.gf_id("comp").unwrap();
+        let m = s.most_specific(comp, &[CallArg::Object(ta)]).unwrap().unwrap();
+        assert_eq!(s.method(m).label, "comp_ta");
+        let employee = s.type_id("Employee").unwrap();
+        let m = s.most_specific(comp, &[CallArg::Object(employee)]).unwrap().unwrap();
+        assert_eq!(s.method(m).label, "comp_employee");
+    }
+}

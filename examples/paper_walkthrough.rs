@@ -1,0 +1,145 @@
+//! A guided replay of every worked example in the paper, with the
+//! `IsApplicable` trace narrated the way §4.2 narrates it.
+//!
+//! ```sh
+//! cargo run --example paper_walkthrough
+//! ```
+
+use typederive::derive::{project_named, ProjectionOptions, TraceEvent};
+use typederive::model::Schema;
+use typederive::workload::figures;
+
+fn label(s: &Schema, m: typederive::model::MethodId) -> &str {
+    &s.method(m).label
+}
+
+fn main() {
+    println!("##### Figure 3: the original eight-type hierarchy #####\n");
+    let mut s = figures::fig3_with_z1();
+    println!("{}", s.render_hierarchy());
+    println!("methods:\n{}", s.render_methods());
+
+    println!("##### Example 1: IsApplicable for Π_{{a2,e2,h2}}(A) #####\n");
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions {
+            record_trace: true,
+            ..Default::default()
+        },
+    )
+    .expect("the paper's projection");
+
+    for event in &d.applicability.trace {
+        match event {
+            TraceEvent::Begin { method } => {
+                println!("testing {} …", label(&s, *method));
+            }
+            TraceEvent::AccessorCheck {
+                method,
+                in_projection,
+                ..
+            } => {
+                println!(
+                    "  accessor {} — attribute {} the projection list",
+                    label(&s, *method),
+                    if *in_projection { "IS in" } else { "is NOT in" }
+                );
+            }
+            TraceEvent::CycleAssumed { method, dependents } => {
+                println!(
+                    "  {} is already on the MethodStack: optimistically assumed applicable (dependents: {})",
+                    label(&s, *method),
+                    dependents
+                        .iter()
+                        .map(|&m| label(&s, m))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+            TraceEvent::CallExamined {
+                method,
+                gf,
+                candidates,
+                substituted_at,
+            } => {
+                println!(
+                    "  {}: call {}(…) — candidates {{{}}}{}",
+                    label(&s, *method),
+                    s.gf(*gf).name,
+                    candidates
+                        .iter()
+                        .map(|&m| label(&s, m))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    match substituted_at {
+                        Some(j) => format!(" (source type substituted at argument {j})"),
+                        None => String::new(),
+                    }
+                );
+            }
+            TraceEvent::CallFailed { method, gf } => {
+                println!(
+                    "  {}: no applicable method for the call to {} — fails",
+                    label(&s, *method),
+                    s.gf(*gf).name
+                );
+            }
+            TraceEvent::Classified { method, applicable } => {
+                println!(
+                    "  => {} is {}",
+                    label(&s, *method),
+                    if *applicable { "APPLICABLE" } else { "not applicable" }
+                );
+            }
+            TraceEvent::DependentsRetracted { failed, removed } => {
+                println!(
+                    "  !! {} failed: retracting optimistic dependents {{{}}}",
+                    label(&s, *failed),
+                    removed
+                        .iter()
+                        .map(|&m| label(&s, m))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+            TraceEvent::Recheck { method } => {
+                println!("re-checking {} …", label(&s, *method));
+            }
+        }
+    }
+
+    println!("\nApplicable     = {:?}", d.applicable().iter().map(|&m| label(&s, m)).collect::<Vec<_>>());
+    println!("NotApplicable  = {:?}", d.not_applicable().iter().map(|&m| label(&s, m)).collect::<Vec<_>>());
+    println!("(paper says: applicable = {:?})", figures::EX1_APPLICABLE);
+
+    println!("\n##### Figure 4/5: the refactored + augmented hierarchy #####\n");
+    println!("{}", s.render_hierarchy());
+    println!(
+        "Z (types needing augmentation) = {:?}",
+        d.z_types.iter().map(|&t| s.type_name(t)).collect::<Vec<_>>()
+    );
+    println!(
+        "surrogates: {} from FactorState, {} from Augment",
+        d.factor_surrogates.len(),
+        d.augment_surrogates.len()
+    );
+
+    println!("\n##### Example 3: factored signatures #####\n");
+    for &m in d.applicable() {
+        println!("  {}", s.render_signature(m));
+    }
+    println!("(paper says: {:?})", figures::EX3_SIGNATURES);
+
+    println!("\n##### Example 4: re-typed body of z1 #####\n");
+    let z1 = s.method_by_label("z1").expect("z1 defined");
+    println!("  signature: {}", s.render_signature(z1));
+    for local in &s.method(z1).body().expect("general method").locals {
+        println!("  local {}: {}", local.name, local.ty);
+    }
+    println!(
+        "  invariants: {}",
+        if d.invariants_ok() { "all hold ✓" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,228 @@
+//! A realistic HR database: a five-type hierarchy with departments,
+//! several algebraic views (projection, selection, join), and the
+//! baseline-strategy audit — the workload the paper's introduction
+//! motivates (views "for purposes of abstraction or encapsulation").
+//!
+//! ```sh
+//! cargo run --example payroll_views
+//! ```
+
+use typederive::baselines::{
+    audit_all, DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy,
+    StandaloneStrategy,
+};
+use typederive::model::{BodyBuilder, Expr, MethodKind, Schema, Specializer, ValueType};
+use typederive::prelude::*;
+
+/// Person <= {Employee <= {Manager}, Contractor}; Department.
+fn hr_schema() -> Schema {
+    let mut s = Schema::new();
+    let person = s.add_type("Person", &[]).expect("fresh");
+    let employee = s.add_type("Employee", &[person]).expect("fresh");
+    let manager = s.add_type("Manager", &[employee]).expect("fresh");
+    let contractor = s.add_type("Contractor", &[person]).expect("fresh");
+    let department = s.add_type("Department", &[]).expect("fresh");
+
+    for (name, ty, owner) in [
+        ("ssn", ValueType::INT, person),
+        ("full_name", ValueType::STR, person),
+        ("birth_year", ValueType::INT, person),
+        ("salary", ValueType::FLOAT, employee),
+        ("dept_id", ValueType::INT, employee),
+        ("bonus_pct", ValueType::FLOAT, manager),
+        ("reports", ValueType::INT, manager),
+        ("day_rate", ValueType::FLOAT, contractor),
+        ("did", ValueType::INT, department),
+        ("budget", ValueType::FLOAT, department),
+    ] {
+        let a = s.add_attr(name, ty, owner).expect("unique");
+        s.add_accessors(a).expect("accessors");
+    }
+
+    let get_by = s.gf_id("get_birth_year").expect("above");
+    let get_salary = s.gf_id("get_salary").expect("above");
+    let get_bonus = s.gf_id("get_bonus_pct").expect("above");
+    let get_reports = s.gf_id("get_reports").expect("above");
+
+    // age(Person) = 2026 - birth_year
+    let age = s.add_gf("age", 1, Some(ValueType::INT)).expect("fresh");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::binop(
+        typederive::model::BinOp::Sub,
+        Expr::int(2026),
+        Expr::call(get_by, vec![Expr::Param(0)]),
+    ));
+    s.add_method(age, "age", vec![Specializer::Type(person)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .expect("fresh");
+
+    // total_comp(Employee) = salary; total_comp(Manager) = salary * (1 + bonus_pct)
+    let comp = s.add_gf("total_comp", 1, Some(ValueType::FLOAT)).expect("fresh");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::call(get_salary, vec![Expr::Param(0)]));
+    s.add_method(comp, "total_comp_employee", vec![Specializer::Type(employee)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
+        .expect("fresh");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::binop(
+        typederive::model::BinOp::Mul,
+        Expr::call(get_salary, vec![Expr::Param(0)]),
+        Expr::binop(
+            typederive::model::BinOp::Add,
+            Expr::Lit(typederive::model::Literal::Float(1.0)),
+            Expr::call(get_bonus, vec![Expr::Param(0)]),
+        ),
+    ));
+    s.add_method(comp, "total_comp_manager", vec![Specializer::Type(manager)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
+        .expect("fresh");
+
+    // span(Manager) = reports  (depends on manager-only state)
+    let span = s.add_gf("span", 1, Some(ValueType::INT)).expect("fresh");
+    let mut bb = BodyBuilder::new();
+    bb.ret(Expr::call(get_reports, vec![Expr::Param(0)]));
+    s.add_method(span, "span", vec![Specializer::Type(manager)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .expect("fresh");
+
+    s.validate().expect("well-formed HR schema");
+    s
+}
+
+fn main() {
+    let mut db = Database::new(hr_schema());
+
+    // ---- populate ---------------------------------------------------------
+    for (ssn, name, by, salary, dept, bonus, reports) in [
+        (1, "Ada", 1985, 120_000.0, 10, 0.25, 6),
+        (2, "Grace", 1975, 150_000.0, 20, 0.30, 11),
+    ] {
+        db.create_named(
+            "Manager",
+            &[
+                ("ssn", Value::Int(ssn)),
+                ("full_name", Value::Str(name.into())),
+                ("birth_year", Value::Int(by)),
+                ("salary", Value::Float(salary)),
+                ("dept_id", Value::Int(dept)),
+                ("bonus_pct", Value::Float(bonus)),
+                ("reports", Value::Int(reports)),
+            ],
+        )
+        .expect("manager");
+    }
+    for (ssn, name, by, salary, dept) in [
+        (3, "Edsger", 1990, 95_000.0, 10),
+        (4, "Barbara", 1995, 88_000.0, 20),
+        (5, "Tony", 1998, 70_000.0, 10),
+    ] {
+        db.create_named(
+            "Employee",
+            &[
+                ("ssn", Value::Int(ssn)),
+                ("full_name", Value::Str(name.into())),
+                ("birth_year", Value::Int(by)),
+                ("salary", Value::Float(salary)),
+                ("dept_id", Value::Int(dept)),
+            ],
+        )
+        .expect("employee");
+    }
+    for (d, b) in [(10, 2_000_000.0), (20, 3_500_000.0)] {
+        db.create_named("Department", &[("did", Value::Int(d)), ("budget", Value::Float(b))])
+            .expect("department");
+    }
+
+    // ---- view 1: a privacy-preserving directory (projection) -------------
+    // HR wants to hand the directory service name+age material without
+    // exposing compensation.
+    let directory = project_named(
+        db.schema_mut(),
+        "Employee",
+        &["full_name", "birth_year", "dept_id"],
+        &ProjectionOptions::default(),
+    )
+    .expect("directory view");
+    println!("== directory view ==\n{}", directory.summary(db.schema()));
+
+    let dir = MaterializedView::materialize(&mut db, &directory).expect("materialize");
+    for &(_, v) in &dir.pairs {
+        let name = db.call_named("get_full_name", &[Value::Ref(v)]).expect("projected");
+        let age = db.call_named("age", &[Value::Ref(v)]).expect("age survives");
+        println!("  {name} (age {age})");
+        assert!(db.call_named("total_comp", &[Value::Ref(v)]).is_err());
+    }
+    println!("  total_comp correctly rejected on directory entries\n");
+
+    // ---- view 2: payroll slice (projection keeps comp methods) -----------
+    let payroll = project_named(
+        db.schema_mut(),
+        "Manager",
+        &["ssn", "salary", "bonus_pct"],
+        &ProjectionOptions::default(),
+    )
+    .expect("payroll view");
+    println!("== payroll view ==\n{}", payroll.summary(db.schema()));
+    let pay = MaterializedView::materialize(&mut db, &payroll).expect("materialize");
+    for &(_, v) in &pay.pairs {
+        let ssn = db.call_named("get_ssn", &[Value::Ref(v)]).expect("projected");
+        let comp = db.call_named("total_comp", &[Value::Ref(v)]).expect("both inputs projected");
+        println!("  ssn {ssn}: total comp {comp}");
+        // span needs `reports`, which was projected away.
+        assert!(db.call_named("span", &[Value::Ref(v)]).is_err());
+    }
+    println!();
+
+    // ---- view 3: selection over the original type -------------------------
+    let salary_attr = db.schema().attr_id("salary").expect("exists");
+    let employee = db.schema().type_id("Employee").expect("exists");
+    let well_paid = select(
+        db.schema_mut(),
+        employee,
+        "WellPaid",
+        Predicate::cmp(salary_attr, CmpOp::Ge, Value::Float(100_000.0)),
+    )
+    .expect("selection view");
+    let rich = well_paid.filter(&db).expect("filter");
+    println!("== WellPaid (σ salary ≥ 100k) has {} members ==", rich.len());
+    for o in rich {
+        let name = db.call_named("get_full_name", &[Value::Ref(o)]).expect("name");
+        println!("  {name}");
+    }
+    println!();
+
+    // ---- view 4: employee ⋈ department ------------------------------------
+    let dept_id = db.schema().attr_id("dept_id").expect("exists");
+    let did = db.schema().attr_id("did").expect("exists");
+    let department = db.schema().type_id("Department").expect("exists");
+    let emp_dept = join(
+        db.schema_mut(),
+        employee,
+        department,
+        "EmployeeWithDept",
+        (dept_id, did),
+    )
+    .expect("join view");
+    let triples = emp_dept.materialize(&mut db).expect("materialize join");
+    println!("== EmployeeWithDept (⋈ on dept) has {} rows ==", triples.len());
+    for (_, _, v) in &triples {
+        let name = db.call_named("get_full_name", &[Value::Ref(*v)]).expect("left side");
+        let budget = db.call_named("get_budget", &[Value::Ref(*v)]).expect("right side");
+        println!("  {name} works in a department with budget {budget}");
+    }
+    println!();
+
+    // ---- how the related-work strategies would have fared -----------------
+    let pristine = Database::new(hr_schema());
+    let source = pristine.schema().type_id("Employee").expect("exists");
+    let projection = ["full_name", "birth_year", "dept_id"]
+        .iter()
+        .map(|n| pristine.schema().attr_id(n).expect("exists"))
+        .collect();
+    let strategies: Vec<&dyn DerivationStrategy> = vec![
+        &PaperStrategy,
+        &StandaloneStrategy,
+        &RootPlacementStrategy,
+        &LocalEdgeStrategy,
+    ];
+    println!("== baseline audit (directory view workload) ==");
+    for result in audit_all(&strategies, pristine.schema(), source, &projection) {
+        println!("  {}", result.row());
+    }
+}

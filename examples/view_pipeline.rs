@@ -1,0 +1,63 @@
+//! Views over views: the §7 open problem, measured.
+//!
+//! Stacks projections over the Figure 3 hierarchy, counts the empty
+//! surrogates each layer adds, then runs the surrogate-minimization pass
+//! and reports how many it reclaims — the ablation behind experiment
+//! COMP in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --example view_pipeline
+//! ```
+
+use std::collections::BTreeSet;
+use typederive::algebra::{count_empty_surrogates, minimize_pipeline_surrogates, Pipeline};
+use typederive::derive::ProjectionOptions;
+use typederive::model::TypeId;
+use typederive::workload::figures;
+
+fn main() {
+    let mut s = figures::fig3();
+    let a = s.type_id("A").expect("figure 3 type");
+
+    println!("layer | live types | empty surrogates | view state");
+    println!("------+------------+------------------+-----------");
+    let mut protected: BTreeSet<TypeId> = BTreeSet::new();
+    let layers: [&[&str]; 3] = [&["a2", "e2", "h2"], &["e2", "h2"], &["h2"]];
+    let mut source = a;
+    for (i, attrs) in layers.iter().enumerate() {
+        let outcomes = Pipeline::new()
+            .project(attrs)
+            .apply(&mut s, source, &ProjectionOptions::default())
+            .expect("stacked projection");
+        let view = outcomes.last().expect("one step").result_type();
+        protected.insert(view);
+        source = view;
+        let state: Vec<&str> = s
+            .cumulative_attrs(view)
+            .into_iter()
+            .map(|x| s.attr(x).name.as_str())
+            .collect::<Vec<_>>();
+        println!(
+            "  {}   |    {:3}     |       {:3}        | {{{}}}",
+            i + 1,
+            s.live_type_ids().count(),
+            count_empty_surrogates(&s),
+            state.join(", ")
+        );
+    }
+
+    println!("\nhierarchy after three stacked views:\n{}", s.render_hierarchy());
+
+    let (before, after, removed) =
+        minimize_pipeline_surrogates(&mut s, &protected).expect("minimization");
+    println!(
+        "minimization: {before} empty surrogates -> {after} (removed {removed}, views protected)"
+    );
+    println!("\nhierarchy after minimization:\n{}", s.render_hierarchy());
+
+    s.validate().expect("still well-formed");
+    let h2 = s.attr_id("h2").expect("exists");
+    let last = *protected.iter().max().expect("non-empty");
+    assert_eq!(s.cumulative_attrs(last), [h2].into_iter().collect());
+    println!("final view still exposes exactly {{h2}} ✓");
+}

@@ -1,0 +1,91 @@
+//! # typederive
+//!
+//! A production-quality Rust implementation of
+//!
+//! > Rakesh Agrawal and Linda G. DeMichiel,
+//! > **"Type Derivation Using the Projection Operation"**,
+//! > *Information Systems* 19(1):55–68, 1994.
+//!
+//! Given an object-oriented type living in a multiple-inheritance
+//! hierarchy with multi-method dispatch, the relational projection
+//! operator derives a new *view type* carrying a subset of the
+//! attributes. This library
+//!
+//! 1. **infers the view's behavior** — which existing methods remain
+//!    applicable, by call-graph analysis with optimistic cycle handling
+//!    (`IsApplicable`, §4);
+//! 2. **refactors the hierarchy** — splitting each affected type into a
+//!    surrogate + residual pair so the view inherits exactly the
+//!    projected state (`FactorState`, §5);
+//! 3. **relocates behavior** — rewriting applicable method signatures
+//!    onto the surrogates and re-typing method bodies, creating extra
+//!    surrogates where assignments demand them (`FactorMethods` /
+//!    `Augment`, §6);
+//!
+//! while guaranteeing — and machine-checking — that every pre-existing
+//! type keeps exactly its original cumulative state and dispatch
+//! behavior.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `td-model` | the §2 object model: schema, hierarchy, CPLs, multi-methods, body IR, dataflow |
+//! | [`derive`][mod@derive] | `td-core` | the paper's algorithms + invariant checking + surrogate minimization |
+//! | [`store`] | `td-store` | executable OODB substrate: objects, extents, interpreter, view extents |
+//! | [`algebra`] | `td-algebra` | selection, join, view pipelines (§7 future work) |
+//! | [`baselines`] | `td-baselines` | related-work placement strategies + auditor |
+//! | [`workload`] | `td-workload` | the paper's figures + seeded generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use typederive::prelude::*;
+//!
+//! // Build the paper's Figure 1 schema and populate it.
+//! let mut db = Database::new(typederive::workload::fig1());
+//! let alice = db.create_named("Employee", &[
+//!     ("SSN", Value::Int(12345)),
+//!     ("date_of_birth", Value::Int(1990)),
+//!     ("pay_rate", Value::Float(55.0)),
+//!     ("hrs_worked", Value::Float(38.0)),
+//! ]).unwrap();
+//!
+//! // Derive the paper's §3.1 view: Π_{SSN, date_of_birth, pay_rate}(Employee).
+//! let badge = project_named(
+//!     db.schema_mut(), "Employee",
+//!     &["SSN", "date_of_birth", "pay_rate"],
+//!     &ProjectionOptions::default(),
+//! ).unwrap();
+//! assert!(badge.invariants_ok());
+//!
+//! // `age` and `promote` survive; `income` (needs hrs_worked) does not.
+//! let view = MaterializedView::materialize(&mut db, &badge).unwrap();
+//! let v = view.view_of(alice).unwrap();
+//! assert_eq!(db.call_named("age", &[Value::Ref(v)]).unwrap(), Value::Int(36));
+//! assert!(db.call_named("income", &[Value::Ref(v)]).is_err());
+//! // ...and the original employee behaves exactly as before.
+//! assert_eq!(db.call_named("income", &[Value::Ref(alice)]).unwrap(),
+//!            Value::Float(2090.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use td_algebra as algebra;
+pub use td_baselines as baselines;
+pub use td_core as derive;
+pub use td_model as model;
+pub use td_store as store;
+pub use td_workload as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use td_algebra::{join, select, CmpOp, Pipeline, Predicate};
+    pub use td_core::{
+        minimize_surrogates, project, project_named, Derivation, ProjectionOptions,
+    };
+    pub use td_model::{CallArg, Schema, TypeId, ValueType};
+    pub use td_store::{Database, MaterializedView, Value, VirtualView};
+}

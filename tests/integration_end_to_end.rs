@@ -1,0 +1,263 @@
+//! End-to-end integration: schema → objects → derivation → dispatch,
+//! exercising every crate together.
+
+use std::collections::BTreeSet;
+use typederive::algebra::{select, CmpOp, Pipeline, Predicate};
+use typederive::baselines::{
+    audit_all, DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy,
+    StandaloneStrategy,
+};
+use typederive::derive::{minimize_surrogates, project_named, ProjectionOptions};
+use typederive::model::TypeId;
+use typederive::store::{Database, MaterializedView, StoreError, Value, VirtualView};
+use typederive::workload::{deepest_type, figures, random_projection, random_schema, GenParams};
+
+/// The full §3.1 story, observed through the interpreter: behavior before
+/// and after the derivation is byte-identical for source objects, and the
+/// view exposes exactly the surviving behavior.
+#[test]
+fn behavior_preservation_is_observable() {
+    let mut db = Database::new(figures::fig1());
+    let mut employees = Vec::new();
+    for i in 0..5i64 {
+        let o = db
+            .create_named(
+                "Employee",
+                &[
+                    ("SSN", Value::Int(1000 + i)),
+                    ("name", Value::Str(format!("emp{i}"))),
+                    ("date_of_birth", Value::Int(1960 + 10 * i)),
+                    ("pay_rate", Value::Float(20.0 + i as f64)),
+                    ("hrs_worked", Value::Float(35.0)),
+                ],
+            )
+            .unwrap();
+        employees.push(o);
+    }
+
+    // Record behavior before the derivation.
+    let mut before = Vec::new();
+    for &o in &employees {
+        before.push((
+            db.call_named("age", &[Value::Ref(o)]).unwrap(),
+            db.call_named("income", &[Value::Ref(o)]).unwrap(),
+            db.call_named("promote", &[Value::Ref(o)]).unwrap(),
+        ));
+    }
+
+    let d = project_named(
+        db.schema_mut(),
+        "Employee",
+        &["SSN", "date_of_birth", "pay_rate"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    assert!(d.invariants_ok());
+
+    // Identical behavior for the original objects.
+    for (i, &o) in employees.iter().enumerate() {
+        assert_eq!(before[i].0, db.call_named("age", &[Value::Ref(o)]).unwrap());
+        assert_eq!(before[i].1, db.call_named("income", &[Value::Ref(o)]).unwrap());
+        assert_eq!(before[i].2, db.call_named("promote", &[Value::Ref(o)]).unwrap());
+    }
+
+    // The materialized view answers exactly the surviving methods.
+    let view = MaterializedView::materialize(&mut db, &d).unwrap();
+    assert_eq!(view.pairs.len(), 5);
+    for (i, &(src, v)) in view.pairs.iter().enumerate() {
+        assert_eq!(src, employees[i]);
+        assert_eq!(before[i].0, db.call_named("age", &[Value::Ref(v)]).unwrap());
+        assert_eq!(
+            before[i].2,
+            db.call_named("promote", &[Value::Ref(v)]).unwrap()
+        );
+        assert!(matches!(
+            db.call_named("income", &[Value::Ref(v)]),
+            Err(StoreError::NoApplicableMethod { .. })
+        ));
+        // name was projected away entirely.
+        assert!(db.call_named("get_name", &[Value::Ref(v)]).is_err());
+        assert_eq!(
+            db.call_named("get_SSN", &[Value::Ref(v)]).unwrap(),
+            Value::Int(1000 + i as i64)
+        );
+    }
+}
+
+/// Virtual views track live updates; materialized ones refresh on demand.
+#[test]
+fn virtual_and_materialized_views_agree() {
+    let mut db = Database::new(figures::fig1());
+    db.create_named("Employee", &[("SSN", Value::Int(1))]).unwrap();
+    let d = project_named(
+        db.schema_mut(),
+        "Employee",
+        &["SSN"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    let virt = VirtualView::new(&d);
+    let mut mat = MaterializedView::materialize(&mut db, &d).unwrap();
+    assert_eq!(virt.tuples(&db).unwrap().len(), 1);
+
+    db.create_named("Employee", &[("SSN", Value::Int(2))]).unwrap();
+    assert_eq!(virt.tuples(&db).unwrap().len(), 2); // live
+    assert_eq!(mat.pairs.len(), 1); // stale
+    assert_eq!(mat.refresh(&mut db).unwrap(), 1);
+    assert_eq!(mat.pairs.len(), 2);
+
+    // Tuples and materialized fields agree per source object.
+    let ssn = db.schema().attr_id("SSN").unwrap();
+    for (src, tuple) in virt.tuples(&db).unwrap() {
+        let v = mat.view_of(src).unwrap();
+        let mat_val = db.get_field(v, ssn).unwrap();
+        let virt_val = tuple.iter().find(|(a, _)| *a == ssn).unwrap().1.clone();
+        assert_eq!(mat_val, virt_val);
+    }
+}
+
+/// A realistic multi-step pipeline over the Figure 3 hierarchy, followed
+/// by surrogate minimization, with dispatch still correct end to end.
+#[test]
+fn pipeline_then_minimize_preserves_dispatch() {
+    let mut db = Database::new(figures::fig3());
+    // Populate a few A objects with every attribute set.
+    let attr_names = [
+        "a1", "a2", "b1", "c1", "d1", "e1", "e2", "f1", "g1", "h1", "h2",
+    ];
+    for i in 0..3i64 {
+        let fields: Vec<(&str, Value)> = attr_names
+            .iter()
+            .map(|&n| (n, Value::Int(i * 100)))
+            .collect();
+        db.create_named("A", &fields).unwrap();
+    }
+    let a_objs = db.deep_extent(db.schema().type_id("A").unwrap());
+    let before_h2: Vec<Value> = a_objs
+        .iter()
+        .map(|&o| db.call_named("get_h2", &[Value::Ref(o)]).unwrap())
+        .collect();
+
+    let a = db.schema().type_id("A").unwrap();
+    let pipeline = Pipeline::new().project(&["a2", "e2", "h2"]).project(&["h2"]);
+    let outcomes = pipeline
+        .apply(db.schema_mut(), a, &ProjectionOptions::default())
+        .unwrap();
+    let view_ty = outcomes.last().unwrap().result_type();
+
+    let protected: BTreeSet<TypeId> = outcomes.iter().map(|o| o.result_type()).collect();
+    minimize_surrogates(db.schema_mut(), &protected).unwrap();
+    db.schema().validate().unwrap();
+
+    // get_h2 still answers identically on the original objects.
+    for (i, &o) in a_objs.iter().enumerate() {
+        assert_eq!(
+            before_h2[i],
+            db.call_named("get_h2", &[Value::Ref(o)]).unwrap()
+        );
+    }
+    // The stacked view type exposes exactly {h2} and inherits get_h2.
+    let h2 = db.schema().attr_id("h2").unwrap();
+    assert_eq!(
+        db.schema().cumulative_attrs(view_ty),
+        [h2].into_iter().collect()
+    );
+    let get_h2_m = db.schema().method_by_label("get_h2").unwrap();
+    assert!(db.schema().method_applicable_to_type(get_h2_m, view_ty));
+}
+
+/// Selection composed over a projection, evaluated on real objects.
+#[test]
+fn selection_over_projection_extent() {
+    let mut db = Database::new(figures::fig1());
+    for (ssn, pay) in [(1, 10.0), (2, 90.0)] {
+        db.create_named(
+            "Employee",
+            &[("SSN", Value::Int(ssn)), ("pay_rate", Value::Float(pay))],
+        )
+        .unwrap();
+    }
+    let d = project_named(
+        db.schema_mut(),
+        "Employee",
+        &["SSN", "pay_rate"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    let view = MaterializedView::materialize(&mut db, &d).unwrap();
+    assert_eq!(view.pairs.len(), 2);
+
+    // Select the highly paid badge records from the *derived* type.
+    let pay = db.schema().attr_id("pay_rate").unwrap();
+    let sel = select(
+        db.schema_mut(),
+        d.derived,
+        "RichBadge",
+        Predicate::cmp(pay, CmpOp::Gt, Value::Float(50.0)),
+    )
+    .unwrap();
+    // The deep extent of the view type includes both the materialized
+    // view objects AND the original employees — inclusion polymorphism:
+    // every Employee is an instance of ^Employee. Exactly one of each
+    // earns more than 50.
+    let rich = sel.filter(&db).unwrap();
+    assert_eq!(rich.len(), 2);
+    let ssn = db.schema().attr_id("SSN").unwrap();
+    for o in rich {
+        assert_eq!(db.get_field(o, ssn).unwrap(), Value::Int(2));
+    }
+}
+
+/// The baseline audit on a randomized workload: the paper's strategy is
+/// the only clean one.
+#[test]
+fn baseline_audit_on_random_workloads() {
+    for seed in [3u64, 17, 99] {
+        let schema = random_schema(&GenParams {
+            seed,
+            n_types: 18,
+            ..GenParams::default()
+        });
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, 0.5, seed ^ 0xFF);
+        let strategies: Vec<&dyn DerivationStrategy> = vec![
+            &PaperStrategy,
+            &StandaloneStrategy,
+            &RootPlacementStrategy,
+            &LocalEdgeStrategy,
+        ];
+        let results = audit_all(&strategies, &schema, source, &projection);
+        assert_eq!(results[0].strategy, "paper");
+        assert_eq!(
+            results[0].total_violations(),
+            0,
+            "paper strategy must be clean on seed {seed}: {}",
+            results[0].row()
+        );
+        for r in &results[1..] {
+            assert!(
+                r.total_violations() > 0,
+                "baseline {} unexpectedly clean on seed {seed}",
+                r.strategy
+            );
+        }
+    }
+}
+
+/// Derivations on a schema already containing derivations (the `#2`
+/// naming path) and projections from two different sources coexist.
+#[test]
+fn repeated_and_parallel_derivations() {
+    let mut s = figures::fig1();
+    let d1 = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default()).unwrap();
+    let d2 = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default()).unwrap();
+    let d3 = project_named(&mut s, "Person", &["name"], &ProjectionOptions::default()).unwrap();
+    assert!(d1.invariants_ok() && d2.invariants_ok() && d3.invariants_ok());
+    assert_ne!(d1.derived, d2.derived);
+    let ssn = s.attr_id("SSN").unwrap();
+    let name = s.attr_id("name").unwrap();
+    assert_eq!(s.cumulative_attrs(d1.derived), [ssn].into_iter().collect());
+    assert_eq!(s.cumulative_attrs(d2.derived), [ssn].into_iter().collect());
+    assert_eq!(s.cumulative_attrs(d3.derived), [name].into_iter().collect());
+    s.validate().unwrap();
+}

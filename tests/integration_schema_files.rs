@@ -1,0 +1,47 @@
+//! The shipped `.td` schema files stay in sync with the programmatic
+//! figure constructors, and the CLI drives the full paper pipeline from
+//! them.
+
+use typederive::derive::{project_named, ProjectionOptions};
+use typederive::model::parse_schema;
+use typederive::workload::figures;
+
+fn load(name: &str) -> typederive::model::Schema {
+    let path = format!("{}/examples/schemas/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_schema(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn fig1_file_matches_constructor() {
+    let from_file = load("fig1.td");
+    let programmatic = figures::fig1();
+    assert_eq!(from_file.render_hierarchy(), programmatic.render_hierarchy());
+    assert_eq!(from_file.render_methods(), programmatic.render_methods());
+}
+
+#[test]
+fn fig3_file_matches_constructor() {
+    let from_file = load("fig3.td");
+    let programmatic = figures::fig3_with_z1();
+    assert_eq!(from_file.render_hierarchy(), programmatic.render_hierarchy());
+    assert_eq!(from_file.render_methods(), programmatic.render_methods());
+}
+
+#[test]
+fn paper_pipeline_runs_from_the_file() {
+    let mut s = load("fig3.td");
+    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
+        .unwrap();
+    assert!(d.invariants_ok());
+    let labels: Vec<&str> = d
+        .applicable()
+        .iter()
+        .map(|&m| s.method(m).label.as_str())
+        .collect();
+    for expected in figures::EX1_APPLICABLE {
+        assert!(labels.contains(expected), "missing {expected}");
+    }
+    // z1 is also applicable in the fig3_with_z1 variant.
+    assert!(labels.contains(&"z1"));
+}

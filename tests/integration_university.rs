@@ -1,0 +1,132 @@
+//! The university scenario end to end: a diamond-inheritance TA view with
+//! multi-method behavior, exercised through the interpreter.
+
+use typederive::derive::{explain, project_named, ProjectionOptions};
+use typederive::store::{Database, MaterializedView, Value};
+use typederive::workload::university;
+
+fn populated() -> (Database, typederive::store::ObjId, typederive::store::ObjId) {
+    let mut db = Database::new(university());
+    let ta = db
+        .create_named(
+            "TA",
+            &[
+                ("pid", Value::Int(7)),
+                ("name", Value::Str("Niklaus".into())),
+                ("birth_year", Value::Int(1998)),
+                ("program", Value::Str("CS".into())),
+                ("credits", Value::Int(18)),
+                ("salary", Value::Float(30_000.0)),
+                ("dept_id", Value::Int(1)),
+                ("stipend_pct", Value::Float(0.5)),
+            ],
+        )
+        .unwrap();
+    let section = db
+        .create_named(
+            "Section",
+            &[
+                ("sec_id", Value::Int(101)),
+                ("enrollment", Value::Int(30)),
+                ("weekly_hours", Value::Int(10)),
+            ],
+        )
+        .unwrap();
+    (db, ta, section)
+}
+
+#[test]
+fn diamond_ta_behaves_before_and_after_projection() {
+    let (mut db, ta, section) = populated();
+
+    // Baseline behavior.
+    assert_eq!(db.call_named("age", &[Value::Ref(ta)]).unwrap(), Value::Int(28));
+    assert_eq!(
+        db.call_named("comp", &[Value::Ref(ta)]).unwrap(),
+        Value::Float(15_000.0) // TA override: salary * stipend_pct
+    );
+    assert_eq!(
+        db.call_named("assign", &[Value::Ref(ta), Value::Ref(section)]).unwrap(),
+        Value::Bool(true) // 10 < 0.5 * 40
+    );
+
+    // A "payroll card" view of TA: salary + stipend, no academics.
+    let d = project_named(
+        db.schema_mut(),
+        "TA",
+        &["pid", "salary", "stipend_pct"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    assert!(d.invariants_ok(), "{:#?}", d.invariants);
+
+    let labels: Vec<&str> = d
+        .applicable()
+        .iter()
+        .map(|&m| db.schema().method(m).label.as_str())
+        .collect();
+    // Compensation logic survives (both the Employee method and the TA
+    // override); the multi-method assign survives too — weekly_hours
+    // lives on Section, which was not projected away.
+    assert!(labels.contains(&"comp_employee"));
+    assert!(labels.contains(&"comp_ta"));
+    assert!(labels.contains(&"assign_ta_section"));
+    // Academic/state methods die with their attributes.
+    assert!(!labels.contains(&"age"));
+    assert!(!labels.contains(&"load"));
+
+    // Materialize and run behavior on the view object.
+    let view = MaterializedView::materialize(&mut db, &d).unwrap();
+    let v = view.view_of(ta).unwrap();
+    assert_eq!(
+        db.call_named("comp", &[Value::Ref(v)]).unwrap(),
+        Value::Float(15_000.0)
+    );
+    assert_eq!(
+        db.call_named("assign", &[Value::Ref(v), Value::Ref(section)]).unwrap(),
+        Value::Bool(true)
+    );
+    assert!(db.call_named("age", &[Value::Ref(v)]).is_err());
+
+    // The original TA still answers everything.
+    assert_eq!(db.call_named("age", &[Value::Ref(ta)]).unwrap(), Value::Int(28));
+    assert_eq!(db.call_named("load", &[Value::Ref(ta)]).unwrap(), Value::Int(18));
+}
+
+#[test]
+fn explanation_for_the_dead_multi_method_names_the_chain() {
+    let (db, _, _) = populated();
+    let mut schema = db.schema().clone();
+    let d = project_named(
+        &mut schema,
+        "TA",
+        &["pid", "program"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
+    // assign needs stipend_pct, which was projected away.
+    let assign = schema.method_by_label("assign_ta_section").unwrap();
+    assert!(!d.applicable().contains(&assign));
+    let why = explain(&schema, d.source, &d.projection, assign).unwrap();
+    let text = why.render(&schema);
+    assert!(text.contains("stipend_pct"), "{text}");
+}
+
+#[test]
+fn diamond_projection_factors_person_once() {
+    let (mut db, _, _) = populated();
+    // Project pid (at Person) through the TA diamond: exactly one ^Person
+    // must exist, reachable from ^TA via both branch surrogates.
+    let d = project_named(db.schema_mut(), "TA", &["pid"], &ProjectionOptions::default())
+        .unwrap();
+    assert!(d.invariants_ok());
+    let s = db.schema();
+    let p_hat = s.type_id("^Person").unwrap();
+    let student_hat = s.type_id("^Student").unwrap();
+    let employee_hat = s.type_id("^Employee").unwrap();
+    assert!(s.is_subtype(student_hat, p_hat));
+    assert!(s.is_subtype(employee_hat, p_hat));
+    assert!(s.is_subtype(d.derived, p_hat));
+    // Only one surrogate per source type exists.
+    assert!(s.type_id("^Person#2").is_err());
+}

@@ -1,0 +1,124 @@
+//! Property: the paper's stack-based `IsApplicable` and the independent
+//! greatest-fixpoint oracle agree on every randomly generated schema.
+//!
+//! This is the strongest automated check on the §4.1 cycle/dependency
+//! bookkeeping: the two implementations share only the call-site
+//! analysis, so any divergence in optimistic-assumption handling,
+//! retraction or re-checking shows up as a counterexample.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use typederive::derive::{applicability_fixpoint, compute_applicability};
+use typederive::model::MethodId;
+use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+
+fn params_strategy() -> impl Strategy<Value = GenParams> {
+    (
+        2usize..28,   // n_types
+        1usize..4,    // max_supers
+        0.0f64..0.8,  // mi_fraction
+        0usize..3,    // attrs_per_type
+        0.3f64..1.0,  // reader_fraction
+        1usize..10,   // n_gfs
+        1usize..4,    // methods_per_gf
+        1usize..3,    // max_arity
+        0usize..5,    // calls_per_body
+        0.0f64..0.6,  // assign_fraction
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            )| GenParams {
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stack_algorithm_agrees_with_fixpoint_oracle(
+        params in params_strategy(),
+        keep in 0.0f64..1.0,
+        proj_seed in any::<u64>(),
+    ) {
+        let schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, proj_seed);
+
+        let stack = compute_applicability(&schema, source, &projection, false).unwrap();
+        let oracle = applicability_fixpoint(&schema, source, &projection).unwrap();
+
+        let stack_set: BTreeSet<MethodId> = stack.applicable.iter().copied().collect();
+        prop_assert_eq!(&stack_set, &oracle,
+            "stack={:?} oracle={:?} seed={}", stack_set, oracle, params.seed);
+
+        // The two output lists partition the universe.
+        let not_set: BTreeSet<MethodId> = stack.not_applicable.iter().copied().collect();
+        prop_assert!(stack_set.is_disjoint(&not_set));
+        let universe: BTreeSet<MethodId> = stack.universe.iter().copied().collect();
+        let union: BTreeSet<MethodId> = stack_set.union(&not_set).copied().collect();
+        prop_assert_eq!(union, universe);
+    }
+
+    #[test]
+    fn applicability_is_monotone_in_the_projection(
+        params in params_strategy(),
+        proj_seed in any::<u64>(),
+    ) {
+        // Adding attributes to the projection list can only keep or grow
+        // the applicable set (the constraint system only relaxes).
+        let schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let small = random_projection(&schema, source, 0.3, proj_seed);
+        let all: BTreeSet<_> = schema.cumulative_attrs(source);
+        prop_assume!(small.len() < all.len());
+
+        let r_small = compute_applicability(&schema, source, &small, false).unwrap();
+        let r_all = compute_applicability(&schema, source, &all, false).unwrap();
+        let small_set: BTreeSet<MethodId> = r_small.applicable.iter().copied().collect();
+        let all_set: BTreeSet<MethodId> = r_all.applicable.iter().copied().collect();
+        prop_assert!(small_set.is_subset(&all_set),
+            "projecting more attributes lost methods: {:?} ⊄ {:?}", small_set, all_set);
+    }
+
+    #[test]
+    fn full_projection_keeps_accessors_and_their_closures(
+        params in params_strategy(),
+    ) {
+        // With every attribute projected, every accessor applicable to
+        // the source stays applicable.
+        let schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let all = schema.cumulative_attrs(source);
+        let r = compute_applicability(&schema, source, &all, false).unwrap();
+        for &m in &r.universe {
+            if schema.method(m).is_accessor() {
+                prop_assert!(r.applicable.contains(&m),
+                    "accessor {} lost under full projection", schema.method(m).label);
+            }
+        }
+    }
+}

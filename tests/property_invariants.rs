@@ -1,0 +1,134 @@
+//! Property: on every randomly generated schema, the full projection
+//! pipeline preserves the paper's invariants I1–I5 — and surrogate
+//! minimization afterwards preserves them again.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use typederive::derive::{minimize_surrogates, project, ProjectionOptions};
+use typederive::model::TypeId;
+use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+
+fn params_strategy() -> impl Strategy<Value = GenParams> {
+    (
+        2usize..20,
+        1usize..4,
+        0.0f64..0.7,
+        1usize..3,
+        0.4f64..1.0,
+        1usize..8,
+        1usize..3,
+        1usize..3,
+        0usize..4,
+        0.0f64..0.6,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(n_types, max_supers, mi_fraction, attrs_per_type, reader_fraction, n_gfs,
+              methods_per_gf, max_arity, calls_per_body, assign_fraction, seed)| GenParams {
+                n_types, max_supers, mi_fraction, attrs_per_type, reader_fraction,
+                n_gfs, methods_per_gf, max_arity, calls_per_body, assign_fraction, seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn projection_preserves_all_invariants(
+        params in params_strategy(),
+        keep in 0.1f64..1.0,
+        proj_seed in any::<u64>(),
+    ) {
+        let mut schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, proj_seed);
+        prop_assume!(!projection.is_empty());
+
+        let d = project(&mut schema, source, &projection, &ProjectionOptions {
+            check_invariants: true,
+            ..Default::default()
+        }).unwrap();
+
+        let report = d.invariants.as_ref().expect("requested");
+        prop_assert!(report.ok(),
+            "violations on seed {}: {:#?}", params.seed, report.violations);
+
+        // Redundant spot checks straight off the mutated schema.
+        schema.validate().unwrap();
+        prop_assert_eq!(schema.cumulative_attrs(d.derived), projection);
+        prop_assert!(schema.is_subtype(source, d.derived));
+    }
+
+    #[test]
+    fn minimization_preserves_views_and_originals(
+        params in params_strategy(),
+        keep in 0.1f64..0.9,
+        proj_seed in any::<u64>(),
+    ) {
+        let mut schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, proj_seed);
+        prop_assume!(!projection.is_empty());
+        let d = project(&mut schema, source, &projection, &ProjectionOptions::fast()).unwrap();
+
+        // Snapshot observable facts, then minimize.
+        let before = schema.clone();
+        let protected: BTreeSet<TypeId> = [d.derived].into_iter().collect();
+        minimize_surrogates(&mut schema, &protected).unwrap();
+
+        schema.validate().unwrap();
+        // Derived view state unchanged.
+        prop_assert_eq!(schema.cumulative_attrs(d.derived), projection);
+        // Every surviving type keeps its cumulative state.
+        for t in schema.live_type_ids() {
+            prop_assert_eq!(schema.cumulative_attrs(t), before.cumulative_attrs(t));
+        }
+        // Subtype relation on surviving types unchanged.
+        let live: Vec<TypeId> = schema.live_type_ids().collect();
+        for &x in &live {
+            for &y in &live {
+                prop_assert_eq!(schema.is_subtype(x, y), before.is_subtype(x, y),
+                    "subtype({},{}) changed", x, y);
+            }
+        }
+        // Dispatch for the methods' own generic functions unchanged over
+        // surviving unary calls.
+        for gf in schema.gf_ids() {
+            if schema.gf(gf).arity != 1 { continue; }
+            for &t in &live {
+                let args = [typederive::model::CallArg::Object(t)];
+                prop_assert_eq!(
+                    schema.most_specific(gf, &args).unwrap(),
+                    before.most_specific(gf, &args).unwrap(),
+                    "dispatch changed for {} on {}", schema.gf(gf).name, schema.type_name(t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_projections_compose(
+        params in params_strategy(),
+        seed2 in any::<u64>(),
+    ) {
+        // Π over Π: deriving a view of a view still preserves everything,
+        // and the final view exposes exactly the nested projection.
+        let mut schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let first = random_projection(&schema, source, 0.7, params.seed);
+        prop_assume!(first.len() >= 2);
+        let d1 = project(&mut schema, source, &first, &ProjectionOptions::fast()).unwrap();
+        let second = random_projection(&schema, d1.derived, 0.5, seed2);
+        prop_assume!(!second.is_empty());
+        let d2 = project(&mut schema, d1.derived, &second, &ProjectionOptions {
+            check_invariants: true,
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(d2.invariants.as_ref().unwrap().ok(),
+            "stacked projection violations: {:#?}", d2.invariants);
+        prop_assert_eq!(schema.cumulative_attrs(d2.derived), second);
+        prop_assert!(schema.is_subtype(d1.derived, d2.derived));
+        prop_assert!(schema.is_subtype(source, d2.derived));
+    }
+}

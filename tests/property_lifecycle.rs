@@ -1,0 +1,110 @@
+//! Properties of the lifecycle extensions: explanations agree with the
+//! classifier, and dropping a view is the exact inverse of deriving it.
+
+use proptest::prelude::*;
+use typederive::derive::{
+    compute_applicability, explain, project, unproject, ProjectionOptions,
+};
+use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+
+fn params(n_types: usize, seed: u64) -> GenParams {
+    GenParams {
+        n_types,
+        seed,
+        ..GenParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn explanations_agree_with_the_classifier(
+        n_types in 2usize..18,
+        seed in any::<u64>(),
+        keep in 0.0f64..1.0,
+    ) {
+        let schema = random_schema(&params(n_types, seed));
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, seed ^ 7);
+        let r = compute_applicability(&schema, source, &projection, false).unwrap();
+        for &m in &r.universe {
+            let e = explain(&schema, source, &projection, m).unwrap();
+            prop_assert_eq!(
+                e.is_applicable(),
+                r.is_applicable(m),
+                "verdict mismatch for {}:\n{}",
+                schema.method(m).label,
+                e.render(&schema)
+            );
+            // Rendering never panics and always names the method.
+            let text = e.render(&schema);
+            prop_assert!(text.contains(&schema.method(m).label));
+        }
+    }
+
+    #[test]
+    fn unproject_inverts_project(
+        n_types in 2usize..18,
+        seed in any::<u64>(),
+        keep in 0.1f64..1.0,
+    ) {
+        let mut schema = random_schema(&params(n_types, seed));
+        let before_h = schema.render_hierarchy();
+        let before_m = schema.render_methods();
+        let before_bodies: Vec<_> = schema
+            .method_ids()
+            .map(|m| schema.method(m).body().cloned())
+            .collect();
+
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, seed ^ 13);
+        prop_assume!(!projection.is_empty());
+        let d = project(&mut schema, source, &projection, &ProjectionOptions::fast()).unwrap();
+        unproject(&mut schema, &d).unwrap();
+
+        prop_assert_eq!(schema.render_hierarchy(), before_h);
+        prop_assert_eq!(schema.render_methods(), before_m);
+        for (i, m) in schema.method_ids().enumerate() {
+            prop_assert_eq!(schema.method(m).body().cloned(), before_bodies[i].clone());
+        }
+        schema.validate().unwrap();
+    }
+
+    #[test]
+    fn double_projection_drops_in_reverse_order(
+        n_types in 3usize..14,
+        seed in any::<u64>(),
+    ) {
+        // Two views over the same source implicitly stack: the second
+        // derivation may factor the first's surrogates (they now own
+        // projected attributes). Reverse creation order must always
+        // unwind; the wrong order must either succeed (truly disjoint) or
+        // fail cleanly without corrupting anything.
+        let mut schema = random_schema(&params(n_types, seed));
+        let before = schema.render_hierarchy();
+        let source = deepest_type(&schema);
+        let p1 = random_projection(&schema, source, 0.5, seed ^ 21);
+        let p2 = random_projection(&schema, source, 0.5, seed ^ 22);
+        prop_assume!(!p1.is_empty() && !p2.is_empty());
+        let d1 = project(&mut schema, source, &p1, &ProjectionOptions::fast()).unwrap();
+        let d2 = project(&mut schema, source, &p2, &ProjectionOptions::fast()).unwrap();
+
+        let mid = schema.render_hierarchy();
+        match unproject(&mut schema, &d1) {
+            Ok(()) => {
+                // Truly disjoint: either remaining order finishes the job.
+                unproject(&mut schema, &d2).unwrap();
+            }
+            Err(e) => {
+                // Clean refusal, schema untouched, then reverse order.
+                prop_assert!(e.to_string().contains("cannot drop view"), "{e}");
+                prop_assert_eq!(schema.render_hierarchy(), mid);
+                unproject(&mut schema, &d2).unwrap();
+                unproject(&mut schema, &d1).unwrap();
+            }
+        }
+        prop_assert_eq!(schema.render_hierarchy(), before);
+        schema.validate().unwrap();
+    }
+}

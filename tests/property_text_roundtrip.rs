@@ -1,0 +1,85 @@
+//! Property: any generated schema survives a print → parse round-trip
+//! with identical structure, and projections behave identically on both
+//! copies.
+
+use proptest::prelude::*;
+use typederive::derive::{compute_applicability, project, ProjectionOptions};
+use typederive::model::{parse_schema, schema_to_text};
+use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip_is_identity(
+        n_types in 2usize..20,
+        seed in any::<u64>(),
+    ) {
+        let s1 = random_schema(&GenParams {
+            n_types,
+            seed,
+            ..GenParams::default()
+        });
+        let text = schema_to_text(&s1);
+        let s2 = parse_schema(&text).map_err(|e| {
+            TestCaseError::fail(format!("re-parse failed: {e}\n--- text ---\n{text}"))
+        })?;
+
+        prop_assert_eq!(s1.render_hierarchy(), s2.render_hierarchy());
+        prop_assert_eq!(s1.render_methods(), s2.render_methods());
+        prop_assert_eq!(s1.n_attrs(), s2.n_attrs());
+        prop_assert_eq!(s1.n_gfs(), s2.n_gfs());
+        prop_assert_eq!(s1.n_methods(), s2.n_methods());
+        // Bodies are structurally identical.
+        for m in s1.method_ids() {
+            prop_assert_eq!(s1.method(m).body(), s2.method(m).body());
+        }
+    }
+
+    #[test]
+    fn roundtripped_schema_projects_identically(
+        n_types in 2usize..16,
+        seed in any::<u64>(),
+        keep in 0.2f64..1.0,
+    ) {
+        let s1 = random_schema(&GenParams {
+            n_types,
+            seed,
+            ..GenParams::default()
+        });
+        let s2 = parse_schema(&schema_to_text(&s1)).unwrap();
+        let source = deepest_type(&s1);
+        let projection = random_projection(&s1, source, keep, seed ^ 1);
+        prop_assume!(!projection.is_empty());
+
+        // Same applicability verdicts (ids align across the round-trip).
+        let a1 = compute_applicability(&s1, source, &projection, false).unwrap();
+        let a2 = compute_applicability(&s2, source, &projection, false).unwrap();
+        prop_assert_eq!(&a1.applicable, &a2.applicable);
+        prop_assert_eq!(&a1.not_applicable, &a2.not_applicable);
+
+        // Same refactored hierarchy after projection.
+        let mut m1 = s1.clone();
+        let mut m2 = s2.clone();
+        project(&mut m1, source, &projection, &ProjectionOptions::fast()).unwrap();
+        project(&mut m2, source, &projection, &ProjectionOptions::fast()).unwrap();
+        prop_assert_eq!(m1.render_hierarchy(), m2.render_hierarchy());
+        prop_assert_eq!(m1.render_methods(), m2.render_methods());
+    }
+}
+
+/// The factored schema itself (with `^` names) round-trips too.
+#[test]
+fn factored_schema_roundtrips() {
+    let mut s = typederive::workload::fig3();
+    let source = s.type_id("A").unwrap();
+    let projection = ["a2", "e2", "h2"]
+        .iter()
+        .map(|n| s.attr_id(n).unwrap())
+        .collect();
+    project(&mut s, source, &projection, &ProjectionOptions::fast()).unwrap();
+    let text = schema_to_text(&s);
+    let s2 = parse_schema(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(s.render_hierarchy(), s2.render_hierarchy());
+    assert_eq!(s.render_methods(), s2.render_methods());
+}

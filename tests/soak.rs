@@ -1,0 +1,110 @@
+//! Soak test: long randomized sequences of schema-evolution operations
+//! (derive / drop / minimize / round-trip) with the full invariant sweep
+//! after every step. This is what a view server would do over its
+//! lifetime; nothing may leak, drift or corrupt.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use typederive::derive::{
+    minimize_surrogates, project, unproject, Derivation, ProjectionOptions,
+};
+use typederive::model::{parse_schema, schema_to_text, TypeId};
+use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+
+#[test]
+fn evolution_soak() {
+    for seed in [11u64, 23, 47] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut schema = random_schema(&GenParams {
+            n_types: 14,
+            n_gfs: 8,
+            seed,
+            ..GenParams::default()
+        });
+        let pristine_h = schema.render_hierarchy();
+        let pristine_m = schema.render_methods();
+
+        // A stack of live derivations (drops must be inner-most-first).
+        let mut stack: Vec<Derivation> = Vec::new();
+
+        for step in 0..40 {
+            let action = rng.gen_range(0..10);
+            match action {
+                // Derive a new view (over the newest view half the time).
+                0..=4 => {
+                    if stack.len() >= 5 {
+                        continue;
+                    }
+                    let source = if let (true, Some(top)) = (rng.gen_bool(0.5), stack.last()) {
+                        top.derived
+                    } else {
+                        deepest_type(&schema)
+                    };
+                    let projection =
+                        random_projection(&schema, source, rng.gen_range(0.2..0.9), rng.gen());
+                    if projection.is_empty() {
+                        continue;
+                    }
+                    let d = project(&mut schema, source, &projection, &ProjectionOptions {
+                        check_invariants: true,
+                        ..Default::default()
+                    })
+                    .unwrap_or_else(|e| panic!("seed {seed} step {step}: project failed: {e}"));
+                    assert!(
+                        d.invariants.as_ref().unwrap().ok(),
+                        "seed {seed} step {step}: {:#?}",
+                        d.invariants
+                    );
+                    stack.push(d);
+                }
+                // Drop the newest view.
+                5..=6 => {
+                    if let Some(d) = stack.pop() {
+                        unproject(&mut schema, &d).unwrap_or_else(|e| {
+                            panic!("seed {seed} step {step}: unproject failed: {e}")
+                        });
+                        schema.validate().unwrap();
+                    }
+                }
+                // Minimize surrogates (protect all live views).
+                7 => {
+                    let protected: BTreeSet<TypeId> =
+                        stack.iter().map(|d| d.derived).collect();
+                    // Minimization may remove surrogates that later drops
+                    // would try to retire, so only run it when no live
+                    // derivation remains to be unwound.
+                    if stack.is_empty() {
+                        minimize_surrogates(&mut schema, &protected).unwrap();
+                        schema.validate().unwrap();
+                    }
+                }
+                // DSL round-trip sanity (read-only).
+                _ => {
+                    let text = schema_to_text(&schema);
+                    let reparsed = parse_schema(&text).unwrap_or_else(|e| {
+                        panic!("seed {seed} step {step}: round-trip failed: {e}")
+                    });
+                    assert_eq!(schema.render_hierarchy(), reparsed.render_hierarchy());
+                }
+            }
+        }
+
+        // Unwind everything; the original schema must come back exactly.
+        while let Some(d) = stack.pop() {
+            unproject(&mut schema, &d).unwrap();
+        }
+        // If minimization never ran (it only runs with an empty stack and
+        // may have removed intermediate surrogates), the render matches
+        // the pristine one whenever no surrogates remain.
+        let leftovers = schema
+            .live_type_ids()
+            .filter(|&t| schema.type_(t).is_surrogate())
+            .count();
+        if leftovers == 0 {
+            assert_eq!(schema.render_hierarchy(), pristine_h, "seed {seed}");
+            assert_eq!(schema.render_methods(), pristine_m, "seed {seed}");
+        }
+        schema.validate().unwrap();
+    }
+}
