@@ -61,8 +61,9 @@ impl Pipeline {
 
     /// Appends a projection step.
     pub fn project(mut self, attrs: &[&str]) -> Pipeline {
-        self.ops
-            .push(ViewOp::Project(attrs.iter().map(|s| s.to_string()).collect()));
+        self.ops.push(ViewOp::Project(
+            attrs.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -159,10 +160,7 @@ mod tests {
         assert_eq!(outcomes.len(), 2);
         let final_ty = outcomes.last().unwrap().result_type();
         let ssn = s.attr_id("SSN").unwrap();
-        assert_eq!(
-            s.cumulative_attrs(final_ty),
-            [ssn].into_iter().collect()
-        );
+        assert_eq!(s.cumulative_attrs(final_ty), [ssn].into_iter().collect());
         // Both steps checked their invariants.
         for o in &outcomes {
             if let StepOutcome::Projected(d) = o {
@@ -177,12 +175,10 @@ mod tests {
         let mut s = figures::fig1();
         let employee = s.type_id("Employee").unwrap();
         let pay = s.attr_id("pay_rate").unwrap();
-        let pipeline = Pipeline::new()
-            .project(&["SSN", "pay_rate"])
-            .select(
-                "CheapBadge",
-                Predicate::cmp(pay, CmpOp::Lt, Value::Float(10.0)),
-            );
+        let pipeline = Pipeline::new().project(&["SSN", "pay_rate"]).select(
+            "CheapBadge",
+            Predicate::cmp(pay, CmpOp::Lt, Value::Float(10.0)),
+        );
         let outcomes = pipeline
             .apply(&mut s, employee, &ProjectionOptions::default())
             .unwrap();
@@ -198,16 +194,16 @@ mod tests {
         let mut s = figures::fig3();
         let a = s.type_id("A").unwrap();
         // Two stacked projections over the deep Figure 3 hierarchy.
-        let pipeline = Pipeline::new().project(&["a2", "e2", "h2"]).project(&["h2"]);
+        let pipeline = Pipeline::new()
+            .project(&["a2", "e2", "h2"])
+            .project(&["h2"]);
         let outcomes = pipeline
             .apply(&mut s, a, &ProjectionOptions::default())
             .unwrap();
         let before = count_empty_surrogates(&s);
         assert!(before > 0, "stacked views must create empty surrogates");
-        let protected: BTreeSet<TypeId> =
-            outcomes.iter().map(|o| o.result_type()).collect();
-        let (b, after, removed) =
-            minimize_pipeline_surrogates(&mut s, &protected).unwrap();
+        let protected: BTreeSet<TypeId> = outcomes.iter().map(|o| o.result_type()).collect();
+        let (b, after, removed) = minimize_pipeline_surrogates(&mut s, &protected).unwrap();
         assert_eq!(b, before);
         assert!(removed > 0, "minimization must remove some empty surrogate");
         assert_eq!(after, before - removed);

@@ -98,8 +98,14 @@ mod tests {
         let mut s = figures::fig1();
         let employee = s.type_id("Employee").unwrap();
         let income = s.gf_id("income").unwrap();
-        let ext = extend(&mut s, employee, "EmployeeWithIncome", "computed_income", income)
-            .unwrap();
+        let ext = extend(
+            &mut s,
+            employee,
+            "EmployeeWithIncome",
+            "computed_income",
+            income,
+        )
+        .unwrap();
         assert!(s.is_subtype(ext.derived, employee));
         assert_eq!(s.cumulative_attrs(ext.derived).len(), 6);
         assert_eq!(s.attr(ext.attr).ty, td_model::ValueType::FLOAT);
@@ -161,8 +167,14 @@ mod tests {
         let mut s = figures::fig1();
         let employee = s.type_id("Employee").unwrap();
         let income = s.gf_id("income").unwrap();
-        let ext = extend(&mut s, employee, "EmployeeWithIncome", "computed_income", income)
-            .unwrap();
+        let ext = extend(
+            &mut s,
+            employee,
+            "EmployeeWithIncome",
+            "computed_income",
+            income,
+        )
+        .unwrap();
         let d = td_core::project_named(
             &mut s,
             "EmployeeWithIncome",

@@ -108,8 +108,11 @@ impl Join {
     /// `(left, right, view)` triples.
     pub fn materialize(&self, db: &mut Database) -> Result<Vec<(ObjId, ObjId, ObjId)>> {
         let pairs = self.matching_pairs(db)?;
-        let left_attrs: Vec<AttrId> =
-            db.schema().cumulative_attrs(self.left).into_iter().collect();
+        let left_attrs: Vec<AttrId> = db
+            .schema()
+            .cumulative_attrs(self.left)
+            .into_iter()
+            .collect();
         let right_attrs: Vec<AttrId> = db
             .schema()
             .cumulative_attrs(self.right)
@@ -223,7 +226,8 @@ mod tests {
     #[test]
     fn null_keys_never_join() {
         let (mut db, emp, dept, dept_id, did) = setup();
-        db.create_named("Employee", &[("eid", Value::Int(9))]).unwrap(); // null dept_id
+        db.create_named("Employee", &[("eid", Value::Int(9))])
+            .unwrap(); // null dept_id
         let j = join(db.schema_mut(), emp, dept, "EmpDept", (dept_id, did)).unwrap();
         assert_eq!(j.matching_pairs(&db).unwrap().len(), 3);
     }

@@ -309,8 +309,11 @@ mod tests {
         let employee = db.schema().type_id("Employee").unwrap();
         let pay = db.schema().attr_id("pay_rate").unwrap();
         let ssn = db.schema().attr_id("SSN").unwrap();
-        let p = Predicate::cmp(pay, CmpOp::Ge, Value::Float(60.0))
-            .and(Predicate::cmp(ssn, CmpOp::Ne, Value::Int(3)));
+        let p = Predicate::cmp(pay, CmpOp::Ge, Value::Float(60.0)).and(Predicate::cmp(
+            ssn,
+            CmpOp::Ne,
+            Value::Int(3),
+        ));
         let sel = select(db.schema_mut(), employee, "Mid", p).unwrap();
         assert_eq!(sel.filter(&db).unwrap().len(), 1);
         let neg = Selection {
@@ -352,7 +355,8 @@ mod tests {
         let employee = db.schema().type_id("Employee").unwrap();
         let pay = db.schema().attr_id("pay_rate").unwrap();
         // An employee with null pay.
-        db.create_named("Employee", &[("SSN", Value::Int(4))]).unwrap();
+        db.create_named("Employee", &[("SSN", Value::Int(4))])
+            .unwrap();
         let sel = select(
             db.schema_mut(),
             employee,

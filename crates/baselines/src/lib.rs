@@ -21,6 +21,5 @@ pub mod strategies;
 pub use audit::{audit_all, audit_strategy, AuditResult};
 pub use strategies::{
     ground_truth_applicable, DefinerChoice, DefinerSpecifiedStrategy, DerivationStrategy,
-    LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy, StandaloneStrategy,
-    StrategyOutcome,
+    LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy, StandaloneStrategy, StrategyOutcome,
 };

@@ -14,9 +14,7 @@ fn bench_call_chain_depth(c: &mut Criterion) {
     for depth in [10usize, 50, 200, 500] {
         let w = call_chain_workload(depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &w, |b, w| {
-            b.iter(|| {
-                compute_applicability(&w.schema, w.source, &w.projection, false).unwrap()
-            })
+            b.iter(|| compute_applicability(&w.schema, w.source, &w.projection, false).unwrap())
         });
     }
     group.finish();
@@ -27,9 +25,7 @@ fn bench_cycle_length(c: &mut Criterion) {
     for len in [4usize, 16, 64, 128] {
         let w = call_cycle_workload(len);
         group.bench_with_input(BenchmarkId::from_parameter(len), &w, |b, w| {
-            b.iter(|| {
-                compute_applicability(&w.schema, w.source, &w.projection, false).unwrap()
-            })
+            b.iter(|| compute_applicability(&w.schema, w.source, &w.projection, false).unwrap())
         });
     }
     group.finish();
@@ -40,9 +36,7 @@ fn bench_random_methods(c: &mut Criterion) {
     for n in [16usize, 48, 96, 192] {
         let w = random_workload(n, 0xBEEF + n as u64);
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
-            b.iter(|| {
-                compute_applicability(&w.schema, w.source, &w.projection, false).unwrap()
-            })
+            b.iter(|| compute_applicability(&w.schema, w.source, &w.projection, false).unwrap())
         });
     }
     group.finish();
@@ -53,13 +47,7 @@ fn bench_stack_vs_oracle(c: &mut Criterion) {
     let w = random_workload(96, 0xFACE);
     group.bench_function("stack", |b| {
         b.iter(|| {
-            compute_applicability(
-                black_box(&w.schema),
-                w.source,
-                &w.projection,
-                false,
-            )
-            .unwrap()
+            compute_applicability(black_box(&w.schema), w.source, &w.projection, false).unwrap()
         })
     });
     group.bench_function("fixpoint_oracle", |b| {

@@ -5,8 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use td_baselines::{
-    DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy,
-    StandaloneStrategy,
+    DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy, StandaloneStrategy,
 };
 use td_bench::random_workload;
 
@@ -41,7 +40,9 @@ fn bench_paper_scaling_vs_local_edge(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("paper", n), &w, |b, w| {
             b.iter(|| {
                 let mut schema = w.schema.clone();
-                PaperStrategy.derive(&mut schema, w.source, &w.projection).unwrap()
+                PaperStrategy
+                    .derive(&mut schema, w.source, &w.projection)
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("local_edge", n), &w, |b, w| {

@@ -8,14 +8,27 @@ use td_core::{project, ProjectionOptions, SurrogateRegistry};
 
 fn run_full(w: &Workload) {
     let mut schema = w.schema.clone();
-    project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast()).unwrap();
+    project(
+        &mut schema,
+        w.source,
+        &w.projection,
+        &ProjectionOptions::fast(),
+    )
+    .unwrap();
 }
 
 fn run_factor_state_only(w: &Workload) {
     let mut schema = w.schema.clone();
     let mut registry = SurrogateRegistry::new();
     let mut outcome = FactorStateOutcome::default();
-    factor_state(&mut schema, &mut registry, &w.projection, w.source, &mut outcome).unwrap();
+    factor_state(
+        &mut schema,
+        &mut registry,
+        &w.projection,
+        w.source,
+        &mut outcome,
+    )
+    .unwrap();
 }
 
 fn bench_chain_depth(c: &mut Criterion) {
@@ -63,8 +76,13 @@ fn bench_project_unproject_cycle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &w, |b, w| {
             b.iter(|| {
                 let mut schema = w.schema.clone();
-                let d = project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast())
-                    .unwrap();
+                let d = project(
+                    &mut schema,
+                    w.source,
+                    &w.projection,
+                    &ProjectionOptions::fast(),
+                )
+                .unwrap();
                 unproject(&mut schema, &d).unwrap();
             })
         });
@@ -80,7 +98,13 @@ fn bench_invariant_checking_overhead(c: &mut Criterion) {
     group.bench_function("fast", |b| {
         b.iter(|| {
             let mut schema = w.schema.clone();
-            project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast()).unwrap()
+            project(
+                &mut schema,
+                w.source,
+                &w.projection,
+                &ProjectionOptions::fast(),
+            )
+            .unwrap()
         })
     });
     group.bench_function("checked", |b| {

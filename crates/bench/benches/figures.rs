@@ -28,10 +28,18 @@ fn bench_ex1_fig4(c: &mut Criterion) {
     c.bench_function("figures/ex1_fig4_projection_over_A", |b| {
         b.iter(|| {
             let mut s = figures::fig3();
-            let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::fast())
-                .unwrap();
+            let d = project_named(
+                &mut s,
+                "A",
+                figures::FIG4_PROJECTION,
+                &ProjectionOptions::fast(),
+            )
+            .unwrap();
             assert_eq!(d.applicable().len(), figures::EX1_APPLICABLE.len());
-            assert_eq!(d.factor_surrogates.len(), figures::FIG4_SURROGATE_SOURCES.len());
+            assert_eq!(
+                d.factor_surrogates.len(),
+                figures::FIG4_SURROGATE_SOURCES.len()
+            );
             d
         })
     });
@@ -41,9 +49,17 @@ fn bench_ex4_fig5(c: &mut Criterion) {
     c.bench_function("figures/ex4_fig5_with_z1", |b| {
         b.iter(|| {
             let mut s = figures::fig3_with_z1();
-            let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::fast())
-                .unwrap();
-            assert_eq!(d.augment_surrogates.len(), figures::FIG5_AUGMENT_SOURCES.len());
+            let d = project_named(
+                &mut s,
+                "A",
+                figures::FIG4_PROJECTION,
+                &ProjectionOptions::fast(),
+            )
+            .unwrap();
+            assert_eq!(
+                d.augment_surrogates.len(),
+                figures::FIG5_AUGMENT_SOURCES.len()
+            );
             d
         })
     });

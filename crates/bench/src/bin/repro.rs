@@ -29,8 +29,15 @@ impl Report {
         Report { rows: Vec::new() }
     }
 
-    fn row(&mut self, id: &str, expected: impl Into<String>, measured: impl Into<String>, ok: bool) {
-        self.rows.push((id.to_string(), expected.into(), measured.into(), ok));
+    fn row(
+        &mut self,
+        id: &str,
+        expected: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) {
+        self.rows
+            .push((id.to_string(), expected.into(), measured.into(), ok));
     }
 
     fn print(&self) {
@@ -119,15 +126,19 @@ fn fig2(report: &mut Report) {
     let ok = app.contains("age")
         && app.contains("promote")
         && !app.contains("income")
-        && s.render_hierarchy().contains("^Person [surrogate of Person] {SSN, date_of_birth}")
-        && s.render_hierarchy().contains("^Employee [surrogate of Employee] {pay_rate} <- ^Person(1)")
+        && s.render_hierarchy()
+            .contains("^Person [surrogate of Person] {SSN, date_of_birth}")
+        && s.render_hierarchy()
+            .contains("^Employee [surrogate of Employee] {pay_rate} <- ^Person(1)")
         && d.invariants_ok();
     report.row(
         "FIG2 refactor",
         "age+promote survive, income dies; ^Person{SSN,dob}, ^Employee{pay_rate}",
         format!(
             "applicable={:?}, surrogates={}, invariants={}",
-            app.iter().filter(|n| !n.starts_with("get_") && !n.starts_with("set_")).collect::<Vec<_>>(),
+            app.iter()
+                .filter(|n| !n.starts_with("get_") && !n.starts_with("set_"))
+                .collect::<Vec<_>>(),
             d.factor_surrogates.len(),
             d.invariants_ok()
         ),
@@ -149,8 +160,10 @@ fn ex1(report: &mut Report) {
     .expect("ex1 projection");
     let applicable = names(&s, d.applicable());
     let not_applicable = names(&s, d.not_applicable());
-    let expected_app: BTreeSet<String> =
-        figures::EX1_APPLICABLE.iter().map(|n| n.to_string()).collect();
+    let expected_app: BTreeSet<String> = figures::EX1_APPLICABLE
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
     let expected_not: BTreeSet<String> = figures::EX1_NOT_APPLICABLE
         .iter()
         .map(|n| n.to_string())
@@ -166,7 +179,10 @@ fn ex1(report: &mut Report) {
     let ok = applicable == expected_app && not_applicable == expected_not && y1_retracted;
     report.row(
         "EX1 IsApplicable",
-        format!("applicable = {:?}; y1 optimistically assumed then retracted", figures::EX1_APPLICABLE),
+        format!(
+            "applicable = {:?}; y1 optimistically assumed then retracted",
+            figures::EX1_APPLICABLE
+        ),
         format!(
             "applicable = {:?}; y1 retracted = {}",
             applicable.iter().collect::<Vec<_>>(),
@@ -195,8 +211,13 @@ fn ex1(report: &mut Report) {
 
 fn fig4(report: &mut Report) {
     let mut s = figures::fig3();
-    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
-        .expect("fig4 projection");
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .expect("fig4 projection");
     let sources: BTreeSet<String> = d
         .factor_surrogates
         .iter()
@@ -210,7 +231,12 @@ fn fig4(report: &mut Report) {
         .moved_attrs
         .iter()
         .map(|&(a, from, to)| {
-            format!("{}:{}→{}", s.attr(a).name, s.type_name(from), s.type_name(to))
+            format!(
+                "{}:{}→{}",
+                s.attr(a).name,
+                s.type_name(from),
+                s.type_name(to)
+            )
         })
         .collect();
     let render = s.render_hierarchy();
@@ -228,22 +254,32 @@ fn fig4(report: &mut Report) {
     report.row(
         "FIG4 factored hierarchy",
         "surrogates for A,B,C,E,F,H (not D,G); a2→^A, e2→^E, h2→^H; paper's wiring",
-        format!("surrogates for {:?}; moves {:?}; wiring ok = {wiring_ok}", sources, moved),
+        format!(
+            "surrogates for {:?}; moves {:?}; wiring ok = {wiring_ok}",
+            sources, moved
+        ),
         ok,
     );
 }
 
 fn ex3(report: &mut Report) {
     let mut s = figures::fig3();
-    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
-        .expect("ex3 projection");
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .expect("ex3 projection");
     let sigs: BTreeSet<String> = d
         .applicable()
         .iter()
         .map(|&m| s.render_signature(m))
         .collect();
-    let expected: BTreeSet<String> =
-        figures::EX3_SIGNATURES.iter().map(|x| x.to_string()).collect();
+    let expected: BTreeSet<String> = figures::EX3_SIGNATURES
+        .iter()
+        .map(|x| x.to_string())
+        .collect();
     report.row(
         "EX3 factored signatures",
         format!("{:?}", figures::EX3_SIGNATURES),
@@ -254,8 +290,13 @@ fn ex3(report: &mut Report) {
 
 fn ex4_fig5(report: &mut Report) {
     let mut s = figures::fig3_with_z1();
-    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
-        .expect("ex4 projection");
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .expect("ex4 projection");
     let z: BTreeSet<String> = d
         .z_types
         .iter()
@@ -274,12 +315,22 @@ fn ex4_fig5(report: &mut Report) {
         .expect("general")
         .locals
         .iter()
-        .map(|l| format!("{}: {}", l.name, match l.ty {
-            td_model::ValueType::Object(t) => s.type_name(t).to_string(),
-            td_model::ValueType::Prim(p) => p.to_string(),
-        }))
+        .map(|l| {
+            format!(
+                "{}: {}",
+                l.name,
+                match l.ty {
+                    td_model::ValueType::Object(t) => s.type_name(t).to_string(),
+                    td_model::ValueType::Prim(p) => p.to_string(),
+                }
+            )
+        })
         .collect();
-    let ok = z == ["D", "G"].iter().map(|x| x.to_string()).collect::<BTreeSet<_>>()
+    let ok = z
+        == ["D", "G"]
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<BTreeSet<_>>()
         && aug == vec!["G".to_string(), "D".to_string()]
         && sig == "z1(^C, ^B)"
         && locals == vec!["g: ^G".to_string(), "d: ^D".to_string()]
@@ -337,8 +388,13 @@ fn scale_experiments(report: &mut Report) {
         let w = chain_workload(depth);
         let t = time_us(15, || {
             let mut schema = w.schema.clone();
-            td_core::project(&mut schema, w.source, &w.projection, &ProjectionOptions::fast())
-                .unwrap();
+            td_core::project(
+                &mut schema,
+                w.source,
+                &w.projection,
+                &ProjectionOptions::fast(),
+            )
+            .unwrap();
         });
         times.push((depth, t));
     }
@@ -382,7 +438,10 @@ fn scale_experiments(report: &mut Report) {
     report.row(
         "SCALE-D dispatch transparency",
         "original-type dispatch within ~3× after refactoring (1 extra CPL entry per factored type)",
-        format!("before {tb:.2}µs, after {ta:.2}µs ({:.2}×)", ta / tb.max(0.001)),
+        format!(
+            "before {tb:.2}µs, after {ta:.2}µs ({:.2}×)",
+            ta / tb.max(0.001)
+        ),
         ta / tb.max(0.001) < 3.0,
     );
 }

@@ -108,8 +108,13 @@ mod tests {
             call_cycle_workload(8),
         ] {
             let mut schema = w.schema.clone();
-            let d = project(&mut schema, w.source, &w.projection, &ProjectionOptions::default())
-                .expect("workload projects");
+            let d = project(
+                &mut schema,
+                w.source,
+                &w.projection,
+                &ProjectionOptions::default(),
+            )
+            .expect("workload projects");
             assert!(d.invariants_ok(), "workload violates invariants");
         }
     }

@@ -130,8 +130,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "project" => {
             let mut schema = load(args.get(1))?;
             let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
-            let d = project(&mut schema, source, &projection, &ProjectionOptions::default())
-                .map_err(|e| fail(e.to_string()))?;
+            let d = project(
+                &mut schema,
+                source,
+                &projection,
+                &ProjectionOptions::default(),
+            )
+            .map_err(|e| fail(e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(out, "{}", d.summary(&schema));
             let _ = writeln!(out, "{}", schema.render_hierarchy());
@@ -152,9 +157,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let method = schema
                 .method_by_label(label)
                 .map_err(|e| fail(e.to_string()))?;
-            let e = explain(&schema, source, &projection, method)
-                .map_err(|e| fail(e.to_string()))?;
-            Ok(e.render(&schema))
+            let e =
+                explain(&schema, source, &projection, method).map_err(|e| fail(e.to_string()))?;
+            let mut out = e.render(&schema);
+            // The explanation replays dispatch through td-model's cache;
+            // show how warm the run was.
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{}", schema.dispatch_cache_stats());
+            Ok(out)
         }
         "audit" => {
             let schema = load(args.get(1))?;
@@ -203,7 +215,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let gf_name = args
                 .get(3)
                 .ok_or_else(|| fail("missing generic-function argument"))?;
-            let gf = db.schema().gf_id(gf_name).map_err(|e| fail(e.to_string()))?;
+            let gf = db
+                .schema()
+                .gf_id(gf_name)
+                .map_err(|e| fail(e.to_string()))?;
             let raw = args.get(4).map(String::as_str).unwrap_or("");
             let values = raw
                 .split(',')
@@ -225,8 +240,8 @@ fn load_db(
     let schema = load(schema_path)?;
     let mut db = Database::new(schema);
     let path = data_path.ok_or_else(|| fail("missing data file argument"))?;
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
     let names = parse_objects(&mut db, &src).map_err(|e| fail(format!("{path}: {e}")))?;
     Ok((db, names))
 }
@@ -263,8 +278,8 @@ fn parse_value(
 
 fn load(path: Option<&String>) -> Result<Schema, CliError> {
     let path = path.ok_or_else(|| fail("missing schema file argument"))?;
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
     parse_schema(&src).map_err(|e| fail(format!("{path}: {e}")))
 }
 
@@ -372,7 +387,23 @@ mod tests {
             "income",
         ]);
         assert!(out.contains("income"));
-        assert!(out.contains("pay_rate") || out.contains("get_pay_rate"), "{out}");
+        assert!(
+            out.contains("pay_rate") || out.contains("get_pay_rate"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn explain_reports_dispatch_cache_counters() {
+        let f = fixture("explain-cache", FIG1);
+        let out = run_ok(&[
+            "explain",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,date_of_birth",
+            "income",
+        ]);
+        assert!(out.contains("dispatch cache: gen"), "{out}");
     }
 
     #[test]
@@ -424,7 +455,12 @@ mod tests {
         let out = run_ok(&["extent", s.to_str().unwrap(), d.to_str().unwrap(), "Person"]);
         assert!(out.contains("alice: Employee"));
         assert!(out.contains("bob: Person"));
-        let out = run_ok(&["extent", s.to_str().unwrap(), d.to_str().unwrap(), "Employee"]);
+        let out = run_ok(&[
+            "extent",
+            s.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "Employee",
+        ]);
         assert!(out.contains("alice"));
         assert!(!out.contains("bob"));
     }
@@ -433,16 +469,46 @@ mod tests {
     fn call_executes_methods() {
         let s = fixture("call_s", FIG1);
         let d = fixture("call_d", FIG1_DATA);
-        let out = run_ok(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "age", "alice"]);
+        let out = run_ok(&[
+            "call",
+            s.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "age",
+            "alice",
+        ]);
         assert_eq!(out.trim(), "36");
-        let out = run_ok(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "income", "alice"]);
+        let out = run_ok(&[
+            "call",
+            s.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "income",
+            "alice",
+        ]);
         assert_eq!(out.trim(), "2090");
         // Writers take literal second arguments.
-        let out = run_ok(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "set_SSN", "alice,9"]);
+        let out = run_ok(&[
+            "call",
+            s.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "set_SSN",
+            "alice,9",
+        ]);
         assert_eq!(out.trim(), "null");
-        let e = run_err(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "income", "bob"]);
+        let e = run_err(&[
+            "call",
+            s.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "income",
+            "bob",
+        ]);
         assert!(e.message.contains("no applicable method"));
-        let e = run_err(&["call", s.to_str().unwrap(), d.to_str().unwrap(), "age", "whoops"]);
+        let e = run_err(&[
+            "call",
+            s.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "age",
+            "whoops",
+        ]);
         assert!(e.message.contains("neither a known object"));
     }
 

@@ -215,17 +215,35 @@ mod tests {
         let mut bb = BodyBuilder::new();
         bb.call(f12, vec![Expr::Param(0)]);
         bb.call(get_dead, vec![Expr::Param(0)]);
-        s.add_method(f2, "f2_m", vec![Specializer::Type(t)], MethodKind::General(bb.finish()), None)
-            .unwrap();
+        s.add_method(
+            f2,
+            "f2_m",
+            vec![Specializer::Type(t)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(f5, vec![Expr::Param(0)]);
         bb.call(f2, vec![Expr::Param(0)]);
-        s.add_method(f12, "f12_m", vec![Specializer::Type(t)], MethodKind::General(bb.finish()), None)
-            .unwrap();
+        s.add_method(
+            f12,
+            "f12_m",
+            vec![Specializer::Type(t)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(f12, vec![Expr::Param(0)]);
         let f5_m = s
-            .add_method(f5, "f5_m", vec![Specializer::Type(t)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                f5,
+                "f5_m",
+                vec![Specializer::Type(t)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
 
         let proj = BTreeSet::new(); // nothing projected: everything must die

@@ -167,7 +167,10 @@ pub fn compute_applicability(
             }
             ctx.top_level_start = ctx.applicable.len();
             ctx.test(m)?;
-            debug_assert!(ctx.stack.is_empty(), "MethodStack must drain per top-level call");
+            debug_assert!(
+                ctx.stack.is_empty(),
+                "MethodStack must drain per top-level call"
+            );
         }
         let all_done = universe.iter().all(|&m| ctx.is_classified(m));
         if all_done {
@@ -192,6 +195,10 @@ pub fn compute_applicability(
 /// Computes the candidate methods for a call site, per the §4.1 case
 /// analysis. Shared with the fixpoint oracle so both implementations agree
 /// on what a call requires.
+///
+/// `Schema::applicable_methods` is served by td-model's dispatch cache, so
+/// the many call sites that re-examine the same `(gf, args)` pair during a
+/// fixpoint run resolve to a cached table after the first lookup.
 pub(crate) fn call_candidates(
     schema: &Schema,
     source: TypeId,
@@ -283,7 +290,8 @@ impl Ctx<'_> {
             self.applicable_set.remove(d);
         }
         if self.record_trace && !removed.is_empty() {
-            self.trace.push(TraceEvent::DependentsRetracted { failed, removed });
+            self.trace
+                .push(TraceEvent::DependentsRetracted { failed, removed });
         }
     }
 
@@ -371,7 +379,10 @@ impl Ctx<'_> {
             }
             if !satisfied {
                 if self.record_trace {
-                    self.trace.push(TraceEvent::CallFailed { method: m, gf: site.gf });
+                    self.trace.push(TraceEvent::CallFailed {
+                        method: m,
+                        gf: site.gf,
+                    });
                 }
                 // Falling out: no applicable method for this call. Retract
                 // everything contingent on m, classify m not applicable.
@@ -392,9 +403,7 @@ impl Ctx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use td_model::{
-        BodyBuilder, Expr, MethodKind, Specializer, ValueType,
-    };
+    use td_model::{BodyBuilder, Expr, MethodKind, Specializer, ValueType};
 
     /// Schema:  B <= A, attrs x@A, y@A; readers; methods
     ///   f1(A) = { get_x(p0) }
@@ -414,18 +423,36 @@ mod tests {
         let mut bb = BodyBuilder::new();
         bb.call(get_x, vec![Expr::Param(0)]);
         let f1 = s
-            .add_method(f, "f1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                f,
+                "f1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(get_y, vec![Expr::Param(0)]);
         let f2 = s
-            .add_method(f, "f2", vec![Specializer::Type(b)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                f,
+                "f2",
+                vec![Specializer::Type(b)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let h = s.add_gf("h", 1, None).unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(f, vec![Expr::Param(0)]);
         let h1 = s
-            .add_method(h, "h1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                h,
+                "h1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         (s, b, vec![mx, my, f1, f2, h1])
     }
@@ -447,19 +474,23 @@ mod tests {
     #[test]
     fn general_method_follows_call_graph() {
         let (s, a, m) = small();
-        let [_, _, f1, f2, h1] = m[..] else { unreachable!() };
+        let [_, _, f1, f2, h1] = m[..] else {
+            unreachable!()
+        };
         let r = compute_applicability(&s, a, &attrs(&s, &["x"]), false).unwrap();
         assert!(r.is_applicable(f1));
         assert!(!r.is_applicable(f2)); // needs y
-        // h1 calls f; f1 still works, so h1 survives via the less-specific
-        // route even though f2 died.
+                                       // h1 calls f; f1 still works, so h1 survives via the less-specific
+                                       // route even though f2 died.
         assert!(r.is_applicable(h1));
     }
 
     #[test]
     fn method_dies_when_no_callee_survives() {
         let (s, a, m) = small();
-        let [_, _, f1, f2, h1] = m[..] else { unreachable!() };
+        let [_, _, f1, f2, h1] = m[..] else {
+            unreachable!()
+        };
         // Project onto neither x nor y: nothing survives except nothing.
         let r = compute_applicability(&s, a, &BTreeSet::new(), false).unwrap();
         for mm in [f1, f2, h1] {
@@ -474,7 +505,13 @@ mod tests {
         let a = s.add_type("A", &[]).unwrap();
         let f = s.add_gf("f", 1, None).unwrap();
         let m = s
-            .add_method(f, "noop", vec![Specializer::Type(a)], MethodKind::General(Default::default()), None)
+            .add_method(
+                f,
+                "noop",
+                vec![Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
             .unwrap();
         let r = compute_applicability(&s, a, &BTreeSet::new(), false).unwrap();
         assert!(r.is_applicable(m));
@@ -493,7 +530,13 @@ mod tests {
         bb.call(get_x, vec![Expr::Param(0)]);
         bb.call(rec, vec![Expr::Param(0)]);
         let m = s
-            .add_method(rec, "rec1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                rec,
+                "rec1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let r = compute_applicability(&s, a, &attrs(&s, &["x"]), true).unwrap();
         assert!(r.is_applicable(m));
@@ -524,12 +567,24 @@ mod tests {
         bb.call(q, vec![Expr::Param(0)]);
         bb.call(get_y, vec![Expr::Param(0)]);
         let p1 = s
-            .add_method(p, "p1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                p,
+                "p1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(p, vec![Expr::Param(0)]);
         let q1 = s
-            .add_method(q, "q1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                q,
+                "q1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let r = compute_applicability(&s, a, &BTreeSet::new(), true).unwrap();
         assert!(!r.is_applicable(p1));
@@ -559,12 +614,24 @@ mod tests {
         let mut bb = BodyBuilder::new();
         bb.call(q, vec![Expr::Param(0)]);
         let p1 = s
-            .add_method(p, "p1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                p,
+                "p1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(p, vec![Expr::Param(0)]);
         let q1 = s
-            .add_method(q, "q1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
+            .add_method(
+                q,
+                "q1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
             .unwrap();
         let r = compute_applicability(&s, a, &BTreeSet::new(), false).unwrap();
         assert!(r.is_applicable(p1));
@@ -579,7 +646,13 @@ mod tests {
         let u = s.add_type("Unrelated", &[]).unwrap();
         let f = s.add_gf("f", 1, None).unwrap();
         let m_u = s
-            .add_method(f, "f_u", vec![Specializer::Type(u)], MethodKind::General(Default::default()), None)
+            .add_method(
+                f,
+                "f_u",
+                vec![Specializer::Type(u)],
+                MethodKind::General(Default::default()),
+                None,
+            )
             .unwrap();
         let r = compute_applicability(&s, a, &BTreeSet::new(), false).unwrap();
         assert!(r.universe.is_empty());

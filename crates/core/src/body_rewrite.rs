@@ -83,7 +83,7 @@ pub fn retype_bodies(
     schema: &mut Schema,
     registry: &SurrogateRegistry,
     converted: &HashMap<MethodId, Vec<usize>>,
-    ) -> Result<RetypeOutcome> {
+) -> Result<RetypeOutcome> {
     let mut outcome = RetypeOutcome::default();
     let mut methods: Vec<&MethodId> = converted.keys().collect();
     methods.sort();

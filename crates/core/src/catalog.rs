@@ -225,12 +225,24 @@ mod tests {
         let employee = s.type_id("Employee").unwrap();
         let mut cat = ViewCatalog::new();
         let p_outer = proj(&s, &["SSN", "date_of_birth"]);
-        cat.create(&mut s, "outer", employee, &p_outer, &ProjectionOptions::default())
-            .unwrap();
+        cat.create(
+            &mut s,
+            "outer",
+            employee,
+            &p_outer,
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
         let outer_ty = cat.view_type("outer").unwrap();
         let p_inner = proj(&s, &["SSN"]);
-        cat.create(&mut s, "inner", outer_ty, &p_inner, &ProjectionOptions::default())
-            .unwrap();
+        cat.create(
+            &mut s,
+            "inner",
+            outer_ty,
+            &p_inner,
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
         assert_eq!(cat.entry("inner").unwrap().parent.as_deref(), Some("outer"));
         assert_eq!(cat.dependents("outer"), vec!["inner"]);
 

@@ -34,10 +34,16 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Model(e) => write!(f, "schema error: {e}"),
             CoreError::AttrNotAvailable { attr, source } => {
-                write!(f, "attribute {attr} is not available at projection source {source}")
+                write!(
+                    f,
+                    "attribute {attr} is not available at projection source {source}"
+                )
             }
             CoreError::NonConvergence { iterations } => {
-                write!(f, "applicability driver did not converge after {iterations} passes")
+                write!(
+                    f,
+                    "applicability driver did not converge after {iterations} passes"
+                )
             }
             CoreError::MissingSurrogate(t) => {
                 write!(f, "no surrogate exists for {t} after augmentation")

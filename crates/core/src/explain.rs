@@ -303,7 +303,12 @@ mod tests {
         let r = crate::compute_applicability(&s, a, &proj, false).unwrap();
         for &m in &r.universe {
             let e = explain(&s, a, &proj, m).unwrap();
-            assert_eq!(e.is_applicable(), r.is_applicable(m), "{}", s.method(m).label);
+            assert_eq!(
+                e.is_applicable(),
+                r.is_applicable(m),
+                "{}",
+                s.method(m).label
+            );
         }
     }
 }

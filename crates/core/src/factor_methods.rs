@@ -115,7 +115,8 @@ mod tests {
         let (c_hat, _) = reg.get_or_create(&mut s, c, SurrogateKind::Factor).unwrap();
         // A surrogate for U exists but U is not a supertype of the source,
         // so it must not be rewritten.
-        reg.get_or_create(&mut s, u, SurrogateKind::Augment).unwrap();
+        reg.get_or_create(&mut s, u, SurrogateKind::Augment)
+            .unwrap();
         let changes = factor_methods(&mut s, &reg, a, &[m]);
         assert_eq!(changes.len(), 1);
         assert_eq!(
@@ -147,7 +148,9 @@ mod tests {
             )
             .unwrap();
         let mut reg = SurrogateRegistry::new();
-        let (a_hat, _) = reg.get_or_create(&mut s, a, SurrogateKind::Augment).unwrap();
+        let (a_hat, _) = reg
+            .get_or_create(&mut s, a, SurrogateKind::Augment)
+            .unwrap();
         let changes = factor_methods(&mut s, &reg, a, &[m]);
         assert_eq!(changes.len(), 1);
         assert_eq!(s.method(m).specializers, vec![Specializer::Type(a_hat)]);

@@ -99,7 +99,15 @@ fn factor_rec(
             if !l.is_empty() {
                 // "call FactorState(L, s, T̂, p)" with p the precedence of
                 // s among the supertypes of T.
-                factor_rec(schema, registry, &l, link.target, Some(t_hat), link.prec, outcome)?;
+                factor_rec(
+                    schema,
+                    registry,
+                    &l,
+                    link.target,
+                    Some(t_hat),
+                    link.prec,
+                    outcome,
+                )?;
             }
         }
     }
@@ -147,8 +155,13 @@ mod tests {
         assert_eq!(derived, e_hat);
 
         // ^Employee carries pay_rate; ^Person carries SSN + date_of_birth.
-        let names =
-            |t: TypeId| -> Vec<&str> { s.type_(t).local_attrs.iter().map(|&a| s.attr(a).name.as_str()).collect() };
+        let names = |t: TypeId| -> Vec<&str> {
+            s.type_(t)
+                .local_attrs
+                .iter()
+                .map(|&a| s.attr(a).name.as_str())
+                .collect()
+        };
         assert_eq!(names(e_hat), vec!["pay_rate"]);
         assert_eq!(names(p_hat), vec!["SSN", "date_of_birth"]);
         assert_eq!(names(person), vec!["name"]);
@@ -158,8 +171,12 @@ mod tests {
         // ^Employee <=(1) ^Person. Person is NOT a supertype of ^Employee.
         assert_eq!(s.type_(employee).super_ids().next(), Some(e_hat));
         assert_eq!(s.type_(person).super_ids().next(), Some(p_hat));
-        let e_hat_supers: Vec<(TypeId, i32)> =
-            s.type_(e_hat).supers().iter().map(|l| (l.target, l.prec)).collect();
+        let e_hat_supers: Vec<(TypeId, i32)> = s
+            .type_(e_hat)
+            .supers()
+            .iter()
+            .map(|l| (l.target, l.prec))
+            .collect();
         assert_eq!(e_hat_supers, vec![(p_hat, 1)]);
         assert!(!s.is_subtype(e_hat, person));
 

@@ -22,9 +22,15 @@
 //! Dispatch comparison enumerates argument tuples exhaustively up to a
 //! budget and deterministically strides beyond it, so reports are
 //! reproducible.
+//!
+//! The I2 replay is the motivating workload for td-model's dispatch
+//! acceleration layer: it calls `most_specific` once per tuple, and every
+//! tuple re-walks the same handful of CPLs. Both schemas' replays run
+//! through the memoized caches, and the report carries the refactored
+//! schema's cache counters so callers can see how warm the replay ran.
 
 use std::collections::BTreeSet;
-use td_model::{AttrId, CallArg, GfId, MethodId, Schema, TypeId};
+use td_model::{AttrId, CallArg, DispatchCacheStats, GfId, MethodId, Schema, TypeId};
 
 /// One observed divergence from the paper's guarantees.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +95,9 @@ pub struct InvariantReport {
     pub violations: Vec<Violation>,
     /// Number of dispatch tuples compared for I2.
     pub dispatch_tuples_checked: usize,
+    /// Dispatch-cache counters of the refactored (`after`) schema once the
+    /// I2 replay finished — shows how much of the replay was served warm.
+    pub dispatch_cache: DispatchCacheStats,
 }
 
 impl InvariantReport {
@@ -117,7 +126,10 @@ pub fn check_invariants(
 
     // I5 first: a malformed schema makes the other checks meaningless.
     if let Err(e) = after.validate() {
-        report.violations.push(Violation::SchemaInvalid(e.to_string()));
+        report
+            .violations
+            .push(Violation::SchemaInvalid(e.to_string()));
+        report.dispatch_cache = after.dispatch_cache_stats();
         return report;
     }
 
@@ -163,7 +175,10 @@ pub fn check_invariants(
         // Only object-typed tuples are interesting; primitive positions do
         // not change across factorization. Enumerate type tuples over the
         // original types, strided to the budget.
-        let total = originals.len().checked_pow(arity as u32).unwrap_or(usize::MAX);
+        let total = originals
+            .len()
+            .checked_pow(arity as u32)
+            .unwrap_or(usize::MAX);
         let stride = total.div_ceil(TUPLE_BUDGET).max(1);
         let mut idx = 0usize;
         while idx < total {
@@ -222,6 +237,7 @@ pub fn check_invariants(
         });
     }
 
+    report.dispatch_cache = after.dispatch_cache_stats();
     report
 }
 
@@ -244,6 +260,31 @@ mod tests {
         let report = check_invariants(&before, &s, a, &proj, &methods);
         assert!(report.ok(), "{:?}", report.violations);
         assert!(report.dispatch_tuples_checked > 0);
+    }
+
+    #[test]
+    fn i2_replay_reports_cache_counters() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let y = s.add_attr("y", ValueType::INT, a).unwrap();
+        // Two methods per generic function so the replay must consult rank
+        // tables (single-method dispatch short-circuits without them).
+        s.add_reader(x, a).unwrap();
+        s.add_reader(x, b).unwrap();
+        s.add_reader(y, a).unwrap();
+        s.add_reader(y, b).unwrap();
+        let before = s.clone();
+        let methods: Vec<MethodId> = s.method_ids().collect();
+        let proj: BTreeSet<AttrId> = [x, y].into_iter().collect();
+        let report = check_invariants(&before, &s, b, &proj, &methods);
+        assert!(report.ok(), "{:?}", report.violations);
+        // Each (gf, tuple) pair is a fresh dispatch entry, but the second
+        // generic function's replay reuses the rank tables the first one
+        // built — the cache counters must show that.
+        assert!(report.dispatch_cache.dispatch_misses > 0);
+        assert!(report.dispatch_cache.cpl_hits > 0);
     }
 
     #[test]
@@ -300,9 +341,8 @@ mod tests {
         // Claim nothing is applicable, but the reader applies to A.
         let proj: BTreeSet<AttrId> = [x].into_iter().collect();
         let report = check_invariants(&before, &s, a, &proj, &[]);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::DerivedBehaviorWrong { extra, .. } if extra == &vec![m])));
+        assert!(report.violations.iter().any(
+            |v| matches!(v, Violation::DerivedBehaviorWrong { extra, .. } if extra == &vec![m])
+        ));
     }
 }

@@ -56,9 +56,9 @@
 
 pub mod ablation;
 pub mod applicability;
-pub mod catalog;
 pub mod augment;
 pub mod body_rewrite;
+pub mod catalog;
 pub mod error;
 pub mod explain;
 pub mod factor_methods;

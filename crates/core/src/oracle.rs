@@ -90,17 +90,35 @@ mod tests {
         // p1 <-> q1 pure cycle (survives); r1 -> r and get_y (dies).
         let mut bb = BodyBuilder::new();
         bb.call(q, vec![Expr::Param(0)]);
-        s.add_method(p, "p1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
-            .unwrap();
+        s.add_method(
+            p,
+            "p1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(p, vec![Expr::Param(0)]);
-        s.add_method(q, "q1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
-            .unwrap();
+        s.add_method(
+            q,
+            "q1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(r_gf, vec![Expr::Param(0)]);
         bb.call(get_y, vec![Expr::Param(0)]);
-        s.add_method(r_gf, "r1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
-            .unwrap();
+        s.add_method(
+            r_gf,
+            "r1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
 
         let proj = BTreeSet::new();
         let stack = compute_applicability(&s, a, &proj, false).unwrap();

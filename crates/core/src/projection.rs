@@ -22,9 +22,7 @@ use td_model::{AttrId, MethodId, Schema, TypeId};
 
 use crate::applicability::{compute_applicability, Applicability};
 use crate::augment::augment;
-use crate::body_rewrite::{
-    collect_flow_edges, compute_y_and_z, retype_bodies, RetypeOutcome,
-};
+use crate::body_rewrite::{collect_flow_edges, compute_y_and_z, retype_bodies, RetypeOutcome};
 use crate::error::{CoreError, Result};
 use crate::factor_methods::{converted_positions, factor_methods, SignatureChange};
 use crate::factor_state::{factor_state, FactorStateOutcome};
@@ -173,8 +171,7 @@ pub fn project(
     };
 
     // -- 1. behavior inference (§4) ----------------------------------------
-    let applicability =
-        compute_applicability(schema, source, projection, opts.record_trace)?;
+    let applicability = compute_applicability(schema, source, projection, opts.record_trace)?;
 
     // -- 2. state factorization (§5) ----------------------------------------
     let mut registry = SurrogateRegistry::new();
@@ -224,9 +221,8 @@ pub fn project(
     let retypes = retype_bodies(schema, &registry, &converted)?;
 
     // -- 7. invariants --------------------------------------------------------
-    let invariants = before.map(|b| {
-        check_invariants(&b, schema, derived, projection, &applicability.applicable)
-    });
+    let invariants = before
+        .map(|b| check_invariants(&b, schema, derived, projection, &applicability.applicable));
 
     Ok(Derivation {
         source,
@@ -286,8 +282,14 @@ mod tests {
         let age = s.add_gf("age", 1, Some(ValueType::INT)).unwrap();
         let mut bb = BodyBuilder::new();
         bb.ret(Expr::call(get_dob, vec![Expr::Param(0)]));
-        s.add_method(age, "age", vec![Specializer::Type(person)], MethodKind::General(bb.finish()), Some(ValueType::INT))
-            .unwrap();
+        s.add_method(
+            age,
+            "age",
+            vec![Specializer::Type(person)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
+        .unwrap();
 
         // income(Employee) = {…get_pay_rate, get_hrs_worked…}
         let income = s.add_gf("income", 1, Some(ValueType::FLOAT)).unwrap();
@@ -297,16 +299,28 @@ mod tests {
             Expr::call(get_pay, vec![Expr::Param(0)]),
             Expr::call(get_hrs, vec![Expr::Param(0)]),
         ));
-        s.add_method(income, "income", vec![Specializer::Type(employee)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
-            .unwrap();
+        s.add_method(
+            income,
+            "income",
+            vec![Specializer::Type(employee)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::FLOAT),
+        )
+        .unwrap();
 
         // promote(Employee) = {…get_date_of_birth, get_pay_rate…}
         let promote = s.add_gf("promote", 1, Some(ValueType::BOOL)).unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(get_dob, vec![Expr::Param(0)]);
         bb.call(get_pay, vec![Expr::Param(0)]);
-        s.add_method(promote, "promote", vec![Specializer::Type(employee)], MethodKind::General(bb.finish()), Some(ValueType::BOOL))
-            .unwrap();
+        s.add_method(
+            promote,
+            "promote",
+            vec![Specializer::Type(employee)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::BOOL),
+        )
+        .unwrap();
         s.validate().unwrap();
         s
     }
@@ -341,11 +355,17 @@ mod tests {
         let e_hat = s.type_id("^Employee").unwrap();
         assert_eq!(s.method(age).specializers, vec![Specializer::Type(p_hat)]);
         let promote = s.method_by_label("promote").unwrap();
-        assert_eq!(s.method(promote).specializers, vec![Specializer::Type(e_hat)]);
+        assert_eq!(
+            s.method(promote).specializers,
+            vec![Specializer::Type(e_hat)]
+        );
         // income keeps its original signature.
         let income = s.method_by_label("income").unwrap();
         let employee = s.type_id("Employee").unwrap();
-        assert_eq!(s.method(income).specializers, vec![Specializer::Type(employee)]);
+        assert_eq!(
+            s.method(income).specializers,
+            vec![Specializer::Type(employee)]
+        );
 
         assert_eq!(d.derived, e_hat);
         assert!(d.z_types.is_empty());
@@ -357,9 +377,13 @@ mod tests {
     #[test]
     fn rejects_unavailable_attr() {
         let mut s = fig1_schema();
-        let err =
-            project_named(&mut s, "Person", &["pay_rate"], &ProjectionOptions::default())
-                .unwrap_err();
+        let err = project_named(
+            &mut s,
+            "Person",
+            &["pay_rate"],
+            &ProjectionOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::AttrNotAvailable { .. }));
     }
 
@@ -367,8 +391,13 @@ mod tests {
     fn rejects_empty_projection_by_default() {
         let mut s = fig1_schema();
         let employee = s.type_id("Employee").unwrap();
-        let err = project(&mut s, employee, &BTreeSet::new(), &ProjectionOptions::default())
-            .unwrap_err();
+        let err = project(
+            &mut s,
+            employee,
+            &BTreeSet::new(),
+            &ProjectionOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::EmptyProjection(_)));
         // …but allowed when opted in.
         let d = project(
@@ -397,23 +426,14 @@ mod tests {
         .unwrap();
         // Every method applicable to Employee survives a full projection.
         assert_eq!(d.not_applicable(), &[]);
-        assert_eq!(
-            d.applicable().len(),
-            d.applicability.universe.len()
-        );
+        assert_eq!(d.applicable().len(), d.applicability.universe.len());
         assert!(d.invariants_ok(), "{:#?}", d.invariants);
     }
 
     #[test]
     fn summary_mentions_key_facts() {
         let mut s = fig1_schema();
-        let d = project_named(
-            &mut s,
-            "Employee",
-            &["SSN"],
-            &ProjectionOptions::default(),
-        )
-        .unwrap();
+        let d = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default()).unwrap();
         let text = d.summary(&s);
         assert!(text.contains("^Employee"));
         assert!(text.contains("applicable"));

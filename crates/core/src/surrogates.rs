@@ -84,8 +84,7 @@ impl SurrogateRegistry {
 
     /// All `(source, surrogate)` pairs from both passes, sorted.
     pub fn all_pairs(&self) -> Vec<(TypeId, TypeId)> {
-        let mut v: Vec<(TypeId, TypeId)> =
-            self.map.iter().map(|(&s, &(t, _))| (s, t)).collect();
+        let mut v: Vec<(TypeId, TypeId)> = self.map.iter().map(|(&s, &(t, _))| (s, t)).collect();
         v.sort();
         v
     }
@@ -128,7 +127,9 @@ mod tests {
         let mut reg = SurrogateRegistry::new();
         let (hat, created) = reg.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
         assert!(created);
-        let (hat2, created2) = reg.get_or_create(&mut s, a, SurrogateKind::Augment).unwrap();
+        let (hat2, created2) = reg
+            .get_or_create(&mut s, a, SurrogateKind::Augment)
+            .unwrap();
         assert!(!created2);
         assert_eq!(hat, hat2);
         assert_eq!(s.type_name(hat), "^A");
@@ -142,9 +143,13 @@ mod tests {
         let mut s = Schema::new();
         let a = s.add_type("A", &[]).unwrap();
         let mut reg1 = SurrogateRegistry::new();
-        let (h1, _) = reg1.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
+        let (h1, _) = reg1
+            .get_or_create(&mut s, a, SurrogateKind::Factor)
+            .unwrap();
         let mut reg2 = SurrogateRegistry::new();
-        let (h2, _) = reg2.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
+        let (h2, _) = reg2
+            .get_or_create(&mut s, a, SurrogateKind::Factor)
+            .unwrap();
         assert_ne!(h1, h2);
         assert_eq!(s.type_name(h2), "^A#2");
     }
@@ -156,7 +161,9 @@ mod tests {
         let b = s.add_type("B", &[]).unwrap();
         let mut reg = SurrogateRegistry::new();
         let (ha, _) = reg.get_or_create(&mut s, a, SurrogateKind::Factor).unwrap();
-        let (hb, _) = reg.get_or_create(&mut s, b, SurrogateKind::Augment).unwrap();
+        let (hb, _) = reg
+            .get_or_create(&mut s, b, SurrogateKind::Augment)
+            .unwrap();
         assert_eq!(reg.pairs(SurrogateKind::Factor), vec![(a, ha)]);
         assert_eq!(reg.pairs(SurrogateKind::Augment), vec![(b, hb)]);
         assert_eq!(reg.all_pairs().len(), 2);

@@ -113,8 +113,13 @@ mod tests {
         let mut s = figures::fig3_with_z1();
         let before_h = s.render_hierarchy();
         let before_m = s.render_methods();
-        let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
-            .unwrap();
+        let d = project_named(
+            &mut s,
+            "A",
+            figures::FIG4_PROJECTION,
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
         assert_ne!(s.render_hierarchy(), before_h);
 
         unproject(&mut s, &d).unwrap();
@@ -132,11 +137,11 @@ mod tests {
     #[test]
     fn unproject_then_reproject_is_stable() {
         let mut s = figures::fig1();
-        let d1 = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default())
-            .unwrap();
+        let d1 =
+            project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default()).unwrap();
         unproject(&mut s, &d1).unwrap();
-        let d2 = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default())
-            .unwrap();
+        let d2 =
+            project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default()).unwrap();
         assert!(d2.invariants_ok());
         // The name ^Employee was freed by the drop and is reused.
         assert_eq!(s.type_name(d2.derived), "^Employee");
@@ -153,8 +158,8 @@ mod tests {
         )
         .unwrap();
         let inner_name = s.type_name(d1.derived).to_string();
-        let d2 = project_named(&mut s, &inner_name, &["SSN"], &ProjectionOptions::default())
-            .unwrap();
+        let d2 =
+            project_named(&mut s, &inner_name, &["SSN"], &ProjectionOptions::default()).unwrap();
 
         // Dropping the base view while the stacked one exists must fail…
         let err = unproject(&mut s, &d1).unwrap_err();
@@ -172,8 +177,7 @@ mod tests {
     #[test]
     fn double_drop_fails_cleanly() {
         let mut s = figures::fig1();
-        let d = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default())
-            .unwrap();
+        let d = project_named(&mut s, "Employee", &["SSN"], &ProjectionOptions::default()).unwrap();
         unproject(&mut s, &d).unwrap();
         let err = unproject(&mut s, &d).unwrap_err();
         assert!(matches!(err, CoreError::Model(_)));

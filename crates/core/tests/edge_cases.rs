@@ -2,12 +2,8 @@
 //! exercise.
 
 use std::collections::BTreeSet;
-use td_core::{
-    compute_applicability, project, project_named, unproject, ProjectionOptions,
-};
-use td_model::{
-    BodyBuilder, CallArg, Expr, MethodKind, Schema, Specializer, ValueType,
-};
+use td_core::{compute_applicability, project, project_named, unproject, ProjectionOptions};
+use td_model::{BodyBuilder, CallArg, Expr, MethodKind, Schema, Specializer, ValueType};
 
 fn opts() -> ProjectionOptions {
     ProjectionOptions::default()
@@ -47,7 +43,11 @@ fn projection_across_multiple_roots() {
     assert_eq!(d.factor_surrogates.len(), 3); // ^C ^R1 ^R2
     assert_eq!(s.cumulative_attrs(d.derived), proj);
     // The surrogate lattice mirrors the fork: ^C <= ^R1(1), ^R2(2).
-    let supers: Vec<&str> = s.type_(d.derived).super_ids().map(|t| s.type_name(t)).collect();
+    let supers: Vec<&str> = s
+        .type_(d.derived)
+        .super_ids()
+        .map(|t| s.type_name(t))
+        .collect();
     assert_eq!(supers, vec!["^R1", "^R2"]);
 }
 
@@ -55,7 +55,7 @@ fn projection_across_multiple_roots() {
 /// find a method applicable to the call *as written* — a method that only
 /// matches after substituting the source at one position does not count.
 #[test]
-fn case_two_requires_all_combinations()  {
+fn case_two_requires_all_combinations() {
     let mut s = Schema::new();
     let b = s.add_type("B", &[]).unwrap();
     let c = s.add_type("C", &[]).unwrap();
@@ -117,8 +117,14 @@ fn case_one_substitutes_the_source() {
     let n = s.add_gf("n", 1, None).unwrap();
     let mut bb = BodyBuilder::new();
     bb.call(get_x, vec![Expr::Param(0)]);
-    s.add_method(n, "n1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
-        .unwrap();
+    s.add_method(
+        n,
+        "n1",
+        vec![Specializer::Type(a)],
+        MethodKind::General(bb.finish()),
+        None,
+    )
+    .unwrap();
 
     // m1(B) = { n($0) }: statically, n(B) has no applicable method at
     // all; case 1 substitutes A and finds n1.
@@ -126,12 +132,21 @@ fn case_one_substitutes_the_source() {
     let mut bb = BodyBuilder::new();
     bb.call(n, vec![Expr::Param(0)]);
     let m1 = s
-        .add_method(m, "m1", vec![Specializer::Type(b)], MethodKind::General(bb.finish()), None)
+        .add_method(
+            m,
+            "m1",
+            vec![Specializer::Type(b)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
         .unwrap();
 
     let proj: BTreeSet<_> = [x].into_iter().collect();
     let r = compute_applicability(&s, a, &proj, false).unwrap();
-    assert!(r.is_applicable(m1), "case 1 must substitute the source type");
+    assert!(
+        r.is_applicable(m1),
+        "case 1 must substitute the source type"
+    );
 }
 
 /// Writers follow the same accessor rule as readers.
@@ -254,10 +269,7 @@ fn projection_is_a_set() {
     let d1 = project_named(&mut s1, "Employee", &["SSN", "pay_rate"], &opts()).unwrap();
     let d2 = project_named(&mut s2, "Employee", &["pay_rate", "SSN"], &opts()).unwrap();
     assert_eq!(s1.render_hierarchy(), s2.render_hierarchy());
-    assert_eq!(
-        d1.applicable().len(),
-        d2.applicable().len()
-    );
+    assert_eq!(d1.applicable().len(), d2.applicable().len());
 }
 
 /// Dispatch on the derived type selects among factored methods with the
@@ -273,12 +285,24 @@ fn derived_type_dispatch_mirrors_source_ranking() {
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::call(get_x, vec![Expr::Param(0)]));
     let f_p = s
-        .add_method(f, "f_p", vec![Specializer::Type(p)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .add_method(
+            f,
+            "f_p",
+            vec![Specializer::Type(p)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
         .unwrap();
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::call(get_x, vec![Expr::Param(0)]));
     let f_e = s
-        .add_method(f, "f_e", vec![Specializer::Type(e)], MethodKind::General(bb.finish()), Some(ValueType::INT))
+        .add_method(
+            f,
+            "f_e",
+            vec![Specializer::Type(e)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
         .unwrap();
 
     let proj: BTreeSet<_> = [x].into_iter().collect();

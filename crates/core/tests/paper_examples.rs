@@ -62,8 +62,10 @@ fn example_1_applicability() {
     let a = s2_source();
     let (schema2, proj2) = a;
     let fix = applicability_fixpoint(&schema2, proj2.0, &proj2.1).unwrap();
-    let fix_labels: BTreeSet<String> =
-        fix.iter().map(|&m| schema2.method(m).label.clone()).collect();
+    let fix_labels: BTreeSet<String> = fix
+        .iter()
+        .map(|&m| schema2.method(m).label.clone())
+        .collect();
     assert_eq!(fix_labels, set(figures::EX1_APPLICABLE));
 }
 
@@ -254,7 +256,10 @@ fn example_4_and_figure_5_augmentation() {
     let body = s.method(z1).body().unwrap();
     assert_eq!(body.locals[0].ty, td_model::ValueType::Object(g_hat));
     assert_eq!(body.locals[1].ty, td_model::ValueType::Object(d_hat));
-    assert_eq!(s.method(z1).result, Some(td_model::ValueType::Object(g_hat)));
+    assert_eq!(
+        s.method(z1).result,
+        Some(td_model::ValueType::Object(g_hat))
+    );
 
     // The re-typed assignment is type-correct: ^C <= ^G through ^E.
     assert!(s.is_subtype(c_hat, g_hat));

@@ -14,7 +14,10 @@ fn overrides_dispatch_by_receiver_only() {
     let describe = s.gf_id("describe").unwrap();
     for i in 0..4 {
         let c = s.type_id(&format!("C{i}")).unwrap();
-        let m = s.most_specific(describe, &[CallArg::Object(c)]).unwrap().unwrap();
+        let m = s
+            .most_specific(describe, &[CallArg::Object(c)])
+            .unwrap()
+            .unwrap();
         assert_eq!(s.method(m).label, format!("describe_c{i}"));
     }
 }
@@ -56,7 +59,10 @@ fn projection_keeps_exactly_the_reachable_overrides() {
     // Original classes still dispatch to their own overrides.
     for i in 0..5 {
         let c = s.type_id(&format!("C{i}")).unwrap();
-        let m = s.most_specific(describe, &[CallArg::Object(c)]).unwrap().unwrap();
+        let m = s
+            .most_specific(describe, &[CallArg::Object(c)])
+            .unwrap()
+            .unwrap();
         assert_eq!(s.method(m).label, format!("describe_c{i}"));
     }
 }
@@ -66,8 +72,7 @@ fn single_dispatch_roundtrip_through_drop() {
     let mut s = single_dispatch_schema(3);
     let before = (s.render_hierarchy(), s.render_methods());
     let leaf = s.type_id("C2").unwrap();
-    let projection: BTreeSet<AttrId> =
-        [s.attr_id("c1_f").unwrap()].into_iter().collect();
+    let projection: BTreeSet<AttrId> = [s.attr_id("c1_f").unwrap()].into_iter().collect();
     let d = project(&mut s, leaf, &projection, &ProjectionOptions::default()).unwrap();
     assert!(d.invariants_ok());
     unproject(&mut s, &d).unwrap();

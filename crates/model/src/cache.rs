@@ -1,0 +1,405 @@
+//! The dispatch acceleration layer: memoized CPLs and a generational
+//! dispatch-table cache.
+//!
+//! Multi-method dispatch is the repository's hot loop. The I2 invariant
+//! replay (`td-core`) re-dispatches every pre-existing call tuple after a
+//! refactoring pass, and the `IsApplicable` call-graph walk re-scans a
+//! generic function's methods at every call site. Uncached, each
+//! `most_specific` call recomputes class precedence lists (a topological
+//! sort over the ancestor DAG, per argument) and rescans every method of
+//! the generic function — O(calls × methods × hierarchy). The standard fix
+//! in the multi-method literature is dispatch-table precomputation; this
+//! module implements the lazy variant of it:
+//!
+//! * **CPL memo** — `cpl(t)` and the collapsed specificity ranks derived
+//!   from it are computed once per type per schema *generation* and shared
+//!   via `Arc`.
+//! * **Dispatch tables** — per `(GfId, argument-type-vector)` the cache
+//!   stores both the unranked applicable-method set (consumed by the
+//!   `IsApplicable` walk) and the ranked list (consumed by
+//!   `rank_applicable`/`most_specific`).
+//! * **Generational invalidation** — every schema mutation (type, edge,
+//!   attribute or method addition; any `&mut` access to a method, type
+//!   node or attribute, which is how the `FactorState`/`FactorMethods`/
+//!   `Augment` passes rewire things) bumps a monotonic generation counter.
+//!   Cached entries are tagged with the generation they were built under;
+//!   the first read after a mutation observes the mismatch and flushes
+//!   the maps, so a refactoring pass can never serve a pre-refactor
+//!   dispatch result. Invalidation itself is O(1) — the flush happens
+//!   lazily on the read side.
+//!
+//! The cache lives inside [`Schema`] behind a `Mutex` (keeping `Schema:
+//! Send + Sync`), is cloned with the schema (a clone is a snapshot, so
+//! the warm entries stay valid), and is observable: hit/miss/invalidation
+//! counters are exported as [`DispatchCacheStats`] through
+//! [`Schema::dispatch_cache_stats`], the CLI `explain` path and the
+//! invariant report.
+
+use crate::dispatch::CallArg;
+use crate::error::Result;
+use crate::ids::{GfId, MethodId, TypeId};
+use crate::schema::Schema;
+use crate::stats::DispatchCacheStats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Per-type specificity ranks with surrogate collapse (see
+/// `Schema::collapsed_ranks`).
+pub(crate) type Ranks = Vec<(TypeId, usize)>;
+
+/// Key of the per-call dispatch tables.
+type CallKey = (GfId, Vec<CallArg>);
+
+#[derive(Debug, Clone, Default)]
+struct CacheInner {
+    /// Monotonic schema-mutation counter.
+    generation: u64,
+    /// Generation the maps below were populated under.
+    entries_generation: u64,
+    cpl: HashMap<TypeId, Arc<Vec<TypeId>>>,
+    ranks: HashMap<TypeId, Arc<Ranks>>,
+    applicable: HashMap<CallKey, Arc<Vec<MethodId>>>,
+    ranked: HashMap<CallKey, Arc<Vec<MethodId>>>,
+    cpl_hits: u64,
+    cpl_misses: u64,
+    dispatch_hits: u64,
+    dispatch_misses: u64,
+    invalidations: u64,
+}
+
+impl CacheInner {
+    /// Flushes stale entries if the schema has mutated since they were
+    /// built. Called at the top of every cached read.
+    fn refresh(&mut self) {
+        if self.entries_generation != self.generation {
+            let had_entries = !self.cpl.is_empty()
+                || !self.ranks.is_empty()
+                || !self.applicable.is_empty()
+                || !self.ranked.is_empty();
+            self.cpl.clear();
+            self.ranks.clear();
+            self.applicable.clear();
+            self.ranked.clear();
+            self.entries_generation = self.generation;
+            if had_entries {
+                self.invalidations += 1;
+            }
+        }
+    }
+}
+
+/// The interior-mutable cache carried by every [`Schema`].
+///
+/// All read paths go through `&Schema`, so the cache is populated behind
+/// a `Mutex`; mutation paths have `&mut Schema` and bump the generation
+/// without contention via `get_mut`.
+pub struct DispatchCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for DispatchCache {
+    fn default() -> Self {
+        DispatchCache {
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+}
+
+impl Clone for DispatchCache {
+    fn clone(&self) -> Self {
+        // A schema clone is a snapshot: carrying the warm entries over is
+        // sound because they were built from the state being cloned.
+        DispatchCache {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for DispatchCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("DispatchCache")
+            .field("generation", &inner.generation)
+            .field("cpl_entries", &inner.cpl.len())
+            .field(
+                "dispatch_entries",
+                &(inner.applicable.len() + inner.ranked.len()),
+            )
+            .finish()
+    }
+}
+
+impl DispatchCache {
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        // A poisoned lock only means a panic mid-insert; the maps are
+        // still structurally sound, so recover rather than propagate.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a schema mutation. Stale entries are flushed lazily by the
+    /// next read, so this is O(1).
+    pub(crate) fn bump(&mut self) {
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        inner.generation += 1;
+    }
+}
+
+impl Schema {
+    /// The schema's mutation generation. Every mutating operation (adding
+    /// types, attributes, methods or edges; any `&mut` access to a node)
+    /// increments it; cached dispatch results never cross generations.
+    pub fn generation(&self) -> u64 {
+        self.cache.lock().generation
+    }
+
+    /// A snapshot of the dispatch-cache counters.
+    pub fn dispatch_cache_stats(&self) -> DispatchCacheStats {
+        let inner = self.cache.lock();
+        DispatchCacheStats {
+            generation: inner.generation,
+            cpl_hits: inner.cpl_hits,
+            cpl_misses: inner.cpl_misses,
+            dispatch_hits: inner.dispatch_hits,
+            dispatch_misses: inner.dispatch_misses,
+            invalidations: inner.invalidations,
+            cpl_entries: inner.cpl.len() + inner.ranks.len(),
+            dispatch_entries: inner.applicable.len() + inner.ranked.len(),
+        }
+    }
+
+    /// Drops every cached entry (counted as an invalidation if any entry
+    /// existed). Benchmarks use this to measure cold dispatch.
+    pub fn clear_dispatch_cache(&self) {
+        let mut inner = self.cache.lock();
+        inner.generation += 1;
+        inner.refresh();
+    }
+
+    /// The memoized class precedence list of `t`.
+    pub(crate) fn cached_cpl(&self, t: TypeId) -> Result<Arc<Vec<TypeId>>> {
+        {
+            let mut inner = self.cache.lock();
+            inner.refresh();
+            if let Some(v) = inner.cpl.get(&t).map(Arc::clone) {
+                inner.cpl_hits += 1;
+                return Ok(v);
+            }
+            inner.cpl_misses += 1;
+        }
+        // Compute outside the lock: the computation re-enters no cached
+        // path, but holding a lock across it would serialize misses.
+        let computed = Arc::new(self.compute_cpl(t)?);
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        inner.cpl.insert(t, Arc::clone(&computed));
+        Ok(computed)
+    }
+
+    /// The memoized collapsed specificity ranks of `t`'s CPL.
+    pub(crate) fn cached_ranks(&self, t: TypeId) -> Result<Arc<Ranks>> {
+        {
+            let mut inner = self.cache.lock();
+            inner.refresh();
+            if let Some(v) = inner.ranks.get(&t).map(Arc::clone) {
+                inner.cpl_hits += 1;
+                return Ok(v);
+            }
+            inner.cpl_misses += 1;
+        }
+        let cpl = self.cached_cpl(t)?;
+        let computed = Arc::new(self.collapsed_ranks(&cpl));
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        inner.ranks.insert(t, Arc::clone(&computed));
+        Ok(computed)
+    }
+
+    /// The memoized unranked applicable-method set for a call.
+    pub(crate) fn cached_applicable(&self, gf: GfId, args: &[CallArg]) -> Arc<Vec<MethodId>> {
+        let key: CallKey = (gf, args.to_vec());
+        {
+            let mut inner = self.cache.lock();
+            inner.refresh();
+            if let Some(v) = inner.applicable.get(&key).map(Arc::clone) {
+                inner.dispatch_hits += 1;
+                return v;
+            }
+            inner.dispatch_misses += 1;
+        }
+        let computed = Arc::new(self.applicable_methods_uncached(gf, args));
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        inner.applicable.insert(key, Arc::clone(&computed));
+        computed
+    }
+
+    /// The memoized ranked applicable-method list for a call.
+    pub(crate) fn cached_ranked(&self, gf: GfId, args: &[CallArg]) -> Result<Arc<Vec<MethodId>>> {
+        let key: CallKey = (gf, args.to_vec());
+        {
+            let mut inner = self.cache.lock();
+            inner.refresh();
+            if let Some(v) = inner.ranked.get(&key).map(Arc::clone) {
+                inner.dispatch_hits += 1;
+                return Ok(v);
+            }
+            inner.dispatch_misses += 1;
+        }
+        let applicable = self.cached_applicable(gf, args);
+        let ranked =
+            self.rank_methods(applicable.as_ref().clone(), args, |s, t| s.cached_ranks(t))?;
+        let computed = Arc::new(ranked);
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        inner.ranked.insert(key, Arc::clone(&computed));
+        Ok(computed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::methods::{MethodKind, Specializer};
+    use crate::schema::Schema;
+    use crate::CallArg;
+
+    /// B <= A with one gf `f` having a method on A.
+    fn base() -> (
+        Schema,
+        crate::TypeId,
+        crate::TypeId,
+        crate::GfId,
+        crate::MethodId,
+    ) {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let f_a = s
+            .add_method(
+                f,
+                "f_a",
+                vec![Specializer::Type(a)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        (s, a, b, f, f_a)
+    }
+
+    #[test]
+    fn repeated_dispatch_hits_the_cache() {
+        let (s, _a, b, f, f_a) = base();
+        let args = [CallArg::Object(b)];
+        assert_eq!(s.most_specific(f, &args).unwrap(), Some(f_a));
+        let cold = s.dispatch_cache_stats();
+        assert!(cold.dispatch_misses > 0);
+        for _ in 0..10 {
+            assert_eq!(s.most_specific(f, &args).unwrap(), Some(f_a));
+        }
+        let warm = s.dispatch_cache_stats();
+        assert_eq!(
+            warm.dispatch_misses, cold.dispatch_misses,
+            "no new misses when warm"
+        );
+        assert!(warm.dispatch_hits >= cold.dispatch_hits + 10);
+    }
+
+    #[test]
+    fn schema_mutation_invalidates_stale_winner() {
+        // The invalidation scenario from the issue: a more-specific
+        // method added mid-run must win immediately, not be shadowed by a
+        // stale cached dispatch table.
+        let (mut s, _a, b, f, f_a) = base();
+        let args = [CallArg::Object(b)];
+        assert_eq!(s.most_specific(f, &args).unwrap(), Some(f_a));
+        let gen_before = s.generation();
+
+        let f_b = s
+            .add_method(
+                f,
+                "f_b",
+                vec![Specializer::Type(b)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        assert!(
+            s.generation() > gen_before,
+            "mutation must bump the generation"
+        );
+        assert_eq!(
+            s.most_specific(f, &args).unwrap(),
+            Some(f_b),
+            "stale cache served a pre-mutation winner"
+        );
+        assert!(s.dispatch_cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn hierarchy_rewiring_invalidates_cpls() {
+        let (mut s, a, b, _f, _f_a) = base();
+        assert_eq!(s.cpl(b).unwrap(), vec![b, a]);
+        // FactorState-style rewiring: insert a surrogate above A.
+        let hat = s.add_surrogate("^A", a).unwrap();
+        s.add_super_highest(a, hat).unwrap();
+        assert_eq!(
+            s.cpl(b).unwrap(),
+            vec![b, a, hat],
+            "stale CPL after edge mutation"
+        );
+    }
+
+    #[test]
+    fn clone_carries_warm_entries_but_diverges_after() {
+        let (mut s, _a, b, f, f_a) = base();
+        let args = [CallArg::Object(b)];
+        s.most_specific(f, &args).unwrap();
+        let snapshot = s.clone();
+        assert!(snapshot.dispatch_cache_stats().dispatch_entries > 0);
+
+        // Mutating the original must not disturb the snapshot.
+        let f_b = s
+            .add_method(
+                f,
+                "f_b",
+                vec![Specializer::Type(b)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        assert_eq!(s.most_specific(f, &args).unwrap(), Some(f_b));
+        assert_eq!(snapshot.most_specific(f, &args).unwrap(), Some(f_a));
+    }
+
+    #[test]
+    fn clear_dispatch_cache_counts_an_invalidation() {
+        let (s, _a, b, f, _f_a) = base();
+        s.most_specific(f, &[CallArg::Object(b)]).unwrap();
+        assert!(s.dispatch_cache_stats().dispatch_entries > 0);
+        let before = s.dispatch_cache_stats().invalidations;
+        s.clear_dispatch_cache();
+        let stats = s.dispatch_cache_stats();
+        assert_eq!(stats.dispatch_entries, 0);
+        assert_eq!(stats.cpl_entries, 0);
+        assert_eq!(stats.invalidations, before + 1);
+    }
+
+    #[test]
+    fn mutation_without_entries_is_not_an_invalidation() {
+        let mut s = Schema::new();
+        s.add_type("A", &[]).unwrap();
+        s.add_type("B", &[]).unwrap();
+        // Nothing was ever cached, so nothing was invalidated.
+        assert_eq!(s.dispatch_cache_stats().invalidations, 0);
+    }
+
+    #[test]
+    fn stats_display_mentions_counters() {
+        let (s, _a, b, f, _f_a) = base();
+        s.most_specific(f, &[CallArg::Object(b)]).unwrap();
+        let text = s.dispatch_cache_stats().to_string();
+        assert!(text.contains("gen"), "{text}");
+        assert!(text.contains("cpl"), "{text}");
+        assert!(text.contains("dispatch"), "{text}");
+    }
+}

@@ -15,13 +15,15 @@
 //! specializers in the actual argument types' CPLs, left to right.
 
 use crate::attrs::PrimType;
+use crate::cache::Ranks;
 use crate::error::Result;
 use crate::ids::{GfId, MethodId, TypeId};
 use crate::methods::Specializer;
 use crate::schema::Schema;
+use std::sync::Arc;
 
 /// The (static or dynamic) type of one actual argument of a call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CallArg {
     /// An object of the given type (an instance of it or, statically, an
     /// expression of that declared type).
@@ -73,8 +75,17 @@ impl Schema {
     }
 
     /// The methods of `gf` applicable to a call with the given argument
-    /// types, in definition order (unranked).
+    /// types, in definition order (unranked). Served from the dispatch
+    /// cache; the first call per `(gf, args)` per schema generation scans
+    /// the method list, later calls are a table lookup.
     pub fn applicable_methods(&self, gf: GfId, args: &[CallArg]) -> Vec<MethodId> {
+        self.cached_applicable(gf, args).as_ref().clone()
+    }
+
+    /// [`Schema::applicable_methods`] bypassing the dispatch cache
+    /// (neither reads nor populates it). Kept public so tests and
+    /// benchmarks can compare cached and uncached results.
+    pub fn applicable_methods_uncached(&self, gf: GfId, args: &[CallArg]) -> Vec<MethodId> {
         self.gf(gf)
             .methods
             .iter()
@@ -97,7 +108,7 @@ impl Schema {
     /// changing dispatch for pre-existing types. For derived types (whose
     /// CPLs contain only surrogates) the collapse is inert and positions
     /// rank as-is.
-    fn collapsed_ranks(&self, cpl: &[TypeId]) -> Vec<(TypeId, usize)> {
+    pub(crate) fn collapsed_ranks(&self, cpl: &[TypeId]) -> Ranks {
         let mut ranks: Vec<(TypeId, usize)> = Vec::with_capacity(cpl.len());
         let mut next = 0usize;
         for &t in cpl {
@@ -116,20 +127,24 @@ impl Schema {
         ranks
     }
 
-    /// The methods of `gf` applicable to the call, ranked most-specific
-    /// first by left-to-right argument CPL comparison (with surrogate
-    /// collapse — see [`Schema::rank_applicable`]'s source). Ties keep
-    /// definition order.
-    pub fn rank_applicable(&self, gf: GfId, args: &[CallArg]) -> Result<Vec<MethodId>> {
-        let applicable = self.applicable_methods(gf, args);
+    /// Ranks an already-computed applicable set by left-to-right argument
+    /// CPL comparison. `ranks_of` supplies the per-type collapsed rank
+    /// table — the cached path shares memoized tables, the uncached path
+    /// recomputes them — so both paths rank identically by construction.
+    pub(crate) fn rank_methods(
+        &self,
+        applicable: Vec<MethodId>,
+        args: &[CallArg],
+        mut ranks_of: impl FnMut(&Schema, TypeId) -> Result<Arc<Ranks>>,
+    ) -> Result<Vec<MethodId>> {
         if applicable.len() <= 1 {
             return Ok(applicable);
         }
         // Collapsed rank tables of the object-typed argument positions.
-        let mut cpls: Vec<Option<Vec<(TypeId, usize)>>> = Vec::with_capacity(args.len());
+        let mut cpls: Vec<Option<Arc<Ranks>>> = Vec::with_capacity(args.len());
         for &a in args {
             cpls.push(match a {
-                CallArg::Object(t) => Some(self.collapsed_ranks(&self.cpl(t)?)),
+                CallArg::Object(t) => Some(ranks_of(self, t)?),
                 CallArg::Prim(_) | CallArg::Null => None,
             });
         }
@@ -154,9 +169,34 @@ impl Schema {
         Ok(keyed.into_iter().map(|(_, m)| m).collect())
     }
 
-    /// The most specific applicable method for the call, if any.
+    /// The methods of `gf` applicable to the call, ranked most-specific
+    /// first by left-to-right argument CPL comparison (with surrogate
+    /// collapse — see [`Schema::collapsed_ranks`]'s source). Ties keep
+    /// definition order. Served from the dispatch cache.
+    pub fn rank_applicable(&self, gf: GfId, args: &[CallArg]) -> Result<Vec<MethodId>> {
+        Ok(self.cached_ranked(gf, args)?.as_ref().clone())
+    }
+
+    /// [`Schema::rank_applicable`] bypassing the dispatch cache entirely
+    /// (CPLs and rank tables are recomputed from the hierarchy). Kept
+    /// public so the cached-vs-uncached equivalence property tests and
+    /// the benchmarks have a ground truth to compare against.
+    pub fn rank_applicable_uncached(&self, gf: GfId, args: &[CallArg]) -> Result<Vec<MethodId>> {
+        let applicable = self.applicable_methods_uncached(gf, args);
+        self.rank_methods(applicable, args, |s, t| {
+            Ok(Arc::new(s.collapsed_ranks(&s.compute_cpl(t)?)))
+        })
+    }
+
+    /// The most specific applicable method for the call, if any. Served
+    /// from the dispatch cache.
     pub fn most_specific(&self, gf: GfId, args: &[CallArg]) -> Result<Option<MethodId>> {
-        Ok(self.rank_applicable(gf, args)?.into_iter().next())
+        Ok(self.cached_ranked(gf, args)?.first().copied())
+    }
+
+    /// [`Schema::most_specific`] bypassing the dispatch cache entirely.
+    pub fn most_specific_uncached(&self, gf: GfId, args: &[CallArg]) -> Result<Option<MethodId>> {
+        Ok(self.rank_applicable_uncached(gf, args)?.into_iter().next())
     }
 }
 
@@ -199,12 +239,21 @@ mod tests {
                 None,
             )
             .unwrap();
-        Fix { s, a, b, f, f_a, f_b }
+        Fix {
+            s,
+            a,
+            b,
+            f,
+            f_a,
+            f_b,
+        }
     }
 
     #[test]
     fn applicable_to_type_uses_any_position() {
-        let Fix { s, a, b, f_a, f_b, .. } = fix();
+        let Fix {
+            s, a, b, f_a, f_b, ..
+        } = fix();
         assert!(s.method_applicable_to_type(f_a, b)); // b <= a
         assert!(s.method_applicable_to_type(f_b, b));
         assert!(s.method_applicable_to_type(f_a, a));
@@ -213,7 +262,14 @@ mod tests {
 
     #[test]
     fn call_applicability_and_ranking() {
-        let Fix { s, a, b, f, f_a, f_b } = fix();
+        let Fix {
+            s,
+            a,
+            b,
+            f,
+            f_a,
+            f_b,
+        } = fix();
         let on_b = [CallArg::Object(b)];
         assert_eq!(s.applicable_methods(f, &on_b), vec![f_a, f_b]);
         assert_eq!(s.rank_applicable(f, &on_b).unwrap(), vec![f_b, f_a]);
@@ -279,7 +335,14 @@ mod tests {
         // The transparency property factorization relies on: retargeting a
         // method from A to a fresh highest-precedence surrogate ^A does not
         // change dispatch for existing types.
-        let Fix { mut s, a, b, f, f_a, f_b } = fix();
+        let Fix {
+            mut s,
+            a,
+            b,
+            f,
+            f_a,
+            f_b,
+        } = fix();
         let hat = s.add_surrogate("^A", a).unwrap();
         s.add_super_highest(a, hat).unwrap();
         s.method_mut(f_a).specializers = vec![Specializer::Type(hat)];

@@ -117,10 +117,16 @@ impl fmt::Display for ModelError {
                 write!(f, "accessor attribute {attr} is not available at type {at}")
             }
             ModelError::BadParamIndex { method, index } => {
-                write!(f, "method {method} references parameter #{index} out of range")
+                write!(
+                    f,
+                    "method {method} references parameter #{index} out of range"
+                )
             }
             ModelError::BadVarIndex { method, index } => {
-                write!(f, "method {method} references local variable #{index} out of range")
+                write!(
+                    f,
+                    "method {method} references local variable #{index} out of range"
+                )
             }
             ModelError::CallArityMismatch { gf, expected, got } => {
                 write!(f, "call to {gf} passes {got} arguments, expects {expected}")

@@ -276,11 +276,9 @@ impl Schema {
                 "cannot retire {t}: it still owns attributes"
             )));
         }
-        let mentioned = self.method_ids().any(|m| {
-            self.method(m)
-                .type_specializers()
-                .any(|(_, ty)| ty == t)
-        });
+        let mentioned = self
+            .method_ids()
+            .any(|m| self.method(m).type_specializers().any(|(_, ty)| ty == t));
         if mentioned {
             return Err(ModelError::Invalid(format!(
                 "cannot retire {t}: a method specializes on it"

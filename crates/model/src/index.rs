@@ -197,7 +197,9 @@ mod tests {
             let mut supers = Vec::new();
             let k = 1 + (state % 3) as usize;
             for _ in 0..k.min(types.len()) {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let cand = types[(state >> 33) as usize % types.len()];
                 if !supers.contains(&cand) {
                     supers.push(cand);

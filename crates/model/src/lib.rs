@@ -17,7 +17,8 @@
 //!   cumulative state, precedence-ordered supertype links
 //!   ([`hierarchy`]), CLOS-style class precedence lists ([`linearize`]).
 //! * behavior — multi-method applicability and ranked dispatch
-//!   ([`dispatch`]).
+//!   ([`dispatch`]), accelerated by memoized CPLs and a generational
+//!   dispatch-table cache ([`cache`]).
 //! * method bodies — a small imperative IR ([`body`]) plus the data-flow
 //!   analyses the paper's §4.1 and §6.3/§6.4 depend on ([`dataflow`]).
 //! * deterministic rendering ([`display`]) and whole-schema validation
@@ -47,6 +48,7 @@
 
 pub mod attrs;
 pub mod body;
+pub mod cache;
 pub mod dataflow;
 pub mod dispatch;
 pub mod display;
@@ -71,5 +73,5 @@ pub use ids::{AttrId, GfId, MethodId, TypeId, VarId};
 pub use index::SubtypeIndex;
 pub use methods::{GenericFunction, Method, MethodKind, Specializer};
 pub use schema::Schema;
-pub use stats::SchemaStats;
+pub use stats::{DispatchCacheStats, SchemaStats};
 pub use text::{parse_schema, schema_to_text, TextError};

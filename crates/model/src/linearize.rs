@@ -22,12 +22,26 @@ use crate::ids::TypeId;
 use crate::schema::Schema;
 
 impl Schema {
-    /// Computes the class precedence list of `t`: `t` first, then every
-    /// supertype, ordered most-specific-first.
+    /// The class precedence list of `t`: `t` first, then every supertype,
+    /// ordered most-specific-first.
+    ///
+    /// Memoized: computed once per type per schema generation (see
+    /// [`crate::cache`]); any schema mutation invalidates the memo.
     ///
     /// Returns [`ModelError::InconsistentPrecedence`] when the local
     /// precedence orders cannot be reconciled into a total order.
     pub fn cpl(&self, t: TypeId) -> Result<Vec<TypeId>> {
+        Ok(self.cached_cpl(t)?.as_ref().clone())
+    }
+
+    /// [`Schema::cpl`] bypassing the memo (always recomputed). Kept
+    /// public as the ground truth for cache-equivalence tests.
+    pub fn cpl_uncached(&self, t: TypeId) -> Result<Vec<TypeId>> {
+        self.compute_cpl(t)
+    }
+
+    /// The linearization algorithm itself (uncached).
+    pub(crate) fn compute_cpl(&self, t: TypeId) -> Result<Vec<TypeId>> {
         self.check_type(t)?;
         let members = self.ancestors_inclusive(t);
         // Pair (a, b) means `a` must precede `b` in the CPL.
@@ -66,9 +80,7 @@ impl Schema {
                     for &c in &candidates {
                         let pos = out
                             .iter()
-                            .rposition(|&placed| {
-                                self.type_(placed).super_ids().any(|s| s == c)
-                            })
+                            .rposition(|&placed| self.type_(placed).super_ids().any(|s| s == c))
                             .map(|p| p as isize)
                             .unwrap_or(-1);
                         if pos > best_pos {
@@ -86,8 +98,9 @@ impl Schema {
     }
 
     /// Position of `sup` in `cpl(t)`, if present. Lower = more specific.
+    /// Served from the CPL memo without cloning the list.
     pub fn cpl_position(&self, t: TypeId, sup: TypeId) -> Result<Option<usize>> {
-        Ok(self.cpl(t)?.iter().position(|&x| x == sup))
+        Ok(self.cached_cpl(t)?.iter().position(|&x| x == sup))
     }
 }
 
@@ -149,7 +162,7 @@ mod tests {
         let cpl = s.cpl(a).unwrap();
         assert_eq!(cpl[0], a);
         assert_eq!(cpl[1], c); // C precedes B (local order at A)
-        // Every constraint: each type precedes its direct supers.
+                               // Every constraint: each type precedes its direct supers.
         let pos = |x: TypeId| cpl.iter().position(|&y| y == x).unwrap();
         assert!(pos(c) < pos(f) && pos(c) < pos(e));
         assert!(pos(b) < pos(d) && pos(b) < pos(e));

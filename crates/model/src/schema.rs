@@ -6,6 +6,7 @@
 //! before a derivation and compare observable behavior afterwards.
 
 use crate::attrs::{AttrDef, ValueType};
+use crate::cache::DispatchCache;
 use crate::error::{ModelError, Result};
 use crate::hierarchy::{TypeNode, TypeOrigin};
 use crate::ids::{AttrId, GfId, MethodId, TypeId};
@@ -24,12 +25,25 @@ pub struct Schema {
     gfs: Vec<GenericFunction>,
     gf_names: HashMap<String, GfId>,
     methods: Vec<Method>,
+    /// The dispatch acceleration layer (see [`crate::cache`]). Every
+    /// mutator below bumps its generation via [`Schema::note_mutation`].
+    pub(crate) cache: DispatchCache,
 }
 
 impl Schema {
     /// Creates an empty schema.
     pub fn new() -> Schema {
         Schema::default()
+    }
+
+    /// Records that the schema changed: bumps the cache generation so every
+    /// memoized CPL and dispatch-table entry becomes stale (see
+    /// [`crate::cache`]). Called from every `&mut self` path that can alter
+    /// dispatch-relevant state; conservative over-invalidation is fine,
+    /// missing a mutation is not.
+    #[inline]
+    fn note_mutation(&mut self) {
+        self.cache.bump();
     }
 
     // ---------------------------------------------------------------- types
@@ -60,6 +74,7 @@ impl Schema {
         for &s in supers {
             self.check_type(s)?;
         }
+        self.note_mutation();
         let id = TypeId::from_index(self.types.len());
         self.types.push(TypeNode {
             name: name.clone(),
@@ -143,10 +158,12 @@ impl Schema {
     }
 
     pub(crate) fn types_mut(&mut self) -> &mut Vec<TypeNode> {
+        self.note_mutation();
         &mut self.types
     }
 
     pub(crate) fn unregister_type_name(&mut self, name: &str) {
+        self.note_mutation();
         self.type_names.remove(name);
     }
 
@@ -167,6 +184,7 @@ impl Schema {
         if let ValueType::Object(t) = ty {
             self.check_type(t)?;
         }
+        self.note_mutation();
         let id = AttrId::from_index(self.attrs.len());
         self.attrs.push(AttrDef {
             name: name.clone(),
@@ -185,6 +203,7 @@ impl Schema {
     }
 
     pub(crate) fn attr_mut(&mut self, a: AttrId) -> &mut AttrDef {
+        self.note_mutation();
         &mut self.attrs[a.index()]
     }
 
@@ -228,6 +247,7 @@ impl Schema {
         if self.gf_names.contains_key(&name) {
             return Err(ModelError::DuplicateGfName(name));
         }
+        self.note_mutation();
         let id = GfId::from_index(self.gfs.len());
         self.gfs.push(GenericFunction {
             name: name.clone(),
@@ -325,6 +345,7 @@ impl Schema {
                 return Err(ModelError::AccessorAttrUnavailable { attr, at });
             }
         }
+        self.note_mutation();
         let id = MethodId::from_index(self.methods.len());
         self.methods.push(Method {
             gf,
@@ -347,6 +368,7 @@ impl Schema {
     /// signatures and bodies in place, preserving the method's identity).
     #[inline]
     pub fn method_mut(&mut self, m: MethodId) -> &mut Method {
+        self.note_mutation();
         &mut self.methods[m.index()]
     }
 

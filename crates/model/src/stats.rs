@@ -78,6 +78,53 @@ impl Schema {
     }
 }
 
+/// Counters exposed by the dispatch acceleration layer (see
+/// [`crate::cache`]).
+///
+/// A *CPL* event covers both linearization memos (the list itself and the
+/// surrogate-collapsed rank table derived from it); a *dispatch* event
+/// covers the per-`(generic function, argument types)` applicable and
+/// ranked method tables. `invalidations` counts the times a generation
+/// bump actually flushed warm entries — mutations on an already-cold cache
+/// are free and not counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchCacheStats {
+    /// Current schema generation (bumped by every mutation).
+    pub generation: u64,
+    /// CPL/rank-table lookups answered from the memo.
+    pub cpl_hits: u64,
+    /// CPL/rank-table lookups that had to compute.
+    pub cpl_misses: u64,
+    /// Dispatch-table lookups answered from the cache.
+    pub dispatch_hits: u64,
+    /// Dispatch-table lookups that had to compute.
+    pub dispatch_misses: u64,
+    /// Generation bumps that flushed at least one warm entry.
+    pub invalidations: u64,
+    /// Currently resident CPL + rank-table entries.
+    pub cpl_entries: usize,
+    /// Currently resident applicable + ranked dispatch entries.
+    pub dispatch_entries: usize,
+}
+
+impl fmt::Display for DispatchCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dispatch cache: gen {}, cpl {}/{} hits ({} resident), \
+             dispatch {}/{} hits ({} resident), {} invalidations",
+            self.generation,
+            self.cpl_hits,
+            self.cpl_hits + self.cpl_misses,
+            self.cpl_entries,
+            self.dispatch_hits,
+            self.dispatch_hits + self.dispatch_misses,
+            self.dispatch_entries,
+            self.invalidations
+        )
+    }
+}
+
 impl fmt::Display for SchemaStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

@@ -132,7 +132,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     while i < bytes.len() {
         let c = bytes[i];
         let (tline, tcol) = (line, col);
-        let mut push = |kind: TokenKind| tokens.push(Token { kind, line: tline, col: tcol });
+        let mut push = |kind: TokenKind| {
+            tokens.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            })
+        };
         match c {
             '\n' => {
                 i += 1;

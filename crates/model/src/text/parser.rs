@@ -611,17 +611,23 @@ fn build(items: Vec<Item>) -> Result<Schema, TextError> {
         match item {
             Item::Accessors { attr, line } => {
                 let a = schema.attr_id(attr).map_err(|e| TextError::at(e, *line))?;
-                schema.add_accessors(a).map_err(|e| TextError::at(e, *line))?;
+                schema
+                    .add_accessors(a)
+                    .map_err(|e| TextError::at(e, *line))?;
             }
             Item::Reader { attr, at, line } => {
                 let a = schema.attr_id(attr).map_err(|e| TextError::at(e, *line))?;
                 let t = schema.type_id(at).map_err(|e| TextError::at(e, *line))?;
-                schema.add_reader(a, t).map_err(|e| TextError::at(e, *line))?;
+                schema
+                    .add_reader(a, t)
+                    .map_err(|e| TextError::at(e, *line))?;
             }
             Item::Writer { attr, at, line } => {
                 let a = schema.attr_id(attr).map_err(|e| TextError::at(e, *line))?;
                 let t = schema.type_id(at).map_err(|e| TextError::at(e, *line))?;
-                schema.add_writer(a, t).map_err(|e| TextError::at(e, *line))?;
+                schema
+                    .add_writer(a, t)
+                    .map_err(|e| TextError::at(e, *line))?;
             }
             _ => {}
         }
@@ -756,7 +762,11 @@ fn build_stmts(
         match stmt {
             AstStmt::Assign(name, e, line) => {
                 let idx = names.iter().position(|n| n == name).ok_or_else(|| {
-                    TextError::parse(format!("assignment to undeclared variable `{name}`"), *line, 0)
+                    TextError::parse(
+                        format!("assignment to undeclared variable `{name}`"),
+                        *line,
+                        0,
+                    )
                 })?;
                 out.push(Stmt::Assign {
                     var: VarId::from_index(idx),
@@ -807,9 +817,10 @@ fn build_expr(
         AstExpr::Bool(b) => Expr::Lit(Literal::Bool(*b)),
         AstExpr::Null => Expr::Lit(Literal::Null),
         AstExpr::Name(name, line) => {
-            let idx = names.iter().position(|n| n == name).ok_or_else(|| {
-                TextError::parse(format!("unknown variable `{name}`"), *line, 0)
-            })?;
+            let idx = names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| TextError::parse(format!("unknown variable `{name}`"), *line, 0))?;
             Expr::Var(VarId::from_index(idx))
         }
         AstExpr::Call(gf, args, line) => {
@@ -924,7 +935,10 @@ mod tests {
         )
         .unwrap();
         let boss = s.attr_id("boss").unwrap();
-        assert_eq!(s.attr(boss).ty, ValueType::Object(s.type_id("Person").unwrap()));
+        assert_eq!(
+            s.attr(boss).ty,
+            ValueType::Object(s.type_id("Person").unwrap())
+        );
     }
 
     #[test]

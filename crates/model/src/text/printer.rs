@@ -118,7 +118,12 @@ fn type_text(schema: &Schema, ty: ValueType) -> String {
 
 fn print_body(schema: &Schema, body: &Body, out: &mut String) {
     for local in &body.locals {
-        let _ = writeln!(out, "    let {}: {};", local.name, type_text(schema, local.ty));
+        let _ = writeln!(
+            out,
+            "    let {}: {};",
+            local.name,
+            type_text(schema, local.ty)
+        );
     }
     print_stmts(schema, body, &body.stmts, 1, out);
 }
@@ -175,12 +180,16 @@ fn expr_text(schema: &Schema, body: &Body, e: &Expr) -> String {
         }
         Expr::Lit(Literal::Bool(b)) => b.to_string(),
         Expr::Lit(Literal::Str(s)) => {
-            format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n"))
+            format!(
+                "\"{}\"",
+                s.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
         }
         Expr::Lit(Literal::Null) => "null".to_string(),
         Expr::Call { gf, args } => {
-            let rendered: Vec<String> =
-                args.iter().map(|a| expr_text(schema, body, a)).collect();
+            let rendered: Vec<String> = args.iter().map(|a| expr_text(schema, body, a)).collect();
             format!("{}({})", schema.gf(*gf).name, rendered.join(", "))
         }
         Expr::BinOp { op, lhs, rhs } => {

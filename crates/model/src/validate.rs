@@ -179,7 +179,10 @@ impl Schema {
             }
             match e {
                 Expr::Param(i) if *i >= method.specializers.len() => {
-                    result = Err(ModelError::BadParamIndex { method: m, index: *i });
+                    result = Err(ModelError::BadParamIndex {
+                        method: m,
+                        index: *i,
+                    });
                 }
                 Expr::Var(v) if v.index() >= body.locals.len() => {
                     result = Err(ModelError::BadVarIndex {

@@ -298,15 +298,35 @@ mod tests {
         let f = s.add_gf("f", 1, Some(ValueType::INT)).unwrap();
         let mut bb = BodyBuilder::new();
         bb.ret(Expr::int(1));
-        s.add_method(f, "f_a", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), Some(ValueType::INT)).unwrap();
+        s.add_method(
+            f,
+            "f_a",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
+        .unwrap();
         let mut bb = BodyBuilder::new();
         bb.ret(Expr::int(2));
-        s.add_method(f, "f_b", vec![Specializer::Type(b)], MethodKind::General(bb.finish()), Some(ValueType::INT)).unwrap();
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
+        .unwrap();
         let mut db = Database::new(s);
         let oa = db.create(a, vec![]).unwrap();
         let ob = db.create(b, vec![]).unwrap();
-        assert_eq!(db.call_named("f", &[Value::Ref(oa)]).unwrap(), Value::Int(1));
-        assert_eq!(db.call_named("f", &[Value::Ref(ob)]).unwrap(), Value::Int(2));
+        assert_eq!(
+            db.call_named("f", &[Value::Ref(oa)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            db.call_named("f", &[Value::Ref(ob)]).unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]
@@ -317,8 +337,14 @@ mod tests {
         let f = s.add_gf("f", 1, None).unwrap();
         let mut bb = BodyBuilder::new();
         bb.call(f, vec![Expr::Param(0)]);
-        s.add_method(f, "f1", vec![Specializer::Type(a)], MethodKind::General(bb.finish()), None)
-            .unwrap();
+        s.add_method(
+            f,
+            "f1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
         let mut db = Database::new(s);
         let o = db.create(a, vec![]).unwrap();
         let err = db.call_named("f", &[Value::Ref(o)]).unwrap_err();

@@ -47,7 +47,7 @@ pub mod view;
 
 pub use error::{Result, StoreError};
 pub use object::{Database, ObjId, Object};
-pub use value::Value;
 pub use text::{parse_objects, DataError};
 pub use txn::Savepoint;
+pub use value::Value;
 pub use view::{MaterializedView, VirtualView};

@@ -141,11 +141,7 @@ impl Database {
     }
 
     /// Creates an object addressing attributes by name.
-    pub fn create_named(
-        &mut self,
-        ty_name: &str,
-        values: &[(&str, Value)],
-    ) -> Result<ObjId> {
+    pub fn create_named(&mut self, ty_name: &str, values: &[(&str, Value)]) -> Result<ObjId> {
         let ty = self.schema.type_id(ty_name)?;
         let resolved = values
             .iter()

@@ -49,7 +49,9 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::Lex(e) => write!(f, "lex error at {e}"),
-            DataError::Parse { message, line } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { message, line } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Store { error, line } => write!(f, "data error at line {line}: {error}"),
         }
     }
@@ -84,10 +86,7 @@ enum RawValue {
 
 /// Parses object declarations and creates them in `db`. Returns the
 /// name → object-id map.
-pub fn parse_objects(
-    db: &mut Database,
-    src: &str,
-) -> Result<HashMap<String, ObjId>, DataError> {
+pub fn parse_objects(db: &mut Database, src: &str) -> Result<HashMap<String, ObjId>, DataError> {
     let tokens = lex(src).map_err(DataError::Lex)?;
     let decls = parse_decls(&tokens)?;
 
@@ -103,10 +102,13 @@ pub fn parse_objects(
                 line: decl.line,
             });
         }
-        let ty = db.schema().type_id(&decl.ty).map_err(|e| DataError::Store {
-            error: StoreError::Model(e),
-            line: decl.line,
-        })?;
+        let ty = db
+            .schema()
+            .type_id(&decl.ty)
+            .map_err(|e| DataError::Store {
+                error: StoreError::Model(e),
+                line: decl.line,
+            })?;
         let id = db.create(ty, vec![]).map_err(|error| DataError::Store {
             error,
             line: decl.line,
@@ -141,10 +143,8 @@ pub fn parse_objects(
                     }
                 },
             };
-            db.set_field(obj, attr, value).map_err(|error| DataError::Store {
-                error,
-                line: *line,
-            })?;
+            db.set_field(obj, attr, value)
+                .map_err(|error| DataError::Store { error, line: *line })?;
         }
     }
     Ok(by_name)
@@ -174,7 +174,10 @@ fn parse_decls(tokens: &[Token]) -> Result<Vec<ObjDecl>, DataError> {
         pos += 1;
         let t = tok!().clone();
         let TokenKind::Ident(name) = t.kind else {
-            return Err(err(format!("expected object name, found {}", t.kind), t.line));
+            return Err(err(
+                format!("expected object name, found {}", t.kind),
+                t.line,
+            ));
         };
         pos += 1;
         if tok!().kind != TokenKind::Assign {
@@ -198,7 +201,10 @@ fn parse_decls(tokens: &[Token]) -> Result<Vec<ObjDecl>, DataError> {
         while tok!().kind != TokenKind::RBrace {
             let t = tok!().clone();
             let TokenKind::Ident(attr) = t.kind else {
-                return Err(err(format!("expected attribute name, found {}", t.kind), t.line));
+                return Err(err(
+                    format!("expected attribute name, found {}", t.kind),
+                    t.line,
+                ));
             };
             let field_line = t.line;
             pos += 1;
@@ -338,11 +344,7 @@ mod tests {
         assert!(e.to_string().contains("not part of type"));
         let e = parse_objects(&mut db, "obj x = Person { SSN = missing_obj }").unwrap_err();
         assert!(e.to_string().contains("unknown object"));
-        let e = parse_objects(
-            &mut db,
-            "obj x = Person { }\nobj x = Person { }",
-        )
-        .unwrap_err();
+        let e = parse_objects(&mut db, "obj x = Person { }\nobj x = Person { }").unwrap_err();
         assert!(e.to_string().contains("duplicate object name"));
         let e = parse_objects(&mut db, "notobj").unwrap_err();
         assert!(e.to_string().contains("expected `obj`"));

@@ -53,11 +53,14 @@ mod tests {
     #[test]
     fn rollback_restores_objects_and_schema() {
         let mut db = Database::new(figures::fig1());
-        let o = db.create_named("Person", &[("SSN", Value::Int(1))]).unwrap();
+        let o = db
+            .create_named("Person", &[("SSN", Value::Int(1))])
+            .unwrap();
         let save = db.begin();
 
         // Mutate objects AND the schema.
-        db.create_named("Person", &[("SSN", Value::Int(2))]).unwrap();
+        db.create_named("Person", &[("SSN", Value::Int(2))])
+            .unwrap();
         let ssn = db.schema().attr_id("SSN").unwrap();
         db.set_field(o, ssn, Value::Int(99)).unwrap();
         td_core::project_named(

@@ -152,7 +152,9 @@ mod tests {
     fn foreign_object_rejected() {
         let (mut db, view, src, _, ssn, _) = setup();
         // The source itself is not a view object of this view.
-        let err = view.set_through(&mut db, src, ssn, Value::Int(5)).unwrap_err();
+        let err = view
+            .set_through(&mut db, src, ssn, Value::Int(5))
+            .unwrap_err();
         assert!(matches!(err, StoreError::BadObjId(_)));
     }
 

@@ -165,7 +165,10 @@ mod tests {
         let ssn = db.schema().attr_id("SSN").unwrap();
         let name = db.schema().attr_id("name").unwrap();
         for &(src, v) in &view.pairs {
-            assert_eq!(db.get_field(v, ssn).unwrap(), db.get_field(src, ssn).unwrap());
+            assert_eq!(
+                db.get_field(v, ssn).unwrap(),
+                db.get_field(src, ssn).unwrap()
+            );
             // The view object has no `name` field.
             assert!(db.get_field(v, name).is_err());
             assert_eq!(view.view_of(src), Some(v));
@@ -206,7 +209,8 @@ mod tests {
         let (mut db, d) = setup();
         let mut view = MaterializedView::materialize(&mut db, &d).unwrap();
         assert_eq!(view.refresh(&mut db).unwrap(), 0);
-        db.create_named("Employee", &[("SSN", Value::Int(3))]).unwrap();
+        db.create_named("Employee", &[("SSN", Value::Int(3))])
+            .unwrap();
         assert_eq!(view.refresh(&mut db).unwrap(), 1);
         assert_eq!(view.pairs.len(), 3);
     }

@@ -12,9 +12,7 @@
 //!   `z1(c: C, b: B) = { g: G; d: D; g ← c; d ← b; u(c); return g }`,
 //!   which forces `Z = {D, G}` so that `Augment` reproduces Figure 5.
 
-use td_model::{
-    BodyBuilder, Expr, MethodKind, Schema, Specializer, ValueType,
-};
+use td_model::{BodyBuilder, Expr, MethodKind, Schema, Specializer, ValueType};
 
 /// Methods the paper says survive `Π_{a2,e2,h2}(A)` (Example 1 / 3).
 pub const EX1_APPLICABLE: &[&str] = &["v1", "u3", "w2", "get_h2"];
@@ -83,7 +81,9 @@ pub fn fig1() -> Schema {
     )
     .expect("age method");
 
-    let income = s.add_gf("income", 1, Some(ValueType::FLOAT)).expect("fresh gf");
+    let income = s
+        .add_gf("income", 1, Some(ValueType::FLOAT))
+        .expect("fresh gf");
     let mut bb = BodyBuilder::new();
     // income(e) = { return get_pay_rate(e) * get_hrs_worked(e) }
     bb.ret(Expr::binop(
@@ -100,7 +100,9 @@ pub fn fig1() -> Schema {
     )
     .expect("income method");
 
-    let promote = s.add_gf("promote", 1, Some(ValueType::BOOL)).expect("fresh gf");
+    let promote = s
+        .add_gf("promote", 1, Some(ValueType::BOOL))
+        .expect("fresh gf");
     let mut bb = BodyBuilder::new();
     // promote(e) = { return (2026 - get_date_of_birth(e)) < get_pay_rate(e) }
     bb.ret(Expr::binop(
@@ -169,7 +171,8 @@ pub fn fig3() -> Schema {
         ("h1", h),
         ("h2", h),
     ] {
-        s.add_attr(name, ValueType::INT, owner).expect("unique attr");
+        s.add_attr(name, ValueType::INT, owner)
+            .expect("unique attr");
     }
 
     // The four accessors of Example 1 — note get_h2 and get_g1 are
@@ -310,7 +313,9 @@ pub fn fig3_with_z1() -> Schema {
     let g = s.type_id("G").expect("fig3 type");
     let d = s.type_id("D").expect("fig3 type");
     let u = s.gf_id("u").expect("fig3 gf");
-    let z = s.add_gf("z", 2, Some(ValueType::Object(g))).expect("fresh gf");
+    let z = s
+        .add_gf("z", 2, Some(ValueType::Object(g)))
+        .expect("fresh gf");
     let mut bb = BodyBuilder::new();
     let g_var = bb.local("g", ValueType::Object(g));
     let d_var = bb.local("d", ValueType::Object(d));
@@ -326,7 +331,8 @@ pub fn fig3_with_z1() -> Schema {
         Some(ValueType::Object(g)),
     )
     .expect("z1");
-    s.validate().expect("extended figure 3 schema is well-formed");
+    s.validate()
+        .expect("extended figure 3 schema is well-formed");
     s
 }
 

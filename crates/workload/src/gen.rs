@@ -147,16 +147,15 @@ pub fn random_schema(params: &GenParams) -> Schema {
             let specs: Vec<Specializer> = (0..arity)
                 .map(|_| Specializer::Type(types[rng.gen_range(0..types.len())]))
                 .collect();
-            let spec_types: Vec<TypeId> = specs
-                .iter()
-                .filter_map(|sp| sp.as_type())
-                .collect();
+            let spec_types: Vec<TypeId> = specs.iter().filter_map(|sp| sp.as_type()).collect();
             let mut bb = BodyBuilder::new();
 
             // Optionally bind a parameter into a local of a supertype —
             // feeds Y/Z computation and body re-typing.
             if rng.gen_bool(params.assign_fraction.clamp(0.0, 1.0)) {
-                let pi = rng.gen_range(0..spec_types.len().max(1)).min(spec_types.len() - 1);
+                let pi = rng
+                    .gen_range(0..spec_types.len().max(1))
+                    .min(spec_types.len() - 1);
                 let param_ty = spec_types[pi];
                 let ups = s.ancestors_inclusive(param_ty);
                 let target = ups[rng.gen_range(0..ups.len())];

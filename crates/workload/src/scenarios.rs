@@ -67,16 +67,28 @@ pub fn university() -> Schema {
         Expr::int(2026),
         Expr::call(g_by, vec![Expr::Param(0)]),
     ));
-    s.add_method(age, "age", vec![Specializer::Type(person)], MethodKind::General(bb.finish()), Some(ValueType::INT))
-        .expect("fresh");
+    s.add_method(
+        age,
+        "age",
+        vec![Specializer::Type(person)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::INT),
+    )
+    .expect("fresh");
 
     // comp(Employee) = salary; comp(TA) = salary * stipend_pct
     let comp = s.add_gf("comp", 1, Some(ValueType::FLOAT)).expect("fresh");
     let g_salary = get(&s, "salary");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::call(g_salary, vec![Expr::Param(0)]));
-    s.add_method(comp, "comp_employee", vec![Specializer::Type(employee)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
-        .expect("fresh");
+    s.add_method(
+        comp,
+        "comp_employee",
+        vec![Specializer::Type(employee)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::FLOAT),
+    )
+    .expect("fresh");
     let g_stipend = get(&s, "stipend_pct");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::binop(
@@ -84,16 +96,28 @@ pub fn university() -> Schema {
         Expr::call(g_salary, vec![Expr::Param(0)]),
         Expr::call(g_stipend, vec![Expr::Param(0)]),
     ));
-    s.add_method(comp, "comp_ta", vec![Specializer::Type(ta)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
-        .expect("fresh");
+    s.add_method(
+        comp,
+        "comp_ta",
+        vec![Specializer::Type(ta)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::FLOAT),
+    )
+    .expect("fresh");
 
     // load(Student) = credits
     let load = s.add_gf("load", 1, Some(ValueType::INT)).expect("fresh");
     let g_credits = get(&s, "credits");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::call(g_credits, vec![Expr::Param(0)]));
-    s.add_method(load, "load", vec![Specializer::Type(student)], MethodKind::General(bb.finish()), Some(ValueType::INT))
-        .expect("fresh");
+    s.add_method(
+        load,
+        "load",
+        vec![Specializer::Type(student)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::INT),
+    )
+    .expect("fresh");
 
     // assign(TA, Section) = stipend_pct(left) used against
     // weekly_hours(right): a genuine binary multi-method.
@@ -119,7 +143,9 @@ pub fn university() -> Schema {
     .expect("fresh");
 
     // evaluate(Faculty) = tenure || salary < 100k
-    let evaluate = s.add_gf("evaluate", 1, Some(ValueType::BOOL)).expect("fresh");
+    let evaluate = s
+        .add_gf("evaluate", 1, Some(ValueType::BOOL))
+        .expect("fresh");
     let g_tenure = get(&s, "tenure");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::binop(
@@ -131,8 +157,14 @@ pub fn university() -> Schema {
             Expr::Lit(td_model::Literal::Float(100_000.0)),
         ),
     ));
-    s.add_method(evaluate, "evaluate", vec![Specializer::Type(faculty)], MethodKind::General(bb.finish()), Some(ValueType::BOOL))
-        .expect("fresh");
+    s.add_method(
+        evaluate,
+        "evaluate",
+        vec![Specializer::Type(faculty)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::BOOL),
+    )
+    .expect("fresh");
 
     s.validate().expect("university schema is well-formed");
     s
@@ -152,7 +184,7 @@ mod tests {
         // pid exactly once.
         assert_eq!(s.cumulative_attrs(ta).len(), 8);
         assert_eq!(s.cpl(ta).unwrap().len(), 4); // TA, Student, Employee, Person
-        // 12 attrs × 2 accessors + 6 general methods.
+                                                 // 12 attrs × 2 accessors + 6 general methods.
         assert_eq!(s.n_methods(), 30);
     }
 
@@ -162,10 +194,16 @@ mod tests {
         let s = university();
         let ta = s.type_id("TA").unwrap();
         let comp = s.gf_id("comp").unwrap();
-        let m = s.most_specific(comp, &[CallArg::Object(ta)]).unwrap().unwrap();
+        let m = s
+            .most_specific(comp, &[CallArg::Object(ta)])
+            .unwrap()
+            .unwrap();
         assert_eq!(s.method(m).label, "comp_ta");
         let employee = s.type_id("Employee").unwrap();
-        let m = s.most_specific(comp, &[CallArg::Object(employee)]).unwrap().unwrap();
+        let m = s
+            .most_specific(comp, &[CallArg::Object(employee)])
+            .unwrap()
+            .unwrap();
         assert_eq!(s.method(m).label, "comp_employee");
     }
 }

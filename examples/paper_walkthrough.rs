@@ -90,7 +90,11 @@ fn main() {
                 println!(
                     "  => {} is {}",
                     label(&s, *method),
-                    if *applicable { "APPLICABLE" } else { "not applicable" }
+                    if *applicable {
+                        "APPLICABLE"
+                    } else {
+                        "not applicable"
+                    }
                 );
             }
             TraceEvent::DependentsRetracted { failed, removed } => {
@@ -110,15 +114,30 @@ fn main() {
         }
     }
 
-    println!("\nApplicable     = {:?}", d.applicable().iter().map(|&m| label(&s, m)).collect::<Vec<_>>());
-    println!("NotApplicable  = {:?}", d.not_applicable().iter().map(|&m| label(&s, m)).collect::<Vec<_>>());
+    println!(
+        "\nApplicable     = {:?}",
+        d.applicable()
+            .iter()
+            .map(|&m| label(&s, m))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "NotApplicable  = {:?}",
+        d.not_applicable()
+            .iter()
+            .map(|&m| label(&s, m))
+            .collect::<Vec<_>>()
+    );
     println!("(paper says: applicable = {:?})", figures::EX1_APPLICABLE);
 
     println!("\n##### Figure 4/5: the refactored + augmented hierarchy #####\n");
     println!("{}", s.render_hierarchy());
     println!(
         "Z (types needing augmentation) = {:?}",
-        d.z_types.iter().map(|&t| s.type_name(t)).collect::<Vec<_>>()
+        d.z_types
+            .iter()
+            .map(|&t| s.type_name(t))
+            .collect::<Vec<_>>()
     );
     println!(
         "surrogates: {} from FactorState, {} from Augment",
@@ -140,6 +159,10 @@ fn main() {
     }
     println!(
         "  invariants: {}",
-        if d.invariants_ok() { "all hold ✓" } else { "VIOLATED" }
+        if d.invariants_ok() {
+            "all hold ✓"
+        } else {
+            "VIOLATED"
+        }
     );
 }

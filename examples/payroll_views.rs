@@ -52,15 +52,29 @@ fn hr_schema() -> Schema {
         Expr::int(2026),
         Expr::call(get_by, vec![Expr::Param(0)]),
     ));
-    s.add_method(age, "age", vec![Specializer::Type(person)], MethodKind::General(bb.finish()), Some(ValueType::INT))
-        .expect("fresh");
+    s.add_method(
+        age,
+        "age",
+        vec![Specializer::Type(person)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::INT),
+    )
+    .expect("fresh");
 
     // total_comp(Employee) = salary; total_comp(Manager) = salary * (1 + bonus_pct)
-    let comp = s.add_gf("total_comp", 1, Some(ValueType::FLOAT)).expect("fresh");
+    let comp = s
+        .add_gf("total_comp", 1, Some(ValueType::FLOAT))
+        .expect("fresh");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::call(get_salary, vec![Expr::Param(0)]));
-    s.add_method(comp, "total_comp_employee", vec![Specializer::Type(employee)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
-        .expect("fresh");
+    s.add_method(
+        comp,
+        "total_comp_employee",
+        vec![Specializer::Type(employee)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::FLOAT),
+    )
+    .expect("fresh");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::binop(
         typederive::model::BinOp::Mul,
@@ -71,15 +85,27 @@ fn hr_schema() -> Schema {
             Expr::call(get_bonus, vec![Expr::Param(0)]),
         ),
     ));
-    s.add_method(comp, "total_comp_manager", vec![Specializer::Type(manager)], MethodKind::General(bb.finish()), Some(ValueType::FLOAT))
-        .expect("fresh");
+    s.add_method(
+        comp,
+        "total_comp_manager",
+        vec![Specializer::Type(manager)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::FLOAT),
+    )
+    .expect("fresh");
 
     // span(Manager) = reports  (depends on manager-only state)
     let span = s.add_gf("span", 1, Some(ValueType::INT)).expect("fresh");
     let mut bb = BodyBuilder::new();
     bb.ret(Expr::call(get_reports, vec![Expr::Param(0)]));
-    s.add_method(span, "span", vec![Specializer::Type(manager)], MethodKind::General(bb.finish()), Some(ValueType::INT))
-        .expect("fresh");
+    s.add_method(
+        span,
+        "span",
+        vec![Specializer::Type(manager)],
+        MethodKind::General(bb.finish()),
+        Some(ValueType::INT),
+    )
+    .expect("fresh");
 
     s.validate().expect("well-formed HR schema");
     s
@@ -125,8 +151,11 @@ fn main() {
         .expect("employee");
     }
     for (d, b) in [(10, 2_000_000.0), (20, 3_500_000.0)] {
-        db.create_named("Department", &[("did", Value::Int(d)), ("budget", Value::Float(b))])
-            .expect("department");
+        db.create_named(
+            "Department",
+            &[("did", Value::Int(d)), ("budget", Value::Float(b))],
+        )
+        .expect("department");
     }
 
     // ---- view 1: a privacy-preserving directory (projection) -------------
@@ -143,8 +172,12 @@ fn main() {
 
     let dir = MaterializedView::materialize(&mut db, &directory).expect("materialize");
     for &(_, v) in &dir.pairs {
-        let name = db.call_named("get_full_name", &[Value::Ref(v)]).expect("projected");
-        let age = db.call_named("age", &[Value::Ref(v)]).expect("age survives");
+        let name = db
+            .call_named("get_full_name", &[Value::Ref(v)])
+            .expect("projected");
+        let age = db
+            .call_named("age", &[Value::Ref(v)])
+            .expect("age survives");
         println!("  {name} (age {age})");
         assert!(db.call_named("total_comp", &[Value::Ref(v)]).is_err());
     }
@@ -161,8 +194,12 @@ fn main() {
     println!("== payroll view ==\n{}", payroll.summary(db.schema()));
     let pay = MaterializedView::materialize(&mut db, &payroll).expect("materialize");
     for &(_, v) in &pay.pairs {
-        let ssn = db.call_named("get_ssn", &[Value::Ref(v)]).expect("projected");
-        let comp = db.call_named("total_comp", &[Value::Ref(v)]).expect("both inputs projected");
+        let ssn = db
+            .call_named("get_ssn", &[Value::Ref(v)])
+            .expect("projected");
+        let comp = db
+            .call_named("total_comp", &[Value::Ref(v)])
+            .expect("both inputs projected");
         println!("  ssn {ssn}: total comp {comp}");
         // span needs `reports`, which was projected away.
         assert!(db.call_named("span", &[Value::Ref(v)]).is_err());
@@ -180,9 +217,14 @@ fn main() {
     )
     .expect("selection view");
     let rich = well_paid.filter(&db).expect("filter");
-    println!("== WellPaid (σ salary ≥ 100k) has {} members ==", rich.len());
+    println!(
+        "== WellPaid (σ salary ≥ 100k) has {} members ==",
+        rich.len()
+    );
     for o in rich {
-        let name = db.call_named("get_full_name", &[Value::Ref(o)]).expect("name");
+        let name = db
+            .call_named("get_full_name", &[Value::Ref(o)])
+            .expect("name");
         println!("  {name}");
     }
     println!();
@@ -200,10 +242,17 @@ fn main() {
     )
     .expect("join view");
     let triples = emp_dept.materialize(&mut db).expect("materialize join");
-    println!("== EmployeeWithDept (⋈ on dept) has {} rows ==", triples.len());
+    println!(
+        "== EmployeeWithDept (⋈ on dept) has {} rows ==",
+        triples.len()
+    );
     for (_, _, v) in &triples {
-        let name = db.call_named("get_full_name", &[Value::Ref(*v)]).expect("left side");
-        let budget = db.call_named("get_budget", &[Value::Ref(*v)]).expect("right side");
+        let name = db
+            .call_named("get_full_name", &[Value::Ref(*v)])
+            .expect("left side");
+        let budget = db
+            .call_named("get_budget", &[Value::Ref(*v)])
+            .expect("right side");
         println!("  {name} works in a department with budget {budget}");
     }
     println!();

@@ -13,7 +13,10 @@ fn main() {
     //   income(Employee) — reads pay_rate and hrs_worked
     //   promote(Employee)— reads date_of_birth and pay_rate
     let mut db = Database::new(typederive::workload::fig1());
-    println!("== original hierarchy ==\n{}", db.schema().render_hierarchy());
+    println!(
+        "== original hierarchy ==\n{}",
+        db.schema().render_hierarchy()
+    );
 
     let alice = db
         .create_named(
@@ -38,18 +41,28 @@ fn main() {
     .expect("projection over available attributes");
 
     println!("== derivation ==\n{}", badge.summary(db.schema()));
-    println!("== refactored hierarchy ==\n{}", db.schema().render_hierarchy());
+    println!(
+        "== refactored hierarchy ==\n{}",
+        db.schema().render_hierarchy()
+    );
 
     // Materialize the view extent and call methods on a view object.
     let view = MaterializedView::materialize(&mut db, &badge).expect("materialize");
     let v = view.view_of(alice).expect("alice was projected");
 
-    let age = db.call_named("age", &[Value::Ref(v)]).expect("age survives");
-    let promote = db.call_named("promote", &[Value::Ref(v)]).expect("promote survives");
+    let age = db
+        .call_named("age", &[Value::Ref(v)])
+        .expect("age survives");
+    let promote = db
+        .call_named("promote", &[Value::Ref(v)])
+        .expect("promote survives");
     println!("view object {v}: age = {age}, promote = {promote}");
 
     let income_on_view = db.call_named("income", &[Value::Ref(v)]);
-    println!("income on the view is rejected: {}", income_on_view.unwrap_err());
+    println!(
+        "income on the view is rejected: {}",
+        income_on_view.unwrap_err()
+    );
 
     // The original employee is untouched.
     let income = db

@@ -67,11 +67,13 @@ fn main() {
 
     println!(
         "cite(dune) = {}",
-        db.call_named("cite", &[Value::Ref(dune)]).expect("cite works")
+        db.call_named("cite", &[Value::Ref(dune)])
+            .expect("cite works")
     );
     println!(
         "reading_hours(dune) = {}",
-        db.call_named("reading_hours", &[Value::Ref(dune)]).expect("applies to books")
+        db.call_named("reading_hours", &[Value::Ref(dune)])
+            .expect("applies to books")
     );
 
     // Derive a "citation card" view: only title and year survive.
@@ -85,20 +87,23 @@ fn main() {
     println!("\n== derivation ==\n{}", card.summary(db.schema()));
 
     // Ask the library to justify the verdict on reading_hours.
-    let reading = db.schema().method_by_label("reading_hours").expect("defined");
-    let why = explain(
-        db.schema(),
-        card.source,
-        &card.projection,
-        reading,
-    )
-    .expect("explainable");
-    println!("why did reading_hours not survive?\n{}", why.render(db.schema()));
+    let reading = db
+        .schema()
+        .method_by_label("reading_hours")
+        .expect("defined");
+    let why = explain(db.schema(), card.source, &card.projection, reading).expect("explainable");
+    println!(
+        "why did reading_hours not survive?\n{}",
+        why.render(db.schema())
+    );
 
     // The refactored hierarchy round-trips through the DSL…
     let text = schema_to_text(db.schema());
     parse_schema(&text).expect("factored schema re-parses");
-    println!("(refactored schema round-trips through the DSL: {} chars)", text.len());
+    println!(
+        "(refactored schema round-trips through the DSL: {} chars)",
+        text.len()
+    );
 
     // …and exports to Graphviz for drawing Figure-2-style pictures.
     println!("\n== DOT export ==\n{}", db.schema().render_dot());

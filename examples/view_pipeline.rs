@@ -46,7 +46,10 @@ fn main() {
         );
     }
 
-    println!("\nhierarchy after three stacked views:\n{}", s.render_hierarchy());
+    println!(
+        "\nhierarchy after three stacked views:\n{}",
+        s.render_hierarchy()
+    );
 
     let (before, after, removed) =
         minimize_pipeline_surrogates(&mut s, &protected).expect("minimization");

@@ -83,9 +83,7 @@ pub use td_workload as workload;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use td_algebra::{join, select, CmpOp, Pipeline, Predicate};
-    pub use td_core::{
-        minimize_surrogates, project, project_named, Derivation, ProjectionOptions,
-    };
+    pub use td_core::{minimize_surrogates, project, project_named, Derivation, ProjectionOptions};
     pub use td_model::{CallArg, Schema, TypeId, ValueType};
     pub use td_store::{Database, MaterializedView, Value, VirtualView};
 }

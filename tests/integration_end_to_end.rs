@@ -57,8 +57,14 @@ fn behavior_preservation_is_observable() {
     // Identical behavior for the original objects.
     for (i, &o) in employees.iter().enumerate() {
         assert_eq!(before[i].0, db.call_named("age", &[Value::Ref(o)]).unwrap());
-        assert_eq!(before[i].1, db.call_named("income", &[Value::Ref(o)]).unwrap());
-        assert_eq!(before[i].2, db.call_named("promote", &[Value::Ref(o)]).unwrap());
+        assert_eq!(
+            before[i].1,
+            db.call_named("income", &[Value::Ref(o)]).unwrap()
+        );
+        assert_eq!(
+            before[i].2,
+            db.call_named("promote", &[Value::Ref(o)]).unwrap()
+        );
     }
 
     // The materialized view answers exactly the surviving methods.
@@ -88,7 +94,8 @@ fn behavior_preservation_is_observable() {
 #[test]
 fn virtual_and_materialized_views_agree() {
     let mut db = Database::new(figures::fig1());
-    db.create_named("Employee", &[("SSN", Value::Int(1))]).unwrap();
+    db.create_named("Employee", &[("SSN", Value::Int(1))])
+        .unwrap();
     let d = project_named(
         db.schema_mut(),
         "Employee",
@@ -100,7 +107,8 @@ fn virtual_and_materialized_views_agree() {
     let mut mat = MaterializedView::materialize(&mut db, &d).unwrap();
     assert_eq!(virt.tuples(&db).unwrap().len(), 1);
 
-    db.create_named("Employee", &[("SSN", Value::Int(2))]).unwrap();
+    db.create_named("Employee", &[("SSN", Value::Int(2))])
+        .unwrap();
     assert_eq!(virt.tuples(&db).unwrap().len(), 2); // live
     assert_eq!(mat.pairs.len(), 1); // stale
     assert_eq!(mat.refresh(&mut db).unwrap(), 1);
@@ -139,7 +147,9 @@ fn pipeline_then_minimize_preserves_dispatch() {
         .collect();
 
     let a = db.schema().type_id("A").unwrap();
-    let pipeline = Pipeline::new().project(&["a2", "e2", "h2"]).project(&["h2"]);
+    let pipeline = Pipeline::new()
+        .project(&["a2", "e2", "h2"])
+        .project(&["h2"]);
     let outcomes = pipeline
         .apply(db.schema_mut(), a, &ProjectionOptions::default())
         .unwrap();

@@ -16,7 +16,10 @@ fn load(name: &str) -> typederive::model::Schema {
 fn fig1_file_matches_constructor() {
     let from_file = load("fig1.td");
     let programmatic = figures::fig1();
-    assert_eq!(from_file.render_hierarchy(), programmatic.render_hierarchy());
+    assert_eq!(
+        from_file.render_hierarchy(),
+        programmatic.render_hierarchy()
+    );
     assert_eq!(from_file.render_methods(), programmatic.render_methods());
 }
 
@@ -24,15 +27,23 @@ fn fig1_file_matches_constructor() {
 fn fig3_file_matches_constructor() {
     let from_file = load("fig3.td");
     let programmatic = figures::fig3_with_z1();
-    assert_eq!(from_file.render_hierarchy(), programmatic.render_hierarchy());
+    assert_eq!(
+        from_file.render_hierarchy(),
+        programmatic.render_hierarchy()
+    );
     assert_eq!(from_file.render_methods(), programmatic.render_methods());
 }
 
 #[test]
 fn paper_pipeline_runs_from_the_file() {
     let mut s = load("fig3.td");
-    let d = project_named(&mut s, "A", figures::FIG4_PROJECTION, &ProjectionOptions::default())
-        .unwrap();
+    let d = project_named(
+        &mut s,
+        "A",
+        figures::FIG4_PROJECTION,
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
     assert!(d.invariants_ok());
     let labels: Vec<&str> = d
         .applicable()

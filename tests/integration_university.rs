@@ -40,13 +40,17 @@ fn diamond_ta_behaves_before_and_after_projection() {
     let (mut db, ta, section) = populated();
 
     // Baseline behavior.
-    assert_eq!(db.call_named("age", &[Value::Ref(ta)]).unwrap(), Value::Int(28));
+    assert_eq!(
+        db.call_named("age", &[Value::Ref(ta)]).unwrap(),
+        Value::Int(28)
+    );
     assert_eq!(
         db.call_named("comp", &[Value::Ref(ta)]).unwrap(),
         Value::Float(15_000.0) // TA override: salary * stipend_pct
     );
     assert_eq!(
-        db.call_named("assign", &[Value::Ref(ta), Value::Ref(section)]).unwrap(),
+        db.call_named("assign", &[Value::Ref(ta), Value::Ref(section)])
+            .unwrap(),
         Value::Bool(true) // 10 < 0.5 * 40
     );
 
@@ -83,14 +87,21 @@ fn diamond_ta_behaves_before_and_after_projection() {
         Value::Float(15_000.0)
     );
     assert_eq!(
-        db.call_named("assign", &[Value::Ref(v), Value::Ref(section)]).unwrap(),
+        db.call_named("assign", &[Value::Ref(v), Value::Ref(section)])
+            .unwrap(),
         Value::Bool(true)
     );
     assert!(db.call_named("age", &[Value::Ref(v)]).is_err());
 
     // The original TA still answers everything.
-    assert_eq!(db.call_named("age", &[Value::Ref(ta)]).unwrap(), Value::Int(28));
-    assert_eq!(db.call_named("load", &[Value::Ref(ta)]).unwrap(), Value::Int(18));
+    assert_eq!(
+        db.call_named("age", &[Value::Ref(ta)]).unwrap(),
+        Value::Int(28)
+    );
+    assert_eq!(
+        db.call_named("load", &[Value::Ref(ta)]).unwrap(),
+        Value::Int(18)
+    );
 }
 
 #[test]
@@ -117,8 +128,13 @@ fn diamond_projection_factors_person_once() {
     let (mut db, _, _) = populated();
     // Project pid (at Person) through the TA diamond: exactly one ^Person
     // must exist, reachable from ^TA via both branch surrogates.
-    let d = project_named(db.schema_mut(), "TA", &["pid"], &ProjectionOptions::default())
-        .unwrap();
+    let d = project_named(
+        db.schema_mut(),
+        "TA",
+        &["pid"],
+        &ProjectionOptions::default(),
+    )
+    .unwrap();
     assert!(d.invariants_ok());
     let s = db.schema();
     let p_hat = s.type_id("^Person").unwrap();

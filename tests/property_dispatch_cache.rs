@@ -1,0 +1,148 @@
+//! Property: the dispatch acceleration layer is invisible.
+//!
+//! Every cached entry point of `td_model` (`cpl`, `applicable_methods`,
+//! `rank_applicable`, `most_specific`) must agree with its `_uncached`
+//! ground-truth twin on randomized schemas — when the cache is cold, when
+//! it is warm, and after mutations (a full projection derivation) that
+//! invalidate it via the generation counter.
+
+use proptest::prelude::*;
+use typederive::derive::{project, ProjectionOptions};
+use typederive::model::{CallArg, Schema, TypeId};
+use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+
+fn params_strategy() -> impl Strategy<Value = GenParams> {
+    (
+        2usize..16,
+        1usize..4,
+        0.0f64..0.7,
+        1usize..3,
+        0.4f64..1.0,
+        1usize..6,
+        1usize..3,
+        1usize..3,
+        0usize..4,
+        0.0f64..0.6,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            )| GenParams {
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            },
+        )
+}
+
+/// Sweeps every live type's CPL and a deterministic sample of call tuples
+/// for every generic function, asserting the cached and uncached answers
+/// coincide. Each sweep also warms the cache for the next one.
+fn assert_cache_transparent(schema: &Schema) -> Result<(), TestCaseError> {
+    let types: Vec<TypeId> = schema.live_type_ids().collect();
+    for &t in &types {
+        prop_assert_eq!(schema.cpl(t).ok(), schema.cpl_uncached(t).ok());
+    }
+    for gf in schema.gf_ids() {
+        let arity = schema.gf(gf).arity;
+        if arity == 0 || types.is_empty() {
+            continue;
+        }
+        let total = types.len().checked_pow(arity as u32).unwrap_or(usize::MAX);
+        let stride = total.div_ceil(64).max(1);
+        let mut idx = 0usize;
+        while idx < total {
+            let mut rem = idx;
+            let mut args = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                args.push(CallArg::Object(types[rem % types.len()]));
+                rem /= types.len();
+            }
+            prop_assert_eq!(
+                schema.applicable_methods(gf, &args),
+                schema.applicable_methods_uncached(gf, &args),
+                "applicable diverged for {} {:?}",
+                schema.gf(gf).name,
+                args
+            );
+            prop_assert_eq!(
+                schema.rank_applicable(gf, &args).ok(),
+                schema.rank_applicable_uncached(gf, &args).ok(),
+                "ranking diverged for {} {:?}",
+                schema.gf(gf).name,
+                args
+            );
+            prop_assert_eq!(
+                schema.most_specific(gf, &args).ok(),
+                schema.most_specific_uncached(gf, &args).ok(),
+                "winner diverged for {} {:?}",
+                schema.gf(gf).name,
+                args
+            );
+            idx += stride;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cached_dispatch_equals_uncached_cold_and_warm(params in params_strategy()) {
+        let schema = random_schema(&params);
+        // First sweep runs cold and populates the cache; the second is
+        // served warm and must still match the ground truth.
+        assert_cache_transparent(&schema)?;
+        let after_first = schema.dispatch_cache_stats();
+        prop_assert!(after_first.dispatch_entries > 0);
+        assert_cache_transparent(&schema)?;
+        let after_second = schema.dispatch_cache_stats();
+        prop_assert!(after_second.dispatch_hits > after_first.dispatch_hits,
+            "second sweep should hit the warm cache: {} vs {}",
+            after_second.dispatch_hits, after_first.dispatch_hits);
+    }
+
+    #[test]
+    fn mutation_keeps_cache_transparent(
+        params in params_strategy(),
+        keep in 0.1f64..1.0,
+        proj_seed in any::<u64>(),
+    ) {
+        let mut schema = random_schema(&params);
+        // Warm the cache on the pre-derivation schema.
+        assert_cache_transparent(&schema)?;
+        let warm_gen = schema.generation();
+
+        // A projection derivation is the heaviest mutation we have: it adds
+        // surrogates, rewires supertype edges and rewrites methods.
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, proj_seed);
+        prop_assume!(!projection.is_empty());
+        project(&mut schema, source, &projection, &ProjectionOptions::fast()).unwrap();
+
+        prop_assert!(schema.generation() > warm_gen,
+            "derivation must bump the cache generation");
+        // Stale entries must not leak into post-mutation answers.
+        assert_cache_transparent(&schema)?;
+    }
+}

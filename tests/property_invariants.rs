@@ -23,10 +23,30 @@ fn params_strategy() -> impl Strategy<Value = GenParams> {
         any::<u64>(),
     )
         .prop_map(
-            |(n_types, max_supers, mi_fraction, attrs_per_type, reader_fraction, n_gfs,
-              methods_per_gf, max_arity, calls_per_body, assign_fraction, seed)| GenParams {
-                n_types, max_supers, mi_fraction, attrs_per_type, reader_fraction,
-                n_gfs, methods_per_gf, max_arity, calls_per_body, assign_fraction, seed,
+            |(
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            )| GenParams {
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
             },
         )
 }

@@ -2,9 +2,7 @@
 //! classifier, and dropping a view is the exact inverse of deriving it.
 
 use proptest::prelude::*;
-use typederive::derive::{
-    compute_applicability, explain, project, unproject, ProjectionOptions,
-};
+use typederive::derive::{compute_applicability, explain, project, unproject, ProjectionOptions};
 use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
 
 fn params(n_types: usize, seed: u64) -> GenParams {

@@ -6,9 +6,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
-use typederive::derive::{
-    minimize_surrogates, project, unproject, Derivation, ProjectionOptions,
-};
+use typederive::derive::{minimize_surrogates, project, unproject, Derivation, ProjectionOptions};
 use typederive::model::{parse_schema, schema_to_text, TypeId};
 use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
 
@@ -46,10 +44,15 @@ fn evolution_soak() {
                     if projection.is_empty() {
                         continue;
                     }
-                    let d = project(&mut schema, source, &projection, &ProjectionOptions {
-                        check_invariants: true,
-                        ..Default::default()
-                    })
+                    let d = project(
+                        &mut schema,
+                        source,
+                        &projection,
+                        &ProjectionOptions {
+                            check_invariants: true,
+                            ..Default::default()
+                        },
+                    )
                     .unwrap_or_else(|e| panic!("seed {seed} step {step}: project failed: {e}"));
                     assert!(
                         d.invariants.as_ref().unwrap().ok(),
@@ -69,8 +72,7 @@ fn evolution_soak() {
                 }
                 // Minimize surrogates (protect all live views).
                 7 => {
-                    let protected: BTreeSet<TypeId> =
-                        stack.iter().map(|d| d.derived).collect();
+                    let protected: BTreeSet<TypeId> = stack.iter().map(|d| d.derived).collect();
                     // Minimization may remove surrogates that later drops
                     // would try to retire, so only run it when no live
                     // derivation remains to be unwound.

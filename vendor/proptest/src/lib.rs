@@ -1,0 +1,504 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the real `proptest`
+//! cannot be fetched; the workspace path dependency points here instead.
+//! This is a self-contained miniature property-testing framework with the
+//! same surface the repository's tests exercise:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) wrapping `#[test]` functions whose arguments are drawn from
+//!   strategies;
+//! * [`Strategy`] with `prop_map`, [`any`], integer/float range strategies
+//!   and tuple strategies up to arity 12;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! exact drawn values instead of minimized ones) and no persistence file
+//! replay (`.proptest-regressions` files are ignored). Case generation is
+//! deterministic per test name, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRunner,
+    };
+}
+
+// ---------------------------------------------------------------- errors
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — draw a fresh one.
+    Reject(String),
+    /// An assertion failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------- config
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config with the given number of cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+// ------------------------------------------------------------------- rng
+
+/// The deterministic generator strategies draw from (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ------------------------------------------------------------ strategies
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// An arbitrary value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + ((rng.next_u64() as u128 * span) >> 64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                lo + ((rng.next_u64() as u128 * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ------------------------------------------------------------ the runner
+
+/// Drives a property: draws cases, skips rejections, reports failures.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs the property `f` against `config.cases` values drawn from
+    /// `strategy`, panicking (like `#[test]` expects) on the first failing
+    /// case with the drawn values in the message.
+    pub fn run<S>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        mut f: impl FnMut(S::Value) -> TestCaseResult,
+    ) where
+        S: Strategy,
+        S::Value: Debug,
+    {
+        // Deterministic per-test seed: failures reproduce run to run.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = TestRng::new(seed);
+
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            if rejected > self.config.max_global_rejects {
+                panic!(
+                    "proptest `{name}`: too many rejected cases \
+                     ({rejected} rejections for {passed} passes)"
+                );
+            }
+            let value = strategy.new_value(&mut rng);
+            let shown = format!("{value:?}");
+            match f(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed after {passed} passing case(s): \
+                         {msg}\n  input: {shown}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ the macros
+
+/// Mirrors `proptest::proptest!`: wraps `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                runner.run(stringify!($name), &strategy, |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}\n  left: {l:?}\n right: {r:?}", format!($($fmt)+));
+    }};
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Mirrors `proptest::prop_assume!`: rejects the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in 0.25f64..0.75, s in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = s;
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (1usize..5, 1usize..5).prop_map(|(a, b)| a + b);
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        runner.run("prop_map_composes", &(strat,), |(sum,)| {
+            prop_assert!((2..=8).contains(&sum));
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run("failures_panic_with_input", &(0usize..4,), |(x,)| {
+            prop_assert!(x < 2, "x too big: {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+            runner.run("deterministic", &(any::<u64>(),), |(v,)| {
+                out.push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}
