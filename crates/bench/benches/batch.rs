@@ -1,0 +1,71 @@
+//! Experiment BATCH-P: the parallel batch derivation engine, 1 vs N
+//! worker threads over the same 64-request batch.
+//!
+//! Each sample runs the full batch — every request forks the shared
+//! copy-on-write snapshot and performs a complete derivation (projection
+//! → applicability → factoring → invariants off, `ProjectionOptions::
+//! fast()`), so the measured unit is end-to-end batch wall-clock. The
+//! 1-thread point is the sequential baseline the determinism tests
+//! compare against; the speedup at N > 1 is bounded by the host's core
+//! count (a 1-CPU container shows ~1× across the board).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_core::ProjectionOptions;
+use td_driver::{BatchDeriver, BatchRequest};
+use td_workload::batch_requests;
+
+fn bench_batch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive/batch_1_vs_N_threads");
+    group.sample_size(10);
+
+    let w = td_bench::random_workload(48, 0xBA7C);
+    let requests: Vec<BatchRequest> = batch_requests(&w.schema, 64, 0.5, 0xBA7C)
+        .into_iter()
+        .map(BatchRequest::from)
+        .collect();
+    let base = BatchDeriver::new(&w.schema).options(ProjectionOptions::fast());
+    base.warm();
+
+    for threads in [1usize, 2, 4, 8] {
+        let deriver = base.clone().threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(deriver.run(&requests)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_warm_vs_cold(c: &mut Criterion) {
+    // The same batch with and without a pre-warmed shared dispatch cache:
+    // isolates how much of the per-request cost the snapshot's shared
+    // cache amortizes across the fleet of forks.
+    let mut group = c.benchmark_group("derive/batch_warm_vs_cold");
+    group.sample_size(10);
+
+    let w = td_bench::random_workload(48, 0xC01D);
+    let requests: Vec<BatchRequest> = batch_requests(&w.schema, 64, 0.5, 0xC01D)
+        .into_iter()
+        .map(BatchRequest::from)
+        .collect();
+
+    group.bench_function("cold_snapshot", |b| {
+        b.iter(|| {
+            let deriver = BatchDeriver::new(&w.schema).options(ProjectionOptions::fast());
+            black_box(deriver.run(&requests))
+        })
+    });
+    group.bench_function("warm_snapshot", |b| {
+        let deriver = BatchDeriver::new(&w.schema).options(ProjectionOptions::fast());
+        deriver.warm();
+        b.iter(|| black_box(deriver.run(&requests)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_threads, bench_batch_warm_vs_cold
+}
+criterion_main!(benches);

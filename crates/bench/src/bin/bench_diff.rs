@@ -1,0 +1,101 @@
+//! The CI perf-regression gate: compares a fresh `repro --json` report
+//! against the committed baseline.
+//!
+//! ```sh
+//! cargo run -p td-bench --release --bin bench_diff -- \
+//!     BENCH_baseline.json BENCH_current.json [--threshold 0.30]
+//! ```
+//!
+//! Exits 0 when every baseline experiment still matches the paper and
+//! every gated `ratio_*` metric is within ±threshold of the baseline;
+//! exits 1 with one line per failure otherwise (see
+//! `crates/bench/src/report.rs` for the gating rules).
+
+use std::process::exit;
+use td_bench::report::{compare, BenchReport, DEFAULT_THRESHOLD};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold 0.30]");
+    exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        exit(2);
+    });
+    BenchReport::parse(&src).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot parse {path}: {e}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    println!(
+        "bench_diff: {baseline_path} vs {current_path} (±{:.0}%)",
+        threshold * 100.0
+    );
+    println!("| metric | baseline | current | drift | gated |");
+    println!("|---|---|---|---|---|");
+    for (name, &base) in &baseline.metrics {
+        let gated = BenchReport::is_gated(name);
+        match current.metrics.get(name) {
+            Some(&cur) => {
+                let drift = (cur - base) / base.abs().max(1e-12) * 100.0;
+                println!(
+                    "| {name} | {base:.4} | {cur:.4} | {drift:+.1}% | {} |",
+                    if gated { "yes" } else { "no" }
+                );
+            }
+            None => println!(
+                "| {name} | {base:.4} | — | — | {} |",
+                if gated { "yes" } else { "no" }
+            ),
+        }
+    }
+
+    let failures = compare(&baseline, &current, threshold);
+    if failures.is_empty() {
+        println!(
+            "\nOK: {} experiments and {} gated metrics within ±{:.0}%",
+            baseline.experiments.len(),
+            baseline
+                .metrics
+                .keys()
+                .filter(|n| BenchReport::is_gated(n))
+                .count(),
+            threshold * 100.0
+        );
+    } else {
+        println!();
+        for f in &failures {
+            println!("FAIL: {f}");
+        }
+        exit(1);
+    }
+}

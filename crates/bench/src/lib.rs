@@ -8,6 +8,8 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use std::collections::BTreeSet;
 use td_model::{AttrId, Schema, TypeId};
 use td_workload::{deepest_type, random_projection, random_schema, GenParams};

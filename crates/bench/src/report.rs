@@ -1,0 +1,478 @@
+//! The machine-readable benchmark report and the CI regression gate.
+//!
+//! `repro --json` serializes a [`BenchReport`]; the committed
+//! `BENCH_baseline.json` at the repository root is one of these, and the
+//! `bench_diff` binary [`compare`]s a fresh report against it in the
+//! `bench-gate` CI job.
+//!
+//! The container has no crates registry, so (de)serialization is
+//! hand-rolled for exactly the shape we emit — a flat object with an
+//! `experiments` array and a `metrics` map — rather than stubbing all of
+//! serde. Parsing accepts any JSON value but the extractor only reads
+//! that shape.
+//!
+//! ## Gating rules
+//!
+//! * every baseline **experiment** must exist in the current report and
+//!   have `"ok": true` — a reproduction row going red is always a
+//!   failure, whatever the timings say;
+//! * a **metric** whose name starts with `ratio_` is dimensionless
+//!   (time/time on the same machine in the same process) and must stay
+//!   within ± [`DEFAULT_THRESHOLD`] of the baseline value — ratios
+//!   transfer across machines, which is what lets a baseline recorded in
+//!   one container gate runs on another;
+//! * any other metric (`time_*`, counts) is informational: recorded for
+//!   trend archaeology in the workflow artifacts, never gated.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Relative tolerance for gated `ratio_*` metrics (±30%).
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// A machine-readable benchmark/reproduction report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// `(experiment id, matched-the-paper)` rows, in run order.
+    pub experiments: Vec<(String, bool)>,
+    /// Named scalar metrics. `ratio_*` names are gated in CI.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// Serializes to the canonical JSON shape (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"experiments\": [\n");
+        for (i, (id, ok)) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    {{\"id\": {}, \"ok\": {ok}}}{comma}", quote(id));
+        }
+        out.push_str("  ],\n  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}: {value}{comma}", quote(name));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    pub fn parse(src: &str) -> Result<BenchReport, String> {
+        let value = Json::parse(src)?;
+        let mut report = BenchReport::default();
+        let top = value.as_object().ok_or("top level is not an object")?;
+        if let Some(experiments) = top.get("experiments") {
+            for row in experiments
+                .as_array()
+                .ok_or("`experiments` is not an array")?
+            {
+                let row = row.as_object().ok_or("experiment row is not an object")?;
+                let id = row
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("experiment row without string `id`")?;
+                let ok = row
+                    .get("ok")
+                    .and_then(Json::as_bool)
+                    .ok_or("experiment row without boolean `ok`")?;
+                report.experiments.push((id.to_string(), ok));
+            }
+        }
+        if let Some(metrics) = top.get("metrics") {
+            for (name, value) in metrics.as_object().ok_or("`metrics` is not an object")? {
+                let value = value
+                    .as_f64()
+                    .ok_or_else(|| format!("metric `{name}` is not a number"))?;
+                report.metrics.insert(name.clone(), value);
+            }
+        }
+        Ok(report)
+    }
+
+    /// True if the metric participates in the CI gate.
+    pub fn is_gated(name: &str) -> bool {
+        name.starts_with("ratio_")
+    }
+}
+
+/// Compares `current` against `baseline` under the gating rules; returns
+/// the list of human-readable failures (empty = gate passes).
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let current_experiments: BTreeMap<&str, bool> = current
+        .experiments
+        .iter()
+        .map(|(id, ok)| (id.as_str(), *ok))
+        .collect();
+    for (id, _) in &baseline.experiments {
+        match current_experiments.get(id.as_str()) {
+            None => failures.push(format!("experiment `{id}` missing from current report")),
+            Some(false) => failures.push(format!("experiment `{id}` no longer matches the paper")),
+            Some(true) => {}
+        }
+    }
+    for (name, &base) in baseline
+        .metrics
+        .iter()
+        .filter(|(n, _)| BenchReport::is_gated(n))
+    {
+        match current.metrics.get(name) {
+            None => failures.push(format!("gated metric `{name}` missing from current report")),
+            Some(&cur) => {
+                // Relative to the baseline magnitude; a zero baseline
+                // gates on absolute drift instead.
+                let scale = base.abs().max(1e-12);
+                let drift = (cur - base).abs() / scale;
+                if !drift.is_finite() || drift > threshold {
+                    failures.push(format!(
+                        "metric `{name}` drifted {:+.1}% (baseline {base:.4}, current {cur:.4}, \
+                         allowed ±{:.0}%)",
+                        (cur - base) / scale * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value, sufficient for the report shape.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `]` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            experiments: vec![("FIG1 schema".into(), true), ("EX1".into(), true)],
+            metrics: [
+                ("ratio_scale_a".to_string(), 30.0),
+                ("time_repro_s".to_string(), 0.8),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let report = sample();
+        let parsed = BenchReport::parse(&report.to_json()).unwrap();
+        assert_eq!(report, parsed);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_whitespace() {
+        let src = r#"
+            { "experiments": [ {"id": "a \"b\"\nc", "ok": false} ],
+              "metrics": { "ratio_x": -1.5e2 } }
+        "#;
+        let r = BenchReport::parse(src).unwrap();
+        assert_eq!(r.experiments, vec![("a \"b\"\nc".to_string(), false)]);
+        assert_eq!(r.metrics["ratio_x"], -150.0);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(BenchReport::parse("").is_err());
+        assert!(BenchReport::parse("{,}").is_err());
+        assert!(BenchReport::parse("{} trailing").is_err());
+        assert!(BenchReport::parse(r#"{"metrics": {"x": "nan"}}"#).is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let report = sample();
+        assert!(compare(&report, &report, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn drift_and_regressions_fail_the_gate() {
+        let baseline = sample();
+        let mut current = sample();
+        // 50% drift on a gated ratio fails…
+        current.metrics.insert("ratio_scale_a".into(), 45.0);
+        let failures = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("ratio_scale_a"));
+        // …but the same drift on an informational metric does not.
+        let mut current = sample();
+        current.metrics.insert("time_repro_s".into(), 100.0);
+        assert!(compare(&baseline, &current, DEFAULT_THRESHOLD).is_empty());
+        // 20% drift is inside the default ±30% envelope.
+        let mut current = sample();
+        current.metrics.insert("ratio_scale_a".into(), 36.0);
+        assert!(compare(&baseline, &current, DEFAULT_THRESHOLD).is_empty());
+        // A red experiment or a vanished one fails.
+        let mut current = sample();
+        current.experiments[1].1 = false;
+        assert_eq!(compare(&baseline, &current, DEFAULT_THRESHOLD).len(), 1);
+        let mut current = sample();
+        current.experiments.pop();
+        assert_eq!(compare(&baseline, &current, DEFAULT_THRESHOLD).len(), 1);
+        // A missing gated metric fails.
+        let mut current = sample();
+        current.metrics.remove("ratio_scale_a");
+        assert_eq!(compare(&baseline, &current, DEFAULT_THRESHOLD).len(), 1);
+    }
+}

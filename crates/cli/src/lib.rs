@@ -9,6 +9,7 @@
 //! tdv dot       <schema.td>                         Graphviz DOT export
 //! tdv applicable <schema.td> <Type> <a1,a2,…>       IsApplicable classification
 //! tdv project   <schema.td> <Type> <a1,a2,…>        derive; print summary + refactored schema
+//! tdv batch     <schema.td> <requests.txt> [N]      derive a request fleet over N threads
 //! tdv explain   <schema.td> <Type> <a1,a2,…> <m>    why did method m (not) survive?
 //! tdv audit     <schema.td> <Type> <a1,a2,…>        baseline strategy audit
 //! tdv extent    <schema.td> <data.td> <Type>        list the deep extent
@@ -29,6 +30,7 @@ use td_baselines::{
     StandaloneStrategy,
 };
 use td_core::{explain, project, ProjectionOptions};
+use td_driver::{BatchDeriver, BatchRequest};
 use td_model::{parse_schema, AttrId, Schema, TypeId};
 use td_store::{parse_objects, Database, Value};
 
@@ -66,6 +68,7 @@ USAGE:
   tdv dot        <schema.td>
   tdv applicable <schema.td> <Type> <attr,attr,…>
   tdv project    <schema.td> <Type> <attr,attr,…>
+  tdv batch      <schema.td> <requests.txt> [threads]
   tdv explain    <schema.td> <Type> <attr,attr,…> <method-label>
   tdv audit      <schema.td> <Type> <attr,attr,…>
   tdv extent     <schema.td> <data.td> <Type>
@@ -73,6 +76,9 @@ USAGE:
 
 call arguments: object names from the data file, or literals
 (42, 3.5, true, \"text\", null).
+
+batch request files hold one `Type: attr,attr,…` projection per line
+(# starts a comment); threads defaults to the machine's cores.
 ";
 
 /// Runs one command. `args` excludes the program name. Returns the text
@@ -147,6 +153,39 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 )));
             }
             Ok(out)
+        }
+        "batch" => {
+            let schema = load(args.get(1))?;
+            let path = args
+                .get(2)
+                .ok_or_else(|| fail("batch: missing requests file argument"))?;
+            let threads = args
+                .get(3)
+                .map(|t| {
+                    t.parse::<usize>()
+                        .map_err(|_| fail(format!("batch: `{t}` is not a thread count")))
+                })
+                .transpose()?;
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+            let requests =
+                parse_batch_requests(&schema, &src).map_err(|e| fail(format!("{path}: {e}")))?;
+            let mut deriver = BatchDeriver::new(&schema);
+            if let Some(threads) = threads {
+                deriver = deriver.threads(threads);
+            }
+            deriver.warm();
+            let outcome = deriver.run(&requests);
+            let mut out = outcome.render(&schema);
+            let _ = writeln!(out, "{}", outcome.stats);
+            if outcome.all_ok() {
+                Ok(out)
+            } else {
+                Err(CliError {
+                    message: out,
+                    code: 1,
+                })
+            }
         }
         "explain" => {
             let schema = load(args.get(1))?;
@@ -276,6 +315,31 @@ fn parse_value(
     )))
 }
 
+/// Parses a batch request file: one `Type: attr,attr,…` per line, blank
+/// lines and `#` comments ignored. Name-resolution failures report the
+/// 1-based line number.
+fn parse_batch_requests(schema: &Schema, src: &str) -> Result<Vec<BatchRequest>, CliError> {
+    let mut requests = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (ty, attrs) = line
+            .split_once(':')
+            .ok_or_else(|| fail(format!("line {}: expected `Type: attr,…`", lineno + 1)))?;
+        let attrs: Vec<&str> = attrs
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let request = BatchRequest::by_names(schema, ty.trim(), &attrs)
+            .map_err(|e| fail(format!("line {}: {e}", lineno + 1)))?;
+        requests.push(request);
+    }
+    Ok(requests)
+}
+
 fn load(path: Option<&String>) -> Result<Schema, CliError> {
     let path = path.ok_or_else(|| fail("missing schema file argument"))?;
     let src =
@@ -322,15 +386,36 @@ mod tests {
         p
     }
 
+    /// Runs a command that must succeed. On failure the captured stderr
+    /// (message + exit code) goes to the test log first, so a CI failure
+    /// shows what `tdv` actually emitted instead of a bare panic.
     fn run_ok(args: &[&str]) -> String {
-        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-            .unwrap_or_else(|e| panic!("command {args:?} failed: {e}"))
+        let result = run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        if let Err(e) = &result {
+            eprintln!(
+                "--- tdv {args:?} captured stderr (exit code {}) ---\n{}\n---",
+                e.code, e.message
+            );
+        }
+        assert!(
+            result.is_ok(),
+            "command {args:?} failed; captured stderr is above"
+        );
+        result.unwrap()
     }
 
+    /// Runs a command that must fail. On unexpected success the captured
+    /// stdout goes to the test log first, for the same reason.
     fn run_err(args: &[&str]) -> CliError {
-        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-            .err()
-            .unwrap_or_else(|| panic!("command {args:?} unexpectedly succeeded"))
+        let result = run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        if let Ok(out) = &result {
+            eprintln!("--- tdv {args:?} captured stdout ---\n{out}\n---");
+        }
+        assert!(
+            result.is_err(),
+            "command {args:?} unexpectedly succeeded; captured stdout is above"
+        );
+        result.err().unwrap()
     }
 
     #[test]
@@ -374,6 +459,56 @@ mod tests {
         assert!(out.contains("derived ^Employee"));
         assert!(out.contains("all hold"));
         assert!(out.contains("^Person [surrogate of Person]"));
+    }
+
+    const FIG1_BATCH: &str = r#"
+        # badge view, payroll view, and a person-only view
+        Employee: SSN, date_of_birth
+        Employee: pay_rate, hrs_worked
+        Person:   SSN   # trailing comment
+    "#;
+
+    #[test]
+    fn batch_derives_every_request() {
+        let s = fixture("batch_s", FIG1);
+        let r = fixture("batch_r", FIG1_BATCH);
+        let out = run_ok(&["batch", s.to_str().unwrap(), r.to_str().unwrap()]);
+        assert!(out.contains("#0 Π_{SSN, date_of_birth}(Employee)"), "{out}");
+        assert!(out.contains("#2 Π_{SSN}(Person)"), "{out}");
+        assert!(out.contains("3 requests, 3 ok, 0 errors"), "{out}");
+        assert!(out.contains("invariants hold"), "{out}");
+        assert!(out.contains("wall"), "{out}");
+        // An explicit thread count is accepted and reported.
+        let out = run_ok(&["batch", s.to_str().unwrap(), r.to_str().unwrap(), "2"]);
+        assert!(out.contains("over 2 threads"), "{out}");
+    }
+
+    #[test]
+    fn batch_reports_per_request_errors() {
+        let s = fixture("batch_err_s", FIG1);
+        // pay_rate is not available at Person: resolves, then fails in
+        // the pipeline — a per-request error, not a parse error.
+        let r = fixture("batch_err_r", "Person: pay_rate\nEmployee: SSN\n");
+        let e = run_err(&["batch", s.to_str().unwrap(), r.to_str().unwrap()]);
+        assert!(e.message.contains("→ error:"), "{}", e.message);
+        assert!(
+            e.message.contains("2 requests, 1 ok, 1 errors"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn batch_rejects_malformed_input() {
+        let s = fixture("batch_bad_s", FIG1);
+        let r = fixture("batch_bad_r", "Employee SSN\n");
+        let e = run_err(&["batch", s.to_str().unwrap(), r.to_str().unwrap()]);
+        assert!(e.message.contains("line 1"), "{}", e.message);
+        let r = fixture("batch_bad_r2", "Nope: SSN\n");
+        let e = run_err(&["batch", s.to_str().unwrap(), r.to_str().unwrap()]);
+        assert!(e.message.contains("unknown type name"), "{}", e.message);
+        let e = run_err(&["batch", s.to_str().unwrap(), r.to_str().unwrap(), "zero?"]);
+        assert!(e.message.contains("not a thread count"), "{}", e.message);
     }
 
     #[test]

@@ -77,6 +77,6 @@ pub use explain::{explain, Explanation};
 pub use invariants::{InvariantReport, Violation};
 pub use minimize::{minimize_surrogates, MinimizeOutcome};
 pub use oracle::applicability_fixpoint;
-pub use projection::{project, project_named, Derivation, ProjectionOptions};
+pub use projection::{project, project_named, Derivation, ProjectionOptions, StageTimings};
 pub use surrogates::{SurrogateKind, SurrogateRegistry};
 pub use unproject::unproject;

@@ -18,6 +18,7 @@
 //! to reproduce the paper's Examples 1–4 verbatim.
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
 use td_model::{AttrId, MethodId, Schema, TypeId};
 
 use crate::applicability::{compute_applicability, Applicability};
@@ -62,6 +63,72 @@ impl ProjectionOptions {
     }
 }
 
+/// Wall-clock cost of each pipeline stage of one [`project`] run.
+///
+/// Always recorded (seven `Instant` reads per derivation — noise next to
+/// any stage). The batch engine (`td-driver`) sums these across requests
+/// to show where a fleet of derivations spends its time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// `IsApplicable` (§4.1).
+    pub applicability: Duration,
+    /// `FactorState` (§5.1).
+    pub factor_state: Duration,
+    /// Def-use collection and `Y`/`Z` computation (§6.4).
+    pub flow_analysis: Duration,
+    /// `Augment` (§6.4).
+    pub augment: Duration,
+    /// `FactorMethods` (§6.1).
+    pub factor_methods: Duration,
+    /// Body and result re-typing (§6.3).
+    pub retype: Duration,
+    /// Invariant checking I1–I5 (zero when disabled).
+    pub invariants: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.applicability
+            + self.factor_state
+            + self.flow_analysis
+            + self.augment
+            + self.factor_methods
+            + self.retype
+            + self.invariants
+    }
+
+    /// Adds another run's timings stage by stage (batch rollups).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.applicability += other.applicability;
+        self.factor_state += other.factor_state;
+        self.flow_analysis += other.flow_analysis;
+        self.augment += other.augment;
+        self.factor_methods += other.factor_methods;
+        self.retype += other.retype;
+        self.invariants += other.invariants;
+    }
+}
+
+impl std::fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        write!(
+            f,
+            "applicability {:.0}µs, factor-state {:.0}µs, flow {:.0}µs, \
+             augment {:.0}µs, factor-methods {:.0}µs, retype {:.0}µs, \
+             invariants {:.0}µs",
+            us(self.applicability),
+            us(self.factor_state),
+            us(self.flow_analysis),
+            us(self.augment),
+            us(self.factor_methods),
+            us(self.retype),
+            us(self.invariants),
+        )
+    }
+}
+
 /// Everything a projection derivation produced.
 #[derive(Debug, Clone)]
 pub struct Derivation {
@@ -87,6 +154,8 @@ pub struct Derivation {
     pub retypes: RetypeOutcome,
     /// Invariant report (`None` when checking was disabled).
     pub invariants: Option<InvariantReport>,
+    /// Wall-clock cost of each pipeline stage.
+    pub stage_times: StageTimings,
 }
 
 impl Derivation {
@@ -170,13 +239,23 @@ pub fn project(
         None
     };
 
+    let mut stage_times = StageTimings::default();
+    let mut stage_clock = Instant::now();
+    let mut stage_done = |slot: &mut Duration| {
+        let now = Instant::now();
+        *slot = now - stage_clock;
+        stage_clock = now;
+    };
+
     // -- 1. behavior inference (§4) ----------------------------------------
     let applicability = compute_applicability(schema, source, projection, opts.record_trace)?;
+    stage_done(&mut stage_times.applicability);
 
     // -- 2. state factorization (§5) ----------------------------------------
     let mut registry = SurrogateRegistry::new();
     let mut fs_outcome = FactorStateOutcome::default();
     let derived = factor_state(schema, &mut registry, projection, source, &mut fs_outcome)?;
+    stage_done(&mut stage_times.factor_state);
 
     // -- 3. definition-use analysis (§6.4), before signatures change --------
     let edges = collect_flow_edges(schema, &applicability.applicable);
@@ -206,9 +285,11 @@ pub fn project(
     let x_converted: BTreeSet<TypeId> = x.union(&coverage).copied().collect();
     let (_y, mut z) = compute_y_and_z(&edges, &x_converted);
     z.extend(coverage.iter().copied());
+    stage_done(&mut stage_times.flow_analysis);
 
     // -- 4. hierarchy augmentation (§6.4) ------------------------------------
     let augment_created = augment(schema, &mut registry, source, &z)?;
+    stage_done(&mut stage_times.augment);
 
     // -- 5. method factorization (§6.1) --------------------------------------
     let signature_changes = factor_methods(schema, &registry, source, &applicability.applicable);
@@ -216,13 +297,18 @@ pub fn project(
     for (m, old, _) in &signature_changes {
         converted.insert(*m, converted_positions(schema, &registry, source, old));
     }
+    stage_done(&mut stage_times.factor_methods);
 
     // -- 6. body re-typing (§6.3) --------------------------------------------
     let retypes = retype_bodies(schema, &registry, &converted)?;
+    stage_done(&mut stage_times.retype);
 
     // -- 7. invariants --------------------------------------------------------
     let invariants = before
         .map(|b| check_invariants(&b, schema, derived, projection, &applicability.applicable));
+    if invariants.is_some() {
+        stage_done(&mut stage_times.invariants);
+    }
 
     Ok(Derivation {
         source,
@@ -236,6 +322,7 @@ pub fn project(
         z_types: z,
         retypes,
         invariants,
+        stage_times,
     })
 }
 
@@ -428,6 +515,36 @@ mod tests {
         assert_eq!(d.not_applicable(), &[]);
         assert_eq!(d.applicable().len(), d.applicability.universe.len());
         assert!(d.invariants_ok(), "{:#?}", d.invariants);
+    }
+
+    #[test]
+    fn stage_timings_are_recorded() {
+        let mut s = fig1_schema();
+        let d = project_named(
+            &mut s,
+            "Employee",
+            &["SSN", "date_of_birth", "pay_rate"],
+            &ProjectionOptions::default(),
+        )
+        .unwrap();
+        assert!(d.stage_times.total() > Duration::ZERO);
+        assert!(d.stage_times.invariants > Duration::ZERO);
+        let mut sum = StageTimings::default();
+        sum.accumulate(&d.stage_times);
+        sum.accumulate(&d.stage_times);
+        assert_eq!(sum.total(), d.stage_times.total() * 2);
+        assert!(d.stage_times.to_string().contains("applicability"));
+
+        // With checking disabled the invariants stage costs nothing.
+        let mut s = fig1_schema();
+        let d = project_named(
+            &mut s,
+            "Employee",
+            &["SSN", "date_of_birth", "pay_rate"],
+            &ProjectionOptions::fast(),
+        )
+        .unwrap();
+        assert_eq!(d.stage_times.invariants, Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! # td-driver — the parallel batch derivation engine
+//!
+//! The paper's algorithms derive **one** view type at a time; a
+//! production deployment derives *fleets* of them — rebuilding every
+//! materialized view after a schema migration, serving per-tenant view
+//! families, or sweeping a workload generator in the benchmarks. This
+//! crate turns the single-shot `td_core::project` pipeline into a bulk
+//! engine:
+//!
+//! * the base [`Schema`] is frozen once into a copy-on-write
+//!   [`SchemaSnapshot`] — every worker shares the same read-only schema
+//!   (and its warm dispatch cache) and takes a private fork only for the
+//!   mutating derivation itself;
+//! * requests fan out over `std::thread::scope` workers pulling indices
+//!   from a shared atomic cursor (no per-request thread spawn, no
+//!   channels, no external dependencies);
+//! * every request runs the full pipeline in isolation — projection →
+//!   applicability → factor-state → factor-methods → invariant check —
+//!   so one request's failure or invariant violation cannot poison its
+//!   siblings;
+//! * results merge deterministically in request order: the output for N
+//!   worker threads is byte-identical to the sequential run
+//!   ([`BatchOutcome::render`] is the canonical comparison form).
+//!
+//! ```
+//! use td_model::Schema;
+//! use td_driver::{BatchDeriver, BatchRequest};
+//!
+//! let mut s = Schema::new();
+//! let person = s.add_type("Person", &[]).unwrap();
+//! for name in ["SSN", "name"] {
+//!     let a = s.add_attr(name, td_model::ValueType::INT, person).unwrap();
+//!     s.add_accessors(a).unwrap();
+//! }
+//! let requests = vec![
+//!     BatchRequest::by_names(&s, "Person", &["SSN"]).unwrap(),
+//!     BatchRequest::by_names(&s, "Person", &["name"]).unwrap(),
+//! ];
+//! let outcome = BatchDeriver::new(&s).threads(2).run(&requests);
+//! assert!(outcome.all_ok());
+//! assert_eq!(outcome.results.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use td_core::{project, CoreError, Derivation, ProjectionOptions, StageTimings};
+use td_model::{AttrId, DispatchCacheStats, ModelError, Schema, SchemaSnapshot, TypeId};
+
+/// One projection request: derive `Π_projection(source)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The projection's source type.
+    pub source: TypeId,
+    /// The attributes the view keeps.
+    pub projection: BTreeSet<AttrId>,
+}
+
+impl BatchRequest {
+    /// Builds a request from ids.
+    pub fn new(source: TypeId, projection: BTreeSet<AttrId>) -> BatchRequest {
+        BatchRequest { source, projection }
+    }
+
+    /// Resolves a request from a type name and attribute names.
+    pub fn by_names(
+        schema: &Schema,
+        source: &str,
+        attrs: &[&str],
+    ) -> td_model::Result<BatchRequest> {
+        let source = schema.type_id(source)?;
+        let projection = attrs
+            .iter()
+            .map(|n| schema.attr_id(n))
+            .collect::<td_model::Result<_>>()?;
+        Ok(BatchRequest { source, projection })
+    }
+
+    /// `Π_{a, b}(T)` rendering against the base schema.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let attrs = self
+            .projection
+            .iter()
+            .map(|&a| {
+                if a.index() < schema.n_attrs() {
+                    schema.attr(a).name.clone()
+                } else {
+                    a.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let source = if schema.is_live(self.source) {
+            schema.type_name(self.source).to_string()
+        } else {
+            self.source.to_string()
+        };
+        format!("Π_{{{attrs}}}({source})")
+    }
+}
+
+impl From<(TypeId, BTreeSet<AttrId>)> for BatchRequest {
+    fn from((source, projection): (TypeId, BTreeSet<AttrId>)) -> Self {
+        BatchRequest { source, projection }
+    }
+}
+
+/// The outcome of one request within a batch.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Position of the request in the submitted list.
+    pub index: usize,
+    /// The request itself.
+    pub request: BatchRequest,
+    /// The derivation record, or the pipeline error.
+    pub result: Result<Derivation, CoreError>,
+    /// The refactored fork of the schema (`Some` on success) — callers
+    /// use it to resolve surrogate names or materialize the view.
+    pub schema: Option<Schema>,
+    /// Dispatch-cache activity attributable to this request alone (the
+    /// fork's final counters minus the snapshot's counters at fork time).
+    pub cache: DispatchCacheStats,
+    /// Wall-clock time this request spent on its worker.
+    pub duration: Duration,
+}
+
+impl RequestOutcome {
+    /// True when the derivation succeeded.
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// True when invariants were checked and all hold (false on error or
+    /// when checking was disabled).
+    pub fn invariants_ok(&self) -> bool {
+        self.result
+            .as_ref()
+            .map(|d| d.invariants_ok())
+            .unwrap_or(false)
+    }
+
+    /// One deterministic report line (no timings), in terms of the base
+    /// schema the batch ran against.
+    fn render_line(&self, base: &Schema) -> String {
+        let head = format!("#{} {}", self.index, self.request.describe(base));
+        match &self.result {
+            Ok(d) => {
+                let invariants = match &d.invariants {
+                    Some(r) if r.ok() => ", invariants hold",
+                    Some(_) => ", INVARIANTS VIOLATED",
+                    None => "",
+                };
+                let derived = self
+                    .schema
+                    .as_ref()
+                    .map(|s| s.type_name(d.derived).to_string())
+                    .unwrap_or_else(|| d.derived.to_string());
+                format!(
+                    "{head} → {derived}: {} applicable, {} not, {} surrogates{invariants}",
+                    d.applicable().len(),
+                    d.not_applicable().len(),
+                    d.factor_surrogates.len() + d.augment_surrogates.len(),
+                )
+            }
+            Err(e) => format!("{head} → error: {e}"),
+        }
+    }
+}
+
+/// Aggregate statistics for one batch run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests that derived successfully.
+    pub succeeded: usize,
+    /// Requests that failed with a pipeline error.
+    pub failed: usize,
+    /// Successful requests whose invariant report found a violation.
+    pub invariant_violations: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of [`BatchDeriver::run`].
+    pub wall_clock: Duration,
+    /// Sum of per-request worker time (≈ CPU time; exceeds `wall_clock`
+    /// when threads run in parallel).
+    pub cpu_time: Duration,
+    /// Per-stage timings summed across all successful requests.
+    pub stages: StageTimings,
+    /// Dispatch-cache hit/miss rollup summed across requests.
+    pub cache: DispatchCacheStats,
+}
+
+impl std::fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        writeln!(
+            f,
+            "batch: {} requests over {} threads — {} ok, {} errors, {} invariant violations",
+            self.requests, self.threads, self.succeeded, self.failed, self.invariant_violations
+        )?;
+        writeln!(
+            f,
+            "time:  wall {:.2}ms, cpu {:.2}ms ({:.2}× utilization)",
+            ms(self.wall_clock),
+            ms(self.cpu_time),
+            self.cpu_time.as_secs_f64() / self.wall_clock.as_secs_f64().max(1e-9)
+        )?;
+        writeln!(f, "stages: {}", self.stages)?;
+        write!(
+            f,
+            "cache: cpl {}/{} hits, dispatch {}/{} hits",
+            self.cache.cpl_hits,
+            self.cache.cpl_hits + self.cache.cpl_misses,
+            self.cache.dispatch_hits,
+            self.cache.dispatch_hits + self.cache.dispatch_misses
+        )
+    }
+}
+
+/// Everything a batch run produced: per-request outcomes in submission
+/// order plus aggregate stats.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One outcome per request, ordered by request index.
+    pub results: Vec<RequestOutcome>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+impl BatchOutcome {
+    /// True when every request derived successfully.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.ok())
+    }
+
+    /// The canonical deterministic report: one line per request, in
+    /// request order, with no timing data. Two runs of the same batch
+    /// over the same base schema render identically regardless of thread
+    /// count — this is the byte-comparison form the concurrency tests
+    /// (and the determinism guarantee in DESIGN.md) rely on.
+    pub fn render(&self, base: &Schema) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.render_line(base));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "batch: {} requests, {} ok, {} errors, {} invariant violations\n",
+            self.stats.requests,
+            self.stats.succeeded,
+            self.stats.failed,
+            self.stats.invariant_violations
+        ));
+        out
+    }
+}
+
+/// The parallel batch derivation engine.
+///
+/// Construction freezes a copy-on-write snapshot of the base schema;
+/// [`run`](BatchDeriver::run) fans requests out over scoped worker
+/// threads, each deriving on a private fork, and merges the outcomes in
+/// request order. See the crate docs for the full contract.
+#[derive(Debug, Clone)]
+pub struct BatchDeriver {
+    snapshot: SchemaSnapshot,
+    threads: usize,
+    options: ProjectionOptions,
+}
+
+impl BatchDeriver {
+    /// Snapshots `schema` and configures default parallelism (the
+    /// machine's available cores) and default [`ProjectionOptions`]
+    /// (invariant checking on).
+    pub fn new(schema: &Schema) -> BatchDeriver {
+        BatchDeriver::from_snapshot(schema.snapshot())
+    }
+
+    /// Builds the engine around an existing snapshot (no extra clone).
+    pub fn from_snapshot(snapshot: SchemaSnapshot) -> BatchDeriver {
+        BatchDeriver {
+            snapshot,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            options: ProjectionOptions::default(),
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1; threads beyond the
+    /// request count stay idle). `threads(1)` is the sequential
+    /// reference run.
+    pub fn threads(mut self, threads: usize) -> BatchDeriver {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-request projection options.
+    pub fn options(mut self, options: ProjectionOptions) -> BatchDeriver {
+        self.options = options;
+        self
+    }
+
+    /// The shared snapshot the engine derives against.
+    pub fn snapshot(&self) -> &SchemaSnapshot {
+        &self.snapshot
+    }
+
+    /// Pre-warms the snapshot's shared CPL memo by linearizing every
+    /// live type once. Every fork taken afterwards starts with the warm
+    /// entries instead of recomputing them per request.
+    pub fn warm(&self) {
+        for t in self.snapshot.live_type_ids() {
+            // Cycles in a malformed hierarchy surface as errors later,
+            // during derivation; warming must not fail the batch.
+            let _ = self.snapshot.cpl(t);
+        }
+    }
+
+    /// Runs the batch: every request is derived exactly once, in
+    /// isolation, and the outcomes are returned in request order.
+    pub fn run(&self, requests: &[BatchRequest]) -> BatchOutcome {
+        let started = Instant::now();
+        let n = requests.len();
+        let threads = self.threads.min(n.max(1));
+        let cursor = AtomicUsize::new(0);
+
+        let per_worker: Vec<Vec<RequestOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push(self.run_one(i, &requests[i]));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: slot every outcome at its request index.
+        let mut slots: Vec<Option<RequestOutcome>> = (0..n).map(|_| None).collect();
+        for outcome in per_worker.into_iter().flatten() {
+            let i = outcome.index;
+            debug_assert!(slots[i].is_none(), "request {i} processed twice");
+            slots[i] = Some(outcome);
+        }
+        let results: Vec<RequestOutcome> = slots
+            .into_iter()
+            .map(|s| s.expect("work queue covered every request"))
+            .collect();
+
+        let mut stats = BatchStats {
+            requests: n,
+            threads,
+            wall_clock: started.elapsed(),
+            ..BatchStats::default()
+        };
+        for r in &results {
+            stats.cpu_time += r.duration;
+            stats.cache = stats.cache.merge(&r.cache);
+            match &r.result {
+                Ok(d) => {
+                    stats.succeeded += 1;
+                    stats.stages.accumulate(&d.stage_times);
+                    if matches!(&d.invariants, Some(rep) if !rep.ok()) {
+                        stats.invariant_violations += 1;
+                    }
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        BatchOutcome { results, stats }
+    }
+
+    /// Validates a request's ids against the snapshot, so malformed
+    /// requests become per-request errors instead of worker panics.
+    fn validate(&self, request: &BatchRequest) -> Result<(), CoreError> {
+        if !self.snapshot.is_live(request.source) {
+            return Err(CoreError::Model(ModelError::BadTypeId(request.source)));
+        }
+        for &a in &request.projection {
+            if a.index() >= self.snapshot.n_attrs() {
+                return Err(CoreError::Model(ModelError::BadAttrId(a)));
+            }
+        }
+        Ok(())
+    }
+
+    fn run_one(&self, index: usize, request: &BatchRequest) -> RequestOutcome {
+        let started = Instant::now();
+        if let Err(e) = self.validate(request) {
+            return RequestOutcome {
+                index,
+                request: request.clone(),
+                result: Err(e),
+                schema: None,
+                cache: DispatchCacheStats::default(),
+                duration: started.elapsed(),
+            };
+        }
+        let mut fork = self.snapshot.fork();
+        let at_fork = fork.dispatch_cache_stats();
+        let result = project(
+            &mut fork,
+            request.source,
+            &request.projection,
+            &self.options,
+        );
+        let cache = fork.dispatch_cache_stats().delta(&at_fork);
+        let schema = result.is_ok().then_some(fork);
+        RequestOutcome {
+            index,
+            request: request.clone(),
+            result,
+            schema,
+            cache,
+            duration: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::ValueType;
+
+    /// Person <- Employee with accessors and one computed method, enough
+    /// to exercise applicability and factoring.
+    fn base_schema() -> Schema {
+        use td_model::{BodyBuilder, Expr, MethodKind, Specializer};
+        let mut s = Schema::new();
+        let person = s.add_type("Person", &[]).unwrap();
+        let employee = s.add_type("Employee", &[person]).unwrap();
+        for (name, owner) in [
+            ("SSN", person),
+            ("date_of_birth", person),
+            ("pay_rate", employee),
+        ] {
+            let a = s.add_attr(name, ValueType::INT, owner).unwrap();
+            s.add_accessors(a).unwrap();
+        }
+        let get_dob = s.gf_id("get_date_of_birth").unwrap();
+        let age = s.add_gf("age", 1, Some(ValueType::INT)).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.ret(Expr::call(get_dob, vec![Expr::Param(0)]));
+        s.add_method(
+            age,
+            "age",
+            vec![Specializer::Type(person)],
+            MethodKind::General(bb.finish()),
+            Some(ValueType::INT),
+        )
+        .unwrap();
+        s
+    }
+
+    fn requests(s: &Schema) -> Vec<BatchRequest> {
+        vec![
+            BatchRequest::by_names(s, "Employee", &["SSN", "date_of_birth"]).unwrap(),
+            BatchRequest::by_names(s, "Employee", &["pay_rate"]).unwrap(),
+            BatchRequest::by_names(s, "Person", &["SSN"]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn batch_derives_every_request_in_order() {
+        let s = base_schema();
+        let outcome = BatchDeriver::new(&s).threads(3).run(&requests(&s));
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.stats.succeeded, 3);
+        assert_eq!(outcome.stats.failed, 0);
+        assert_eq!(outcome.stats.invariant_violations, 0);
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!(r.invariants_ok());
+            assert!(r.schema.is_some());
+            assert!(r.duration > Duration::ZERO);
+        }
+        // Requests ran in isolation: the base schema is untouched.
+        assert_eq!(s.n_types(), 2);
+        // Each successful fork contains its own derived surrogate.
+        let d0 = outcome.results[0].result.as_ref().unwrap();
+        let fork0 = outcome.results[0].schema.as_ref().unwrap();
+        assert_eq!(fork0.type_name(d0.derived), "^Employee");
+    }
+
+    #[test]
+    fn bad_requests_become_per_request_errors() {
+        let s = base_schema();
+        let mut reqs = requests(&s);
+        // Unavailable attribute (pay_rate is not available at Person).
+        reqs.push(BatchRequest {
+            source: s.type_id("Person").unwrap(),
+            projection: [s.attr_id("pay_rate").unwrap()].into_iter().collect(),
+        });
+        // Out-of-range ids must not panic a worker.
+        reqs.push(BatchRequest {
+            source: TypeId::from_index(999),
+            projection: BTreeSet::new(),
+        });
+        reqs.push(BatchRequest {
+            source: s.type_id("Person").unwrap(),
+            projection: [AttrId::from_index(999)].into_iter().collect(),
+        });
+        let outcome = BatchDeriver::new(&s).threads(2).run(&reqs);
+        assert_eq!(outcome.stats.succeeded, 3);
+        assert_eq!(outcome.stats.failed, 3);
+        assert!(!outcome.all_ok());
+        assert!(outcome.results[3].result.is_err());
+        assert!(outcome.results[4].result.is_err());
+        assert!(outcome.results[5].result.is_err());
+        // The deterministic report names each failure.
+        let report = outcome.render(&s);
+        assert_eq!(report.matches("→ error:").count(), 3);
+        assert!(report.contains("6 requests, 3 ok, 3 errors"));
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_the_report() {
+        let s = base_schema();
+        let reqs = requests(&s);
+        let sequential = BatchDeriver::new(&s).threads(1).run(&reqs).render(&s);
+        for threads in [2, 3, 8] {
+            let parallel = BatchDeriver::new(&s).threads(threads).run(&reqs).render(&s);
+            assert_eq!(sequential, parallel, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let s = base_schema();
+        let outcome = BatchDeriver::new(&s).run(&[]);
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.stats.requests, 0);
+        assert!(outcome.render(&s).contains("0 requests"));
+    }
+
+    #[test]
+    fn warm_populates_the_shared_snapshot() {
+        let s = base_schema();
+        let deriver = BatchDeriver::new(&s);
+        assert_eq!(deriver.snapshot().dispatch_cache_stats().cpl_entries, 0);
+        deriver.warm();
+        assert!(deriver.snapshot().dispatch_cache_stats().cpl_entries > 0);
+        // Forks taken after warming carry the entries.
+        assert!(deriver.snapshot().fork().dispatch_cache_stats().cpl_entries > 0);
+    }
+
+    #[test]
+    fn stats_roll_up_stage_times_and_cache_counters() {
+        let s = base_schema();
+        let outcome = BatchDeriver::new(&s).threads(1).run(&requests(&s));
+        assert!(outcome.stats.stages.total() > Duration::ZERO);
+        assert!(outcome.stats.cpu_time >= outcome.stats.stages.total());
+        assert!(outcome.stats.wall_clock > Duration::ZERO);
+        // The invariant replay dispatches plenty; the rollup must see it.
+        assert!(outcome.stats.cache.dispatch_hits + outcome.stats.cache.dispatch_misses > 0);
+        let text = outcome.stats.to_string();
+        assert!(text.contains("3 requests"));
+        assert!(text.contains("stages:"));
+        assert!(text.contains("cache:"));
+    }
+}

@@ -171,7 +171,7 @@ impl Schema {
 
     /// The methods of `gf` applicable to the call, ranked most-specific
     /// first by left-to-right argument CPL comparison (with surrogate
-    /// collapse — see [`Schema::collapsed_ranks`]'s source). Ties keep
+    /// collapse — see `Schema::collapsed_ranks`'s source). Ties keep
     /// definition order. Served from the dispatch cache.
     pub fn rank_applicable(&self, gf: GfId, args: &[CallArg]) -> Result<Vec<MethodId>> {
         Ok(self.cached_ranked(gf, args)?.as_ref().clone())

@@ -72,6 +72,6 @@ pub use hierarchy::{SuperLink, TypeNode, TypeOrigin};
 pub use ids::{AttrId, GfId, MethodId, TypeId, VarId};
 pub use index::SubtypeIndex;
 pub use methods::{GenericFunction, Method, MethodKind, Specializer};
-pub use schema::Schema;
+pub use schema::{Schema, SchemaSnapshot};
 pub use stats::{DispatchCacheStats, SchemaStats};
 pub use text::{parse_schema, schema_to_text, TextError};

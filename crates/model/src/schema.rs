@@ -12,6 +12,8 @@ use crate::hierarchy::{TypeNode, TypeOrigin};
 use crate::ids::{AttrId, GfId, MethodId, TypeId};
 use crate::methods::{GenericFunction, Method, MethodKind, Specializer};
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// An object-oriented schema per §2 of the paper: a DAG of types with
 /// precedence-ordered multiple inheritance, globally unique named
@@ -444,6 +446,79 @@ impl Schema {
         self.add_writer(attr, owner)?;
         Ok(())
     }
+
+    // ------------------------------------------------------------ snapshots
+
+    /// Freezes a copy-on-write snapshot of this schema (one deep clone;
+    /// every [`SchemaSnapshot::clone`] after that is a pointer bump).
+    pub fn snapshot(&self) -> SchemaSnapshot {
+        SchemaSnapshot {
+            inner: Arc::new(self.clone()),
+        }
+    }
+
+    /// Freezes this schema into a snapshot without cloning it.
+    pub fn into_snapshot(self) -> SchemaSnapshot {
+        SchemaSnapshot {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// A cheap copy-on-write snapshot of a [`Schema`], shareable across
+/// threads.
+///
+/// Read paths (`&Schema`) borrow the one shared schema — including its
+/// dispatch-acceleration cache, so lookups any holder performs warm the
+/// cache for every other holder of the same snapshot (the cache sits
+/// behind a `Mutex` and is keyed by the generation counter, which no one
+/// can bump through a snapshot because mutation requires `&mut Schema`).
+/// Write paths must first [`fork`](SchemaSnapshot::fork) a private deep
+/// copy; the fork carries the warm cache entries along, and its
+/// mutations are invisible to the snapshot and to sibling forks.
+///
+/// This is the isolation primitive of the batch derivation engine
+/// (`td-driver`): one snapshot of the base schema is shared read-only by
+/// every worker, and each derivation runs on its own fork.
+#[derive(Debug, Clone)]
+pub struct SchemaSnapshot {
+    inner: Arc<Schema>,
+}
+
+impl SchemaSnapshot {
+    /// The shared, read-only schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.inner
+    }
+
+    /// A private deep copy for mutation (the copy-on-write "write" step).
+    /// The fork starts from the snapshot's exact state, warm cache
+    /// entries included.
+    pub fn fork(&self) -> Schema {
+        (*self.inner).clone()
+    }
+
+    /// Number of live handles to the shared schema (snapshot clones, not
+    /// forks). Diagnostic only.
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl Deref for SchemaSnapshot {
+    type Target = Schema;
+
+    #[inline]
+    fn deref(&self) -> &Schema {
+        &self.inner
+    }
+}
+
+impl From<Schema> for SchemaSnapshot {
+    fn from(schema: Schema) -> Self {
+        schema.into_snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -557,5 +632,50 @@ mod tests {
         s.add_attr("x", ValueType::INT, a).unwrap();
         assert_eq!(snapshot.n_attrs(), 0);
         assert_eq!(s.n_attrs(), 1);
+    }
+
+    #[test]
+    fn snapshot_clones_share_one_schema() {
+        let mut s = Schema::new();
+        s.add_type("A", &[]).unwrap();
+        let snap = s.snapshot();
+        let other = snap.clone();
+        assert_eq!(snap.handles(), 2);
+        // Both handles observe the same underlying allocation.
+        assert!(std::ptr::eq(snap.schema(), other.schema()));
+        drop(other);
+        assert_eq!(snap.handles(), 1);
+    }
+
+    #[test]
+    fn forks_are_isolated_from_snapshot_and_siblings() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let snap = s.into_snapshot();
+        let mut fork1 = snap.fork();
+        let mut fork2 = snap.fork();
+        fork1.add_attr("x", ValueType::INT, a).unwrap();
+        fork2.add_attr("y", ValueType::STR, a).unwrap();
+        assert_eq!(snap.n_attrs(), 0);
+        assert_eq!(fork1.n_attrs(), 1);
+        assert_eq!(fork2.n_attrs(), 1);
+        assert!(fork1.attr_id("y").is_err());
+        assert!(fork2.attr_id("x").is_err());
+    }
+
+    #[test]
+    fn snapshot_reads_warm_the_shared_cache() {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let snap = s.into_snapshot();
+        let other = snap.clone();
+        snap.cpl(b).unwrap();
+        // The sibling handle sees the entry the first handle populated.
+        let stats = other.dispatch_cache_stats();
+        assert!(stats.cpl_entries > 0, "{stats:?}");
+        // Forks carry the warm entries with them.
+        let fork = other.fork();
+        assert!(fork.dispatch_cache_stats().cpl_entries > 0);
     }
 }

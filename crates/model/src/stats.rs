@@ -107,6 +107,43 @@ pub struct DispatchCacheStats {
     pub dispatch_entries: usize,
 }
 
+impl DispatchCacheStats {
+    /// Counter movement since `baseline` (event counters subtract,
+    /// saturating; `generation` and the resident-entry gauges keep their
+    /// current values). Used by the batch engine to attribute cache
+    /// activity to one derivation: a fork inherits its snapshot's
+    /// counters, so the fork's own work is `final.delta(&at_fork)`.
+    pub fn delta(&self, baseline: &DispatchCacheStats) -> DispatchCacheStats {
+        DispatchCacheStats {
+            generation: self.generation,
+            cpl_hits: self.cpl_hits.saturating_sub(baseline.cpl_hits),
+            cpl_misses: self.cpl_misses.saturating_sub(baseline.cpl_misses),
+            dispatch_hits: self.dispatch_hits.saturating_sub(baseline.dispatch_hits),
+            dispatch_misses: self
+                .dispatch_misses
+                .saturating_sub(baseline.dispatch_misses),
+            invalidations: self.invalidations.saturating_sub(baseline.invalidations),
+            cpl_entries: self.cpl_entries,
+            dispatch_entries: self.dispatch_entries,
+        }
+    }
+
+    /// Event-counter sum (`self + other`), for batch rollups. The
+    /// non-additive fields keep the maximum of the two sides.
+    pub fn merge(&self, other: &DispatchCacheStats) -> DispatchCacheStats {
+        DispatchCacheStats {
+            generation: self.generation.max(other.generation),
+            cpl_hits: self.cpl_hits + other.cpl_hits,
+            cpl_misses: self.cpl_misses + other.cpl_misses,
+            dispatch_hits: self.dispatch_hits + other.dispatch_hits,
+            dispatch_misses: self.dispatch_misses + other.dispatch_misses,
+            invalidations: self.invalidations + other.invalidations,
+            cpl_entries: self.cpl_entries.max(other.cpl_entries),
+            dispatch_entries: self.dispatch_entries.max(other.dispatch_entries),
+        }
+    }
+}
+
 impl fmt::Display for DispatchCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -174,6 +211,44 @@ mod tests {
         let text = st.to_string();
         assert!(text.contains("types: 5"));
         assert!(text.contains("accessors"));
+    }
+
+    #[test]
+    fn cache_stats_delta_and_merge() {
+        let a = DispatchCacheStats {
+            generation: 3,
+            cpl_hits: 10,
+            cpl_misses: 4,
+            dispatch_hits: 20,
+            dispatch_misses: 6,
+            invalidations: 1,
+            cpl_entries: 5,
+            dispatch_entries: 7,
+        };
+        let b = DispatchCacheStats {
+            generation: 2,
+            cpl_hits: 7,
+            cpl_misses: 4,
+            dispatch_hits: 5,
+            dispatch_misses: 1,
+            invalidations: 0,
+            cpl_entries: 2,
+            dispatch_entries: 3,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.cpl_hits, 3);
+        assert_eq!(d.cpl_misses, 0);
+        assert_eq!(d.dispatch_hits, 15);
+        assert_eq!(d.dispatch_misses, 5);
+        assert_eq!(d.generation, 3);
+        assert_eq!(d.cpl_entries, 5);
+        // delta saturates rather than underflowing.
+        assert_eq!(b.delta(&a).cpl_hits, 0);
+        let m = a.merge(&b);
+        assert_eq!(m.cpl_hits, 17);
+        assert_eq!(m.dispatch_misses, 7);
+        assert_eq!(m.generation, 3);
+        assert_eq!(m.dispatch_entries, 7);
     }
 
     #[test]

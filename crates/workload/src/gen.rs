@@ -226,6 +226,46 @@ pub fn random_projection(
     kept
 }
 
+/// Generates a deterministic batch of projection requests over `s`: each
+/// request is a live source type with at least one available attribute,
+/// paired with a pseudo-random projection keeping roughly
+/// `keep_fraction` of its attributes. Sources are drawn with replacement
+/// biased toward deeper types (more ancestors ⇒ more factoring work), so
+/// a batch exercises the whole pipeline rather than trivial roots.
+///
+/// This is the workload behind the batch derivation engine's benches and
+/// the `tdv batch` scenario; determinism (given `seed`) is what lets the
+/// 1-thread and N-thread runs be compared byte for byte.
+pub fn batch_requests(
+    s: &Schema,
+    n_requests: usize,
+    keep_fraction: f64,
+    seed: u64,
+) -> Vec<(TypeId, BTreeSet<AttrId>)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Candidate sources, each repeated once per ancestor so deep types
+    // are proportionally more likely.
+    let mut weighted: Vec<TypeId> = Vec::new();
+    for t in s.live_type_ids() {
+        if s.cumulative_attrs(t).is_empty() {
+            continue;
+        }
+        for _ in 0..=s.ancestors(t).len() {
+            weighted.push(t);
+        }
+    }
+    if weighted.is_empty() {
+        return Vec::new();
+    }
+    (0..n_requests)
+        .map(|i| {
+            let source = weighted[rng.gen_range(0..weighted.len())];
+            let projection = random_projection(s, source, keep_fraction, seed ^ (i as u64) << 17);
+            (source, projection)
+        })
+        .collect()
+}
+
 /// A linear chain `T0 <- T1 <- … <- T(n-1)` with one attribute and one
 /// reader per level. Deterministic; used for depth-scaling benches.
 pub fn chain_schema(n: usize) -> Schema {
@@ -404,6 +444,23 @@ mod tests {
         for a in proj {
             assert!(s.attr_available_at(a, src));
         }
+    }
+
+    #[test]
+    fn batch_requests_are_deterministic_and_wellformed() {
+        let s = random_schema(&GenParams::default());
+        let batch = batch_requests(&s, 64, 0.5, 0xBA7C);
+        assert_eq!(batch.len(), 64);
+        for (source, projection) in &batch {
+            assert!(s.is_live(*source));
+            assert!(!projection.is_empty());
+            for &a in projection {
+                assert!(s.attr_available_at(a, *source));
+            }
+        }
+        // Same seed reproduces the batch; a different seed diverges.
+        assert_eq!(batch, batch_requests(&s, 64, 0.5, 0xBA7C));
+        assert_ne!(batch, batch_requests(&s, 64, 0.5, 0xBA7D));
     }
 
     #[test]

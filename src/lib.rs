@@ -32,6 +32,7 @@
 //! |---|---|---|
 //! | [`model`] | `td-model` | the §2 object model: schema, hierarchy, CPLs, multi-methods, body IR, dataflow |
 //! | [`derive`][mod@derive] | `td-core` | the paper's algorithms + invariant checking + surrogate minimization |
+//! | [`driver`] | `td-driver` | parallel batch derivation engine over copy-on-write schema snapshots |
 //! | [`store`] | `td-store` | executable OODB substrate: objects, extents, interpreter, view extents |
 //! | [`algebra`] | `td-algebra` | selection, join, view pipelines (§7 future work) |
 //! | [`baselines`] | `td-baselines` | related-work placement strategies + auditor |
@@ -76,6 +77,7 @@
 pub use td_algebra as algebra;
 pub use td_baselines as baselines;
 pub use td_core as derive;
+pub use td_driver as driver;
 pub use td_model as model;
 pub use td_store as store;
 pub use td_workload as workload;
@@ -84,6 +86,7 @@ pub use td_workload as workload;
 pub mod prelude {
     pub use td_algebra::{join, select, CmpOp, Pipeline, Predicate};
     pub use td_core::{minimize_surrogates, project, project_named, Derivation, ProjectionOptions};
-    pub use td_model::{CallArg, Schema, TypeId, ValueType};
+    pub use td_driver::{BatchDeriver, BatchOutcome, BatchRequest, BatchStats};
+    pub use td_model::{CallArg, Schema, SchemaSnapshot, TypeId, ValueType};
     pub use td_store::{Database, MaterializedView, Value, VirtualView};
 }

@@ -1,0 +1,175 @@
+//! The batch engine's determinism contract: for any thread count, a
+//! `BatchDeriver` run is observationally identical to the sequential one —
+//! same per-request results in request order, same error messages, same
+//! invariant reports, same derived hierarchies. Worker scheduling may
+//! reorder *execution*, never *output*.
+
+use std::collections::BTreeSet;
+use typederive::derive::ProjectionOptions;
+use typederive::driver::{BatchDeriver, BatchRequest};
+use typederive::model::{AttrId, Schema, TypeId};
+use typederive::workload::{batch_requests, random_schema, GenParams};
+
+const THREAD_COUNTS: [usize; 4] = [2, 3, 4, 8];
+
+fn workload_schema(seed: u64) -> Schema {
+    random_schema(&GenParams {
+        n_types: 24,
+        n_gfs: 12,
+        seed,
+        ..GenParams::default()
+    })
+}
+
+fn workload_batch(s: &Schema, n: usize, seed: u64) -> Vec<BatchRequest> {
+    batch_requests(s, n, 0.5, seed)
+        .into_iter()
+        .map(BatchRequest::from)
+        .collect()
+}
+
+/// The full observable surface of an outcome, beyond `render()`: the
+/// derived hierarchy of every successful fork and the exact error text of
+/// every failure, in request order.
+fn deep_fingerprint(base: &Schema, deriver: &BatchDeriver, reqs: &[BatchRequest]) -> String {
+    let outcome = deriver.run(reqs);
+    let mut out = outcome.render(base);
+    for r in &outcome.results {
+        match (&r.result, &r.schema) {
+            (Ok(d), Some(fork)) => {
+                out.push_str(&format!(
+                    "\n--- #{} {} ---\n{}\ninvariants: {:?}\n",
+                    r.index,
+                    fork.type_name(d.derived),
+                    fork.render_hierarchy(),
+                    d.invariants.as_ref().map(|rep| rep.ok()),
+                ));
+            }
+            (Err(e), _) => out.push_str(&format!("\n--- #{} error: {e} ---\n", r.index)),
+            (Ok(_), None) => unreachable!("successful request without a fork schema"),
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_batches_are_byte_identical_to_sequential() {
+    for seed in [1u64, 0xBA7C, 0xFEED] {
+        let s = workload_schema(seed);
+        let reqs = workload_batch(&s, 64, seed);
+        assert!(reqs.len() == 64, "workload generator came up short");
+        let base = BatchDeriver::new(&s).options(ProjectionOptions::fast());
+        let sequential = deep_fingerprint(&s, &base.clone().threads(1), &reqs);
+        for threads in THREAD_COUNTS {
+            let parallel = deep_fingerprint(&s, &base.clone().threads(threads), &reqs);
+            assert_eq!(
+                sequential, parallel,
+                "seed {seed:#x}: {threads}-thread batch diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn error_outcomes_are_deterministic_across_thread_counts() {
+    let s = workload_schema(0xE44);
+    let mut reqs = workload_batch(&s, 16, 0xE44);
+    // Interleave every failure mode the validator and the pipeline can
+    // produce: dead ids, out-of-range ids, an empty projection, and an
+    // attribute that exists but is not available at the source.
+    reqs.insert(
+        3,
+        BatchRequest::new(TypeId::from_index(4096), BTreeSet::new()),
+    );
+    reqs.insert(
+        7,
+        BatchRequest::new(
+            reqs[0].source,
+            [AttrId::from_index(4096)].into_iter().collect(),
+        ),
+    );
+    reqs.insert(11, BatchRequest::new(reqs[0].source, BTreeSet::new()));
+    let unavailable = s.live_type_ids().find_map(|t| {
+        (0..s.n_attrs())
+            .map(AttrId::from_index)
+            .find(|&a| !s.attr_available_at(a, t))
+            .map(|a| (t, a))
+    });
+    if let Some((t, a)) = unavailable {
+        reqs.insert(13, BatchRequest::new(t, [a].into_iter().collect()));
+    }
+
+    let base = BatchDeriver::new(&s).options(ProjectionOptions::fast());
+    let sequential = base.clone().threads(1).run(&reqs);
+    assert!(
+        !sequential.all_ok() && sequential.stats.failed >= 3,
+        "the poisoned batch should produce per-request errors"
+    );
+    assert_eq!(
+        sequential.stats.succeeded + sequential.stats.failed,
+        reqs.len()
+    );
+    let fingerprint = deep_fingerprint(&s, &base.clone().threads(1), &reqs);
+    for threads in THREAD_COUNTS {
+        let parallel = deep_fingerprint(&s, &base.clone().threads(threads), &reqs);
+        assert_eq!(
+            fingerprint, parallel,
+            "{threads}-thread error batch diverged"
+        );
+    }
+}
+
+#[test]
+fn invariant_reports_are_deterministic_across_thread_counts() {
+    // Full invariant checking (I1–I3) is the most expensive and most
+    // stateful stage; its reports must survive parallel execution intact.
+    let s = workload_schema(0x11);
+    let reqs = workload_batch(&s, 24, 0x11);
+    let base = BatchDeriver::new(&s).options(ProjectionOptions::default());
+    let sequential = base.clone().threads(1).run(&reqs);
+    assert!(sequential
+        .results
+        .iter()
+        .filter_map(|r| r.result.as_ref().ok())
+        .all(|d| d.invariants.is_some()));
+    let fingerprint = deep_fingerprint(&s, &base.clone().threads(1), &reqs);
+    for threads in THREAD_COUNTS {
+        let parallel = deep_fingerprint(&s, &base.clone().threads(threads), &reqs);
+        assert_eq!(
+            fingerprint, parallel,
+            "{threads}-thread invariant reports diverged"
+        );
+    }
+}
+
+#[test]
+fn stats_roll_up_consistently_at_any_thread_count() {
+    let s = workload_schema(0x57A7);
+    let reqs = workload_batch(&s, 16, 0x57A7);
+    for threads in [1, 2, 4, 8] {
+        // Full options: the I2 invariant replay is what exercises dispatch,
+        // so it is what makes the per-request cache deltas observable.
+        let deriver = BatchDeriver::new(&s)
+            .options(ProjectionOptions::default())
+            .threads(threads);
+        deriver.warm();
+        let outcome = deriver.run(&reqs);
+        let st = &outcome.stats;
+        assert_eq!(st.requests, reqs.len());
+        assert_eq!(st.succeeded + st.failed, st.requests);
+        assert_eq!(st.threads, threads);
+        assert_eq!(
+            st.succeeded,
+            outcome.results.iter().filter(|r| r.ok()).count()
+        );
+        // Wall-clock covers the span; summed per-request CPU time can only
+        // exceed it through parallelism, never undercut the longest request.
+        let longest = outcome.results.iter().map(|r| r.duration).max().unwrap();
+        assert!(st.wall_clock >= longest);
+        assert!(st.cpu_time >= longest);
+        // The per-request cache deltas add up to real activity against the
+        // shared warmed snapshot: every request that derives anything reads
+        // CPLs, and warmed entries surface as hits somewhere in the batch.
+        assert!(st.cache.cpl_hits + st.cache.cpl_misses > 0);
+    }
+}

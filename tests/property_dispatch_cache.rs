@@ -8,8 +8,11 @@
 
 use proptest::prelude::*;
 use typederive::derive::{project, ProjectionOptions};
+use typederive::driver::{BatchDeriver, BatchRequest};
 use typederive::model::{CallArg, Schema, TypeId};
-use typederive::workload::{deepest_type, random_projection, random_schema, GenParams};
+use typederive::workload::{
+    batch_requests, deepest_type, random_projection, random_schema, GenParams,
+};
 
 fn params_strategy() -> impl Strategy<Value = GenParams> {
     (
@@ -144,5 +147,50 @@ proptest! {
             "derivation must bump the cache generation");
         // Stale entries must not leak into post-mutation answers.
         assert_cache_transparent(&schema)?;
+    }
+
+    #[test]
+    fn shared_snapshot_never_serves_stale_entries_across_a_batch(
+        params in params_strategy(),
+        keep in 0.1f64..1.0,
+        batch_seed in any::<u64>(),
+    ) {
+        // The batch engine's sharing model concentrates the staleness
+        // hazard: N workers read one Mutex-backed cache through a shared
+        // snapshot, every fork inherits those warm entries, and every
+        // derivation then mutates its fork. Neither direction may leak —
+        // forks must not serve pre-mutation answers, and the snapshot must
+        // not absorb any fork's post-mutation state.
+        let schema = random_schema(&params);
+        let requests: Vec<BatchRequest> = batch_requests(&schema, 8, keep, batch_seed)
+            .into_iter()
+            .map(BatchRequest::from)
+            .collect();
+        prop_assume!(!requests.is_empty());
+
+        let deriver = BatchDeriver::new(&schema)
+            .options(ProjectionOptions::fast())
+            .threads(4);
+        deriver.warm();
+        let warm_stats = deriver.snapshot().dispatch_cache_stats();
+        prop_assert!(warm_stats.cpl_entries > 0, "warm() must populate the snapshot");
+        let outcome = deriver.run(&requests);
+
+        // Every successful fork mutated its own copy; its cached answers
+        // must match ground truth despite the inherited warm entries.
+        for r in &outcome.results {
+            if let Some(fork) = &r.schema {
+                prop_assert!(fork.generation() > deriver.snapshot().generation(),
+                    "request #{} derived without bumping its fork's generation", r.index);
+                assert_cache_transparent(fork)?;
+            }
+        }
+        // The shared snapshot saw only reads: same generation, still
+        // transparent, and a rerun reproduces the outcome exactly.
+        prop_assert_eq!(deriver.snapshot().generation(),
+            BatchDeriver::new(&schema).snapshot().generation());
+        assert_cache_transparent(deriver.snapshot())?;
+        prop_assert_eq!(outcome.render(&schema),
+            deriver.run(&requests).render(&schema));
     }
 }
