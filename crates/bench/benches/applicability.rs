@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use td_bench::{call_chain_workload, call_cycle_workload, random_workload};
-use td_core::{applicability_fixpoint, compute_applicability};
+use td_bench::{call_chain_workload, call_cycle_workload, call_heavy_workload, random_workload};
+use td_core::{applicability_fixpoint, compute_applicability, compute_applicability_indexed};
 
 fn bench_call_chain_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("isapplicable/call_chain_depth");
@@ -56,9 +56,56 @@ fn bench_stack_vs_oracle(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_indexed_vs_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isapplicable/indexed_vs_stack");
+    for (name, w) in [
+        ("call_chain_500", call_chain_workload(500)),
+        ("call_heavy", call_heavy_workload(16, 40, 0xC0DE)),
+    ] {
+        // Warm the index once so the indexed rows measure the amortized
+        // per-projection cost (the batch steady state), not the build.
+        w.schema.cached_applicability_index(w.source).unwrap();
+        group.bench_function(format!("{name}/indexed"), |b| {
+            b.iter(|| {
+                compute_applicability_indexed(black_box(&w.schema), w.source, &w.projection, false)
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/stack"), |b| {
+            b.iter(|| {
+                compute_applicability(black_box(&w.schema), w.source, &w.projection, false).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isapplicable/index_warm_vs_cold");
+    let w = call_heavy_workload(16, 40, 0xC0DE);
+    w.schema.cached_applicability_index(w.source).unwrap();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            compute_applicability_indexed(black_box(&w.schema), w.source, &w.projection, false)
+                .unwrap()
+        })
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // Invalidate so every iteration pays the full condensation
+            // build — the first-request cost a batch amortizes away.
+            w.schema.clear_dispatch_cache();
+            compute_applicability_indexed(black_box(&w.schema), w.source, &w.projection, false)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_call_chain_depth, bench_cycle_length, bench_random_methods, bench_stack_vs_oracle
+    targets = bench_call_chain_depth, bench_cycle_length, bench_random_methods,
+        bench_stack_vs_oracle, bench_indexed_vs_stack, bench_index_warm_vs_cold
 }
 criterion_main!(benches);

@@ -83,6 +83,24 @@ pub fn call_chain_workload(depth: usize) -> Workload {
     }
 }
 
+/// A call-heavy workload: deep chains, overlapping cycle rings and
+/// fan-out callers on one type, projecting half the chain attributes.
+/// This is the condensation index's best-case stressor (every call site
+/// is single-candidate, so nothing falls back).
+pub fn call_heavy_workload(chains: usize, depth: usize, seed: u64) -> Workload {
+    let schema = td_workload::call_heavy_schema(chains, depth, 3, 8, seed);
+    let source = schema.type_id("A").expect("A");
+    let projection: BTreeSet<AttrId> = (0..chains)
+        .step_by(2)
+        .map(|i| schema.attr_id(&format!("c{i}_x")).expect("chain attr"))
+        .collect();
+    Workload {
+        schema,
+        source,
+        projection,
+    }
+}
+
 /// A call-cycle workload of the given ring length.
 pub fn call_cycle_workload(len: usize) -> Workload {
     let schema = td_workload::call_cycle_schema(len);
@@ -108,6 +126,7 @@ mod tests {
             ladder_workload(12),
             call_chain_workload(32),
             call_cycle_workload(8),
+            call_heavy_workload(6, 12, 42),
         ] {
             let mut schema = w.schema.clone();
             let d = project(

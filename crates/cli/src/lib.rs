@@ -29,7 +29,7 @@ use td_baselines::{
     audit_all, DerivationStrategy, LocalEdgeStrategy, PaperStrategy, RootPlacementStrategy,
     StandaloneStrategy,
 };
-use td_core::{explain, project, ProjectionOptions};
+use td_core::{explain, project, Engine, ProjectionOptions};
 use td_driver::{BatchDeriver, BatchRequest};
 use td_model::{parse_schema, AttrId, Schema, TypeId};
 use td_store::{parse_objects, Database, Value};
@@ -66,9 +66,9 @@ USAGE:
   tdv check      <schema.td>
   tdv show       <schema.td>
   tdv dot        <schema.td>
-  tdv applicable <schema.td> <Type> <attr,attr,…>
-  tdv project    <schema.td> <Type> <attr,attr,…>
-  tdv batch      <schema.td> <requests.txt> [threads]
+  tdv applicable <schema.td> <Type> <attr,attr,…> [--engine E]
+  tdv project    <schema.td> <Type> <attr,attr,…> [--engine E]
+  tdv batch      <schema.td> <requests.txt> [threads] [--engine E]
   tdv explain    <schema.td> <Type> <attr,attr,…> <method-label>
   tdv audit      <schema.td> <Type> <attr,attr,…>
   tdv extent     <schema.td> <data.td> <Type>
@@ -79,11 +79,39 @@ call arguments: object names from the data file, or literals
 
 batch request files hold one `Type: attr,attr,…` projection per line
 (# starts a comment); threads defaults to the machine's cores.
+
+`applicable`, `project` and `batch` accept --engine {indexed,stack,fixpoint}
+to pick the IsApplicable implementation (default: indexed, the
+condensation-index engine; stack is the paper's §4.1 algorithm; fixpoint
+is the reference oracle). All three classify identically.
 ";
+
+/// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
+/// returning the remaining positional arguments and the chosen engine
+/// (default: [`Engine::Indexed`]).
+fn extract_engine(args: &[String]) -> Result<(Vec<String>, Engine), CliError> {
+    let mut engine = Engine::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--engine=") {
+            engine = name.parse().map_err(fail)?;
+        } else if a == "--engine" {
+            let name = it
+                .next()
+                .ok_or_else(|| fail("--engine: missing value (indexed, stack or fixpoint)"))?;
+            engine = name.parse().map_err(fail)?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, engine))
+}
 
 /// Runs one command. `args` excludes the program name. Returns the text
 /// to print on success.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, engine) = extract_engine(args)?;
     let Some(command) = args.first() else {
         return Err(fail(USAGE));
     };
@@ -110,8 +138,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "applicable" => {
             let schema = load(args.get(1))?;
             let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
-            let r = td_core::compute_applicability(&schema, source, &projection, false)
-                .map_err(|e| fail(e.to_string()))?;
+            let r = match engine {
+                Engine::Indexed => {
+                    td_core::compute_applicability_indexed(&schema, source, &projection, false)
+                }
+                Engine::Stack => {
+                    td_core::compute_applicability(&schema, source, &projection, false)
+                }
+                Engine::Fixpoint => {
+                    td_core::compute_applicability_fixpoint(&schema, source, &projection)
+                }
+            }
+            .map_err(|e| fail(e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -136,13 +174,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "project" => {
             let mut schema = load(args.get(1))?;
             let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
-            let d = project(
-                &mut schema,
-                source,
-                &projection,
-                &ProjectionOptions::default(),
-            )
-            .map_err(|e| fail(e.to_string()))?;
+            let opts = ProjectionOptions {
+                engine,
+                ..ProjectionOptions::default()
+            };
+            let d = project(&mut schema, source, &projection, &opts)
+                .map_err(|e| fail(e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(out, "{}", d.summary(&schema));
             let _ = writeln!(out, "{}", schema.render_hierarchy());
@@ -170,7 +207,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
             let requests =
                 parse_batch_requests(&schema, &src).map_err(|e| fail(format!("{path}: {e}")))?;
-            let mut deriver = BatchDeriver::new(&schema);
+            let mut deriver = BatchDeriver::new(&schema).options(ProjectionOptions {
+                engine,
+                ..ProjectionOptions::default()
+            });
             if let Some(threads) = threads {
                 deriver = deriver.threads(threads);
             }
@@ -650,5 +690,59 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(run_ok(&["help"]).contains("USAGE"));
+        assert!(run_ok(&["help"]).contains("--engine"));
+    }
+
+    #[test]
+    fn engine_flag_selects_the_engine() {
+        let f = fixture("engine", FIG1);
+        let path = f.to_str().unwrap();
+        // All three engines classify identically; the flag parses in both
+        // `--engine X` and `--engine=X` spellings, anywhere in the line.
+        let default_out = run_ok(&["applicable", path, "Employee", "SSN,pay_rate"]);
+        for flagged in [
+            vec![
+                "applicable",
+                path,
+                "Employee",
+                "SSN,pay_rate",
+                "--engine",
+                "indexed",
+            ],
+            vec![
+                "applicable",
+                path,
+                "Employee",
+                "SSN,pay_rate",
+                "--engine=stack",
+            ],
+            vec![
+                "--engine",
+                "fixpoint",
+                "applicable",
+                path,
+                "Employee",
+                "SSN,pay_rate",
+            ],
+        ] {
+            assert_eq!(run_ok(&flagged), default_out, "{flagged:?}");
+        }
+        // project and batch accept it too.
+        let out = run_ok(&[
+            "project",
+            path,
+            "Employee",
+            "SSN,pay_rate",
+            "--engine=stack",
+        ]);
+        assert!(out.contains("derived ^Employee"));
+        let r = fixture("engine_b", "Employee: SSN\n");
+        let out = run_ok(&["batch", path, r.to_str().unwrap(), "--engine=fixpoint"]);
+        assert!(out.contains("1 requests, 1 ok"), "{out}");
+        // Unknown engines fail with a parse error, not a panic.
+        let e = run_err(&["applicable", path, "Employee", "SSN", "--engine=warp"]);
+        assert!(e.message.contains("unknown engine"), "{}", e.message);
+        let e = run_err(&["applicable", path, "Employee", "SSN", "--engine"]);
+        assert!(e.message.contains("missing value"), "{}", e.message);
     }
 }

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use td_model::dataflow::CallSite;
-use td_model::{AttrId, MethodId, Schema, TypeId};
+use td_model::{AttrId, CallArg, MethodId, Schema, TypeId};
 
 use crate::applicability::call_candidates;
 use crate::error::{CoreError, Result};
@@ -37,6 +37,7 @@ pub fn compute_applicability_literal(
         not_applicable_set: HashSet::new(),
         stack: Vec::new(),
         sites_cache: HashMap::new(),
+        scratch: Vec::new(),
     };
     let mut passes = 0usize;
     loop {
@@ -64,6 +65,7 @@ struct LiteralCtx<'a> {
     not_applicable_set: HashSet<MethodId>,
     stack: Vec<(MethodId, Vec<MethodId>)>,
     sites_cache: HashMap<MethodId, Vec<CallSite>>,
+    scratch: Vec<CallArg>,
 }
 
 impl LiteralCtx<'_> {
@@ -108,7 +110,8 @@ impl LiteralCtx<'_> {
         }
         self.stack.push((m, Vec::new()));
         for site in self.relevant_sites(m)? {
-            let (candidates, _) = call_candidates(self.schema, self.source, &site);
+            let (candidates, _) =
+                call_candidates(self.schema, self.source, &site, &mut self.scratch);
             let mut satisfied = false;
             for c in candidates {
                 if self.test(c)? {

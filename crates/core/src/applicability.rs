@@ -109,6 +109,10 @@ pub struct Applicability {
     /// Methods that remain applicable to the derived type, in
     /// classification order.
     pub applicable: Vec<MethodId>,
+    /// The same methods as `applicable`, as a set — this is what answers
+    /// [`Applicability::is_applicable`] in O(1) instead of scanning the
+    /// classification-order list.
+    pub applicable_set: HashSet<MethodId>,
     /// Methods ruled out, in classification order.
     pub not_applicable: Vec<MethodId>,
     /// Trace of the computation (empty unless requested).
@@ -118,9 +122,10 @@ pub struct Applicability {
 }
 
 impl Applicability {
-    /// True iff `m` was classified applicable.
+    /// True iff `m` was classified applicable. O(1) — answered from
+    /// `applicable_set`, not the classification-order list.
     pub fn is_applicable(&self, m: MethodId) -> bool {
-        self.applicable.contains(&m)
+        self.applicable_set.contains(&m)
     }
 }
 
@@ -145,19 +150,127 @@ pub fn compute_applicability(
         not_applicable_set: HashSet::new(),
         stack: Vec::new(),
         sites_cache: HashMap::new(),
+        scratch: Vec::new(),
         top_level_start: 0,
         trace: Vec::new(),
         record_trace,
     };
+    let passes = drive(&mut ctx, &universe)?;
+    Ok(Applicability {
+        source,
+        projection: projection.clone(),
+        universe,
+        applicable: ctx.applicable,
+        applicable_set: ctx.applicable_set,
+        not_applicable: ctx.not_applicable,
+        trace: ctx.trace,
+        passes,
+    })
+}
 
+/// Computes which methods remain applicable to `Π_projection(source)`
+/// using the condensation index (see `td_model::appindex`): methods in the
+/// purely conjunctive region of the call graph are classified with one
+/// `footprint ⊆ projection` bitset test against the cached index, and only
+/// the residue whose reachable region is disjunctive or hits the §4.1
+/// case-2 multi-source rule runs the pass-based engine — seeded with the
+/// indexed verdicts, so both engines classify identically (the property
+/// suite proves it on randomized schemas).
+///
+/// The index is cached per `(schema generation, source)`, so repeated
+/// projections over the same source — the batch engine's common shape —
+/// pay the call-graph walk once. `record_trace` delegates wholesale to
+/// [`compute_applicability`]: the narrative trace *is* the stack
+/// algorithm's execution, and the reproduction harness replays it
+/// verbatim.
+pub fn compute_applicability_indexed(
+    schema: &Schema,
+    source: TypeId,
+    projection: &BTreeSet<AttrId>,
+    record_trace: bool,
+) -> Result<Applicability> {
+    if record_trace {
+        return compute_applicability(schema, source, projection, true);
+    }
+    let index = schema.cached_applicability_index(source)?;
+    let proj_bits = index.projection_bits(projection);
+    let universe = index.universe().to_vec();
+
+    let mut applicable = Vec::new();
+    let mut applicable_set = HashSet::new();
+    let mut not_applicable = Vec::new();
+    let mut not_applicable_set = HashSet::new();
+    let mut pending: Vec<MethodId> = Vec::new();
+    for &m in &universe {
+        match index.verdict(m, &proj_bits) {
+            Some(true) => {
+                applicable_set.insert(m);
+                applicable.push(m);
+            }
+            Some(false) => {
+                not_applicable_set.insert(m);
+                not_applicable.push(m);
+            }
+            None => pending.push(m),
+        }
+    }
+
+    let mut passes = 1usize;
+    if !pending.is_empty() {
+        // Fallback: run the pass-based engine over the undecided residue,
+        // with every indexed verdict pre-seeded. Seeding is sound because
+        // indexed verdicts are exact (inside the greatest fixpoint), and
+        // safe against retraction: seeded `applicable` entries sit below
+        // `top_level_start` when the first fallback test begins, so a
+        // failed optimistic assumption can never split them off.
+        let mut ctx = Ctx {
+            schema,
+            source,
+            projection,
+            applicable,
+            applicable_set,
+            not_applicable,
+            not_applicable_set,
+            stack: Vec::new(),
+            sites_cache: HashMap::new(),
+            scratch: Vec::new(),
+            top_level_start: 0,
+            trace: Vec::new(),
+            record_trace: false,
+        };
+        passes = drive(&mut ctx, &pending)?;
+        applicable = ctx.applicable;
+        applicable_set = ctx.applicable_set;
+        not_applicable = ctx.not_applicable;
+    }
+
+    Ok(Applicability {
+        source,
+        projection: projection.clone(),
+        universe,
+        applicable,
+        applicable_set,
+        not_applicable,
+        trace: Vec::new(),
+        passes,
+    })
+}
+
+/// The outer pass loop shared by [`compute_applicability`] (worklist =
+/// whole universe) and the indexed engine's fallback (worklist = the
+/// undecided residue): re-test unclassified worklist methods until all are
+/// classified, with a non-convergence guard — retraction strictly shrinks
+/// the optimistic set, so `worklist.len() + 2` passes always suffice.
+/// Returns the number of passes taken.
+fn drive(ctx: &mut Ctx<'_>, worklist: &[MethodId]) -> Result<usize> {
     let mut passes = 0usize;
     loop {
         passes += 1;
-        if passes > universe.len() + 2 {
+        if passes > worklist.len() + 2 {
             return Err(CoreError::NonConvergence { iterations: passes });
         }
         let mut any_unknown = false;
-        for &m in &universe {
+        for &m in worklist {
             if ctx.is_classified(m) {
                 continue;
             }
@@ -172,17 +285,9 @@ pub fn compute_applicability(
                 "MethodStack must drain per top-level call"
             );
         }
-        let all_done = universe.iter().all(|&m| ctx.is_classified(m));
+        let all_done = worklist.iter().all(|&m| ctx.is_classified(m));
         if all_done {
-            return Ok(Applicability {
-                source,
-                projection: projection.clone(),
-                universe,
-                applicable: ctx.applicable,
-                not_applicable: ctx.not_applicable,
-                trace: ctx.trace,
-                passes,
-            });
+            return Ok(passes);
         }
         if !any_unknown {
             // Defensive: everything was classified at loop entry yet
@@ -193,27 +298,22 @@ pub fn compute_applicability(
 }
 
 /// Computes the candidate methods for a call site, per the §4.1 case
-/// analysis. Shared with the fixpoint oracle so both implementations agree
-/// on what a call requires.
+/// analysis — a thin delegation to [`Schema::site_candidates`], which
+/// every engine (stack, fixpoint oracle, condensation index, explain,
+/// ablation) shares, so all of them agree on what a call requires.
 ///
-/// `Schema::applicable_methods` is served by td-model's dispatch cache, so
-/// the many call sites that re-examine the same `(gf, args)` pair during a
-/// fixpoint run resolve to a cached table after the first lookup.
+/// `scratch` is a caller-owned buffer reused for the case-1 argument
+/// substitution. `Schema::applicable_methods` is served by td-model's
+/// dispatch cache, so the many call sites that re-examine the same
+/// `(gf, args)` pair during a run resolve to a cached table after the
+/// first lookup.
 pub(crate) fn call_candidates(
     schema: &Schema,
     source: TypeId,
     site: &CallSite,
+    scratch: &mut Vec<CallArg>,
 ) -> (Vec<MethodId>, Option<usize>) {
-    match site.source_positions.len() {
-        0 => (Vec::new(), None),
-        1 => {
-            let j = site.source_positions[0];
-            let mut args = site.args.clone();
-            args[j] = CallArg::Object(source);
-            (schema.applicable_methods(site.gf, &args), Some(j))
-        }
-        _ => (schema.applicable_methods(site.gf, &site.args), None),
-    }
+    schema.site_candidates(source, site, scratch)
 }
 
 struct Ctx<'a> {
@@ -228,6 +328,8 @@ struct Ctx<'a> {
     stack: Vec<(MethodId, Vec<MethodId>)>,
     /// Relevant call sites per method, computed once.
     sites_cache: HashMap<MethodId, Vec<CallSite>>,
+    /// Reused case-1 argument-substitution buffer (see `call_candidates`).
+    scratch: Vec<CallArg>,
     /// `applicable.len()` at entry to the current top-level `test` call —
     /// the boundary below which classifications are already known sound.
     top_level_start: usize,
@@ -361,7 +463,8 @@ impl Ctx<'_> {
 
         let sites = self.relevant_sites(m)?.to_vec();
         for site in &sites {
-            let (candidates, substituted_at) = call_candidates(self.schema, self.source, site);
+            let (candidates, substituted_at) =
+                call_candidates(self.schema, self.source, site, &mut self.scratch);
             if self.record_trace {
                 self.trace.push(TraceEvent::CallExamined {
                     method: m,
@@ -658,5 +761,126 @@ mod tests {
         assert!(r.universe.is_empty());
         assert!(!r.is_applicable(m_u));
         assert!(!r.not_applicable.contains(&m_u));
+    }
+
+    /// Asserts that the indexed engine and the stack engine classify the
+    /// universe identically (as sets) for the given projection.
+    fn assert_indexed_agrees(s: &Schema, source: TypeId, proj: &BTreeSet<AttrId>) {
+        let stack = compute_applicability(s, source, proj, false).unwrap();
+        let indexed = compute_applicability_indexed(s, source, proj, false).unwrap();
+        let to_set = |v: &[MethodId]| v.iter().copied().collect::<BTreeSet<_>>();
+        assert_eq!(to_set(&stack.applicable), to_set(&indexed.applicable));
+        assert_eq!(
+            to_set(&stack.not_applicable),
+            to_set(&indexed.not_applicable)
+        );
+        assert_eq!(to_set(&stack.universe), to_set(&indexed.universe));
+        for &m in &stack.universe {
+            assert_eq!(stack.is_applicable(m), indexed.is_applicable(m));
+        }
+    }
+
+    #[test]
+    fn indexed_engine_matches_stack_on_small_fixture() {
+        let (s, b, _) = small();
+        for proj in [
+            attrs(&s, &["x"]),
+            attrs(&s, &["y"]),
+            attrs(&s, &["x", "y"]),
+            BTreeSet::new(),
+        ] {
+            assert_indexed_agrees(&s, b, &proj);
+        }
+    }
+
+    #[test]
+    fn indexed_engine_matches_stack_on_paper_example() {
+        use td_workload::figures;
+        let s = figures::fig3();
+        let a = s.type_id("A").unwrap();
+        let proj: BTreeSet<AttrId> = figures::FIG4_PROJECTION
+            .iter()
+            .map(|n| s.attr_id(n).unwrap())
+            .collect();
+        assert_indexed_agrees(&s, a, &proj);
+        // And the result is the paper's own answer.
+        let indexed = compute_applicability_indexed(&s, a, &proj, false).unwrap();
+        let names: BTreeSet<&str> = indexed
+            .applicable
+            .iter()
+            .map(|&m| s.method(m).label.as_str())
+            .collect();
+        let expected: BTreeSet<&str> = figures::EX1_APPLICABLE.iter().copied().collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn indexed_engine_falls_back_on_multi_candidate_calls() {
+        // small()'s h1 calls f with two candidates (f1 on A, f2 on B): a
+        // disjunction the pure-AND index must refuse to answer.
+        let (s, b, m) = small();
+        let [_, _, _, _, h1] = m[..] else {
+            unreachable!()
+        };
+        let index = s.cached_applicability_index(b).unwrap();
+        assert!(!index.is_fully_indexed());
+        let proj_bits = index.projection_bits(&attrs(&s, &["x"]));
+        assert_eq!(index.verdict(h1, &proj_bits), None, "h1 must fall back");
+        // The fallback still yields the right overall answer.
+        assert_indexed_agrees(&s, b, &attrs(&s, &["x"]));
+    }
+
+    #[test]
+    fn index_footprints_on_paper_example() {
+        // Example 1 (fig. 3) from source A: the accessor and `u`-suite
+        // methods are single-candidate (indexable), while `v1`, `v2`,
+        // `w2`, `x1` and `y1` sit behind disjunctive calls (the `u`, `v`
+        // and `x` generic functions each have several candidates from A)
+        // and must take the fallback seam.
+        use td_workload::figures;
+        let s = figures::fig3();
+        let a = s.type_id("A").unwrap();
+        let index = s.cached_applicability_index(a).unwrap();
+        assert!(!index.is_fully_indexed());
+        assert_eq!(index.fallback_methods(), 5);
+        let fp_names = |label: &str| -> BTreeSet<String> {
+            let m = s.method_by_label(label).unwrap();
+            index
+                .footprint(m)
+                .expect("method in universe")
+                .iter()
+                .map(|i| s.attr(i).name.clone())
+                .collect()
+        };
+        let set =
+            |names: &[&str]| -> BTreeSet<String> { names.iter().map(|n| n.to_string()).collect() };
+        // An accessor's footprint is its own attribute…
+        assert_eq!(fp_names("get_h2"), set(&["h2"]));
+        // …and a single-candidate chain unions transitively:
+        // u3(B) = { w(…) } → w2(C) = { get_h2(B) } needs exactly h2.
+        assert_eq!(fp_names("u3"), set(&["h2"]));
+        assert_eq!(fp_names("u1"), set(&["a1"]));
+
+        // Verdicts under the fig. 4 projection: indexed methods answer by
+        // bitset test and match the paper; fallback methods answer None.
+        let proj: BTreeSet<AttrId> = figures::FIG4_PROJECTION
+            .iter()
+            .map(|n| s.attr_id(n).unwrap())
+            .collect();
+        let bits = index.projection_bits(&proj);
+        let fallback = ["v1", "v2", "w2", "x1", "y1"];
+        for &m in index.universe() {
+            let label = s.method(m).label.as_str();
+            if fallback.contains(&label) {
+                assert_eq!(index.verdict(m, &bits), None, "{label} must fall back");
+            } else {
+                let expected = figures::EX1_APPLICABLE.contains(&label);
+                assert_eq!(
+                    index.verdict(m, &bits),
+                    Some(expected),
+                    "verdict for {label}"
+                );
+            }
+        }
     }
 }

@@ -177,11 +177,12 @@ fn explain_rec(
     // y1…") is true but vacuous, while a productive branch bottoms out in
     // concrete evidence (an unprojected attribute).
     let mut failing: Vec<(GfId, Vec<MethodId>)> = Vec::new();
+    let mut scratch = Vec::new();
     for site in schema.call_sites(method, source)? {
         if site.source_positions.is_empty() {
             continue;
         }
-        let (candidates, _) = call_candidates(schema, source, &site);
+        let (candidates, _) = call_candidates(schema, source, &site, &mut scratch);
         if !candidates.iter().any(|c| alive.contains(c)) {
             failing.push((site.gf, candidates));
         }

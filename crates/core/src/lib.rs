@@ -70,13 +70,15 @@ pub mod projection;
 pub mod surrogates;
 pub mod unproject;
 
-pub use applicability::{compute_applicability, Applicability, TraceEvent};
+pub use applicability::{
+    compute_applicability, compute_applicability_indexed, Applicability, TraceEvent,
+};
 pub use catalog::{CatalogEntry, ViewCatalog};
 pub use error::{CoreError, Result};
 pub use explain::{explain, Explanation};
 pub use invariants::{InvariantReport, Violation};
 pub use minimize::{minimize_surrogates, MinimizeOutcome};
-pub use oracle::applicability_fixpoint;
-pub use projection::{project, project_named, Derivation, ProjectionOptions, StageTimings};
+pub use oracle::{applicability_fixpoint, compute_applicability_fixpoint};
+pub use projection::{project, project_named, Derivation, Engine, ProjectionOptions, StageTimings};
 pub use surrogates::{SurrogateKind, SurrogateRegistry};
 pub use unproject::unproject;

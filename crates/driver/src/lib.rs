@@ -49,7 +49,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use td_core::{project, CoreError, Derivation, ProjectionOptions, StageTimings};
+use td_core::{project, CoreError, Derivation, Engine, ProjectionOptions, StageTimings};
 use td_model::{AttrId, DispatchCacheStats, ModelError, Schema, SchemaSnapshot, TypeId};
 
 /// One projection request: derive `Π_projection(source)`.
@@ -323,10 +323,34 @@ impl BatchDeriver {
         }
     }
 
+    /// Pre-warms the snapshot's shared applicability index for every
+    /// distinct valid source among `requests`, so each fork starts with
+    /// the condensation index already built instead of rebuilding it per
+    /// request. No-op unless the configured engine is [`Engine::Indexed`].
+    /// [`run`](BatchDeriver::run) calls this automatically.
+    pub fn warm_applicability_index(&self, requests: &[BatchRequest]) {
+        if self.options.engine != Engine::Indexed || self.options.record_trace {
+            return;
+        }
+        let mut seen = BTreeSet::new();
+        for r in requests {
+            if self.validate(r).is_ok() && seen.insert(r.source) {
+                // A build failure (e.g. a dataflow error) surfaces as the
+                // per-request pipeline error instead; warming never fails
+                // the batch.
+                let _ = self.snapshot.cached_applicability_index(r.source);
+            }
+        }
+    }
+
     /// Runs the batch: every request is derived exactly once, in
     /// isolation, and the outcomes are returned in request order.
     pub fn run(&self, requests: &[BatchRequest]) -> BatchOutcome {
         let started = Instant::now();
+        // Build the applicability index once per distinct source on the
+        // shared snapshot; every fork below inherits the warm Arc instead
+        // of condensing the call graph per request.
+        self.warm_applicability_index(requests);
         let n = requests.len();
         let threads = self.threads.min(n.max(1));
         let cursor = AtomicUsize::new(0);
@@ -560,6 +584,43 @@ mod tests {
         assert!(deriver.snapshot().dispatch_cache_stats().cpl_entries > 0);
         // Forks taken after warming carry the entries.
         assert!(deriver.snapshot().fork().dispatch_cache_stats().cpl_entries > 0);
+    }
+
+    #[test]
+    fn run_warms_the_applicability_index_per_distinct_source() {
+        let s = base_schema();
+        let deriver = BatchDeriver::new(&s);
+        assert_eq!(deriver.snapshot().dispatch_cache_stats().index_entries, 0);
+        let outcome = deriver.threads(2).run(&requests(&s));
+        assert!(outcome.all_ok());
+        // Two distinct sources (Employee, Person) → two resident indexes
+        // on the shared snapshot, built exactly once each.
+        let stats = outcome
+            .results
+            .iter()
+            .fold(DispatchCacheStats::default(), |acc, r| acc.merge(&r.cache));
+        assert_eq!(stats.index_misses, 0, "forks must reuse the warm index");
+        assert!(stats.index_hits >= 3, "each request hits the shared index");
+    }
+
+    #[test]
+    fn engines_produce_identical_batch_reports() {
+        let s = base_schema();
+        let reqs = requests(&s);
+        let render_with = |engine: Engine| {
+            let opts = ProjectionOptions {
+                engine,
+                ..ProjectionOptions::default()
+            };
+            BatchDeriver::new(&s)
+                .threads(2)
+                .options(opts)
+                .run(&reqs)
+                .render(&s)
+        };
+        let indexed = render_with(Engine::Indexed);
+        assert_eq!(indexed, render_with(Engine::Stack));
+        assert_eq!(indexed, render_with(Engine::Fixpoint));
     }
 
     #[test]

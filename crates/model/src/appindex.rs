@@ -1,0 +1,605 @@
+//! The applicability condensation index: amortized O(V+E) `IsApplicable`.
+//!
+//! The pass-based `IsApplicable` engine in `td-core` re-walks the method
+//! call graph from scratch for **every** projection over a source type,
+//! with `O(passes × methods)` worst-case behavior. But the call graph
+//! itself depends only on `(schema, source)` — the projection list enters
+//! the computation *only* at the accessor leaves. This module precomputes
+//! everything projection-independent once per schema generation:
+//!
+//! 1. the **call graph** over the universe (every method applicable to the
+//!    source type), with one edge per §4.1 candidate of every
+//!    source-relevant call site;
+//! 2. its **Tarjan SCC condensation**, computed iteratively (an explicit
+//!    frame stack, so 500-deep call chains cannot overflow the thread
+//!    stack), whose emission order is reverse topological;
+//! 3. per-SCC **attribute footprints** — dense [`AttrBitSet`]s holding
+//!    every accessor attribute transitively reachable from the SCC —
+//!    propagated bottom-up in a single O(V+E) pass, together with a
+//!    `dead` bit (some reachable site has no candidate at all) and a
+//!    `fallback` bit (see below).
+//!
+//! A projection query then classifies a method with one subset test:
+//! applicable iff nothing reachable is dead and `footprint ⊆ projection`.
+//!
+//! ## The fallback seam
+//!
+//! The subset test is exact only for the *conjunctive* fragment of the
+//! call graph: call sites with exactly one candidate are AND-edges, and
+//! the greatest fixpoint over an AND-graph is reachability of failures.
+//! Two features of §4.1 break pure conjunction:
+//!
+//! * a site with **several candidates** survives if *any* candidate does
+//!   (disjunction — a footprint union would over-approximate the
+//!   requirement);
+//! * a site hitting the **case-2 multi-source rule** (two or more
+//!   source-relevant argument positions) takes the call as written, and
+//!   its verdict interacts with the same OR-structure.
+//!
+//! Methods whose reachable region contains either feature get the
+//! `fallback` bit (the bit propagates caller-ward through the
+//! condensation, because a caller's verdict depends on its callees').
+//! [`ApplicabilityIndex::verdict`] returns `None` for them and the caller
+//! (in `td-core`) re-runs the pass-based engine for exactly that residue,
+//! seeded with the indexed verdicts — so results are identical by
+//! construction, and the common all-AND case never enters the pass loop.
+//!
+//! The index is cached inside [`Schema`] behind the same generation
+//! counter as the dispatch tables (see [`crate::cache`]), so a schema
+//! clone — in particular every [`crate::SchemaSnapshot`] fork handed to a
+//! batch worker — carries the warm index for free.
+
+use crate::dispatch::CallArg;
+use crate::error::Result;
+use crate::ids::{AttrId, MethodId, TypeId};
+use crate::schema::Schema;
+use std::collections::{BTreeSet, HashMap};
+
+/// A dense attribute bitset keyed by [`AttrId`] arena index.
+///
+/// One bit per attribute slot of the schema the set was sized for;
+/// operations between sets sized for the same schema are word-parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrBitSet {
+    words: Vec<u64>,
+}
+
+impl AttrBitSet {
+    /// An empty set sized for a schema with `n_attrs` attribute slots.
+    pub fn new(n_attrs: usize) -> AttrBitSet {
+        AttrBitSet {
+            words: vec![0u64; n_attrs.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Inserts an attribute (growing the set if the id is beyond the
+    /// sized capacity, so stale sizing degrades to allocation, not loss).
+    pub fn insert(&mut self, a: AttrId) {
+        let w = a.index() / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (a.index() % 64);
+    }
+
+    /// True iff the attribute is in the set.
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.words
+            .get(a.index() / 64)
+            .is_some_and(|w| w & (1u64 << (a.index() % 64)) != 0)
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &AttrBitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (dst, &src) in self.words.iter_mut().zip(other.words.iter()) {
+            *dst |= src;
+        }
+    }
+
+    /// True iff every attribute of `self` is in `other`.
+    pub fn is_subset(&self, other: &AttrBitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates the members in id order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(AttrId::from_index(wi * 64 + bit))
+            })
+        })
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// The per-`(schema generation, source type)` applicability index.
+///
+/// Built once by [`Schema::cached_applicability_index`] and shared via
+/// `Arc`; answers most [`verdict`](ApplicabilityIndex::verdict) queries
+/// with a bitset subset test. See the module docs for the construction
+/// and the exactness argument.
+#[derive(Debug, Clone)]
+pub struct ApplicabilityIndex {
+    source: TypeId,
+    n_attrs: usize,
+    /// The universe (methods applicable to `source`), in method-id order;
+    /// node `i` of the call graph is `methods[i]`.
+    methods: Vec<MethodId>,
+    node_of: HashMap<MethodId, usize>,
+    /// Node → SCC id, in Tarjan emission (= reverse topological) order.
+    scc_of: Vec<usize>,
+    /// Per-SCC union of transitively reachable accessor attributes.
+    scc_footprint: Vec<AttrBitSet>,
+    /// Per-SCC: some reachable call site has no candidate at all.
+    scc_dead: Vec<bool>,
+    /// Per-SCC: some reachable site is disjunctive or case-2 — the subset
+    /// test is not exact and the caller must use the pass-based engine.
+    scc_fallback: Vec<bool>,
+    /// Number of universe methods whose verdict needs the fallback.
+    fallback_methods: usize,
+}
+
+impl ApplicabilityIndex {
+    /// Builds the index for projections over `source`: call-graph
+    /// construction, iterative Tarjan condensation, and one bottom-up
+    /// footprint/dead/fallback propagation pass.
+    pub fn build(schema: &Schema, source: TypeId) -> Result<ApplicabilityIndex> {
+        let methods = schema.methods_applicable_to_type(source);
+        let n = methods.len();
+        let node_of: HashMap<MethodId, usize> =
+            methods.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+
+        // ---- call-graph construction ------------------------------------
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut local_attr: Vec<Option<AttrId>> = vec![None; n];
+        let mut local_dead = vec![false; n];
+        let mut local_fallback = vec![false; n];
+        let mut scratch: Vec<CallArg> = Vec::new();
+        for (i, &m) in methods.iter().enumerate() {
+            if let Some(attr) = schema.method(m).kind.accessed_attr() {
+                local_attr[i] = Some(attr);
+                continue;
+            }
+            for site in schema.call_sites(m, source)? {
+                if site.source_positions.is_empty() {
+                    continue;
+                }
+                let (candidates, _) = schema.site_candidates(source, &site, &mut scratch);
+                if candidates.is_empty() {
+                    // An unsatisfiable call: the method dies under every
+                    // projection. Reachability propagates the bit upward.
+                    local_dead[i] = true;
+                    continue;
+                }
+                if site.source_positions.len() > 1 || candidates.len() > 1 {
+                    local_fallback[i] = true;
+                }
+                for c in candidates {
+                    match node_of.get(&c) {
+                        Some(&j) => {
+                            if !edges[i].contains(&j) {
+                                edges[i].push(j);
+                            }
+                        }
+                        // Candidates of source-relevant sites are always
+                        // applicable to the source type (the substituted
+                        // position subsumes it), so this arm is
+                        // unreachable — but if the model ever relaxes
+                        // that, degrade to the exact engine rather than
+                        // guess.
+                        None => local_fallback[i] = true,
+                    }
+                }
+            }
+        }
+
+        // ---- iterative Tarjan SCC condensation --------------------------
+        const UNVISITED: usize = usize::MAX;
+        let mut disc = vec![UNVISITED; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut tarjan_stack: Vec<usize> = Vec::new();
+        let mut scc_of = vec![UNVISITED; n];
+        let mut scc_members: Vec<Vec<usize>> = Vec::new();
+        let mut next_disc = 0usize;
+        // Explicit DFS frames `(node, next edge offset)` — recursion depth
+        // equals call-chain depth, which the workloads push to 500+.
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if disc[root] != UNVISITED {
+                continue;
+            }
+            disc[root] = next_disc;
+            low[root] = next_disc;
+            next_disc += 1;
+            tarjan_stack.push(root);
+            on_stack[root] = true;
+            frames.push((root, 0));
+            while let Some(&(v, ep)) = frames.last() {
+                if let Some(&w) = edges[v].get(ep) {
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if disc[w] == UNVISITED {
+                        disc[w] = next_disc;
+                        low[w] = next_disc;
+                        next_disc += 1;
+                        tarjan_stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(disc[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (p, _)) = frames.last_mut() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == disc[v] {
+                        let sid = scc_members.len();
+                        let mut members = Vec::new();
+                        loop {
+                            let w = tarjan_stack.pop().expect("SCC stack holds v");
+                            on_stack[w] = false;
+                            scc_of[w] = sid;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc_members.push(members);
+                    }
+                }
+            }
+        }
+
+        // ---- bottom-up propagation in emission order --------------------
+        // Tarjan pops an SCC only after every SCC it can reach was popped,
+        // so emission order is reverse topological: every cross edge from
+        // SCC `sid` targets an SCC with a smaller id, already finalized.
+        let n_attrs = schema.n_attrs();
+        let n_sccs = scc_members.len();
+        let mut scc_footprint: Vec<AttrBitSet> = Vec::with_capacity(n_sccs);
+        let mut scc_dead = vec![false; n_sccs];
+        let mut scc_fallback = vec![false; n_sccs];
+        for (sid, members) in scc_members.iter().enumerate() {
+            let mut fp = AttrBitSet::new(n_attrs);
+            for &v in members {
+                if let Some(a) = local_attr[v] {
+                    fp.insert(a);
+                }
+                scc_dead[sid] |= local_dead[v];
+                scc_fallback[sid] |= local_fallback[v];
+                for &w in &edges[v] {
+                    let ws = scc_of[w];
+                    if ws == sid {
+                        continue;
+                    }
+                    debug_assert!(ws < sid, "emission order must be reverse topological");
+                    fp.union_with(&scc_footprint[ws]);
+                    scc_dead[sid] |= scc_dead[ws];
+                    scc_fallback[sid] |= scc_fallback[ws];
+                }
+            }
+            scc_footprint.push(fp);
+        }
+
+        let fallback_methods = (0..n).filter(|&i| scc_fallback[scc_of[i]]).count();
+        Ok(ApplicabilityIndex {
+            source,
+            n_attrs,
+            methods,
+            node_of,
+            scc_of,
+            scc_footprint,
+            scc_dead,
+            scc_fallback,
+            fallback_methods,
+        })
+    }
+
+    /// The source type the index was built for.
+    pub fn source(&self) -> TypeId {
+        self.source
+    }
+
+    /// The universe the index classifies (methods applicable to the
+    /// source type), in method-id order.
+    pub fn universe(&self) -> &[MethodId] {
+        &self.methods
+    }
+
+    /// Number of strongly connected components in the condensation.
+    pub fn n_sccs(&self) -> usize {
+        self.scc_footprint.len()
+    }
+
+    /// Number of universe methods whose verdict requires the pass-based
+    /// fallback (disjunctive or case-2 structure in their reachable
+    /// region).
+    pub fn fallback_methods(&self) -> usize {
+        self.fallback_methods
+    }
+
+    /// True when every universe method is decided by the subset test.
+    pub fn is_fully_indexed(&self) -> bool {
+        self.fallback_methods == 0
+    }
+
+    /// Converts a projection list into the index's bitset representation,
+    /// sized to be word-compatible with the stored footprints.
+    pub fn projection_bits(&self, projection: &BTreeSet<AttrId>) -> AttrBitSet {
+        let mut bits = AttrBitSet::new(self.n_attrs);
+        for &a in projection {
+            bits.insert(a);
+        }
+        bits
+    }
+
+    /// The transitive attribute footprint of a universe method (every
+    /// accessor attribute reachable through its §4.1 candidate edges), or
+    /// `None` for methods outside the universe. Exact only for
+    /// non-fallback methods — fallback regions contain disjunctions the
+    /// union over-approximates.
+    pub fn footprint(&self, m: MethodId) -> Option<&AttrBitSet> {
+        let &i = self.node_of.get(&m)?;
+        Some(&self.scc_footprint[self.scc_of[i]])
+    }
+
+    /// Classifies `m` against a projection (pre-converted with
+    /// [`projection_bits`](ApplicabilityIndex::projection_bits)):
+    /// `Some(true)` = applicable, `Some(false)` = not applicable, `None` =
+    /// the index cannot decide (method outside the universe, or its
+    /// reachable region is disjunctive/case-2) and the caller must use the
+    /// pass-based engine.
+    pub fn verdict(&self, m: MethodId, projection: &AttrBitSet) -> Option<bool> {
+        let &i = self.node_of.get(&m)?;
+        let sid = self.scc_of[i];
+        if self.scc_fallback[sid] {
+            return None;
+        }
+        Some(!self.scc_dead[sid] && self.scc_footprint[sid].is_subset(projection))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::ValueType;
+    use crate::body::{BodyBuilder, Expr};
+    use crate::methods::{MethodKind, Specializer};
+
+    #[test]
+    fn bitset_roundtrip_across_word_boundaries() {
+        let mut set = AttrBitSet::new(130);
+        assert!(set.is_empty());
+        for i in [0usize, 63, 64, 129] {
+            set.insert(AttrId::from_index(i));
+        }
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(AttrId::from_index(64)));
+        assert!(!set.contains(AttrId::from_index(65)));
+        let ids: Vec<usize> = set.iter().map(|a| a.index()).collect();
+        assert_eq!(ids, vec![0, 63, 64, 129]);
+
+        let mut bigger = set.clone();
+        bigger.insert(AttrId::from_index(200)); // grows past sized capacity
+        assert!(set.is_subset(&bigger));
+        assert!(!bigger.is_subset(&set));
+        let mut union = AttrBitSet::new(130);
+        union.union_with(&bigger);
+        assert_eq!(union, bigger);
+    }
+
+    /// Chain m0 → m1 → get_x plus an independent reader of y.
+    fn chain_schema() -> (Schema, TypeId) {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let y = s.add_attr("y", ValueType::INT, a).unwrap();
+        let (get_x, _) = s.add_reader(x, a).unwrap();
+        s.add_reader(y, a).unwrap();
+        let f1 = s.add_gf("f1", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_x, vec![Expr::Param(0)]);
+        s.add_method(
+            f1,
+            "m1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        let f0 = s.add_gf("f0", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f1, vec![Expr::Param(0)]);
+        s.add_method(
+            f0,
+            "m0",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        (s, a)
+    }
+
+    #[test]
+    fn footprints_propagate_through_chains() {
+        let (s, a) = chain_schema();
+        let idx = ApplicabilityIndex::build(&s, a).unwrap();
+        assert!(idx.is_fully_indexed());
+        assert_eq!(idx.universe().len(), 4);
+        // Acyclic: one SCC per method.
+        assert_eq!(idx.n_sccs(), 4);
+
+        let x = s.attr_id("x").unwrap();
+        let y = s.attr_id("y").unwrap();
+        let m0 = s.method_by_label("m0").unwrap();
+        let fp = idx.footprint(m0).unwrap();
+        assert!(fp.contains(x) && !fp.contains(y));
+
+        let proj_x = idx.projection_bits(&[x].into_iter().collect());
+        let proj_y = idx.projection_bits(&[y].into_iter().collect());
+        assert_eq!(idx.verdict(m0, &proj_x), Some(true));
+        assert_eq!(idx.verdict(m0, &proj_y), Some(false));
+    }
+
+    #[test]
+    fn cycle_collapses_to_one_scc_and_shares_footprint() {
+        // p1 ↔ q1 cycle where q1 also reads x: both get footprint {x}.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let (get_x, _) = s.add_reader(x, a).unwrap();
+        let p = s.add_gf("p", 1, None).unwrap();
+        let q = s.add_gf("q", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(q, vec![Expr::Param(0)]);
+        let p1 = s
+            .add_method(
+                p,
+                "p1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(p, vec![Expr::Param(0)]);
+        bb.call(get_x, vec![Expr::Param(0)]);
+        let q1 = s
+            .add_method(
+                q,
+                "q1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        let idx = ApplicabilityIndex::build(&s, a).unwrap();
+        assert!(idx.is_fully_indexed());
+        // 3 nodes (accessor, p1, q1) but p1/q1 share one SCC.
+        assert_eq!(idx.n_sccs(), 2);
+        assert_eq!(idx.footprint(p1), idx.footprint(q1));
+        let empty = idx.projection_bits(&BTreeSet::new());
+        assert_eq!(idx.verdict(p1, &empty), Some(false));
+        let proj_x = idx.projection_bits(&[x].into_iter().collect());
+        assert_eq!(idx.verdict(q1, &proj_x), Some(true));
+    }
+
+    #[test]
+    fn multi_candidate_call_falls_back() {
+        // B ≤ A; f has methods on A and B, so the call f(p0) from h1 with
+        // source B has two candidates — disjunctive, not indexable; the
+        // accessors below stay indexable.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let (get_x, mx) = s.add_reader(x, a).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_x, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f_a",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        let h = s.add_gf("h", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f, vec![Expr::Param(0)]);
+        let h1 = s
+            .add_method(
+                h,
+                "h1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        let idx = ApplicabilityIndex::build(&s, b).unwrap();
+        assert!(!idx.is_fully_indexed());
+        let proj = idx.projection_bits(&[x].into_iter().collect());
+        assert_eq!(idx.verdict(h1, &proj), None, "disjunction must defer");
+        assert_eq!(idx.verdict(mx, &proj), Some(true), "leaves stay indexed");
+        // Methods outside the universe are not the index's business.
+        let unrelated = s.add_type("U", &[]).unwrap();
+        let g = s.add_gf("g", 1, None).unwrap();
+        let m_u = s
+            .add_method(
+                g,
+                "g_u",
+                vec![Specializer::Type(unrelated)],
+                MethodKind::General(Default::default()),
+                None,
+            )
+            .unwrap();
+        let idx = ApplicabilityIndex::build(&s, b).unwrap();
+        assert_eq!(idx.verdict(m_u, &proj), None);
+        assert!(idx.footprint(m_u).is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_call_marks_dead() {
+        // m calls a gf with no applicable method at all: dead under every
+        // projection.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let u = s.add_type("U", &[]).unwrap();
+        let g = s.add_gf("g", 1, None).unwrap();
+        s.add_method(
+            g,
+            "g_u",
+            vec![Specializer::Type(u)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(g, vec![Expr::Param(0)]);
+        let m = s
+            .add_method(
+                f,
+                "m",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        let idx = ApplicabilityIndex::build(&s, a).unwrap();
+        let full = idx.projection_bits(&s.cumulative_attrs(a));
+        assert_eq!(idx.verdict(m, &full), Some(false));
+    }
+}

@@ -35,6 +35,7 @@
 //! [`Schema::dispatch_cache_stats`], the CLI `explain` path and the
 //! invariant report.
 
+use crate::appindex::ApplicabilityIndex;
 use crate::dispatch::CallArg;
 use crate::error::Result;
 use crate::ids::{GfId, MethodId, TypeId};
@@ -60,10 +61,16 @@ struct CacheInner {
     ranks: HashMap<TypeId, Arc<Ranks>>,
     applicable: HashMap<CallKey, Arc<Vec<MethodId>>>,
     ranked: HashMap<CallKey, Arc<Vec<MethodId>>>,
+    /// Applicability condensation indexes, keyed by projection source
+    /// (the call graph and its footprints depend on the source type but
+    /// not on the projection list — see [`crate::appindex`]).
+    app_index: HashMap<TypeId, Arc<ApplicabilityIndex>>,
     cpl_hits: u64,
     cpl_misses: u64,
     dispatch_hits: u64,
     dispatch_misses: u64,
+    index_hits: u64,
+    index_misses: u64,
     invalidations: u64,
 }
 
@@ -75,11 +82,13 @@ impl CacheInner {
             let had_entries = !self.cpl.is_empty()
                 || !self.ranks.is_empty()
                 || !self.applicable.is_empty()
-                || !self.ranked.is_empty();
+                || !self.ranked.is_empty()
+                || !self.app_index.is_empty();
             self.cpl.clear();
             self.ranks.clear();
             self.applicable.clear();
             self.ranked.clear();
+            self.app_index.clear();
             self.entries_generation = self.generation;
             if had_entries {
                 self.invalidations += 1;
@@ -161,9 +170,12 @@ impl Schema {
             cpl_misses: inner.cpl_misses,
             dispatch_hits: inner.dispatch_hits,
             dispatch_misses: inner.dispatch_misses,
+            index_hits: inner.index_hits,
+            index_misses: inner.index_misses,
             invalidations: inner.invalidations,
             cpl_entries: inner.cpl.len() + inner.ranks.len(),
             dispatch_entries: inner.applicable.len() + inner.ranked.len(),
+            index_entries: inner.app_index.len(),
         }
     }
 
@@ -252,6 +264,30 @@ impl Schema {
         let mut inner = self.cache.lock();
         inner.refresh();
         inner.ranked.insert(key, Arc::clone(&computed));
+        Ok(computed)
+    }
+
+    /// The memoized applicability condensation index for projections over
+    /// `source` (see [`crate::appindex`]). Built once per `(schema
+    /// generation, source)` and shared via `Arc`; a schema clone — in
+    /// particular every [`crate::SchemaSnapshot`] fork — carries the warm
+    /// index, so batch workers never rebuild it.
+    pub fn cached_applicability_index(&self, source: TypeId) -> Result<Arc<ApplicabilityIndex>> {
+        {
+            let mut inner = self.cache.lock();
+            inner.refresh();
+            if let Some(v) = inner.app_index.get(&source).map(Arc::clone) {
+                inner.index_hits += 1;
+                return Ok(v);
+            }
+            inner.index_misses += 1;
+        }
+        // Built outside the lock: the construction re-enters the cache
+        // through `call_sites`/`applicable_methods` lookups.
+        let computed = Arc::new(ApplicabilityIndex::build(self, source)?);
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        inner.app_index.insert(source, Arc::clone(&computed));
         Ok(computed)
     }
 }
@@ -391,6 +427,36 @@ mod tests {
         s.add_type("B", &[]).unwrap();
         // Nothing was ever cached, so nothing was invalidated.
         assert_eq!(s.dispatch_cache_stats().invalidations, 0);
+    }
+
+    #[test]
+    fn applicability_index_is_cached_and_invalidated() {
+        let (mut s, _a, b, f, _f_a) = base();
+        let cold = s.cached_applicability_index(b).unwrap();
+        assert_eq!(s.dispatch_cache_stats().index_misses, 1);
+        assert_eq!(s.dispatch_cache_stats().index_entries, 1);
+        let warm = s.cached_applicability_index(b).unwrap();
+        assert_eq!(s.dispatch_cache_stats().index_hits, 1);
+        assert_eq!(warm.universe(), cold.universe());
+
+        // A clone (snapshot) carries the warm index.
+        let snapshot = s.clone();
+        snapshot.cached_applicability_index(b).unwrap();
+        assert_eq!(snapshot.dispatch_cache_stats().index_hits, 2);
+
+        // A mutation flushes it: the new method must appear.
+        let before = cold.universe().len();
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        let rebuilt = s.cached_applicability_index(b).unwrap();
+        assert_eq!(rebuilt.universe().len(), before + 1);
+        assert_eq!(s.dispatch_cache_stats().index_misses, 2);
     }
 
     #[test]

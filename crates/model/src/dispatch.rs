@@ -16,6 +16,7 @@
 
 use crate::attrs::PrimType;
 use crate::cache::Ranks;
+use crate::dataflow::CallSite;
 use crate::error::Result;
 use crate::ids::{GfId, MethodId, TypeId};
 use crate::methods::Specializer;
@@ -92,6 +93,41 @@ impl Schema {
             .copied()
             .filter(|&m| self.method_applicable_to_call(m, args))
             .collect()
+    }
+
+    /// The candidate methods for one call site of a method body, per the
+    /// §4.1 case analysis of `IsApplicable`: with exactly one
+    /// source-relevant argument position `j`, the candidates are the
+    /// methods applicable to the call with the source type substituted at
+    /// `j` (case 1, returning `Some(j)`); with several, the candidates are
+    /// the methods applicable to the call as written (case 2, `None`) —
+    /// which is what guarantees applicability for *every* combination of
+    /// substitutions. Sites with no source-relevant position impose no
+    /// constraint and return an empty candidate list.
+    ///
+    /// `scratch` is a caller-owned buffer reused for the case-1 argument
+    /// substitution, so the per-site `args` clone is amortized away across
+    /// a whole applicability walk. Every applicability engine (stack,
+    /// fixpoint oracle, condensation index) funnels through this one
+    /// function, so all of them agree on what a call requires by
+    /// construction.
+    pub fn site_candidates(
+        &self,
+        source: TypeId,
+        site: &CallSite,
+        scratch: &mut Vec<CallArg>,
+    ) -> (Vec<MethodId>, Option<usize>) {
+        match site.source_positions.len() {
+            0 => (Vec::new(), None),
+            1 => {
+                let j = site.source_positions[0];
+                scratch.clear();
+                scratch.extend_from_slice(&site.args);
+                scratch[j] = CallArg::Object(source);
+                (self.applicable_methods(site.gf, scratch), Some(j))
+            }
+            _ => (self.applicable_methods(site.gf, &site.args), None),
+        }
     }
 
     /// Per-type specificity ranks for one argument's CPL, with surrogate

@@ -46,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod appindex;
 pub mod attrs;
 pub mod body;
 pub mod cache;
@@ -63,6 +64,7 @@ pub mod stats;
 pub mod text;
 pub mod validate;
 
+pub use appindex::{ApplicabilityIndex, AttrBitSet};
 pub use attrs::{AttrDef, PrimType, ValueType};
 pub use body::{BinOp, Body, BodyBuilder, Expr, Literal, LocalVar, Stmt};
 pub use dataflow::CallSite;

@@ -99,12 +99,20 @@ pub struct DispatchCacheStats {
     pub dispatch_hits: u64,
     /// Dispatch-table lookups that had to compute.
     pub dispatch_misses: u64,
+    /// Applicability-index lookups answered from the cache (see
+    /// [`crate::appindex`]).
+    pub index_hits: u64,
+    /// Applicability-index lookups that had to build the index.
+    pub index_misses: u64,
     /// Generation bumps that flushed at least one warm entry.
     pub invalidations: u64,
     /// Currently resident CPL + rank-table entries.
     pub cpl_entries: usize,
     /// Currently resident applicable + ranked dispatch entries.
     pub dispatch_entries: usize,
+    /// Currently resident applicability indexes (one per projection
+    /// source queried this generation).
+    pub index_entries: usize,
 }
 
 impl DispatchCacheStats {
@@ -122,9 +130,12 @@ impl DispatchCacheStats {
             dispatch_misses: self
                 .dispatch_misses
                 .saturating_sub(baseline.dispatch_misses),
+            index_hits: self.index_hits.saturating_sub(baseline.index_hits),
+            index_misses: self.index_misses.saturating_sub(baseline.index_misses),
             invalidations: self.invalidations.saturating_sub(baseline.invalidations),
             cpl_entries: self.cpl_entries,
             dispatch_entries: self.dispatch_entries,
+            index_entries: self.index_entries,
         }
     }
 
@@ -137,9 +148,12 @@ impl DispatchCacheStats {
             cpl_misses: self.cpl_misses + other.cpl_misses,
             dispatch_hits: self.dispatch_hits + other.dispatch_hits,
             dispatch_misses: self.dispatch_misses + other.dispatch_misses,
+            index_hits: self.index_hits + other.index_hits,
+            index_misses: self.index_misses + other.index_misses,
             invalidations: self.invalidations + other.invalidations,
             cpl_entries: self.cpl_entries.max(other.cpl_entries),
             dispatch_entries: self.dispatch_entries.max(other.dispatch_entries),
+            index_entries: self.index_entries.max(other.index_entries),
         }
     }
 }
@@ -149,7 +163,8 @@ impl fmt::Display for DispatchCacheStats {
         write!(
             f,
             "dispatch cache: gen {}, cpl {}/{} hits ({} resident), \
-             dispatch {}/{} hits ({} resident), {} invalidations",
+             dispatch {}/{} hits ({} resident), \
+             index {}/{} hits ({} resident), {} invalidations",
             self.generation,
             self.cpl_hits,
             self.cpl_hits + self.cpl_misses,
@@ -157,6 +172,9 @@ impl fmt::Display for DispatchCacheStats {
             self.dispatch_hits,
             self.dispatch_hits + self.dispatch_misses,
             self.dispatch_entries,
+            self.index_hits,
+            self.index_hits + self.index_misses,
+            self.index_entries,
             self.invalidations
         )
     }
@@ -221,9 +239,12 @@ mod tests {
             cpl_misses: 4,
             dispatch_hits: 20,
             dispatch_misses: 6,
+            index_hits: 9,
+            index_misses: 3,
             invalidations: 1,
             cpl_entries: 5,
             dispatch_entries: 7,
+            index_entries: 2,
         };
         let b = DispatchCacheStats {
             generation: 2,
@@ -231,24 +252,32 @@ mod tests {
             cpl_misses: 4,
             dispatch_hits: 5,
             dispatch_misses: 1,
+            index_hits: 4,
+            index_misses: 3,
             invalidations: 0,
             cpl_entries: 2,
             dispatch_entries: 3,
+            index_entries: 1,
         };
         let d = a.delta(&b);
         assert_eq!(d.cpl_hits, 3);
         assert_eq!(d.cpl_misses, 0);
         assert_eq!(d.dispatch_hits, 15);
         assert_eq!(d.dispatch_misses, 5);
+        assert_eq!(d.index_hits, 5);
+        assert_eq!(d.index_misses, 0);
         assert_eq!(d.generation, 3);
         assert_eq!(d.cpl_entries, 5);
+        assert_eq!(d.index_entries, 2);
         // delta saturates rather than underflowing.
         assert_eq!(b.delta(&a).cpl_hits, 0);
         let m = a.merge(&b);
         assert_eq!(m.cpl_hits, 17);
         assert_eq!(m.dispatch_misses, 7);
+        assert_eq!(m.index_hits, 13);
         assert_eq!(m.generation, 3);
         assert_eq!(m.dispatch_entries, 7);
+        assert_eq!(m.index_entries, 2);
     }
 
     #[test]

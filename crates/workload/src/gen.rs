@@ -395,6 +395,111 @@ pub fn call_cycle_schema(len: usize) -> Schema {
     s
 }
 
+/// A call-graph stress schema for the condensation index: one type `"A"`
+/// carrying `chains` deep single-candidate call chains (each `depth`
+/// methods ending in its own attribute reader), `rings` mutually
+/// recursive cycle rings of `ring_len` methods that overlap the chains
+/// (each ring member also calls into a chain picked by the seeded RNG,
+/// and the rings share members with each other via extra cross-calls),
+/// plus seeded fan-out methods calling several chain heads at once.
+///
+/// Every generic function has exactly one method, so from `A` every call
+/// site is single-candidate: the whole schema is answerable by the
+/// applicability index without fallback, which is what makes it a useful
+/// best-case stressor (large SCC condensation, wide footprints).
+/// Deterministic for a given parameter set.
+pub fn call_heavy_schema(
+    chains: usize,
+    depth: usize,
+    rings: usize,
+    ring_len: usize,
+    seed: u64,
+) -> Schema {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+
+    // Chains: c{i}_x attribute + f{i}_{j} methods, leaf-first, exactly as
+    // call_chain_schema but namespaced per chain. chain_heads[i] is the
+    // gf whose (single) method starts chain i.
+    let mut chain_heads: Vec<GfId> = Vec::with_capacity(chains);
+    for i in 0..chains {
+        let x = s
+            .add_attr(format!("c{i}_x"), ValueType::INT, a)
+            .expect("fresh");
+        let (get_x, _) = s.add_reader(x, a).expect("fresh");
+        let mut next_callee = get_x;
+        for j in (0..depth).rev() {
+            let gf = s.add_gf(format!("f{i}_{j}"), 1, None).expect("unique");
+            let mut bb = BodyBuilder::new();
+            bb.call(next_callee, vec![Expr::Param(0)]);
+            s.add_method(
+                gf,
+                format!("m{i}_{j}"),
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .expect("fresh");
+            next_callee = gf;
+        }
+        chain_heads.push(next_callee);
+    }
+
+    // Rings: r{k}_{j} methods in a cycle; each member also calls a seeded
+    // chain head (grounding the ring's footprint in that chain's
+    // attribute), and ring k > 0 cross-calls into ring k-1, merging the
+    // rings into larger SCC structure.
+    let mut prev_ring: Vec<GfId> = Vec::new();
+    for k in 0..rings {
+        let gfs: Vec<GfId> = (0..ring_len)
+            .map(|j| s.add_gf(format!("r{k}_{j}"), 1, None).expect("unique"))
+            .collect();
+        for j in 0..ring_len {
+            let mut bb = BodyBuilder::new();
+            bb.call(gfs[(j + 1) % ring_len], vec![Expr::Param(0)]);
+            if !chain_heads.is_empty() {
+                let pick = rng.gen_range(0..chain_heads.len());
+                bb.call(chain_heads[pick], vec![Expr::Param(0)]);
+            }
+            if j == 0 && !prev_ring.is_empty() {
+                bb.call(prev_ring[0], vec![Expr::Param(0)]);
+            }
+            s.add_method(
+                gfs[j],
+                format!("rm{k}_{j}"),
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .expect("fresh");
+        }
+        prev_ring = gfs;
+    }
+
+    // Fan-out: one method per chain calling 1–4 seeded chain heads, the
+    // wide-footprint consumers a batch of projections hammers.
+    for i in 0..chains {
+        let gf = s.add_gf(format!("fan{i}"), 1, None).expect("unique");
+        let mut bb = BodyBuilder::new();
+        let width = rng.gen_range(1..=4usize.min(chains));
+        for _ in 0..width {
+            let pick = rng.gen_range(0..chain_heads.len());
+            bb.call(chain_heads[pick], vec![Expr::Param(0)]);
+        }
+        s.add_method(
+            gf,
+            format!("fanm{i}"),
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh");
+    }
+    s.validate().expect("call-heavy schema is well-formed");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,5 +588,21 @@ mod tests {
         let s = call_cycle_schema(12);
         s.validate().unwrap();
         assert_eq!(s.n_methods(), 13);
+    }
+
+    #[test]
+    fn call_heavy_is_deterministic_and_validates() {
+        let s1 = call_heavy_schema(4, 10, 3, 5, 7);
+        let s2 = call_heavy_schema(4, 10, 3, 5, 7);
+        assert_eq!(s1.render_methods(), s2.render_methods());
+        // 4 chains × (10 methods + 1 reader) + 3 rings × 5 + 4 fan-outs.
+        assert_eq!(s1.n_methods(), 4 * 11 + 3 * 5 + 4);
+    }
+
+    #[test]
+    fn call_heavy_is_degenerate_safely() {
+        // No chains / no rings still validates.
+        call_heavy_schema(0, 5, 2, 3, 1).validate().unwrap();
+        call_heavy_schema(3, 0, 0, 4, 1).validate().unwrap();
     }
 }

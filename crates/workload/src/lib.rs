@@ -22,7 +22,8 @@ pub mod scenarios;
 
 pub use figures::{fig1, fig3, fig3_with_z1};
 pub use gen::{
-    batch_requests, call_chain_schema, call_cycle_schema, chain_schema, deepest_type,
-    ladder_schema, random_projection, random_schema, single_dispatch_schema, GenParams,
+    batch_requests, call_chain_schema, call_cycle_schema, call_heavy_schema, chain_schema,
+    deepest_type, ladder_schema, random_projection, random_schema, single_dispatch_schema,
+    GenParams,
 };
 pub use scenarios::university;
