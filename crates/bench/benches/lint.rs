@@ -1,0 +1,61 @@
+//! Experiment LINT-C: cold vs. warm lint analysis.
+//!
+//! The TDL lints run a full applicability pass plus dispatch-ambiguity
+//! unification per schema, so `td_core::lint` caches its reports in the
+//! generational dispatch cache. This group measures what that buys: a
+//! cold run (cache cleared every iteration) against a warm run answering
+//! from the resident report, on the paper's Figure 3 and a seeded
+//! mid-size random schema.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use td_core::lint;
+use td_model::Schema;
+use td_workload::{figures, random_schema, GenParams};
+
+fn request(
+    s: &Schema,
+    ty: &str,
+    attrs: &[&str],
+) -> (
+    td_model::TypeId,
+    std::collections::BTreeSet<td_model::AttrId>,
+) {
+    let source = s.type_id(ty).unwrap();
+    let projection = attrs.iter().map(|a| s.attr_id(a).unwrap()).collect();
+    (source, projection)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint/cold_vs_warm");
+
+    let fig3 = figures::fig3_with_z1();
+    let (source, projection) = request(&fig3, "A", &["a2", "e2", "h2"]);
+    group.bench_function("fig3_cold", |b| {
+        b.iter(|| {
+            fig3.clear_dispatch_cache();
+            black_box(lint(&fig3, Some((source, &projection))))
+        })
+    });
+    lint(&fig3, Some((source, &projection)));
+    group.bench_function("fig3_warm", |b| {
+        b.iter(|| black_box(lint(&fig3, Some((source, &projection)))))
+    });
+
+    let random = random_schema(&GenParams::default());
+    group.bench_function("random24_cold", |b| {
+        b.iter(|| {
+            random.clear_dispatch_cache();
+            black_box(lint(&random, None))
+        })
+    });
+    lint(&random, None);
+    group.bench_function("random24_warm", |b| {
+        b.iter(|| black_box(lint(&random, None)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

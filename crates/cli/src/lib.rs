@@ -9,6 +9,7 @@
 //! tdv dot       <schema.td>                         Graphviz DOT export
 //! tdv applicable <schema.td> <Type> <a1,a2,…>       IsApplicable classification
 //! tdv project   <schema.td> <Type> <a1,a2,…>        derive; print summary + refactored schema
+//! tdv lint      <schema.td> [<Type> <a1,a2,…>]      static schema & projection-safety analysis
 //! tdv batch     <schema.td> <requests.txt> [N]      derive a request fleet over N threads
 //! tdv explain   <schema.td> <Type> <a1,a2,…> <m>    why did method m (not) survive?
 //! tdv audit     <schema.td> <Type> <a1,a2,…>        baseline strategy audit
@@ -31,7 +32,7 @@ use td_baselines::{
 };
 use td_core::{explain, project, Engine, ProjectionOptions};
 use td_driver::{BatchDeriver, BatchRequest};
-use td_model::{parse_schema, AttrId, Schema, TypeId};
+use td_model::{parse_schema, parse_schema_lenient, AttrId, Schema, TypeId};
 use td_store::{parse_objects, Database, Value};
 
 /// A CLI failure: message plus suggested exit code.
@@ -68,6 +69,7 @@ USAGE:
   tdv dot        <schema.td>
   tdv applicable <schema.td> <Type> <attr,attr,…> [--engine E]
   tdv project    <schema.td> <Type> <attr,attr,…> [--engine E]
+  tdv lint       <schema.td> [<Type> <attr,attr,…>] [--json] [--deny warnings]
   tdv batch      <schema.td> <requests.txt> [threads] [--engine E]
   tdv explain    <schema.td> <Type> <attr,attr,…> <method-label>
   tdv audit      <schema.td> <Type> <attr,attr,…>
@@ -84,6 +86,12 @@ batch request files hold one `Type: attr,attr,…` projection per line
 to pick the IsApplicable implementation (default: indexed, the
 condensation-index engine; stack is the paper's §4.1 algorithm; fixpoint
 is the reference oracle). All three classify identically.
+
+`lint` runs the TDL static checks (dispatch ambiguity, precedence
+conflicts, optimistic-cycle audit, projection safety, Augment hazards)
+over the schema, plus the given projection request when one is supplied.
+--json emits a machine-readable report; --deny warnings exits nonzero on
+warnings as well as errors.
 ";
 
 /// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
@@ -106,6 +114,43 @@ fn extract_engine(args: &[String]) -> Result<(Vec<String>, Engine), CliError> {
         }
     }
     Ok((rest, engine))
+}
+
+/// Strips `--json` and `--deny warnings` / `--deny=warnings` out of
+/// `args` for the `lint` command, returning the remaining positional
+/// arguments and the two switches.
+fn extract_lint_flags(args: &[String]) -> Result<(Vec<String>, bool, bool), CliError> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json = true;
+        } else if let Some(level) = a.strip_prefix("--deny=") {
+            deny_lint_level(level)?;
+            deny_warnings = true;
+        } else if a == "--deny" {
+            let level = it
+                .next()
+                .ok_or_else(|| fail("--deny: missing value (warnings)"))?;
+            deny_lint_level(level)?;
+            deny_warnings = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, json, deny_warnings))
+}
+
+fn deny_lint_level(level: &str) -> Result<(), CliError> {
+    if level == "warnings" {
+        Ok(())
+    } else {
+        Err(fail(format!(
+            "--deny: unknown level `{level}` (only `warnings` is supported)"
+        )))
+    }
 }
 
 /// Runs one command. `args` excludes the program name. Returns the text
@@ -191,6 +236,37 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "lint" => {
+            let (args, json, deny_warnings) = extract_lint_flags(&args)?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| fail("missing schema file argument"))?;
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+            // Lenient parse: structural problems (precedence conflicts,
+            // dangling references, …) become TDL diagnostics instead of a
+            // load failure. Lex/syntax errors still fail here.
+            let schema = parse_schema_lenient(&src).map_err(|e| fail(format!("{path}: {e}")))?;
+            let request = if args.get(2).is_some() {
+                Some(view_args(&schema, args.get(2), args.get(3))?)
+            } else {
+                None
+            };
+            let report = td_core::lint(&schema, request.as_ref().map(|(t, a)| (*t, a)));
+            let out = if json {
+                report.render_json()
+            } else {
+                report.render_text()
+            };
+            if report.fails(deny_warnings) {
+                Err(CliError {
+                    message: out,
+                    code: 1,
+                })
+            } else {
+                Ok(out)
+            }
+        }
         "batch" => {
             let schema = load(args.get(1))?;
             let path = args
@@ -207,10 +283,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
             let requests =
                 parse_batch_requests(&schema, &src).map_err(|e| fail(format!("{path}: {e}")))?;
-            let mut deriver = BatchDeriver::new(&schema).options(ProjectionOptions {
-                engine,
-                ..ProjectionOptions::default()
-            });
+            let mut deriver = BatchDeriver::new(&schema)
+                .options(ProjectionOptions {
+                    engine,
+                    ..ProjectionOptions::default()
+                })
+                .lint(true);
             if let Some(threads) = threads {
                 deriver = deriver.threads(threads);
             }
@@ -239,11 +317,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let e =
                 explain(&schema, source, &projection, method).map_err(|e| fail(e.to_string()))?;
             let mut out = e.render(&schema);
-            // The explanation replays dispatch through td-model's cache;
-            // show how warm the run was.
             if !out.ends_with('\n') {
                 out.push('\n');
             }
+            // Flag verdicts that rest on the §4 optimistic cycle
+            // assumption: the method sits on a call ring, so its fate was
+            // assumed before it was proven.
+            if let Some(ring) = td_core::optimistic_cycle_ring(&schema, source, method) {
+                let members = ring
+                    .iter()
+                    .map(|&m| format!("`{}`", schema.method(m).label))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let wording = if e.is_applicable() {
+                    "this verdict relied on the §4 optimistic cycle assumption"
+                } else {
+                    "this verdict assumed the ring applicable, then retracted it (§4)"
+                };
+                let _ = writeln!(out, "note[TDL003]: {wording} (call ring: {members})");
+            }
+            // The explanation replays dispatch through td-model's cache;
+            // show how warm the run was.
             let _ = writeln!(out, "{}", schema.dispatch_cache_stats());
             Ok(out)
         }
@@ -739,10 +833,110 @@ mod tests {
         let r = fixture("engine_b", "Employee: SSN\n");
         let out = run_ok(&["batch", path, r.to_str().unwrap(), "--engine=fixpoint"]);
         assert!(out.contains("1 requests, 1 ok"), "{out}");
+        // `batch` lints every request; the stats block reports the counts.
+        assert!(out.contains("lint:"), "{out}");
         // Unknown engines fail with a parse error, not a panic.
         let e = run_err(&["applicable", path, "Employee", "SSN", "--engine=warp"]);
         assert!(e.message.contains("unknown engine"), "{}", e.message);
         let e = run_err(&["applicable", path, "Employee", "SSN", "--engine"]);
         assert!(e.message.contains("missing value"), "{}", e.message);
+    }
+
+    /// The shipped Figure 3 schema (with Example 4's `z1`), reused so the
+    /// CLI tests cover exactly what `examples/` ships.
+    const FIG3: &str = include_str!("../../../examples/schemas/fig3.td");
+
+    /// A CLOS-style precedence diamond: X and Y order {P, Q} oppositely,
+    /// so Z has no consistent linearization.
+    const CONFLICT: &str = "
+        type P { }
+        type Q { }
+        type X : P(1), Q(2) { }
+        type Y : Q(1), P(2) { }
+        type Z : X(1), Y(2) { }
+    ";
+
+    /// Two multi-methods neither of which is most specific at `g(C, C)`.
+    const AMBIGUOUS: &str = "
+        type P { }
+        type A : P(1) { }
+        type B : P(1) { }
+        type C : A(1), B(2) { }
+        gf g(2)
+        method g1 = g(A, B) { }
+        method g2 = g(B, A) { }
+    ";
+
+    #[test]
+    fn lint_fig3_schema_and_request() {
+        let f = fixture("lint_fig3", FIG3);
+        // Schema-wide: clean, even under --deny warnings.
+        let out = run_ok(&["lint", f.to_str().unwrap(), "--deny", "warnings"]);
+        assert!(out.contains("0 errors, 0 warnings"), "{out}");
+
+        // The FIG4 request reports the x1/y1 call ring (TDL003) and z1's
+        // Augment hazard (TDL005) as notes — informative, never fatal.
+        let out = run_ok(&[
+            "lint",
+            f.to_str().unwrap(),
+            "A",
+            "a2,e2,h2",
+            "--json",
+            "--deny",
+            "warnings",
+        ]);
+        assert!(out.contains("\"TDL003\""), "{out}");
+        assert!(out.contains("\"TDL005\""), "{out}");
+        assert!(out.contains("\"paper_section\""), "{out}");
+    }
+
+    #[test]
+    fn lint_conflict_schema_fails() {
+        let f = fixture("lint_conflict", CONFLICT);
+        // Lenient parsing loads the broken schema; lint reports TDL002 and
+        // exits nonzero even without --deny.
+        let e = run_err(&["lint", f.to_str().unwrap()]);
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("TDL002"), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_ambiguous_schema_warns_and_deny_fails() {
+        let f = fixture("lint_ambig", AMBIGUOUS);
+        let out = run_ok(&["lint", f.to_str().unwrap()]);
+        assert!(out.contains("TDL001"), "{out}");
+        let e = run_err(&["lint", f.to_str().unwrap(), "--deny=warnings"]);
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("TDL001"), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_bad_request_is_tdl006() {
+        let f = fixture("lint_req", FIG3);
+        let e = run_err(&["lint", f.to_str().unwrap(), "A", ""]);
+        assert!(e.message.contains("TDL006"), "{}", e.message);
+        let e = run_err(&["lint", f.to_str().unwrap(), "C", "a1"]);
+        assert!(e.message.contains("not available"), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_rejects_unknown_deny_level() {
+        let f = fixture("lint_deny", FIG3);
+        let e = run_err(&["lint", f.to_str().unwrap(), "--deny", "errors"]);
+        assert!(e.message.contains("unknown level"), "{}", e.message);
+        let e = run_err(&["lint", f.to_str().unwrap(), "--deny"]);
+        assert!(e.message.contains("missing value"), "{}", e.message);
+    }
+
+    #[test]
+    fn explain_annotates_optimistic_cycles() {
+        let f = fixture("explain_ring", FIG3);
+        // x1 sits on the x1 <-> y1 call ring: annotated.
+        let out = run_ok(&["explain", f.to_str().unwrap(), "A", "a2,e2,h2", "x1"]);
+        assert!(out.contains("note[TDL003]"), "{out}");
+        assert!(out.contains("y1"), "{out}");
+        // u1 is ring-free: no annotation.
+        let out = run_ok(&["explain", f.to_str().unwrap(), "A", "a2,e2,h2", "u1"]);
+        assert!(!out.contains("TDL003"), "{out}");
     }
 }

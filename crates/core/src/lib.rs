@@ -64,6 +64,7 @@ pub mod explain;
 pub mod factor_methods;
 pub mod factor_state;
 pub mod invariants;
+pub mod lint;
 pub mod minimize;
 pub mod oracle;
 pub mod projection;
@@ -77,6 +78,7 @@ pub use catalog::{CatalogEntry, ViewCatalog};
 pub use error::{CoreError, Result};
 pub use explain::{explain, Explanation};
 pub use invariants::{InvariantReport, Violation};
+pub use lint::{lint, optimistic_cycle_ring};
 pub use minimize::{minimize_surrogates, MinimizeOutcome};
 pub use oracle::{applicability_fixpoint, compute_applicability_fixpoint};
 pub use projection::{project, project_named, Derivation, Engine, ProjectionOptions, StageTimings};

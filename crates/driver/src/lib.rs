@@ -50,7 +50,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use td_core::{project, CoreError, Derivation, Engine, ProjectionOptions, StageTimings};
-use td_model::{AttrId, DispatchCacheStats, ModelError, Schema, SchemaSnapshot, TypeId};
+use td_model::{
+    AttrId, DispatchCacheStats, LintReport, ModelError, Schema, SchemaSnapshot, TypeId,
+};
 
 /// One projection request: derive `Π_projection(source)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +127,10 @@ pub struct RequestOutcome {
     /// Dispatch-cache activity attributable to this request alone (the
     /// fork's final counters minus the snapshot's counters at fork time).
     pub cache: DispatchCacheStats,
+    /// The TDL lint report for this request (schema checks plus
+    /// projection-safety checks), when [`BatchDeriver::lint`] was enabled.
+    /// `None` when linting was off or the request failed id validation.
+    pub lint: Option<LintReport>,
     /// Wall-clock time this request spent on its worker.
     pub duration: Duration,
 }
@@ -194,6 +200,14 @@ pub struct BatchStats {
     pub stages: StageTimings,
     /// Dispatch-cache hit/miss rollup summed across requests.
     pub cache: DispatchCacheStats,
+    /// True when the batch ran with linting enabled.
+    pub linted: bool,
+    /// Error-severity lint diagnostics summed across requests.
+    pub lint_errors: usize,
+    /// Warning-severity lint diagnostics summed across requests.
+    pub lint_warnings: usize,
+    /// Note-severity lint diagnostics summed across requests.
+    pub lint_notes: usize,
 }
 
 impl std::fmt::Display for BatchStats {
@@ -212,6 +226,13 @@ impl std::fmt::Display for BatchStats {
             self.cpu_time.as_secs_f64() / self.wall_clock.as_secs_f64().max(1e-9)
         )?;
         writeln!(f, "stages: {}", self.stages)?;
+        if self.linted {
+            writeln!(
+                f,
+                "lint:  {} errors, {} warnings, {} notes",
+                self.lint_errors, self.lint_warnings, self.lint_notes
+            )?;
+        }
         write!(
             f,
             "cache: cpl {}/{} hits, dispatch {}/{} hits",
@@ -272,6 +293,7 @@ pub struct BatchDeriver {
     snapshot: SchemaSnapshot,
     threads: usize,
     options: ProjectionOptions,
+    lint: bool,
 }
 
 impl BatchDeriver {
@@ -290,6 +312,7 @@ impl BatchDeriver {
                 .map(|n| n.get())
                 .unwrap_or(1),
             options: ProjectionOptions::default(),
+            lint: false,
         }
     }
 
@@ -304,6 +327,17 @@ impl BatchDeriver {
     /// Sets the per-request projection options.
     pub fn options(mut self, options: ProjectionOptions) -> BatchDeriver {
         self.options = options;
+        self
+    }
+
+    /// Enables (or disables) per-request TDL linting. Off by default:
+    /// linting adds an applicability pass per request, and throughput
+    /// benchmarks measure the bare pipeline. When enabled, the schema-wide
+    /// report is computed once on the shared snapshot and every fork
+    /// answers it from the inherited cache; only the per-request
+    /// projection-safety part is computed per fork.
+    pub fn lint(mut self, lint: bool) -> BatchDeriver {
+        self.lint = lint;
         self
     }
 
@@ -351,6 +385,11 @@ impl BatchDeriver {
         // shared snapshot; every fork below inherits the warm Arc instead
         // of condensing the call graph per request.
         self.warm_applicability_index(requests);
+        // Likewise the schema-wide lint report: computed once here, every
+        // fork answers the schema part from the inherited cache.
+        if self.lint {
+            let _ = td_core::lint(self.snapshot.schema(), None);
+        }
         let n = requests.len();
         let threads = self.threads.min(n.max(1));
         let cursor = AtomicUsize::new(0);
@@ -395,9 +434,15 @@ impl BatchDeriver {
             wall_clock: started.elapsed(),
             ..BatchStats::default()
         };
+        stats.linted = self.lint;
         for r in &results {
             stats.cpu_time += r.duration;
             stats.cache = stats.cache.merge(&r.cache);
+            if let Some(lint) = &r.lint {
+                stats.lint_errors += lint.errors();
+                stats.lint_warnings += lint.warnings();
+                stats.lint_notes += lint.notes();
+            }
             match &r.result {
                 Ok(d) => {
                     stats.succeeded += 1;
@@ -435,11 +480,17 @@ impl BatchDeriver {
                 result: Err(e),
                 schema: None,
                 cache: DispatchCacheStats::default(),
+                lint: None,
                 duration: started.elapsed(),
             };
         }
         let mut fork = self.snapshot.fork();
         let at_fork = fork.dispatch_cache_stats();
+        // Lint before projecting: the derivation mutates the fork, which
+        // bumps its generation and would flush the inherited lint cache.
+        let lint = self
+            .lint
+            .then(|| td_core::lint(&fork, Some((request.source, &request.projection))));
         let result = project(
             &mut fork,
             request.source,
@@ -454,6 +505,7 @@ impl BatchDeriver {
             result,
             schema,
             cache,
+            lint,
             duration: started.elapsed(),
         }
     }
@@ -621,6 +673,49 @@ mod tests {
         let indexed = render_with(Engine::Indexed);
         assert_eq!(indexed, render_with(Engine::Stack));
         assert_eq!(indexed, render_with(Engine::Fixpoint));
+    }
+
+    #[test]
+    fn lint_reports_surface_in_outcomes_and_stats() {
+        let s = base_schema();
+        let outcome = BatchDeriver::new(&s)
+            .threads(2)
+            .lint(true)
+            .run(&requests(&s));
+        assert!(outcome.all_ok());
+        assert!(outcome.results.iter().all(|r| r.lint.is_some()));
+        assert!(outcome.stats.linted);
+        assert_eq!(outcome.stats.lint_errors, 0);
+        // Π_{pay_rate}(Employee) and Π_{SSN}(Person) both strand `age`
+        // (its body needs date_of_birth): behavior-free warnings (TDL004).
+        assert_eq!(outcome.stats.lint_warnings, 2);
+        assert!(
+            outcome.stats.to_string().contains("lint:"),
+            "{}",
+            outcome.stats
+        );
+
+        // The schema-wide part was computed once on the shared snapshot;
+        // every fork answers it from the inherited cache, paying only the
+        // per-request projection-safety miss.
+        let merged = outcome
+            .results
+            .iter()
+            .fold(DispatchCacheStats::default(), |acc, r| acc.merge(&r.cache));
+        assert_eq!(
+            merged.lint_hits, 3,
+            "each fork reuses the schema-part report"
+        );
+        assert_eq!(merged.lint_misses, 3, "one request-part computation each");
+    }
+
+    #[test]
+    fn lint_is_off_by_default() {
+        let s = base_schema();
+        let outcome = BatchDeriver::new(&s).run(&requests(&s));
+        assert!(outcome.results.iter().all(|r| r.lint.is_none()));
+        assert!(!outcome.stats.linted);
+        assert!(!outcome.stats.to_string().contains("lint:"));
     }
 
     #[test]

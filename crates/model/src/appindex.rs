@@ -156,6 +156,12 @@ pub struct ApplicabilityIndex {
     /// Per-SCC: some reachable site is disjunctive or case-2 — the subset
     /// test is not exact and the caller must use the pass-based engine.
     scc_fallback: Vec<bool>,
+    /// Per-SCC node membership, in emission order (matches `scc_of` ids).
+    scc_members: Vec<Vec<usize>>,
+    /// Per-SCC: the component contains an internal call edge — a genuine
+    /// call ring (size > 1, or a self-recursive method). Verdicts inside
+    /// such components rest on the §4 optimistic assumption.
+    scc_cyclic: Vec<bool>,
     /// Number of universe methods whose verdict needs the fallback.
     fallback_methods: usize,
 }
@@ -304,6 +310,17 @@ impl ApplicabilityIndex {
         }
 
         let fallback_methods = (0..n).filter(|&i| scc_fallback[scc_of[i]]).count();
+        // An SCC is a call ring iff it has an internal edge: components of
+        // size > 1 always do (strong connectivity), and singletons only
+        // when the method calls itself.
+        let mut scc_cyclic = vec![false; n_sccs];
+        for (v, out) in edges.iter().enumerate() {
+            for &w in out {
+                if scc_of[w] == scc_of[v] {
+                    scc_cyclic[scc_of[v]] = true;
+                }
+            }
+        }
         Ok(ApplicabilityIndex {
             source,
             n_attrs,
@@ -313,6 +330,8 @@ impl ApplicabilityIndex {
             scc_footprint,
             scc_dead,
             scc_fallback,
+            scc_members,
+            scc_cyclic,
             fallback_methods,
         })
     }
@@ -363,6 +382,36 @@ impl ApplicabilityIndex {
     pub fn footprint(&self, m: MethodId) -> Option<&AttrBitSet> {
         let &i = self.node_of.get(&m)?;
         Some(&self.scc_footprint[self.scc_of[i]])
+    }
+
+    /// True when `m`'s applicability verdict for this source rests on the
+    /// §4 optimistic cycle assumption: the method sits on a call ring
+    /// (nontrivial SCC, or self-recursion) of the condensed call graph.
+    pub fn in_cycle(&self, m: MethodId) -> bool {
+        match self.node_of.get(&m) {
+            Some(&i) => self.scc_cyclic[self.scc_of[i]],
+            None => false,
+        }
+    }
+
+    /// The call rings of the condensed graph: one group per SCC with an
+    /// internal edge, members sorted by method id, groups ordered by their
+    /// smallest member. These are exactly the regions where §4's
+    /// `IsApplicable` assumes methods applicable before checking them.
+    pub fn cycle_groups(&self) -> Vec<Vec<MethodId>> {
+        let mut groups: Vec<Vec<MethodId>> = self
+            .scc_members
+            .iter()
+            .enumerate()
+            .filter(|&(sid, _)| self.scc_cyclic[sid])
+            .map(|(_, members)| {
+                let mut g: Vec<MethodId> = members.iter().map(|&v| self.methods[v]).collect();
+                g.sort();
+                g
+            })
+            .collect();
+        groups.sort();
+        groups
     }
 
     /// Classifies `m` against a projection (pre-converted with

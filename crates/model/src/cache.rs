@@ -36,9 +36,10 @@
 //! invariant report.
 
 use crate::appindex::ApplicabilityIndex;
+use crate::diag::LintReport;
 use crate::dispatch::CallArg;
 use crate::error::Result;
-use crate::ids::{GfId, MethodId, TypeId};
+use crate::ids::{AttrId, GfId, MethodId, TypeId};
 use crate::schema::Schema;
 use crate::stats::DispatchCacheStats;
 use std::collections::HashMap;
@@ -50,6 +51,12 @@ pub(crate) type Ranks = Vec<(TypeId, usize)>;
 
 /// Key of the per-call dispatch tables.
 type CallKey = (GfId, Vec<CallArg>);
+
+/// Key of the cached lint reports: `None` is the schema-wide analysis,
+/// `Some((source, projection))` the per-request projection-safety part.
+/// The projection list is kept sorted by the writer (td-core's lint pass
+/// sorts before storing).
+pub type LintKey = Option<(TypeId, Vec<AttrId>)>;
 
 #[derive(Debug, Clone, Default)]
 struct CacheInner {
@@ -65,12 +72,18 @@ struct CacheInner {
     /// (the call graph and its footprints depend on the source type but
     /// not on the projection list — see [`crate::appindex`]).
     app_index: HashMap<TypeId, Arc<ApplicabilityIndex>>,
+    /// Lint reports, keyed by [`LintKey`]. The analysis itself lives in
+    /// td-core; the model only stores the results so every fork of a
+    /// [`crate::SchemaSnapshot`] shares them generationally.
+    lint: HashMap<LintKey, Arc<LintReport>>,
     cpl_hits: u64,
     cpl_misses: u64,
     dispatch_hits: u64,
     dispatch_misses: u64,
     index_hits: u64,
     index_misses: u64,
+    lint_hits: u64,
+    lint_misses: u64,
     invalidations: u64,
 }
 
@@ -83,12 +96,14 @@ impl CacheInner {
                 || !self.ranks.is_empty()
                 || !self.applicable.is_empty()
                 || !self.ranked.is_empty()
-                || !self.app_index.is_empty();
+                || !self.app_index.is_empty()
+                || !self.lint.is_empty();
             self.cpl.clear();
             self.ranks.clear();
             self.applicable.clear();
             self.ranked.clear();
             self.app_index.clear();
+            self.lint.clear();
             self.entries_generation = self.generation;
             if had_entries {
                 self.invalidations += 1;
@@ -172,10 +187,13 @@ impl Schema {
             dispatch_misses: inner.dispatch_misses,
             index_hits: inner.index_hits,
             index_misses: inner.index_misses,
+            lint_hits: inner.lint_hits,
+            lint_misses: inner.lint_misses,
             invalidations: inner.invalidations,
             cpl_entries: inner.cpl.len() + inner.ranks.len(),
             dispatch_entries: inner.applicable.len() + inner.ranked.len(),
             index_entries: inner.app_index.len(),
+            lint_entries: inner.lint.len(),
         }
     }
 
@@ -289,6 +307,33 @@ impl Schema {
         inner.refresh();
         inner.app_index.insert(source, Arc::clone(&computed));
         Ok(computed)
+    }
+
+    /// The cached lint report for `key`, if one was stored under the
+    /// current generation. Counts a hit or a miss; the analysis itself
+    /// lives in td-core, which calls [`Schema::store_lint_report`] after
+    /// computing a missed report.
+    pub fn cached_lint_report(&self, key: &LintKey) -> Option<Arc<LintReport>> {
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        match inner.lint.get(key).map(Arc::clone) {
+            Some(v) => {
+                inner.lint_hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.lint_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a lint report under `key` for the current generation, so
+    /// snapshot forks and batch workers share the analysis.
+    pub fn store_lint_report(&self, key: LintKey, report: Arc<LintReport>) {
+        let mut inner = self.cache.lock();
+        inner.refresh();
+        inner.lint.insert(key, report);
     }
 }
 
@@ -457,6 +502,43 @@ mod tests {
         let rebuilt = s.cached_applicability_index(b).unwrap();
         assert_eq!(rebuilt.universe().len(), before + 1);
         assert_eq!(s.dispatch_cache_stats().index_misses, 2);
+    }
+
+    #[test]
+    fn lint_reports_are_cached_and_invalidated() {
+        use crate::cache::LintKey;
+        use crate::diag::{Diagnostic, LintCode, LintReport};
+        use std::sync::Arc;
+        let (mut s, _a, b, f, _f_a) = base();
+        let key: LintKey = None;
+        assert!(s.cached_lint_report(&key).is_none());
+        let report = Arc::new(LintReport::new(vec![Diagnostic::new(
+            LintCode::DispatchAmbiguity,
+            "synthetic",
+            vec![],
+        )]));
+        s.store_lint_report(key.clone(), Arc::clone(&report));
+        assert_eq!(s.cached_lint_report(&key).as_deref(), Some(report.as_ref()));
+        let stats = s.dispatch_cache_stats();
+        assert_eq!(stats.lint_entries, 1);
+        assert_eq!(stats.lint_hits, 1);
+        assert_eq!(stats.lint_misses, 1);
+
+        // A clone (snapshot) carries the warm report.
+        let snapshot = s.clone();
+        assert!(snapshot.cached_lint_report(&key).is_some());
+
+        // A mutation flushes it.
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        assert!(s.cached_lint_report(&key).is_none());
+        assert_eq!(s.dispatch_cache_stats().lint_entries, 0);
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Structured lint diagnostics (`TDL…` codes) for schemas and projection
+//! requests.
+//!
+//! Every check the analyzer performs — whether shallow well-formedness from
+//! [`crate::Schema::validate_diagnostics`] or the deeper projection-safety
+//! passes in td-core — reports through one vocabulary: a [`Diagnostic`]
+//! carries a stable [`LintCode`], a [`Severity`], a human-readable message
+//! and provenance [`Span`]s naming the offending types, attributes, generic
+//! functions and methods. A [`LintReport`] aggregates diagnostics, renders
+//! them as text or JSON, and decides the exit policy (`--deny warnings`).
+//!
+//! Severity tiers are part of the contract: facts about the paper's own
+//! machinery (the §4 optimistic cycle assumption, §6.4 Augment pressure) are
+//! *notes*; schema smells that make derivations surprising (dispatch
+//! ambiguity, behavior-free projections) are *warnings*; anything that makes
+//! the pipeline fail outright (precedence conflicts, malformed requests,
+//! validation failures) is an *error*.
+
+use std::fmt;
+
+/// How serious a diagnostic is. Ordered: `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: the derivation will succeed, but rests on an
+    /// assumption or side effect worth knowing about.
+    Note,
+    /// Suspicious: the derivation will succeed but is likely not what the
+    /// schema author intended. Fails `--deny warnings`.
+    Warning,
+    /// The pipeline will reject this schema or request.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable lint codes. `TDL0xx` are the analysis passes; `TDL1xx` are
+/// well-formedness (validation) failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// TDL001 — an argument-type tuple has two maximal applicable methods
+    /// and no most-specific winner (multi-method confusability, §3).
+    DispatchAmbiguity,
+    /// TDL002 — inconsistent class precedence list or broken surrogate
+    /// precedence wiring; would violate invariant I2 (§2, §5).
+    PrecedenceConflict,
+    /// TDL003 — a method's applicability verdict rests on the §4 optimistic
+    /// assumption about a call ring (call-graph SCC).
+    OptimisticCycle,
+    /// TDL004 — the requested projection derives a behavior-free type: no
+    /// non-accessor method survives (§4).
+    BehaviorFreeProjection,
+    /// TDL005 — an assignment in a surviving method body forces `Augment` to
+    /// create surrogates for types outside the projection closure (§6.4).
+    AugmentHazard,
+    /// TDL006 — the projection request itself is malformed: empty, or names
+    /// attributes not available at the source type (§3.1).
+    InvalidRequest,
+    /// TDL100 — a dangling or duplicate identifier reference.
+    InvalidReference,
+    /// TDL101 — the type hierarchy contains a cycle (§2).
+    HierarchyCycle,
+    /// TDL102 — attribute ownership bookkeeping is inconsistent (§2.2).
+    AttrOwnership,
+    /// TDL103 — a method's signature disagrees with its generic function's
+    /// arity (§3).
+    MethodArity,
+    /// TDL104 — an accessor method violates the accessor contract (§2.2).
+    AccessorContract,
+    /// TDL105 — a method body references parameters, variables or generic
+    /// functions that do not exist (§6.3).
+    BodyMalformed,
+    /// TDL106 — two methods of one generic function share identical
+    /// signatures (§3).
+    DuplicateSignatures,
+    /// TDL107 — a body assignment stores a value into a variable of an
+    /// incompatible type (§6.3).
+    AssignmentTypeError,
+}
+
+impl LintCode {
+    /// The stable code string, e.g. `"TDL001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::DispatchAmbiguity => "TDL001",
+            LintCode::PrecedenceConflict => "TDL002",
+            LintCode::OptimisticCycle => "TDL003",
+            LintCode::BehaviorFreeProjection => "TDL004",
+            LintCode::AugmentHazard => "TDL005",
+            LintCode::InvalidRequest => "TDL006",
+            LintCode::InvalidReference => "TDL100",
+            LintCode::HierarchyCycle => "TDL101",
+            LintCode::AttrOwnership => "TDL102",
+            LintCode::MethodArity => "TDL103",
+            LintCode::AccessorContract => "TDL104",
+            LintCode::BodyMalformed => "TDL105",
+            LintCode::DuplicateSignatures => "TDL106",
+            LintCode::AssignmentTypeError => "TDL107",
+        }
+    }
+
+    /// The section of the paper whose machinery this check enforces.
+    pub fn paper_section(self) -> &'static str {
+        match self {
+            LintCode::DispatchAmbiguity => "§3",
+            LintCode::PrecedenceConflict => "§2/I2",
+            LintCode::OptimisticCycle => "§4.1",
+            LintCode::BehaviorFreeProjection => "§4",
+            LintCode::AugmentHazard => "§6.4",
+            LintCode::InvalidRequest => "§3.1",
+            LintCode::InvalidReference => "§2",
+            LintCode::HierarchyCycle => "§2",
+            LintCode::AttrOwnership => "§2.2",
+            LintCode::MethodArity => "§3",
+            LintCode::AccessorContract => "§2.2",
+            LintCode::BodyMalformed => "§6.3",
+            LintCode::DuplicateSignatures => "§3",
+            LintCode::AssignmentTypeError => "§6.3",
+        }
+    }
+
+    /// The default severity this code reports at.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::OptimisticCycle | LintCode::AugmentHazard => Severity::Note,
+            LintCode::DispatchAmbiguity | LintCode::BehaviorFreeProjection => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What kind of schema entity a [`Span`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// A type (or surrogate).
+    Type,
+    /// An attribute.
+    Attr,
+    /// A generic function.
+    Gf,
+    /// A method (named by its label).
+    Method,
+}
+
+impl SpanKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Type => "type",
+            SpanKind::Attr => "attr",
+            SpanKind::Gf => "gf",
+            SpanKind::Method => "method",
+        }
+    }
+}
+
+/// Provenance: one named schema entity a diagnostic points at.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// The entity's kind.
+    pub kind: SpanKind,
+    /// The entity's name (type/attribute/gf name, or method label).
+    pub name: String,
+}
+
+impl Span {
+    /// A span naming a type.
+    pub fn ty(name: impl Into<String>) -> Span {
+        Span {
+            kind: SpanKind::Type,
+            name: name.into(),
+        }
+    }
+
+    /// A span naming an attribute.
+    pub fn attr(name: impl Into<String>) -> Span {
+        Span {
+            kind: SpanKind::Attr,
+            name: name.into(),
+        }
+    }
+
+    /// A span naming a generic function.
+    pub fn gf(name: impl Into<String>) -> Span {
+        Span {
+            kind: SpanKind::Gf,
+            name: name.into(),
+        }
+    }
+
+    /// A span naming a method by its label.
+    pub fn method(name: impl Into<String>) -> Span {
+        Span {
+            kind: SpanKind::Method,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}`", self.kind.as_str(), self.name)
+    }
+}
+
+/// One finding: a lint code, severity, message, and the entities involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code.
+    pub code: LintCode,
+    /// Severity this instance reports at.
+    pub severity: Severity,
+    /// Human-readable description with entity names inlined.
+    pub message: String,
+    /// Entities the finding points at, most relevant first.
+    pub spans: Vec<Span>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at the code's default severity.
+    pub fn new(code: LintCode, message: impl Into<String>, spans: Vec<Span>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            spans,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.spans.is_empty() {
+            write!(f, " [")?;
+            for (i, s) in self.spans.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics with rendering and exit policy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// The findings, in check order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// A report over the given findings.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> LintReport {
+        LintReport { diagnostics }
+    }
+
+    /// True when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of note-severity findings.
+    pub fn notes(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    /// Whether this report should fail the run. Errors always fail;
+    /// warnings fail only under `deny_warnings`.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Appends another report's findings to this one.
+    pub fn extend(&mut self, other: &LintReport) {
+        self.diagnostics.extend(other.diagnostics.iter().cloned());
+    }
+
+    /// Plain-text rendering: one line per finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} errors, {} warnings, {} notes\n",
+            self.errors(),
+            self.warnings(),
+            self.notes()
+        ));
+        out
+    }
+
+    /// JSON rendering (stable field order, no external dependencies).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"code\": \"{}\", ", d.code.as_str()));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity));
+            out.push_str(&format!(
+                "\"paper_section\": \"{}\", ",
+                json_escape(d.code.paper_section())
+            ));
+            out.push_str(&format!("\"message\": \"{}\", ", json_escape(&d.message)));
+            out.push_str("\"spans\": [");
+            for (j, s) in d.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"kind\": \"{}\", \"name\": \"{}\"}}",
+                    s.kind.as_str(),
+                    json_escape(&s.name)
+                ));
+            }
+            out.push_str("]}");
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"errors\": {},\n  \"warnings\": {},\n  \"notes\": {}\n}}\n",
+            self.errors(),
+            self.warnings(),
+            self.notes()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.render_text().trim_end())
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: LintCode) -> Diagnostic {
+        Diagnostic::new(code, "msg", vec![Span::ty("A"), Span::method("x1")])
+    }
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn codes_are_stable_and_sectioned() {
+        assert_eq!(LintCode::DispatchAmbiguity.as_str(), "TDL001");
+        assert_eq!(LintCode::AugmentHazard.as_str(), "TDL005");
+        assert_eq!(LintCode::AssignmentTypeError.as_str(), "TDL107");
+        assert_eq!(LintCode::OptimisticCycle.paper_section(), "§4.1");
+        assert_eq!(LintCode::OptimisticCycle.default_severity(), Severity::Note);
+        assert_eq!(
+            LintCode::PrecedenceConflict.default_severity(),
+            Severity::Error
+        );
+    }
+
+    #[test]
+    fn report_counts_and_exit_policy() {
+        let report = LintReport::new(vec![
+            diag(LintCode::OptimisticCycle),
+            diag(LintCode::DispatchAmbiguity),
+        ]);
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.warnings(), 1);
+        assert_eq!(report.notes(), 1);
+        assert!(!report.fails(false));
+        assert!(report.fails(true));
+
+        let errs = LintReport::new(vec![diag(LintCode::PrecedenceConflict)]);
+        assert!(errs.fails(false));
+    }
+
+    #[test]
+    fn display_mentions_code_and_spans() {
+        let d = diag(LintCode::DispatchAmbiguity);
+        let s = d.to_string();
+        assert!(s.contains("warning[TDL001]"), "{s}");
+        assert!(s.contains("type `A`"), "{s}");
+        assert!(s.contains("method `x1`"), "{s}");
+    }
+
+    #[test]
+    fn json_is_escaped_and_counts_match() {
+        let mut d = diag(LintCode::InvalidRequest);
+        d.message = "bad \"quote\"\nline".into();
+        let report = LintReport::new(vec![d]);
+        let json = report.render_json();
+        assert!(json.contains("\\\"quote\\\"\\nline"), "{json}");
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(json.contains("\"paper_section\""), "{json}");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = LintReport::default();
+        assert!(r.is_empty());
+        assert!(r.render_json().contains("\"errors\": 0"));
+        assert!(r.render_text().contains("0 errors"));
+    }
+}

@@ -205,6 +205,36 @@ impl Schema {
         Ok(keyed.into_iter().map(|(_, m)| m).collect())
     }
 
+    /// The specificity vector `rank_applicable` orders a method by: one
+    /// collapsed-CPL rank per argument position (0 = most specific;
+    /// prim/null positions always rank 0). `m` must be applicable to the
+    /// call. Exposed for the lint analyzer, which needs *pointwise*
+    /// comparison rather than the lexicographic order dispatch uses: a
+    /// call has an unambiguous winner only when some applicable method's
+    /// vector is pointwise ≤ every other's.
+    pub fn specificity_vector(&self, m: MethodId, args: &[CallArg]) -> Result<Vec<usize>> {
+        if m.index() >= self.n_methods() {
+            return Err(crate::error::ModelError::BadMethodId(m));
+        }
+        let method = self.method(m);
+        let mut out = Vec::with_capacity(method.specializers.len());
+        for (i, spec) in method.specializers.iter().enumerate() {
+            let rank = match (spec, args.get(i)) {
+                (Specializer::Type(s), Some(CallArg::Object(t))) => {
+                    let ranks = self.cached_ranks(*t)?;
+                    ranks
+                        .iter()
+                        .find(|&&(x, _)| x == *s)
+                        .map(|&(_, r)| r)
+                        .ok_or(crate::error::ModelError::BadTypeId(*s))?
+                }
+                _ => 0,
+            };
+            out.push(rank);
+        }
+        Ok(out)
+    }
+
     /// The methods of `gf` applicable to the call, ranked most-specific
     /// first by left-to-right argument CPL comparison (with surrogate
     /// collapse — see `Schema::collapsed_ranks`'s source). Ties keep

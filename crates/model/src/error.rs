@@ -82,6 +82,48 @@ pub enum ModelError {
         /// The argument count at the call site.
         got: usize,
     },
+    /// An attribute's declared owner does not list it locally.
+    AttrNotListedAtOwner {
+        /// The attribute.
+        attr: AttrId,
+        /// Its declared owner, which is missing the local listing.
+        owner: TypeId,
+    },
+    /// A type lists an attribute in its local set that is owned elsewhere.
+    ForeignAttrListed {
+        /// The type with the bogus local listing.
+        ty: TypeId,
+        /// The listed attribute.
+        attr: AttrId,
+        /// The attribute's actual owner.
+        owner: TypeId,
+    },
+    /// An accessor method's first argument does not dispatch on an object
+    /// type (accessors read or write one attribute of their object).
+    AccessorNoObjectArg {
+        /// The offending accessor method.
+        method: MethodId,
+    },
+    /// Two methods of one generic function have identical specializer
+    /// tuples, so dispatch could never distinguish them.
+    DuplicateMethodSignatures {
+        /// The generic function.
+        gf: GfId,
+        /// The first method of the clashing pair.
+        first: MethodId,
+        /// The second method of the clashing pair.
+        second: MethodId,
+    },
+    /// A body assignment stores a value whose static type is incompatible
+    /// with the target variable's declared type.
+    AssignmentTypeError {
+        /// The method whose body contains the assignment.
+        method: MethodId,
+        /// The static type of the assigned value.
+        value: TypeId,
+        /// The declared type of the target variable.
+        target: TypeId,
+    },
     /// No class precedence list exists (inconsistent precedence constraints).
     InconsistentPrecedence(TypeId),
     /// The hierarchy contains a cycle (checked during validation).
@@ -130,6 +172,34 @@ impl fmt::Display for ModelError {
             }
             ModelError::CallArityMismatch { gf, expected, got } => {
                 write!(f, "call to {gf} passes {got} arguments, expects {expected}")
+            }
+            ModelError::AttrNotListedAtOwner { attr, owner } => {
+                write!(
+                    f,
+                    "attribute {attr} not listed locally at its owner {owner}"
+                )
+            }
+            ModelError::ForeignAttrListed { ty, attr, owner } => {
+                write!(f, "type {ty} lists attribute {attr} whose owner is {owner}")
+            }
+            ModelError::AccessorNoObjectArg { method } => {
+                write!(f, "accessor method {method} lacks an object first argument")
+            }
+            ModelError::DuplicateMethodSignatures { gf, first, second } => {
+                write!(
+                    f,
+                    "generic function {gf} has duplicate method signatures ({first} and {second})"
+                )
+            }
+            ModelError::AssignmentTypeError {
+                method,
+                value,
+                target,
+            } => {
+                write!(
+                    f,
+                    "type error in method {method}: assigning a {value} value into a variable of type {target}"
+                )
             }
             ModelError::InconsistentPrecedence(t) => {
                 write!(f, "no class precedence list exists for type {t}")

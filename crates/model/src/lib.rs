@@ -51,6 +51,7 @@ pub mod attrs;
 pub mod body;
 pub mod cache;
 pub mod dataflow;
+pub mod diag;
 pub mod dispatch;
 pub mod display;
 pub mod error;
@@ -67,7 +68,9 @@ pub mod validate;
 pub use appindex::{ApplicabilityIndex, AttrBitSet};
 pub use attrs::{AttrDef, PrimType, ValueType};
 pub use body::{BinOp, Body, BodyBuilder, Expr, Literal, LocalVar, Stmt};
+pub use cache::LintKey;
 pub use dataflow::CallSite;
+pub use diag::{Diagnostic, LintCode, LintReport, Severity, Span, SpanKind};
 pub use dispatch::CallArg;
 pub use error::{ModelError, Result};
 pub use hierarchy::{SuperLink, TypeNode, TypeOrigin};
@@ -76,4 +79,4 @@ pub use index::SubtypeIndex;
 pub use methods::{GenericFunction, Method, MethodKind, Specializer};
 pub use schema::{Schema, SchemaSnapshot};
 pub use stats::{DispatchCacheStats, SchemaStats};
-pub use text::{parse_schema, schema_to_text, TextError};
+pub use text::{parse_schema, parse_schema_lenient, schema_to_text, TextError};

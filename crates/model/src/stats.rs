@@ -104,6 +104,11 @@ pub struct DispatchCacheStats {
     pub index_hits: u64,
     /// Applicability-index lookups that had to build the index.
     pub index_misses: u64,
+    /// Lint-report lookups answered from the cache (see [`crate::diag`];
+    /// the analysis lives in td-core).
+    pub lint_hits: u64,
+    /// Lint-report lookups that had to run the analysis.
+    pub lint_misses: u64,
     /// Generation bumps that flushed at least one warm entry.
     pub invalidations: u64,
     /// Currently resident CPL + rank-table entries.
@@ -113,6 +118,8 @@ pub struct DispatchCacheStats {
     /// Currently resident applicability indexes (one per projection
     /// source queried this generation).
     pub index_entries: usize,
+    /// Currently resident lint reports (schema-wide plus per-request).
+    pub lint_entries: usize,
 }
 
 impl DispatchCacheStats {
@@ -132,10 +139,13 @@ impl DispatchCacheStats {
                 .saturating_sub(baseline.dispatch_misses),
             index_hits: self.index_hits.saturating_sub(baseline.index_hits),
             index_misses: self.index_misses.saturating_sub(baseline.index_misses),
+            lint_hits: self.lint_hits.saturating_sub(baseline.lint_hits),
+            lint_misses: self.lint_misses.saturating_sub(baseline.lint_misses),
             invalidations: self.invalidations.saturating_sub(baseline.invalidations),
             cpl_entries: self.cpl_entries,
             dispatch_entries: self.dispatch_entries,
             index_entries: self.index_entries,
+            lint_entries: self.lint_entries,
         }
     }
 
@@ -150,10 +160,13 @@ impl DispatchCacheStats {
             dispatch_misses: self.dispatch_misses + other.dispatch_misses,
             index_hits: self.index_hits + other.index_hits,
             index_misses: self.index_misses + other.index_misses,
+            lint_hits: self.lint_hits + other.lint_hits,
+            lint_misses: self.lint_misses + other.lint_misses,
             invalidations: self.invalidations + other.invalidations,
             cpl_entries: self.cpl_entries.max(other.cpl_entries),
             dispatch_entries: self.dispatch_entries.max(other.dispatch_entries),
             index_entries: self.index_entries.max(other.index_entries),
+            lint_entries: self.lint_entries.max(other.lint_entries),
         }
     }
 }
@@ -164,7 +177,8 @@ impl fmt::Display for DispatchCacheStats {
             f,
             "dispatch cache: gen {}, cpl {}/{} hits ({} resident), \
              dispatch {}/{} hits ({} resident), \
-             index {}/{} hits ({} resident), {} invalidations",
+             index {}/{} hits ({} resident), \
+             lint {}/{} hits ({} resident), {} invalidations",
             self.generation,
             self.cpl_hits,
             self.cpl_hits + self.cpl_misses,
@@ -175,6 +189,9 @@ impl fmt::Display for DispatchCacheStats {
             self.index_hits,
             self.index_hits + self.index_misses,
             self.index_entries,
+            self.lint_hits,
+            self.lint_hits + self.lint_misses,
+            self.lint_entries,
             self.invalidations
         )
     }
@@ -241,10 +258,13 @@ mod tests {
             dispatch_misses: 6,
             index_hits: 9,
             index_misses: 3,
+            lint_hits: 6,
+            lint_misses: 2,
             invalidations: 1,
             cpl_entries: 5,
             dispatch_entries: 7,
             index_entries: 2,
+            lint_entries: 2,
         };
         let b = DispatchCacheStats {
             generation: 2,
@@ -254,10 +274,13 @@ mod tests {
             dispatch_misses: 1,
             index_hits: 4,
             index_misses: 3,
+            lint_hits: 1,
+            lint_misses: 2,
             invalidations: 0,
             cpl_entries: 2,
             dispatch_entries: 3,
             index_entries: 1,
+            lint_entries: 1,
         };
         let d = a.delta(&b);
         assert_eq!(d.cpl_hits, 3);
@@ -266,18 +289,24 @@ mod tests {
         assert_eq!(d.dispatch_misses, 5);
         assert_eq!(d.index_hits, 5);
         assert_eq!(d.index_misses, 0);
+        assert_eq!(d.lint_hits, 5);
+        assert_eq!(d.lint_misses, 0);
         assert_eq!(d.generation, 3);
         assert_eq!(d.cpl_entries, 5);
         assert_eq!(d.index_entries, 2);
+        assert_eq!(d.lint_entries, 2);
         // delta saturates rather than underflowing.
         assert_eq!(b.delta(&a).cpl_hits, 0);
         let m = a.merge(&b);
         assert_eq!(m.cpl_hits, 17);
         assert_eq!(m.dispatch_misses, 7);
         assert_eq!(m.index_hits, 13);
+        assert_eq!(m.lint_hits, 7);
+        assert_eq!(m.lint_misses, 4);
         assert_eq!(m.generation, 3);
         assert_eq!(m.dispatch_entries, 7);
         assert_eq!(m.index_entries, 2);
+        assert_eq!(m.lint_entries, 2);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod parser;
 pub mod printer;
 
 pub use lexer::{lex, LexError, Token, TokenKind};
-pub use parser::parse_schema;
+pub use parser::{parse_schema, parse_schema_lenient};
 pub use printer::schema_to_text;
 
 use crate::error::ModelError;

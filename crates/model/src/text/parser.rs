@@ -31,7 +31,21 @@ use crate::text::TextError;
 pub fn parse_schema(src: &str) -> Result<Schema, TextError> {
     let tokens = lex(src).map_err(TextError::Lex)?;
     let items = Parser { tokens, pos: 0 }.parse_items()?;
-    build(items)
+    build(items, true)
+}
+
+/// Parses a schema definition *without* running whole-schema validation.
+///
+/// Lexing, parsing and name resolution still fail as usual; what this
+/// skips is the final [`Schema::validate`] pass, so ill-formed schemas
+/// (inconsistent precedence diamonds, broken accessor contracts, …) load
+/// successfully and can be reported on by the lint analyzer instead of
+/// dying at the door. Anything derived from a lenient parse should go
+/// through [`Schema::validate_diagnostics`] before real use.
+pub fn parse_schema_lenient(src: &str) -> Result<Schema, TextError> {
+    let tokens = lex(src).map_err(TextError::Lex)?;
+    let items = Parser { tokens, pos: 0 }.parse_items()?;
+    build(items, false)
 }
 
 // ---------------------------------------------------------------- AST
@@ -525,7 +539,7 @@ impl Parser {
 
 // ---------------------------------------------------------------- build
 
-fn build(items: Vec<Item>) -> Result<Schema, TextError> {
+fn build(items: Vec<Item>, validate: bool) -> Result<Schema, TextError> {
     let mut schema = Schema::new();
 
     // Phase 1: create all types (names only) so references may be forward.
@@ -712,7 +726,9 @@ fn build(items: Vec<Item>) -> Result<Schema, TextError> {
         }
     }
 
-    schema.validate().map_err(|e| TextError::at(e, 0))?;
+    if validate {
+        schema.validate().map_err(|e| TextError::at(e, 0))?;
+    }
     Ok(schema)
 }
 

@@ -1,0 +1,65 @@
+//! Writes the pathological lint corpus to disk for the CI lint gate.
+//!
+//! ```text
+//! gen_corpus <out-dir> [n-cases] [seed]
+//! ```
+//!
+//! Emits one `.td` file per case plus `manifest.txt`, whose lines are the
+//! positional arguments for `tdv lint` on that case:
+//!
+//! ```text
+//! case_000_ambiguous.td
+//! case_002_trap.td T t_a1,t_a2
+//! ```
+//!
+//! CI runs `tdv lint --deny warnings` on every line and requires each one
+//! to exit nonzero — the corpus is the gate's negative fixture set.
+
+use std::fmt::Write as _;
+use td_model::text::schema_to_text;
+use td_workload::pathological_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(out_dir) = args.first() else {
+        eprintln!("usage: gen_corpus <out-dir> [n-cases] [seed]");
+        std::process::exit(2);
+    };
+    let n: usize = args.get(1).map_or(9, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("gen_corpus: `{v}` is not a case count");
+            std::process::exit(2);
+        })
+    });
+    let seed: u64 = args.get(2).map_or(0xBAD, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("gen_corpus: `{v}` is not a seed");
+            std::process::exit(2);
+        })
+    });
+
+    std::fs::create_dir_all(out_dir).expect("create corpus directory");
+    let mut manifest = String::new();
+    for (i, case) in pathological_corpus(n, seed).into_iter().enumerate() {
+        let file = format!("case_{i:03}_{}.td", case.name);
+        let path = format!("{out_dir}/{file}");
+        std::fs::write(&path, schema_to_text(&case.schema)).expect("write case schema");
+        let mut line = file;
+        if let Some((source, projection)) = &case.request {
+            let attrs: Vec<&str> = projection
+                .iter()
+                .map(|&a| case.schema.attr(a).name.as_str())
+                .collect();
+            let _ = write!(
+                line,
+                " {} {}",
+                case.schema.type_name(*source),
+                attrs.join(",")
+            );
+        }
+        manifest.push_str(&line);
+        manifest.push('\n');
+    }
+    std::fs::write(format!("{out_dir}/manifest.txt"), manifest).expect("write manifest");
+    println!("wrote {n} cases to {out_dir}");
+}

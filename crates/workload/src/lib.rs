@@ -11,6 +11,9 @@
 //!   random-schema generator for property tests and scaling benchmarks.
 //! * [`scenarios`] — a realistic mid-size university schema with diamond
 //!   inheritance and genuine binary multi-methods.
+//! * [`pathological`] — adversarial schemas the TDL lints must flag
+//!   (dispatch ambiguity, precedence diamonds, load-bearing-attribute
+//!   traps), plus a seeded corpus generator for the CI lint gate.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -18,6 +21,7 @@
 
 pub mod figures;
 pub mod gen;
+pub mod pathological;
 pub mod scenarios;
 
 pub use figures::{fig1, fig3, fig3_with_z1};
@@ -25,5 +29,9 @@ pub use gen::{
     batch_requests, call_chain_schema, call_cycle_schema, call_heavy_schema, chain_schema,
     deepest_type, ladder_schema, random_projection, random_schema, single_dispatch_schema,
     GenParams,
+};
+pub use pathological::{
+    ambiguous_multimethod_schema, diamond_conflict_schema, load_bearing_trap_schema,
+    pathological_corpus, PathologicalCase,
 };
 pub use scenarios::university;

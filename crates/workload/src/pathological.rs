@@ -1,0 +1,204 @@
+//! Pathological schema generators: inputs the TDL lints (td-core's
+//! `lint`) must flag.
+//!
+//! Three families, each targeting one check:
+//!
+//! * [`ambiguous_multimethod_schema`] — multi-method pairs with no most
+//!   specific member at a common subtype (TDL001, §3);
+//! * [`diamond_conflict_schema`] — a CLOS-style precedence diamond whose
+//!   join type has no consistent linearization (TDL002, §2);
+//! * [`load_bearing_trap_schema`] — a projection request that silently
+//!   strands every non-accessor method by dropping the one attribute
+//!   their bodies need (TDL004, §4).
+//!
+//! [`pathological_corpus`] mixes seeded variations of all three into a
+//! deterministic corpus; CI lints it with `--deny warnings` and expects
+//! every case to fail.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use td_model::{AttrId, BodyBuilder, Expr, MethodKind, Schema, Specializer, TypeId, ValueType};
+
+/// A corpus entry: a schema plus (optionally) the projection request that
+/// triggers its diagnostic. Every case fails `lint --deny warnings`.
+#[derive(Debug, Clone)]
+pub struct PathologicalCase {
+    /// Short family name (`ambiguous`, `diamond`, `trap`), used for file
+    /// naming in the generated corpus.
+    pub name: String,
+    /// The schema itself. May be intentionally ill-formed (the diamond
+    /// family), so load it leniently.
+    pub schema: Schema,
+    /// The request part, when the hazard is request-dependent.
+    pub request: Option<(TypeId, BTreeSet<AttrId>)>,
+}
+
+/// `pairs` sibling pairs `(A_i, B_i)` under a shared root, each with a
+/// common subtype `C_i` and a binary generic function `g_i` carrying the
+/// incomparable methods `g_i(A_i, B_i)` and `g_i(B_i, A_i)`: at a call
+/// `g_i(C_i, C_i)` neither is most specific. Validates cleanly — the
+/// ambiguity is latent until dispatch, which is exactly why TDL001 exists.
+pub fn ambiguous_multimethod_schema(pairs: usize) -> Schema {
+    let mut s = Schema::new();
+    let root = s.add_type("P", &[]).expect("fresh");
+    for i in 0..pairs.max(1) {
+        let a = s.add_type(format!("A{i}"), &[root]).expect("unique");
+        let b = s.add_type(format!("B{i}"), &[root]).expect("unique");
+        let _c = s.add_type(format!("C{i}"), &[a, b]).expect("unique");
+        let g = s.add_gf(format!("g{i}"), 2, None).expect("unique");
+        for (label, specs) in [
+            (format!("g{i}_ab"), vec![a, b]),
+            (format!("g{i}_ba"), vec![b, a]),
+        ] {
+            s.add_method(
+                g,
+                label,
+                specs.into_iter().map(Specializer::Type).collect(),
+                MethodKind::General(BodyBuilder::new().finish()),
+                None,
+            )
+            .expect("distinct signatures");
+        }
+    }
+    s.validate().expect("ambiguity is not a validation error");
+    s
+}
+
+/// A precedence diamond: `X` orders `{P, Q}` one way, `Y` the other, and
+/// `Z : X, Y` inherits both orders — no class precedence list for `Z` is
+/// consistent (§2). `width` adds extra conflicted join types `Z2, Z3, …`
+/// over the same arms. The schema is intentionally ill-formed: load it
+/// with `parse_schema_lenient` and let TDL002 report the conflict.
+pub fn diamond_conflict_schema(width: usize) -> Schema {
+    let mut s = Schema::new();
+    let p = s.add_type("P", &[]).expect("fresh");
+    let q = s.add_type("Q", &[]).expect("fresh");
+    let x = s.add_type("X", &[p, q]).expect("fresh");
+    let y = s.add_type("Y", &[q, p]).expect("fresh");
+    for i in 0..width.max(1) {
+        let name = if i == 0 {
+            "Z".to_string()
+        } else {
+            format!("Z{}", i + 1)
+        };
+        s.add_type(name, &[x, y]).expect("unique");
+    }
+    s
+}
+
+/// One type `T` with `n_attrs` attributes (readers on all of them) and
+/// one non-accessor method per *load-bearing* attribute — every general
+/// method reads `t_a0`. Returns the schema plus the trap request: project
+/// everything **except** `t_a0`. The derived type keeps most of its state
+/// yet loses every general method (TDL004), and the lint names `t_a0` as
+/// the missing load-bearing attribute.
+pub fn load_bearing_trap_schema(n_attrs: usize) -> (Schema, TypeId, BTreeSet<AttrId>) {
+    let n_attrs = n_attrs.max(2);
+    let mut s = Schema::new();
+    let t = s.add_type("T", &[]).expect("fresh");
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for j in 0..n_attrs {
+        let a = s
+            .add_attr(format!("t_a{j}"), ValueType::INT, t)
+            .expect("unique");
+        s.add_reader(a, t).expect("available");
+        attrs.push(a);
+    }
+    let get_first = s.gf_id("get_t_a0").expect("reader added above");
+    for j in 0..n_attrs.min(3) {
+        let gf = s.add_gf(format!("f{j}"), 1, None).expect("unique");
+        let mut bb = BodyBuilder::new();
+        bb.call(get_first, vec![Expr::Param(0)]);
+        s.add_method(
+            gf,
+            format!("f{j}_t"),
+            vec![Specializer::Type(t)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh");
+    }
+    s.validate().expect("trap schema is well-formed");
+    let request: BTreeSet<AttrId> = attrs.iter().copied().skip(1).collect();
+    (s, t, request)
+}
+
+/// A deterministic corpus of `n` pathological cases cycling through the
+/// three families with seeded size variation. Every case fails
+/// `lint --deny warnings`; the diamond cases fail plain `lint` too.
+pub fn pathological_corpus(n: usize, seed: u64) -> Vec<PathologicalCase> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => PathologicalCase {
+                name: "ambiguous".to_string(),
+                schema: ambiguous_multimethod_schema(rng.gen_range(1..=4)),
+                request: None,
+            },
+            1 => PathologicalCase {
+                name: "diamond".to_string(),
+                schema: diamond_conflict_schema(rng.gen_range(1..=3)),
+                request: None,
+            },
+            _ => {
+                let (schema, source, projection) = load_bearing_trap_schema(rng.gen_range(2..=6));
+                PathologicalCase {
+                    name: "trap".to_string(),
+                    schema,
+                    request: Some((source, projection)),
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambiguous_schema_validates_but_has_incomparable_pairs() {
+        let s = ambiguous_multimethod_schema(3);
+        s.validate().unwrap();
+        assert_eq!(s.n_methods(), 6);
+        // Each C_i genuinely sits under both siblings.
+        let c0 = s.type_id("C0").unwrap();
+        assert!(s.is_subtype(c0, s.type_id("A0").unwrap()));
+        assert!(s.is_subtype(c0, s.type_id("B0").unwrap()));
+    }
+
+    #[test]
+    fn diamond_schema_has_no_consistent_cpl_at_the_join() {
+        let s = diamond_conflict_schema(2);
+        assert!(s.cpl(s.type_id("Z").unwrap()).is_err());
+        assert!(s.cpl(s.type_id("Z2").unwrap()).is_err());
+        // The arms themselves still linearize.
+        assert!(s.cpl(s.type_id("X").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn trap_request_strands_every_general_method() {
+        let (s, t, projection) = load_bearing_trap_schema(4);
+        s.validate().unwrap();
+        let a0 = s.attr_id("t_a0").unwrap();
+        assert!(!projection.contains(&a0), "the trap drops t_a0");
+        assert_eq!(projection.len(), 3);
+        assert!(s.is_live(t));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_all_families() {
+        let c1 = pathological_corpus(9, 42);
+        let c2 = pathological_corpus(9, 42);
+        assert_eq!(c1.len(), 9);
+        for (a, b) in c1.iter().zip(&c2) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.schema.n_types(), b.schema.n_types());
+            assert_eq!(a.request, b.request);
+        }
+        for family in ["ambiguous", "diamond", "trap"] {
+            assert_eq!(c1.iter().filter(|c| c.name == family).count(), 3);
+        }
+    }
+}

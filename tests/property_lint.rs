@@ -1,0 +1,194 @@
+//! Property: the TDL lints predict the pipeline.
+//!
+//! Soundness — a lint-clean schema + request (no error-severity
+//! diagnostics) never fails `project`: the lints' ambiguity, precedence
+//! and request checks cover every upfront failure mode. Completeness —
+//! whenever `project` does return an error, at least one error-severity
+//! diagnostic predicted it. Plus determinism (same input ⇒ byte-identical
+//! report) and caching (repeat lints answer from the dispatch cache).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use typederive::derive::{lint, project, ProjectionOptions};
+use typederive::model::Schema;
+use typederive::workload::{
+    ambiguous_multimethod_schema, deepest_type, diamond_conflict_schema, fig3_with_z1,
+    random_projection, random_schema, GenParams,
+};
+
+fn params_strategy() -> impl Strategy<Value = GenParams> {
+    (
+        2usize..28,   // n_types
+        1usize..4,    // max_supers
+        0.0f64..0.8,  // mi_fraction
+        0usize..3,    // attrs_per_type
+        0.3f64..1.0,  // reader_fraction
+        1usize..10,   // n_gfs
+        1usize..4,    // methods_per_gf
+        1usize..3,    // max_arity
+        0usize..5,    // calls_per_body
+        0.0f64..0.6,  // assign_fraction
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            )| GenParams {
+                n_types,
+                max_supers,
+                mi_fraction,
+                attrs_per_type,
+                reader_fraction,
+                n_gfs,
+                methods_per_gf,
+                max_arity,
+                calls_per_body,
+                assign_fraction,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 220, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lint_predicts_the_pipeline(
+        params in params_strategy(),
+        keep in 0.0f64..1.0,
+        proj_seed in any::<u64>(),
+    ) {
+        let schema = random_schema(&params);
+        let source = deepest_type(&schema);
+        let projection = random_projection(&schema, source, keep, proj_seed);
+
+        let report = lint(&schema, Some((source, &projection)));
+
+        // Determinism: the same input renders byte-identically.
+        let again = lint(&schema, Some((source, &projection)));
+        prop_assert_eq!(report.render_text(), again.render_text());
+        prop_assert_eq!(report.render_json(), again.render_json());
+
+        let mut fork = schema.clone();
+        match project(&mut fork, source, &projection, &ProjectionOptions::default()) {
+            Ok(d) => {
+                // Soundness: a derivation that went through means the lints
+                // had nothing error-worthy to say about this request.
+                prop_assert_eq!(
+                    report.errors(),
+                    0,
+                    "pipeline succeeded but lint reported errors:\n{}",
+                    report.render_text()
+                );
+                prop_assert!(d.invariants_ok());
+            }
+            Err(e) => {
+                // Completeness: every pipeline error was predicted by at
+                // least one error-severity diagnostic.
+                prop_assert!(
+                    report.errors() > 0,
+                    "pipeline error `{e}` not predicted by any lint:\n{}",
+                    report.render_text()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn precedence_conflicts_fail_lint_and_linearization() {
+    let s = diamond_conflict_schema(1);
+    let report = lint(&s, None);
+    assert!(report.fails(false), "{}", report.render_text());
+    assert!(
+        report.render_text().contains("TDL002"),
+        "{}",
+        report.render_text()
+    );
+    // The lint error mirrors a real CPL failure at the join type.
+    assert!(s.cpl(s.type_id("Z").unwrap()).is_err());
+}
+
+#[test]
+fn malformed_requests_are_predicted_and_fail() {
+    let s = fig3_with_z1();
+    let a = s.type_id("A").unwrap();
+    let c = s.type_id("C").unwrap();
+    let a1 = s.attr_id("a1").unwrap();
+
+    // Empty projection: TDL006 error, and the pipeline refuses it.
+    let empty = BTreeSet::new();
+    let report = lint(&s, Some((a, &empty)));
+    assert!(
+        report.render_text().contains("TDL006"),
+        "{}",
+        report.render_text()
+    );
+    let mut fork = s.clone();
+    assert!(project(&mut fork, a, &empty, &ProjectionOptions::default()).is_err());
+
+    // Unavailable attribute (a1 lives at A; C is not a subtype of A).
+    let unavailable: BTreeSet<_> = [a1].into_iter().collect();
+    let report = lint(&s, Some((c, &unavailable)));
+    assert!(report.errors() > 0, "{}", report.render_text());
+    let mut fork = s.clone();
+    assert!(project(&mut fork, c, &unavailable, &ProjectionOptions::default()).is_err());
+}
+
+#[test]
+fn ambiguity_warns_but_the_pipeline_still_derives() {
+    let mut s = ambiguous_multimethod_schema(1);
+    let p = s.type_id("P").unwrap();
+    let x = s
+        .add_attr("x", typederive::model::ValueType::INT, p)
+        .unwrap();
+    s.add_reader(x, p).unwrap();
+
+    let c0 = s.type_id("C0").unwrap();
+    let projection: BTreeSet<_> = [x].into_iter().collect();
+    let report = lint(&s, Some((c0, &projection)));
+    assert!(report.warnings() > 0, "{}", report.render_text());
+    assert_eq!(report.errors(), 0, "{}", report.render_text());
+
+    // The ambiguity is a dispatch-time hazard, not a derivation blocker.
+    let mut fork = s.clone();
+    let d = project(&mut fork, c0, &projection, &ProjectionOptions::default()).unwrap();
+    assert!(d.invariants_ok());
+}
+
+#[test]
+fn repeat_lints_answer_from_the_dispatch_cache() {
+    let s: Schema = fig3_with_z1();
+    let a = s.type_id("A").unwrap();
+    let projection: BTreeSet<_> = ["a2", "e2", "h2"]
+        .iter()
+        .map(|n| s.attr_id(n).unwrap())
+        .collect();
+
+    let base = s.dispatch_cache_stats();
+    lint(&s, Some((a, &projection)));
+    let cold = s.dispatch_cache_stats();
+    assert_eq!(
+        cold.lint_misses - base.lint_misses,
+        2,
+        "schema part + request part"
+    );
+
+    lint(&s, Some((a, &projection)));
+    let warm = s.dispatch_cache_stats();
+    assert_eq!(
+        warm.lint_misses, cold.lint_misses,
+        "warm lint must not recompute"
+    );
+    assert_eq!(warm.lint_hits, cold.lint_hits + 2);
+}
