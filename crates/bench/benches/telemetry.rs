@@ -1,0 +1,53 @@
+//! Experiment TELEM: the cost of carrying instrumentation.
+//!
+//! The pipeline is now threaded with `td_telemetry` spans. Disabled (the
+//! default), each site costs one relaxed atomic load; this group measures
+//! that claim end-to-end: a full projection with telemetry off vs. on,
+//! plus the microcosts of the disabled and enabled span primitives. The
+//! gated `ratio_telemetry_overhead` metric in `repro --json` holds the
+//! disabled-mode overhead under 5% on the call_heavy workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use td_bench::call_heavy_workload;
+use td_core::{project, ProjectionOptions};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/overhead");
+
+    let w = call_heavy_workload(16, 40, 0xC0DE);
+    let (schema, source, projection) = (w.schema, w.source, w.projection);
+
+    td_telemetry::set_enabled(false);
+    group.bench_function("project_disabled", |b| {
+        b.iter(|| {
+            let mut s = schema.clone();
+            black_box(project(&mut s, source, &projection, &ProjectionOptions::fast()).unwrap())
+        })
+    });
+
+    td_telemetry::set_enabled(true);
+    group.bench_function("project_enabled", |b| {
+        b.iter(|| {
+            let mut s = schema.clone();
+            let d = project(&mut s, source, &projection, &ProjectionOptions::fast()).unwrap();
+            // Keep the ring from saturating (and from growing the run's
+            // memory): spans are drained as they would be in the CLI.
+            black_box(td_telemetry::drain().len());
+            black_box(d)
+        })
+    });
+    td_telemetry::set_enabled(false);
+    let _ = td_telemetry::drain();
+
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| {
+            let _g = black_box(td_telemetry::span("bench", "noop"));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

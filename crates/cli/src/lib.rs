@@ -11,11 +11,17 @@
 //! tdv project   <schema.td> <Type> <a1,a2,…>        derive; print summary + refactored schema
 //! tdv lint      <schema.td> [<Type> <a1,a2,…>]      static schema & projection-safety analysis
 //! tdv batch     <schema.td> <requests.txt> [N]      derive a request fleet over N threads
+//! tdv stats     <schema.td> <Type> <a1,a2,…>        span/metrics telemetry for one derivation
 //! tdv explain   <schema.td> <Type> <a1,a2,…> <m>    why did method m (not) survive?
 //! tdv audit     <schema.td> <Type> <a1,a2,…>        baseline strategy audit
 //! tdv extent    <schema.td> <data.td> <Type>        list the deep extent
 //! tdv call      <schema.td> <data.td> <gf> <args>   execute a generic-function call
 //! ```
+//!
+//! Every command accepts `--trace <file>` (write a Chrome trace-event
+//! JSON of the run, loadable in Perfetto) and `--metrics` (append the
+//! flat span/metrics summary to the output); both turn the `td_telemetry`
+//! collection switch on for the duration of the command.
 //!
 //! Every command is a pure function from arguments to output text, so the
 //! test suite drives [`run`] directly.
@@ -71,6 +77,7 @@ USAGE:
   tdv project    <schema.td> <Type> <attr,attr,…> [--engine E]
   tdv lint       <schema.td> [<Type> <attr,attr,…>] [--json] [--deny warnings]
   tdv batch      <schema.td> <requests.txt> [threads] [--engine E]
+  tdv stats      <schema.td> <Type> <attr,attr,…> [--engine E]
   tdv explain    <schema.td> <Type> <attr,attr,…> <method-label>
   tdv audit      <schema.td> <Type> <attr,attr,…>
   tdv extent     <schema.td> <data.td> <Type>
@@ -92,6 +99,11 @@ conflicts, optimistic-cycle audit, projection safety, Augment hazards)
 over the schema, plus the given projection request when one is supplied.
 --json emits a machine-readable report; --deny warnings exits nonzero on
 warnings as well as errors.
+
+Every command accepts --trace <file> (write a Chrome trace-event JSON of
+the run — load it at https://ui.perfetto.dev) and --metrics (append the
+flat span/metrics summary). `stats` derives the view with telemetry on
+and prints only that summary.
 ";
 
 /// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
@@ -143,6 +155,44 @@ fn extract_lint_flags(args: &[String]) -> Result<(Vec<String>, bool, bool), CliE
     Ok((rest, json, deny_warnings))
 }
 
+/// Telemetry switches shared by every command.
+#[derive(Debug, Default)]
+struct TelemetryFlags {
+    /// `--trace <file>`: write a Chrome trace-event JSON of the run.
+    trace: Option<String>,
+    /// `--metrics`: append the flat span/metrics summary to the output.
+    metrics: bool,
+}
+
+impl TelemetryFlags {
+    fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics
+    }
+}
+
+/// Strips `--trace <file>` / `--trace=<file>` and `--metrics` out of
+/// `args`, returning the remaining positional arguments and the flags.
+fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryFlags), CliError> {
+    let mut flags = TelemetryFlags::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(path) = a.strip_prefix("--trace=") {
+            flags.trace = Some(path.to_string());
+        } else if a == "--trace" {
+            let path = it
+                .next()
+                .ok_or_else(|| fail("--trace: missing output file"))?;
+            flags.trace = Some(path.clone());
+        } else if a == "--metrics" {
+            flags.metrics = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, flags))
+}
+
 fn deny_lint_level(level: &str) -> Result<(), CliError> {
     if level == "warnings" {
         Ok(())
@@ -157,6 +207,40 @@ fn deny_lint_level(level: &str) -> Result<(), CliError> {
 /// to print on success.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, engine) = extract_engine(args)?;
+    let (args, mut telemetry) = extract_telemetry_flags(&args)?;
+    // `stats` IS the metrics exporter, so it forces collection on.
+    if args.first().is_some_and(|c| c == "stats") {
+        telemetry.metrics = true;
+    }
+    if !telemetry.active() {
+        return run_command(&args, engine);
+    }
+    // Collect from a clean slate, and always restore the disabled default
+    // — even when the command fails.
+    td_telemetry::set_enabled(true);
+    let _ = td_telemetry::drain();
+    td_telemetry::metrics::reset();
+    let result = run_command(&args, engine);
+    td_telemetry::set_enabled(false);
+    let events = td_telemetry::drain();
+    let snapshot = td_telemetry::metrics::snapshot();
+    td_telemetry::metrics::reset();
+    let mut out = result?;
+    if let Some(path) = &telemetry.trace {
+        std::fs::write(path, td_telemetry::chrome_trace(&events))
+            .map_err(|e| fail(format!("--trace: cannot write `{path}`: {e}")))?;
+        let _ = writeln!(out, "trace: {} spans written to {path}", events.len());
+    }
+    if telemetry.metrics {
+        if !out.is_empty() && !out.ends_with("\n\n") {
+            out.push('\n');
+        }
+        out.push_str(&td_telemetry::render_summary(&events, &snapshot));
+    }
+    Ok(out)
+}
+
+fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Err(fail(USAGE));
     };
@@ -225,6 +309,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let d = project(&mut schema, source, &projection, &opts)
                 .map_err(|e| fail(e.to_string()))?;
+            schema.dispatch_cache_stats().publish();
             let mut out = String::new();
             let _ = writeln!(out, "{}", d.summary(&schema));
             let _ = writeln!(out, "{}", schema.render_hierarchy());
@@ -237,7 +322,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "lint" => {
-            let (args, json, deny_warnings) = extract_lint_flags(&args)?;
+            let (args, json, deny_warnings) = extract_lint_flags(args)?;
             let path = args
                 .get(1)
                 .ok_or_else(|| fail("missing schema file argument"))?;
@@ -253,6 +338,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 None
             };
             let report = td_core::lint(&schema, request.as_ref().map(|(t, a)| (*t, a)));
+            schema.dispatch_cache_stats().publish();
             let out = if json {
                 report.render_json()
             } else {
@@ -304,6 +390,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     code: 1,
                 })
             }
+        }
+        "stats" => {
+            let mut schema = load(args.get(1))?;
+            let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
+            let opts = ProjectionOptions {
+                engine,
+                ..ProjectionOptions::default()
+            };
+            let d = project(&mut schema, source, &projection, &opts)
+                .map_err(|e| fail(e.to_string()))?;
+            schema.dispatch_cache_stats().publish();
+            Ok(format!(
+                "derived {} — telemetry for one derivation:\n",
+                schema.type_name(d.derived)
+            ))
         }
         "explain" => {
             let schema = load(args.get(1))?;
@@ -926,6 +1027,115 @@ mod tests {
         assert!(e.message.contains("unknown level"), "{}", e.message);
         let e = run_err(&["lint", f.to_str().unwrap(), "--deny"]);
         assert!(e.message.contains("missing value"), "{}", e.message);
+    }
+
+    /// Telemetry collection is process-global; tests that turn it on
+    /// serialize here so the parallel test runner cannot interleave their
+    /// drains.
+    static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn trace_fixture(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("td_cli_trace_{}_{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn stats_command_prints_span_and_metrics_summary() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let f = fixture("stats", FIG1);
+        let out = run_ok(&[
+            "stats",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,date_of_birth,pay_rate",
+        ]);
+        assert!(out.contains("derived ^Employee"), "{out}");
+        // Span aggregation rows for the projection stages…
+        for stage in ["applicability", "factor_state", "augment", "retype"] {
+            assert!(out.contains(&format!("project/{stage}")), "{out}");
+        }
+        // …and the bridged cache metrics.
+        assert!(out.contains("cache/index_misses"), "{out}");
+        assert!(out.contains("cache/generation"), "{out}");
+        assert!(!td_telemetry::enabled(), "stats must restore the default");
+    }
+
+    #[test]
+    fn trace_flag_writes_a_perfetto_loadable_chrome_trace() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let f = fixture("trace_proj", FIG1);
+        let trace = trace_fixture("project");
+        let out = run_ok(&[
+            "project",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,date_of_birth,pay_rate",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(out.contains("derived ^Employee"), "{out}");
+        assert!(out.contains("spans written to"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let spans = td_telemetry::parse_chrome_trace(&text).unwrap();
+        let names: Vec<&str> = spans.iter().map(|sp| sp.name.as_str()).collect();
+        for stage in [
+            "applicability",
+            "factor_state",
+            "flow_analysis",
+            "augment",
+            "factor_methods",
+            "retype",
+            "invariants",
+        ] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        assert!(names.contains(&"project/Employee"), "{names:?}");
+        let _ = std::fs::remove_file(&trace);
+        assert!(!td_telemetry::enabled(), "--trace must restore the default");
+    }
+
+    #[test]
+    fn metrics_flag_appends_summary_to_batch_output() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let schema = fixture("metrics_s", FIG1);
+        let reqs = fixture("metrics_r", FIG1_BATCH);
+        let out = run_ok(&[
+            "batch",
+            schema.to_str().unwrap(),
+            reqs.to_str().unwrap(),
+            "2",
+            "--metrics",
+        ]);
+        assert!(out.contains("3 requests, 3 ok"), "{out}");
+        assert!(out.contains("batch/request"), "{out}");
+        assert!(out.contains("batch/run"), "{out}");
+        assert!(out.contains("counter"), "{out}");
+        assert!(!td_telemetry::enabled());
+    }
+
+    #[test]
+    fn telemetry_flag_errors() {
+        let e = run_err(&["project", "x.td", "T", "a", "--trace"]);
+        assert!(
+            e.message.contains("--trace: missing output file"),
+            "{}",
+            e.message
+        );
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let f = fixture("trace_badpath", FIG1);
+        let e = run_err(&[
+            "project",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN",
+            "--trace=/nonexistent-dir/out.json",
+        ]);
+        assert!(e.message.contains("cannot write"), "{}", e.message);
+        assert!(
+            !td_telemetry::enabled(),
+            "a failed write must still disable"
+        );
     }
 
     #[test]

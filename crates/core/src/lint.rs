@@ -99,12 +99,22 @@ fn cached_or_compute(
 // ---------------------------------------------------------------- schema part
 
 fn lint_schema_part(schema: &Schema) -> LintReport {
-    let mut diags = schema.validate_diagnostics();
+    let _span = td_telemetry::span("lint", "schema_part");
+    let mut diags = {
+        let _s = td_telemetry::span("lint", "validate");
+        schema.validate_diagnostics()
+    };
     // The deep checks assume a well-formed schema (consistent CPLs, sane
     // bodies); on a broken one the validation errors are the story.
     if diags.is_empty() {
-        check_surrogate_wiring(schema, &mut diags);
-        check_dispatch_ambiguity(schema, &mut diags);
+        {
+            let _s = td_telemetry::span("lint", "surrogate_wiring");
+            check_surrogate_wiring(schema, &mut diags);
+        }
+        {
+            let _s = td_telemetry::span("lint", "dispatch_ambiguity");
+            check_dispatch_ambiguity(schema, &mut diags);
+        }
     }
     LintReport::new(diags)
 }
@@ -279,11 +289,18 @@ fn lint_request_part(
     projection: &BTreeSet<AttrId>,
     schema_broken: bool,
 ) -> LintReport {
+    let _span = td_telemetry::span("lint", "request_part");
     let mut diags = Vec::new();
-    if !check_request(schema, source, projection, &mut diags) || schema_broken {
-        return LintReport::new(diags);
+    {
+        let _s = td_telemetry::span("lint", "request_validation");
+        if !check_request(schema, source, projection, &mut diags) || schema_broken {
+            return LintReport::new(diags);
+        }
     }
-    check_optimistic_cycles(schema, source, &mut diags);
+    {
+        let _s = td_telemetry::span("lint", "optimistic_cycles");
+        check_optimistic_cycles(schema, source, &mut diags);
+    }
     let app = match compute_applicability_indexed(schema, source, projection, false) {
         Ok(app) => app,
         Err(e) => {
@@ -295,8 +312,14 @@ fn lint_request_part(
             return LintReport::new(diags);
         }
     };
-    check_behavior_free(schema, source, projection, &app.applicable, &mut diags);
-    check_augment_hazards(schema, source, projection, &app.applicable, &mut diags);
+    {
+        let _s = td_telemetry::span("lint", "behavior_free");
+        check_behavior_free(schema, source, projection, &app.applicable, &mut diags);
+    }
+    {
+        let _s = td_telemetry::span("lint", "augment_hazards");
+        check_augment_hazards(schema, source, projection, &app.applicable, &mut diags);
+    }
     LintReport::new(diags)
 }
 

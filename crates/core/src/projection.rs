@@ -18,7 +18,7 @@
 //! to reproduce the paper's Examples 1–4 verbatim.
 
 use std::collections::{BTreeSet, HashMap};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use td_model::{AttrId, MethodId, Schema, TypeId};
 
 use crate::applicability::{compute_applicability, compute_applicability_indexed, Applicability};
@@ -113,9 +113,12 @@ impl ProjectionOptions {
 
 /// Wall-clock cost of each pipeline stage of one [`project`] run.
 ///
-/// Always recorded (seven `Instant` reads per derivation — noise next to
-/// any stage). The batch engine (`td-driver`) sums these across requests
-/// to show where a fleet of derivations spends its time.
+/// Always recorded (seven clock reads per derivation — noise next to any
+/// stage). Each slot is the *same measurement* as the `project`-category
+/// stage span `td_telemetry` records when tracing is enabled: [`project`]
+/// reads the clock once per stage boundary and feeds both, so timings and
+/// trace can never disagree. The batch engine (`td-driver`) sums these
+/// across requests to show where a fleet of derivations spends its time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// `IsApplicable` (§4.1).
@@ -158,22 +161,42 @@ impl StageTimings {
     }
 }
 
+/// Formats a duration with an adaptively chosen unit (µs below a
+/// millisecond, ms below a second, whole seconds above).
+fn fmt_adaptive(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
 impl std::fmt::Display for StageTimings {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let us = |d: Duration| d.as_secs_f64() * 1e6;
-        write!(
-            f,
-            "applicability {:.0}µs, factor-state {:.0}µs, flow {:.0}µs, \
-             augment {:.0}µs, factor-methods {:.0}µs, retype {:.0}µs, \
-             invariants {:.0}µs",
-            us(self.applicability),
-            us(self.factor_state),
-            us(self.flow_analysis),
-            us(self.augment),
-            us(self.factor_methods),
-            us(self.retype),
-            us(self.invariants),
-        )
+        let total = self.total();
+        let pct = |d: Duration| {
+            if total.is_zero() {
+                0.0
+            } else {
+                d.as_secs_f64() / total.as_secs_f64() * 100.0
+            }
+        };
+        let stages = [
+            ("applicability", self.applicability),
+            ("factor-state", self.factor_state),
+            ("flow", self.flow_analysis),
+            ("augment", self.augment),
+            ("factor-methods", self.factor_methods),
+            ("retype", self.retype),
+            ("invariants", self.invariants),
+        ];
+        for (name, d) in stages {
+            write!(f, "{name} {} ({:.0}%), ", fmt_adaptive(d), pct(d))?;
+        }
+        write!(f, "total {}", fmt_adaptive(total))
     }
 }
 
@@ -287,11 +310,17 @@ pub fn project(
         None
     };
 
+    // One clock read per stage boundary feeds BOTH the `StageTimings`
+    // slot and (when telemetry is on) the emitted stage span, so the two
+    // views of a derivation's cost are the same measurement, not two.
+    let project_start = td_telemetry::now_ns();
     let mut stage_times = StageTimings::default();
-    let mut stage_clock = Instant::now();
-    let mut stage_done = |slot: &mut Duration| {
-        let now = Instant::now();
-        *slot = now - stage_clock;
+    let mut stage_clock = project_start;
+    let mut stage_done = |slot: &mut Duration, stage: &'static str| {
+        let now = td_telemetry::now_ns();
+        let dur = now.saturating_sub(stage_clock);
+        *slot = Duration::from_nanos(dur);
+        td_telemetry::emit_span("project", stage, stage_clock, dur, Vec::new());
         stage_clock = now;
     };
 
@@ -303,13 +332,13 @@ pub fn project(
         Engine::Stack => compute_applicability(schema, source, projection, opts.record_trace)?,
         Engine::Fixpoint => compute_applicability_fixpoint(schema, source, projection)?,
     };
-    stage_done(&mut stage_times.applicability);
+    stage_done(&mut stage_times.applicability, "applicability");
 
     // -- 2. state factorization (§5) ----------------------------------------
     let mut registry = SurrogateRegistry::new();
     let mut fs_outcome = FactorStateOutcome::default();
     let derived = factor_state(schema, &mut registry, projection, source, &mut fs_outcome)?;
-    stage_done(&mut stage_times.factor_state);
+    stage_done(&mut stage_times.factor_state, "factor_state");
 
     // -- 3. definition-use analysis (§6.4), before signatures change --------
     let edges = collect_flow_edges(schema, &applicability.applicable);
@@ -339,11 +368,11 @@ pub fn project(
     let x_converted: BTreeSet<TypeId> = x.union(&coverage).copied().collect();
     let (_y, mut z) = compute_y_and_z(&edges, &x_converted);
     z.extend(coverage.iter().copied());
-    stage_done(&mut stage_times.flow_analysis);
+    stage_done(&mut stage_times.flow_analysis, "flow_analysis");
 
     // -- 4. hierarchy augmentation (§6.4) ------------------------------------
     let augment_created = augment(schema, &mut registry, source, &z)?;
-    stage_done(&mut stage_times.augment);
+    stage_done(&mut stage_times.augment, "augment");
 
     // -- 5. method factorization (§6.1) --------------------------------------
     let signature_changes = factor_methods(schema, &registry, source, &applicability.applicable);
@@ -351,17 +380,31 @@ pub fn project(
     for (m, old, _) in &signature_changes {
         converted.insert(*m, converted_positions(schema, &registry, source, old));
     }
-    stage_done(&mut stage_times.factor_methods);
+    stage_done(&mut stage_times.factor_methods, "factor_methods");
 
     // -- 6. body re-typing (§6.3) --------------------------------------------
     let retypes = retype_bodies(schema, &registry, &converted)?;
-    stage_done(&mut stage_times.retype);
+    stage_done(&mut stage_times.retype, "retype");
 
     // -- 7. invariants --------------------------------------------------------
     let invariants = before
         .map(|b| check_invariants(&b, schema, derived, projection, &applicability.applicable));
     if invariants.is_some() {
-        stage_done(&mut stage_times.invariants);
+        stage_done(&mut stage_times.invariants, "invariants");
+    }
+
+    if td_telemetry::enabled() {
+        td_telemetry::emit_span(
+            "project",
+            format!("project/{}", schema.type_name(source)),
+            project_start,
+            td_telemetry::now_ns().saturating_sub(project_start),
+            vec![
+                ("derived", schema.type_name(derived).into()),
+                ("applicable", applicability.applicable.len().into()),
+                ("engine", opts.engine.to_string().into()),
+            ],
+        );
     }
 
     Ok(Derivation {
@@ -599,6 +642,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d.stage_times.invariants, Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_timings_display_adapts_units_and_shows_percentages() {
+        let t = StageTimings {
+            applicability: Duration::from_micros(500),
+            factor_state: Duration::from_millis(1),
+            flow_analysis: Duration::from_millis(499),
+            augment: Duration::from_secs(1),
+            ..StageTimings::default()
+        };
+        let text = t.to_string();
+        assert!(text.contains("applicability 500.0µs (0%)"), "{text}");
+        assert!(text.contains("factor-state 1.00ms (0%)"), "{text}");
+        assert!(text.contains("flow 499.00ms (33%)"), "{text}");
+        assert!(text.contains("augment 1.00s (67%)"), "{text}");
+        assert!(text.contains("retype 0.0µs (0%)"), "{text}");
+        assert!(text.ends_with("total 1.50s"), "{text}");
+        // A zero total never divides by zero.
+        let zero = StageTimings::default().to_string();
+        assert!(zero.contains("applicability 0.0µs (0%)"), "{zero}");
+        assert!(zero.ends_with("total 0.0µs"), "{zero}");
     }
 
     #[test]

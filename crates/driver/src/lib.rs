@@ -380,15 +380,26 @@ impl BatchDeriver {
     /// Runs the batch: every request is derived exactly once, in
     /// isolation, and the outcomes are returned in request order.
     pub fn run(&self, requests: &[BatchRequest]) -> BatchOutcome {
+        let _span = td_telemetry::span_with_args(
+            "batch",
+            "run",
+            vec![
+                ("requests", requests.len().into()),
+                ("threads", self.threads.into()),
+            ],
+        );
         let started = Instant::now();
         // Build the applicability index once per distinct source on the
         // shared snapshot; every fork below inherits the warm Arc instead
         // of condensing the call graph per request.
-        self.warm_applicability_index(requests);
-        // Likewise the schema-wide lint report: computed once here, every
-        // fork answers the schema part from the inherited cache.
-        if self.lint {
-            let _ = td_core::lint(self.snapshot.schema(), None);
+        {
+            let _s = td_telemetry::span("batch", "warm");
+            self.warm_applicability_index(requests);
+            // Likewise the schema-wide lint report: computed once here,
+            // every fork answers the schema part from the inherited cache.
+            if self.lint {
+                let _ = td_core::lint(self.snapshot.schema(), None);
+            }
         }
         let n = requests.len();
         let threads = self.threads.min(n.max(1));
@@ -454,6 +465,9 @@ impl BatchDeriver {
                 Err(_) => stats.failed += 1,
             }
         }
+        // Bridge the rolled-up cache counters into the metrics registry
+        // (a no-op while telemetry is off).
+        stats.cache.publish();
         BatchOutcome { results, stats }
     }
 
@@ -484,6 +498,15 @@ impl BatchDeriver {
                 duration: started.elapsed(),
             };
         }
+        let _span = td_telemetry::span_with_args(
+            "batch",
+            "request",
+            vec![
+                ("index", index.into()),
+                ("source", self.snapshot.type_name(request.source).into()),
+                ("attrs", request.projection.len().into()),
+            ],
+        );
         let mut fork = self.snapshot.fork();
         let at_fork = fork.dispatch_cache_stats();
         // Lint before projecting: the derivation mutates the fork, which

@@ -302,7 +302,10 @@ impl Schema {
         }
         // Built outside the lock: the construction re-enters the cache
         // through `call_sites`/`applicable_methods` lookups.
-        let computed = Arc::new(ApplicabilityIndex::build(self, source)?);
+        let computed = {
+            let _span = td_telemetry::span("cache", "appindex_build");
+            Arc::new(ApplicabilityIndex::build(self, source)?)
+        };
         let mut inner = self.cache.lock();
         inner.refresh();
         inner.app_index.insert(source, Arc::clone(&computed));
@@ -450,6 +453,33 @@ mod tests {
             .unwrap();
         assert_eq!(s.most_specific(f, &args).unwrap(), Some(f_b));
         assert_eq!(snapshot.most_specific(f, &args).unwrap(), Some(f_a));
+    }
+
+    #[test]
+    fn delta_saturates_when_fork_counters_lag_the_baseline() {
+        // The batch engine computes `fork_final.delta(&baseline)`. When
+        // the baseline comes from a schema that raced ahead of the fork —
+        // more lookups, then an invalidation — the fork's counters lag it
+        // and every subtraction must saturate to zero, not wrap.
+        let (s, _a, b, f, _f_a) = base();
+        s.most_specific(f, &[CallArg::Object(b)]).unwrap();
+        let fork = s.clone();
+        s.most_specific(f, &[CallArg::Object(b)]).unwrap();
+        s.most_specific(f, &[CallArg::Object(b)]).unwrap();
+        s.clear_dispatch_cache();
+        let parent = s.dispatch_cache_stats();
+        let fork_stats = fork.dispatch_cache_stats();
+        assert!(
+            fork_stats.dispatch_hits < parent.dispatch_hits
+                && fork_stats.invalidations < parent.invalidations,
+            "scenario must actually make the fork lag"
+        );
+        let d = fork_stats.delta(&parent);
+        assert_eq!(d.dispatch_hits, 0);
+        assert_eq!(d.cpl_hits, 0);
+        assert_eq!(d.invalidations, 0);
+        // Gauges keep the fork's current residency, untouched by delta.
+        assert_eq!(d.dispatch_entries, fork_stats.dispatch_entries);
     }
 
     #[test]

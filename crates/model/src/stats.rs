@@ -169,6 +169,37 @@ impl DispatchCacheStats {
             lint_entries: self.lint_entries.max(other.lint_entries),
         }
     }
+
+    /// Publishes these stats into the `td_telemetry` metrics registry:
+    /// event counters become `cache/*` counters (added, so repeated
+    /// publishes of *deltas* accumulate) and resident-entry counts become
+    /// gauges (set, last write wins). A no-op while telemetry is off.
+    pub fn publish(&self) {
+        if !td_telemetry::enabled() {
+            return;
+        }
+        use td_telemetry::metrics::{counter, gauge};
+        for (name, value) in [
+            ("cache/cpl_hits", self.cpl_hits),
+            ("cache/cpl_misses", self.cpl_misses),
+            ("cache/dispatch_hits", self.dispatch_hits),
+            ("cache/dispatch_misses", self.dispatch_misses),
+            ("cache/index_hits", self.index_hits),
+            ("cache/index_misses", self.index_misses),
+            ("cache/lint_hits", self.lint_hits),
+            ("cache/lint_misses", self.lint_misses),
+            ("cache/invalidations", self.invalidations),
+        ] {
+            if value > 0 {
+                counter(name).add(value);
+            }
+        }
+        gauge("cache/generation").set(self.generation as i64);
+        gauge("cache/cpl_entries").set(self.cpl_entries as i64);
+        gauge("cache/dispatch_entries").set(self.dispatch_entries as i64);
+        gauge("cache/index_entries").set(self.index_entries as i64);
+        gauge("cache/lint_entries").set(self.lint_entries as i64);
+    }
 }
 
 impl fmt::Display for DispatchCacheStats {
@@ -307,6 +338,37 @@ mod tests {
         assert_eq!(m.dispatch_entries, 7);
         assert_eq!(m.index_entries, 2);
         assert_eq!(m.lint_entries, 2);
+    }
+
+    #[test]
+    fn publish_bridges_counters_and_gauges_into_the_registry() {
+        let stats = DispatchCacheStats {
+            generation: 7,
+            cpl_hits: 3,
+            index_misses: 2,
+            cpl_entries: 4,
+            ..DispatchCacheStats::default()
+        };
+        // Disabled: publishing must not touch the registry.
+        td_telemetry::set_enabled(false);
+        td_telemetry::metrics::reset();
+        stats.publish();
+        assert!(td_telemetry::metrics::snapshot().is_empty());
+
+        td_telemetry::set_enabled(true);
+        stats.publish();
+        stats.publish();
+        td_telemetry::set_enabled(false);
+        let snap = td_telemetry::metrics::snapshot();
+        td_telemetry::metrics::reset();
+        // Counters accumulate across publishes (deltas add up)…
+        assert_eq!(snap.counters["cache/cpl_hits"], 6);
+        assert_eq!(snap.counters["cache/index_misses"], 4);
+        // …zero counters are not registered at all…
+        assert!(!snap.counters.contains_key("cache/dispatch_hits"));
+        // …and gauges are last-write-wins.
+        assert_eq!(snap.gauges["cache/generation"], 7);
+        assert_eq!(snap.gauges["cache/cpl_entries"], 4);
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable), a round-trip
+//! parser for it, and a flat text summary.
+//!
+//! The trace writer emits the "JSON Array Format" variant of the Chrome
+//! trace-event spec — an object with a `traceEvents` array of complete
+//! (`"ph": "X"`) events. Timestamps are microseconds with three decimal
+//! places, which is nanosecond-exact, so [`parse_chrome_trace`] recovers
+//! the original `u64` nanosecond values and round-trip tests can compare
+//! spans field-for-field. The parser is a small hand-rolled JSON reader
+//! (same policy as `crates/bench/src/report.rs`): the container resolves
+//! no crates registry, so no serde.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{ArgValue, SpanEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Quotes `s` as a JSON string literal, escaping quotes, backslashes and
+/// control characters (schema-derived span names are attacker^W
+/// user-controlled: type names, request descriptions, file paths).
+pub(crate) fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_args(out: &mut String, event: &SpanEvent) {
+    out.push_str("\"args\":{");
+    let mut first = true;
+    for (key, value) in &event.args {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}:", json_quote(key));
+        match value {
+            ArgValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            ArgValue::Str(s) => out.push_str(&json_quote(s)),
+        }
+    }
+    out.push('}');
+}
+
+/// Renders drained span events as Chrome trace-event JSON. Load the
+/// result in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{},",
+            json_quote(&event.name),
+            json_quote(event.cat),
+            event.start_ns / 1_000,
+            event.start_ns % 1_000,
+            event.dur_ns / 1_000,
+            event.dur_ns % 1_000,
+            event.tid,
+        );
+        write_args(&mut out, event);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One span read back from a Chrome trace file. Owned mirror of
+/// [`SpanEvent`] minus the merge bookkeeping (`depth`, `seq`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceSpan {
+    /// Span category.
+    pub cat: String,
+    /// Span name.
+    pub name: String,
+    /// Start in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Thread id.
+    pub tid: u64,
+    /// Arguments as sorted key → rendered-value pairs.
+    pub args: BTreeMap<String, String>,
+}
+
+// --- minimal JSON reader -------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Reader {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through intact: take
+                    // the whole next char from the source slice.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn micros_to_ns(us: f64) -> u64 {
+    (us * 1_000.0).round() as u64
+}
+
+/// Parses a Chrome trace-event JSON document (the object-with-
+/// `traceEvents` form [`chrome_trace`] writes, or a bare event array)
+/// back into spans. Non-complete events (`ph` ≠ `"X"`) are skipped.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceSpan>, String> {
+    let doc = Reader::new(text).value()?;
+    let events = match &doc {
+        Json::Arr(items) => items,
+        Json::Obj(_) => match doc.get("traceEvents") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err("missing traceEvents array".to_string()),
+        },
+        _ => return Err("trace is neither an object nor an array".to_string()),
+    };
+    let mut spans = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "X" {
+            continue;
+        }
+        let field = |name: &str| -> Result<&Json, String> {
+            event
+                .get(name)
+                .ok_or_else(|| format!("event {i}: missing field '{name}'"))
+        };
+        let num = |name: &str| -> Result<f64, String> {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| format!("event {i}: field '{name}' is not a number"))
+        };
+        let mut args = BTreeMap::new();
+        if let Some(Json::Obj(fields)) = event.get("args") {
+            for (key, value) in fields {
+                let rendered = match value {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(n) => {
+                        if n.fract() == 0.0 {
+                            format!("{}", *n as i64)
+                        } else {
+                            format!("{n}")
+                        }
+                    }
+                    Json::Bool(b) => b.to_string(),
+                    Json::Null => "null".to_string(),
+                    _ => return Err(format!("event {i}: nested arg '{key}' unsupported")),
+                };
+                args.insert(key.clone(), rendered);
+            }
+        }
+        spans.push(TraceSpan {
+            cat: field("cat")?
+                .as_str()
+                .ok_or_else(|| format!("event {i}: 'cat' is not a string"))?
+                .to_string(),
+            name: field("name")?
+                .as_str()
+                .ok_or_else(|| format!("event {i}: 'name' is not a string"))?
+                .to_string(),
+            start_ns: micros_to_ns(num("ts")?),
+            dur_ns: micros_to_ns(num("dur")?),
+            tid: num("tid")? as u64,
+            args,
+        });
+    }
+    Ok(spans)
+}
+
+// --- text summary --------------------------------------------------------
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a flat text summary: spans aggregated by `(category, name)`
+/// with count / total / mean / min / max, followed by the metrics
+/// snapshot (when non-empty). This is what `tdv stats` and `--metrics`
+/// print.
+pub fn render_summary(events: &[SpanEvent], metrics: &MetricsSnapshot) -> String {
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        total: u64,
+        min: u64,
+        max: u64,
+    }
+    let mut groups: BTreeMap<(&str, &str), Agg> = BTreeMap::new();
+    for event in events {
+        let agg = groups.entry((event.cat, &event.name)).or_default();
+        if agg.count == 0 {
+            agg.min = event.dur_ns;
+        }
+        agg.count += 1;
+        agg.total += event.dur_ns;
+        agg.min = agg.min.min(event.dur_ns);
+        agg.max = agg.max.max(event.dur_ns);
+    }
+    let mut out = String::new();
+    if groups.is_empty() {
+        out.push_str("no spans recorded\n");
+    } else {
+        let name_width = groups
+            .keys()
+            .map(|(cat, name)| cat.len() + 1 + name.len())
+            .max()
+            .unwrap_or(0)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}",
+            "span", "count", "total", "mean", "min", "max"
+        );
+        for ((cat, name), agg) in &groups {
+            let _ = writeln!(
+                out,
+                "{:<name_width$}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}",
+                format!("{cat}/{name}"),
+                agg.count,
+                format_ns(agg.total),
+                format_ns(agg.total / agg.count),
+                format_ns(agg.min),
+                format_ns(agg.max),
+            );
+        }
+    }
+    if !metrics.is_empty() {
+        out.push('\n');
+        out.push_str(&metrics.render_text());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn event(name: &str, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            cat: "test",
+            name: Cow::Owned(name.to_string()),
+            start_ns,
+            dur_ns,
+            depth: 0,
+            tid: 1,
+            seq: 0,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_ns_exact() {
+        let mut e = event("stage", 1_234_567, 89_012);
+        e.args = vec![
+            ("idx", ArgValue::Int(4)),
+            ("desc", ArgValue::Str("T attrs a,b".to_string())),
+        ];
+        let trace = chrome_trace(&[e]);
+        let spans = parse_chrome_trace(&trace).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "stage");
+        assert_eq!(spans[0].cat, "test");
+        assert_eq!(spans[0].start_ns, 1_234_567);
+        assert_eq!(spans[0].dur_ns, 89_012);
+        assert_eq!(spans[0].tid, 1);
+        assert_eq!(spans[0].args["idx"], "4");
+        assert_eq!(spans[0].args["desc"], "T attrs a,b");
+    }
+
+    #[test]
+    fn json_quote_escapes_hostile_names() {
+        assert_eq!(json_quote(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(json_quote(r"a\b"), r#""a\\b""#);
+        assert_eq!(json_quote("a\nb\tc"), r#""a\nb\tc""#);
+        assert_eq!(json_quote("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_quote("éπ"), "\"éπ\"");
+    }
+
+    #[test]
+    fn hostile_span_names_survive_the_round_trip() {
+        for name in [
+            "quote\"backslash\\newline\n",
+            "tab\tret\r",
+            "ctrl\u{1}\u{1f}",
+            "unicode éπ→",
+        ] {
+            let trace = chrome_trace(&[event(name, 0, 1)]);
+            let spans = parse_chrome_trace(&trace).unwrap();
+            assert_eq!(spans[0].name, name, "trace: {trace}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"other\": 1}").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_bare_arrays_and_skips_non_complete_events() {
+        let text = r#"[
+            {"name":"m","cat":"c","ph":"M","ts":0,"dur":0,"pid":1,"tid":1},
+            {"name":"x","cat":"c","ph":"X","ts":1.5,"dur":2.25,"pid":1,"tid":7,"args":{}}
+        ]"#;
+        let spans = parse_chrome_trace(text).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_ns, 1_500);
+        assert_eq!(spans[0].dur_ns, 2_250);
+        assert_eq!(spans[0].tid, 7);
+    }
+
+    #[test]
+    fn summary_aggregates_and_formats_units() {
+        let events = vec![
+            event("fast", 0, 500),
+            event("fast", 10, 1_500),
+            event("slow", 20, 2_000_000_000),
+        ];
+        let summary = render_summary(&events, &MetricsSnapshot::default());
+        assert!(summary.contains("test/fast"), "{summary}");
+        assert!(summary.contains("2.00s"), "{summary}");
+        assert!(summary.contains("500ns"), "{summary}");
+        assert!(
+            summary.contains("1.5µs") || summary.contains("1.0µs"),
+            "{summary}"
+        );
+        let empty = render_summary(&[], &MetricsSnapshot::default());
+        assert_eq!(empty, "no spans recorded\n");
+    }
+}

@@ -34,6 +34,7 @@
 //! | [`derive`][mod@derive] | `td-core` | the paper's algorithms + invariant checking + surrogate minimization |
 //! | [`driver`] | `td-driver` | parallel batch derivation engine over copy-on-write schema snapshots |
 //! | [`store`] | `td-store` | executable OODB substrate: objects, extents, interpreter, view extents |
+//! | [`telemetry`] | `td-telemetry` | span tracing, metrics registry, Chrome-trace/JSON/text exporters |
 //! | [`algebra`] | `td-algebra` | selection, join, view pipelines (§7 future work) |
 //! | [`baselines`] | `td-baselines` | related-work placement strategies + auditor |
 //! | [`workload`] | `td-workload` | the paper's figures + seeded generators |
@@ -80,6 +81,7 @@ pub use td_core as derive;
 pub use td_driver as driver;
 pub use td_model as model;
 pub use td_store as store;
+pub use td_telemetry as telemetry;
 pub use td_workload as workload;
 
 /// One-stop imports for applications.

@@ -1,0 +1,241 @@
+//! Cross-crate telemetry integration: the span taxonomy the pipeline
+//! promises, the Chrome-trace export/parse round trip, and the
+//! determinism contract for batch traces.
+//!
+//! Telemetry state is process-global (one enabled flag, one metrics
+//! registry, per-thread ring buffers), so every test here serializes on
+//! [`TELEMETRY_LOCK`] and leaves telemetry disabled and drained behind
+//! it.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use typederive::derive::{project_named, ProjectionOptions};
+use typederive::driver::{BatchDeriver, BatchRequest};
+use typederive::telemetry::{self, MetricsSnapshot, SpanEvent};
+use typederive::workload::{batch_requests, figures, random_schema, GenParams};
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with telemetry on and returns its result plus the drained
+/// spans and the metrics snapshot, restoring the disabled-and-empty
+/// global state afterwards.
+fn traced<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanEvent>, MetricsSnapshot) {
+    telemetry::set_enabled(true);
+    let _ = telemetry::drain();
+    telemetry::metrics::reset();
+    let out = f();
+    telemetry::set_enabled(false);
+    let events = telemetry::drain();
+    let metrics = telemetry::metrics::snapshot();
+    telemetry::metrics::reset();
+    (out, events, metrics)
+}
+
+/// The stage spans `project()` emits, in pipeline order.
+const STAGES: [&str; 7] = [
+    "applicability",
+    "factor_state",
+    "flow_analysis",
+    "augment",
+    "factor_methods",
+    "retype",
+    "invariants",
+];
+
+#[test]
+fn fig3_example1_trace_covers_every_projection_stage() {
+    let _guard = telemetry_lock();
+    let mut schema = figures::fig3();
+    let (derivation, events, _) = traced(|| {
+        project_named(
+            &mut schema,
+            "A",
+            figures::FIG4_PROJECTION,
+            &ProjectionOptions::default(),
+        )
+        .unwrap()
+    });
+    assert!(derivation.invariants_ok());
+
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.cat == "project")
+        .map(|e| e.name.as_ref())
+        .collect();
+    for stage in STAGES {
+        assert!(
+            names.contains(&stage),
+            "stage `{stage}` missing from trace: {names:?}"
+        );
+    }
+    let umbrella = events
+        .iter()
+        .find(|e| e.name.as_ref() == "project/A")
+        .expect("umbrella span project/A missing");
+    // The umbrella wraps every stage span it reports on.
+    for e in events.iter().filter(|e| STAGES.contains(&e.name.as_ref())) {
+        assert!(umbrella.start_ns <= e.start_ns);
+        assert!(e.start_ns + e.dur_ns <= umbrella.start_ns + umbrella.dur_ns);
+    }
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_parser() {
+    let _guard = telemetry_lock();
+    let mut schema = figures::fig3();
+    let (_, events, _) = traced(|| {
+        project_named(
+            &mut schema,
+            "A",
+            figures::FIG4_PROJECTION,
+            &ProjectionOptions::default(),
+        )
+        .unwrap()
+    });
+    assert!(!events.is_empty());
+
+    let json = telemetry::chrome_trace(&events);
+    let parsed = telemetry::parse_chrome_trace(&json).expect("trace must parse back");
+    assert_eq!(parsed.len(), events.len());
+    for (orig, back) in events.iter().zip(&parsed) {
+        assert_eq!(back.cat, orig.cat);
+        assert_eq!(back.name, orig.name.as_ref());
+        // Microsecond timestamps carry three decimals, so nanosecond
+        // precision survives the round trip exactly.
+        assert_eq!(back.start_ns, orig.start_ns, "ts drifted for {}", orig.name);
+        assert_eq!(back.dur_ns, orig.dur_ns, "dur drifted for {}", orig.name);
+        assert_eq!(back.args.len(), orig.args.len());
+    }
+}
+
+/// The span fingerprint that must not depend on scheduling: everything
+/// except timestamps, thread ids, and per-thread sequence numbers.
+fn span_multiset(events: &[SpanEvent]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for e in events {
+        let key = format!("{}/{} {:?} depth={}", e.cat, e.name, e.args, e.depth);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn batch_trace_multiset_is_identical_across_thread_counts() {
+    let _guard = telemetry_lock();
+    let schema = random_schema(&GenParams {
+        n_types: 24,
+        n_gfs: 12,
+        seed: 0xBA7C,
+        ..GenParams::default()
+    });
+    let requests: Vec<BatchRequest> = batch_requests(&schema, 32, 0.5, 0xBA7C)
+        .into_iter()
+        .map(BatchRequest::from)
+        .collect();
+    assert_eq!(requests.len(), 32, "workload generator came up short");
+
+    let mut fingerprints = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (outcome, events, _) = traced(|| {
+            BatchDeriver::new(&schema)
+                .threads(threads)
+                .options(ProjectionOptions::fast())
+                .run(&requests)
+        });
+        assert_eq!(outcome.results.len(), requests.len());
+        // The `threads` arg on the batch/run span legitimately differs;
+        // everything else must not.
+        let events: Vec<SpanEvent> = events
+            .into_iter()
+            .filter(|e| !(e.cat == "batch" && e.name.as_ref() == "run"))
+            .collect();
+        let per_request = events
+            .iter()
+            .filter(|e| e.cat == "batch" && e.name.as_ref() == "request")
+            .count();
+        assert_eq!(per_request, requests.len(), "one request span per request");
+        fingerprints.push((threads, span_multiset(&events)));
+    }
+    let (_, baseline) = &fingerprints[0];
+    for (threads, fp) in &fingerprints[1..] {
+        assert_eq!(
+            fp, baseline,
+            "{threads}-thread trace multiset diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn batch_run_publishes_cache_metrics_into_the_registry() {
+    let _guard = telemetry_lock();
+    let schema = random_schema(&GenParams {
+        n_types: 16,
+        n_gfs: 8,
+        seed: 7,
+        ..GenParams::default()
+    });
+    let requests: Vec<BatchRequest> = batch_requests(&schema, 8, 0.5, 7)
+        .into_iter()
+        .map(BatchRequest::from)
+        .collect();
+    let (_, _, metrics) = traced(|| BatchDeriver::new(&schema).threads(2).run(&requests));
+    assert!(
+        metrics.gauges.contains_key("cache/generation"),
+        "cache gauges missing: {:?}",
+        metrics.gauges.keys().collect::<Vec<_>>()
+    );
+    assert!(!metrics.is_empty());
+}
+
+#[test]
+fn schema_derived_span_names_survive_json_escaping() {
+    let _guard = telemetry_lock();
+    // Span names come from schema type names in the umbrella span; the
+    // exporter must escape anything JSON-hostile an embedder might use.
+    let hostile = "view \"Π\"\\\n\tend";
+    let (_, events, _) = traced(|| {
+        telemetry::emit_span(
+            "project",
+            format!("project/{hostile}"),
+            10,
+            20,
+            vec![("derived", hostile.into()), ("applicable", 3i64.into())],
+        );
+    });
+    let json = telemetry::chrome_trace(&events);
+    let parsed = telemetry::parse_chrome_trace(&json).expect("escaped trace must parse");
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].name, format!("project/{hostile}"));
+    assert_eq!(parsed[0].args["derived"], hostile);
+}
+
+#[test]
+fn histogram_buckets_land_on_power_of_two_boundaries() {
+    let _guard = telemetry_lock();
+    telemetry::set_enabled(true);
+    telemetry::metrics::reset();
+    let h = telemetry::metrics::histogram("test/latency");
+    for v in [0u64, 1, 2, 3, 4, 1023, 1024, 1025] {
+        h.record(v);
+    }
+    let snap = telemetry::metrics::snapshot();
+    telemetry::set_enabled(false);
+    telemetry::metrics::reset();
+
+    let hist = &snap.histograms["test/latency"];
+    assert_eq!(hist.count, 8);
+    assert_eq!(hist.sum, 1 + 2 + 3 + 4 + 1023 + 1024 + 1025);
+    let buckets: BTreeMap<u64, u64> = hist.buckets.iter().copied().collect();
+    // Bucket lower bounds are powers of two: 0, 1, 2, 4, ..., so 2 and 3
+    // share [2,4), 1023 lands in [512,1024), 1024 and 1025 in [1024,2048).
+    assert_eq!(buckets[&0], 1);
+    assert_eq!(buckets[&1], 1);
+    assert_eq!(buckets[&2], 2);
+    assert_eq!(buckets[&4], 1);
+    assert_eq!(buckets[&512], 1);
+    assert_eq!(buckets[&1024], 2);
+}
