@@ -8,11 +8,31 @@
 //!
 //! Exits 0 when every baseline experiment still matches the paper and
 //! every gated `ratio_*` metric is within ±threshold of the baseline;
-//! exits 1 with one line per failure otherwise (see
+//! exits 1 otherwise, after printing a per-metric diff table with a
+//! status column and one `::error::` GitHub annotation per failure so
+//! the gate reads as a verdict, not a raw JSON dump (see
 //! `crates/bench/src/report.rs` for the gating rules).
 
 use std::process::exit;
 use td_bench::report::{compare, BenchReport, DEFAULT_THRESHOLD};
+
+/// Per-metric verdict for the diff table.
+fn metric_status(name: &str, base: f64, cur: Option<f64>, threshold: f64) -> &'static str {
+    if !BenchReport::is_gated(name) {
+        return "info";
+    }
+    match cur {
+        None => "MISSING",
+        Some(cur) => {
+            let drift = (cur - base).abs() / base.abs().max(1e-12);
+            if drift.is_finite() && drift <= threshold {
+                "ok"
+            } else {
+                "FAIL"
+            }
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold 0.30]");
@@ -57,26 +77,47 @@ fn main() {
     let current = load(current_path);
 
     println!(
-        "bench_diff: {baseline_path} vs {current_path} (±{:.0}%)",
+        "bench_diff: {baseline_path} vs {current_path} (gated ratios ±{:.0}%)",
         threshold * 100.0
     );
-    println!("| metric | baseline | current | drift | gated |");
+
+    // Experiments first: a reproduction row going red fails whatever the
+    // timings say, so it leads the report.
+    let current_experiments: std::collections::BTreeMap<&str, bool> = current
+        .experiments
+        .iter()
+        .map(|(id, ok)| (id.as_str(), *ok))
+        .collect();
+    println!("\n| experiment | status |");
+    println!("|---|---|");
+    for (id, _) in &baseline.experiments {
+        let status = match current_experiments.get(id.as_str()) {
+            Some(true) => "ok",
+            Some(false) => "FAIL (no longer matches the paper)",
+            None => "MISSING from current report",
+        };
+        println!("| {id} | {status} |");
+    }
+
+    println!("\n| metric | baseline | current | drift | status |");
     println!("|---|---|---|---|---|");
     for (name, &base) in &baseline.metrics {
-        let gated = BenchReport::is_gated(name);
-        match current.metrics.get(name) {
-            Some(&cur) => {
+        let cur = current.metrics.get(name).copied();
+        let status = metric_status(name, base, cur, threshold);
+        match cur {
+            Some(cur) => {
                 let drift = (cur - base) / base.abs().max(1e-12) * 100.0;
-                println!(
-                    "| {name} | {base:.4} | {cur:.4} | {drift:+.1}% | {} |",
-                    if gated { "yes" } else { "no" }
-                );
+                println!("| {name} | {base:.4} | {cur:.4} | {drift:+.1}% | {status} |");
             }
-            None => println!(
-                "| {name} | {base:.4} | — | — | {} |",
-                if gated { "yes" } else { "no" }
-            ),
+            None => println!("| {name} | {base:.4} | — | — | {status} |"),
         }
+    }
+    for name in current
+        .metrics
+        .keys()
+        .filter(|n| !baseline.metrics.contains_key(*n))
+    {
+        println!("| {name} | — | {:.4} | — | new |", current.metrics[name]);
     }
 
     let failures = compare(&baseline, &current, threshold);
@@ -94,8 +135,20 @@ fn main() {
     } else {
         println!();
         for f in &failures {
-            println!("FAIL: {f}");
+            // `::error::` renders as a file-less annotation on GitHub
+            // runners and is a plain greppable line everywhere else.
+            println!("::error::bench gate: {f}");
         }
+        println!(
+            "\nFAILED: {} of {} gate checks (see table above)",
+            failures.len(),
+            baseline.experiments.len()
+                + baseline
+                    .metrics
+                    .keys()
+                    .filter(|n| BenchReport::is_gated(n))
+                    .count()
+        );
         exit(1);
     }
 }

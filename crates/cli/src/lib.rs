@@ -9,6 +9,7 @@
 //! tdv dot       <schema.td>                         Graphviz DOT export
 //! tdv applicable <schema.td> <Type> <a1,a2,…>       IsApplicable classification
 //! tdv project   <schema.td> <Type> <a1,a2,…>        derive; print summary + refactored schema
+//!                                       (--json: the canonical derivation record)
 //! tdv lint      <schema.td> [<Type> <a1,a2,…>]      static schema & projection-safety analysis
 //! tdv batch     <schema.td> <requests.txt> [N]      derive a request fleet over N threads
 //! tdv stats     <schema.td> <Type> <a1,a2,…>        span/metrics telemetry for one derivation
@@ -16,6 +17,8 @@
 //! tdv audit     <schema.td> <Type> <a1,a2,…>        baseline strategy audit
 //! tdv extent    <schema.td> <data.td> <Type>        list the deep extent
 //! tdv call      <schema.td> <data.td> <gf> <args>   execute a generic-function call
+//! tdv serve     [addr] [flags]                      run the multi-tenant derivation server
+//! tdv client    <addr> <METHOD> <path> [body|@file] one HTTP request against a server
 //! ```
 //!
 //! Every command accepts `--trace <file>` (write a Chrome trace-event
@@ -37,7 +40,7 @@ use td_baselines::{
     StandaloneStrategy,
 };
 use td_core::{explain, project, Engine, ProjectionOptions};
-use td_driver::{BatchDeriver, BatchRequest};
+use td_driver::BatchDeriver;
 use td_model::{parse_schema, parse_schema_lenient, AttrId, Schema, TypeId};
 use td_store::{parse_objects, Database, Value};
 
@@ -74,7 +77,7 @@ USAGE:
   tdv show       <schema.td>
   tdv dot        <schema.td>
   tdv applicable <schema.td> <Type> <attr,attr,…> [--engine E]
-  tdv project    <schema.td> <Type> <attr,attr,…> [--engine E]
+  tdv project    <schema.td> <Type> <attr,attr,…> [--engine E] [--json]
   tdv lint       <schema.td> [<Type> <attr,attr,…>] [--json] [--deny warnings]
   tdv batch      <schema.td> <requests.txt> [threads] [--engine E]
   tdv stats      <schema.td> <Type> <attr,attr,…> [--engine E]
@@ -82,6 +85,9 @@ USAGE:
   tdv audit      <schema.td> <Type> <attr,attr,…>
   tdv extent     <schema.td> <data.td> <Type>
   tdv call       <schema.td> <data.td> <gf> <arg,arg,…>
+  tdv serve      [addr] [--port-file F] [--threads N] [--io-threads N]
+                 [--queue-slots N]
+  tdv client     <addr> <METHOD> <path> [body | @bodyfile]
 
 call arguments: object names from the data file, or literals
 (42, 3.5, true, \"text\", null).
@@ -104,6 +110,16 @@ Every command accepts --trace <file> (write a Chrome trace-event JSON of
 the run — load it at https://ui.perfetto.dev) and --metrics (append the
 flat span/metrics summary). `stats` derives the view with telemetry on
 and prints only that summary.
+
+`project --json` prints the canonical derivation record — byte-identical
+to what `POST /v1/project` on a running `tdv serve` answers for the same
+schema and view.
+
+`serve` binds addr (default 127.0.0.1:7171; port 0 picks a free port,
+written to --port-file when given) and exposes the derivation pipeline
+as a multi-tenant JSON API; SIGTERM drains in-flight requests and exits
+cleanly. `client` performs one request against it: a 2xx body goes to
+stdout verbatim, anything else exits nonzero with the error body.
 ";
 
 /// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
@@ -191,6 +207,22 @@ fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryFla
         }
     }
     Ok((rest, flags))
+}
+
+/// Strips a boolean `name` switch out of `args`, reporting whether it
+/// was present.
+fn extract_switch(args: &[String], name: &str) -> (Vec<String>, bool) {
+    let mut found = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            let hit = a.as_str() == name;
+            found |= hit;
+            !hit
+        })
+        .cloned()
+        .collect();
+    (rest, found)
 }
 
 fn deny_lint_level(level: &str) -> Result<(), CliError> {
@@ -301,6 +333,7 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             Ok(out)
         }
         "project" => {
+            let (args, json) = extract_switch(args, "--json");
             let mut schema = load(args.get(1))?;
             let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
             let opts = ProjectionOptions {
@@ -310,6 +343,14 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             let d = project(&mut schema, source, &projection, &opts)
                 .map_err(|e| fail(e.to_string()))?;
             schema.dispatch_cache_stats().publish();
+            if json {
+                // The canonical machine-readable record — the same
+                // renderer the server's /v1/project endpoint uses, so
+                // the two outputs compare byte for byte (the CI smoke
+                // job holds us to that). Invariant violations are
+                // reported in-band as `"invariants_ok": false`.
+                return Ok(td_server::derivation_json(&schema, &d));
+            }
             let mut out = String::new();
             let _ = writeln!(out, "{}", d.summary(&schema));
             let _ = writeln!(out, "{}", schema.render_hierarchy());
@@ -367,8 +408,8 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                 .transpose()?;
             let src = std::fs::read_to_string(path)
                 .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
-            let requests =
-                parse_batch_requests(&schema, &src).map_err(|e| fail(format!("{path}: {e}")))?;
+            let requests = td_driver::parse_requests(&schema, &src)
+                .map_err(|e| fail(format!("{path}: {e}")))?;
             let mut deriver = BatchDeriver::new(&schema)
                 .options(ProjectionOptions {
                     engine,
@@ -441,6 +482,91 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             // show how warm the run was.
             let _ = writeln!(out, "{}", schema.dispatch_cache_stats());
             Ok(out)
+        }
+        "serve" => {
+            let mut config = td_server::ServerConfig {
+                addr: "127.0.0.1:7171".to_string(),
+                ..Default::default()
+            };
+            let mut port_file: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| fail(format!("serve: {flag} needs a value")))
+                };
+                match a.as_str() {
+                    "--port-file" => port_file = Some(value("--port-file")?),
+                    "--threads" => {
+                        config.exec_threads = value("--threads")?
+                            .parse()
+                            .map_err(|_| fail("serve: --threads must be a number"))?;
+                    }
+                    "--io-threads" => {
+                        config.io_threads = value("--io-threads")?
+                            .parse()
+                            .map_err(|_| fail("serve: --io-threads must be a number"))?;
+                    }
+                    "--queue-slots" => {
+                        config.queue_slots = value("--queue-slots")?
+                            .parse()
+                            .map_err(|_| fail("serve: --queue-slots must be a number"))?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(fail(format!("serve: unknown flag {flag}")));
+                    }
+                    addr => config.addr = addr.to_string(),
+                }
+            }
+            let server = td_server::Server::bind(config)
+                .map_err(|e| fail(format!("serve: cannot bind: {e}")))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| fail(format!("serve: {e}")))?;
+            if let Some(path) = &port_file {
+                std::fs::write(path, addr.to_string())
+                    .map_err(|e| fail(format!("serve: cannot write --port-file `{path}`: {e}")))?;
+            }
+            // Stderr, so stdout stays clean for scripted use.
+            eprintln!("tdv serve: listening on http://{addr} (SIGTERM drains and exits)");
+            let shutdown = td_server::install_shutdown_handler();
+            server
+                .run(shutdown)
+                .map_err(|e| fail(format!("serve: {e}")))?;
+            Ok("tdv serve: drained in-flight requests and stopped\n".to_string())
+        }
+        "client" => {
+            let addr = args
+                .get(1)
+                .ok_or_else(|| fail("client: missing server address (host:port)"))?;
+            let method = args
+                .get(2)
+                .ok_or_else(|| fail("client: missing HTTP method"))?
+                .to_ascii_uppercase();
+            let path = args
+                .get(3)
+                .ok_or_else(|| fail("client: missing request path"))?;
+            let body = match args.get(4) {
+                None => None,
+                Some(arg) => match arg.strip_prefix('@') {
+                    Some(file) => Some(
+                        std::fs::read(file)
+                            .map_err(|e| fail(format!("client: cannot read `{file}`: {e}")))?,
+                    ),
+                    None => Some(arg.clone().into_bytes()),
+                },
+            };
+            let (status, body) = td_server::http_call(addr, &method, path, body.as_deref())
+                .map_err(|e| fail(format!("client: {e}")))?;
+            if status < 400 {
+                Ok(body)
+            } else {
+                Err(CliError {
+                    message: format!("HTTP {status}\n{body}"),
+                    code: 2,
+                })
+            }
         }
         "audit" => {
             let schema = load(args.get(1))?;
@@ -550,31 +676,6 @@ fn parse_value(
     )))
 }
 
-/// Parses a batch request file: one `Type: attr,attr,…` per line, blank
-/// lines and `#` comments ignored. Name-resolution failures report the
-/// 1-based line number.
-fn parse_batch_requests(schema: &Schema, src: &str) -> Result<Vec<BatchRequest>, CliError> {
-    let mut requests = Vec::new();
-    for (lineno, raw) in src.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (ty, attrs) = line
-            .split_once(':')
-            .ok_or_else(|| fail(format!("line {}: expected `Type: attr,…`", lineno + 1)))?;
-        let attrs: Vec<&str> = attrs
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .collect();
-        let request = BatchRequest::by_names(schema, ty.trim(), &attrs)
-            .map_err(|e| fail(format!("line {}: {e}", lineno + 1)))?;
-        requests.push(request);
-    }
-    Ok(requests)
-}
-
 fn load(path: Option<&String>) -> Result<Schema, CliError> {
     let path = path.ok_or_else(|| fail("missing schema file argument"))?;
     let src =
@@ -651,6 +752,50 @@ mod tests {
             "command {args:?} unexpectedly succeeded; captured stdout is above"
         );
         result.err().unwrap()
+    }
+
+    #[test]
+    fn project_json_is_byte_identical_to_the_server_endpoint() {
+        let f = fixture("project_json", FIG1);
+        let out = run_ok(&[
+            "project",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN,pay_rate,hrs_worked",
+            "--json",
+        ]);
+        let api = td_server::Api::new();
+        let body = format!(
+            "{{\"schema_text\": {}, \"type\": \"Employee\", \"attrs\": [\"SSN\", \"pay_rate\", \"hrs_worked\"]}}",
+            td_server::json::quote(FIG1)
+        );
+        let resp = api.handle("POST", "/v1/project", "", body.as_bytes());
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(out, resp.body);
+        assert!(out.contains("\"invariants_ok\": true"), "{out}");
+    }
+
+    #[test]
+    fn client_round_trips_against_a_live_server() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let server = Arc::new(
+            td_server::Server::bind(td_server::ServerConfig::default())
+                .expect("bind a loopback port"),
+        );
+        let addr = server.local_addr().unwrap().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let runner = {
+            let (server, shutdown) = (Arc::clone(&server), Arc::clone(&shutdown));
+            std::thread::spawn(move || server.run(&shutdown))
+        };
+        let out = run_ok(&["client", &addr, "GET", "/healthz"]);
+        assert_eq!(out, "ok\n");
+        let e = run_err(&["client", &addr, "get", "/v1/nope"]);
+        assert!(e.message.contains("HTTP 404"), "{}", e.message);
+        assert_eq!(e.code, 2);
+        shutdown.store(true, Ordering::SeqCst);
+        runner.join().unwrap().unwrap();
     }
 
     #[test]

@@ -112,6 +112,59 @@ impl From<(TypeId, BTreeSet<AttrId>)> for BatchRequest {
     }
 }
 
+/// A located error from [`parse_requests`]: every failure names the
+/// 1-based line of the request file (or request body) it came from, so
+/// both the `tdv batch` CLI path and the server's `/v1/batch` endpoint
+/// point at the offending request instead of surfacing a bare error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestParseError {
+    /// 1-based line number of the malformed request.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub message: String,
+}
+
+impl std::fmt::Display for RequestParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RequestParseError {}
+
+/// Parses a batch request listing: one `Type: attr,attr,…` projection per
+/// line, blank lines and `#` comments ignored. Both syntax failures and
+/// name-resolution failures report the 1-based line number.
+pub fn parse_requests(schema: &Schema, src: &str) -> Result<Vec<BatchRequest>, RequestParseError> {
+    let err = |line: usize, message: String| RequestParseError {
+        line: line + 1,
+        message,
+    };
+    let mut requests = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (ty, attrs) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `Type: attr,…`".to_string()))?;
+        let ty = ty.trim();
+        if ty.is_empty() {
+            return Err(err(lineno, "expected a type name before `:`".to_string()));
+        }
+        let attrs: Vec<&str> = attrs
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let request =
+            BatchRequest::by_names(schema, ty, &attrs).map_err(|e| err(lineno, e.to_string()))?;
+        requests.push(request);
+    }
+    Ok(requests)
+}
+
 /// The outcome of one request within a batch.
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
@@ -739,6 +792,40 @@ mod tests {
         assert!(outcome.results.iter().all(|r| r.lint.is_none()));
         assert!(!outcome.stats.linted);
         assert!(!outcome.stats.to_string().contains("lint:"));
+    }
+
+    #[test]
+    fn parse_requests_resolves_and_locates_errors() {
+        let s = base_schema();
+        let reqs = parse_requests(
+            &s,
+            "# views\nEmployee: SSN, date_of_birth\n\nPerson: SSN # badge\n",
+        )
+        .unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(
+            reqs[0],
+            BatchRequest::by_names(&s, "Employee", &["SSN", "date_of_birth"]).unwrap()
+        );
+        assert_eq!(
+            reqs[1],
+            BatchRequest::by_names(&s, "Person", &["SSN"]).unwrap()
+        );
+
+        // Every failure mode carries its 1-based line number.
+        let e = parse_requests(&s, "Employee: SSN\nEmployee SSN\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected `Type:"), "{e}");
+        let e = parse_requests(&s, "\n\nNope: SSN\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown type name"), "{e}");
+        let e = parse_requests(&s, "Person: whoops\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown attribute"), "{e}");
+        let e = parse_requests(&s, ": SSN\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("type name before"), "{e}");
+        assert_eq!(e.to_string(), format!("line 1: {}", e.message));
     }
 
     #[test]

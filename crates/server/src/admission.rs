@@ -1,0 +1,235 @@
+//! Admission control: a bounded, tenant-fair work queue.
+//!
+//! Each tenant owns a bounded FIFO; a round-robin cursor over tenants
+//! decides whose job runs next. The two properties this buys:
+//!
+//! * **Isolation** — one tenant flooding the service fills only its own
+//!   queue. Further submissions from that tenant bounce with
+//!   [`SubmitError::Busy`] (→ 429 + `Retry-After`) while other tenants'
+//!   requests keep flowing.
+//! * **Fairness** — workers drain tenants in rotation, so a tenant with
+//!   one queued job waits at most one job per other active tenant, not
+//!   behind a deep stranger queue.
+//!
+//! [`close`](FairQueue::close) flips the queue into drain mode: submits
+//! are refused, [`next`](FairQueue::next) keeps handing out queued jobs
+//! until empty and then returns `None` to every worker. This is the
+//! graceful-shutdown half of the SIGTERM story in `lib.rs`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Why a job was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant's queue is full; retry later.
+    Busy {
+        /// The tenant whose queue overflowed.
+        tenant: String,
+    },
+    /// The queue is draining for shutdown; no new work is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { tenant } => {
+                write!(f, "tenant `{tenant}` has no free queue slots")
+            }
+            SubmitError::Closed => write!(f, "the server is shutting down"),
+        }
+    }
+}
+
+/// A refused submission: the job comes back to the caller (it may carry
+/// resources — the server's jobs own the client socket, which still has
+/// to be answered with the refusal).
+#[derive(Debug)]
+pub struct Rejected<T> {
+    /// The job that was not admitted.
+    pub job: T,
+    /// Why it was refused.
+    pub error: SubmitError,
+}
+
+struct State<T> {
+    /// Per-tenant FIFOs. A tenant's entry persists once created so the
+    /// round-robin order is stable (tenant cardinality is small: it is
+    /// bounded by the registry, not by request traffic).
+    queues: BTreeMap<String, VecDeque<T>>,
+    /// Tenant names in first-seen order; `cursor` rotates over this.
+    order: Vec<String>,
+    cursor: usize,
+    depth: usize,
+    closed: bool,
+}
+
+/// A bounded multi-tenant queue with round-robin dequeue order.
+pub struct FairQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    slots_per_tenant: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `slots_per_tenant` pending jobs per
+    /// tenant (minimum 1).
+    pub fn new(slots_per_tenant: usize) -> FairQueue<T> {
+        FairQueue {
+            state: Mutex::new(State {
+                queues: BTreeMap::new(),
+                order: Vec::new(),
+                cursor: 0,
+                depth: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            slots_per_tenant: slots_per_tenant.max(1),
+        }
+    }
+
+    /// Admits `job` for `tenant`, or hands it back when the tenant's
+    /// queue is full or the server is draining.
+    pub fn submit(&self, tenant: &str, job: T) -> Result<(), Rejected<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(Rejected {
+                job,
+                error: SubmitError::Closed,
+            });
+        }
+        if !state.queues.contains_key(tenant) {
+            state.queues.insert(tenant.to_string(), VecDeque::new());
+            state.order.push(tenant.to_string());
+        }
+        let queue = state.queues.get_mut(tenant).expect("tenant queue exists");
+        if queue.len() >= self.slots_per_tenant {
+            return Err(Rejected {
+                job,
+                error: SubmitError::Busy {
+                    tenant: tenant.to_string(),
+                },
+            });
+        }
+        queue.push_back(job);
+        state.depth += 1;
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// The next job in round-robin tenant order. Blocks while the queue
+    /// is open and empty; returns `None` once the queue is closed *and*
+    /// drained.
+    pub fn next(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.depth > 0 {
+                let n = state.order.len();
+                for step in 0..n {
+                    let i = (state.cursor + step) % n;
+                    let tenant = state.order[i].clone();
+                    if let Some(job) = state.queues.get_mut(&tenant).and_then(VecDeque::pop_front) {
+                        // Advance past the tenant we just served so the
+                        // next dequeue starts with its neighbour.
+                        state.cursor = (i + 1) % n;
+                        state.depth -= 1;
+                        return Some(job);
+                    }
+                }
+                unreachable!("depth > 0 but every tenant queue was empty");
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admitting work and wakes every blocked worker; queued jobs
+    /// still drain through [`next`](FairQueue::next).
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued across all tenants.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounds_each_tenant_independently() {
+        let q: FairQueue<u32> = FairQueue::new(2);
+        q.submit("a", 1).unwrap();
+        q.submit("a", 2).unwrap();
+        let rejected = q.submit("a", 3).unwrap_err();
+        assert_eq!(rejected.job, 3);
+        assert_eq!(
+            rejected.error,
+            SubmitError::Busy {
+                tenant: "a".to_string()
+            }
+        );
+        // Tenant `b` is unaffected by `a`'s overflow.
+        q.submit("b", 10).unwrap();
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn dequeues_round_robin_across_tenants() {
+        let q: FairQueue<&str> = FairQueue::new(8);
+        q.submit("a", "a1").unwrap();
+        q.submit("a", "a2").unwrap();
+        q.submit("a", "a3").unwrap();
+        q.submit("b", "b1").unwrap();
+        q.submit("c", "c1").unwrap();
+        // `a` flooded first, but `b` and `c` are each served after at
+        // most one `a` job.
+        let drained: Vec<&str> =
+            std::iter::from_fn(|| (q.depth() > 0).then(|| q.next().unwrap())).collect();
+        assert_eq!(drained, vec!["a1", "b1", "c1", "a2", "a3"]);
+    }
+
+    #[test]
+    fn close_refuses_submits_but_drains_queued_work() {
+        let q: FairQueue<u32> = FairQueue::new(4);
+        q.submit("a", 1).unwrap();
+        q.close();
+        let rejected = q.submit("a", 2).unwrap_err();
+        assert_eq!(rejected.error, SubmitError::Closed);
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.next(), None);
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_submit_and_on_close() {
+        let q: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(job) = q.next() {
+                    got.push(job);
+                }
+                got
+            })
+        };
+        // Give the worker a moment to block, then feed and close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit("t", 7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), vec![7]);
+    }
+}

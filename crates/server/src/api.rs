@@ -1,0 +1,863 @@
+//! Endpoint dispatch: pure compute from `(method, path, query, body)` to
+//! a [`Response`].
+//!
+//! The listener in `lib.rs` deliberately does no thinking — it parses
+//! HTTP and feeds this table. Keeping [`Api::handle`] socket-free means
+//! the loopback tests, the CI smoke client and the `serve_warm_vs_cold`
+//! repro experiment all exercise the exact handlers production traffic
+//! hits, without flaky socket timing in the measurement loop.
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `GET /healthz` | — | `ok` |
+//! | `GET /metrics` | — | Prometheus text (`?format=json` for JSON) |
+//! | `GET /v1/stats` | — | request counts + schema inventory |
+//! | `PUT /v1/tenants/{t}/schemas/{n}` | schema text | `{version}` |
+//! | `GET /v1/tenants/{t}/schemas/{n}` | — | registered text + version |
+//! | `POST /v1/project` | view request | canonical derivation JSON |
+//! | `POST /v1/applicable` | view request | method partition |
+//! | `POST /v1/lint` | view request (view optional) | TDL report JSON |
+//! | `POST /v1/explain` | view request + `method` | proof tree |
+//! | `POST /v1/batch` | request-file text + `threads` | batch report |
+//!
+//! A view request names its schema one of two ways: `"schema"` — a name
+//! registered under `"tenant"`, served from the warm shared snapshot —
+//! or `"schema_text"` — inline text, parsed fresh per request (the cold
+//! path). The warm/cold split is the registry's reason to exist; the
+//! gated `ratio_serve_warm_vs_cold` metric keeps it honest.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use td_core::{explain, project, Derivation, Engine, ProjectionOptions};
+use td_model::{parse_schema_lenient, AttrId, Schema, TypeId};
+
+use crate::http::Response;
+use crate::json::{quote, str_array, Json};
+use crate::registry::{Registry, SchemaEntry};
+
+/// Longest artificial delay honored from a request's `delay_ms` field —
+/// a load-testing aid (it keeps a queue slot provably occupied for the
+/// admission-control tests), not a production feature.
+pub const MAX_DELAY_MS: u64 = 1_000;
+
+/// The server's request-independent state: the tenant registry plus
+/// request accounting for `/v1/stats`.
+pub struct Api {
+    /// The tenant-scoped schema registry.
+    pub registry: Registry,
+    counts: Mutex<BTreeMap<String, u64>>,
+}
+
+/// A request-level failure: HTTP status plus message.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+fn bad(message: impl Into<String>) -> ApiError {
+    ApiError {
+        status: 400,
+        message: message.into(),
+    }
+}
+
+impl Default for Api {
+    fn default() -> Api {
+        Api::new()
+    }
+}
+
+impl Api {
+    /// A fresh API over an empty registry.
+    pub fn new() -> Api {
+        Api {
+            registry: Registry::new(),
+            counts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Dispatches one request. Never panics on malformed input — every
+    /// failure maps to a status code and a JSON error envelope.
+    pub fn handle(&self, method: &str, path: &str, query: &str, body: &[u8]) -> Response {
+        let started = Instant::now();
+        let endpoint = endpoint_key(method, path);
+        let result = self.route(method, path, query, body);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        // Per-endpoint traffic and latency; `/metrics` scrapes render
+        // these as Prometheus histograms.
+        td_telemetry::metrics::counter(&format!("server/requests/{endpoint}")).add(1);
+        td_telemetry::metrics::histogram(&format!("server/latency_us/{endpoint}"))
+            .record(elapsed_us);
+        {
+            let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+            *counts.entry(endpoint.clone()).or_insert(0) += 1;
+        }
+        match result {
+            Ok(response) => response,
+            Err(e) => {
+                td_telemetry::metrics::counter(&format!("server/errors/{}", e.status)).add(1);
+                Response::error(e.status, &e.message)
+            }
+        }
+    }
+
+    fn route(
+        &self,
+        method: &str,
+        path: &str,
+        query: &str,
+        body: &[u8],
+    ) -> Result<Response, ApiError> {
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => Ok(Response::text(200, "ok\n")),
+            ("GET", ["metrics"]) => Ok(self.metrics(query)),
+            ("GET", ["v1", "stats"]) => Ok(self.stats()),
+            (m, ["v1", "tenants", tenant, "schemas", name]) => self.schemas(m, tenant, name, body),
+            ("POST", ["v1", verb]) => self.compute(verb, body),
+            (_, ["healthz" | "metrics"]) | (_, ["v1", "stats"]) => Err(ApiError {
+                status: 405,
+                message: format!("{path} only answers GET"),
+            }),
+            ("GET" | "PUT" | "POST" | "DELETE", _) => Err(ApiError {
+                status: 404,
+                message: format!("no such endpoint: {method} {path}"),
+            }),
+            _ => Err(ApiError {
+                status: 405,
+                message: format!("method {method} is not supported"),
+            }),
+        }
+    }
+
+    fn metrics(&self, query: &str) -> Response {
+        let snapshot = td_telemetry::metrics::snapshot();
+        if query.split('&').any(|p| p == "format=json") {
+            Response::json(200, snapshot.render_json())
+        } else {
+            Response::text(200, td_telemetry::render_prometheus(&snapshot))
+        }
+    }
+
+    fn stats(&self) -> Response {
+        use std::fmt::Write as _;
+        let counts = self
+            .counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let total: u64 = counts.values().sum();
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"requests_total\": {total},");
+        let _ = writeln!(out, "  \"requests\": {{");
+        let n = counts.len();
+        for (i, (endpoint, count)) in counts.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    {}: {count}{comma}", quote(endpoint));
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"schemas\": [");
+        let inventory = self.registry.inventory();
+        let n = inventory.len();
+        for (i, (tenant, name, version)) in inventory.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"tenant\": {}, \"name\": {}, \"version\": {version}}}{comma}",
+                quote(tenant),
+                quote(name)
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        Response::json(200, out)
+    }
+
+    fn schemas(
+        &self,
+        method: &str,
+        tenant: &str,
+        name: &str,
+        body: &[u8],
+    ) -> Result<Response, ApiError> {
+        if !Registry::valid_name(tenant) || !Registry::valid_name(name) {
+            return Err(bad(
+                "tenant and schema names are 1-64 chars of [A-Za-z0-9._-]",
+            ));
+        }
+        match method {
+            "PUT" => {
+                let text =
+                    std::str::from_utf8(body).map_err(|_| bad("schema text must be UTF-8"))?;
+                if text.trim().is_empty() {
+                    return Err(bad("refusing to register an empty schema"));
+                }
+                let version = self
+                    .registry
+                    .put(tenant, name, text)
+                    .map_err(|e| bad(format!("schema does not parse: {e}")))?;
+                let status = if version == 1 { 201 } else { 200 };
+                Ok(Response::json(
+                    status,
+                    format!(
+                        "{{\"tenant\": {}, \"name\": {}, \"version\": {version}}}\n",
+                        quote(tenant),
+                        quote(name)
+                    ),
+                ))
+            }
+            "GET" => {
+                let entry = self.lookup(tenant, name)?;
+                Ok(Response::json(
+                    200,
+                    format!(
+                        "{{\"tenant\": {}, \"name\": {}, \"version\": {}, \"schema\": {}}}\n",
+                        quote(tenant),
+                        quote(name),
+                        entry.version,
+                        quote(&entry.text)
+                    ),
+                ))
+            }
+            other => Err(ApiError {
+                status: 405,
+                message: format!("schemas endpoint answers PUT and GET, not {other}"),
+            }),
+        }
+    }
+
+    fn lookup(&self, tenant: &str, name: &str) -> Result<std::sync::Arc<SchemaEntry>, ApiError> {
+        self.registry.get(tenant, name).ok_or(ApiError {
+            status: 404,
+            message: format!("tenant `{tenant}` has no schema named `{name}`"),
+        })
+    }
+
+    fn compute(&self, verb: &str, body: &[u8]) -> Result<Response, ApiError> {
+        let req = ComputeRequest::parse(verb, body)?;
+        if req.delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                req.delay_ms.min(MAX_DELAY_MS),
+            ));
+        }
+        match verb {
+            "project" => self.project(&req),
+            "applicable" => self.applicable(&req),
+            "lint" => self.lint(&req),
+            "explain" => self.explain(&req),
+            "batch" => self.batch(&req),
+            other => Err(ApiError {
+                status: 404,
+                message: format!("no such endpoint: POST /v1/{other}"),
+            }),
+        }
+    }
+
+    /// The schema a compute request runs against: a fork of the warm
+    /// registered snapshot, or a freshly parsed inline text. `warm_for`
+    /// charges the shared snapshot's caches before forking so the next
+    /// request over the same registered schema starts warm.
+    fn resolve(&self, req: &ComputeRequest, source_name: Option<&str>) -> Result<Schema, ApiError> {
+        match (&req.schema, &req.schema_text) {
+            (Some(name), None) => {
+                let entry = self.lookup(&req.tenant, name)?;
+                if let Some(source_name) = source_name {
+                    if let Ok(source) = entry.snapshot.schema().type_id(source_name) {
+                        entry.warm_for(source);
+                    }
+                }
+                Ok(entry.snapshot.fork())
+            }
+            (None, Some(text)) => if req.lenient {
+                parse_schema_lenient(text)
+            } else {
+                td_model::parse_schema(text)
+            }
+            .map_err(|e| bad(format!("schema_text does not parse: {e}"))),
+            (Some(_), Some(_)) => Err(bad("give `schema` or `schema_text`, not both")),
+            (None, None) => Err(bad("missing schema: give `schema` or `schema_text`")),
+        }
+    }
+
+    fn view(
+        &self,
+        schema: &Schema,
+        req: &ComputeRequest,
+    ) -> Result<(TypeId, BTreeSet<AttrId>), ApiError> {
+        let ty = req.ty.as_deref().ok_or_else(|| bad("missing `type`"))?;
+        let source = schema.type_id(ty).map_err(|e| bad(e.to_string()))?;
+        let projection = req
+            .attrs
+            .iter()
+            .map(|n| schema.attr_id(n).map_err(|e| bad(e.to_string())))
+            .collect::<Result<BTreeSet<AttrId>, ApiError>>()?;
+        Ok((source, projection))
+    }
+
+    fn project(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
+        let mut schema = self.resolve(req, req.ty.as_deref())?;
+        let (source, projection) = self.view(&schema, req)?;
+        let opts = ProjectionOptions {
+            engine: req.engine,
+            ..ProjectionOptions::default()
+        };
+        let d = project(&mut schema, source, &projection, &opts).map_err(|e| bad(e.to_string()))?;
+        Ok(Response::json(200, derivation_json(&schema, &d)))
+    }
+
+    fn applicable(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
+        let schema = self.resolve(req, req.ty.as_deref())?;
+        let (source, projection) = self.view(&schema, req)?;
+        let r = match req.engine {
+            Engine::Indexed => {
+                td_core::compute_applicability_indexed(&schema, source, &projection, false)
+            }
+            Engine::Stack => td_core::compute_applicability(&schema, source, &projection, false),
+            Engine::Fixpoint => {
+                td_core::compute_applicability_fixpoint(&schema, source, &projection)
+            }
+        }
+        .map_err(|e| bad(e.to_string()))?;
+        let labels = |ms: &[td_model::MethodId]| {
+            str_array(ms.iter().map(|&m| schema.method(m).label.clone()))
+        };
+        Ok(Response::json(
+            200,
+            format!(
+                "{{\"applicable\": {}, \"not_applicable\": {}}}\n",
+                labels(&r.applicable),
+                labels(&r.not_applicable)
+            ),
+        ))
+    }
+
+    fn lint(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
+        let schema = self.resolve(req, req.ty.as_deref())?;
+        let view = if req.ty.is_some() {
+            Some(self.view(&schema, req)?)
+        } else {
+            None
+        };
+        let report = td_core::lint(&schema, view.as_ref().map(|(t, a)| (*t, a)));
+        Ok(Response::json(200, report.render_json()))
+    }
+
+    fn explain(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
+        let schema = self.resolve(req, req.ty.as_deref())?;
+        let (source, projection) = self.view(&schema, req)?;
+        let label = req
+            .method
+            .as_deref()
+            .ok_or_else(|| bad("missing `method` (a method label to explain)"))?;
+        let method = schema
+            .method_by_label(label)
+            .map_err(|e| bad(e.to_string()))?;
+        let e = explain(&schema, source, &projection, method).map_err(|e| bad(e.to_string()))?;
+        Ok(Response::json(
+            200,
+            format!(
+                "{{\"method\": {}, \"applicable\": {}, \"explanation\": {}}}\n",
+                quote(label),
+                e.is_applicable(),
+                quote(&e.render(&schema))
+            ),
+        ))
+    }
+
+    fn batch(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
+        let requests_text = req.requests.as_deref().ok_or_else(|| {
+            bad("missing `requests` (request-file text, one `Type: attrs` per line)")
+        })?;
+        // Registered schemas batch from the shared warm snapshot; inline
+        // texts build a throwaway deriver.
+        let deriver = match (&req.schema, &req.schema_text) {
+            (Some(name), None) => {
+                let entry = self.lookup(&req.tenant, name)?;
+                td_driver::BatchDeriver::from_snapshot(entry.snapshot.clone())
+            }
+            _ => td_driver::BatchDeriver::new(&self.resolve(req, None)?),
+        };
+        let base = deriver.snapshot().clone();
+        // The same located-error parser `tdv batch` uses: a bad line
+        // comes back as `line N: message`.
+        let requests = td_driver::parse_requests(base.schema(), requests_text)
+            .map_err(|e| bad(format!("requests: {e}")))?;
+        let mut deriver = deriver
+            .options(ProjectionOptions {
+                engine: req.engine,
+                ..ProjectionOptions::default()
+            })
+            .lint(true);
+        if let Some(threads) = req.threads {
+            if threads == 0 || threads > 64 {
+                return Err(bad("`threads` must be between 1 and 64"));
+            }
+            deriver = deriver.threads(threads);
+        }
+        deriver.warm();
+        let outcome = deriver.run(&requests);
+        let s = &outcome.stats;
+        Ok(Response::json(
+            200,
+            format!(
+                "{{\"report\": {}, \"requests\": {}, \"ok\": {}, \"errors\": {}, \"invariant_violations\": {}}}\n",
+                quote(&outcome.render(base.schema())),
+                s.requests,
+                s.succeeded,
+                s.failed,
+                s.invariant_violations
+            ),
+        ))
+    }
+}
+
+/// The parsed body of a `POST /v1/{verb}` request.
+struct ComputeRequest {
+    tenant: String,
+    schema: Option<String>,
+    schema_text: Option<String>,
+    ty: Option<String>,
+    attrs: Vec<String>,
+    engine: Engine,
+    method: Option<String>,
+    requests: Option<String>,
+    threads: Option<usize>,
+    delay_ms: u64,
+    /// Lint parses inline text leniently so structural problems become
+    /// diagnostics instead of a 400.
+    lenient: bool,
+}
+
+impl ComputeRequest {
+    fn parse(verb: &str, body: &[u8]) -> Result<ComputeRequest, ApiError> {
+        let text = std::str::from_utf8(body).map_err(|_| bad("body must be UTF-8 JSON"))?;
+        let doc = Json::parse(text).map_err(|e| bad(format!("body is not valid JSON: {e}")))?;
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| bad("body must be a JSON object"))?;
+
+        // Reject unknown fields by name: a typo like "atrs" fails loudly
+        // instead of deriving the unprojected view.
+        let allowed: &[&str] = match verb {
+            "batch" => &[
+                "tenant",
+                "schema",
+                "schema_text",
+                "requests",
+                "threads",
+                "engine",
+                "delay_ms",
+            ],
+            "explain" => &[
+                "tenant",
+                "schema",
+                "schema_text",
+                "type",
+                "attrs",
+                "engine",
+                "method",
+                "delay_ms",
+            ],
+            _ => &[
+                "tenant",
+                "schema",
+                "schema_text",
+                "type",
+                "attrs",
+                "engine",
+                "delay_ms",
+            ],
+        };
+        if let Some(unknown) = obj.keys().find(|k| !allowed.contains(&k.as_str())) {
+            return Err(bad(format!(
+                "unknown field `{unknown}` (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+
+        let get_str = |key: &str| -> Result<Option<String>, ApiError> {
+            match obj.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| bad(format!("`{key}` must be a string"))),
+            }
+        };
+
+        let tenant = get_str("tenant")?.unwrap_or_else(|| "default".to_string());
+        if !Registry::valid_name(&tenant) {
+            return Err(bad("`tenant` must be 1-64 chars of [A-Za-z0-9._-]"));
+        }
+        let attrs = match obj.get("attrs") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| bad("`attrs` must be an array of attribute names"))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad("`attrs` entries must be strings"))
+                })
+                .collect::<Result<Vec<String>, ApiError>>()?,
+        };
+        let engine = match get_str("engine")? {
+            None => Engine::default(),
+            Some(name) => name.parse().map_err(|e: String| bad(e))?,
+        };
+        let threads = match obj.get("threads") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_usize()
+                    .ok_or_else(|| bad("`threads` must be a non-negative integer"))?,
+            ),
+        };
+        let delay_ms = match obj.get("delay_ms") {
+            None | Some(Json::Null) => 0,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| bad("`delay_ms` must be a non-negative integer"))?
+                as u64,
+        };
+
+        Ok(ComputeRequest {
+            tenant,
+            schema: get_str("schema")?,
+            schema_text: get_str("schema_text")?,
+            ty: get_str("type")?,
+            attrs,
+            engine,
+            method: get_str("method")?,
+            requests: get_str("requests")?,
+            threads,
+            delay_ms,
+            lenient: verb == "lint",
+        })
+    }
+}
+
+/// The admission-control tenant of a request body: its `tenant` field,
+/// or `default`. Tolerant by design — a malformed body still needs a
+/// queue slot so the worker can answer 400.
+pub fn tenant_of(body: &[u8]) -> String {
+    std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| Json::parse(t).ok())
+        .and_then(|d| {
+            d.as_obj()
+                .and_then(|o| o.get("tenant").and_then(|v| v.as_str().map(str::to_string)))
+        })
+        .unwrap_or_else(|| "default".to_string())
+}
+
+/// The endpoint bucket a request charges in metrics and `/v1/stats`.
+fn endpoint_key(method: &str, path: &str) -> String {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => "healthz".to_string(),
+        ["metrics"] => "metrics".to_string(),
+        ["v1", "stats"] => "stats".to_string(),
+        ["v1", "tenants", ..] => format!("schemas_{}", method.to_ascii_lowercase()),
+        ["v1", verb] => (*verb).to_string(),
+        _ => "other".to_string(),
+    }
+}
+
+/// The canonical derivation record as JSON. `tdv project --json` and
+/// `POST /v1/project` both emit exactly this string for the same schema
+/// and view, so the CI smoke test can compare them byte for byte.
+///
+/// `schema` is the post-projection schema (the fork the derivation
+/// refactored) — it resolves both the original and the surrogate names.
+pub fn derivation_json(schema: &Schema, d: &Derivation) -> String {
+    use std::fmt::Write as _;
+    let ty = |t: TypeId| quote(schema.type_name(t));
+    let pairs = |ps: &[(TypeId, TypeId)]| {
+        let inner = ps
+            .iter()
+            .map(|&(a, b)| format!("[{}, {}]", ty(a), ty(b)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("[{inner}]")
+    };
+    let labels =
+        |ms: &[td_model::MethodId]| str_array(ms.iter().map(|&m| schema.method(m).label.clone()));
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"source\": {},", ty(d.source));
+    let _ = writeln!(out, "  \"derived\": {},", ty(d.derived));
+    let _ = writeln!(
+        out,
+        "  \"projection\": {},",
+        str_array(d.projection.iter().map(|&a| schema.attr(a).name.clone()))
+    );
+    let _ = writeln!(out, "  \"applicable\": {},", labels(d.applicable()));
+    let _ = writeln!(out, "  \"not_applicable\": {},", labels(d.not_applicable()));
+    let _ = writeln!(
+        out,
+        "  \"factor_surrogates\": {},",
+        pairs(&d.factor_surrogates)
+    );
+    let _ = writeln!(
+        out,
+        "  \"augment_surrogates\": {},",
+        pairs(&d.augment_surrogates)
+    );
+    let moved = d
+        .moved_attrs
+        .iter()
+        .map(|&(a, from, to)| {
+            format!(
+                "[{}, {}, {}]",
+                quote(&schema.attr(a).name),
+                ty(from),
+                ty(to)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "  \"moved_attrs\": [{moved}],");
+    let _ = writeln!(
+        out,
+        "  \"z_types\": {},",
+        str_array(d.z_types.iter().map(|&t| schema.type_name(t).to_string()))
+    );
+    let invariants = match &d.invariants {
+        Some(r) if r.ok() => "true",
+        Some(_) => "false",
+        None => "null",
+    };
+    let _ = writeln!(out, "  \"invariants_ok\": {invariants}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3, Example 1 of the paper — the schema the CI smoke test
+    /// drives through every endpoint.
+    const FIG: &str = r#"
+        type Person { SSN: int  name: str  date_of_birth: int }
+        type Employee : Person { pay_rate: float  hrs_worked: float }
+        accessors SSN
+        accessors date_of_birth
+        accessors pay_rate
+        accessors hrs_worked
+        method age(Person) -> int { return 2026 - get_date_of_birth($0); }
+        method pay(Employee) -> float { return get_pay_rate($0) * get_hrs_worked($0); }
+    "#;
+
+    fn project_body(schema_field: &str) -> String {
+        format!(
+            "{{{schema_field}, \"type\": \"Employee\", \"attrs\": [\"SSN\", \"pay_rate\", \"hrs_worked\"]}}"
+        )
+    }
+
+    fn inline_schema_field() -> String {
+        format!("\"schema_text\": {}", quote(FIG))
+    }
+
+    #[test]
+    fn project_inline_and_registered_agree_byte_for_byte() {
+        let api = Api::new();
+        let cold = api.handle(
+            "POST",
+            "/v1/project",
+            "",
+            project_body(&inline_schema_field()).as_bytes(),
+        );
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert!(cold.body.contains("\"derived\""));
+
+        let put = api.handle("PUT", "/v1/tenants/acme/schemas/fig3", "", FIG.as_bytes());
+        assert_eq!(put.status, 201, "{}", put.body);
+        let warm_body = project_body("\"tenant\": \"acme\", \"schema\": \"fig3\"");
+        let warm = api.handle("POST", "/v1/project", "", warm_body.as_bytes());
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        assert_eq!(cold.body, warm.body);
+        // Second warm request: same bytes again (the shared snapshot's
+        // caches must not change answers).
+        let again = api.handle("POST", "/v1/project", "", warm_body.as_bytes());
+        assert_eq!(again.body, warm.body);
+    }
+
+    #[test]
+    fn applicable_partitions_methods() {
+        let api = Api::new();
+        let body = format!(
+            "{{{}, \"type\": \"Employee\", \"attrs\": [\"SSN\", \"pay_rate\", \"hrs_worked\"]}}",
+            inline_schema_field()
+        );
+        let r = api.handle("POST", "/v1/applicable", "", body.as_bytes());
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = Json::parse(&r.body).unwrap();
+        let applicable: Vec<&str> = doc.as_obj().unwrap()["applicable"]
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert!(applicable.iter().any(|l| l.contains("pay")));
+        let not: Vec<&str> = doc.as_obj().unwrap()["not_applicable"]
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert!(not.iter().any(|l| l.contains("age")));
+    }
+
+    #[test]
+    fn explain_lint_and_batch_answer() {
+        let api = Api::new();
+        api.handle("PUT", "/v1/tenants/t/schemas/s", "", FIG.as_bytes());
+        let explain = api.handle(
+            "POST",
+            "/v1/explain",
+            "",
+            concat!(
+                "{\"tenant\": \"t\", \"schema\": \"s\", \"type\": \"Employee\", ",
+                "\"attrs\": [\"SSN\"], \"method\": \"age\"}"
+            )
+            .as_bytes(),
+        );
+        assert_eq!(explain.status, 200, "{}", explain.body);
+        assert!(explain.body.contains("\"applicable\": false"));
+
+        let lint = api.handle(
+            "POST",
+            "/v1/lint",
+            "",
+            "{\"tenant\": \"t\", \"schema\": \"s\"}".as_bytes(),
+        );
+        assert_eq!(lint.status, 200, "{}", lint.body);
+
+        let batch = api.handle(
+            "POST",
+            "/v1/batch",
+            "",
+            format!(
+                "{{\"tenant\": \"t\", \"schema\": \"s\", \"threads\": 2, \"requests\": {}}}",
+                quote("Employee: SSN, pay_rate, hrs_worked\nPerson: SSN\n")
+            )
+            .as_bytes(),
+        );
+        assert_eq!(batch.status, 200, "{}", batch.body);
+        let doc = Json::parse(&batch.body).unwrap();
+        assert_eq!(doc.as_obj().unwrap()["ok"].as_usize(), Some(2));
+    }
+
+    #[test]
+    fn batch_reports_located_request_errors() {
+        let api = Api::new();
+        let r = api.handle(
+            "POST",
+            "/v1/batch",
+            "",
+            format!(
+                "{{{}, \"requests\": {}}}",
+                inline_schema_field(),
+                quote("Employee: SSN\nno-colon-here\n")
+            )
+            .as_bytes(),
+        );
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(r.body.contains("line 2"), "{}", r.body);
+    }
+
+    #[test]
+    fn error_paths_have_stable_statuses() {
+        let api = Api::new();
+        // Unknown endpoint and wrong method.
+        assert_eq!(api.handle("GET", "/v1/nope", "", b"").status, 404);
+        assert_eq!(api.handle("POST", "/metrics", "", b"").status, 405);
+        // Bad JSON, unknown field, missing schema, unknown names.
+        assert_eq!(api.handle("POST", "/v1/project", "", b"{oops").status, 400);
+        let r = api.handle(
+            "POST",
+            "/v1/project",
+            "",
+            format!(
+                "{{{}, \"type\": \"Employee\", \"atrs\": []}}",
+                inline_schema_field()
+            )
+            .as_bytes(),
+        );
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("atrs"), "{}", r.body);
+        assert_eq!(
+            api.handle("POST", "/v1/project", "", b"{\"type\": \"T\"}")
+                .status,
+            400
+        );
+        let r = api.handle(
+            "POST",
+            "/v1/project",
+            "",
+            format!(
+                "{{{}, \"type\": \"Nope\", \"attrs\": []}}",
+                inline_schema_field()
+            )
+            .as_bytes(),
+        );
+        assert_eq!(r.status, 400);
+        // Unregistered schema name.
+        assert_eq!(
+            api.handle(
+                "POST",
+                "/v1/project",
+                "",
+                b"{\"schema\": \"ghost\", \"type\": \"T\", \"attrs\": []}"
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            api.handle("GET", "/v1/tenants/t/schemas/ghost", "", b"")
+                .status,
+            404
+        );
+        assert_eq!(
+            api.handle("PUT", "/v1/tenants/bad name/schemas/s", "", FIG.as_bytes())
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn stats_and_metrics_reflect_traffic() {
+        let api = Api::new();
+        api.handle("GET", "/healthz", "", b"");
+        api.handle("GET", "/healthz", "", b"");
+        api.handle("PUT", "/v1/tenants/t/schemas/s", "", FIG.as_bytes());
+        let stats = api.handle("GET", "/v1/stats", "", b"");
+        assert_eq!(stats.status, 200);
+        let doc = Json::parse(&stats.body).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(
+            obj["requests"].as_obj().unwrap()["healthz"].as_usize(),
+            Some(2)
+        );
+        let schemas = obj["schemas"].as_arr().unwrap();
+        assert_eq!(schemas[0].as_obj().unwrap()["name"].as_str(), Some("s"));
+        // The Prometheus exposition answers regardless of format.
+        let prom = api.handle("GET", "/metrics", "", b"");
+        assert_eq!(prom.status, 200);
+        let js = api.handle("GET", "/metrics", "format=json", b"");
+        assert_eq!(js.status, 200);
+        assert!(Json::parse(&js.body).is_ok(), "{}", js.body);
+    }
+
+    #[test]
+    fn tenant_of_reads_the_field_tolerantly() {
+        assert_eq!(tenant_of(b"{\"tenant\": \"acme\"}"), "acme");
+        assert_eq!(tenant_of(b"{}"), "default");
+        assert_eq!(tenant_of(b"not json"), "default");
+    }
+}

@@ -1,0 +1,290 @@
+//! # td-server — the multi-tenant derivation service
+//!
+//! Everything the workspace can do in-process — projection ([`td_core`]),
+//! batch derivation ([`td_driver`]), TDL lint, explanations, telemetry —
+//! behind a small HTTP/1.1 JSON API, so a schema-design tool or CI job
+//! can ask "what survives this projection?" without linking Rust.
+//!
+//! ## Why hand-rolled
+//!
+//! The build environment resolves no crates registry (the repo's
+//! vendored-stub policy), so hyper/axum/tokio are unavailable *by
+//! constraint* — but the constraint matches the need. The API is
+//! strictly request/response over small bodies: a blocking
+//! thread-per-request design with `Connection: close` semantics is a few
+//! hundred lines ([`http`]), fully testable over loopback, and its
+//! failure modes (slowloris, oversized bodies) are handled with read
+//! timeouts and explicit bounds rather than a framework's defaults.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             ┌───────────┐   mpsc    ┌───────────┐  FairQueue  ┌─────────────┐
+//!  accept ───►│ acceptor  │──────────►│ io pool   │────────────►│ exec workers│
+//!  (nonblock) │ polls the │  streams  │ parse     │  compute    │ Api::handle │
+//!             │ shutdown  │           │ HTTP/JSON │  jobs by    │ + respond   │
+//!             │ flag      │           │ answer    │  tenant     │             │
+//!             └───────────┘           │ GET/PUT   │             └─────────────┘
+//!                                     └───────────┘
+//! ```
+//!
+//! * The **acceptor** owns the nonblocking listener and polls the
+//!   shutdown flag ([`signal`]) between accepts; a SIGTERM stops new
+//!   connections immediately.
+//! * The **io pool** reads and parses requests. Cheap endpoints (every
+//!   GET, schema registration) are answered inline; derivation work is
+//!   submitted to the tenant-fair admission queue ([`admission`]), and a
+//!   full tenant queue answers `429` with `Retry-After` on the spot.
+//! * The **exec workers** drain the queue in round-robin tenant order
+//!   and run [`Api::handle`] — pure compute, no socket knowledge, which
+//!   is what the bench and the unit tests drive directly.
+//!
+//! Graceful shutdown is a drain in that same order: stop accepting, let
+//! the io pool finish parsing what arrived, close the queue, let the
+//! exec workers finish what was admitted, join everything, exit 0. No
+//! admitted request is dropped.
+//!
+//! Per-tenant schema state lives in the [`registry`]: registered schemas
+//! keep a warm copy-on-write [`td_model::SchemaSnapshot`] whose CPL,
+//! dispatch and applicability-index caches persist across requests —
+//! the measured warm-vs-cold gap is gated by the
+//! `ratio_serve_warm_vs_cold` repro metric.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod admission;
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod signal;
+
+pub use admission::{FairQueue, Rejected, SubmitError};
+pub use api::{derivation_json, tenant_of, Api};
+pub use http::{http_call, Request, Response};
+pub use registry::{Registry, SchemaEntry};
+pub use signal::{install_shutdown_handler, request_shutdown, shutdown_requested};
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` picks a free port).
+    pub addr: String,
+    /// Exec workers running derivations (default: the machine's cores).
+    pub exec_threads: usize,
+    /// IO workers parsing HTTP (default 2; they mostly wait on sockets).
+    pub io_threads: usize,
+    /// Pending compute jobs admitted per tenant before 429 (default 4).
+    pub queue_slots: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            exec_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            io_threads: 2,
+            queue_slots: 4,
+            max_body: http::DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+/// One compute job: the parsed request plus the socket to answer on.
+struct Job {
+    stream: TcpStream,
+    request: Request,
+}
+
+/// A bound derivation server. [`run`](Server::run) blocks until the
+/// shutdown flag trips and the drain completes.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    api: Api,
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            config,
+            api: Api::new(),
+        })
+    }
+
+    /// The bound address — the actual port when the config said `:0`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The API the listener dispatches into (exposed for warm-up and
+    /// direct-drive tests).
+    pub fn api(&self) -> &Api {
+        &self.api
+    }
+
+    /// Serves until `shutdown` becomes true, then drains: in-flight and
+    /// admitted requests finish, new connections are refused, workers
+    /// join. Returns once the drain is complete.
+    pub fn run(&self, shutdown: &AtomicBool) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let queue: FairQueue<Job> = FairQueue::new(self.config.queue_slots);
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        std::thread::scope(|scope| {
+            let io_pool: Vec<_> = (0..self.config.io_threads.max(1))
+                .map(|_| {
+                    let conn_rx = Arc::clone(&conn_rx);
+                    let queue = &queue;
+                    scope.spawn(move || loop {
+                        // Holding the lock only for the recv keeps the
+                        // pool draining in parallel once streams arrive.
+                        let next = conn_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        match next {
+                            Ok(stream) => self.serve_connection(stream, queue),
+                            // Acceptor hung up: drained, exit.
+                            Err(_) => break,
+                        }
+                    })
+                })
+                .collect();
+
+            let exec_pool: Vec<_> = (0..self.config.exec_threads.max(1))
+                .map(|_| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        while let Some(job) = queue.next() {
+                            td_telemetry::metrics::gauge("server/queue_depth")
+                                .set(queue.depth() as i64);
+                            let r = &job.request;
+                            let response = self.api.handle(&r.method, &r.path, &r.query, &r.body);
+                            let mut stream = job.stream;
+                            let _ = response.write_to(&mut stream);
+                        }
+                    })
+                })
+                .collect();
+
+            // The accept loop runs on the calling thread.
+            while !shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    // Transient accept failures (e.g. a reset in the
+                    // backlog) must not kill the service.
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+
+            // Drain, strictly in pipeline order: no more connections →
+            // io pool finishes parsing and submitting → queue closes →
+            // exec workers finish admitted jobs.
+            drop(conn_tx);
+            for h in io_pool {
+                let _ = h.join();
+            }
+            queue.close();
+            for h in exec_pool {
+                let _ = h.join();
+            }
+        });
+        Ok(())
+    }
+
+    /// IO-pool duty: parse one connection, answer it inline or admit it
+    /// to the compute queue.
+    fn serve_connection(&self, mut stream: TcpStream, queue: &FairQueue<Job>) {
+        let request = match http::read_request(&mut stream, self.config.max_body) {
+            Ok(r) => r,
+            Err(http::HttpError::BodyTooLarge(n)) => {
+                td_telemetry::metrics::counter("server/errors/413").add(1);
+                http::reject(
+                    &mut stream,
+                    &Response::error(413, &format!("request body of {n} bytes is too large")),
+                );
+                return;
+            }
+            Err(http::HttpError::Malformed(m)) => {
+                td_telemetry::metrics::counter("server/errors/400").add(1);
+                http::reject(&mut stream, &Response::error(400, &m));
+                return;
+            }
+            // Timeout or reset mid-read: nobody left to answer.
+            Err(http::HttpError::Io(_)) => return,
+        };
+        // Derivation endpoints go through admission control; everything
+        // else (health, metrics, stats, registration) is cheap enough to
+        // answer from the io pool directly.
+        let is_compute = request.method == "POST" && request.path.starts_with("/v1/");
+        if !is_compute {
+            let response = self.api.handle(
+                &request.method,
+                &request.path,
+                &request.query,
+                &request.body,
+            );
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+        let tenant = tenant_of(&request.body);
+        match queue.submit(&tenant, Job { stream, request }) {
+            Ok(()) => {
+                td_telemetry::metrics::gauge("server/queue_depth").set(queue.depth() as i64);
+            }
+            Err(rejected) => {
+                let (status, retry_after) = match rejected.error {
+                    SubmitError::Busy { .. } => (429, true),
+                    SubmitError::Closed => (503, false),
+                };
+                td_telemetry::metrics::counter(&format!("server/errors/{status}")).add(1);
+                let mut response = Response::error(status, &rejected.error.to_string());
+                if retry_after {
+                    response
+                        .extra_headers
+                        .push(("Retry-After".to_string(), "1".to_string()));
+                }
+                let mut stream = rejected.job.stream;
+                let _ = response.write_to(&mut stream);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.exec_threads >= 1);
+        assert!(c.io_threads >= 1);
+        assert!(c.queue_slots >= 1);
+        assert_eq!(c.max_body, http::DEFAULT_MAX_BODY);
+    }
+}

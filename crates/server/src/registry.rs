@@ -1,0 +1,174 @@
+//! The tenant-scoped schema registry.
+//!
+//! Tenants register named schema texts (`PUT
+//! /v1/tenants/{t}/schemas/{name}`); each registration parses the text
+//! once into a warm [`SchemaSnapshot`] and bumps a monotonic version.
+//! Derivation requests that name a registered schema fork the shared
+//! snapshot, so the CPL memo, dispatch cache and applicability index
+//! warmed by earlier requests are inherited instead of rebuilt — the
+//! warm-path advantage the `ratio_serve_warm_vs_cold` repro metric
+//! gates. Re-registering a name swaps in a brand-new snapshot: version
+//! bump IS cache invalidation, there is no partial reuse across schema
+//! versions (the snapshot's generation-tagged caches make stale reuse a
+//! correctness bug we structurally cannot hit).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use td_model::{parse_schema, Schema, SchemaSnapshot, TypeId};
+
+/// One registered schema: the parsed warm snapshot plus provenance.
+pub struct SchemaEntry {
+    /// Monotonic per-(tenant, name) version, starting at 1.
+    pub version: u64,
+    /// The shared copy-on-write snapshot requests fork from.
+    pub snapshot: SchemaSnapshot,
+    /// The schema text as registered (echoed by GET).
+    pub text: String,
+}
+
+impl SchemaEntry {
+    /// Warms the shared snapshot for derivations from `source`: CPLs for
+    /// every live type plus the applicability condensation index. Caches
+    /// live on the snapshot, not the fork, so the warmth persists across
+    /// requests — this is the line between the registry's warm path and
+    /// an inline `schema_text` request's cold path.
+    pub fn warm_for(&self, source: TypeId) {
+        for t in self.snapshot.live_type_ids() {
+            let _ = self.snapshot.cpl(t);
+        }
+        // An index build failure (e.g. a dataflow error) surfaces as the
+        // request's pipeline error instead; warming never fails.
+        let _ = self.snapshot.cached_applicability_index(source);
+    }
+}
+
+/// Registry state: tenant → schema name → entry.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, BTreeMap<String, Arc<SchemaEntry>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Validates a tenant or schema name from a URL path segment.
+    pub fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.len() <= 64
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+    }
+
+    /// Parses and registers `text` under `(tenant, name)`, returning the
+    /// new version. Replacing an existing name bumps its version and
+    /// discards the old snapshot (and with it every warm cache).
+    pub fn put(&self, tenant: &str, name: &str, text: &str) -> Result<u64, String> {
+        let schema = parse_schema(text).map_err(|e| e.to_string())?;
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let schemas = inner.entry(tenant.to_string()).or_default();
+        let version = schemas.get(name).map(|e| e.version + 1).unwrap_or(1);
+        schemas.insert(
+            name.to_string(),
+            Arc::new(SchemaEntry {
+                version,
+                snapshot: schema.into_snapshot(),
+                text: text.to_string(),
+            }),
+        );
+        Ok(version)
+    }
+
+    /// The entry registered under `(tenant, name)`, if any.
+    pub fn get(&self, tenant: &str, name: &str) -> Option<Arc<SchemaEntry>> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)?
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// `(tenant, name, version)` rows for every registered schema, in
+    /// sorted order — the `/v1/stats` inventory.
+    pub fn inventory(&self) -> Vec<(String, String, u64)> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        inner
+            .iter()
+            .flat_map(|(tenant, schemas)| {
+                schemas
+                    .iter()
+                    .map(move |(name, e)| (tenant.clone(), name.clone(), e.version))
+            })
+            .collect()
+    }
+}
+
+/// Convenience for handlers: a parsed schema for a one-shot (cold)
+/// request carrying inline `schema_text`.
+pub fn parse_inline(text: &str) -> Result<Schema, String> {
+    parse_schema(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG: &str = "type A { x: int  y: int }\n";
+
+    #[test]
+    fn put_parses_versions_and_isolates_tenants() {
+        let r = Registry::new();
+        assert_eq!(r.put("acme", "s", FIG).unwrap(), 1);
+        assert_eq!(r.put("acme", "s", FIG).unwrap(), 2);
+        // The same schema name in another tenant versions independently.
+        assert_eq!(r.put("globex", "s", FIG).unwrap(), 1);
+        assert_eq!(r.get("acme", "s").unwrap().version, 2);
+        assert_eq!(r.get("globex", "s").unwrap().version, 1);
+        assert!(r.get("acme", "missing").is_none());
+        assert!(r.get("missing", "s").is_none());
+        assert_eq!(
+            r.inventory(),
+            vec![
+                ("acme".to_string(), "s".to_string(), 2),
+                ("globex".to_string(), "s".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn put_rejects_unparseable_text() {
+        let r = Registry::new();
+        let e = r.put("acme", "bad", "type { oops").unwrap_err();
+        assert!(!e.is_empty());
+        assert!(r.get("acme", "bad").is_none());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(Registry::valid_name("acme-prod_v1.2"));
+        assert!(!Registry::valid_name(""));
+        assert!(!Registry::valid_name("a/b"));
+        assert!(!Registry::valid_name("spaced name"));
+        assert!(!Registry::valid_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn replacing_a_schema_discards_the_old_snapshot() {
+        let r = Registry::new();
+        r.put("t", "s", FIG).unwrap();
+        let old = r.get("t", "s").unwrap();
+        r.put("t", "s", "type B { z: int }\n").unwrap();
+        let new = r.get("t", "s").unwrap();
+        assert_eq!(new.version, 2);
+        // The old Arc survives for in-flight requests but the registry
+        // no longer hands it out.
+        assert_eq!(old.version, 1);
+        assert!(new.snapshot.schema().type_id("B").is_ok());
+        assert!(new.snapshot.schema().type_id("A").is_err());
+    }
+}

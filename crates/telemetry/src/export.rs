@@ -38,6 +38,65 @@ pub(crate) fn json_quote(s: &str) -> String {
     out
 }
 
+/// Maps a registry metric name onto the Prometheus name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): path separators and anything else
+/// illegal collapse to `_`, and a leading digit gets a `_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` header per metric, counters and gauges
+/// as plain samples, histograms as cumulative `le`-bucketed series with
+/// `_sum` and `_count`.
+///
+/// The registry's log₂ buckets translate exactly: samples are integral,
+/// so the bucket covering `[2^(i-1), 2^i)` is the cumulative series point
+/// `le="2^i - 1"`, the zero bucket is `le="0"`, and `le="+Inf"` closes
+/// the series with the total count. Registry names like
+/// `server/latency_us/project` become `server_latency_us_project`.
+pub fn render_prometheus(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &metrics.counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &metrics.gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &metrics.histograms {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for &(lower, n) in &h.buckets {
+            cumulative += n;
+            let le = if lower == 0 {
+                0
+            } else {
+                lower.saturating_mul(2).saturating_sub(1)
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
 fn write_args(out: &mut String, event: &SpanEvent) {
     out.push_str("\"args\":{");
     let mut first = true;
@@ -542,5 +601,57 @@ mod tests {
         );
         let empty = render_summary(&[], &MetricsSnapshot::default());
         assert_eq!(empty, "no spans recorded\n");
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_metric_kinds() {
+        use crate::metrics::HistogramSnapshot;
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("server/requests/project".into(), 7);
+        snap.gauges.insert("server/queue_depth".into(), -2);
+        snap.histograms.insert(
+            "server/latency_us/project".into(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 1041,
+                buckets: vec![(0, 1), (4, 2), (1024, 1)],
+            },
+        );
+        let text = render_prometheus(&snap);
+        assert!(
+            text.contains("# TYPE server_requests_project counter\nserver_requests_project 7\n"),
+            "{text}"
+        );
+        assert!(text.contains("server_queue_depth -2"), "{text}");
+        // Buckets are cumulative with exact integral upper bounds.
+        assert!(
+            text.contains("server_latency_us_project_bucket{le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("server_latency_us_project_bucket{le=\"7\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("server_latency_us_project_bucket{le=\"2047\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("server_latency_us_project_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("server_latency_us_project_sum 1041"),
+            "{text}"
+        );
+        assert!(text.contains("server_latency_us_project_count 4"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("a/b-c.d"), "a_b_c_d");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name(""), "_");
+        assert_eq!(prometheus_name("ok_name:unit"), "ok_name:unit");
     }
 }

@@ -50,7 +50,7 @@ pub mod export;
 pub mod metrics;
 pub mod span;
 
-pub use export::{chrome_trace, parse_chrome_trace, render_summary, TraceSpan};
+pub use export::{chrome_trace, parse_chrome_trace, render_prometheus, render_summary, TraceSpan};
 pub use metrics::{MetricsSnapshot, Reset};
 pub use span::{drain, emit_span, span, span_with_args, ArgValue, SpanEvent, SpanGuard};
 

@@ -14,6 +14,9 @@
 //! * [`pathological`] — adversarial schemas the TDL lints must flag
 //!   (dispatch ambiguity, precedence diamonds, load-bearing-attribute
 //!   traps), plus a seeded corpus generator for the CI lint gate.
+//! * [`replay`] — deterministic mixed-endpoint request streams for the
+//!   derivation server (td-server): plain paths + JSON bodies, shared by
+//!   the end-to-end tests and the serve repro experiment.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,6 +25,7 @@
 pub mod figures;
 pub mod gen;
 pub mod pathological;
+pub mod replay;
 pub mod scenarios;
 
 pub use figures::{fig1, fig3, fig3_with_z1};
@@ -34,4 +38,5 @@ pub use pathological::{
     ambiguous_multimethod_schema, diamond_conflict_schema, load_bearing_trap_schema,
     pathological_corpus, PathologicalCase,
 };
+pub use replay::{server_replay, Replay, ReplayRequest, ReplaySpec};
 pub use scenarios::university;

@@ -33,6 +33,7 @@
 //! | [`model`] | `td-model` | the §2 object model: schema, hierarchy, CPLs, multi-methods, body IR, dataflow |
 //! | [`derive`][mod@derive] | `td-core` | the paper's algorithms + invariant checking + surrogate minimization |
 //! | [`driver`] | `td-driver` | parallel batch derivation engine over copy-on-write schema snapshots |
+//! | [`server`] | `td-server` | multi-tenant derivation service: hand-rolled HTTP/1.1, tenant schema registry, admission control |
 //! | [`store`] | `td-store` | executable OODB substrate: objects, extents, interpreter, view extents |
 //! | [`telemetry`] | `td-telemetry` | span tracing, metrics registry, Chrome-trace/JSON/text exporters |
 //! | [`algebra`] | `td-algebra` | selection, join, view pipelines (§7 future work) |
@@ -80,6 +81,7 @@ pub use td_baselines as baselines;
 pub use td_core as derive;
 pub use td_driver as driver;
 pub use td_model as model;
+pub use td_server as server;
 pub use td_store as store;
 pub use td_telemetry as telemetry;
 pub use td_workload as workload;

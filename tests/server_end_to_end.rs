@@ -1,0 +1,372 @@
+//! End-to-end loopback tests for the derivation server: real sockets,
+//! real HTTP parsing, the full accept → io pool → admission queue →
+//! exec worker pipeline. What the CI smoke job checks shallowly against
+//! a running process, these tests check precisely in-process: tenant
+//! isolation, version-bump invalidation, concurrency determinism,
+//! admission control, and protocol-level rejection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use typederive::server::{http_call, Api, Server, ServerConfig};
+use typederive::workload::{fig3_with_z1, server_replay, ReplaySpec};
+
+/// Binds a server on a free loopback port and serves it from a
+/// background thread. Returns the server, its `host:port`, the shutdown
+/// flag, and the runner handle (join it after tripping the flag).
+fn start(config: ServerConfig) -> (Arc<Server>, String, Arc<AtomicBool>, thread::JoinHandle<()>) {
+    let server = Arc::new(Server::bind(config).expect("bind a loopback port"));
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let runner = {
+        let (server, shutdown) = (Arc::clone(&server), Arc::clone(&shutdown));
+        thread::spawn(move || server.run(&shutdown).expect("server run"))
+    };
+    (server, addr, shutdown, runner)
+}
+
+fn stop(shutdown: &AtomicBool, runner: thread::JoinHandle<()>) {
+    shutdown.store(true, Ordering::SeqCst);
+    runner.join().expect("runner joins cleanly");
+}
+
+const SCHEMA_A: &str = "
+type Person { SSN: int  name: str  date_of_birth: int }
+type Employee : Person { pay_rate: float  hrs_worked: float }
+accessors SSN
+accessors date_of_birth
+accessors pay_rate
+accessors hrs_worked
+method age(Person) -> int { return 2026 - get_date_of_birth($0); }
+method pay(Employee) -> float { return get_pay_rate($0) * get_hrs_worked($0); }
+";
+
+/// Same type names as SCHEMA_A, different shape — what tenant isolation
+/// must keep apart.
+const SCHEMA_B: &str = "
+type Person { SSN: int  badge: int }
+type Employee : Person { office: int }
+accessors SSN
+accessors badge
+accessors office
+";
+
+fn put_schema(addr: &str, tenant: &str, name: &str, text: &str) -> (u16, String) {
+    http_call(
+        addr,
+        "PUT",
+        &format!("/v1/tenants/{tenant}/schemas/{name}"),
+        Some(text.as_bytes()),
+    )
+    .expect("PUT schema")
+}
+
+fn project_body(tenant: &str, schema: &str, ty: &str, attrs: &[&str]) -> String {
+    let attrs = attrs
+        .iter()
+        .map(|a| format!("\"{a}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"tenant\": \"{tenant}\", \"schema\": \"{schema}\", \"type\": \"{ty}\", \"attrs\": [{attrs}]}}"
+    )
+}
+
+#[test]
+fn tenants_with_the_same_schema_name_stay_isolated() {
+    let (_server, addr, shutdown, runner) = start(ServerConfig::default());
+
+    let (status, _) = put_schema(&addr, "acme", "hr", SCHEMA_A);
+    assert_eq!(status, 201);
+    let (status, _) = put_schema(&addr, "globex", "hr", SCHEMA_B);
+    assert_eq!(status, 201);
+
+    // The same request body (modulo tenant) hits the same schema *name*
+    // but must answer from each tenant's own registration.
+    let (sa, ba) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("acme", "hr", "Employee", &["SSN"]).as_bytes()),
+    )
+    .unwrap();
+    let (sb, bb) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("globex", "hr", "Employee", &["SSN"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!((sa, sb), (200, 200), "{ba}\n{bb}");
+    assert_ne!(ba, bb, "tenant registrations leaked into each other");
+    // acme's schema knows pay_rate; globex's does not.
+    let (s, _) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("acme", "hr", "Employee", &["pay_rate"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(s, 200);
+    let (s, body) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("globex", "hr", "Employee", &["pay_rate"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(s, 400, "{body}");
+
+    stop(&shutdown, runner);
+}
+
+#[test]
+fn version_bump_replaces_the_registered_schema() {
+    let (_server, addr, shutdown, runner) = start(ServerConfig::default());
+
+    let (status, body) = put_schema(&addr, "t", "s", SCHEMA_A);
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"version\": 1"), "{body}");
+
+    // Warm the snapshot, then swap the registration.
+    let (s, first) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("t", "s", "Employee", &["SSN"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(s, 200, "{first}");
+
+    let (status, body) = put_schema(&addr, "t", "s", SCHEMA_B);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"version\": 2"), "{body}");
+    let (_, got) = http_call(&addr, "GET", "/v1/tenants/t/schemas/s", None).unwrap();
+    assert!(got.contains("\"version\": 2"), "{got}");
+    assert!(got.contains("badge"), "{got}");
+
+    // The old schema's shape is gone: pay_rate now fails, badge works,
+    // and the same SSN request answers from the new hierarchy.
+    let (s, body) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("t", "s", "Employee", &["pay_rate"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(s, 400, "{body}");
+    let (s, body) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("t", "s", "Employee", &["badge"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(s, 200, "{body}");
+    let (s, second) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("t", "s", "Employee", &["SSN"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(s, 200);
+    assert_ne!(first, second, "v2 must not answer from v1's snapshot");
+
+    stop(&shutdown, runner);
+}
+
+#[test]
+fn concurrent_mixed_tenant_load_matches_sequential_dispatch() {
+    // Sequential ground truth: the same replay, request by request,
+    // against a socket-free Api.
+    let schema = fig3_with_z1();
+    let spec = ReplaySpec {
+        tenants: 2,
+        requests: 20,
+        ..ReplaySpec::default()
+    };
+    let replay = server_replay(&schema, &spec);
+    let api = Api::new();
+    for tenant in &replay.tenants {
+        let r = api.handle(
+            "PUT",
+            &format!("/v1/tenants/{tenant}/schemas/{}", replay.schema_name),
+            "",
+            replay.schema_text.as_bytes(),
+        );
+        assert_eq!(r.status, 201, "{}", r.body);
+    }
+    let expected: Vec<(u16, String)> = replay
+        .requests
+        .iter()
+        .map(|r| {
+            let resp = api.handle("POST", &r.path, "", r.body.as_bytes());
+            (resp.status, resp.body)
+        })
+        .collect();
+
+    // Live server, every request on its own thread.
+    let (_server, addr, shutdown, runner) = start(ServerConfig {
+        exec_threads: 4,
+        queue_slots: 64,
+        ..ServerConfig::default()
+    });
+    for tenant in &replay.tenants {
+        let (status, body) = put_schema(&addr, tenant, &replay.schema_name, &replay.schema_text);
+        assert_eq!(status, 201, "{body}");
+    }
+    let got: Vec<(u16, String)> = thread::scope(|scope| {
+        let handles: Vec<_> = replay
+            .requests
+            .iter()
+            .map(|r| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    http_call(&addr, "POST", &r.path, Some(r.body.as_bytes()))
+                        .expect("replay request")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(got.len(), expected.len());
+    for (i, (got, expected)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got, expected,
+            "request #{i} ({}) diverged under concurrency",
+            replay.requests[i].path
+        );
+    }
+
+    stop(&shutdown, runner);
+}
+
+#[test]
+fn full_tenant_queue_answers_429_with_retry_after() {
+    // One exec worker, one queue slot: a slow request occupies the
+    // worker, the next occupies the slot, the third must bounce.
+    let (_server, addr, shutdown, runner) = start(ServerConfig {
+        exec_threads: 1,
+        queue_slots: 1,
+        ..ServerConfig::default()
+    });
+    put_schema(&addr, "t", "s", SCHEMA_A);
+    let slow = concat!(
+        "{\"tenant\": \"t\", \"schema\": \"s\", \"type\": \"Employee\", ",
+        "\"attrs\": [\"SSN\"], \"delay_ms\": 600}"
+    );
+
+    let first = {
+        let (addr, slow) = (addr.clone(), slow);
+        thread::spawn(move || http_call(&addr, "POST", "/v1/project", Some(slow.as_bytes())))
+    };
+    // Let the slow request reach the exec worker before filling the slot.
+    thread::sleep(Duration::from_millis(200));
+    let second = {
+        let (addr, slow) = (addr.clone(), slow);
+        thread::spawn(move || http_call(&addr, "POST", "/v1/project", Some(slow.as_bytes())))
+    };
+    thread::sleep(Duration::from_millis(200));
+
+    // Raw call so the Retry-After header is visible.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let head = format!(
+        "POST /v1/project HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        slow.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(slow.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 429 "), "{raw}");
+    assert!(raw.contains("Retry-After: 1"), "{raw}");
+    assert!(raw.contains("no free queue slots"), "{raw}");
+
+    // A different tenant is not starved by t's overflow.
+    put_schema(&addr, "other", "s", SCHEMA_A);
+    let (status, body) = http_call(
+        &addr,
+        "POST",
+        "/v1/project",
+        Some(project_body("other", "s", "Employee", &["SSN"]).as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // The occupied worker and the queued request both finish with 200.
+    let (s1, b1) = first.join().unwrap().unwrap();
+    let (s2, b2) = second.join().unwrap().unwrap();
+    assert_eq!((s1, s2), (200, 200), "{b1}\n{b2}");
+
+    stop(&shutdown, runner);
+}
+
+#[test]
+fn malformed_http_and_oversized_bodies_are_rejected() {
+    let (_server, addr, shutdown, runner) = start(ServerConfig {
+        max_body: 2048,
+        ..ServerConfig::default()
+    });
+
+    // Not HTTP at all.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"EHLO example.org\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+
+    // A declared body over the limit answers 413 before reading it.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(
+            format!("POST /v1/project HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 999999\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 413 "), "{raw}");
+
+    // An actual oversized body through the client helper.
+    let big = "x".repeat(4096);
+    let (status, _) = http_call(&addr, "POST", "/v1/project", Some(big.as_bytes())).unwrap();
+    assert_eq!(status, 413);
+
+    // Sanity: a well-formed request still answers on the same server.
+    let (status, body) = http_call(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    stop(&shutdown, runner);
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (_server, addr, shutdown, runner) = start(ServerConfig::default());
+    put_schema(&addr, "t", "s", SCHEMA_A);
+
+    let slow = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let body = "{\"tenant\": \"t\", \"schema\": \"s\", \"type\": \"Employee\", \
+                        \"attrs\": [\"SSN\"], \"delay_ms\": 400}";
+            http_call(&addr, "POST", "/v1/project", Some(body.as_bytes()))
+        })
+    };
+    // Trip shutdown while the slow request is in flight; the drain must
+    // finish it rather than cut the socket.
+    thread::sleep(Duration::from_millis(100));
+    shutdown.store(true, Ordering::SeqCst);
+    runner.join().expect("drain completes");
+    let (status, body) = slow.join().unwrap().expect("in-flight request answered");
+    assert_eq!(status, 200, "{body}");
+
+    // After the drain the listener is gone.
+    thread::sleep(Duration::from_millis(50));
+    assert!(http_call(&addr, "GET", "/healthz", None).is_err());
+}
