@@ -34,6 +34,23 @@ fn metric_status(name: &str, base: f64, cur: Option<f64>, threshold: f64) -> &'s
     }
 }
 
+/// Renders a metric value for the diff table. `bytes_*` metrics are
+/// on-disk sizes (one per snapshot the repro run wrote) and read better
+/// as exact byte counts with a human-scale suffix than as `%.4f`.
+fn fmt_value(name: &str, value: f64) -> String {
+    if !name.starts_with("bytes_") {
+        return format!("{value:.4}");
+    }
+    let bytes = value as u64;
+    if bytes >= 1024 * 1024 {
+        format!("{bytes} B ({:.1} MiB)", value / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{bytes} B ({:.1} KiB)", value / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
 fn usage() -> ! {
     eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold 0.30]");
     exit(2);
@@ -107,9 +124,13 @@ fn main() {
         match cur {
             Some(cur) => {
                 let drift = (cur - base) / base.abs().max(1e-12) * 100.0;
-                println!("| {name} | {base:.4} | {cur:.4} | {drift:+.1}% | {status} |");
+                println!(
+                    "| {name} | {} | {} | {drift:+.1}% | {status} |",
+                    fmt_value(name, base),
+                    fmt_value(name, cur)
+                );
             }
-            None => println!("| {name} | {base:.4} | — | — | {status} |"),
+            None => println!("| {name} | {} | — | — | {status} |", fmt_value(name, base)),
         }
     }
     for name in current
@@ -117,7 +138,10 @@ fn main() {
         .keys()
         .filter(|n| !baseline.metrics.contains_key(*n))
     {
-        println!("| {name} | — | {:.4} | — | new |", current.metrics[name]);
+        println!(
+            "| {name} | — | {} | — | new |",
+            fmt_value(name, current.metrics[name])
+        );
     }
 
     let failures = compare(&baseline, &current, threshold);

@@ -86,8 +86,10 @@ USAGE:
   tdv extent     <schema.td> <data.td> <Type>
   tdv call       <schema.td> <data.td> <gf> <arg,arg,…>
   tdv serve      [addr] [--port-file F] [--threads N] [--io-threads N]
-                 [--queue-slots N]
+                 [--queue-slots N] [--snapshot-dir DIR]
   tdv client     <addr> <METHOD> <path> [body | @bodyfile]
+  tdv snapshot   save <schema.td> <out.tds> | load <file.tds>
+                 | inspect <file.tds>
 
 call arguments: object names from the data file, or literals
 (42, 3.5, true, \"text\", null).
@@ -118,8 +120,18 @@ schema and view.
 `serve` binds addr (default 127.0.0.1:7171; port 0 picks a free port,
 written to --port-file when given) and exposes the derivation pipeline
 as a multi-tenant JSON API; SIGTERM drains in-flight requests and exits
-cleanly. `client` performs one request against it: a 2xx body goes to
-stdout verbatim, anything else exits nonzero with the error body.
+cleanly. With --snapshot-dir, registered tenant schemas are persisted
+as warm binary snapshots and restored at the next boot — the registry
+survives restarts. `client` performs one request against it: a 2xx body
+goes to stdout verbatim, anything else exits nonzero with the error
+body.
+
+`snapshot save` parses a schema, warms every derivation cache and
+writes a versioned, checksummed binary snapshot; `load` restores it
+(O(file) — no parse, no re-derivation); `inspect` prints the section
+table, metadata and content counts. `project` accepts --snapshot to
+read its schema argument as a .tds snapshot instead of text — the
+derivation output is byte-identical either way (CI enforces this).
 ";
 
 /// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
@@ -317,7 +329,7 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                 "applicable:     {}",
                 r.applicable
                     .iter()
-                    .map(|&m| schema.method(m).label.clone())
+                    .map(|&m| schema.method_label(m).to_string())
                     .collect::<Vec<_>>()
                     .join(", ")
             );
@@ -326,7 +338,7 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                 "not applicable: {}",
                 r.not_applicable
                     .iter()
-                    .map(|&m| schema.method(m).label.clone())
+                    .map(|&m| schema.method_label(m).to_string())
                     .collect::<Vec<_>>()
                     .join(", ")
             );
@@ -334,7 +346,12 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
         }
         "project" => {
             let (args, json) = extract_switch(args, "--json");
-            let mut schema = load(args.get(1))?;
+            let (args, from_snapshot) = extract_switch(&args, "--snapshot");
+            let mut schema = if from_snapshot {
+                load_snapshot_file(args.get(1))?.0
+            } else {
+                load(args.get(1))?
+            };
             let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
             let opts = ProjectionOptions {
                 engine,
@@ -468,7 +485,7 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             if let Some(ring) = td_core::optimistic_cycle_ring(&schema, source, method) {
                 let members = ring
                     .iter()
-                    .map(|&m| format!("`{}`", schema.method(m).label))
+                    .map(|&m| format!("`{}`", schema.method_label(m)))
                     .collect::<Vec<_>>()
                     .join(", ");
                 let wording = if e.is_applicable() {
@@ -498,6 +515,9 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                 };
                 match a.as_str() {
                     "--port-file" => port_file = Some(value("--port-file")?),
+                    "--snapshot-dir" => {
+                        config.snapshot_dir = Some(value("--snapshot-dir")?);
+                    }
                     "--threads" => {
                         config.exec_threads = value("--threads")?
                             .parse()
@@ -597,7 +617,7 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                     .unwrap_or("<anonymous>");
                 let mut fields: Vec<String> = o
                     .fields()
-                    .map(|(a, v)| (db.schema().attr(a).name.clone(), v))
+                    .map(|(a, v)| (db.schema().attr_name(a).to_string(), v))
                     .map(|(n, v)| format!("{n} = {v}"))
                     .collect();
                 fields.sort();
@@ -628,9 +648,93 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             let result = db.call(gf, &values).map_err(|e| fail(e.to_string()))?;
             Ok(format!("{result}\n"))
         }
+        "snapshot" => match args.get(1).map(String::as_str) {
+            Some("save") => {
+                let path = args
+                    .get(2)
+                    .ok_or_else(|| fail("snapshot save: missing schema file argument"))?;
+                let out_path = args
+                    .get(3)
+                    .ok_or_else(|| fail("snapshot save: missing output file argument"))?;
+                let schema = load(Some(path))?;
+                // Warm every derivation cache first: the point of a
+                // snapshot is that loading it skips both the parse and
+                // the derivation warm-up.
+                schema.warm_caches();
+                let meta = [("source".to_string(), path.clone())];
+                td_model::write_snapshot_file(&schema, &meta, out_path)
+                    .map_err(|e| fail(e.to_string()))?;
+                let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+                Ok(format!(
+                    "wrote {out_path}: {bytes} bytes, format v{}, {} types, {} methods\n",
+                    td_model::SNAPSHOT_VERSION,
+                    schema.n_types(),
+                    schema.n_methods()
+                ))
+            }
+            Some("load") => {
+                let (schema, _) = load_snapshot_file(args.get(2))?;
+                let stats = schema.dispatch_cache_stats();
+                let mut out = String::new();
+                let _ = writeln!(out, "snapshot OK");
+                let _ = writeln!(out, "{}", schema.stats());
+                let _ = writeln!(
+                    out,
+                    "warm caches: {} cpl/rank entries, {} dispatch entries, {} indexes",
+                    stats.cpl_entries, stats.dispatch_entries, stats.index_entries
+                );
+                Ok(out)
+            }
+            Some("inspect") => {
+                let path = args
+                    .get(2)
+                    .ok_or_else(|| fail("snapshot inspect: missing snapshot file argument"))?;
+                let bytes =
+                    std::fs::read(path).map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+                let info = td_model::snapshot_info(&bytes).map_err(|e| fail(e.to_string()))?;
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "{path}: format v{}, {} bytes",
+                    info.version, info.file_bytes
+                );
+                for (key, value) in &info.meta {
+                    let _ = writeln!(out, "  meta {key} = {value:?}");
+                }
+                for (name, len, checksum) in &info.sections {
+                    let _ = writeln!(
+                        out,
+                        "  section {name:<9} {len:>9} bytes  fnv1a {checksum:016x}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "  {} names, {} types, {} attrs, {} gfs, {} methods",
+                    info.n_names, info.n_types, info.n_attrs, info.n_gfs, info.n_methods
+                );
+                let _ = writeln!(
+                    out,
+                    "  warm: {} cpl/rank entries, {} dispatch entries, {} indexes",
+                    info.cpl_entries, info.dispatch_entries, info.index_entries
+                );
+                Ok(out)
+            }
+            _ => Err(fail(
+                "snapshot: expected a subcommand\n\n\
+                 USAGE:\n  tdv snapshot save    <schema.td> <out.tds>\n  \
+                 tdv snapshot load    <file.tds>\n  \
+                 tdv snapshot inspect <file.tds>",
+            )),
+        },
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(fail(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
+}
+
+/// Loads a binary snapshot file as (schema, metadata).
+fn load_snapshot_file(path: Option<&String>) -> Result<(Schema, Vec<(String, String)>), CliError> {
+    let path = path.ok_or_else(|| fail("missing snapshot file argument"))?;
+    td_model::read_snapshot_file(path).map_err(|e| fail(format!("{path}: {e}")))
 }
 
 fn load_db(
@@ -796,6 +900,35 @@ mod tests {
         assert_eq!(e.code, 2);
         shutdown.store(true, Ordering::SeqCst);
         runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn snapshot_save_load_inspect_and_project() {
+        let f = fixture("snapshot", FIG1);
+        let mut tds = std::env::temp_dir();
+        tds.push(format!("td_cli_test_{}_snapshot.tds", std::process::id()));
+        let tds = tds.to_str().unwrap().to_string();
+
+        let out = run_ok(&["snapshot", "save", f.to_str().unwrap(), &tds]);
+        assert!(out.contains("format v1"), "{out}");
+
+        let out = run_ok(&["snapshot", "load", &tds]);
+        assert!(out.contains("snapshot OK"), "{out}");
+        assert!(!out.contains(" 0 cpl/rank entries"), "{out}");
+
+        let out = run_ok(&["snapshot", "inspect", &tds]);
+        assert!(out.contains("section names"), "{out}");
+        assert!(out.contains("meta source"), "{out}");
+
+        // The snapshot path and the text path derive byte-identically.
+        let view = ["Employee", "SSN,pay_rate,hrs_worked"];
+        let from_text = run_ok(&["project", f.to_str().unwrap(), view[0], view[1], "--json"]);
+        let from_snap = run_ok(&["project", &tds, view[0], view[1], "--json", "--snapshot"]);
+        assert_eq!(from_text, from_snap);
+
+        let e = run_err(&["snapshot", "inspect", f.to_str().unwrap()]);
+        assert!(e.message.contains("bad magic"), "{}", e.message);
+        std::fs::remove_file(&tds).unwrap();
     }
 
     #[test]

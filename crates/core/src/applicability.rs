@@ -808,7 +808,7 @@ mod tests {
         let names: BTreeSet<&str> = indexed
             .applicable
             .iter()
-            .map(|&m| s.method(m).label.as_str())
+            .map(|&m| s.method_label(m))
             .collect();
         let expected: BTreeSet<&str> = figures::EX1_APPLICABLE.iter().copied().collect();
         assert_eq!(names, expected);
@@ -849,7 +849,7 @@ mod tests {
                 .footprint(m)
                 .expect("method in universe")
                 .iter()
-                .map(|i| s.attr(i).name.clone())
+                .map(|i| s.attr_name(i).to_string())
                 .collect()
         };
         let set =
@@ -870,7 +870,7 @@ mod tests {
         let bits = index.projection_bits(&proj);
         let fallback = ["v1", "v2", "w2", "x1", "y1"];
         for &m in index.universe() {
-            let label = s.method(m).label.as_str();
+            let label = s.method_label(m);
             if fallback.contains(&label) {
                 assert_eq!(index.verdict(m, &bits), None, "{label} must fall back");
             } else {

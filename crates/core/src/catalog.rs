@@ -161,7 +161,7 @@ impl ViewCatalog {
                 .derivation
                 .projection
                 .iter()
-                .map(|&a| schema.attr(a).name.as_str())
+                .map(|&a| schema.attr_name(a))
                 .collect();
             let _ = write!(
                 out,

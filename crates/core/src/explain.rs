@@ -105,7 +105,7 @@ impl Explanation {
                     out,
                     "{pad}{} accesses attribute `{}`, which is not in the projection list",
                     schema.render_signature(*method),
-                    schema.attr(*attr).name
+                    schema.attr_name(*attr)
                 );
             }
             Explanation::CallUnsatisfied {
@@ -117,7 +117,7 @@ impl Explanation {
                     out,
                     "{pad}{} calls `{}`, and no candidate method survives:",
                     schema.render_signature(*method),
-                    schema.gf(*gf).name
+                    schema.gf_name(*gf)
                 );
                 if candidates.is_empty() {
                     let _ = writeln!(out, "{pad}  (the call has no candidate methods at all)");
@@ -256,7 +256,7 @@ mod tests {
         let Explanation::CallUnsatisfied { gf, candidates, .. } = &e else {
             panic!("expected CallUnsatisfied, got {e:?}");
         };
-        assert_eq!(s.gf(*gf).name, "get_b1");
+        assert_eq!(s.gf_name(*gf), "get_b1");
         assert_eq!(candidates.len(), 1);
         assert!(matches!(
             candidates[0],
@@ -308,7 +308,7 @@ mod tests {
                 e.is_applicable(),
                 r.is_applicable(m),
                 "{}",
-                s.method(m).label
+                s.method_label(m)
             );
         }
     }

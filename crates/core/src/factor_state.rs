@@ -159,7 +159,7 @@ mod tests {
             s.type_(t)
                 .local_attrs
                 .iter()
-                .map(|&a| s.attr(a).name.as_str())
+                .map(|&a| s.attr_name(a))
                 .collect()
         };
         assert_eq!(names(e_hat), vec!["pay_rate"]);

@@ -109,6 +109,12 @@ impl InvariantReport {
 
 /// Budget of dispatch tuples examined per generic function.
 const TUPLE_BUDGET: usize = 2048;
+/// Budget of dispatch tuples examined across the whole I2 replay. On
+/// paper-scale schemas the per-gf budget binds first and behavior is
+/// unchanged; on generated schemas with thousands of generic functions
+/// this caps the replay (and the dispatch-cache footprint it warms) at
+/// a fixed sample instead of letting it grow with `gfs × tuples`.
+const TOTAL_TUPLE_BUDGET: usize = 200_000;
 /// Budget of type pairs examined for subtype preservation.
 const PAIR_BUDGET: usize = 40_000;
 
@@ -167,6 +173,8 @@ pub fn check_invariants(
     }
 
     // I2: dispatch over original-type tuples.
+    let n_gfs = before.gf_ids().count();
+    let per_gf_budget = (TOTAL_TUPLE_BUDGET / n_gfs.max(1)).clamp(1, TUPLE_BUDGET);
     for gf in before.gf_ids() {
         let arity = before.gf(gf).arity;
         if arity == 0 || originals.is_empty() {
@@ -179,7 +187,7 @@ pub fn check_invariants(
             .len()
             .checked_pow(arity as u32)
             .unwrap_or(usize::MAX);
-        let stride = total.div_ceil(TUPLE_BUDGET).max(1);
+        let stride = total.div_ceil(per_gf_budget).max(1);
         let mut idx = 0usize;
         while idx < total {
             let mut rem = idx;

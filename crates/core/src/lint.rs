@@ -200,7 +200,7 @@ fn check_dispatch_ambiguity(schema: &Schema, diags: &mut Vec<Diagnostic>) {
                 if !seen.insert((g, maximal.clone())) {
                     continue;
                 }
-                let gf_name = schema.gf(g).name.clone();
+                let gf_name = schema.gf_name(g).to_string();
                 let tuple = witness
                     .iter()
                     .map(|a| match a {
@@ -211,14 +211,14 @@ fn check_dispatch_ambiguity(schema: &Schema, diags: &mut Vec<Diagnostic>) {
                     .join(", ");
                 let labels = maximal
                     .iter()
-                    .map(|&m| format!("`{}`", schema.method(m).label))
+                    .map(|&m| format!("`{}`", schema.method_label(m)))
                     .collect::<Vec<_>>()
                     .join(", ");
                 let mut spans = vec![Span::gf(gf_name.clone())];
                 spans.extend(
                     maximal
                         .iter()
-                        .map(|&m| Span::method(schema.method(m).label.clone())),
+                        .map(|&m| Span::method(schema.method_label(m).to_string())),
                 );
                 diags.push(Diagnostic::new(
                     LintCode::DispatchAmbiguity,
@@ -359,7 +359,7 @@ fn check_request(
             ));
             usable = false;
         } else if !schema.attr_available_at(a, source) {
-            let attr = schema.attr(a).name.clone();
+            let attr = schema.attr_name(a).to_string();
             diags.push(Diagnostic::new(
                 LintCode::InvalidRequest,
                 format!("attribute `{attr}` is not available at type `{src}`"),
@@ -379,12 +379,12 @@ fn check_optimistic_cycles(schema: &Schema, source: TypeId, diags: &mut Vec<Diag
     for group in index.cycle_groups() {
         let labels = group
             .iter()
-            .map(|&m| format!("`{}`", schema.method(m).label))
+            .map(|&m| format!("`{}`", schema.method_label(m)))
             .collect::<Vec<_>>()
             .join(", ");
         let spans = group
             .iter()
-            .map(|&m| Span::method(schema.method(m).label.clone()))
+            .map(|&m| Span::method(schema.method_label(m).to_string()))
             .collect();
         diags.push(Diagnostic::new(
             LintCode::OptimisticCycle,
@@ -441,13 +441,13 @@ fn check_behavior_free(
     } else {
         let names = load_bearing
             .iter()
-            .map(|&a| format!("`{}`", schema.attr(a).name))
+            .map(|&a| format!("`{}`", schema.attr_name(a)))
             .collect::<Vec<_>>()
             .join(", ");
         spans.extend(
             load_bearing
                 .iter()
-                .map(|&a| Span::attr(schema.attr(a).name.clone())),
+                .map(|&a| Span::attr(schema.attr_name(a).to_string())),
         );
         format!("load-bearing attributes missing from the request: {names}")
     };
@@ -502,7 +502,7 @@ fn check_augment_hazards(
         if forced.is_empty() {
             continue;
         }
-        let label = schema.method(m).label.clone();
+        let label = schema.method_label(m).to_string();
         let names = forced
             .iter()
             .map(|&t| format!("`{}`", schema.type_name(t)))

@@ -251,7 +251,7 @@ impl Derivation {
         let mut out = String::new();
         let names = |ms: &[MethodId]| -> String {
             ms.iter()
-                .map(|&m| schema.method(m).label.clone())
+                .map(|&m| schema.method_label(m).to_string())
                 .collect::<Vec<_>>()
                 .join(", ")
         };
@@ -261,7 +261,7 @@ impl Derivation {
             schema.type_name(self.derived),
             self.projection
                 .iter()
-                .map(|&a| schema.attr(a).name.clone())
+                .map(|&a| schema.attr_name(a).to_string())
                 .collect::<Vec<_>>()
                 .join(", "),
             schema.type_name(self.source)
@@ -525,7 +525,7 @@ mod tests {
 
         // §3.1: age and promote apply; income does not.
         let labels = |ms: &[MethodId]| -> Vec<String> {
-            ms.iter().map(|&m| s.method(m).label.clone()).collect()
+            ms.iter().map(|&m| s.method_label(m).to_string()).collect()
         };
         let app = labels(d.applicable());
         assert!(app.contains(&"age".to_string()));
@@ -714,7 +714,7 @@ mod tests {
                 .applicability
                 .applicable
                 .iter()
-                .map(|&m| s.method(m).label.clone())
+                .map(|&m| s.method_label(m).to_string())
                 .collect();
             match &reference {
                 None => reference = Some(labels),

@@ -159,11 +159,7 @@ fn writer_applicability_follows_projection() {
     s.add_accessors(x).unwrap();
     s.add_accessors(y).unwrap();
     let d = project_named(&mut s, "A", &["x"], &opts()).unwrap();
-    let labels: Vec<&str> = d
-        .applicable()
-        .iter()
-        .map(|&m| s.method(m).label.as_str())
-        .collect();
+    let labels: Vec<&str> = d.applicable().iter().map(|&m| s.method_label(m)).collect();
     assert!(labels.contains(&"get_x"));
     assert!(labels.contains(&"set_x"));
     assert!(!labels.contains(&"get_y"));

@@ -15,7 +15,7 @@ use td_model::{MethodId, Schema, Specializer, TypeId};
 use td_workload::figures;
 
 fn labels(s: &Schema, ms: &[MethodId]) -> BTreeSet<String> {
-    ms.iter().map(|&m| s.method(m).label.clone()).collect()
+    ms.iter().map(|&m| s.method_label(m).to_string()).collect()
 }
 
 fn set(names: &[&str]) -> BTreeSet<String> {
@@ -64,7 +64,7 @@ fn example_1_applicability() {
     let fix = applicability_fixpoint(&schema2, proj2.0, &proj2.1).unwrap();
     let fix_labels: BTreeSet<String> = fix
         .iter()
-        .map(|&m| schema2.method(m).label.clone())
+        .map(|&m| schema2.method_label(m).to_string())
         .collect();
     assert_eq!(fix_labels, set(figures::EX1_APPLICABLE));
 }
@@ -115,7 +115,7 @@ fn figure_4_factored_hierarchy() {
         .iter()
         .map(|&(a, from, to)| {
             (
-                s.attr(a).name.clone(),
+                s.attr_name(a).to_string(),
                 s.type_name(from).to_string(),
                 s.type_name(to).to_string(),
             )
@@ -161,7 +161,7 @@ fn figure_4_factored_hierarchy() {
     let cum: BTreeSet<String> = s
         .cumulative_attrs(e_hat)
         .into_iter()
-        .map(|a| s.attr(a).name.clone())
+        .map(|a| s.attr_name(a).to_string())
         .collect();
     assert_eq!(cum, set(figures::FIG4_PROJECTION));
 }

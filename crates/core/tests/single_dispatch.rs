@@ -18,7 +18,7 @@ fn overrides_dispatch_by_receiver_only() {
             .most_specific(describe, &[CallArg::Object(c)])
             .unwrap()
             .unwrap();
-        assert_eq!(s.method(m).label, format!("describe_c{i}"));
+        assert_eq!(s.method_label(m), format!("describe_c{i}"));
     }
 }
 
@@ -34,11 +34,7 @@ fn projection_keeps_exactly_the_reachable_overrides() {
     let d = project(&mut s, leaf, &projection, &ProjectionOptions::default()).unwrap();
     assert!(d.invariants_ok(), "{:#?}", d.invariants);
 
-    let labels: Vec<&str> = d
-        .applicable()
-        .iter()
-        .map(|&m| s.method(m).label.as_str())
-        .collect();
+    let labels: Vec<&str> = d.applicable().iter().map(|&m| s.method_label(m)).collect();
     // describe_c0 and describe_c2 read projected fields; the other
     // overrides read fields that were projected away.
     assert!(labels.contains(&"describe_c0"));
@@ -54,7 +50,7 @@ fn projection_keeps_exactly_the_reachable_overrides() {
         .most_specific(describe, &[CallArg::Object(d.derived)])
         .unwrap()
         .unwrap();
-    assert_eq!(s.method(m).label, "describe_c2");
+    assert_eq!(s.method_label(m), "describe_c2");
 
     // Original classes still dispatch to their own overrides.
     for i in 0..5 {
@@ -63,7 +59,7 @@ fn projection_keeps_exactly_the_reachable_overrides() {
             .most_specific(describe, &[CallArg::Object(c)])
             .unwrap()
             .unwrap();
-        assert_eq!(s.method(m).label, format!("describe_c{i}"));
+        assert_eq!(s.method_label(m), format!("describe_c{i}"));
     }
 }
 

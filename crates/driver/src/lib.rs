@@ -90,7 +90,7 @@ impl BatchRequest {
             .iter()
             .map(|&a| {
                 if a.index() < schema.n_attrs() {
-                    schema.attr(a).name.clone()
+                    schema.attr_name(a).to_string()
                 } else {
                     a.to_string()
                 }

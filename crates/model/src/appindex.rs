@@ -141,29 +141,29 @@ impl AttrBitSet {
 /// and the exactness argument.
 #[derive(Debug, Clone)]
 pub struct ApplicabilityIndex {
-    source: TypeId,
-    n_attrs: usize,
+    pub(crate) source: TypeId,
+    pub(crate) n_attrs: usize,
     /// The universe (methods applicable to `source`), in method-id order;
     /// node `i` of the call graph is `methods[i]`.
-    methods: Vec<MethodId>,
-    node_of: HashMap<MethodId, usize>,
+    pub(crate) methods: Vec<MethodId>,
+    pub(crate) node_of: HashMap<MethodId, usize>,
     /// Node → SCC id, in Tarjan emission (= reverse topological) order.
-    scc_of: Vec<usize>,
+    pub(crate) scc_of: Vec<usize>,
     /// Per-SCC union of transitively reachable accessor attributes.
-    scc_footprint: Vec<AttrBitSet>,
+    pub(crate) scc_footprint: Vec<AttrBitSet>,
     /// Per-SCC: some reachable call site has no candidate at all.
-    scc_dead: Vec<bool>,
+    pub(crate) scc_dead: Vec<bool>,
     /// Per-SCC: some reachable site is disjunctive or case-2 — the subset
     /// test is not exact and the caller must use the pass-based engine.
-    scc_fallback: Vec<bool>,
+    pub(crate) scc_fallback: Vec<bool>,
     /// Per-SCC node membership, in emission order (matches `scc_of` ids).
-    scc_members: Vec<Vec<usize>>,
+    pub(crate) scc_members: Vec<Vec<usize>>,
     /// Per-SCC: the component contains an internal call edge — a genuine
     /// call ring (size > 1, or a self-recursive method). Verdicts inside
     /// such components rest on the §4 optimistic assumption.
-    scc_cyclic: Vec<bool>,
+    pub(crate) scc_cyclic: Vec<bool>,
     /// Number of universe methods whose verdict needs the fallback.
-    fallback_methods: usize,
+    pub(crate) fallback_methods: usize,
 }
 
 impl ApplicabilityIndex {

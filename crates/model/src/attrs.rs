@@ -6,7 +6,7 @@
 //! reference another type in the hierarchy. Attribute names are globally
 //! unique (a simplifying assumption made by the paper and enforced here).
 
-use crate::ids::TypeId;
+use crate::ids::{NameId, TypeId};
 use std::fmt;
 
 /// Primitive (non-object) value types.
@@ -93,8 +93,9 @@ impl fmt::Display for ValueType {
 /// "same cumulative state" invariant checkable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrDef {
-    /// Globally unique attribute name.
-    pub name: String,
+    /// Globally unique attribute name, interned in the schema's arena
+    /// (resolve with [`crate::Schema::attr_name`]).
+    pub name: NameId,
     /// Type of the attribute's values.
     pub ty: ValueType,
     /// The type at which the attribute is currently locally defined.

@@ -50,7 +50,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub(crate) type Ranks = Vec<(TypeId, usize)>;
 
 /// Key of the per-call dispatch tables.
-type CallKey = (GfId, Vec<CallArg>);
+pub(crate) type CallKey = (GfId, Vec<CallArg>);
 
 /// Key of the cached lint reports: `None` is the schema-wide analysis,
 /// `Some((source, projection))` the per-request projection-safety part.
@@ -166,6 +166,45 @@ impl DispatchCache {
         let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
         inner.generation += 1;
     }
+
+    /// Clones the warm entry maps for snapshot serialization (stats
+    /// counters stay behind; `Arc` clones make this cheap). Entries are
+    /// only exported if they are current for the schema's generation.
+    pub(crate) fn export_warm(&self) -> WarmCaches {
+        let mut inner = self.lock();
+        inner.refresh();
+        WarmCaches {
+            cpl: inner.cpl.clone(),
+            ranks: inner.ranks.clone(),
+            applicable: inner.applicable.clone(),
+            ranked: inner.ranked.clone(),
+            app_index: inner.app_index.clone(),
+        }
+    }
+
+    /// Installs deserialized warm entries, tagged as current for the
+    /// schema's present generation so the first read serves them instead
+    /// of flushing (the snapshot loader's cache-restore step).
+    pub(crate) fn import_warm(&mut self, warm: WarmCaches) {
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        inner.cpl = warm.cpl;
+        inner.ranks = warm.ranks;
+        inner.applicable = warm.applicable;
+        inner.ranked = warm.ranked;
+        inner.app_index = warm.app_index;
+        inner.entries_generation = inner.generation;
+    }
+}
+
+/// The serializable subset of the dispatch cache: every warm map except
+/// the lint reports (lint findings are presentation-layer and re-derive
+/// quickly; see the snapshot module docs).
+pub(crate) struct WarmCaches {
+    pub(crate) cpl: HashMap<TypeId, Arc<Vec<TypeId>>>,
+    pub(crate) ranks: HashMap<TypeId, Arc<Ranks>>,
+    pub(crate) applicable: HashMap<CallKey, Arc<Vec<MethodId>>>,
+    pub(crate) ranked: HashMap<CallKey, Arc<Vec<MethodId>>>,
+    pub(crate) app_index: HashMap<TypeId, Arc<ApplicabilityIndex>>,
 }
 
 impl Schema {
@@ -194,6 +233,21 @@ impl Schema {
             dispatch_entries: inner.applicable.len() + inner.ranked.len(),
             index_entries: inner.app_index.len(),
             lint_entries: inner.lint.len(),
+        }
+    }
+
+    /// Warms the derivation caches for every live type: CPL memo, rank
+    /// tables and the applicability condensation index. Best-effort —
+    /// types whose linearization or index build fails (inconsistent
+    /// precedence, dataflow errors) are skipped; the failure resurfaces
+    /// on the request that actually needs them. `tdv snapshot save` and
+    /// the server's snapshot persistence call this so a reloaded schema
+    /// starts with every cache hot.
+    pub fn warm_caches(&self) {
+        for t in self.live_type_ids() {
+            let _ = self.cpl(t);
+            let _ = self.cached_ranks(t);
+            let _ = self.cached_applicability_index(t);
         }
     }
 

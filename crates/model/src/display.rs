@@ -23,14 +23,14 @@ impl Schema {
         let mut out = String::new();
         for t in ids {
             let node = self.type_(t);
-            let _ = write!(out, "{}", node.name);
+            let _ = write!(out, "{}", self.type_name(t));
             if let Some(src) = node.surrogate_source() {
                 let _ = write!(out, " [surrogate of {}]", self.type_name(src));
             }
             let attrs: Vec<&str> = node
                 .local_attrs
                 .iter()
-                .map(|&a| self.attr(a).name.as_str())
+                .map(|&a| self.attr_name(a))
                 .collect();
             let _ = write!(out, " {{{}}}", attrs.join(", "));
             if !node.supers().is_empty() {
@@ -59,7 +59,7 @@ impl Schema {
             let attrs: Vec<&str> = node
                 .local_attrs
                 .iter()
-                .map(|&a| self.attr(a).name.as_str())
+                .map(|&a| self.attr_name(a))
                 .collect();
             let style = if node.is_surrogate() {
                 ", style=dashed"
@@ -69,8 +69,8 @@ impl Schema {
             let _ = writeln!(
                 out,
                 "  \"{}\" [label=\"{{{}|{}}}\"{}];",
-                node.name,
-                node.name.replace('^', "\\^"),
+                self.type_name(t),
+                self.type_name(t).replace('^', "\\^"),
                 attrs.join("\\n"),
                 style
             );
@@ -101,14 +101,14 @@ impl Schema {
                 Specializer::Prim(p) => p.to_string(),
             })
             .collect();
-        format!("{}({})", method.label, args.join(", "))
+        format!("{}({})", self.name(method.label), args.join(", "))
     }
 
     /// Renders every method signature grouped by generic function, sorted
     /// by generic-function name then definition order.
     pub fn render_methods(&self) -> String {
         let mut gfs: Vec<_> = self.gf_ids().collect();
-        gfs.sort_by(|&x, &y| self.gf(x).name.cmp(&self.gf(y).name));
+        gfs.sort_by(|&x, &y| self.gf_name(x).cmp(self.gf_name(y)));
         let mut out = String::new();
         for g in gfs {
             for &m in &self.gf(g).methods {

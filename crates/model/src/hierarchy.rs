@@ -8,7 +8,7 @@
 
 use crate::attrs::AttrDef;
 use crate::error::{ModelError, Result};
-use crate::ids::{AttrId, TypeId};
+use crate::ids::{AttrId, NameId, TypeId};
 use crate::schema::Schema;
 use std::collections::BTreeSet;
 
@@ -39,8 +39,9 @@ pub enum TypeOrigin {
 /// One type (class) in the hierarchy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TypeNode {
-    /// Unique type name.
-    pub name: String,
+    /// Unique type name, interned in the schema's arena (resolve with
+    /// [`crate::Schema::type_name`] or [`crate::Schema::name`]).
+    pub name: NameId,
     /// Attributes locally defined at this type (state moves between a type
     /// and its surrogate during factorization).
     pub local_attrs: Vec<AttrId>,
@@ -284,8 +285,8 @@ impl Schema {
                 "cannot retire {t}: a method specializes on it"
             )));
         }
-        let name = self.type_(t).name.clone();
-        self.unregister_type_name(&name);
+        let name = self.type_(t).name;
+        self.unregister_type_name(name);
         self.type_node_mut(t).dead = true;
         Ok(())
     }

@@ -71,6 +71,14 @@ id_newtype!(
     VarId,
     "v"
 );
+id_newtype!(
+    /// Identifies an interned name in a schema's [`crate::intern::NameTable`].
+    /// Type, attribute and generic-function names plus method labels are
+    /// stored as `NameId`s in the runtime model; only the text parser and
+    /// the renderers deal in strings.
+    NameId,
+    "n"
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,242 @@
+//! The name-interning arena: every type, attribute and generic-function
+//! name (and every method label) lives here exactly once, addressed by a
+//! dense [`NameId`].
+//!
+//! The runtime model is ID-only — [`crate::TypeNode`], [`crate::AttrDef`],
+//! [`crate::GenericFunction`] and [`crate::Method`] hold `NameId`s, and the
+//! schema's name→entity lookup maps are keyed by `NameId` (a `u32` hash)
+//! instead of `String`. Interning buys three things at once:
+//!
+//! * **cheap forks** — a [`crate::SchemaSnapshot::fork`] used to deep-copy
+//!   three `HashMap<String, _>` maps plus one owned `String` per entity;
+//!   now it memcpys one text buffer, one span vector and one flat
+//!   `u64→u32` bucket map (collision chains live in a plain `Vec`, so no
+//!   per-entry allocations survive into the clone);
+//! * **cheap hashing** — hot-path lookups hash 4 bytes, not a string;
+//! * **a compact snapshot** — the binary snapshot format
+//!   ([`crate::snapshot`]) serializes the arena once and every entity
+//!   record is fixed-width integers.
+//!
+//! Storage layout: names are appended to one contiguous `buf`, addressed
+//! by `(offset, len)` spans. Dedup uses an FNV-1a index: `heads` maps a
+//! 64-bit hash to the first [`NameId`] with that hash, and `next` chains
+//! ids that collide. The chain is checked with a real string compare, so
+//! hash collisions cost a walk, never a wrong answer.
+
+use crate::ids::NameId;
+use std::collections::HashMap;
+
+/// Chain terminator in [`NameTable::next`].
+const NONE: u32 = u32::MAX;
+
+/// 64-bit FNV-1a over a byte string (the arena's bucket hash).
+#[inline]
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only string-interning arena (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NameTable {
+    /// Every interned name, concatenated.
+    buf: String,
+    /// `(byte offset, byte length)` into `buf`, indexed by [`NameId`].
+    spans: Vec<(u32, u32)>,
+    /// FNV-1a hash → first [`NameId`] index of the collision chain.
+    heads: HashMap<u64, u32>,
+    /// Per-name link to the next id with the same hash (`NONE` ends the
+    /// chain). Indexed by [`NameId`], parallel to `spans`.
+    next: Vec<u32>,
+}
+
+impl NameTable {
+    /// An empty arena.
+    pub fn new() -> NameTable {
+        NameTable::default()
+    }
+
+    /// Interns `s`, returning the existing id if the exact string is
+    /// already present.
+    pub fn intern(&mut self, s: &str) -> NameId {
+        let h = fnv1a(s.as_bytes());
+        let mut cursor = self.heads.get(&h).copied().unwrap_or(NONE);
+        while cursor != NONE {
+            let id = NameId(cursor);
+            if self.resolve(id) == s {
+                return id;
+            }
+            cursor = self.next[id.index()];
+        }
+        let id = NameId::from_index(self.spans.len());
+        let off = u32::try_from(self.buf.len()).expect("name arena exceeds 4 GiB");
+        let len = u32::try_from(s.len()).expect("name longer than 4 GiB");
+        self.buf.push_str(s);
+        self.spans.push((off, len));
+        // New id becomes the chain head; the old head (if any) chains on.
+        let old_head = self.heads.insert(h, id.0).unwrap_or(NONE);
+        self.next.push(old_head);
+        id
+    }
+
+    /// Finds the id of `s` without interning it.
+    pub fn lookup(&self, s: &str) -> Option<NameId> {
+        let mut cursor = self.heads.get(&fnv1a(s.as_bytes())).copied()?;
+        while cursor != NONE {
+            let id = NameId(cursor);
+            if self.resolve(id) == s {
+                return Some(id);
+            }
+            cursor = self.next[id.index()];
+        }
+        None
+    }
+
+    /// The string for an interned id.
+    ///
+    /// # Panics
+    /// Panics on an id not minted by this arena (a cross-schema mixup).
+    #[inline]
+    pub fn resolve(&self, id: NameId) -> &str {
+        let (off, len) = self.spans[id.index()];
+        &self.buf[off as usize..(off + len) as usize]
+    }
+
+    /// Number of distinct interned names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True iff nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total bytes of interned text (the arena buffer length).
+    #[inline]
+    pub fn text_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The raw text buffer (snapshot serialization).
+    pub(crate) fn buf(&self) -> &str {
+        &self.buf
+    }
+
+    /// The raw span table (snapshot serialization).
+    pub(crate) fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Rebuilds an arena from a serialized buffer + span table, recomputing
+    /// the hash index. Returns `None` if any span is out of bounds or cuts
+    /// a UTF-8 boundary — the caller turns that into a corruption error.
+    pub(crate) fn from_parts(buf: String, spans: Vec<(u32, u32)>) -> Option<NameTable> {
+        let mut table = NameTable {
+            buf,
+            spans,
+            heads: HashMap::with_capacity(0),
+            next: Vec::new(),
+        };
+        table.heads.reserve(table.spans.len());
+        table.next.reserve(table.spans.len());
+        for i in 0..table.spans.len() {
+            let (off, len) = table.spans[i];
+            let (start, end) = (off as usize, off as usize + len as usize);
+            if end > table.buf.len()
+                || !table.buf.is_char_boundary(start)
+                || !table.buf.is_char_boundary(end)
+            {
+                return None;
+            }
+            let h = fnv1a(&table.buf.as_bytes()[start..end]);
+            let old_head = table.heads.insert(h, i as u32).unwrap_or(NONE);
+            table.next.push(old_head);
+        }
+        Some(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_resolves() {
+        let mut t = NameTable::new();
+        let a = t.intern("Person");
+        let b = t.intern("Employee");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("Person"), a);
+        assert_eq!(t.resolve(a), "Person");
+        assert_eq!(t.resolve(b), "Employee");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.text_bytes(), "PersonEmployee".len());
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = NameTable::new();
+        assert!(t.lookup("x").is_none());
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert!(t.lookup("y").is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_unicode_names() {
+        let mut t = NameTable::new();
+        let e = t.intern("");
+        let u = t.intern("tÿpé");
+        assert_eq!(t.resolve(e), "");
+        assert_eq!(t.resolve(u), "tÿpé");
+        assert_eq!(t.lookup(""), Some(e));
+    }
+
+    #[test]
+    fn many_names_roundtrip() {
+        let mut t = NameTable::new();
+        let ids: Vec<NameId> = (0..1000).map(|i| t.intern(&format!("name_{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.resolve(*id), format!("name_{i}"));
+            assert_eq!(t.lookup(&format!("name_{i}")), Some(*id));
+        }
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_index() {
+        let mut t = NameTable::new();
+        t.intern("alpha");
+        t.intern("beta");
+        let rebuilt =
+            NameTable::from_parts(t.buf().to_string(), t.spans().to_vec()).expect("valid parts");
+        assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt.lookup("beta"), t.lookup("beta"));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_spans() {
+        assert!(NameTable::from_parts("ab".into(), vec![(0, 3)]).is_none());
+        assert!(NameTable::from_parts("ab".into(), vec![(5, 1)]).is_none());
+        // A span cutting a multi-byte character is rejected.
+        assert!(NameTable::from_parts("é".into(), vec![(0, 1)]).is_none());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut t = NameTable::new();
+        t.intern("a");
+        let snap = t.clone();
+        t.intern("b");
+        assert_eq!(snap.len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -58,9 +58,11 @@ pub mod error;
 pub mod hierarchy;
 pub mod ids;
 pub mod index;
+pub mod intern;
 pub mod linearize;
 pub mod methods;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod text;
 pub mod validate;
@@ -74,9 +76,14 @@ pub use diag::{Diagnostic, LintCode, LintReport, Severity, Span, SpanKind};
 pub use dispatch::CallArg;
 pub use error::{ModelError, Result};
 pub use hierarchy::{SuperLink, TypeNode, TypeOrigin};
-pub use ids::{AttrId, GfId, MethodId, TypeId, VarId};
+pub use ids::{AttrId, GfId, MethodId, NameId, TypeId, VarId};
 pub use index::SubtypeIndex;
+pub use intern::NameTable;
 pub use methods::{GenericFunction, Method, MethodKind, Specializer};
 pub use schema::{Schema, SchemaSnapshot};
+pub use snapshot::{
+    load_snapshot, read_snapshot_file, save_snapshot, snapshot_info, write_snapshot_file,
+    SnapshotError, SnapshotInfo, SNAPSHOT_VERSION,
+};
 pub use stats::{DispatchCacheStats, SchemaStats};
 pub use text::{parse_schema, parse_schema_lenient, schema_to_text, TextError};

@@ -13,15 +13,16 @@
 
 use crate::attrs::{PrimType, ValueType};
 use crate::body::Body;
-use crate::ids::{AttrId, GfId, MethodId, TypeId};
+use crate::ids::{AttrId, GfId, MethodId, NameId, TypeId};
 use std::fmt;
 
 /// A generic function: a named operation with fixed arity and a declared
 /// result contract, implemented by a set of methods.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenericFunction {
-    /// Unique name, e.g. `"income"` or `"get_SSN"`.
-    pub name: String,
+    /// Unique name, e.g. `"income"` or `"get_SSN"`, interned in the
+    /// schema's arena (resolve with [`crate::Schema::gf_name`]).
+    pub name: NameId,
     /// Number of formal arguments every method must specialize.
     pub arity: usize,
     /// Declared result type (`None` = procedure with no result).
@@ -98,8 +99,9 @@ pub struct Method {
     /// Owning generic function.
     pub gf: GfId,
     /// Display label, e.g. `"v1"` or `"get_h2"` — used by traces, the
-    /// reproduction harness and error messages.
-    pub label: String,
+    /// reproduction harness and error messages. Interned in the schema's
+    /// arena (resolve with [`crate::Schema::method_label`]).
+    pub label: NameId,
     /// One specializer per formal argument; length equals the generic
     /// function's arity. Method factorization (§6.1) rewrites `Type`
     /// entries to surrogate types.
@@ -153,7 +155,7 @@ mod tests {
     fn mk_method() -> Method {
         Method {
             gf: GfId(0),
-            label: "v1".into(),
+            label: NameId(0),
             specializers: vec![
                 Specializer::Type(TypeId(1)),
                 Specializer::Prim(PrimType::Int),

@@ -9,7 +9,8 @@ use crate::attrs::{AttrDef, ValueType};
 use crate::cache::DispatchCache;
 use crate::error::{ModelError, Result};
 use crate::hierarchy::{TypeNode, TypeOrigin};
-use crate::ids::{AttrId, GfId, MethodId, TypeId};
+use crate::ids::{AttrId, GfId, MethodId, NameId, TypeId};
+use crate::intern::NameTable;
 use crate::methods::{GenericFunction, Method, MethodKind, Specializer};
 use std::collections::HashMap;
 use std::ops::Deref;
@@ -18,15 +19,21 @@ use std::sync::Arc;
 /// An object-oriented schema per §2 of the paper: a DAG of types with
 /// precedence-ordered multiple inheritance, globally unique named
 /// attributes, and generic functions implemented by multi-methods.
+///
+/// Every name in the runtime model is interned: entities carry [`NameId`]s
+/// into the schema's [`NameTable`] arena, and the name→entity lookup maps
+/// are keyed by `NameId`. String-typed entry points ([`Schema::type_id`]
+/// and friends) resolve through the arena first.
 #[derive(Debug, Clone, Default)]
 pub struct Schema {
-    types: Vec<TypeNode>,
-    type_names: HashMap<String, TypeId>,
-    attrs: Vec<AttrDef>,
-    attr_names: HashMap<String, AttrId>,
-    gfs: Vec<GenericFunction>,
-    gf_names: HashMap<String, GfId>,
-    methods: Vec<Method>,
+    pub(crate) names: NameTable,
+    pub(crate) types: Vec<TypeNode>,
+    pub(crate) type_names: HashMap<NameId, TypeId>,
+    pub(crate) attrs: Vec<AttrDef>,
+    pub(crate) attr_names: HashMap<NameId, AttrId>,
+    pub(crate) gfs: Vec<GenericFunction>,
+    pub(crate) gf_names: HashMap<NameId, GfId>,
+    pub(crate) methods: Vec<Method>,
     /// The dispatch acceleration layer (see [`crate::cache`]). Every
     /// mutator below bumps its generation via [`Schema::note_mutation`].
     pub(crate) cache: DispatchCache,
@@ -46,6 +53,32 @@ impl Schema {
     #[inline]
     fn note_mutation(&mut self) {
         self.cache.bump();
+    }
+
+    // ---------------------------------------------------------------- names
+
+    /// Interns a string into the schema's name arena, returning its id.
+    /// Interning alone never invalidates caches — nothing dispatch-relevant
+    /// changes until the name is attached to an entity.
+    pub fn intern(&mut self, s: &str) -> NameId {
+        self.names.intern(s)
+    }
+
+    /// The string for an interned name id.
+    #[inline]
+    pub fn name(&self, n: NameId) -> &str {
+        self.names.resolve(n)
+    }
+
+    /// Finds the id of an already-interned name without interning it.
+    pub fn lookup_name(&self, s: &str) -> Option<NameId> {
+        self.names.lookup(s)
+    }
+
+    /// The name-interning arena (read access for stats and serialization).
+    #[inline]
+    pub fn name_table(&self) -> &NameTable {
+        &self.names
     }
 
     // ---------------------------------------------------------------- types
@@ -70,7 +103,8 @@ impl Schema {
         origin: TypeOrigin,
     ) -> Result<TypeId> {
         let name = name.into();
-        if self.type_names.contains_key(&name) {
+        let name_id = self.names.intern(&name);
+        if self.type_names.contains_key(&name_id) {
             return Err(ModelError::DuplicateTypeName(name));
         }
         for &s in supers {
@@ -79,13 +113,13 @@ impl Schema {
         self.note_mutation();
         let id = TypeId::from_index(self.types.len());
         self.types.push(TypeNode {
-            name: name.clone(),
+            name: name_id,
             local_attrs: Vec::new(),
             supers: Vec::new(),
             origin,
             dead: false,
         });
-        self.type_names.insert(name, id);
+        self.type_names.insert(name_id, id);
         for (i, &s) in supers.iter().enumerate() {
             self.add_super_with_prec(id, s, i as i32 + 1)?;
         }
@@ -119,16 +153,16 @@ impl Schema {
 
     /// Looks a type up by name.
     pub fn type_id(&self, name: &str) -> Result<TypeId> {
-        self.type_names
-            .get(name)
-            .copied()
+        self.names
+            .lookup(name)
+            .and_then(|n| self.type_names.get(&n).copied())
             .ok_or_else(|| ModelError::UnknownTypeName(name.to_string()))
     }
 
     /// The name of a type.
     #[inline]
     pub fn type_name(&self, t: TypeId) -> &str {
-        &self.type_(t).name
+        self.names.resolve(self.type_(t).name)
     }
 
     /// Number of allocated type slots (including retired ones).
@@ -164,9 +198,9 @@ impl Schema {
         &mut self.types
     }
 
-    pub(crate) fn unregister_type_name(&mut self, name: &str) {
+    pub(crate) fn unregister_type_name(&mut self, name: NameId) {
         self.note_mutation();
-        self.type_names.remove(name);
+        self.type_names.remove(&name);
     }
 
     // ---------------------------------------------------------- attributes
@@ -180,7 +214,8 @@ impl Schema {
     ) -> Result<AttrId> {
         let name = name.into();
         self.check_type(owner)?;
-        if self.attr_names.contains_key(&name) {
+        let name_id = self.names.intern(&name);
+        if self.attr_names.contains_key(&name_id) {
             return Err(ModelError::DuplicateAttrName(name));
         }
         if let ValueType::Object(t) = ty {
@@ -189,11 +224,11 @@ impl Schema {
         self.note_mutation();
         let id = AttrId::from_index(self.attrs.len());
         self.attrs.push(AttrDef {
-            name: name.clone(),
+            name: name_id,
             ty,
             owner,
         });
-        self.attr_names.insert(name, id);
+        self.attr_names.insert(name_id, id);
         self.type_node_mut(owner).local_attrs.push(id);
         Ok(id)
     }
@@ -211,10 +246,16 @@ impl Schema {
 
     /// Looks an attribute up by name.
     pub fn attr_id(&self, name: &str) -> Result<AttrId> {
-        self.attr_names
-            .get(name)
-            .copied()
+        self.names
+            .lookup(name)
+            .and_then(|n| self.attr_names.get(&n).copied())
             .ok_or_else(|| ModelError::UnknownAttrName(name.to_string()))
+    }
+
+    /// The name of an attribute.
+    #[inline]
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        self.names.resolve(self.attr(a).name)
     }
 
     /// Number of attributes.
@@ -246,18 +287,19 @@ impl Schema {
         result: Option<ValueType>,
     ) -> Result<GfId> {
         let name = name.into();
-        if self.gf_names.contains_key(&name) {
+        let name_id = self.names.intern(&name);
+        if self.gf_names.contains_key(&name_id) {
             return Err(ModelError::DuplicateGfName(name));
         }
         self.note_mutation();
         let id = GfId::from_index(self.gfs.len());
         self.gfs.push(GenericFunction {
-            name: name.clone(),
+            name: name_id,
             arity,
             result,
             methods: Vec::new(),
         });
-        self.gf_names.insert(name, id);
+        self.gf_names.insert(name_id, id);
         Ok(id)
     }
 
@@ -269,10 +311,16 @@ impl Schema {
 
     /// Looks a generic function up by name.
     pub fn gf_id(&self, name: &str) -> Result<GfId> {
-        self.gf_names
-            .get(name)
-            .copied()
+        self.names
+            .lookup(name)
+            .and_then(|n| self.gf_names.get(&n).copied())
             .ok_or_else(|| ModelError::UnknownGfName(name.to_string()))
+    }
+
+    /// The name of a generic function.
+    #[inline]
+    pub fn gf_name(&self, g: GfId) -> &str {
+        self.names.resolve(self.gf(g).name)
     }
 
     /// Number of generic functions.
@@ -332,7 +380,7 @@ impl Schema {
         {
             return Err(ModelError::Invalid(format!(
                 "duplicate method signature for generic function `{}`",
-                self.gf(gf).name
+                self.gf_name(gf)
             )));
         }
         if let Some(attr) = kind.accessed_attr() {
@@ -347,11 +395,12 @@ impl Schema {
                 return Err(ModelError::AccessorAttrUnavailable { attr, at });
             }
         }
+        let label = self.names.intern(&label.into());
         self.note_mutation();
         let id = MethodId::from_index(self.methods.len());
         self.methods.push(Method {
             gf,
-            label: label.into(),
+            label,
             specializers,
             kind,
             result,
@@ -385,10 +434,17 @@ impl Schema {
         (0..self.methods.len()).map(MethodId::from_index)
     }
 
+    /// The display label of a method.
+    #[inline]
+    pub fn method_label(&self, m: MethodId) -> &str {
+        self.names.resolve(self.method(m).label)
+    }
+
     /// Looks a method up by its display label.
     pub fn method_by_label(&self, label: &str) -> Result<MethodId> {
-        self.method_ids()
-            .find(|&m| self.method(m).label == label)
+        self.names
+            .lookup(label)
+            .and_then(|n| self.method_ids().find(|&m| self.method(m).label == n))
             .ok_or_else(|| ModelError::Invalid(format!("no method labelled `{label}`")))
     }
 
@@ -399,7 +455,7 @@ impl Schema {
     /// with the paper's `get_h2(B)`). Returns `(gf, method)`.
     pub fn add_reader(&mut self, attr: AttrId, at: TypeId) -> Result<(GfId, MethodId)> {
         self.check_attr(attr)?;
-        let name = format!("get_{}", self.attr(attr).name);
+        let name = format!("get_{}", self.attr_name(attr));
         let result = Some(self.attr(attr).ty);
         let gf = match self.gf_id(&name) {
             Ok(g) => g,
@@ -420,7 +476,7 @@ impl Schema {
     /// `(gf, method)`.
     pub fn add_writer(&mut self, attr: AttrId, at: TypeId) -> Result<(GfId, MethodId)> {
         self.check_attr(attr)?;
-        let name = format!("set_{}", self.attr(attr).name);
+        let name = format!("set_{}", self.attr_name(attr));
         let value_spec = match self.attr(attr).ty {
             ValueType::Prim(p) => Specializer::Prim(p),
             ValueType::Object(t) => Specializer::Type(t),

@@ -16,7 +16,7 @@ pub fn schema_to_text(schema: &Schema) -> String {
     // Types in id order (the parser allows forward references).
     for t in schema.live_type_ids() {
         let node = schema.type_(t);
-        let _ = write!(out, "type {}", node.name);
+        let _ = write!(out, "type {}", schema.type_name(t));
         if let Some(src) = node.surrogate_source() {
             let _ = write!(out, " surrogate of {}", schema.type_name(src));
         }
@@ -34,7 +34,12 @@ pub fn schema_to_text(schema: &Schema) -> String {
             let _ = writeln!(out, " {{");
             for &a in &node.local_attrs {
                 let def = schema.attr(a);
-                let _ = writeln!(out, "    {}: {}", def.name, type_text(schema, def.ty));
+                let _ = writeln!(
+                    out,
+                    "    {}: {}",
+                    schema.attr_name(a),
+                    type_text(schema, def.ty)
+                );
             }
             let _ = writeln!(out, "}}");
         }
@@ -45,7 +50,7 @@ pub fn schema_to_text(schema: &Schema) -> String {
     // method-less generic functions survive the round-trip.
     for g in schema.gf_ids() {
         let gf = schema.gf(g);
-        let _ = write!(out, "gf {}({})", gf.name, gf.arity);
+        let _ = write!(out, "gf {}({})", schema.gf_name(g), gf.arity);
         if let Some(r) = gf.result {
             let _ = write!(out, " -> {}", type_text(schema, r));
         }
@@ -65,7 +70,7 @@ pub fn schema_to_text(schema: &Schema) -> String {
                 let _ = writeln!(
                     out,
                     "reader {} at {}",
-                    schema.attr(*attr).name,
+                    schema.attr_name(*attr),
                     schema.type_name(at)
                 );
             }
@@ -76,17 +81,18 @@ pub fn schema_to_text(schema: &Schema) -> String {
                 let _ = writeln!(
                     out,
                     "writer {} at {}",
-                    schema.attr(*attr).name,
+                    schema.attr_name(*attr),
                     schema.type_name(at)
                 );
             }
             MethodKind::General(body) => {
                 let gf = schema.gf(method.gf);
                 let _ = write!(out, "method ");
+                let gf_name = schema.gf_name(method.gf);
                 if method.label == gf.name {
-                    let _ = write!(out, "{}", gf.name);
+                    let _ = write!(out, "{gf_name}");
                 } else {
-                    let _ = write!(out, "{} = {}", method.label, gf.name);
+                    let _ = write!(out, "{} = {}", schema.name(method.label), gf_name);
                 }
                 let specs: Vec<String> = method
                     .specializers
@@ -190,7 +196,7 @@ fn expr_text(schema: &Schema, body: &Body, e: &Expr) -> String {
         Expr::Lit(Literal::Null) => "null".to_string(),
         Expr::Call { gf, args } => {
             let rendered: Vec<String> = args.iter().map(|a| expr_text(schema, body, a)).collect();
-            format!("{}({})", schema.gf(*gf).name, rendered.join(", "))
+            format!("{}({})", schema.gf_name(*gf), rendered.join(", "))
         }
         Expr::BinOp { op, lhs, rhs } => {
             // Fully parenthesized: correctness over prettiness.

@@ -291,25 +291,25 @@ impl Schema {
         }
     }
 
-    fn attr_name(&self, a: AttrId) -> String {
+    fn attr_name_diag(&self, a: AttrId) -> String {
         if a.index() < self.n_attrs() {
-            self.attr(a).name.clone()
+            self.attr_name(a).to_string()
         } else {
             a.to_string()
         }
     }
 
-    fn gf_name(&self, g: GfId) -> String {
+    fn gf_name_diag(&self, g: GfId) -> String {
         if g.index() < self.n_gfs() {
-            self.gf(g).name.clone()
+            self.gf_name(g).to_string()
         } else {
             g.to_string()
         }
     }
 
-    fn method_label(&self, m: MethodId) -> String {
+    fn method_label_diag(&self, m: MethodId) -> String {
         if m.index() < self.n_methods() {
-            self.method(m).label.clone()
+            self.method_label(m).to_string()
         } else {
             m.to_string()
         }
@@ -336,7 +336,7 @@ impl Schema {
                 )
             }
             ModelError::AttrNotListedAtOwner { attr, owner } => {
-                let a = self.attr_name(*attr);
+                let a = self.attr_name_diag(*attr);
                 let t = self.ty_name(*owner);
                 Diagnostic::new(
                     LintCode::AttrOwnership,
@@ -345,7 +345,7 @@ impl Schema {
                 )
             }
             ModelError::ForeignAttrListed { ty, attr, owner } => {
-                let a = self.attr_name(*attr);
+                let a = self.attr_name_diag(*attr);
                 let t = self.ty_name(*ty);
                 let o = self.ty_name(*owner);
                 Diagnostic::new(
@@ -355,7 +355,7 @@ impl Schema {
                 )
             }
             ModelError::ArityMismatch { gf, expected, got } => {
-                let g = self.gf_name(*gf);
+                let g = self.gf_name_diag(*gf);
                 Diagnostic::new(
                     LintCode::MethodArity,
                     format!(
@@ -366,7 +366,7 @@ impl Schema {
                 )
             }
             ModelError::AccessorAttrUnavailable { attr, at } => {
-                let a = self.attr_name(*attr);
+                let a = self.attr_name_diag(*attr);
                 let t = self.ty_name(*at);
                 Diagnostic::new(
                     LintCode::AccessorContract,
@@ -375,7 +375,7 @@ impl Schema {
                 )
             }
             ModelError::AccessorNoObjectArg { method } => {
-                let m = self.method_label(*method);
+                let m = self.method_label_diag(*method);
                 Diagnostic::new(
                     LintCode::AccessorContract,
                     format!("accessor `{m}` lacks an object first argument"),
@@ -383,7 +383,7 @@ impl Schema {
                 )
             }
             ModelError::DuplicateMethodSignatures { gf, first, second } => {
-                let g = self.gf_name(*gf);
+                let g = self.gf_name_diag(*gf);
                 let m1 = self.method_label(*first);
                 let m2 = self.method_label(*second);
                 Diagnostic::new(
@@ -400,7 +400,7 @@ impl Schema {
                 value,
                 target,
             } => {
-                let m = self.method_label(*method);
+                let m = self.method_label_diag(*method);
                 let v = self.ty_name(*value);
                 let t = self.ty_name(*target);
                 Diagnostic::new(
@@ -413,7 +413,7 @@ impl Schema {
                 )
             }
             ModelError::BadParamIndex { method, index } => {
-                let m = self.method_label(*method);
+                let m = self.method_label_diag(*method);
                 Diagnostic::new(
                     LintCode::BodyMalformed,
                     format!("body of `{m}` references parameter #{index} out of range"),
@@ -421,7 +421,7 @@ impl Schema {
                 )
             }
             ModelError::BadVarIndex { method, index } => {
-                let m = self.method_label(*method);
+                let m = self.method_label_diag(*method);
                 Diagnostic::new(
                     LintCode::BodyMalformed,
                     format!("body of `{m}` references local variable #{index} out of range"),
@@ -429,7 +429,7 @@ impl Schema {
                 )
             }
             ModelError::CallArityMismatch { gf, expected, got } => {
-                let g = self.gf_name(*gf);
+                let g = self.gf_name_diag(*gf);
                 Diagnostic::new(
                     LintCode::BodyMalformed,
                     format!("a call to `{g}` passes {got} arguments, expects {expected}"),

@@ -72,8 +72,14 @@ impl Default for Api {
 impl Api {
     /// A fresh API over an empty registry.
     pub fn new() -> Api {
+        Api::with_registry(Registry::new())
+    }
+
+    /// An API over a pre-built registry (e.g. one restored from a
+    /// snapshot directory).
+    pub fn with_registry(registry: Registry) -> Api {
         Api {
-            registry: Registry::new(),
+            registry,
             counts: Mutex::new(BTreeMap::new()),
         }
     }
@@ -322,7 +328,7 @@ impl Api {
         }
         .map_err(|e| bad(e.to_string()))?;
         let labels = |ms: &[td_model::MethodId]| {
-            str_array(ms.iter().map(|&m| schema.method(m).label.clone()))
+            str_array(ms.iter().map(|&m| schema.method_label(m).to_string()))
         };
         Ok(Response::json(
             200,
@@ -584,8 +590,9 @@ pub fn derivation_json(schema: &Schema, d: &Derivation) -> String {
             .join(", ");
         format!("[{inner}]")
     };
-    let labels =
-        |ms: &[td_model::MethodId]| str_array(ms.iter().map(|&m| schema.method(m).label.clone()));
+    let labels = |ms: &[td_model::MethodId]| {
+        str_array(ms.iter().map(|&m| schema.method_label(m).to_string()))
+    };
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"source\": {},", ty(d.source));
@@ -593,7 +600,11 @@ pub fn derivation_json(schema: &Schema, d: &Derivation) -> String {
     let _ = writeln!(
         out,
         "  \"projection\": {},",
-        str_array(d.projection.iter().map(|&a| schema.attr(a).name.clone()))
+        str_array(
+            d.projection
+                .iter()
+                .map(|&a| schema.attr_name(a).to_string())
+        )
     );
     let _ = writeln!(out, "  \"applicable\": {},", labels(d.applicable()));
     let _ = writeln!(out, "  \"not_applicable\": {},", labels(d.not_applicable()));
@@ -610,14 +621,7 @@ pub fn derivation_json(schema: &Schema, d: &Derivation) -> String {
     let moved = d
         .moved_attrs
         .iter()
-        .map(|&(a, from, to)| {
-            format!(
-                "[{}, {}, {}]",
-                quote(&schema.attr(a).name),
-                ty(from),
-                ty(to)
-            )
-        })
+        .map(|&(a, from, to)| format!("[{}, {}, {}]", quote(schema.attr_name(a)), ty(from), ty(to)))
         .collect::<Vec<_>>()
         .join(", ");
     let _ = writeln!(out, "  \"moved_attrs\": [{moved}],");

@@ -87,6 +87,10 @@ pub struct ServerConfig {
     pub queue_slots: usize,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
+    /// When set, tenant schemas are persisted as binary snapshots in this
+    /// directory (one `.tds` file per tenant schema, written on PUT) and
+    /// restored from it at bind time — the registry survives restarts.
+    pub snapshot_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +103,7 @@ impl Default for ServerConfig {
             io_threads: 2,
             queue_slots: 4,
             max_body: http::DEFAULT_MAX_BODY,
+            snapshot_dir: None,
         }
     }
 }
@@ -118,13 +123,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener (without accepting yet).
+    /// Binds the listener (without accepting yet). When the config names
+    /// a snapshot directory, persisted tenant schemas are restored into
+    /// the registry before the first request is accepted.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let api = match &config.snapshot_dir {
+            Some(dir) => {
+                let (registry, loaded) = Registry::with_snapshot_dir(dir)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if loaded > 0 {
+                    eprintln!("tdv serve: restored {loaded} tenant schema(s) from {dir}");
+                }
+                Api::with_registry(registry)
+            }
+            None => Api::new(),
+        };
         Ok(Server {
             listener,
             config,
-            api: Api::new(),
+            api,
         })
     }
 

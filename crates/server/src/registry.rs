@@ -13,9 +13,12 @@
 //! correctness bug we structurally cannot hit).
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
 
-use td_model::{parse_schema, Schema, SchemaSnapshot, TypeId};
+use td_model::{
+    parse_schema, read_snapshot_file, write_snapshot_file, Schema, SchemaSnapshot, TypeId,
+};
 
 /// One registered schema: the parsed warm snapshot plus provenance.
 pub struct SchemaEntry {
@@ -47,12 +50,68 @@ impl SchemaEntry {
 #[derive(Default)]
 pub struct Registry {
     inner: RwLock<BTreeMap<String, BTreeMap<String, Arc<SchemaEntry>>>>,
+    /// When set, every PUT persists a warm binary snapshot here and boot
+    /// reloads them — tenant state survives server restarts.
+    snapshot_dir: Option<PathBuf>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// A registry persisted under `dir`: existing `*.tds` snapshots are
+    /// loaded at construction (schemas arrive with warm caches — no text
+    /// re-parse, no re-derivation) and every subsequent PUT writes its
+    /// snapshot back. Returns the registry and how many tenant schemas
+    /// were restored. Unreadable or corrupt snapshot files fail loudly —
+    /// silently dropping a tenant's state would be worse than refusing
+    /// to start.
+    pub fn with_snapshot_dir(dir: impl Into<PathBuf>) -> Result<(Registry, usize), String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create snapshot dir `{}`: {e}", dir.display()))?;
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read snapshot dir `{}`: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "tds"))
+            .collect();
+        files.sort();
+        let registry = Registry {
+            inner: RwLock::default(),
+            snapshot_dir: Some(dir),
+        };
+        let mut loaded = 0;
+        for path in files {
+            let (schema, meta) = read_snapshot_file(&path)
+                .map_err(|e| format!("snapshot `{}`: {e}", path.display()))?;
+            let field = |key: &str| {
+                meta.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| {
+                        format!("snapshot `{}`: missing `{key}` metadata", path.display())
+                    })
+            };
+            let tenant = field("tenant")?;
+            let name = field("name")?;
+            let version: u64 = field("version")?
+                .parse()
+                .map_err(|_| format!("snapshot `{}`: bad version", path.display()))?;
+            let text = field("text")?;
+            let mut inner = registry.inner.write().unwrap_or_else(|e| e.into_inner());
+            inner.entry(tenant).or_default().insert(
+                name,
+                Arc::new(SchemaEntry {
+                    version,
+                    snapshot: schema.into_snapshot(),
+                    text,
+                }),
+            );
+            loaded += 1;
+        }
+        Ok((registry, loaded))
     }
 
     /// Validates a tenant or schema name from a URL path segment.
@@ -69,17 +128,37 @@ impl Registry {
     /// discards the old snapshot (and with it every warm cache).
     pub fn put(&self, tenant: &str, name: &str, text: &str) -> Result<u64, String> {
         let schema = parse_schema(text).map_err(|e| e.to_string())?;
-        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        let schemas = inner.entry(tenant.to_string()).or_default();
-        let version = schemas.get(name).map(|e| e.version + 1).unwrap_or(1);
-        schemas.insert(
-            name.to_string(),
-            Arc::new(SchemaEntry {
-                version,
-                snapshot: schema.into_snapshot(),
-                text: text.to_string(),
-            }),
-        );
+        let snapshot = schema.into_snapshot();
+        let version;
+        {
+            let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            let schemas = inner.entry(tenant.to_string()).or_default();
+            version = schemas.get(name).map(|e| e.version + 1).unwrap_or(1);
+            schemas.insert(
+                name.to_string(),
+                Arc::new(SchemaEntry {
+                    version,
+                    snapshot: snapshot.clone(),
+                    text: text.to_string(),
+                }),
+            );
+        }
+        if let Some(dir) = &self.snapshot_dir {
+            // Persist with warm caches so a restarted server serves this
+            // tenant's first request off the fast path. Tenant and name
+            // are pre-validated to [A-Za-z0-9._-], so the filename is
+            // filesystem-safe on every platform.
+            snapshot.warm_caches();
+            let meta = [
+                ("tenant".to_string(), tenant.to_string()),
+                ("name".to_string(), name.to_string()),
+                ("version".to_string(), version.to_string()),
+                ("text".to_string(), text.to_string()),
+            ];
+            let path = dir.join(format!("{tenant}__{name}.tds"));
+            write_snapshot_file(&snapshot, &meta, &path)
+                .map_err(|e| format!("cannot persist snapshot `{}`: {e}", path.display()))?;
+        }
         Ok(version)
     }
 
@@ -155,6 +234,43 @@ mod tests {
         assert!(!Registry::valid_name("a/b"));
         assert!(!Registry::valid_name("spaced name"));
         assert!(!Registry::valid_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn snapshot_dir_survives_a_restart_with_warm_caches() {
+        let dir = std::env::temp_dir().join(format!("td_registry_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First server lifetime: register two tenants' schemas.
+        {
+            let (r, loaded) = Registry::with_snapshot_dir(&dir).unwrap();
+            assert_eq!(loaded, 0);
+            assert_eq!(r.put("acme", "s", FIG).unwrap(), 1);
+            assert_eq!(r.put("acme", "s", FIG).unwrap(), 2);
+            assert_eq!(r.put("globex", "t", "type B { z: int }\n").unwrap(), 1);
+        }
+
+        // "Restart": a fresh registry over the same directory.
+        let (r, loaded) = Registry::with_snapshot_dir(&dir).unwrap();
+        assert_eq!(loaded, 2, "one snapshot file per (tenant, schema)");
+        let entry = r.get("acme", "s").unwrap();
+        assert_eq!(entry.version, 2, "versions survive the restart");
+        assert_eq!(entry.text, FIG, "GET still echoes the registered text");
+        assert!(entry.snapshot.schema().type_id("A").is_ok());
+        // The restored schema arrives with warm caches — no re-derivation.
+        let stats = entry.snapshot.schema().dispatch_cache_stats();
+        assert!(stats.cpl_entries > 0, "restored snapshot has cold caches");
+        assert!(r.get("globex", "t").is_some());
+
+        // A corrupt snapshot file fails the boot loudly instead of
+        // silently dropping the tenant.
+        std::fs::write(dir.join("evil__x.tds"), b"TDSNAP1\ngarbage").unwrap();
+        let err = match Registry::with_snapshot_dir(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt snapshot file must fail the boot"),
+        };
+        assert!(err.contains("evil__x.tds"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

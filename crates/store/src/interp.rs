@@ -68,7 +68,7 @@ impl Database {
             .most_specific(gf, &rt_args)
             .map_err(StoreError::Model)?
             .ok_or_else(|| StoreError::NoApplicableMethod {
-                gf: self.schema().gf(gf).name.clone(),
+                gf: self.schema().gf_name(gf).to_string(),
                 args: rt_args
                     .iter()
                     .map(|a| format!("{a:?}"))

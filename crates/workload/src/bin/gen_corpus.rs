@@ -48,7 +48,7 @@ fn main() {
         if let Some((source, projection)) = &case.request {
             let attrs: Vec<&str> = projection
                 .iter()
-                .map(|&a| case.schema.attr(a).name.as_str())
+                .map(|&a| case.schema.attr_name(a))
                 .collect();
             let _ = write!(
                 line,

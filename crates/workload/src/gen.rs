@@ -139,7 +139,7 @@ pub fn random_schema(params: &GenParams) -> Schema {
     // ---- methods ---------------------------------------------------------------
     let accessor_gfs: Vec<GfId> = s
         .gf_ids()
-        .filter(|&g| s.gf(g).name.starts_with("get_"))
+        .filter(|&g| s.gf_name(g).starts_with("get_"))
         .collect();
     for (k, &gf) in gfs.iter().enumerate() {
         let arity = s.gf(gf).arity;
@@ -301,6 +301,96 @@ pub fn ladder_schema(n: usize) -> Schema {
         s.add_reader(a, t).expect("available");
         types.push(t);
     }
+    s
+}
+
+/// A wide forest schema that generates in linear time: `n_types` types
+/// in independent 8-type clusters (small diamonds inside a cluster, no
+/// edges across), two attributes per type with readers, and a small
+/// per-cluster call graph over the accessors. [`random_schema`] pays a
+/// superlinear price for hierarchy-wide CPL retries and descendant
+/// scans, which is fine at bench scale and prohibitive at the 10k-type
+/// scale the snapshot cold-start experiment needs — bounded-depth
+/// clusters keep every per-type step O(1).
+pub fn wide_schema(n_types: usize, seed: u64) -> Schema {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut s = Schema::new();
+    const CLUSTER: usize = 8;
+    let n_clusters = n_types.div_ceil(CLUSTER);
+    for c in 0..n_clusters {
+        let size = CLUSTER.min(n_types - c * CLUSTER);
+        let mut members: Vec<TypeId> = Vec::with_capacity(size);
+        let mut accessors: Vec<GfId> = Vec::new();
+        for j in 0..size {
+            let i = c * CLUSTER + j;
+            let t = s.add_type(format!("W{i}"), &[]).expect("unique name");
+            if j > 0 {
+                let mut chosen = vec![members[j - 1]];
+                if j >= 2 && rng.gen_bool(0.35) {
+                    chosen.push(members[rng.gen_range(0..j - 1)]);
+                }
+                // Same retry trick as `random_schema`, but over at most 8
+                // cluster members, so the CPL check is constant-time.
+                loop {
+                    for (p, &sup) in chosen.iter().enumerate() {
+                        s.add_super_with_prec(t, sup, p as i32 + 1)
+                            .expect("edge to earlier type cannot cycle");
+                    }
+                    if s.cpl(t).is_ok() {
+                        break;
+                    }
+                    for &sup in &chosen {
+                        s.remove_super_edge(t, sup);
+                    }
+                    chosen.truncate(1); // single inheritance always linearizes
+                }
+            }
+            for k in 0..2 {
+                let a = s
+                    .add_attr(format!("w{i}_a{k}"), ValueType::INT, t)
+                    .expect("unique attr");
+                if rng.gen_bool(0.8) {
+                    let (gf, _) = s.add_reader(a, t).expect("attr available at owner");
+                    accessors.push(gf);
+                }
+            }
+            members.push(t);
+        }
+        // A two-gf call graph per cluster: `wf` reads a few of the
+        // cluster's attributes, `wg` calls `wf` — enough structure for
+        // applicability analysis to have real work per cluster.
+        let f = s.add_gf(format!("wf{c}"), 1, None).expect("unique gf");
+        let g = s.add_gf(format!("wg{c}"), 1, None).expect("unique gf");
+        let mut bb = BodyBuilder::new();
+        for _ in 0..3 {
+            if accessors.is_empty() {
+                break;
+            }
+            let callee = accessors[rng.gen_range(0..accessors.len())];
+            bb.call(callee, vec![Expr::Param(0)]);
+        }
+        s.add_method(
+            f,
+            format!("wf{c}_m"),
+            vec![Specializer::Type(members[0])],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh method");
+        let mut bb = BodyBuilder::new();
+        bb.call(f, vec![Expr::Param(0)]);
+        s.add_method(
+            g,
+            format!("wg{c}_m"),
+            vec![Specializer::Type(
+                *members.last().expect("non-empty cluster"),
+            )],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh method");
+    }
+    s.validate().expect("wide schema is well-formed");
     s
 }
 

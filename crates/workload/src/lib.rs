@@ -32,7 +32,7 @@ pub use figures::{fig1, fig3, fig3_with_z1};
 pub use gen::{
     batch_requests, call_chain_schema, call_cycle_schema, call_heavy_schema, chain_schema,
     deepest_type, ladder_schema, random_projection, random_schema, single_dispatch_schema,
-    GenParams,
+    wide_schema, GenParams,
 };
 pub use pathological::{
     ambiguous_multimethod_schema, diamond_conflict_schema, load_bearing_trap_schema,

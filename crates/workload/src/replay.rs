@@ -10,7 +10,7 @@
 //! it straight into the server's dispatch table.
 //!
 //! Determinism matters for the same reason it does in
-//! [`batch_requests`](crate::batch_requests): given the same seed, two
+//! [`batch_requests`]: given the same seed, two
 //! runs produce byte-identical bodies, so sequential and concurrent
 //! executions of a replay can be compared response-by-response.
 
@@ -136,7 +136,7 @@ fn body_for(
     let view = format!(
         "\"type\": {}, \"attrs\": {}",
         json_quote(schema.type_name(source)),
-        json_array(projection.iter().map(|&a| schema.attr(a).name.as_str()))
+        json_array(projection.iter().map(|&a| schema.attr_name(a)))
     );
     match endpoint {
         "explain" => {
@@ -144,7 +144,7 @@ fn body_for(
             // fall back to `project` semantics if the schema has none.
             let methods: Vec<&str> = schema
                 .method_ids()
-                .map(|m| schema.method(m).label.as_str())
+                .map(|m| schema.method_label(m))
                 .collect();
             if methods.is_empty() {
                 return format!("{{{head}, {view}}}");
@@ -163,7 +163,7 @@ fn body_for(
                         "{}: {}\n",
                         schema.type_name(deep),
                         p.iter()
-                            .map(|&a| schema.attr(a).name.as_str())
+                            .map(|&a| schema.attr_name(a))
                             .collect::<Vec<_>>()
                             .join(", ")
                     )

@@ -198,12 +198,12 @@ mod tests {
             .most_specific(comp, &[CallArg::Object(ta)])
             .unwrap()
             .unwrap();
-        assert_eq!(s.method(m).label, "comp_ta");
+        assert_eq!(s.method_label(m), "comp_ta");
         let employee = s.type_id("Employee").unwrap();
         let m = s
             .most_specific(comp, &[CallArg::Object(employee)])
             .unwrap()
             .unwrap();
-        assert_eq!(s.method(m).label, "comp_employee");
+        assert_eq!(s.method_label(m), "comp_employee");
     }
 }

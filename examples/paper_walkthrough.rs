@@ -10,7 +10,7 @@ use typederive::model::Schema;
 use typederive::workload::figures;
 
 fn label(s: &Schema, m: typederive::model::MethodId) -> &str {
-    &s.method(m).label
+    s.method_label(m)
 }
 
 fn main() {

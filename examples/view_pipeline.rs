@@ -35,7 +35,7 @@ fn main() {
         let state: Vec<&str> = s
             .cumulative_attrs(view)
             .into_iter()
-            .map(|x| s.attr(x).name.as_str())
+            .map(|x| s.attr_name(x))
             .collect::<Vec<_>>();
         println!(
             "  {}   |    {:3}     |       {:3}        | {{{}}}",

@@ -45,11 +45,7 @@ fn paper_pipeline_runs_from_the_file() {
     )
     .unwrap();
     assert!(d.invariants_ok());
-    let labels: Vec<&str> = d
-        .applicable()
-        .iter()
-        .map(|&m| s.method(m).label.as_str())
-        .collect();
+    let labels: Vec<&str> = d.applicable().iter().map(|&m| s.method_label(m)).collect();
     for expected in figures::EX1_APPLICABLE {
         assert!(labels.contains(expected), "missing {expected}");
     }

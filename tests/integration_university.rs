@@ -67,7 +67,7 @@ fn diamond_ta_behaves_before_and_after_projection() {
     let labels: Vec<&str> = d
         .applicable()
         .iter()
-        .map(|&m| db.schema().method(m).label.as_str())
+        .map(|&m| db.schema().method_label(m))
         .collect();
     // Compensation logic survives (both the Employee method and the TA
     // override); the multi-method assign survives too — weekly_hours
