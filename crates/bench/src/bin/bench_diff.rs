@@ -51,6 +51,42 @@ fn fmt_value(name: &str, value: f64) -> String {
     }
 }
 
+/// Metric-name prefixes whose `time_*_us` samples belong to a verdict
+/// row, keyed by the row's leading id token. The repro harness names
+/// metrics after its experiment families; this is the one place the two
+/// naming schemes meet, so the association is spelled out rather than
+/// guessed from string distance.
+fn time_prefixes(id: &str) -> &'static [&'static str] {
+    match id.split_whitespace().next().unwrap_or("") {
+        "SCALE-A" => &["time_scale_a_"],
+        "SCALE-F" => &["time_scale_f_"],
+        "SCALE-D" => &["time_dispatch_"],
+        "SNAP-L" => &["time_snapshot_"],
+        "PROJ-I" => &["time_project_"],
+        "INDEX-C" => &["time_indexed_", "time_stack_"],
+        "BATCH-P" => &["time_batch_"],
+        "DELTA" => &["time_delta_"],
+        "SERVE-W" => &["time_serve_"],
+        "TELEM" => &["time_telemetry_"],
+        _ => &[],
+    }
+}
+
+/// Sums a report's `time_*_us` metrics belonging to one verdict row;
+/// `None` when the row has no timed component (the paper-figure rows).
+fn experiment_micros(report: &BenchReport, id: &str) -> Option<f64> {
+    let prefixes = time_prefixes(id);
+    let mut sum = 0.0;
+    let mut any = false;
+    for (name, value) in &report.metrics {
+        if name.ends_with("_us") && prefixes.iter().any(|p| name.starts_with(p)) {
+            sum += value;
+            any = true;
+        }
+    }
+    any.then_some(sum)
+}
+
 fn usage() -> ! {
     eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold 0.30]");
     exit(2);
@@ -105,15 +141,34 @@ fn main() {
         .iter()
         .map(|(id, ok)| (id.as_str(), *ok))
         .collect();
-    println!("\n| experiment | status |");
-    println!("|---|---|");
+    println!("\n| experiment | µs before | µs after | Δ | status |");
+    println!("|---|---|---|---|---|");
     for (id, _) in &baseline.experiments {
         let status = match current_experiments.get(id.as_str()) {
             Some(true) => "ok",
             Some(false) => "FAIL (no longer matches the paper)",
             None => "MISSING from current report",
         };
-        println!("| {id} | {status} |");
+        let fmt_us = |x: f64| {
+            if x < 100.0 {
+                format!("{x:.2}")
+            } else {
+                format!("{x:.0}")
+            }
+        };
+        let before = experiment_micros(&baseline, id);
+        let after = experiment_micros(&current, id);
+        let (before_s, after_s, delta_s) = match (before, after) {
+            (Some(b), Some(a)) => (
+                fmt_us(b),
+                fmt_us(a),
+                format!("{:+.1}%", (a - b) / b.abs().max(1e-12) * 100.0),
+            ),
+            (Some(b), None) => (fmt_us(b), "—".into(), "—".into()),
+            (None, Some(a)) => ("—".into(), fmt_us(a), "new".into()),
+            (None, None) => ("—".into(), "—".into(), "—".into()),
+        };
+        println!("| {id} | {before_s} | {after_s} | {delta_s} | {status} |");
     }
 
     println!("\n| metric | baseline | current | drift | status |");

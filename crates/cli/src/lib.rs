@@ -88,6 +88,8 @@ USAGE:
   tdv serve      [addr] [--port-file F] [--threads N] [--io-threads N]
                  [--queue-slots N] [--snapshot-dir DIR]
   tdv client     <addr> <METHOD> <path> [body | @bodyfile]
+  tdv watch      <addr> --tenant T --schema S [--type Ty --attrs a,b,…]
+                 [--max-events N]
   tdv snapshot   save <schema.td> <out.tds> | load <file.tds>
                  | inspect <file.tds>
 
@@ -126,6 +128,14 @@ survives restarts. `client` performs one request against it: a 2xx body
 goes to stdout verbatim, anything else exits nonzero with the error
 body.
 
+`watch` subscribes to a server's change feed (`GET /v1/watch`): every
+re-registration of the named tenant schema streams a `change` event with
+the structural diff, the cache entries the delta invalidation carried
+across versions, and — when --type/--attrs give a view — the
+applicability verdicts, lint findings and dispatch winners that changed.
+Events print as they arrive; --max-events N exits after N events
+(the initial `hello` counts, so N=2 sees one change).
+
 `snapshot save` parses a schema, warms every derivation cache and
 writes a versioned, checksummed binary snapshot; `load` restores it
 (O(file) — no parse, no re-derivation); `inspect` prints the section
@@ -133,6 +143,78 @@ table, metadata and content counts. `project` accepts --snapshot to
 read its schema argument as a .tds snapshot instead of text — the
 derivation output is byte-identical either way (CI enforces this).
 ";
+
+/// Connects to a server's `GET /v1/watch` change feed and streams SSE
+/// frames to stdout as they arrive. With `max_events > 0`, returns after
+/// that many events (`hello` and `change` lines both count; ping
+/// comments do not); with 0 it streams until the server hangs up.
+fn watch_stream(addr: &str, query: &str, max_events: u64) -> Result<String, CliError> {
+    use std::io::{BufRead, BufReader, Write as IoWrite};
+
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| fail(format!("watch: cannot connect to {addr}: {e}")))?;
+    // The server pings idle streams every 10s; a 60s ceiling only trips
+    // when the peer is truly gone.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
+    stream
+        .write_all(
+            format!("GET /v1/watch?{query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| fail(format!("watch: cannot send subscription: {e}")))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| fail(format!("watch: no response: {e}")))?;
+    if !line.starts_with("HTTP/1.1 200") {
+        let status = line.trim().to_string();
+        let mut rest = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut rest);
+        let body = rest.rsplit("\r\n\r\n").next().unwrap_or("").trim();
+        return Err(fail(format!("watch: server answered {status}: {body}")));
+    }
+    // Skip the remaining response headers.
+    loop {
+        line.clear();
+        if reader
+            .read_line(&mut line)
+            .map_err(|e| fail(format!("watch: {e}")))?
+            == 0
+            || line == "\r\n"
+        {
+            break;
+        }
+    }
+
+    let mut seen = 0u64;
+    let mut counting = false;
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| fail(format!("watch: stream broke: {e}")))?;
+        if n == 0 {
+            break; // server hung up
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        println!("{line}");
+        let _ = std::io::stdout().flush();
+        if line.starts_with("event: ") {
+            seen += 1;
+            counting = true;
+        }
+        // A frame ends at its blank line; only stop on a completed one.
+        if line.is_empty() && counting {
+            counting = false;
+            if max_events > 0 && seen >= max_events {
+                break;
+            }
+        }
+    }
+    Ok(format!("tdv watch: received {seen} event(s)\n"))
+}
 
 /// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
 /// returning the remaining positional arguments and the chosen engine
@@ -588,6 +670,55 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                 })
             }
         }
+        "watch" => {
+            let mut addr = None;
+            let mut tenant = None;
+            let mut schema = None;
+            let mut type_name = None;
+            let mut attrs = None;
+            let mut max_events: u64 = 0;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--tenant" | "--schema" | "--type" | "--attrs" | "--max-events" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| fail(format!("watch: {a} needs a value")))?;
+                        match a.as_str() {
+                            "--tenant" => tenant = Some(v.clone()),
+                            "--schema" => schema = Some(v.clone()),
+                            "--type" => type_name = Some(v.clone()),
+                            "--attrs" => attrs = Some(v.clone()),
+                            _ => {
+                                max_events = v
+                                    .parse()
+                                    .map_err(|_| fail("watch: --max-events must be a number"))?;
+                            }
+                        }
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(fail(format!("watch: unknown flag {flag}")));
+                    }
+                    positional => {
+                        if addr.is_some() {
+                            return Err(fail(format!("watch: unexpected argument `{positional}`")));
+                        }
+                        addr = Some(positional.to_string());
+                    }
+                }
+            }
+            let addr = addr.ok_or_else(|| fail("watch: missing server address (host:port)"))?;
+            let tenant = tenant.ok_or_else(|| fail("watch: --tenant is required"))?;
+            let schema = schema.ok_or_else(|| fail("watch: --schema is required"))?;
+            let mut query = format!("tenant={tenant}&schema={schema}");
+            if let Some(t) = &type_name {
+                let _ = write!(query, "&type={t}");
+            }
+            if let Some(a) = &attrs {
+                let _ = write!(query, "&attrs={a}");
+            }
+            watch_stream(&addr, &query, max_events)
+        }
         "audit" => {
             let schema = load(args.get(1))?;
             let (source, projection) = view_args(&schema, args.get(2), args.get(3))?;
@@ -903,6 +1034,75 @@ mod tests {
     }
 
     #[test]
+    fn watch_streams_a_change_event_for_a_schema_edit() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let server = Arc::new(
+            td_server::Server::bind(td_server::ServerConfig::default())
+                .expect("bind a loopback port"),
+        );
+        let addr = server.local_addr().unwrap().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let runner = {
+            let (server, shutdown) = (Arc::clone(&server), Arc::clone(&shutdown));
+            std::thread::spawn(move || server.run(&shutdown))
+        };
+
+        let base = "type A { x: int }\ntype B : A { z: int }\naccessors x\naccessors z\n";
+        let out = run_ok(&["client", &addr, "PUT", "/v1/tenants/acme/schemas/s", base]);
+        assert!(out.contains("\"version\": 1"), "{out}");
+
+        // hello + one change = 2 events, then the subcommand returns.
+        let watcher = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_ok(&[
+                    "watch",
+                    &addr,
+                    "--tenant",
+                    "acme",
+                    "--schema",
+                    "s",
+                    "--type",
+                    "B",
+                    "--attrs",
+                    "x,z",
+                    "--max-events",
+                    "2",
+                ])
+            })
+        };
+        // The PUT must not race the subscription: wait until the hub
+        // has the watcher registered.
+        for _ in 0..200 {
+            if !server.api().watch.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(!server.api().watch.is_empty(), "watcher never subscribed");
+
+        let edited = format!("{base}method f(B) -> int {{ return get_x($0); }}\n");
+        let out = run_ok(&[
+            "client",
+            &addr,
+            "PUT",
+            "/v1/tenants/acme/schemas/s",
+            &edited,
+        ]);
+        assert!(out.contains("\"version\": 2"), "{out}");
+
+        let summary = watcher.join().unwrap();
+        assert_eq!(summary, "tdv watch: received 2 event(s)\n");
+
+        let e = run_err(&["watch", &addr, "--tenant", "acme"]);
+        assert!(e.message.contains("--schema is required"), "{}", e.message);
+
+        shutdown.store(true, Ordering::SeqCst);
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
     fn snapshot_save_load_inspect_and_project() {
         let f = fixture("snapshot", FIG1);
         let mut tds = std::env::temp_dir();
@@ -991,9 +1191,12 @@ mod tests {
         assert!(out.contains("3 requests, 3 ok, 0 errors"), "{out}");
         assert!(out.contains("invariants hold"), "{out}");
         assert!(out.contains("wall"), "{out}");
-        // An explicit thread count is accepted and reported.
+        // An explicit thread count is accepted; the report shows the
+        // effective worker count (the request clamps to the host's
+        // available parallelism, so a 1-core machine reports 1).
         let out = run_ok(&["batch", s.to_str().unwrap(), r.to_str().unwrap(), "2"]);
-        assert!(out.contains("over 2 threads"), "{out}");
+        let effective = 2.min(std::thread::available_parallelism().map_or(1, |n| n.get()));
+        assert!(out.contains(&format!("over {effective} threads")), "{out}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Delta-invalidation equivalence suite.
+//!
+//! The dispatch cache no longer flushes wholesale on mutation: each edit
+//! emits a `SchemaDelta` and only the dependency-closed dirty set is
+//! evicted. That optimization is only sound if it is *invisible* — a
+//! schema that kept its surviving warm entries across a mutation stream
+//! must answer every derivation question byte-identically to one that
+//! rebuilt from scratch.
+//!
+//! These tests replay seeded random mutation streams
+//! ([`td_workload::apply_random_mutations`]) into two copies of a warm
+//! random schema. The `delta` copy keeps whatever the closure let
+//! survive; the `rebuilt` copy is forced through `clear_dispatch_cache`
+//! (the old all-or-nothing path). Then every report — applicability
+//! partitions under all three engines, full lint text, explain proofs,
+//! and projection summaries — must match byte for byte, while the cache
+//! counters prove the delta copy genuinely kept entries warm.
+
+use std::collections::BTreeSet;
+
+use td_core::{
+    compute_applicability_fixpoint, compute_applicability_indexed, explain, lint, project, Engine,
+    ProjectionOptions,
+};
+use td_model::{AttrId, Schema, TypeId};
+use td_workload::{
+    apply_random_mutations, deepest_type, random_projection, random_schema, GenParams,
+};
+
+/// Sample views: the deepest type plus every fifth live type, each with
+/// a seeded ~60% projection.
+fn sample_views(s: &Schema, seed: u64) -> Vec<(TypeId, BTreeSet<AttrId>)> {
+    let mut views = Vec::new();
+    let deep = deepest_type(s);
+    views.push((deep, random_projection(s, deep, 0.6, seed)));
+    for (i, t) in s.live_type_ids().enumerate() {
+        if i % 5 == 0 && t != deep {
+            views.push((t, random_projection(s, t, 0.6, seed ^ (i as u64))));
+        }
+    }
+    views.retain(|(_, proj)| !proj.is_empty());
+    views
+}
+
+/// Everything derivable about one view, rendered to stable text. Runs
+/// the indexed engine (exercises the condensation index cache), the
+/// fixpoint oracle, lint, an explain proof per applicable method, and a
+/// projection (on a throwaway fork, since `project` grows the schema).
+fn view_report(s: &Schema, source: TypeId, projection: &BTreeSet<AttrId>) -> String {
+    let mut out = String::new();
+    let indexed =
+        compute_applicability_indexed(s, source, projection, false).expect("indexed applicability");
+    let oracle =
+        compute_applicability_fixpoint(s, source, projection).expect("fixpoint applicability");
+    for app in [&indexed, &oracle] {
+        out.push_str("applicable:");
+        for &m in &app.applicable {
+            out.push(' ');
+            out.push_str(s.method_label(m));
+        }
+        out.push_str("\nnot:");
+        for &m in &app.not_applicable {
+            out.push(' ');
+            out.push_str(s.method_label(m));
+        }
+        out.push('\n');
+    }
+    out.push_str(&lint(s, Some((source, projection))).render_text());
+    for &m in indexed.applicable.iter().take(3) {
+        if let Ok(proof) = explain(s, source, projection, m) {
+            out.push_str(&proof.render(s));
+        }
+    }
+    for engine in [Engine::Indexed, Engine::Stack, Engine::Fixpoint] {
+        let opts = ProjectionOptions {
+            engine,
+            ..ProjectionOptions::default()
+        };
+        let mut fork = s.clone();
+        match project(&mut fork, source, projection, &opts) {
+            Ok(d) => {
+                out.push_str(&d.summary(&fork));
+                out.push('\n');
+            }
+            Err(e) => {
+                out.push_str(&format!("project error: {e}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn full_report(s: &Schema, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&lint(s, None).render_text());
+    for (source, projection) in sample_views(s, seed) {
+        out.push_str(&format!("== view {} ==\n", s.type_name(source)));
+        out.push_str(&view_report(s, source, &projection));
+    }
+    out
+}
+
+/// Warm every cache the report path touches, so the mutation stream has
+/// something real to invalidate (or keep).
+fn warm(s: &Schema, seed: u64) {
+    for (source, projection) in sample_views(s, seed) {
+        let _ = compute_applicability_indexed(s, source, &projection, false);
+        let _ = lint(s, Some((source, &projection)));
+    }
+    let _ = lint(s, None);
+}
+
+fn replay_and_compare(schema_seed: u64, stream_seed: u64, steps: usize) {
+    let params = GenParams {
+        seed: schema_seed,
+        ..GenParams::default()
+    };
+    let mut delta = random_schema(&params);
+    warm(&delta, stream_seed);
+
+    let log = apply_random_mutations(&mut delta, steps, stream_seed);
+
+    // The rebuilt twin: same post-mutation schema, but every cache
+    // dropped — the pre-delta invalidation behavior.
+    let rebuilt = delta.clone();
+    rebuilt.clear_dispatch_cache();
+
+    let delta_report = full_report(&delta, stream_seed);
+    let rebuilt_report = full_report(&rebuilt, stream_seed);
+    assert_eq!(
+        delta_report,
+        rebuilt_report,
+        "delta-invalidated caches diverged from a from-scratch rebuild\n\
+         schema seed {schema_seed}, stream seed {stream_seed}\nstream:\n{}",
+        log.join("\n")
+    );
+}
+
+#[test]
+fn mutation_streams_cannot_distinguish_delta_caches_from_a_rebuild() {
+    for (schema_seed, stream_seed) in [(1, 101), (2, 202), (3, 303), (0xD0_0D, 404)] {
+        replay_and_compare(schema_seed, stream_seed, 16);
+    }
+}
+
+#[test]
+fn long_stream_on_one_schema() {
+    replay_and_compare(42, 4242, 48);
+}
+
+#[test]
+fn survivors_outnumber_evictions_for_leaf_heavy_streams() {
+    // Counters must prove entries actually survive: a warm schema hit
+    // by additive edits keeps most of its cache.
+    let params = GenParams {
+        seed: 9,
+        ..GenParams::default()
+    };
+    let s = random_schema(&params);
+    warm(&s, 9);
+    let mut s = s;
+    apply_random_mutations(&mut s, 16, 909);
+    // Force the lazy closure to run so the counters are current.
+    let _ = full_report(&s, 9);
+    let stats = s.dispatch_cache_stats();
+    assert_eq!(
+        stats.full_flushes, 0,
+        "additive mutation streams must never trigger a full flush: {stats}"
+    );
+    assert!(
+        stats.delta_survivals > 0,
+        "a warm schema under additive edits must keep some entries: {stats}"
+    );
+    assert!(
+        stats.delta_survivals >= stats.delta_evictions,
+        "leaf-heavy streams should keep more than they evict: {stats}"
+    );
+}

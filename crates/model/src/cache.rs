@@ -1,4 +1,4 @@
-//! The dispatch acceleration layer: memoized CPLs and a generational
+//! The dispatch acceleration layer: memoized CPLs and a delta-invalidated
 //! dispatch-table cache.
 //!
 //! Multi-method dispatch is the repository's hot loop. The I2 invariant
@@ -18,31 +18,49 @@
 //!   stores both the unranked applicable-method set (consumed by the
 //!   `IsApplicable` walk) and the ranked list (consumed by
 //!   `rank_applicable`/`most_specific`).
-//! * **Generational invalidation** — every schema mutation (type, edge,
-//!   attribute or method addition; any `&mut` access to a method, type
-//!   node or attribute, which is how the `FactorState`/`FactorMethods`/
-//!   `Augment` passes rewire things) bumps a monotonic generation counter.
-//!   Cached entries are tagged with the generation they were built under;
-//!   the first read after a mutation observes the mismatch and flushes
-//!   the maps, so a refactoring pass can never serve a pre-refactor
-//!   dispatch result. Invalidation itself is O(1) — the flush happens
-//!   lazily on the read side.
+//! * **Delta invalidation** — every schema mutation emits a structured
+//!   [`crate::delta::SchemaDelta`] describing what changed
+//!   (a type node touched, a method added, …). Recording a delta is O(1)
+//!   (plus a set insert); the first read after a mutation *closes* the
+//!   recorded deltas into a dirty set — touched types are closed downward
+//!   over the hierarchy (everything below a rewired node reaches it
+//!   through its ancestor chain), touched methods are closed over the
+//!   condensation indexes' reverse call edges (an index is stale iff its
+//!   universe contains the method or its source newly admits it) — and
+//!   evicts exactly the reachable entries. Untouched entries survive the
+//!   mutation warm; dirty per-source indexes are repaired lazily, one
+//!   rebuild per dirty source, instead of rebuilding every index.
+//!
+//! ## Why the closure is computed at read time
+//!
+//! Deltas are recorded under `&mut Schema` but closed under `&Schema` at
+//! the next cached read, against the *post-mutation* hierarchy. This is
+//! sound: if a batch of mutations changes any type `X`'s ancestor set,
+//! then some edge on an old or new ancestor path of `X` changed at a node
+//! `n` reachable from `X` through edges that did *not* change below it
+//! (induction on the lowest changed node of the path), so `X ∈
+//! descendants(n)` at read time and `X` lands in the dirty set. Dispatch
+//! entries are keyed by argument types whose results depend only on their
+//! *upward* reachability, which the same argument covers; method-shaped
+//! deltas carry their gf and method ids explicitly.
 //!
 //! The cache lives inside [`Schema`] behind a `Mutex` (keeping `Schema:
 //! Send + Sync`), is cloned with the schema (a clone is a snapshot, so
-//! the warm entries stay valid), and is observable: hit/miss/invalidation
-//! counters are exported as [`DispatchCacheStats`] through
+//! the warm entries — and any still-unclosed deltas — stay valid), and is
+//! observable: hit/miss/invalidation/eviction/survival counters are
+//! exported as [`DispatchCacheStats`] through
 //! [`Schema::dispatch_cache_stats`], the CLI `explain` path and the
 //! invariant report.
 
 use crate::appindex::ApplicabilityIndex;
+use crate::delta::{CarryReport, SchemaDelta, SchemaDiff};
 use crate::diag::LintReport;
 use crate::dispatch::CallArg;
 use crate::error::Result;
 use crate::ids::{AttrId, GfId, MethodId, TypeId};
 use crate::schema::Schema;
 use crate::stats::DispatchCacheStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Per-type specificity ranks with surrogate collapse (see
@@ -58,12 +76,51 @@ pub(crate) type CallKey = (GfId, Vec<CallArg>);
 /// sorts before storing).
 pub type LintKey = Option<(TypeId, Vec<AttrId>)>;
 
+/// Deltas recorded since the last refresh, folded into the per-kind sets
+/// the dirty closure starts from.
+#[derive(Debug, Clone, Default)]
+struct PendingDeltas {
+    /// An unbounded mutation was recorded: flush everything.
+    full: bool,
+    /// Type nodes handed out `&mut` (edges/origin/attrs/liveness).
+    types: HashSet<TypeId>,
+    /// Generic functions with added or touched methods.
+    gfs: HashSet<GfId>,
+    /// Methods added or touched.
+    methods: HashSet<MethodId>,
+}
+
+impl PendingDeltas {
+    fn record(&mut self, delta: SchemaDelta) {
+        match delta {
+            // Pure additions of leaf entities: nothing cached can
+            // reference them, so only the lint flush (which every
+            // refresh performs) applies.
+            SchemaDelta::TypeAdded(_) | SchemaDelta::AttrAdded(_) | SchemaDelta::GfAdded(_) => {}
+            // Attribute definitions feed only per-request computations
+            // and lint; footprint bitsets reference stable ids.
+            SchemaDelta::AttrTouched(_) => {}
+            SchemaDelta::TypeTouched(t) => {
+                self.types.insert(t);
+            }
+            SchemaDelta::MethodAdded { gf, method } | SchemaDelta::MethodTouched { gf, method } => {
+                self.gfs.insert(gf);
+                self.methods.insert(method);
+            }
+            SchemaDelta::Full => self.full = true,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct CacheInner {
     /// Monotonic schema-mutation counter.
     generation: u64,
     /// Generation the maps below were populated under.
     entries_generation: u64,
+    /// Deltas recorded since `entries_generation`, closed and drained by
+    /// [`CacheInner::refresh`].
+    pending: PendingDeltas,
     cpl: HashMap<TypeId, Arc<Vec<TypeId>>>,
     ranks: HashMap<TypeId, Arc<Ranks>>,
     applicable: HashMap<CallKey, Arc<Vec<MethodId>>>,
@@ -85,37 +142,126 @@ struct CacheInner {
     lint_hits: u64,
     lint_misses: u64,
     invalidations: u64,
+    full_flushes: u64,
+    delta_evictions: u64,
+    delta_survivals: u64,
+}
+
+fn retain_counting<K: Eq + std::hash::Hash, V>(
+    map: &mut HashMap<K, V>,
+    keep: impl Fn(&K, &V) -> bool,
+) -> usize {
+    let before = map.len();
+    map.retain(|k, v| keep(k, v));
+    before - map.len()
 }
 
 impl CacheInner {
-    /// Flushes stale entries if the schema has mutated since they were
-    /// built. Called at the top of every cached read.
-    fn refresh(&mut self) {
-        if self.entries_generation != self.generation {
-            let had_entries = !self.cpl.is_empty()
-                || !self.ranks.is_empty()
-                || !self.applicable.is_empty()
-                || !self.ranked.is_empty()
-                || !self.app_index.is_empty()
-                || !self.lint.is_empty();
-            self.cpl.clear();
-            self.ranks.clear();
-            self.applicable.clear();
-            self.ranked.clear();
-            self.app_index.clear();
-            self.lint.clear();
-            self.entries_generation = self.generation;
-            if had_entries {
-                self.invalidations += 1;
+    fn has_entries(&self) -> bool {
+        !self.cpl.is_empty()
+            || !self.ranks.is_empty()
+            || !self.applicable.is_empty()
+            || !self.ranked.is_empty()
+            || !self.app_index.is_empty()
+            || !self.lint.is_empty()
+    }
+
+    fn clear_entries(&mut self) {
+        self.cpl.clear();
+        self.ranks.clear();
+        self.applicable.clear();
+        self.ranked.clear();
+        self.app_index.clear();
+        self.lint.clear();
+    }
+
+    /// Closes the recorded deltas into a dirty set and evicts exactly the
+    /// reachable entries. Called at the top of every cached read; `schema`
+    /// is the (post-mutation) schema the cache belongs to. The hierarchy
+    /// walks used here (`descendants`, `method_applicable_to_type`) read
+    /// raw supertype edges and never re-enter the cache, so calling them
+    /// while holding the lock cannot deadlock.
+    fn refresh(&mut self, schema: &Schema) {
+        if self.entries_generation == self.generation {
+            return;
+        }
+        self.entries_generation = self.generation;
+        let dirt = std::mem::take(&mut self.pending);
+        if !self.has_entries() {
+            return;
+        }
+        if dirt.full {
+            self.clear_entries();
+            self.invalidations += 1;
+            self.full_flushes += 1;
+            return;
+        }
+
+        // Downward hierarchy closure: every cached artifact of a type
+        // depends on the type's ancestor chain, so a touched node dirties
+        // itself and its transitive subtypes. (A node already swept up as
+        // someone's descendant contributes nothing new: descendants are
+        // transitively closed.)
+        let mut dirty_types: HashSet<TypeId> = HashSet::new();
+        for &t in &dirt.types {
+            if dirty_types.insert(t) {
+                dirty_types.extend(schema.descendants(t));
             }
         }
+
+        let mut evicted = 0usize;
+        if !dirty_types.is_empty() {
+            evicted += retain_counting(&mut self.cpl, |t, _| !dirty_types.contains(t));
+            evicted += retain_counting(&mut self.ranks, |t, _| !dirty_types.contains(t));
+        }
+        if !dirty_types.is_empty() || !dirt.gfs.is_empty() {
+            let stale_call = |key: &CallKey| {
+                dirt.gfs.contains(&key.0)
+                    || key
+                        .1
+                        .iter()
+                        .any(|a| matches!(a, CallArg::Object(t) if dirty_types.contains(t)))
+            };
+            evicted += retain_counting(&mut self.applicable, |k, _| !stale_call(k));
+            evicted += retain_counting(&mut self.ranked, |k, _| !stale_call(k));
+        }
+        if !dirty_types.is_empty() || !dirt.methods.is_empty() {
+            // Reverse call-edge closure over the condensation indexes: a
+            // per-source index is stale iff its source type is dirty, its
+            // universe (`node_of`, the call-graph node set) contains a
+            // touched method, or a touched/new method is now applicable
+            // to its source (and would enter the universe on rebuild).
+            evicted += retain_counting(&mut self.app_index, |source, idx| {
+                !dirty_types.contains(source)
+                    && dirt.methods.iter().all(|m| {
+                        !idx.node_of.contains_key(m)
+                            && !schema.method_applicable_to_type(*m, *source)
+                    })
+            });
+        }
+        // Lint findings mention names, owners and dispatch outcomes
+        // across the whole schema; every mutation flushes them (they
+        // re-derive quickly and are presentation-layer).
+        evicted += self.lint.len();
+        self.lint.clear();
+
+        let survivors = self.cpl.len()
+            + self.ranks.len()
+            + self.applicable.len()
+            + self.ranked.len()
+            + self.app_index.len();
+        if evicted > 0 {
+            self.invalidations += 1;
+        }
+        self.delta_evictions += evicted as u64;
+        self.delta_survivals += survivors as u64;
     }
 }
 
 /// The interior-mutable cache carried by every [`Schema`].
 ///
 /// All read paths go through `&Schema`, so the cache is populated behind
-/// a `Mutex`; mutation paths have `&mut Schema` and bump the generation
+/// a `Mutex`; mutation paths have `&mut Schema` and record deltas
 /// without contention via `get_mut`.
 pub struct DispatchCache {
     inner: Mutex<CacheInner>,
@@ -131,8 +277,9 @@ impl Default for DispatchCache {
 
 impl Clone for DispatchCache {
     fn clone(&self) -> Self {
-        // A schema clone is a snapshot: carrying the warm entries over is
-        // sound because they were built from the state being cloned.
+        // A schema clone is a snapshot: carrying the warm entries (and
+        // any still-unclosed deltas) over is sound because they were
+        // built from the state being cloned.
         DispatchCache {
             inner: Mutex::new(self.lock().clone()),
         }
@@ -160,19 +307,21 @@ impl DispatchCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Records a schema mutation. Stale entries are flushed lazily by the
-    /// next read, so this is O(1).
-    pub(crate) fn bump(&mut self) {
+    /// Records a structured schema mutation. Stale entries are closed
+    /// over and evicted lazily by the next read, so this is O(1) plus a
+    /// set insert.
+    pub(crate) fn note(&mut self, delta: SchemaDelta) {
         let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
         inner.generation += 1;
+        inner.pending.record(delta);
     }
 
     /// Clones the warm entry maps for snapshot serialization (stats
     /// counters stay behind; `Arc` clones make this cheap). Entries are
-    /// only exported if they are current for the schema's generation.
-    pub(crate) fn export_warm(&self) -> WarmCaches {
+    /// only exported after settling any pending deltas against `schema`.
+    pub(crate) fn export_warm(&self, schema: &Schema) -> WarmCaches {
         let mut inner = self.lock();
-        inner.refresh();
+        inner.refresh(schema);
         WarmCaches {
             cpl: inner.cpl.clone(),
             ranks: inner.ranks.clone(),
@@ -184,7 +333,8 @@ impl DispatchCache {
 
     /// Installs deserialized warm entries, tagged as current for the
     /// schema's present generation so the first read serves them instead
-    /// of flushing (the snapshot loader's cache-restore step).
+    /// of flushing (the snapshot loader's cache-restore step). Any
+    /// pending deltas are dropped: the entries are declared current.
     pub(crate) fn import_warm(&mut self, warm: WarmCaches) {
         let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
         inner.cpl = warm.cpl;
@@ -193,6 +343,7 @@ impl DispatchCache {
         inner.ranked = warm.ranked;
         inner.app_index = warm.app_index;
         inner.entries_generation = inner.generation;
+        inner.pending = PendingDeltas::default();
     }
 }
 
@@ -209,8 +360,9 @@ pub(crate) struct WarmCaches {
 
 impl Schema {
     /// The schema's mutation generation. Every mutating operation (adding
-    /// types, attributes, methods or edges; any `&mut` access to a node)
-    /// increments it; cached dispatch results never cross generations.
+    /// types, attributes, methods or edges; any `&mut` access to a method,
+    /// type node or attribute) increments it; cached dispatch results
+    /// never cross generations.
     pub fn generation(&self) -> u64 {
         self.cache.lock().generation
     }
@@ -229,6 +381,9 @@ impl Schema {
             lint_hits: inner.lint_hits,
             lint_misses: inner.lint_misses,
             invalidations: inner.invalidations,
+            full_flushes: inner.full_flushes,
+            delta_evictions: inner.delta_evictions,
+            delta_survivals: inner.delta_survivals,
             cpl_entries: inner.cpl.len() + inner.ranks.len(),
             dispatch_entries: inner.applicable.len() + inner.ranked.len(),
             index_entries: inner.app_index.len(),
@@ -242,7 +397,8 @@ impl Schema {
     /// precedence, dataflow errors) are skipped; the failure resurfaces
     /// on the request that actually needs them. `tdv snapshot save` and
     /// the server's snapshot persistence call this so a reloaded schema
-    /// starts with every cache hot.
+    /// starts with every cache hot. After a mutation, only the entries
+    /// its delta closure evicted are recomputed — the rest are hits.
     pub fn warm_caches(&self) {
         for t in self.live_type_ids() {
             let _ = self.cpl(t);
@@ -252,18 +408,117 @@ impl Schema {
     }
 
     /// Drops every cached entry (counted as an invalidation if any entry
-    /// existed). Benchmarks use this to measure cold dispatch.
+    /// existed). Benchmarks use this to measure cold dispatch against
+    /// delta-invalidated re-derivation.
     pub fn clear_dispatch_cache(&self) {
         let mut inner = self.cache.lock();
         inner.generation += 1;
-        inner.refresh();
+        inner.pending.record(SchemaDelta::Full);
+        inner.refresh(self);
+    }
+
+    /// Carries warm cache entries from `donor` (the previous version of
+    /// this schema, built independently — e.g. the prior parse of a
+    /// registered schema text) into this schema's cache, keeping only
+    /// entries whose dependency closure `diff` proves untouched.
+    ///
+    /// Requires `diff = diff_schemas(donor, self)` with
+    /// [`ids_stable`](SchemaDiff::ids_stable); returns an empty report
+    /// otherwise (ids are the cache keys, so unstable ids make every old
+    /// entry meaningless here). Changed types dirty their transitive
+    /// subtypes exactly like a live mutation would; added or changed
+    /// methods dirty their gf's dispatch tables and every index that
+    /// contains or would now admit them. Existing entries of this cache
+    /// are never overwritten.
+    pub fn carry_warm_from(&self, donor: &Schema, diff: &SchemaDiff) -> CarryReport {
+        let mut report = CarryReport::default();
+        if !diff.ids_stable {
+            return report;
+        }
+        let mut dirty_types: HashSet<TypeId> = HashSet::new();
+        for name in diff.changed_types.iter().chain(&diff.added_types) {
+            // Added types dirty nothing existing, but close them anyway:
+            // an added type wired *above* an existing one shows up as a
+            // changed existing type, and closing both is harmless.
+            if let Ok(t) = self.type_id(name) {
+                if dirty_types.insert(t) {
+                    dirty_types.extend(self.descendants(t));
+                }
+            }
+        }
+        let mut dirty_gfs: HashSet<GfId> = HashSet::new();
+        for name in diff.changed_gfs.iter() {
+            if let Ok(g) = self.gf_id(name) {
+                dirty_gfs.insert(g);
+            }
+        }
+        let mut dirty_methods: Vec<MethodId> = Vec::new();
+        if !diff.added_methods.is_empty() || !diff.changed_methods.is_empty() {
+            let by_label: HashMap<&str, MethodId> = self
+                .method_ids()
+                .map(|m| (self.method_label(m), m))
+                .collect();
+            for label in diff.added_methods.iter().chain(&diff.changed_methods) {
+                if let Some(&m) = by_label.get(label.as_str()) {
+                    dirty_methods.push(m);
+                    dirty_gfs.insert(self.method(m).gf);
+                }
+            }
+        }
+
+        let warm = donor.cache.export_warm(donor);
+        let mut inner = self.cache.lock();
+        inner.refresh(self);
+        for (t, v) in warm.cpl {
+            if self.is_live(t) && !dirty_types.contains(&t) && !inner.cpl.contains_key(&t) {
+                inner.cpl.insert(t, v);
+                report.cpl += 1;
+            }
+        }
+        for (t, v) in warm.ranks {
+            if self.is_live(t) && !dirty_types.contains(&t) && !inner.ranks.contains_key(&t) {
+                inner.ranks.insert(t, v);
+                report.cpl += 1;
+            }
+        }
+        let call_ok = |key: &CallKey| {
+            !dirty_gfs.contains(&key.0)
+                && key.1.iter().all(|a| match a {
+                    CallArg::Object(t) => self.is_live(*t) && !dirty_types.contains(t),
+                    _ => true,
+                })
+        };
+        for (k, v) in warm.applicable {
+            if call_ok(&k) && !inner.applicable.contains_key(&k) {
+                inner.applicable.insert(k, v);
+                report.dispatch += 1;
+            }
+        }
+        for (k, v) in warm.ranked {
+            if call_ok(&k) && !inner.ranked.contains_key(&k) {
+                inner.ranked.insert(k, v);
+                report.dispatch += 1;
+            }
+        }
+        for (source, idx) in warm.app_index {
+            let clean = self.is_live(source)
+                && !dirty_types.contains(&source)
+                && dirty_methods.iter().all(|m| {
+                    !idx.node_of.contains_key(m) && !self.method_applicable_to_type(*m, source)
+                });
+            if clean && !inner.app_index.contains_key(&source) {
+                inner.app_index.insert(source, idx);
+                report.indexes += 1;
+            }
+        }
+        report
     }
 
     /// The memoized class precedence list of `t`.
     pub(crate) fn cached_cpl(&self, t: TypeId) -> Result<Arc<Vec<TypeId>>> {
         {
             let mut inner = self.cache.lock();
-            inner.refresh();
+            inner.refresh(self);
             if let Some(v) = inner.cpl.get(&t).map(Arc::clone) {
                 inner.cpl_hits += 1;
                 return Ok(v);
@@ -274,7 +529,7 @@ impl Schema {
         // path, but holding a lock across it would serialize misses.
         let computed = Arc::new(self.compute_cpl(t)?);
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         inner.cpl.insert(t, Arc::clone(&computed));
         Ok(computed)
     }
@@ -283,7 +538,7 @@ impl Schema {
     pub(crate) fn cached_ranks(&self, t: TypeId) -> Result<Arc<Ranks>> {
         {
             let mut inner = self.cache.lock();
-            inner.refresh();
+            inner.refresh(self);
             if let Some(v) = inner.ranks.get(&t).map(Arc::clone) {
                 inner.cpl_hits += 1;
                 return Ok(v);
@@ -293,7 +548,7 @@ impl Schema {
         let cpl = self.cached_cpl(t)?;
         let computed = Arc::new(self.collapsed_ranks(&cpl));
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         inner.ranks.insert(t, Arc::clone(&computed));
         Ok(computed)
     }
@@ -303,7 +558,7 @@ impl Schema {
         let key: CallKey = (gf, args.to_vec());
         {
             let mut inner = self.cache.lock();
-            inner.refresh();
+            inner.refresh(self);
             if let Some(v) = inner.applicable.get(&key).map(Arc::clone) {
                 inner.dispatch_hits += 1;
                 return v;
@@ -312,7 +567,7 @@ impl Schema {
         }
         let computed = Arc::new(self.applicable_methods_uncached(gf, args));
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         inner.applicable.insert(key, Arc::clone(&computed));
         computed
     }
@@ -322,7 +577,7 @@ impl Schema {
         let key: CallKey = (gf, args.to_vec());
         {
             let mut inner = self.cache.lock();
-            inner.refresh();
+            inner.refresh(self);
             if let Some(v) = inner.ranked.get(&key).map(Arc::clone) {
                 inner.dispatch_hits += 1;
                 return Ok(v);
@@ -334,7 +589,7 @@ impl Schema {
             self.rank_methods(applicable.as_ref().clone(), args, |s, t| s.cached_ranks(t))?;
         let computed = Arc::new(ranked);
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         inner.ranked.insert(key, Arc::clone(&computed));
         Ok(computed)
     }
@@ -347,7 +602,7 @@ impl Schema {
     pub fn cached_applicability_index(&self, source: TypeId) -> Result<Arc<ApplicabilityIndex>> {
         {
             let mut inner = self.cache.lock();
-            inner.refresh();
+            inner.refresh(self);
             if let Some(v) = inner.app_index.get(&source).map(Arc::clone) {
                 inner.index_hits += 1;
                 return Ok(v);
@@ -361,7 +616,7 @@ impl Schema {
             Arc::new(ApplicabilityIndex::build(self, source)?)
         };
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         inner.app_index.insert(source, Arc::clone(&computed));
         Ok(computed)
     }
@@ -372,7 +627,7 @@ impl Schema {
     /// computing a missed report.
     pub fn cached_lint_report(&self, key: &LintKey) -> Option<Arc<LintReport>> {
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         match inner.lint.get(key).map(Arc::clone) {
             Some(v) => {
                 inner.lint_hits += 1;
@@ -389,7 +644,7 @@ impl Schema {
     /// snapshot forks and batch workers share the analysis.
     pub fn store_lint_report(&self, key: LintKey, report: Arc<LintReport>) {
         let mut inner = self.cache.lock();
-        inner.refresh();
+        inner.refresh(self);
         inner.lint.insert(key, report);
     }
 }
@@ -547,6 +802,7 @@ mod tests {
         assert_eq!(stats.dispatch_entries, 0);
         assert_eq!(stats.cpl_entries, 0);
         assert_eq!(stats.invalidations, before + 1);
+        assert!(stats.full_flushes >= 1);
     }
 
     #[test]
@@ -633,5 +889,202 @@ mod tests {
         assert!(text.contains("gen"), "{text}");
         assert!(text.contains("cpl"), "{text}");
         assert!(text.contains("dispatch"), "{text}");
+    }
+
+    // ------------------------------------------ delta-invalidation tests
+
+    /// Two disjoint A<=B style towers sharing nothing: mutations on one
+    /// side must leave the other side's entries warm.
+    fn two_towers() -> (Schema, [crate::TypeId; 4], [crate::GfId; 2]) {
+        let mut s = Schema::new();
+        let a1 = s.add_type("A1", &[]).unwrap();
+        let b1 = s.add_type("B1", &[a1]).unwrap();
+        let a2 = s.add_type("A2", &[]).unwrap();
+        let b2 = s.add_type("B2", &[a2]).unwrap();
+        let f1 = s.add_gf("f1", 1, None).unwrap();
+        let f2 = s.add_gf("f2", 1, None).unwrap();
+        s.add_method(
+            f1,
+            "f1_a1",
+            vec![Specializer::Type(a1)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        s.add_method(
+            f2,
+            "f2_a2",
+            vec![Specializer::Type(a2)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        (s, [a1, b1, a2, b2], [f1, f2])
+    }
+
+    #[test]
+    fn unrelated_entries_survive_a_method_addition() {
+        let (mut s, [_a1, b1, a2, b2], [f1, f2]) = two_towers();
+        s.warm_caches();
+        s.most_specific(f1, &[CallArg::Object(b1)]).unwrap();
+        s.most_specific(f2, &[CallArg::Object(b2)]).unwrap();
+        let warm = s.dispatch_cache_stats();
+        assert!(warm.cpl_entries >= 8 && warm.index_entries == 4);
+
+        // A new method on tower 2 must not evict tower 1's entries.
+        s.add_method(
+            f2,
+            "f2_b2",
+            vec![Specializer::Type(b2)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        let misses_before = s.dispatch_cache_stats();
+        s.most_specific(f1, &[CallArg::Object(b1)]).unwrap();
+        let after = s.dispatch_cache_stats();
+        assert_eq!(
+            after.dispatch_misses, misses_before.dispatch_misses,
+            "tower-1 dispatch entry must survive a tower-2 method addition"
+        );
+        assert!(after.delta_survivals > 0, "{after:?}");
+        assert!(after.delta_evictions > 0, "{after:?}");
+        // Tower-1's index survived; b2's was evicted (the new method
+        // specializes b2, so only types at-or-below b2 can admit it —
+        // even a2's index stays warm).
+        s.cached_applicability_index(b1).unwrap();
+        s.cached_applicability_index(a2).unwrap();
+        assert_eq!(
+            s.dispatch_cache_stats().index_misses,
+            after.index_misses,
+            "tower-1 and a2 indexes must still be warm"
+        );
+        s.cached_applicability_index(b2).unwrap();
+        assert_eq!(
+            s.dispatch_cache_stats().index_misses,
+            after.index_misses + 1,
+            "b2's index must have been evicted"
+        );
+        assert_eq!(s.dispatch_cache_stats().full_flushes, 0);
+    }
+
+    #[test]
+    fn unrelated_cpls_survive_edge_rewiring() {
+        let (mut s, [a1, b1, a2, b2], _gfs) = two_towers();
+        s.cpl(b1).unwrap();
+        s.cpl(b2).unwrap();
+        s.cpl(a1).unwrap();
+        s.cpl(a2).unwrap();
+        // Rewire tower 2: a surrogate above A2.
+        let hat = s.add_surrogate("^A2", a2).unwrap();
+        s.add_super_highest(a2, hat).unwrap();
+        let before = s.dispatch_cache_stats();
+        s.cpl(b1).unwrap();
+        s.cpl(a1).unwrap();
+        assert_eq!(
+            s.dispatch_cache_stats().cpl_misses,
+            before.cpl_misses,
+            "tower-1 CPLs must survive tower-2 rewiring"
+        );
+        assert_eq!(s.cpl(b2).unwrap(), vec![b2, a2, hat]);
+        assert_eq!(
+            s.dispatch_cache_stats().cpl_misses,
+            before.cpl_misses + 1,
+            "tower-2 CPL was evicted and recomputed"
+        );
+    }
+
+    #[test]
+    fn method_touch_evicts_only_indexes_that_see_it() {
+        let (mut s, [_a1, b1, _a2, b2], [f1, _f2]) = two_towers();
+        s.cached_applicability_index(b1).unwrap();
+        s.cached_applicability_index(b2).unwrap();
+        let before = s.dispatch_cache_stats();
+        assert_eq!(before.index_entries, 2);
+        // Touch tower 1's method: b1's index contains it, b2's does not.
+        let m = s.method_by_label("f1_a1").unwrap();
+        s.method_mut(m).result = None;
+        let _ = f1;
+        s.cached_applicability_index(b2).unwrap();
+        assert_eq!(
+            s.dispatch_cache_stats().index_misses,
+            before.index_misses,
+            "untouched-tower index survives"
+        );
+        s.cached_applicability_index(b1).unwrap();
+        assert_eq!(
+            s.dispatch_cache_stats().index_misses,
+            before.index_misses + 1,
+            "touched-tower index was evicted"
+        );
+    }
+
+    #[test]
+    fn type_and_attr_additions_keep_everything_warm() {
+        let (mut s, [_a1, b1, _a2, _b2], [f1, _f2]) = two_towers();
+        s.warm_caches();
+        s.most_specific(f1, &[CallArg::Object(b1)]).unwrap();
+        let warm = s.dispatch_cache_stats();
+        // Leaf additions: a fresh type and an attribute on it.
+        let c = s.add_type("C", &[]).unwrap();
+        s.add_attr("c_x", crate::ValueType::INT, c).unwrap();
+        s.most_specific(f1, &[CallArg::Object(b1)]).unwrap();
+        s.cpl(b1).unwrap();
+        s.cached_applicability_index(b1).unwrap();
+        let after = s.dispatch_cache_stats();
+        assert_eq!(after.cpl_misses, warm.cpl_misses);
+        assert_eq!(after.dispatch_misses, warm.dispatch_misses);
+        assert_eq!(after.index_misses, warm.index_misses);
+        assert_eq!(after.invalidations, warm.invalidations, "nothing evicted");
+    }
+
+    #[test]
+    fn carry_warm_from_preserves_clean_entries_across_a_reparse() {
+        use crate::delta::diff_schemas;
+        use crate::parse_schema;
+        let old_text = "type A { x: int }\ntype B : A { y: int }\naccessors x\naccessors y\n";
+        let new_text = format!("{old_text}type C : B {{ z: int }}\naccessors z\n");
+        let old = parse_schema(old_text).unwrap();
+        old.warm_caches();
+        let new = parse_schema(&new_text).unwrap();
+        let diff = diff_schemas(&old, &new);
+        assert!(diff.ids_stable);
+        let report = new.carry_warm_from(&old, &diff);
+        // A and B's rank tables and indexes carry (their CPLs are already
+        // warm on the new schema — parse-time validation computes every
+        // CPL — so the carry skips them rather than overwrite). The new
+        // accessors of z specialize C, which is below B, so they reach
+        // neither A's nor B's index universe.
+        assert!(report.cpl >= 2, "{report:?}");
+        assert!(report.indexes >= 2, "{report:?}");
+        let before = new.dispatch_cache_stats();
+        let a = new.type_id("A").unwrap();
+        new.cpl(a).unwrap();
+        new.cached_ranks(a).unwrap();
+        new.cached_applicability_index(a).unwrap();
+        let after = new.dispatch_cache_stats();
+        assert_eq!(after.cpl_misses, before.cpl_misses, "carried ranks hit");
+        assert_eq!(after.index_misses, before.index_misses, "carried index");
+        // The genuinely new type builds its index fresh.
+        let c = new.type_id("C").unwrap();
+        new.cached_applicability_index(c).unwrap();
+        assert_eq!(
+            new.dispatch_cache_stats().index_misses,
+            before.index_misses + 1
+        );
+    }
+
+    #[test]
+    fn carry_refuses_unstable_ids() {
+        use crate::delta::diff_schemas;
+        use crate::parse_schema;
+        let old = parse_schema("type A { x: int }\ntype B { y: int }\n").unwrap();
+        old.warm_caches();
+        // B removed: surviving ids shift nothing here, but the removal
+        // breaks stability and must disable the carry wholesale.
+        let new = parse_schema("type A { x: int }\n").unwrap();
+        let diff = diff_schemas(&old, &new);
+        assert!(!diff.ids_stable);
+        assert_eq!(new.carry_warm_from(&old, &diff).total(), 0);
     }
 }

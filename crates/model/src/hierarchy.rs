@@ -285,15 +285,17 @@ impl Schema {
                 "cannot retire {t}: a method specializes on it"
             )));
         }
-        let name = self.type_(t).name;
-        self.unregister_type_name(name);
+        self.unregister_type_name(t);
         self.type_node_mut(t).dead = true;
         Ok(())
     }
 
-    /// Accessor used within the crate to reach node internals.
+    /// Accessor used within the crate to reach node internals. Handing out
+    /// `&mut` to a node may change its edges, origin or liveness, so the
+    /// cache is told the type (and, transitively, its subtypes) is dirty.
     pub(crate) fn type_node_mut(&mut self, t: TypeId) -> &mut TypeNode {
-        &mut self.types_mut()[t.index()]
+        self.note_mutation(crate::delta::SchemaDelta::TypeTouched(t));
+        &mut self.types[t.index()]
     }
 }
 

@@ -51,6 +51,7 @@ pub mod attrs;
 pub mod body;
 pub mod cache;
 pub mod dataflow;
+pub mod delta;
 pub mod diag;
 pub mod dispatch;
 pub mod display;
@@ -72,6 +73,7 @@ pub use attrs::{AttrDef, PrimType, ValueType};
 pub use body::{BinOp, Body, BodyBuilder, Expr, Literal, LocalVar, Stmt};
 pub use cache::LintKey;
 pub use dataflow::CallSite;
+pub use delta::{diff_schemas, CarryReport, SchemaDelta, SchemaDiff};
 pub use diag::{Diagnostic, LintCode, LintReport, Severity, Span, SpanKind};
 pub use dispatch::CallArg;
 pub use error::{ModelError, Result};

@@ -7,6 +7,7 @@
 
 use crate::attrs::{AttrDef, ValueType};
 use crate::cache::DispatchCache;
+use crate::delta::SchemaDelta;
 use crate::error::{ModelError, Result};
 use crate::hierarchy::{TypeNode, TypeOrigin};
 use crate::ids::{AttrId, GfId, MethodId, NameId, TypeId};
@@ -45,14 +46,16 @@ impl Schema {
         Schema::default()
     }
 
-    /// Records that the schema changed: bumps the cache generation so every
-    /// memoized CPL and dispatch-table entry becomes stale (see
-    /// [`crate::cache`]). Called from every `&mut self` path that can alter
-    /// dispatch-relevant state; conservative over-invalidation is fine,
+    /// Records that the schema changed: bumps the cache generation and
+    /// files a structured delta describing *what* changed, so the next
+    /// cached read can evict only the entries whose dependency closure the
+    /// delta reaches (see [`crate::cache`] and [`crate::delta`]). Called
+    /// from every `&mut self` path that can alter dispatch-relevant state;
+    /// conservative over-description ([`SchemaDelta::Full`]) is fine,
     /// missing a mutation is not.
     #[inline]
-    fn note_mutation(&mut self) {
-        self.cache.bump();
+    pub(crate) fn note_mutation(&mut self, delta: SchemaDelta) {
+        self.cache.note(delta);
     }
 
     // ---------------------------------------------------------------- names
@@ -110,8 +113,8 @@ impl Schema {
         for &s in supers {
             self.check_type(s)?;
         }
-        self.note_mutation();
         let id = TypeId::from_index(self.types.len());
+        self.note_mutation(SchemaDelta::TypeAdded(id));
         self.types.push(TypeNode {
             name: name_id,
             local_attrs: Vec::new(),
@@ -193,13 +196,9 @@ impl Schema {
         }
     }
 
-    pub(crate) fn types_mut(&mut self) -> &mut Vec<TypeNode> {
-        self.note_mutation();
-        &mut self.types
-    }
-
-    pub(crate) fn unregister_type_name(&mut self, name: NameId) {
-        self.note_mutation();
+    pub(crate) fn unregister_type_name(&mut self, t: TypeId) {
+        self.note_mutation(SchemaDelta::TypeTouched(t));
+        let name = self.types[t.index()].name;
         self.type_names.remove(&name);
     }
 
@@ -221,15 +220,18 @@ impl Schema {
         if let ValueType::Object(t) = ty {
             self.check_type(t)?;
         }
-        self.note_mutation();
         let id = AttrId::from_index(self.attrs.len());
+        self.note_mutation(SchemaDelta::AttrAdded(id));
         self.attrs.push(AttrDef {
             name: name_id,
             ty,
             owner,
         });
         self.attr_names.insert(name_id, id);
-        self.type_node_mut(owner).local_attrs.push(id);
+        // Direct push, not `type_node_mut`: adding an attribute changes no
+        // supertype edge, so it must not dirty the owner's CPL/dispatch
+        // entries the way a touched type node would.
+        self.types[owner.index()].local_attrs.push(id);
         Ok(id)
     }
 
@@ -240,7 +242,7 @@ impl Schema {
     }
 
     pub(crate) fn attr_mut(&mut self, a: AttrId) -> &mut AttrDef {
-        self.note_mutation();
+        self.note_mutation(SchemaDelta::AttrTouched(a));
         &mut self.attrs[a.index()]
     }
 
@@ -291,8 +293,8 @@ impl Schema {
         if self.gf_names.contains_key(&name_id) {
             return Err(ModelError::DuplicateGfName(name));
         }
-        self.note_mutation();
         let id = GfId::from_index(self.gfs.len());
+        self.note_mutation(SchemaDelta::GfAdded(id));
         self.gfs.push(GenericFunction {
             name: name_id,
             arity,
@@ -396,8 +398,8 @@ impl Schema {
             }
         }
         let label = self.names.intern(&label.into());
-        self.note_mutation();
         let id = MethodId::from_index(self.methods.len());
+        self.note_mutation(SchemaDelta::MethodAdded { gf, method: id });
         self.methods.push(Method {
             gf,
             label,
@@ -419,7 +421,8 @@ impl Schema {
     /// signatures and bodies in place, preserving the method's identity).
     #[inline]
     pub fn method_mut(&mut self, m: MethodId) -> &mut Method {
-        self.note_mutation();
+        let gf = self.methods[m.index()].gf;
+        self.note_mutation(SchemaDelta::MethodTouched { gf, method: m });
         &mut self.methods[m.index()]
     }
 

@@ -558,7 +558,7 @@ fn encode_appindex(indexes: &HashMap<TypeId, Arc<ApplicabilityIndex>>) -> Vec<u8
 /// into the versioned snapshot byte format. Deterministic: the same
 /// schema state yields the same bytes.
 pub fn save_snapshot(schema: &Schema, meta: &[(String, String)]) -> Vec<u8> {
-    let warm = schema.cache.export_warm();
+    let warm = schema.cache.export_warm(schema);
     let sections: Vec<(u32, Vec<u8>)> = vec![
         (SECT_META, encode_meta(meta)),
         (SECT_NAMES, encode_names(&schema.names)),

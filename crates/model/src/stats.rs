@@ -111,6 +111,14 @@ pub struct DispatchCacheStats {
     pub lint_misses: u64,
     /// Generation bumps that flushed at least one warm entry.
     pub invalidations: u64,
+    /// Invalidations that had to flush *everything* (unstructured
+    /// mutations, explicit clears) instead of a delta-closed dirty set.
+    pub full_flushes: u64,
+    /// Warm entries evicted by delta-closure refreshes (cumulative).
+    pub delta_evictions: u64,
+    /// Warm entries that survived a delta-closure refresh (cumulative;
+    /// the whole point of delta invalidation — see [`crate::delta`]).
+    pub delta_survivals: u64,
     /// Currently resident CPL + rank-table entries.
     pub cpl_entries: usize,
     /// Currently resident applicable + ranked dispatch entries.
@@ -142,6 +150,13 @@ impl DispatchCacheStats {
             lint_hits: self.lint_hits.saturating_sub(baseline.lint_hits),
             lint_misses: self.lint_misses.saturating_sub(baseline.lint_misses),
             invalidations: self.invalidations.saturating_sub(baseline.invalidations),
+            full_flushes: self.full_flushes.saturating_sub(baseline.full_flushes),
+            delta_evictions: self
+                .delta_evictions
+                .saturating_sub(baseline.delta_evictions),
+            delta_survivals: self
+                .delta_survivals
+                .saturating_sub(baseline.delta_survivals),
             cpl_entries: self.cpl_entries,
             dispatch_entries: self.dispatch_entries,
             index_entries: self.index_entries,
@@ -163,6 +178,9 @@ impl DispatchCacheStats {
             lint_hits: self.lint_hits + other.lint_hits,
             lint_misses: self.lint_misses + other.lint_misses,
             invalidations: self.invalidations + other.invalidations,
+            full_flushes: self.full_flushes + other.full_flushes,
+            delta_evictions: self.delta_evictions + other.delta_evictions,
+            delta_survivals: self.delta_survivals + other.delta_survivals,
             cpl_entries: self.cpl_entries.max(other.cpl_entries),
             dispatch_entries: self.dispatch_entries.max(other.dispatch_entries),
             index_entries: self.index_entries.max(other.index_entries),
@@ -189,6 +207,9 @@ impl DispatchCacheStats {
             ("cache/lint_hits", self.lint_hits),
             ("cache/lint_misses", self.lint_misses),
             ("cache/invalidations", self.invalidations),
+            ("cache/full_flushes", self.full_flushes),
+            ("cache/delta_evictions", self.delta_evictions),
+            ("cache/delta_survivals", self.delta_survivals),
         ] {
             if value > 0 {
                 counter(name).add(value);
@@ -209,7 +230,8 @@ impl fmt::Display for DispatchCacheStats {
             "dispatch cache: gen {}, cpl {}/{} hits ({} resident), \
              dispatch {}/{} hits ({} resident), \
              index {}/{} hits ({} resident), \
-             lint {}/{} hits ({} resident), {} invalidations",
+             lint {}/{} hits ({} resident), {} invalidations \
+             ({} full, {} evicted / {} kept by deltas)",
             self.generation,
             self.cpl_hits,
             self.cpl_hits + self.cpl_misses,
@@ -223,7 +245,10 @@ impl fmt::Display for DispatchCacheStats {
             self.lint_hits,
             self.lint_hits + self.lint_misses,
             self.lint_entries,
-            self.invalidations
+            self.invalidations,
+            self.full_flushes,
+            self.delta_evictions,
+            self.delta_survivals
         )
     }
 }
@@ -292,6 +317,9 @@ mod tests {
             lint_hits: 6,
             lint_misses: 2,
             invalidations: 1,
+            full_flushes: 1,
+            delta_evictions: 4,
+            delta_survivals: 9,
             cpl_entries: 5,
             dispatch_entries: 7,
             index_entries: 2,
@@ -308,6 +336,9 @@ mod tests {
             lint_hits: 1,
             lint_misses: 2,
             invalidations: 0,
+            full_flushes: 0,
+            delta_evictions: 1,
+            delta_survivals: 4,
             cpl_entries: 2,
             dispatch_entries: 3,
             index_entries: 1,

@@ -34,6 +34,7 @@ pub mod printer;
 
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse_schema, parse_schema_lenient};
+pub(crate) use printer::method_content_text;
 pub use printer::schema_to_text;
 
 use crate::error::ModelError;

@@ -122,6 +122,22 @@ fn type_text(schema: &Schema, ty: ValueType) -> String {
     }
 }
 
+/// Renders a method's defining content (kind discriminant + body text)
+/// entirely through names. Used by `crate::delta` to compare methods
+/// across two schemas: interned ids are schema-relative, so `Method:
+/// PartialEq` is meaningless there, but this text is stable.
+pub(crate) fn method_content_text(schema: &Schema, m: crate::ids::MethodId) -> String {
+    match &schema.method(m).kind {
+        MethodKind::Reader(attr) => format!("reader {}", schema.attr_name(*attr)),
+        MethodKind::Writer(attr) => format!("writer {}", schema.attr_name(*attr)),
+        MethodKind::General(body) => {
+            let mut out = String::new();
+            print_body(schema, body, &mut out);
+            out
+        }
+    }
+}
+
 fn print_body(schema: &Schema, body: &Body, out: &mut String) {
     for local in &body.locals {
         let _ = writeln!(

@@ -19,6 +19,7 @@
 //! | `POST /v1/lint` | view request (view optional) | TDL report JSON |
 //! | `POST /v1/explain` | view request + `method` | proof tree |
 //! | `POST /v1/batch` | request-file text + `threads` | batch report |
+//! | `GET /v1/watch?tenant=&schema=` | — | SSE change feed (served in `lib.rs`) |
 //!
 //! A view request names its schema one of two ways: `"schema"` — a name
 //! registered under `"tenant"`, served from the warm shared snapshot —
@@ -27,7 +28,7 @@
 //! gated `ratio_serve_warm_vs_cold` metric keeps it honest.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use td_core::{explain, project, Derivation, Engine, ProjectionOptions};
@@ -36,6 +37,7 @@ use td_model::{parse_schema_lenient, AttrId, Schema, TypeId};
 use crate::http::Response;
 use crate::json::{quote, str_array, Json};
 use crate::registry::{Registry, SchemaEntry};
+use crate::watch::WatchHub;
 
 /// Longest artificial delay honored from a request's `delay_ms` field —
 /// a load-testing aid (it keeps a queue slot provably occupied for the
@@ -47,6 +49,11 @@ pub const MAX_DELAY_MS: u64 = 1_000;
 pub struct Api {
     /// The tenant-scoped schema registry.
     pub registry: Registry,
+    /// Live change-feed subscriptions; every successful schema PUT fans
+    /// its [`crate::registry::PutOutcome`] out through here. Shared so
+    /// each streaming connection's dedicated thread can outlive the io
+    /// pool's borrow of the [`Api`].
+    pub watch: Arc<WatchHub>,
     counts: Mutex<BTreeMap<String, u64>>,
 }
 
@@ -80,6 +87,7 @@ impl Api {
     pub fn with_registry(registry: Registry) -> Api {
         Api {
             registry,
+            watch: Arc::new(WatchHub::default()),
             counts: Mutex::new(BTreeMap::new()),
         }
     }
@@ -201,17 +209,27 @@ impl Api {
                 if text.trim().is_empty() {
                     return Err(bad("refusing to register an empty schema"));
                 }
-                let version = self
+                let outcome = self
                     .registry
                     .put(tenant, name, text)
                     .map_err(|e| bad(format!("schema does not parse: {e}")))?;
+                self.watch.notify_put(tenant, name, &outcome);
+                let version = outcome.version;
                 let status = if version == 1 { 201 } else { 200 };
+                let summary = outcome
+                    .diff
+                    .as_ref()
+                    .map(|d| d.summary())
+                    .unwrap_or_else(|| "first registration".to_string());
                 Ok(Response::json(
                     status,
                     format!(
-                        "{{\"tenant\": {}, \"name\": {}, \"version\": {version}}}\n",
+                        "{{\"tenant\": {}, \"name\": {}, \"version\": {version}, \
+                         \"diff\": {}, \"carried\": {}}}\n",
                         quote(tenant),
-                        quote(name)
+                        quote(name),
+                        quote(&summary),
+                        outcome.carried.total()
                     ),
                 ))
             }

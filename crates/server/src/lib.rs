@@ -60,12 +60,14 @@ pub mod http;
 pub mod json;
 pub mod registry;
 pub mod signal;
+pub mod watch;
 
 pub use admission::{FairQueue, Rejected, SubmitError};
 pub use api::{derivation_json, tenant_of, Api};
 pub use http::{http_call, Request, Response};
-pub use registry::{Registry, SchemaEntry};
+pub use registry::{PutOutcome, Registry, SchemaEntry};
 pub use signal::{install_shutdown_handler, request_shutdown, shutdown_requested};
+pub use watch::{WatchHub, WatchView};
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -255,6 +257,13 @@ impl Server {
             // Timeout or reset mid-read: nobody left to answer.
             Err(http::HttpError::Io(_)) => return,
         };
+        // A watch subscription is a long-lived stream: it must neither
+        // block an io worker nor occupy a compute slot, so it gets a
+        // dedicated thread that dies with its socket.
+        if request.method == "GET" && request.path == "/v1/watch" {
+            self.serve_watch(stream, &request);
+            return;
+        }
         // Derivation endpoints go through admission control; everything
         // else (health, metrics, stats, registration) is cheap enough to
         // answer from the io pool directly.
@@ -290,6 +299,75 @@ impl Server {
                 let _ = response.write_to(&mut stream);
             }
         }
+    }
+
+    /// Answers `GET /v1/watch?tenant=..&schema=..[&type=..&attrs=a,b]`:
+    /// subscribes the connection to the change feed and hands the socket
+    /// to a dedicated streaming thread. The thread writes one SSE frame
+    /// per event (`hello` first, then `change` per matching PUT) and a
+    /// comment ping during idle stretches so dead peers are detected;
+    /// any write failure unsubscribes and ends the thread.
+    fn serve_watch(&self, mut stream: TcpStream, request: &Request) {
+        let mut tenant = None;
+        let mut schema = None;
+        let mut type_name = None;
+        let mut attrs: Vec<String> = Vec::new();
+        for pair in request.query.split('&') {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match key {
+                "tenant" => tenant = Some(value.to_string()),
+                "schema" => schema = Some(value.to_string()),
+                "type" => type_name = Some(value.to_string()),
+                "attrs" => {
+                    attrs.extend(value.split(',').filter(|a| !a.is_empty()).map(String::from))
+                }
+                _ => {}
+            }
+        }
+        let (Some(tenant), Some(schema)) = (tenant, schema) else {
+            td_telemetry::metrics::counter("server/errors/400").add(1);
+            http::reject(
+                &mut stream,
+                &Response::error(400, "watch needs ?tenant=..&schema=.. query parameters"),
+            );
+            return;
+        };
+        let view = type_name.map(|type_name| WatchView { type_name, attrs });
+        let hub = Arc::clone(&self.api.watch);
+        let (id, events) = hub.subscribe(&tenant, &schema, view);
+        let header = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                      Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+        std::thread::spawn(move || {
+            use std::io::Write as _;
+            // read_request set a read timeout; writes are unaffected,
+            // but clear it so the socket carries no stale deadlines.
+            let _ = stream.set_read_timeout(None);
+            if stream
+                .write_all(header.as_bytes())
+                .and_then(|()| stream.flush())
+                .is_err()
+            {
+                hub.unsubscribe(id);
+                return;
+            }
+            loop {
+                let frame = match events.recv_timeout(Duration::from_secs(10)) {
+                    Ok(frame) => frame,
+                    // Idle: an SSE comment doubles as a liveness probe.
+                    Err(mpsc::RecvTimeoutError::Timeout) => ": ping\n\n".to_string(),
+                    // Hub dropped (server shutting down): end the stream.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                if stream
+                    .write_all(frame.as_bytes())
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            hub.unsubscribe(id);
+        });
     }
 }
 

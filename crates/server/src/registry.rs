@@ -7,17 +7,24 @@
 //! snapshot, so the CPL memo, dispatch cache and applicability index
 //! warmed by earlier requests are inherited instead of rebuilt — the
 //! warm-path advantage the `ratio_serve_warm_vs_cold` repro metric
-//! gates. Re-registering a name swaps in a brand-new snapshot: version
-//! bump IS cache invalidation, there is no partial reuse across schema
-//! versions (the snapshot's generation-tagged caches make stale reuse a
-//! correctness bug we structurally cannot hit).
+//! gates. Re-registering a name swaps in a brand-new snapshot, but not a
+//! brand-new cache: the registry diffs the new text's schema against the
+//! previous version ([`td_model::diff_schemas`]) and, when every
+//! surviving entity keeps its id slot, carries the warm entries whose
+//! dependency closure the diff proves untouched
+//! ([`td_model::Schema::carry_warm_from`]). A version bump therefore
+//! invalidates exactly the changed portion of the cache; entries the
+//! edit could not have affected stay warm across versions. The diff and
+//! the replaced snapshot ride along in the [`PutOutcome`] so the watch
+//! hub can stream incremental re-derivation results to subscribers.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
 
 use td_model::{
-    parse_schema, read_snapshot_file, write_snapshot_file, Schema, SchemaSnapshot, TypeId,
+    diff_schemas, parse_schema, read_snapshot_file, write_snapshot_file, CarryReport, Schema,
+    SchemaDiff, SchemaSnapshot, TypeId,
 };
 
 /// One registered schema: the parsed warm snapshot plus provenance.
@@ -44,6 +51,23 @@ impl SchemaEntry {
         // request's pipeline error instead; warming never fails.
         let _ = self.snapshot.cached_applicability_index(source);
     }
+}
+
+/// What a [`Registry::put`] did: the assigned version plus everything a
+/// change-feed consumer needs to compute incremental re-derivations.
+pub struct PutOutcome {
+    /// Monotonic per-(tenant, name) version, starting at 1.
+    pub version: u64,
+    /// Diff against the replaced version (`None` on first registration).
+    pub diff: Option<SchemaDiff>,
+    /// Warm entries carried from the replaced snapshot (zero when ids
+    /// were unstable or nothing qualified).
+    pub carried: CarryReport,
+    /// The entry this PUT replaced, still warm (`None` on first
+    /// registration). Watch subscribers derive against both sides.
+    pub previous: Option<Arc<SchemaEntry>>,
+    /// The newly registered snapshot.
+    pub snapshot: SchemaSnapshot,
 }
 
 /// Registry state: tenant → schema name → entry.
@@ -101,15 +125,41 @@ impl Registry {
                 .map_err(|_| format!("snapshot `{}`: bad version", path.display()))?;
             let text = field("text")?;
             let mut inner = registry.inner.write().unwrap_or_else(|e| e.into_inner());
-            inner.entry(tenant).or_default().insert(
-                name,
-                Arc::new(SchemaEntry {
-                    version,
-                    snapshot: schema.into_snapshot(),
-                    text,
-                }),
-            );
-            loaded += 1;
+            let schemas = inner.entry(tenant.clone()).or_default();
+            // Staleness guard: two files can claim the same (tenant,
+            // name) — e.g. a stray copy made before a later
+            // re-registration. Keep whichever carries the higher
+            // version, never whichever happens to sort last.
+            if let Some(existing) = schemas.get(&name) {
+                if existing.version >= version {
+                    eprintln!(
+                        "td-server: snapshot `{}` is stale for {tenant}/{name} \
+                         (v{version} <= restored v{}), ignoring",
+                        path.display(),
+                        existing.version
+                    );
+                    continue;
+                }
+                eprintln!(
+                    "td-server: snapshot `{}` supersedes {tenant}/{name} \
+                     v{} with v{version}",
+                    path.display(),
+                    existing.version
+                );
+            }
+            let superseded = schemas
+                .insert(
+                    name,
+                    Arc::new(SchemaEntry {
+                        version,
+                        snapshot: schema.into_snapshot(),
+                        text,
+                    }),
+                )
+                .is_some();
+            if !superseded {
+                loaded += 1;
+            }
         }
         Ok((registry, loaded))
     }
@@ -123,12 +173,26 @@ impl Registry {
                 .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
     }
 
-    /// Parses and registers `text` under `(tenant, name)`, returning the
-    /// new version. Replacing an existing name bumps its version and
-    /// discards the old snapshot (and with it every warm cache).
-    pub fn put(&self, tenant: &str, name: &str, text: &str) -> Result<u64, String> {
+    /// Parses and registers `text` under `(tenant, name)`. Replacing an
+    /// existing name bumps its version, diffs the new schema against the
+    /// replaced one, and — when the diff proves id stability — carries
+    /// the warm cache entries the edit could not have touched into the
+    /// new snapshot, so the first request after a small edit re-derives
+    /// only the dirty portion. The outcome reports the diff, the carry
+    /// tally, and both snapshots for watch-feed consumers.
+    pub fn put(&self, tenant: &str, name: &str, text: &str) -> Result<PutOutcome, String> {
         let schema = parse_schema(text).map_err(|e| e.to_string())?;
         let snapshot = schema.into_snapshot();
+        let previous = self.get(tenant, name);
+        let mut diff = None;
+        let mut carried = CarryReport::default();
+        if let Some(prev) = &previous {
+            let d = diff_schemas(prev.snapshot.schema(), snapshot.schema());
+            carried = snapshot
+                .schema()
+                .carry_warm_from(prev.snapshot.schema(), &d);
+            diff = Some(d);
+        }
         let version;
         {
             let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
@@ -159,7 +223,13 @@ impl Registry {
             write_snapshot_file(&snapshot, &meta, &path)
                 .map_err(|e| format!("cannot persist snapshot `{}`: {e}", path.display()))?;
         }
-        Ok(version)
+        Ok(PutOutcome {
+            version,
+            diff,
+            carried,
+            previous,
+            snapshot,
+        })
     }
 
     /// The entry registered under `(tenant, name)`, if any.
@@ -202,10 +272,16 @@ mod tests {
     #[test]
     fn put_parses_versions_and_isolates_tenants() {
         let r = Registry::new();
-        assert_eq!(r.put("acme", "s", FIG).unwrap(), 1);
-        assert_eq!(r.put("acme", "s", FIG).unwrap(), 2);
+        let first = r.put("acme", "s", FIG).unwrap();
+        assert_eq!(first.version, 1);
+        assert!(first.diff.is_none() && first.previous.is_none());
+        let second = r.put("acme", "s", FIG).unwrap();
+        assert_eq!(second.version, 2);
+        // Identical text: the diff exists and is empty.
+        assert!(second.diff.as_ref().unwrap().is_empty());
+        assert_eq!(second.previous.as_ref().unwrap().version, 1);
         // The same schema name in another tenant versions independently.
-        assert_eq!(r.put("globex", "s", FIG).unwrap(), 1);
+        assert_eq!(r.put("globex", "s", FIG).unwrap().version, 1);
         assert_eq!(r.get("acme", "s").unwrap().version, 2);
         assert_eq!(r.get("globex", "s").unwrap().version, 1);
         assert!(r.get("acme", "missing").is_none());
@@ -222,7 +298,9 @@ mod tests {
     #[test]
     fn put_rejects_unparseable_text() {
         let r = Registry::new();
-        let e = r.put("acme", "bad", "type { oops").unwrap_err();
+        let Err(e) = r.put("acme", "bad", "type { oops") else {
+            panic!("malformed text must not register");
+        };
         assert!(!e.is_empty());
         assert!(r.get("acme", "bad").is_none());
     }
@@ -245,9 +323,12 @@ mod tests {
         {
             let (r, loaded) = Registry::with_snapshot_dir(&dir).unwrap();
             assert_eq!(loaded, 0);
-            assert_eq!(r.put("acme", "s", FIG).unwrap(), 1);
-            assert_eq!(r.put("acme", "s", FIG).unwrap(), 2);
-            assert_eq!(r.put("globex", "t", "type B { z: int }\n").unwrap(), 1);
+            assert_eq!(r.put("acme", "s", FIG).unwrap().version, 1);
+            assert_eq!(r.put("acme", "s", FIG).unwrap().version, 2);
+            assert_eq!(
+                r.put("globex", "t", "type B { z: int }\n").unwrap().version,
+                1
+            );
         }
 
         // "Restart": a fresh registry over the same directory.
@@ -278,7 +359,7 @@ mod tests {
         let r = Registry::new();
         r.put("t", "s", FIG).unwrap();
         let old = r.get("t", "s").unwrap();
-        r.put("t", "s", "type B { z: int }\n").unwrap();
+        let outcome = r.put("t", "s", "type B { z: int }\n").unwrap();
         let new = r.get("t", "s").unwrap();
         assert_eq!(new.version, 2);
         // The old Arc survives for in-flight requests but the registry
@@ -286,5 +367,70 @@ mod tests {
         assert_eq!(old.version, 1);
         assert!(new.snapshot.schema().type_id("B").is_ok());
         assert!(new.snapshot.schema().type_id("A").is_err());
+        // A wholesale replacement breaks id stability: nothing carries.
+        assert!(!outcome.diff.as_ref().unwrap().ids_stable);
+        assert_eq!(outcome.carried.total(), 0);
+    }
+
+    #[test]
+    fn append_only_edit_carries_warm_entries_across_versions() {
+        let r = Registry::new();
+        let base = "type A { x: int }\ntype B : A { y: int }\naccessors x\n";
+        r.put("t", "s", base).unwrap();
+        // Warm the registered snapshot the way request traffic would.
+        let entry = r.get("t", "s").unwrap();
+        entry.snapshot.warm_caches();
+
+        // Append-only edit: a new subtype with an accessor.
+        let edited = format!("{base}type C : B {{ z: int }}\naccessors z\n");
+        let outcome = r.put("t", "s", &edited).unwrap();
+        let diff = outcome.diff.as_ref().unwrap();
+        assert!(diff.ids_stable, "{diff:?}");
+        assert_eq!(diff.summary(), "types +1; attrs +1; gfs +2; methods +2");
+        assert!(
+            outcome.carried.total() > 0,
+            "warm entries must carry across an append-only PUT: {:?}",
+            outcome.carried
+        );
+        // A and B answer from carried entries: no index rebuild misses.
+        let new = r.get("t", "s").unwrap();
+        let before = new.snapshot.schema().dispatch_cache_stats();
+        let a = new.snapshot.schema().type_id("A").unwrap();
+        new.snapshot.cached_applicability_index(a).unwrap();
+        let after = new.snapshot.schema().dispatch_cache_stats();
+        assert_eq!(after.index_misses, before.index_misses);
+    }
+
+    #[test]
+    fn snapshot_dir_restore_prefers_the_newer_version_on_duplicates() {
+        let dir = std::env::temp_dir().join(format!("td_registry_stale_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (r, _) = Registry::with_snapshot_dir(&dir).unwrap();
+            r.put("acme", "s", FIG).unwrap();
+            // Simulate a stale stray copy left behind before a later
+            // re-registration: duplicate the v1 file under another name,
+            // then re-register so the canonical file holds v2.
+            std::fs::copy(dir.join("acme__s.tds"), dir.join("acme__s.stale.tds")).unwrap();
+            r.put("acme", "s", "type A { x: int  y: int  w: int }\n")
+                .unwrap();
+        }
+        // The stale copy sorts BEFORE the canonical file; restore must
+        // still surface v2. A reversed-sort duplicate (sorting after)
+        // must be ignored, not clobber v2.
+        let (r, loaded) = Registry::with_snapshot_dir(&dir).unwrap();
+        assert_eq!(loaded, 1, "duplicates must not double-count");
+        assert_eq!(r.get("acme", "s").unwrap().version, 2);
+        assert!(r.get("acme", "s").unwrap().text.contains('w'));
+
+        std::fs::copy(dir.join("acme__s.stale.tds"), dir.join("acme__s.zz.tds")).unwrap();
+        let (r, loaded) = Registry::with_snapshot_dir(&dir).unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(
+            r.get("acme", "s").unwrap().version,
+            2,
+            "a stale file sorting last must not shadow the newer version"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

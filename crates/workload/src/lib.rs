@@ -9,6 +9,8 @@
 //! * [`gen`] — deterministic structured families (chains, ladders, call
 //!   chains, call cycles, single-dispatch class chains) and a seeded
 //!   random-schema generator for property tests and scaling benchmarks.
+//! * [`mutate`] — seeded schema mutation streams replayed by the
+//!   delta-invalidation property suite (same seed, same edits).
 //! * [`scenarios`] — a realistic mid-size university schema with diamond
 //!   inheritance and genuine binary multi-methods.
 //! * [`pathological`] — adversarial schemas the TDL lints must flag
@@ -24,6 +26,7 @@
 
 pub mod figures;
 pub mod gen;
+pub mod mutate;
 pub mod pathological;
 pub mod replay;
 pub mod scenarios;
@@ -34,6 +37,7 @@ pub use gen::{
     deepest_type, ladder_schema, random_projection, random_schema, single_dispatch_schema,
     wide_schema, GenParams,
 };
+pub use mutate::apply_random_mutations;
 pub use pathological::{
     ambiguous_multimethod_schema, diamond_conflict_schema, load_bearing_trap_schema,
     pathological_corpus, PathologicalCase,
