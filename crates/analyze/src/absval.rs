@@ -1,0 +1,437 @@
+//! The abstract value domain and the body evaluator.
+//!
+//! Each value is abstracted on two independent axes:
+//!
+//! * **nullness** — can the value be the null reference? The model's
+//!   dispatch semantics make this dispatch-relevant: null matches any
+//!   `Specializer::Type` but never a `Specializer::Prim`, so a provably
+//!   null value at an all-primitive position is a guaranteed dispatch
+//!   failure (TDL201).
+//! * **constness** — is the value a known integer/boolean constant?
+//!   Constant booleans decide `if` conditions, which makes the untaken
+//!   branch unreachable (TDL202) and any Augment-forcing assignment
+//!   inside it moot.
+//!
+//! Both axes are finite-height join semilattices, so the interprocedural
+//! fixpoint over return values converges without widening (the framework
+//! hook still guards the ring case).
+
+use td_model::{BinOp, Body, Expr, Literal, Method, MethodId, Schema, Specializer, Stmt};
+
+use crate::framework::CallGraph;
+
+/// Nullness axis: `Bottom < {NonNull, Null} < Top`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullness {
+    /// No value observed yet (unreachable / uninitialized analysis state).
+    Bottom,
+    /// Provably never null.
+    NonNull,
+    /// Provably always null.
+    Null,
+    /// May or may not be null.
+    Top,
+}
+
+impl Nullness {
+    fn join(self, other: Nullness) -> Nullness {
+        use Nullness::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (a, b) if a == b => a,
+            _ => Top,
+        }
+    }
+}
+
+/// Constness axis: `Bottom < Int(v) | Bool(b) < Top`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constness {
+    /// No value observed yet.
+    Bottom,
+    /// A known integer constant.
+    Int(i64),
+    /// A known boolean constant.
+    Bool(bool),
+    /// Not a known constant.
+    Top,
+}
+
+impl Constness {
+    fn join(self, other: Constness) -> Constness {
+        use Constness::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (a, b) if a == b => a,
+            _ => Top,
+        }
+    }
+}
+
+/// One abstract value: the product of the two axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsVal {
+    /// Nullness of the value.
+    pub null: Nullness,
+    /// Constness of the value.
+    pub cval: Constness,
+}
+
+impl AbsVal {
+    /// The least element.
+    pub const BOTTOM: AbsVal = AbsVal {
+        null: Nullness::Bottom,
+        cval: Constness::Bottom,
+    };
+
+    /// The greatest element (no information).
+    pub const TOP: AbsVal = AbsVal {
+        null: Nullness::Top,
+        cval: Constness::Top,
+    };
+
+    /// A definitely-null value.
+    pub const NULL: AbsVal = AbsVal {
+        null: Nullness::Null,
+        cval: Constness::Top,
+    };
+
+    /// A non-null, non-constant value.
+    pub const NON_NULL: AbsVal = AbsVal {
+        null: Nullness::NonNull,
+        cval: Constness::Top,
+    };
+
+    fn int(v: i64) -> AbsVal {
+        AbsVal {
+            null: Nullness::NonNull,
+            cval: Constness::Int(v),
+        }
+    }
+
+    fn bool(b: bool) -> AbsVal {
+        AbsVal {
+            null: Nullness::NonNull,
+            cval: Constness::Bool(b),
+        }
+    }
+
+    /// Joins `other` into `self`; returns true iff `self` changed.
+    pub fn join_with(&mut self, other: &AbsVal) -> bool {
+        let next = AbsVal {
+            null: self.null.join(other.null),
+            cval: self.cval.join(other.cval),
+        };
+        let changed = next != *self;
+        *self = next;
+        changed
+    }
+
+    /// True when the value is provably the null reference.
+    pub fn is_definitely_null(&self) -> bool {
+        self.null == Nullness::Null
+    }
+}
+
+/// The abstract value a formal parameter starts with: primitive
+/// specializers guarantee a non-null primitive, object specializers admit
+/// null (dispatch lets null through any `Type` position).
+pub fn param_abstraction(method: &Method, i: usize) -> AbsVal {
+    match method.specializers.get(i) {
+        Some(Specializer::Prim(_)) => AbsVal::NON_NULL,
+        Some(Specializer::Type(_)) | None => AbsVal::TOP,
+    }
+}
+
+/// One generic-function call observed by the reporting pass.
+#[derive(Debug, Clone)]
+pub struct CallRecord {
+    /// The called generic function.
+    pub gf: td_model::GfId,
+    /// Abstract value of each actual argument.
+    pub args: Vec<AbsVal>,
+}
+
+/// One `if` whose condition folded to a constant.
+#[derive(Debug, Clone)]
+pub struct ConstBranch {
+    /// The constant the condition evaluates to.
+    pub cond: bool,
+    /// Number of statements (recursively) in the untaken branch.
+    pub dead_stmts: usize,
+}
+
+/// What the reporting pass collects while re-evaluating a body against
+/// the converged return-value facts.
+#[derive(Debug, Default)]
+pub struct EvalRecord {
+    /// Every call observed (live branches only).
+    pub calls: Vec<CallRecord>,
+    /// Every constant-condition `if` observed.
+    pub const_branches: Vec<ConstBranch>,
+}
+
+/// Evaluates `body` of `method` abstractly. `facts` holds the current
+/// per-node return-value assignment (indexed like `graph.methods`);
+/// `record`, when present, collects call sites and constant branches.
+/// Returns the join over all `return` expressions, or `TOP` when the
+/// body can fall through without returning.
+pub fn eval_body(
+    schema: &Schema,
+    method: MethodId,
+    body: &Body,
+    graph: &CallGraph,
+    facts: &[AbsVal],
+    mut record: Option<&mut EvalRecord>,
+) -> AbsVal {
+    let m = schema.method(method);
+    // Uninitialized locals read as unknown, not bottom: the IR permits a
+    // use before any assignment.
+    let mut env: Vec<AbsVal> = vec![AbsVal::TOP; body.locals.len()];
+    let mut ret = AbsVal::BOTTOM;
+    eval_stmts(
+        schema,
+        m,
+        &body.stmts,
+        graph,
+        facts,
+        &mut env,
+        &mut ret,
+        &mut record,
+    );
+    if ret == AbsVal::BOTTOM {
+        // No return statement: a declared result would be undefined at
+        // runtime; callers get no information.
+        AbsVal::TOP
+    } else {
+        ret
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one threaded evaluation context
+fn eval_stmts(
+    schema: &Schema,
+    m: &Method,
+    stmts: &[Stmt],
+    graph: &CallGraph,
+    facts: &[AbsVal],
+    env: &mut Vec<AbsVal>,
+    ret: &mut AbsVal,
+    record: &mut Option<&mut EvalRecord>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { var, value } => {
+                let v = eval_expr(schema, m, value, graph, facts, env, record);
+                if let Some(slot) = env.get_mut(var.index()) {
+                    *slot = v;
+                }
+            }
+            Stmt::Expr(e) => {
+                eval_expr(schema, m, e, graph, facts, env, record);
+            }
+            Stmt::Return(e) => {
+                let v = eval_expr(schema, m, e, graph, facts, env, record);
+                ret.join_with(&v);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = eval_expr(schema, m, cond, graph, facts, env, record);
+                if let Constness::Bool(b) = c.cval {
+                    // The condition is decided: only the live branch
+                    // executes (and only it is observed by the record).
+                    let dead = if b { else_branch } else { then_branch };
+                    if let Some(r) = record.as_deref_mut() {
+                        r.const_branches.push(ConstBranch {
+                            cond: b,
+                            dead_stmts: count_stmts(dead),
+                        });
+                    }
+                    let live = if b { then_branch } else { else_branch };
+                    eval_stmts(schema, m, live, graph, facts, env, ret, record);
+                } else {
+                    // Both branches may run: evaluate each against a copy
+                    // of the environment and join the variable states.
+                    let mut then_env = env.clone();
+                    eval_stmts(
+                        schema,
+                        m,
+                        then_branch,
+                        graph,
+                        facts,
+                        &mut then_env,
+                        ret,
+                        record,
+                    );
+                    eval_stmts(schema, m, else_branch, graph, facts, env, ret, record);
+                    for (slot, t) in env.iter_mut().zip(then_env.iter()) {
+                        slot.join_with(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn eval_expr(
+    schema: &Schema,
+    m: &Method,
+    e: &Expr,
+    graph: &CallGraph,
+    facts: &[AbsVal],
+    env: &[AbsVal],
+    record: &mut Option<&mut EvalRecord>,
+) -> AbsVal {
+    match e {
+        Expr::Param(i) => param_abstraction(m, *i),
+        Expr::Var(v) => env.get(v.index()).copied().unwrap_or(AbsVal::TOP),
+        Expr::Lit(Literal::Int(v)) => AbsVal::int(*v),
+        Expr::Lit(Literal::Bool(b)) => AbsVal::bool(*b),
+        Expr::Lit(Literal::Float(_)) | Expr::Lit(Literal::Str(_)) => AbsVal::NON_NULL,
+        Expr::Lit(Literal::Null) => AbsVal::NULL,
+        Expr::Call { gf, args } => {
+            let arg_vals: Vec<AbsVal> = args
+                .iter()
+                .map(|a| eval_expr(schema, m, a, graph, facts, env, record))
+                .collect();
+            if let Some(r) = record.as_deref_mut() {
+                r.calls.push(CallRecord {
+                    gf: *gf,
+                    args: arg_vals,
+                });
+            }
+            call_result(schema, *gf, graph, facts)
+        }
+        Expr::BinOp { op, lhs, rhs } => {
+            let l = eval_expr(schema, m, lhs, graph, facts, env, record);
+            let r = eval_expr(schema, m, rhs, graph, facts, env, record);
+            fold_binop(*op, l, r)
+        }
+    }
+}
+
+/// Abstract result of calling `gf`: the declared-no-result case is a
+/// definite null (mirroring `Schema::static_expr_type`); otherwise the
+/// join over the return-value facts of the function's methods.
+fn call_result(schema: &Schema, gf: td_model::GfId, graph: &CallGraph, facts: &[AbsVal]) -> AbsVal {
+    let g = schema.gf(gf);
+    if g.result.is_none() {
+        return AbsVal::NULL;
+    }
+    let mut out = AbsVal::BOTTOM;
+    for &m in &g.methods {
+        match graph.node_of(m) {
+            Some(node) => {
+                out.join_with(&facts[node]);
+            }
+            None => return AbsVal::TOP,
+        }
+    }
+    if out == AbsVal::BOTTOM {
+        // No methods: the call cannot dispatch; claim nothing.
+        AbsVal::TOP
+    } else {
+        out
+    }
+}
+
+fn fold_binop(op: BinOp, l: AbsVal, r: AbsVal) -> AbsVal {
+    use Constness::*;
+    let cval = match (op, l.cval, r.cval) {
+        (BinOp::Add, Int(a), Int(b)) => a.checked_add(b).map_or(Top, Int),
+        (BinOp::Sub, Int(a), Int(b)) => a.checked_sub(b).map_or(Top, Int),
+        (BinOp::Mul, Int(a), Int(b)) => a.checked_mul(b).map_or(Top, Int),
+        (BinOp::Div, Int(a), Int(b)) => a.checked_div(b).map_or(Top, Int),
+        (BinOp::Lt, Int(a), Int(b)) => Bool(a < b),
+        (BinOp::Eq, Int(a), Int(b)) => Bool(a == b),
+        (BinOp::Eq, Bool(a), Bool(b)) => Bool(a == b),
+        (BinOp::And, Bool(a), Bool(b)) => Bool(a && b),
+        (BinOp::Or, Bool(a), Bool(b)) => Bool(a || b),
+        // Short-circuit absorption: one decided operand can decide the op.
+        (BinOp::And, Bool(false), _) | (BinOp::And, _, Bool(false)) => Bool(false),
+        (BinOp::Or, Bool(true), _) | (BinOp::Or, _, Bool(true)) => Bool(true),
+        _ => Top,
+    };
+    AbsVal {
+        null: Nullness::NonNull,
+        cval,
+    }
+}
+
+fn count_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + count_stmts(then_branch) + count_stmts(else_branch),
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_joins_are_semilattices() {
+        use Nullness::*;
+        assert_eq!(Null.join(Null), Null);
+        assert_eq!(Null.join(NonNull), Top);
+        assert_eq!(Bottom.join(Null), Null);
+        use Constness as C;
+        assert_eq!(C::Int(3).join(C::Int(3)), C::Int(3));
+        assert_eq!(C::Int(3).join(C::Int(4)), C::Top);
+        assert_eq!(C::Bottom.join(C::Bool(true)), C::Bool(true));
+    }
+
+    #[test]
+    fn binop_folding_and_poisoning() {
+        let three = AbsVal {
+            null: Nullness::NonNull,
+            cval: Constness::Int(3),
+        };
+        let four = AbsVal {
+            null: Nullness::NonNull,
+            cval: Constness::Int(4),
+        };
+        assert_eq!(fold_binop(BinOp::Add, three, four).cval, Constness::Int(7));
+        assert_eq!(
+            fold_binop(BinOp::Lt, three, four).cval,
+            Constness::Bool(true)
+        );
+        assert_eq!(
+            fold_binop(BinOp::Add, three, AbsVal::TOP).cval,
+            Constness::Top
+        );
+        // Division by zero degrades to Top rather than panicking.
+        let zero = AbsVal {
+            null: Nullness::NonNull,
+            cval: Constness::Int(0),
+        };
+        assert_eq!(fold_binop(BinOp::Div, three, zero).cval, Constness::Top);
+        // Short-circuit: false && anything is false.
+        let f = AbsVal::bool(false);
+        assert_eq!(
+            fold_binop(BinOp::And, f, AbsVal::TOP).cval,
+            Constness::Bool(false)
+        );
+    }
+
+    #[test]
+    fn count_stmts_descends() {
+        let inner = Stmt::Return(Expr::int(1));
+        let outer = Stmt::If {
+            cond: Expr::Lit(Literal::Bool(true)),
+            then_branch: vec![inner.clone()],
+            else_branch: vec![inner],
+        };
+        assert_eq!(count_stmts(&[outer]), 3);
+    }
+}

@@ -1,0 +1,504 @@
+//! The generic interprocedural monotone framework.
+//!
+//! A dataflow problem is a join-semilattice of facts plus a monotone
+//! transfer function per method; the solver iterates a worklist over the
+//! call graph's SCC condensation to the least fixpoint. Acyclic regions
+//! are solved in one topological sweep (each SCC sees only final facts
+//! from the SCCs it depends on); cyclic regions — the §4 optimistic-cycle
+//! rings — iterate to a local fixpoint, with a widening hook that kicks
+//! in after a visit budget so infinite-ascending-chain domains still
+//! terminate.
+//!
+//! Two graph sources feed the same solver:
+//!
+//! * [`CallGraph::from_index`] — the per-source applicability
+//!   condensation of `td_model::appindex`, including its
+//!   precision-refined call edges. Used by the per-request analyses
+//!   (footprints, reachability).
+//! * [`CallGraph::whole_schema`] — every method, with an edge to every
+//!   method of every called generic function. The conservative graph the
+//!   schema-wide analyses (nullability/constness) run on.
+
+use std::collections::HashMap;
+
+use td_model::{ApplicabilityIndex, MethodId, Schema};
+
+/// Which way facts flow along call edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Caller facts flow to callees (entry/reachability style): a node's
+    /// input is the join over its callers, and callers are solved first.
+    TopDown,
+    /// Callee facts flow to callers (summary style: footprints, return
+    /// values): a node's input is the join over its callees, and callees
+    /// are solved first.
+    BottomUp,
+}
+
+/// An interprocedural dataflow problem over a [`CallGraph`].
+///
+/// `join` must be a semilattice join (commutative, associative,
+/// idempotent) and `transfer` monotone in its `input`; the solver then
+/// reaches the least fixpoint. `widen` defaults to `join` — override it
+/// for domains with unbounded ascending chains.
+pub trait Analysis {
+    /// The lattice of facts, one per method.
+    type Fact: Clone;
+
+    /// Edge orientation for this problem.
+    fn direction(&self) -> Direction;
+
+    /// The least element every node starts at.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Joins `from` into `into`; returns true iff `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Widening operator, applied instead of `join` on nodes of a cyclic
+    /// SCC once their visit count exceeds the budget. Must over-approximate
+    /// `join` and stabilize every ascending chain.
+    fn widen(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        self.join(into, from)
+    }
+
+    /// Computes the node's new fact from the join of its dependency
+    /// facts. `facts` exposes the whole current assignment so transfer
+    /// functions can consult arbitrary neighbors (e.g. per-generic-
+    /// function summaries) rather than only the pre-joined `input`.
+    fn transfer(
+        &self,
+        m: MethodId,
+        node: usize,
+        input: &Self::Fact,
+        graph: &CallGraph,
+        facts: &[Self::Fact],
+    ) -> Self::Fact;
+}
+
+/// Visits a cyclic node this many times before switching to `widen`.
+const WIDEN_BUDGET: usize = 2;
+
+/// A method-level call graph with its SCC condensation.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// The node universe; node index ↔ position here.
+    pub methods: Vec<MethodId>,
+    node_of: HashMap<MethodId, usize>,
+    /// Deduplicated caller → callee adjacency.
+    callees: Vec<Vec<usize>>,
+    /// The reverse adjacency.
+    callers: Vec<Vec<usize>>,
+    /// SCC id per node. Ids are in reverse-topological emission order:
+    /// every cross call edge targets a strictly smaller SCC id.
+    scc_of: Vec<usize>,
+    /// Members per SCC.
+    sccs: Vec<Vec<usize>>,
+    /// Whether the SCC is a genuine ring (size > 1 or a self loop).
+    cyclic: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the graph from a per-source applicability index, reusing
+    /// its (possibly precision-refined) call edges: node universe =
+    /// index universe, edge per indexed candidate binding.
+    pub fn from_index(index: &ApplicabilityIndex) -> CallGraph {
+        let methods = index.universe().to_vec();
+        let edges = methods
+            .iter()
+            .map(|&m| {
+                index
+                    .callees(m)
+                    .map(|it| it.collect::<Vec<_>>())
+                    .unwrap_or_default()
+            })
+            .collect::<Vec<_>>();
+        Self::build(methods, |_, i| edges[i].clone())
+    }
+
+    /// Builds the conservative whole-schema graph: every method is a
+    /// node, and a general body calling generic function `g` gets an
+    /// edge to every method of `g` (dispatch could pick any of them).
+    pub fn whole_schema(schema: &Schema) -> CallGraph {
+        let methods: Vec<MethodId> = schema.method_ids().collect();
+        Self::build(methods, |m, _| {
+            let mut out = Vec::new();
+            if let Some(body) = schema.method(m).body() {
+                body.visit_exprs(&mut |e| {
+                    if let td_model::Expr::Call { gf, .. } = e {
+                        out.extend(schema.gf(*gf).methods.iter().copied());
+                    }
+                });
+            }
+            out
+        })
+    }
+
+    fn build(
+        methods: Vec<MethodId>,
+        mut callee_methods: impl FnMut(MethodId, usize) -> Vec<MethodId>,
+    ) -> CallGraph {
+        let node_of: HashMap<MethodId, usize> =
+            methods.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let n = methods.len();
+        let mut callees: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (i, &m) in methods.iter().enumerate() {
+            let mut adj: Vec<usize> = callee_methods(m, i)
+                .into_iter()
+                .filter_map(|c| node_of.get(&c).copied())
+                .collect();
+            adj.sort_unstable();
+            adj.dedup();
+            callees.push(adj);
+        }
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, adj) in callees.iter().enumerate() {
+            for &v in adj {
+                callers[v].push(u);
+            }
+        }
+        let (scc_of, sccs) = tarjan(n, &callees);
+        let cyclic = sccs
+            .iter()
+            .map(|members| {
+                members.len() > 1 || members.first().is_some_and(|&v| callees[v].contains(&v))
+            })
+            .collect();
+        CallGraph {
+            methods,
+            node_of,
+            callees,
+            callers,
+            scc_of,
+            sccs,
+            cyclic,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// The node index of a method, if it is in the universe.
+    pub fn node_of(&self, m: MethodId) -> Option<usize> {
+        self.node_of.get(&m).copied()
+    }
+
+    /// Callee node indexes of a node.
+    pub fn callees(&self, node: usize) -> &[usize] {
+        &self.callees[node]
+    }
+
+    /// Caller node indexes of a node.
+    pub fn callers(&self, node: usize) -> &[usize] {
+        &self.callers[node]
+    }
+
+    /// Number of SCCs in the condensation.
+    pub fn n_sccs(&self) -> usize {
+        self.sccs.len()
+    }
+
+    /// True when the node sits on a call ring.
+    pub fn on_ring(&self, node: usize) -> bool {
+        self.cyclic[self.scc_of[node]]
+    }
+}
+
+/// Iterative Tarjan SCC. Returns `(scc_of, sccs)`; SCC ids follow the
+/// emission order, so every cross edge `u → v` satisfies
+/// `scc_of[v] < scc_of[u]` (reverse-topological).
+fn tarjan(n: usize, adj: &[Vec<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![0usize; n];
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    // (node, next child position) call frames.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(members);
+                }
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    (scc_of, sccs)
+}
+
+/// The least fixpoint of an analysis, plus iteration accounting.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// One fact per graph node (same indexing as `CallGraph::methods`).
+    pub facts: Vec<F>,
+    /// Total transfer-function evaluations.
+    pub node_visits: usize,
+    /// Times the widening operator replaced the join.
+    pub widenings: usize,
+}
+
+/// Runs `analysis` over `graph` to its least fixpoint.
+///
+/// SCCs are processed in dependency order (callees first for
+/// [`Direction::BottomUp`], callers first for [`Direction::TopDown`]);
+/// within an SCC a worklist iterates until no fact changes, switching
+/// from `join` to `widen` on ring nodes after `WIDEN_BUDGET` visits.
+pub fn solve<A: Analysis>(graph: &CallGraph, analysis: &A) -> Solution<A::Fact> {
+    let n = graph.len();
+    let mut facts: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    let mut node_visits = 0usize;
+    let mut widenings = 0usize;
+    let bottom_up = analysis.direction() == Direction::BottomUp;
+    let scc_order: Vec<usize> = if bottom_up {
+        (0..graph.n_sccs()).collect()
+    } else {
+        (0..graph.n_sccs()).rev().collect()
+    };
+    let mut visits = vec![0usize; n];
+    let mut queued = vec![false; n];
+    for sid in scc_order {
+        let members = &graph.sccs[sid];
+        let cyclic = graph.cyclic[sid];
+        let mut worklist: Vec<usize> = members.clone();
+        for &v in members {
+            queued[v] = true;
+        }
+        while let Some(v) = worklist.pop() {
+            queued[v] = false;
+            let deps: &[usize] = if bottom_up {
+                graph.callees(v)
+            } else {
+                graph.callers(v)
+            };
+            let mut input = analysis.bottom();
+            for &d in deps {
+                analysis.join(&mut input, &facts[d]);
+            }
+            let out = analysis.transfer(graph.methods[v], v, &input, graph, &facts);
+            node_visits += 1;
+            visits[v] += 1;
+            let changed = if cyclic && visits[v] > WIDEN_BUDGET {
+                widenings += 1;
+                analysis.widen(&mut facts[v], &out)
+            } else {
+                analysis.join(&mut facts[v], &out)
+            };
+            if changed {
+                let dependents: &[usize] = if bottom_up {
+                    graph.callers(v)
+                } else {
+                    graph.callees(v)
+                };
+                for &d in dependents {
+                    if graph.scc_of[d] == sid && !queued[d] {
+                        queued[d] = true;
+                        worklist.push(d);
+                    }
+                }
+            }
+        }
+    }
+    Solution {
+        facts,
+        node_visits,
+        widenings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy analysis on a hand-built graph: BottomUp set-union of node
+    /// ids (a footprint stand-in).
+    struct Union;
+
+    impl Analysis for Union {
+        type Fact = std::collections::BTreeSet<usize>;
+
+        fn direction(&self) -> Direction {
+            Direction::BottomUp
+        }
+
+        fn bottom(&self) -> Self::Fact {
+            Default::default()
+        }
+
+        fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(from.iter().copied());
+            into.len() != before
+        }
+
+        fn transfer(
+            &self,
+            _m: MethodId,
+            node: usize,
+            input: &Self::Fact,
+            _graph: &CallGraph,
+            _facts: &[Self::Fact],
+        ) -> Self::Fact {
+            let mut out = input.clone();
+            out.insert(node);
+            out
+        }
+    }
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> CallGraph {
+        let methods: Vec<MethodId> = (0..n).map(|i| MethodId(i as u32)).collect();
+        CallGraph::build(methods, |_, i| {
+            edges
+                .iter()
+                .filter(|&&(u, _)| u == i)
+                .map(|&(_, v)| MethodId(v as u32))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn condensation_orders_cross_edges_downward() {
+        // 0 -> 1 -> 2, ring {1, 2}? No: ring {1,2} via 2 -> 1.
+        let g = graph(3, &[(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(g.n_sccs(), 2);
+        assert!(g.on_ring(1) && g.on_ring(2));
+        assert!(!g.on_ring(0));
+        // Cross edge 0 -> ring must target a smaller SCC id.
+        assert!(g.scc_of[1] < g.scc_of[0]);
+    }
+
+    #[test]
+    fn bottom_up_union_reaches_transitive_closure() {
+        // 0 -> 1 -> 2 and a ring 2 <-> 3.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 2)]);
+        let sol = solve(&g, &Union);
+        let got: Vec<usize> = sol.facts[0].iter().copied().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        let ring: Vec<usize> = sol.facts[3].iter().copied().collect();
+        assert_eq!(ring, vec![2, 3]);
+        assert!(sol.node_visits >= 4);
+    }
+
+    #[test]
+    fn top_down_reachability_flows_from_roots() {
+        struct Reach {
+            seed: usize,
+        }
+        impl Analysis for Reach {
+            type Fact = bool;
+            fn direction(&self) -> Direction {
+                Direction::TopDown
+            }
+            fn bottom(&self) -> bool {
+                false
+            }
+            fn join(&self, into: &mut bool, from: &bool) -> bool {
+                let changed = !*into && *from;
+                *into |= *from;
+                changed
+            }
+            fn transfer(
+                &self,
+                _m: MethodId,
+                node: usize,
+                input: &bool,
+                _g: &CallGraph,
+                _f: &[bool],
+            ) -> bool {
+                node == self.seed || *input
+            }
+        }
+        // 0 -> 1 -> 2, 3 isolated.
+        let g = graph(4, &[(0, 1), (1, 2)]);
+        let sol = solve(&g, &Reach { seed: 0 });
+        assert_eq!(sol.facts, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn widening_terminates_an_unbounded_chain_on_a_ring() {
+        /// A deliberately non-converging counter domain: join takes the
+        /// max + 1 on change, so a ring would climb forever without the
+        /// widening hook capping it.
+        struct Counter;
+        impl Analysis for Counter {
+            type Fact = u64;
+            fn direction(&self) -> Direction {
+                Direction::BottomUp
+            }
+            fn bottom(&self) -> u64 {
+                0
+            }
+            fn join(&self, into: &mut u64, from: &u64) -> bool {
+                if *from > *into {
+                    *into = *from;
+                    true
+                } else {
+                    false
+                }
+            }
+            fn widen(&self, into: &mut u64, from: &u64) -> bool {
+                // Jump straight to top.
+                let top = u64::MAX;
+                let target = if *from > *into { top } else { *into };
+                let changed = target != *into;
+                *into = target;
+                changed
+            }
+            fn transfer(
+                &self,
+                _m: MethodId,
+                _node: usize,
+                input: &u64,
+                _g: &CallGraph,
+                _f: &[u64],
+            ) -> u64 {
+                input.saturating_add(1)
+            }
+        }
+        let g = graph(2, &[(0, 1), (1, 0)]);
+        let sol = solve(&g, &Counter);
+        assert!(sol.widenings > 0, "ring must trip the widening budget");
+        assert_eq!(sol.facts, vec![u64::MAX, u64::MAX]);
+    }
+}

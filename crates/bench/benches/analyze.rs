@@ -1,0 +1,83 @@
+//! Experiment ANALYZE-C: cold vs. warm interprocedural analysis.
+//!
+//! `td_analyze::analyze` runs the monotone-framework analyses in two
+//! cached parts (schema-wide and request-scoped), both resident in the
+//! generational dispatch cache. This group measures what the cache buys
+//! on the paper's Figure 3 request and on a call-heavy disjunctive
+//! schema analyzed at semantic precision — the configuration where the
+//! footprint refinement actually runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use td_analyze::analyze;
+use td_model::AnalysisPrecision;
+use td_workload::{disjunctive_schema, figures};
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze/cold_vs_warm");
+
+    let fig3 = figures::fig3_with_z1();
+    let source = fig3.type_id("A").unwrap();
+    let projection: BTreeSet<_> = ["a2", "e2", "h2"]
+        .iter()
+        .map(|a| fig3.attr_id(a).unwrap())
+        .collect();
+    group.bench_function("fig3_cold", |b| {
+        b.iter(|| {
+            fig3.clear_dispatch_cache();
+            black_box(analyze(
+                &fig3,
+                Some((source, &projection)),
+                AnalysisPrecision::Syntactic,
+            ))
+        })
+    });
+    analyze(
+        &fig3,
+        Some((source, &projection)),
+        AnalysisPrecision::Syntactic,
+    );
+    group.bench_function("fig3_warm", |b| {
+        b.iter(|| {
+            black_box(analyze(
+                &fig3,
+                Some((source, &projection)),
+                AnalysisPrecision::Syntactic,
+            ))
+        })
+    });
+
+    let disjunctive = disjunctive_schema(12, 4, 6);
+    let source = disjunctive.type_id("B").unwrap();
+    let projection: BTreeSet<_> = [disjunctive.attr_id("d0_x").unwrap()].into_iter().collect();
+    group.bench_function("disjunctive_semantic_cold", |b| {
+        b.iter(|| {
+            disjunctive.clear_dispatch_cache();
+            black_box(analyze(
+                &disjunctive,
+                Some((source, &projection)),
+                AnalysisPrecision::Semantic,
+            ))
+        })
+    });
+    analyze(
+        &disjunctive,
+        Some((source, &projection)),
+        AnalysisPrecision::Semantic,
+    );
+    group.bench_function("disjunctive_semantic_warm", |b| {
+        b.iter(|| {
+            black_box(analyze(
+                &disjunctive,
+                Some((source, &projection)),
+                AnalysisPrecision::Semantic,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

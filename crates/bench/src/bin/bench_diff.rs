@@ -66,6 +66,7 @@ fn time_prefixes(id: &str) -> &'static [&'static str] {
         "INDEX-C" => &["time_indexed_", "time_stack_"],
         "BATCH-P" => &["time_batch_"],
         "DELTA" => &["time_delta_"],
+        "ANALYZE" => &["time_analyze_"],
         "SERVE-W" => &["time_serve_"],
         "TELEM" => &["time_telemetry_"],
         _ => &[],

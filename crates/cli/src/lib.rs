@@ -11,6 +11,7 @@
 //! tdv project   <schema.td> <Type> <a1,a2,…>        derive; print summary + refactored schema
 //!                                       (--json: the canonical derivation record)
 //! tdv lint      <schema.td> [<Type> <a1,a2,…>]      static schema & projection-safety analysis
+//! tdv analyze   <schema.td> [<Type> <a1,a2,…>]      interprocedural abstract interpretation
 //! tdv batch     <schema.td> <requests.txt> [N]      derive a request fleet over N threads
 //! tdv stats     <schema.td> <Type> <a1,a2,…>        span/metrics telemetry for one derivation
 //! tdv explain   <schema.td> <Type> <a1,a2,…> <m>    why did method m (not) survive?
@@ -41,7 +42,7 @@ use td_baselines::{
 };
 use td_core::{explain, project, Engine, ProjectionOptions};
 use td_driver::BatchDeriver;
-use td_model::{parse_schema, parse_schema_lenient, AttrId, Schema, TypeId};
+use td_model::{parse_schema, parse_schema_lenient, AnalysisPrecision, AttrId, Schema, TypeId};
 use td_store::{parse_objects, Database, Value};
 
 /// A CLI failure: message plus suggested exit code.
@@ -78,7 +79,10 @@ USAGE:
   tdv dot        <schema.td>
   tdv applicable <schema.td> <Type> <attr,attr,…> [--engine E]
   tdv project    <schema.td> <Type> <attr,attr,…> [--engine E] [--json]
-  tdv lint       <schema.td> [<Type> <attr,attr,…>] [--json] [--deny warnings]
+  tdv lint       <schema.td> [<Type> <attr,attr,…>] [--json] [--sarif]
+                 [--deny warnings]
+  tdv analyze    <schema.td> [<Type> <attr,attr,…>] [--json] [--sarif]
+                 [--precision syntactic|semantic] [--deny warnings]
   tdv batch      <schema.td> <requests.txt> [threads] [--engine E]
   tdv stats      <schema.td> <Type> <attr,attr,…> [--engine E]
   tdv explain    <schema.td> <Type> <attr,attr,…> <method-label>
@@ -107,8 +111,18 @@ is the reference oracle). All three classify identically.
 `lint` runs the TDL static checks (dispatch ambiguity, precedence
 conflicts, optimistic-cycle audit, projection safety, Augment hazards)
 over the schema, plus the given projection request when one is supplied.
---json emits a machine-readable report; --deny warnings exits nonzero on
-warnings as well as errors.
+--json emits a machine-readable report; --sarif emits SARIF 2.1.0 for
+code-scanning upload; --deny warnings exits nonzero on warnings as well
+as errors.
+
+`analyze` runs the interprocedural abstract-interpretation checks
+(TDL201 null-argument dispatch traps, TDL202 constant branches, TDL203
+shadowed-unreachable methods, TDL204 dead projected attributes, TDL205
+interprocedural Augment flow) over the whole schema, plus the
+projection-scoped checks when a view is supplied. --precision semantic
+additionally refines the applicability index with semantic attribute
+footprints — strictly fewer fallback methods, identical verdicts.
+--json/--sarif/--deny work as for `lint`.
 
 Every command accepts --trace <file> (write a Chrome trace-event JSON of
 the run — load it at https://ui.perfetto.dev) and --metrics (append the
@@ -319,6 +333,34 @@ fn extract_switch(args: &[String], name: &str) -> (Vec<String>, bool) {
     (rest, found)
 }
 
+/// Strips `--precision <syntactic|semantic>` / `--precision=<p>` out of
+/// `args`. Absent means [`AnalysisPrecision::Syntactic`], the default.
+fn extract_precision_flag(args: &[String]) -> Result<(Vec<String>, AnalysisPrecision), CliError> {
+    let mut precision = AnalysisPrecision::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if let Some(v) = a.strip_prefix("--precision=") {
+            Some(v.to_string())
+        } else if a == "--precision" {
+            Some(
+                it.next()
+                    .ok_or_else(|| fail("--precision: missing value (syntactic|semantic)"))?
+                    .clone(),
+            )
+        } else {
+            rest.push(a.clone());
+            None
+        };
+        if let Some(v) = value {
+            precision = v
+                .parse()
+                .map_err(|e: String| fail(format!("--precision: {e}")))?;
+        }
+    }
+    Ok((rest, precision))
+}
+
 fn deny_lint_level(level: &str) -> Result<(), CliError> {
     if level == "warnings" {
         Ok(())
@@ -462,7 +504,8 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             Ok(out)
         }
         "lint" => {
-            let (args, json, deny_warnings) = extract_lint_flags(args)?;
+            let (args, sarif) = extract_switch(args, "--sarif");
+            let (args, json, deny_warnings) = extract_lint_flags(&args)?;
             let path = args
                 .get(1)
                 .ok_or_else(|| fail("missing schema file argument"))?;
@@ -479,12 +522,73 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             };
             let report = td_core::lint(&schema, request.as_ref().map(|(t, a)| (*t, a)));
             schema.dispatch_cache_stats().publish();
-            let out = if json {
+            let out = if sarif {
+                report.render_sarif("td-lint")
+            } else if json {
                 report.render_json()
             } else {
                 report.render_text()
             };
             if report.fails(deny_warnings) {
+                Err(CliError {
+                    message: out,
+                    code: 1,
+                })
+            } else {
+                Ok(out)
+            }
+        }
+        "analyze" => {
+            let (args, sarif) = extract_switch(args, "--sarif");
+            let (args, precision) = extract_precision_flag(&args)?;
+            let (args, json, deny_warnings) = extract_lint_flags(&args)?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| fail("missing schema file argument"))?;
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+            let schema = parse_schema_lenient(&src).map_err(|e| fail(format!("{path}: {e}")))?;
+            let request = if args.get(2).is_some() {
+                Some(view_args(&schema, args.get(2), args.get(3))?)
+            } else {
+                None
+            };
+            let outcome =
+                td_analyze::analyze(&schema, request.as_ref().map(|(t, a)| (*t, a)), precision);
+            schema.dispatch_cache_stats().publish();
+            let mut out = if sarif {
+                outcome.report.render_sarif("td-analyze")
+            } else if json {
+                outcome.report.render_json()
+            } else {
+                outcome.report.render_text()
+            };
+            if !sarif && !json {
+                let stats = &outcome.stats;
+                let _ = writeln!(
+                    out,
+                    "analysis: precision {}, schema pass {} µs{}, request pass {} µs{}",
+                    stats.precision,
+                    stats.schema_micros,
+                    if stats.schema_cached { " (cached)" } else { "" },
+                    stats.request_micros,
+                    if stats.request_cached {
+                        " (cached)"
+                    } else {
+                        ""
+                    },
+                );
+                if let Some(ratio) = stats.demotion_ratio() {
+                    let _ = writeln!(
+                        out,
+                        "semantic footprints: {} of {} fallback method(s) demoted ({:.0}%)",
+                        stats.fallback_syntactic - stats.fallback_semantic,
+                        stats.fallback_syntactic,
+                        ratio * 100.0,
+                    );
+                }
+            }
+            if outcome.report.fails(deny_warnings) {
                 Err(CliError {
                     message: out,
                     code: 1,
@@ -1508,6 +1612,87 @@ mod tests {
         assert!(e.message.contains("unknown level"), "{}", e.message);
         let e = run_err(&["lint", f.to_str().unwrap(), "--deny"]);
         assert!(e.message.contains("missing value"), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_sarif_round_trips() {
+        let f = fixture("lint_sarif", FIG3);
+        let out = run_ok(&["lint", f.to_str().unwrap(), "A", "a2,e2,h2", "--sarif"]);
+        assert!(out.contains("\"td-lint\""), "{out}");
+        assert!(out.contains("\"2.1.0\""), "{out}");
+        let back = td_model::LintReport::from_sarif(&out).unwrap();
+        assert!(back.diagnostics.iter().any(|d| d.code.as_str() == "TDL003"));
+    }
+
+    /// A schema with one interprocedural trap per whole-schema analysis:
+    /// `trap` calls `f` with a definitely-null argument into an int-only
+    /// candidate set (TDL201), and `constbr` branches on `1 < 2` (TDL202).
+    const ANALYZE: &str = "
+        type A { x: int }
+        accessors x
+        gf f(1)
+        method f_int = f(int) -> int { return 1; }
+        gf t(1)
+        method trap = t(A) { f(null); }
+        gf c(1)
+        method constbr = c(A) -> int {
+            if (1 < 2) {
+                return 1;
+            } else {
+                set_x($0, 0);
+            }
+            return 0;
+        }
+    ";
+
+    #[test]
+    fn analyze_reports_null_trap_and_const_branch() {
+        let f = fixture("analyze_traps", ANALYZE);
+        // TDL2xx warnings are not fatal without --deny.
+        let out = run_ok(&["analyze", f.to_str().unwrap()]);
+        assert!(out.contains("TDL201"), "{out}");
+        assert!(out.contains("TDL202"), "{out}");
+        assert!(out.contains("analysis: precision syntactic"), "{out}");
+        let e = run_err(&["analyze", f.to_str().unwrap(), "--deny", "warnings"]);
+        assert_eq!(e.code, 1);
+    }
+
+    #[test]
+    fn analyze_sarif_round_trips() {
+        let f = fixture("analyze_sarif", ANALYZE);
+        let out = run_ok(&["analyze", f.to_str().unwrap(), "--sarif"]);
+        assert!(out.contains("\"td-analyze\""), "{out}");
+        let back = td_model::LintReport::from_sarif(&out).unwrap();
+        assert!(back.diagnostics.iter().any(|d| d.code.as_str() == "TDL201"));
+        assert!(back.diagnostics.iter().any(|d| d.code.as_str() == "TDL202"));
+    }
+
+    #[test]
+    fn analyze_request_findings_are_precision_stable() {
+        let f = fixture("analyze_fig3", FIG3);
+        // The FIG4 projection has no readers for a2/e2 anywhere in the
+        // schema: the footprint analysis reports them as dead (TDL204).
+        let syn = run_ok(&[
+            "analyze",
+            f.to_str().unwrap(),
+            "A",
+            "a2,e2,h2",
+            "--json",
+            "--precision",
+            "syntactic",
+        ]);
+        let sem = run_ok(&[
+            "analyze",
+            f.to_str().unwrap(),
+            "A",
+            "a2,e2,h2",
+            "--json",
+            "--precision=semantic",
+        ]);
+        assert!(syn.contains("\"TDL204\""), "{syn}");
+        assert_eq!(syn, sem, "precision must not change the findings");
+        let e = run_err(&["analyze", f.to_str().unwrap(), "--precision", "sharp"]);
+        assert!(e.message.contains("unknown precision"), "{}", e.message);
     }
 
     /// Telemetry collection is process-global; tests that turn it on

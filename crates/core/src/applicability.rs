@@ -25,7 +25,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use td_model::dataflow::CallSite;
-use td_model::{AttrId, CallArg, GfId, MethodId, Schema, TypeId};
+use td_model::{AnalysisPrecision, AttrId, CallArg, GfId, MethodId, Schema, TypeId};
 
 use crate::error::{CoreError, Result};
 
@@ -189,10 +189,34 @@ pub fn compute_applicability_indexed(
     projection: &BTreeSet<AttrId>,
     record_trace: bool,
 ) -> Result<Applicability> {
+    compute_applicability_indexed_at(
+        schema,
+        source,
+        projection,
+        AnalysisPrecision::Syntactic,
+        record_trace,
+    )
+}
+
+/// [`compute_applicability_indexed`] with an explicit index precision.
+///
+/// `Semantic` consults the refined index (`td-analyze`'s interprocedural
+/// footprints demote fallback methods to conjunctive verdicts), shrinking
+/// the residue the pass-based fallback must classify. The refinement is
+/// verdict-preserving (see `td_model::appindex::build_with`), so the
+/// classification — and every report derived from it — is byte-identical
+/// across precisions; only the fallback workload changes.
+pub fn compute_applicability_indexed_at(
+    schema: &Schema,
+    source: TypeId,
+    projection: &BTreeSet<AttrId>,
+    precision: AnalysisPrecision,
+    record_trace: bool,
+) -> Result<Applicability> {
     if record_trace {
         return compute_applicability(schema, source, projection, true);
     }
-    let index = schema.cached_applicability_index(source)?;
+    let index = schema.cached_applicability_index_at(source, precision)?;
     let proj_bits = index.projection_bits(projection);
     let universe = index.universe().to_vec();
 
@@ -242,6 +266,14 @@ pub fn compute_applicability_indexed(
         applicable = ctx.applicable;
         applicable_set = ctx.applicable_set;
         not_applicable = ctx.not_applicable;
+        // The fallback appends its verdicts after the indexed ones, and
+        // the indexed/fallback split depends on the index precision —
+        // re-emit both lists in universe order so the classification
+        // bytes are identical at every precision.
+        let pos: HashMap<MethodId, usize> =
+            universe.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        applicable.sort_by_key(|m| pos.get(m).copied().unwrap_or(usize::MAX));
+        not_applicable.sort_by_key(|m| pos.get(m).copied().unwrap_or(usize::MAX));
     }
 
     Ok(Applicability {

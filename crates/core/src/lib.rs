@@ -72,7 +72,8 @@ pub mod surrogates;
 pub mod unproject;
 
 pub use applicability::{
-    compute_applicability, compute_applicability_indexed, Applicability, TraceEvent,
+    compute_applicability, compute_applicability_indexed, compute_applicability_indexed_at,
+    Applicability, TraceEvent,
 };
 pub use catalog::{CatalogEntry, ViewCatalog};
 pub use error::{CoreError, Result};

@@ -79,8 +79,9 @@ pub fn optimistic_cycle_ring(
     let index = schema.cached_applicability_index(source).ok()?;
     index
         .cycle_groups()
-        .into_iter()
+        .iter()
         .find(|g| g.contains(&method))
+        .cloned()
 }
 
 fn cached_or_compute(
@@ -606,6 +607,32 @@ mod tests {
         let ring = optimistic_cycle_ring(&s, source, x1).expect("x1 is on a ring");
         assert!(ring.contains(&x1) && ring.contains(&y1));
         assert!(optimistic_cycle_ring(&s, source, v1).is_none());
+    }
+
+    /// Regression for the per-diagnostic ring re-derivation: the rings
+    /// are memoized on the cached index, so asking once per method (the
+    /// explain loop's shape) costs one index build total, and repeated
+    /// `cycle_groups` calls return the same allocation.
+    #[test]
+    fn cycle_rings_are_derived_once_per_source() {
+        let s = figures::fig3();
+        let source = s.type_id("A").unwrap();
+        let index = s.cached_applicability_index(source).unwrap();
+        let first = index.cycle_groups();
+        let again = index.cycle_groups();
+        assert!(std::ptr::eq(first, again), "rings must be memoized");
+        let misses_before = s.dispatch_cache_stats().index_misses;
+        let methods: Vec<_> = s.method_ids().collect();
+        let findings = methods
+            .iter()
+            .filter(|&&m| optimistic_cycle_ring(&s, source, m).is_some())
+            .count();
+        assert!(findings >= 2, "fig3 has a ring with at least x1 and y1");
+        let misses_after = s.dispatch_cache_stats().index_misses;
+        assert_eq!(
+            misses_before, misses_after,
+            "ring lookups must not rebuild the applicability index"
+        );
     }
 
     /// g(A, B) vs g(B, A) with C <= A, B: a call g(C, C) is applicable to

@@ -19,9 +19,11 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
-use td_model::{AttrId, MethodId, Schema, TypeId};
+use td_model::{AnalysisPrecision, AttrId, MethodId, Schema, TypeId};
 
-use crate::applicability::{compute_applicability, compute_applicability_indexed, Applicability};
+use crate::applicability::{
+    compute_applicability, compute_applicability_indexed_at, Applicability,
+};
 use crate::augment::augment;
 use crate::body_rewrite::{collect_flow_edges, compute_y_and_z, retype_bodies, RetypeOutcome};
 use crate::error::{CoreError, Result};
@@ -86,6 +88,12 @@ pub struct ProjectionOptions {
     pub allow_empty: bool,
     /// The applicability engine for stage 1 (default: [`Engine::Indexed`]).
     pub engine: Engine,
+    /// The applicability-index precision the [`Engine::Indexed`] engine
+    /// consults (default: [`AnalysisPrecision::Syntactic`]). `Semantic`
+    /// uses `td-analyze`'s interprocedural footprints to demote fallback
+    /// methods; the classification itself is provably identical, so this
+    /// is purely a performance knob. Ignored by the other engines.
+    pub precision: AnalysisPrecision,
 }
 
 impl Default for ProjectionOptions {
@@ -95,6 +103,7 @@ impl Default for ProjectionOptions {
             check_invariants: true,
             allow_empty: false,
             engine: Engine::default(),
+            precision: AnalysisPrecision::default(),
         }
     }
 }
@@ -103,10 +112,8 @@ impl ProjectionOptions {
     /// Options for benchmarking: no trace, no invariant sweep.
     pub fn fast() -> Self {
         ProjectionOptions {
-            record_trace: false,
             check_invariants: false,
-            allow_empty: false,
-            engine: Engine::default(),
+            ..ProjectionOptions::default()
         }
     }
 }
@@ -326,9 +333,13 @@ pub fn project(
 
     // -- 1. behavior inference (§4) ----------------------------------------
     let applicability = match opts.engine {
-        Engine::Indexed => {
-            compute_applicability_indexed(schema, source, projection, opts.record_trace)?
-        }
+        Engine::Indexed => compute_applicability_indexed_at(
+            schema,
+            source,
+            projection,
+            opts.precision,
+            opts.record_trace,
+        )?,
         Engine::Stack => compute_applicability(schema, source, projection, opts.record_trace)?,
         Engine::Fixpoint => compute_applicability_fixpoint(schema, source, projection)?,
     };

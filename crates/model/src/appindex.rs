@@ -54,6 +54,75 @@ use crate::error::Result;
 use crate::ids::{AttrId, MethodId, TypeId};
 use crate::schema::Schema;
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// How the index computes attribute footprints and classifies call sites.
+///
+/// `Syntactic` is the PR-3 construction: any disjunctive or case-2 call
+/// site conservatively marks its whole reachable region `fallback`.
+/// `Semantic` runs the abstract-interpretation refinement on top: using a
+/// finished lower-precision index, a multi-candidate site whose live
+/// candidates have a ⊆-minimum footprint collapses to one conjunctive
+/// edge, dead candidates drop out, and single-candidate case-2 sites
+/// become plain edges — all verdict-preserving (see
+/// [`ApplicabilityIndex::build_with`]), so the three `IsApplicable`
+/// engines classify identically at either precision while `Semantic`
+/// demotes fallback methods to the indexed fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum AnalysisPrecision {
+    /// Call-graph construction only; disjunctive sites defer to the
+    /// pass-based engine.
+    #[default]
+    Syntactic,
+    /// Iterated footprint refinement over the syntactic index; strictly
+    /// fewer fallback methods, identical verdicts.
+    Semantic,
+}
+
+impl AnalysisPrecision {
+    /// Stable lowercase name (`"syntactic"` / `"semantic"`), used by the
+    /// CLI `--precision` flag and the server `precision` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnalysisPrecision::Syntactic => "syntactic",
+            AnalysisPrecision::Semantic => "semantic",
+        }
+    }
+}
+
+impl fmt::Display for AnalysisPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for AnalysisPrecision {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "syntactic" => Ok(AnalysisPrecision::Syntactic),
+            "semantic" => Ok(AnalysisPrecision::Semantic),
+            other => Err(format!(
+                "unknown precision `{other}` (expected `syntactic` or `semantic`)"
+            )),
+        }
+    }
+}
+
+/// What the semantic refinement decided for one call site, consulting the
+/// previous (finished) index round.
+enum SiteRefinement {
+    /// The disjunction collapsed to a single conjunctive edge.
+    Edge(MethodId),
+    /// Every candidate is provably dead: the site is unsatisfiable.
+    Dead,
+    /// The candidates are incomparable or still undecided; keep the
+    /// syntactic fallback treatment.
+    Fallback,
+}
 
 /// A dense attribute bitset keyed by [`AttrId`] arena index.
 ///
@@ -143,10 +212,16 @@ impl AttrBitSet {
 pub struct ApplicabilityIndex {
     pub(crate) source: TypeId,
     pub(crate) n_attrs: usize,
+    /// The precision the index was built at (see [`AnalysisPrecision`]).
+    pub(crate) precision: AnalysisPrecision,
     /// The universe (methods applicable to `source`), in method-id order;
     /// node `i` of the call graph is `methods[i]`.
     pub(crate) methods: Vec<MethodId>,
     pub(crate) node_of: HashMap<MethodId, usize>,
+    /// Adjacency of the (possibly refined) call graph, per node — one
+    /// entry per retained §4.1 candidate edge. Exposed to `td-analyze`'s
+    /// monotone framework through [`callees`](ApplicabilityIndex::callees).
+    pub(crate) edges: Vec<Vec<usize>>,
     /// Node → SCC id, in Tarjan emission (= reverse topological) order.
     pub(crate) scc_of: Vec<usize>,
     /// Per-SCC union of transitively reachable accessor attributes.
@@ -164,13 +239,105 @@ pub struct ApplicabilityIndex {
     pub(crate) scc_cyclic: Vec<bool>,
     /// Number of universe methods whose verdict needs the fallback.
     pub(crate) fallback_methods: usize,
+    /// Lazily-memoized call rings (see
+    /// [`cycle_groups`](ApplicabilityIndex::cycle_groups)): the groups
+    /// are a pure function of the condensation, and consumers (TDL003,
+    /// `tdv explain`'s ring notes) ask per *diagnostic*, so they are
+    /// derived at most once per index instance.
+    pub(crate) cycle_rings: OnceLock<Vec<Vec<MethodId>>>,
 }
 
 impl ApplicabilityIndex {
     /// Builds the index for projections over `source`: call-graph
     /// construction, iterative Tarjan condensation, and one bottom-up
-    /// footprint/dead/fallback propagation pass.
+    /// footprint/dead/fallback propagation pass (syntactic precision).
     pub fn build(schema: &Schema, source: TypeId) -> Result<ApplicabilityIndex> {
+        Self::build_pass(schema, source, None)
+    }
+
+    /// Builds the index at the requested precision.
+    ///
+    /// `Semantic` iterates the refinement to a fixpoint: each round
+    /// rebuilds the graph consulting the previous round's finished
+    /// footprints, and stops when the fallback count no longer shrinks
+    /// (it shrinks monotonically — refinement only removes fallback
+    /// causes, never adds them — so the loop is bounded by the universe
+    /// size).
+    ///
+    /// **Verdict preservation.** At a multi-candidate site the §4.1
+    /// engine succeeds iff *some* candidate is applicable. For a
+    /// non-fallback candidate `c` of the previous round,
+    /// `applicable(c, P) ⟺ ¬dead(c) ∧ fp(c) ⊆ P` exactly. Dropping dead
+    /// candidates preserves the disjunction; and when a live candidate
+    /// `c_min` satisfies `fp(c_min) ⊆ fp(c)` for every live `c`, then
+    /// `∃c: fp(c) ⊆ P ⟺ fp(c_min) ⊆ P`, so one conjunctive edge to
+    /// `c_min` encodes the site. Sites with undecided (fallback)
+    /// candidates or incomparable footprints keep the fallback seam, so
+    /// every answered verdict stays exact.
+    pub fn build_with(
+        schema: &Schema,
+        source: TypeId,
+        precision: AnalysisPrecision,
+    ) -> Result<ApplicabilityIndex> {
+        let mut idx = Self::build_pass(schema, source, None)?;
+        if precision == AnalysisPrecision::Semantic {
+            loop {
+                let refined = Self::build_pass(schema, source, Some(&idx))?;
+                if refined.fallback_methods < idx.fallback_methods {
+                    idx = refined;
+                } else {
+                    break;
+                }
+            }
+            idx.precision = AnalysisPrecision::Semantic;
+        }
+        Ok(idx)
+    }
+
+    /// Classifies one multi-candidate (or case-2) site against the
+    /// previous round's index. See [`build_with`](Self::build_with) for
+    /// the exactness argument.
+    fn refine_site(prev: &ApplicabilityIndex, candidates: &[MethodId]) -> SiteRefinement {
+        let mut live: Vec<usize> = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            let Some(&j) = prev.node_of.get(c) else {
+                return SiteRefinement::Fallback;
+            };
+            let sid = prev.scc_of[j];
+            if prev.scc_fallback[sid] {
+                return SiteRefinement::Fallback;
+            }
+            if prev.scc_dead[sid] {
+                continue;
+            }
+            live.push(j);
+        }
+        match live[..] {
+            [] => SiteRefinement::Dead,
+            [only] => SiteRefinement::Edge(prev.methods[only]),
+            _ => {
+                'candidates: for &c in &live {
+                    let fp = &prev.scc_footprint[prev.scc_of[c]];
+                    for &d in &live {
+                        if !fp.is_subset(&prev.scc_footprint[prev.scc_of[d]]) {
+                            continue 'candidates;
+                        }
+                    }
+                    return SiteRefinement::Edge(prev.methods[c]);
+                }
+                SiteRefinement::Fallback
+            }
+        }
+    }
+
+    /// One construction round: the PR-3 syntactic build when `refine` is
+    /// `None`, otherwise the semantic refinement consulting the finished
+    /// previous round.
+    fn build_pass(
+        schema: &Schema,
+        source: TypeId,
+        refine: Option<&ApplicabilityIndex>,
+    ) -> Result<ApplicabilityIndex> {
         let methods = schema.methods_applicable_to_type(source);
         let n = methods.len();
         let node_of: HashMap<MethodId, usize> =
@@ -199,6 +366,27 @@ impl ApplicabilityIndex {
                     continue;
                 }
                 if site.source_positions.len() > 1 || candidates.len() > 1 {
+                    if let Some(prev) = refine {
+                        match Self::refine_site(prev, &candidates) {
+                            SiteRefinement::Edge(c) => {
+                                // The disjunction collapsed: one exact
+                                // conjunctive edge replaces the fallback.
+                                if let Some(&j) = node_of.get(&c) {
+                                    if !edges[i].contains(&j) {
+                                        edges[i].push(j);
+                                    }
+                                } else {
+                                    local_fallback[i] = true;
+                                }
+                                continue;
+                            }
+                            SiteRefinement::Dead => {
+                                local_dead[i] = true;
+                                continue;
+                            }
+                            SiteRefinement::Fallback => {}
+                        }
+                    }
                     local_fallback[i] = true;
                 }
                 for c in candidates {
@@ -324,8 +512,10 @@ impl ApplicabilityIndex {
         Ok(ApplicabilityIndex {
             source,
             n_attrs,
+            precision: AnalysisPrecision::Syntactic,
             methods,
             node_of,
+            edges,
             scc_of,
             scc_footprint,
             scc_dead,
@@ -333,6 +523,7 @@ impl ApplicabilityIndex {
             scc_members,
             scc_cyclic,
             fallback_methods,
+            cycle_rings: OnceLock::new(),
         })
     }
 
@@ -362,6 +553,51 @@ impl ApplicabilityIndex {
     /// True when every universe method is decided by the subset test.
     pub fn is_fully_indexed(&self) -> bool {
         self.fallback_methods == 0
+    }
+
+    /// The precision this index was built at.
+    pub fn precision(&self) -> AnalysisPrecision {
+        self.precision
+    }
+
+    /// The retained call-graph successors of a universe method (one per
+    /// kept §4.1 candidate edge), or `None` for methods outside the
+    /// universe. This is the graph `td-analyze`'s monotone framework
+    /// iterates over.
+    pub fn callees(&self, m: MethodId) -> Option<impl Iterator<Item = MethodId> + '_> {
+        let &i = self.node_of.get(&m)?;
+        Some(self.edges[i].iter().map(move |&j| self.methods[j]))
+    }
+
+    /// The SCC id of a universe method (ids are in Tarjan emission =
+    /// reverse topological order: every cross edge targets a smaller id).
+    pub fn scc_id(&self, m: MethodId) -> Option<usize> {
+        self.node_of.get(&m).map(|&i| self.scc_of[i])
+    }
+
+    /// The universe methods of one SCC, in node order.
+    pub fn scc_methods(&self, sid: usize) -> impl Iterator<Item = MethodId> + '_ {
+        self.scc_members[sid].iter().map(move |&v| self.methods[v])
+    }
+
+    /// True iff the SCC is a genuine call ring (internal edge).
+    pub fn scc_is_cyclic(&self, sid: usize) -> bool {
+        self.scc_cyclic[sid]
+    }
+
+    /// True iff some call site reachable from the SCC has no candidate.
+    pub fn scc_is_dead(&self, sid: usize) -> bool {
+        self.scc_dead[sid]
+    }
+
+    /// True iff the SCC's verdicts need the pass-based fallback.
+    pub fn scc_is_fallback(&self, sid: usize) -> bool {
+        self.scc_fallback[sid]
+    }
+
+    /// The footprint bitset of one SCC.
+    pub fn scc_footprint_bits(&self, sid: usize) -> &AttrBitSet {
+        &self.scc_footprint[sid]
     }
 
     /// Converts a projection list into the index's bitset representation,
@@ -398,20 +634,27 @@ impl ApplicabilityIndex {
     /// internal edge, members sorted by method id, groups ordered by their
     /// smallest member. These are exactly the regions where §4's
     /// `IsApplicable` assumes methods applicable before checking them.
-    pub fn cycle_groups(&self) -> Vec<Vec<MethodId>> {
-        let mut groups: Vec<Vec<MethodId>> = self
-            .scc_members
-            .iter()
-            .enumerate()
-            .filter(|&(sid, _)| self.scc_cyclic[sid])
-            .map(|(_, members)| {
-                let mut g: Vec<MethodId> = members.iter().map(|&v| self.methods[v]).collect();
-                g.sort();
-                g
-            })
-            .collect();
-        groups.sort();
-        groups
+    ///
+    /// Derived lazily and memoized on the index, so ring consumers that
+    /// ask once per diagnostic (TDL003, explain's ring notes) pay the
+    /// group construction once per `(schema generation, source)` — the
+    /// index itself is already cached at that granularity.
+    pub fn cycle_groups(&self) -> &[Vec<MethodId>] {
+        self.cycle_rings.get_or_init(|| {
+            let mut groups: Vec<Vec<MethodId>> = self
+                .scc_members
+                .iter()
+                .enumerate()
+                .filter(|&(sid, _)| self.scc_cyclic[sid])
+                .map(|(_, members)| {
+                    let mut g: Vec<MethodId> = members.iter().map(|&v| self.methods[v]).collect();
+                    g.sort();
+                    g
+                })
+                .collect();
+            groups.sort();
+            groups
+        })
     }
 
     /// Classifies `m` against a projection (pre-converted with
@@ -650,5 +893,191 @@ mod tests {
         let idx = ApplicabilityIndex::build(&s, a).unwrap();
         let full = idx.projection_bits(&s.cumulative_attrs(a));
         assert_eq!(idx.verdict(m, &full), Some(false));
+    }
+
+    /// B ≤ A with attrs x, y; f has f_a(A) reading x and f_b(B) with an
+    /// empty body (footprint ∅ — the ⊆-minimum); h1 calls f. From source
+    /// B the call is disjunctive.
+    fn disjunctive_schema() -> (Schema, TypeId) {
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let (get_x, _) = s.add_reader(x, a).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_x, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f_a",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        let h = s.add_gf("h", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f, vec![Expr::Param(0)]);
+        s.add_method(
+            h,
+            "h1",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        (s, b)
+    }
+
+    #[test]
+    fn semantic_refinement_collapses_minimum_footprint_disjunction() {
+        let (s, b) = disjunctive_schema();
+        let h1 = s.method_by_label("h1").unwrap();
+        let syntactic = ApplicabilityIndex::build(&s, b).unwrap();
+        assert!(!syntactic.is_fully_indexed());
+        assert_eq!(syntactic.precision(), AnalysisPrecision::Syntactic);
+
+        let semantic = ApplicabilityIndex::build_with(&s, b, AnalysisPrecision::Semantic).unwrap();
+        assert_eq!(semantic.precision(), AnalysisPrecision::Semantic);
+        // f_b's empty footprint is the ⊆-minimum, so the f-call collapses
+        // and h1 becomes indexable: applicable under every projection.
+        assert!(semantic.is_fully_indexed());
+        let empty = semantic.projection_bits(&BTreeSet::new());
+        assert_eq!(semantic.verdict(h1, &empty), Some(true));
+        assert_eq!(syntactic.verdict(h1, &empty), None);
+        // The collapsed edge points at the minimum candidate.
+        let f_b = s.method_by_label("f_b").unwrap();
+        let callees: Vec<MethodId> = semantic.callees(h1).unwrap().collect();
+        assert_eq!(callees, vec![f_b]);
+    }
+
+    #[test]
+    fn semantic_refinement_keeps_incomparable_candidates_fallback() {
+        // f_a reads x, f_b reads y: footprints {x} and {y} are
+        // incomparable — the disjunction cannot collapse.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let y = s.add_attr("y", ValueType::INT, a).unwrap();
+        let (get_x, _) = s.add_reader(x, a).unwrap();
+        let (get_y, _) = s.add_reader(y, a).unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_x, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f_a",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_y, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        let h = s.add_gf("h", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f, vec![Expr::Param(0)]);
+        let h1 = s
+            .add_method(
+                h,
+                "h1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        let semantic = ApplicabilityIndex::build_with(&s, b, AnalysisPrecision::Semantic).unwrap();
+        assert!(!semantic.is_fully_indexed());
+        let proj = semantic.projection_bits(&[x].into_iter().collect());
+        assert_eq!(semantic.verdict(h1, &proj), None, "incomparable must defer");
+    }
+
+    #[test]
+    fn semantic_refinement_drops_dead_candidates() {
+        // f_a's body calls a gf with no applicable method (dead); f_b is
+        // the live remainder — the disjunction collapses to f_b alone.
+        let mut s = Schema::new();
+        let a = s.add_type("A", &[]).unwrap();
+        let b = s.add_type("B", &[a]).unwrap();
+        let u = s.add_type("U", &[]).unwrap();
+        let x = s.add_attr("x", ValueType::INT, a).unwrap();
+        let (get_x, _) = s.add_reader(x, a).unwrap();
+        let dead_gf = s.add_gf("dead", 1, None).unwrap();
+        s.add_method(
+            dead_gf,
+            "dead_u",
+            vec![Specializer::Type(u)],
+            MethodKind::General(Default::default()),
+            None,
+        )
+        .unwrap();
+        let f = s.add_gf("f", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(dead_gf, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f_a",
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(get_x, vec![Expr::Param(0)]);
+        s.add_method(
+            f,
+            "f_b",
+            vec![Specializer::Type(b)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .unwrap();
+        let h = s.add_gf("h", 1, None).unwrap();
+        let mut bb = BodyBuilder::new();
+        bb.call(f, vec![Expr::Param(0)]);
+        let h1 = s
+            .add_method(
+                h,
+                "h1",
+                vec![Specializer::Type(a)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .unwrap();
+        let semantic = ApplicabilityIndex::build_with(&s, b, AnalysisPrecision::Semantic).unwrap();
+        assert!(semantic.is_fully_indexed());
+        let proj_x = semantic.projection_bits(&[x].into_iter().collect());
+        assert_eq!(semantic.verdict(h1, &proj_x), Some(true));
+        assert_eq!(
+            semantic.verdict(h1, &semantic.projection_bits(&BTreeSet::new())),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn precision_parses_and_displays() {
+        assert_eq!(
+            "semantic".parse::<AnalysisPrecision>().unwrap(),
+            AnalysisPrecision::Semantic
+        );
+        assert_eq!(AnalysisPrecision::Syntactic.to_string(), "syntactic");
+        assert!("exact".parse::<AnalysisPrecision>().is_err());
     }
 }

@@ -52,7 +52,7 @@
 //! [`Schema::dispatch_cache_stats`], the CLI `explain` path and the
 //! invariant report.
 
-use crate::appindex::ApplicabilityIndex;
+use crate::appindex::{AnalysisPrecision, ApplicabilityIndex};
 use crate::delta::{CarryReport, SchemaDelta, SchemaDiff};
 use crate::diag::LintReport;
 use crate::dispatch::CallArg;
@@ -76,6 +76,10 @@ pub(crate) type CallKey = (GfId, Vec<CallArg>);
 /// sorts before storing).
 pub type LintKey = Option<(TypeId, Vec<AttrId>)>;
 
+/// Key of the cached deep-analysis reports (td-analyze): the same
+/// two-part shape as [`LintKey`] plus the precision the analyses ran at.
+pub type AnalysisKey = (LintKey, AnalysisPrecision);
+
 /// Deltas recorded since the last refresh, folded into the per-kind sets
 /// the dirty closure starts from.
 #[derive(Debug, Clone, Default)]
@@ -88,6 +92,11 @@ struct PendingDeltas {
     gfs: HashSet<GfId>,
     /// Methods added or touched.
     methods: HashSet<MethodId>,
+    /// An attribute definition was touched. Footprint bitsets reference
+    /// stable ids so the condensation indexes survive, but the deep
+    /// analyses (td-analyze) read attribute *value types*, so their
+    /// cached reports must not.
+    attrs_touched: bool,
 }
 
 impl PendingDeltas {
@@ -97,9 +106,12 @@ impl PendingDeltas {
             // reference them, so only the lint flush (which every
             // refresh performs) applies.
             SchemaDelta::TypeAdded(_) | SchemaDelta::AttrAdded(_) | SchemaDelta::GfAdded(_) => {}
-            // Attribute definitions feed only per-request computations
-            // and lint; footprint bitsets reference stable ids.
-            SchemaDelta::AttrTouched(_) => {}
+            // Attribute definitions feed only per-request computations,
+            // lint and the deep analyses; footprint bitsets reference
+            // stable ids.
+            SchemaDelta::AttrTouched(_) => {
+                self.attrs_touched = true;
+            }
             SchemaDelta::TypeTouched(t) => {
                 self.types.insert(t);
             }
@@ -129,10 +141,20 @@ struct CacheInner {
     /// (the call graph and its footprints depend on the source type but
     /// not on the projection list — see [`crate::appindex`]).
     app_index: HashMap<TypeId, Arc<ApplicabilityIndex>>,
+    /// Semantically refined condensation indexes (see
+    /// [`AnalysisPrecision::Semantic`]), keyed by source like
+    /// `app_index`. Kept separate so the snapshot format (which
+    /// serializes only the syntactic map) is unchanged.
+    app_index_semantic: HashMap<TypeId, Arc<ApplicabilityIndex>>,
     /// Lint reports, keyed by [`LintKey`]. The analysis itself lives in
     /// td-core; the model only stores the results so every fork of a
     /// [`crate::SchemaSnapshot`] shares them generationally.
     lint: HashMap<LintKey, Arc<LintReport>>,
+    /// Deep-analysis reports (td-analyze), keyed by [`AnalysisKey`].
+    /// Unlike lint reports, the per-source entries participate in the
+    /// PR-8 delta closure: a single-method edit evicts only the sources
+    /// whose condensation universe the edit can reach.
+    analysis: HashMap<AnalysisKey, Arc<LintReport>>,
     cpl_hits: u64,
     cpl_misses: u64,
     dispatch_hits: u64,
@@ -141,6 +163,8 @@ struct CacheInner {
     index_misses: u64,
     lint_hits: u64,
     lint_misses: u64,
+    analysis_hits: u64,
+    analysis_misses: u64,
     invalidations: u64,
     full_flushes: u64,
     delta_evictions: u64,
@@ -163,7 +187,9 @@ impl CacheInner {
             || !self.applicable.is_empty()
             || !self.ranked.is_empty()
             || !self.app_index.is_empty()
+            || !self.app_index_semantic.is_empty()
             || !self.lint.is_empty()
+            || !self.analysis.is_empty()
     }
 
     fn clear_entries(&mut self) {
@@ -172,7 +198,9 @@ impl CacheInner {
         self.applicable.clear();
         self.ranked.clear();
         self.app_index.clear();
+        self.app_index_semantic.clear();
         self.lint.clear();
+        self.analysis.clear();
     }
 
     /// Closes the recorded deltas into a dirty set and evicts exactly the
@@ -231,25 +259,42 @@ impl CacheInner {
             // universe (`node_of`, the call-graph node set) contains a
             // touched method, or a touched/new method is now applicable
             // to its source (and would enter the universe on rebuild).
-            evicted += retain_counting(&mut self.app_index, |source, idx| {
-                !dirty_types.contains(source)
-                    && dirt.methods.iter().all(|m| {
-                        !idx.node_of.contains_key(m)
-                            && !schema.method_applicable_to_type(*m, *source)
+            let stale_index = |source: &TypeId, idx: &Arc<ApplicabilityIndex>| {
+                dirty_types.contains(source)
+                    || dirt.methods.iter().any(|m| {
+                        idx.node_of.contains_key(m) || schema.method_applicable_to_type(*m, *source)
                     })
-            });
+            };
+            evicted += retain_counting(&mut self.app_index, |s, idx| !stale_index(s, idx));
+            evicted += retain_counting(&mut self.app_index_semantic, |s, idx| !stale_index(s, idx));
         }
         // Lint findings mention names, owners and dispatch outcomes
         // across the whole schema; every mutation flushes them (they
         // re-derive quickly and are presentation-layer).
         evicted += self.lint.len();
         self.lint.clear();
+        // Deep-analysis reports: the schema-wide part (`None` key)
+        // flushes like lint, but a per-source part survives exactly when
+        // a condensation index for its source survived the closure above
+        // — the analyses are scoped to that universe, so a surviving
+        // index proves no touched method can reach the report.
+        let attrs_touched = dirt.attrs_touched;
+        evicted += retain_counting(&mut self.analysis, |(key, _), _| match key {
+            None => false,
+            Some((source, _)) => {
+                !attrs_touched
+                    && (self.app_index.contains_key(source)
+                        || self.app_index_semantic.contains_key(source))
+            }
+        });
 
         let survivors = self.cpl.len()
             + self.ranks.len()
             + self.applicable.len()
             + self.ranked.len()
-            + self.app_index.len();
+            + self.app_index.len()
+            + self.app_index_semantic.len()
+            + self.analysis.len();
         if evicted > 0 {
             self.invalidations += 1;
         }
@@ -386,8 +431,11 @@ impl Schema {
             delta_survivals: inner.delta_survivals,
             cpl_entries: inner.cpl.len() + inner.ranks.len(),
             dispatch_entries: inner.applicable.len() + inner.ranked.len(),
-            index_entries: inner.app_index.len(),
+            index_entries: inner.app_index.len() + inner.app_index_semantic.len(),
             lint_entries: inner.lint.len(),
+            analysis_hits: inner.analysis_hits,
+            analysis_misses: inner.analysis_misses,
+            analysis_entries: inner.analysis.len(),
         }
     }
 
@@ -619,6 +667,67 @@ impl Schema {
         inner.refresh(self);
         inner.app_index.insert(source, Arc::clone(&computed));
         Ok(computed)
+    }
+
+    /// The memoized condensation index for `source` at the requested
+    /// precision. `Syntactic` is exactly [`Schema::cached_applicability_index`];
+    /// `Semantic` is cached in a parallel per-source map behind the same
+    /// generation counter and delta closure, so the refined index is
+    /// built once per `(generation, source)` too.
+    pub fn cached_applicability_index_at(
+        &self,
+        source: TypeId,
+        precision: AnalysisPrecision,
+    ) -> Result<Arc<ApplicabilityIndex>> {
+        if precision == AnalysisPrecision::Syntactic {
+            return self.cached_applicability_index(source);
+        }
+        {
+            let mut inner = self.cache.lock();
+            inner.refresh(self);
+            if let Some(v) = inner.app_index_semantic.get(&source).map(Arc::clone) {
+                inner.index_hits += 1;
+                return Ok(v);
+            }
+            inner.index_misses += 1;
+        }
+        let computed = {
+            let _span = td_telemetry::span("cache", "appindex_refine");
+            Arc::new(ApplicabilityIndex::build_with(self, source, precision)?)
+        };
+        let mut inner = self.cache.lock();
+        inner.refresh(self);
+        inner
+            .app_index_semantic
+            .insert(source, Arc::clone(&computed));
+        Ok(computed)
+    }
+
+    /// The cached deep-analysis report for `key`, if one was stored under
+    /// the current generation. Counts a hit or a miss; the analyses live
+    /// in td-analyze, which calls [`Schema::store_analysis_report`] after
+    /// computing a missed report.
+    pub fn cached_analysis_report(&self, key: &AnalysisKey) -> Option<Arc<LintReport>> {
+        let mut inner = self.cache.lock();
+        inner.refresh(self);
+        match inner.analysis.get(key).map(Arc::clone) {
+            Some(v) => {
+                inner.analysis_hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.analysis_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a deep-analysis report under `key` for the current
+    /// generation, so snapshot forks and batch workers share the result.
+    pub fn store_analysis_report(&self, key: AnalysisKey, report: Arc<LintReport>) {
+        let mut inner = self.cache.lock();
+        inner.refresh(self);
+        inner.analysis.insert(key, report);
     }
 
     /// The cached lint report for `key`, if one was stored under the

@@ -31,6 +31,19 @@ pub enum Severity {
     Error,
 }
 
+impl Severity {
+    /// Parses the rendered name (which doubles as the SARIF `level`
+    /// string — the two vocabularies coincide).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "note" => Some(Severity::Note),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -42,7 +55,9 @@ impl fmt::Display for Severity {
 }
 
 /// Stable lint codes. `TDL0xx` are the analysis passes; `TDL1xx` are
-/// well-formedness (validation) failures.
+/// well-formedness (validation) failures; `TDL2xx` are the deep
+/// interprocedural analyses (td-analyze) — they are only emitted by
+/// `tdv analyze`, never by the plain lint pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// TDL001 — an argument-type tuple has two maximal applicable methods
@@ -83,6 +98,26 @@ pub enum LintCode {
     /// TDL107 — a body assignment stores a value into a variable of an
     /// incompatible type (§6.3).
     AssignmentTypeError,
+    /// TDL201 — a call site passes an argument that is provably `Null` on
+    /// every path, so dispatch on a type specializer is guaranteed to
+    /// fail at runtime (§3; nullability propagation).
+    NullArgDispatch,
+    /// TDL202 — a branch condition is a compile-time constant, leaving
+    /// statements (and any `Augment` pressure they carry) unreachable
+    /// (§6.4; constant propagation).
+    ConstantBranch,
+    /// TDL203 — an applicable method is shadowed by a more specific one
+    /// at every entry and unreachable through any surviving call chain
+    /// under the projection (§4; reachability).
+    UnreachableMethod,
+    /// TDL204 — a projected attribute is never read by any surviving
+    /// non-accessor method: a semantic sharpening of the §4 load-bearing
+    /// set (liveness).
+    DeadAttribute,
+    /// TDL205 — an interprocedural def-use chain forces `Augment` to
+    /// surrogate types outside the projection closure across a call
+    /// boundary — the §6.4 check generalized beyond one body.
+    InterprocAugment,
 }
 
 impl LintCode {
@@ -103,6 +138,66 @@ impl LintCode {
             LintCode::BodyMalformed => "TDL105",
             LintCode::DuplicateSignatures => "TDL106",
             LintCode::AssignmentTypeError => "TDL107",
+            LintCode::NullArgDispatch => "TDL201",
+            LintCode::ConstantBranch => "TDL202",
+            LintCode::UnreachableMethod => "TDL203",
+            LintCode::DeadAttribute => "TDL204",
+            LintCode::InterprocAugment => "TDL205",
+        }
+    }
+
+    /// The inverse of [`LintCode::as_str`]: resolves a stable code
+    /// string. Used by the SARIF importer.
+    pub fn parse(code: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.as_str() == code)
+    }
+
+    /// Every code, in code order.
+    pub const ALL: &'static [LintCode] = &[
+        LintCode::DispatchAmbiguity,
+        LintCode::PrecedenceConflict,
+        LintCode::OptimisticCycle,
+        LintCode::BehaviorFreeProjection,
+        LintCode::AugmentHazard,
+        LintCode::InvalidRequest,
+        LintCode::InvalidReference,
+        LintCode::HierarchyCycle,
+        LintCode::AttrOwnership,
+        LintCode::MethodArity,
+        LintCode::AccessorContract,
+        LintCode::BodyMalformed,
+        LintCode::DuplicateSignatures,
+        LintCode::AssignmentTypeError,
+        LintCode::NullArgDispatch,
+        LintCode::ConstantBranch,
+        LintCode::UnreachableMethod,
+        LintCode::DeadAttribute,
+        LintCode::InterprocAugment,
+    ];
+
+    /// One-line rule description for machine-readable exports (SARIF
+    /// `shortDescription`).
+    pub fn short_description(self) -> &'static str {
+        match self {
+            LintCode::DispatchAmbiguity => "argument tuple has no most-specific applicable method",
+            LintCode::PrecedenceConflict => "inconsistent class precedence list",
+            LintCode::OptimisticCycle => "applicability rests on the optimistic cycle assumption",
+            LintCode::BehaviorFreeProjection => "projection derives a behavior-free type",
+            LintCode::AugmentHazard => "assignment forces Augment to surrogate external types",
+            LintCode::InvalidRequest => "malformed projection request",
+            LintCode::InvalidReference => "dangling or duplicate identifier reference",
+            LintCode::HierarchyCycle => "type hierarchy contains a cycle",
+            LintCode::AttrOwnership => "inconsistent attribute ownership",
+            LintCode::MethodArity => "method arity disagrees with its generic function",
+            LintCode::AccessorContract => "accessor method violates the accessor contract",
+            LintCode::BodyMalformed => "method body references unknown entities",
+            LintCode::DuplicateSignatures => "two methods share identical signatures",
+            LintCode::AssignmentTypeError => "assignment stores an incompatible value type",
+            LintCode::NullArgDispatch => "argument is provably Null: dispatch cannot succeed",
+            LintCode::ConstantBranch => "branch condition is constant: dead statements",
+            LintCode::UnreachableMethod => "method shadowed and unreachable under the projection",
+            LintCode::DeadAttribute => "attribute never read on any surviving path",
+            LintCode::InterprocAugment => "interprocedural def-use chain forces Augment surrogates",
         }
     }
 
@@ -123,14 +218,26 @@ impl LintCode {
             LintCode::BodyMalformed => "§6.3",
             LintCode::DuplicateSignatures => "§3",
             LintCode::AssignmentTypeError => "§6.3",
+            LintCode::NullArgDispatch => "§3",
+            LintCode::ConstantBranch => "§6.4",
+            LintCode::UnreachableMethod => "§4",
+            LintCode::DeadAttribute => "§4",
+            LintCode::InterprocAugment => "§6.4",
         }
     }
 
     /// The default severity this code reports at.
     pub fn default_severity(self) -> Severity {
         match self {
-            LintCode::OptimisticCycle | LintCode::AugmentHazard => Severity::Note,
-            LintCode::DispatchAmbiguity | LintCode::BehaviorFreeProjection => Severity::Warning,
+            LintCode::OptimisticCycle
+            | LintCode::AugmentHazard
+            | LintCode::DeadAttribute
+            | LintCode::InterprocAugment => Severity::Note,
+            LintCode::DispatchAmbiguity
+            | LintCode::BehaviorFreeProjection
+            | LintCode::NullArgDispatch
+            | LintCode::ConstantBranch
+            | LintCode::UnreachableMethod => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -162,6 +269,16 @@ impl SpanKind {
             SpanKind::Attr => "attr",
             SpanKind::Gf => "gf",
             SpanKind::Method => "method",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SpanKind> {
+        match s {
+            "type" => Some(SpanKind::Type),
+            "attr" => Some(SpanKind::Attr),
+            "gf" => Some(SpanKind::Gf),
+            "method" => Some(SpanKind::Method),
+            _ => None,
         }
     }
 }
@@ -364,11 +481,368 @@ impl LintReport {
         ));
         out
     }
+
+    /// SARIF 2.1.0 rendering (hand-rolled, dependency-free): one run,
+    /// one result per diagnostic, spans as logical locations. Severity
+    /// maps 1:1 onto the SARIF `level` vocabulary, so the export loses
+    /// nothing — [`LintReport::from_sarif`] reconstructs the report
+    /// exactly (round-trip tested).
+    pub fn render_sarif(&self, tool_name: &str) -> String {
+        // Rules metadata: each distinct code, in first-appearance order.
+        let mut rules: Vec<LintCode> = Vec::new();
+        for d in &self.diagnostics {
+            if !rules.contains(&d.code) {
+                rules.push(d.code);
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(
+            "  \"$schema\": \"https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json\",\n",
+        );
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str(&format!(
+            "          \"name\": \"{}\",\n",
+            json_escape(tool_name)
+        ));
+        out.push_str("          \"rules\": [");
+        for (i, code) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": \"{}\", \
+                 \"shortDescription\": {{\"text\": \"{}\"}}, \
+                 \"defaultConfiguration\": {{\"level\": \"{}\"}}, \
+                 \"properties\": {{\"paperSection\": \"{}\"}}}}",
+                code.as_str(),
+                json_escape(code.short_description()),
+                code.default_severity(),
+                json_escape(code.paper_section())
+            ));
+        }
+        if !rules.is_empty() {
+            out.push_str("\n          ");
+        }
+        out.push_str("]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [",
+                d.code.as_str(),
+                d.severity,
+                json_escape(&d.message)
+            ));
+            if !d.spans.is_empty() {
+                out.push_str("{\"logicalLocations\": [");
+                for (j, s) in d.spans.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"kind\": \"{}\", \"name\": \"{}\"}}",
+                        s.kind.as_str(),
+                        json_escape(&s.name)
+                    ));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+
+    /// Reconstructs a report from SARIF produced by
+    /// [`LintReport::render_sarif`] (or any SARIF 2.1.0 document using
+    /// the `TDL…` rule ids and logical locations). Unknown rule ids or
+    /// malformed structure are errors, not silently dropped findings.
+    pub fn from_sarif(text: &str) -> Result<LintReport, String> {
+        let doc = sarif_json::parse(text)?;
+        let runs = doc
+            .get("runs")
+            .and_then(|r| r.as_arr())
+            .ok_or("missing `runs` array")?;
+        let mut diagnostics = Vec::new();
+        for run in runs {
+            let results = run
+                .get("results")
+                .and_then(|r| r.as_arr())
+                .ok_or("run missing `results` array")?;
+            for res in results {
+                let rule_id = res
+                    .get("ruleId")
+                    .and_then(|v| v.as_str())
+                    .ok_or("result missing `ruleId`")?;
+                let code = LintCode::parse(rule_id)
+                    .ok_or_else(|| format!("unknown rule id `{rule_id}`"))?;
+                let severity = match res.get("level").and_then(|v| v.as_str()) {
+                    Some(level) => {
+                        Severity::parse(level).ok_or_else(|| format!("unknown level `{level}`"))?
+                    }
+                    None => code.default_severity(),
+                };
+                let message = res
+                    .get("message")
+                    .and_then(|m| m.get("text"))
+                    .and_then(|t| t.as_str())
+                    .ok_or("result missing `message.text`")?
+                    .to_string();
+                let mut spans = Vec::new();
+                if let Some(locations) = res.get("locations").and_then(|l| l.as_arr()) {
+                    for loc in locations {
+                        let logical = loc
+                            .get("logicalLocations")
+                            .and_then(|l| l.as_arr())
+                            .ok_or("location missing `logicalLocations`")?;
+                        for ll in logical {
+                            let kind = ll
+                                .get("kind")
+                                .and_then(|k| k.as_str())
+                                .and_then(SpanKind::parse)
+                                .ok_or("logical location with unknown `kind`")?;
+                            let name = ll
+                                .get("name")
+                                .and_then(|n| n.as_str())
+                                .ok_or("logical location missing `name`")?;
+                            spans.push(Span {
+                                kind,
+                                name: name.to_string(),
+                            });
+                        }
+                    }
+                }
+                diagnostics.push(Diagnostic {
+                    code,
+                    severity,
+                    message,
+                    spans,
+                });
+            }
+        }
+        Ok(LintReport::new(diagnostics))
+    }
 }
 
 impl fmt::Display for LintReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.render_text().trim_end())
+    }
+}
+
+/// Just enough JSON parsing for the SARIF importer. Hand-rolled for the
+/// same reason every other crate in the workspace hand-rolls its JSON
+/// (no crates registry in the build environment); td-server's parser
+/// can't be reused here because the dependency arrow points the other
+/// way.
+mod sarif_json {
+    /// A parsed JSON value, trimmed to what the importer reads.
+    pub(super) enum Value {
+        Null,
+        Bool(#[allow(dead_code)] bool),
+        Num(#[allow(dead_code)] f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub(super) fn parse(src: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                pairs.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                        let c = s.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.peek() {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
     }
 }
 
@@ -458,5 +932,68 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.render_json().contains("\"errors\": 0"));
         assert!(r.render_text().contains("0 errors"));
+    }
+
+    #[test]
+    fn analysis_codes_are_stable() {
+        assert_eq!(LintCode::NullArgDispatch.as_str(), "TDL201");
+        assert_eq!(LintCode::ConstantBranch.as_str(), "TDL202");
+        assert_eq!(LintCode::UnreachableMethod.as_str(), "TDL203");
+        assert_eq!(LintCode::DeadAttribute.as_str(), "TDL204");
+        assert_eq!(LintCode::InterprocAugment.as_str(), "TDL205");
+        assert_eq!(
+            LintCode::NullArgDispatch.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(LintCode::DeadAttribute.default_severity(), Severity::Note);
+        // parse() inverts as_str() over the whole vocabulary.
+        for &code in LintCode::ALL {
+            assert_eq!(LintCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(LintCode::parse("TDL999"), None);
+    }
+
+    #[test]
+    fn sarif_round_trips_exactly() {
+        let mut custom = diag(LintCode::OptimisticCycle);
+        custom.severity = Severity::Warning; // non-default severity survives
+        custom.message = "ring {x1, y1} \"quoted\"\nline".into();
+        let report = LintReport::new(vec![
+            diag(LintCode::DispatchAmbiguity),
+            diag(LintCode::NullArgDispatch),
+            custom,
+            Diagnostic::new(LintCode::DeadAttribute, "no spans", vec![]),
+        ]);
+        let sarif = report.render_sarif("tdv");
+        assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\": \"TDL201\""), "{sarif}");
+        assert!(sarif.contains("\"paperSection\""), "{sarif}");
+        let back = LintReport::from_sarif(&sarif).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sarif_empty_report_round_trips() {
+        let report = LintReport::default();
+        let sarif = report.render_sarif("tdv");
+        assert!(sarif.contains("\"results\": []"), "{sarif}");
+        assert_eq!(LintReport::from_sarif(&sarif).unwrap(), report);
+    }
+
+    #[test]
+    fn sarif_import_rejects_unknown_rules_and_garbage() {
+        assert!(LintReport::from_sarif("{not json").is_err());
+        assert!(LintReport::from_sarif("{}").is_err());
+        let bogus = r#"{"runs": [{"results": [{"ruleId": "XXX9", "message": {"text": "m"}}]}]}"#;
+        assert!(LintReport::from_sarif(bogus).unwrap_err().contains("XXX9"));
+    }
+
+    #[test]
+    fn sarif_level_defaults_from_rule_when_absent() {
+        let doc = r#"{"runs": [{"results": [
+            {"ruleId": "TDL001", "message": {"text": "m"}, "locations": []}
+        ]}]}"#;
+        let report = LintReport::from_sarif(doc).unwrap();
+        assert_eq!(report.diagnostics[0].severity, Severity::Warning);
     }
 }

@@ -68,10 +68,10 @@ pub mod stats;
 pub mod text;
 pub mod validate;
 
-pub use appindex::{ApplicabilityIndex, AttrBitSet};
+pub use appindex::{AnalysisPrecision, ApplicabilityIndex, AttrBitSet};
 pub use attrs::{AttrDef, PrimType, ValueType};
 pub use body::{BinOp, Body, BodyBuilder, Expr, Literal, LocalVar, Stmt};
-pub use cache::LintKey;
+pub use cache::{AnalysisKey, LintKey};
 pub use dataflow::CallSite;
 pub use delta::{diff_schemas, CarryReport, SchemaDelta, SchemaDiff};
 pub use diag::{Diagnostic, LintCode, LintReport, Severity, Span, SpanKind};

@@ -1175,6 +1175,10 @@ fn decode_appindex(s: &Sections<'_>) -> Sres<HashMap<TypeId, Arc<ApplicabilityIn
             return Err(SnapshotError::Corrupt("SCC id out of range".into()));
         }
         let fallback_methods = r.u32()? as usize;
+        // Call edges are not serialized (the snapshot format predates
+        // them); a loaded index is always syntactic and edge-free, which
+        // only disables the semantic-refinement fast path, not verdicts.
+        let edges = vec![Vec::new(); n_methods];
         out.insert(
             source,
             Arc::new(ApplicabilityIndex {
@@ -1189,6 +1193,9 @@ fn decode_appindex(s: &Sections<'_>) -> Sres<HashMap<TypeId, Arc<ApplicabilityIn
                 scc_members,
                 scc_cyclic,
                 fallback_methods,
+                precision: crate::appindex::AnalysisPrecision::Syntactic,
+                edges,
+                cycle_rings: std::sync::OnceLock::new(),
             }),
         );
     }

@@ -128,6 +128,13 @@ pub struct DispatchCacheStats {
     pub index_entries: usize,
     /// Currently resident lint reports (schema-wide plus per-request).
     pub lint_entries: usize,
+    /// Deep-analysis report lookups answered from the cache (td-analyze;
+    /// keyed by [`crate::cache::AnalysisKey`]).
+    pub analysis_hits: u64,
+    /// Deep-analysis report lookups that had to run the analyses.
+    pub analysis_misses: u64,
+    /// Currently resident deep-analysis reports.
+    pub analysis_entries: usize,
 }
 
 impl DispatchCacheStats {
@@ -161,6 +168,11 @@ impl DispatchCacheStats {
             dispatch_entries: self.dispatch_entries,
             index_entries: self.index_entries,
             lint_entries: self.lint_entries,
+            analysis_hits: self.analysis_hits.saturating_sub(baseline.analysis_hits),
+            analysis_misses: self
+                .analysis_misses
+                .saturating_sub(baseline.analysis_misses),
+            analysis_entries: self.analysis_entries,
         }
     }
 
@@ -185,6 +197,9 @@ impl DispatchCacheStats {
             dispatch_entries: self.dispatch_entries.max(other.dispatch_entries),
             index_entries: self.index_entries.max(other.index_entries),
             lint_entries: self.lint_entries.max(other.lint_entries),
+            analysis_hits: self.analysis_hits + other.analysis_hits,
+            analysis_misses: self.analysis_misses + other.analysis_misses,
+            analysis_entries: self.analysis_entries.max(other.analysis_entries),
         }
     }
 
@@ -206,6 +221,8 @@ impl DispatchCacheStats {
             ("cache/index_misses", self.index_misses),
             ("cache/lint_hits", self.lint_hits),
             ("cache/lint_misses", self.lint_misses),
+            ("cache/analysis_hits", self.analysis_hits),
+            ("cache/analysis_misses", self.analysis_misses),
             ("cache/invalidations", self.invalidations),
             ("cache/full_flushes", self.full_flushes),
             ("cache/delta_evictions", self.delta_evictions),
@@ -220,6 +237,7 @@ impl DispatchCacheStats {
         gauge("cache/dispatch_entries").set(self.dispatch_entries as i64);
         gauge("cache/index_entries").set(self.index_entries as i64);
         gauge("cache/lint_entries").set(self.lint_entries as i64);
+        gauge("cache/analysis_entries").set(self.analysis_entries as i64);
     }
 }
 
@@ -230,7 +248,8 @@ impl fmt::Display for DispatchCacheStats {
             "dispatch cache: gen {}, cpl {}/{} hits ({} resident), \
              dispatch {}/{} hits ({} resident), \
              index {}/{} hits ({} resident), \
-             lint {}/{} hits ({} resident), {} invalidations \
+             lint {}/{} hits ({} resident), \
+             analysis {}/{} hits ({} resident), {} invalidations \
              ({} full, {} evicted / {} kept by deltas)",
             self.generation,
             self.cpl_hits,
@@ -245,6 +264,9 @@ impl fmt::Display for DispatchCacheStats {
             self.lint_hits,
             self.lint_hits + self.lint_misses,
             self.lint_entries,
+            self.analysis_hits,
+            self.analysis_hits + self.analysis_misses,
+            self.analysis_entries,
             self.invalidations,
             self.full_flushes,
             self.delta_evictions,
@@ -324,6 +346,9 @@ mod tests {
             dispatch_entries: 7,
             index_entries: 2,
             lint_entries: 2,
+            analysis_hits: 5,
+            analysis_misses: 1,
+            analysis_entries: 2,
         };
         let b = DispatchCacheStats {
             generation: 2,
@@ -343,6 +368,9 @@ mod tests {
             dispatch_entries: 3,
             index_entries: 1,
             lint_entries: 1,
+            analysis_hits: 2,
+            analysis_misses: 1,
+            analysis_entries: 1,
         };
         let d = a.delta(&b);
         assert_eq!(d.cpl_hits, 3);
@@ -357,6 +385,9 @@ mod tests {
         assert_eq!(d.cpl_entries, 5);
         assert_eq!(d.index_entries, 2);
         assert_eq!(d.lint_entries, 2);
+        assert_eq!(d.analysis_hits, 3);
+        assert_eq!(d.analysis_misses, 0);
+        assert_eq!(d.analysis_entries, 2);
         // delta saturates rather than underflowing.
         assert_eq!(b.delta(&a).cpl_hits, 0);
         let m = a.merge(&b);
@@ -369,6 +400,9 @@ mod tests {
         assert_eq!(m.dispatch_entries, 7);
         assert_eq!(m.index_entries, 2);
         assert_eq!(m.lint_entries, 2);
+        assert_eq!(m.analysis_hits, 7);
+        assert_eq!(m.analysis_misses, 2);
+        assert_eq!(m.analysis_entries, 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `POST /v1/project` | view request | canonical derivation JSON |
 //! | `POST /v1/applicable` | view request | method partition |
 //! | `POST /v1/lint` | view request (view optional) | TDL report JSON |
+//! | `POST /v1/analyze` | view request (view optional) + `precision`, `format` | TDL2xx report + stats |
 //! | `POST /v1/explain` | view request + `method` | proof tree |
 //! | `POST /v1/batch` | request-file text + `threads` | batch report |
 //! | `GET /v1/watch?tenant=&schema=` | — | SSE change feed (served in `lib.rs`) |
@@ -32,7 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use td_core::{explain, project, Derivation, Engine, ProjectionOptions};
-use td_model::{parse_schema_lenient, AttrId, Schema, TypeId};
+use td_model::{parse_schema_lenient, AnalysisPrecision, AttrId, Schema, TypeId};
 
 use crate::http::Response;
 use crate::json::{quote, str_array, Json};
@@ -271,6 +272,7 @@ impl Api {
             "project" => self.project(&req),
             "applicable" => self.applicable(&req),
             "lint" => self.lint(&req),
+            "analyze" => self.analyze(&req),
             "explain" => self.explain(&req),
             "batch" => self.batch(&req),
             other => Err(ApiError {
@@ -369,6 +371,54 @@ impl Api {
         Ok(Response::json(200, report.render_json()))
     }
 
+    fn analyze(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
+        // Unlike the derivation endpoints, analysis never mutates the
+        // schema — only its interior-mutability caches. Registered
+        // schemas therefore run against the shared warm snapshot itself
+        // (not a fork), so the analysis reports persist across requests
+        // and a delta re-registration carries whatever stays valid.
+        let shared;
+        let fresh;
+        let schema: &Schema = if let (Some(name), None) = (&req.schema, &req.schema_text) {
+            shared = self.lookup(&req.tenant, name)?;
+            shared.snapshot.schema()
+        } else {
+            fresh = self.resolve(req, req.ty.as_deref())?;
+            &fresh
+        };
+        let view = if req.ty.is_some() {
+            Some(self.view(schema, req)?)
+        } else {
+            None
+        };
+        let outcome =
+            td_analyze::analyze(schema, view.as_ref().map(|(t, a)| (*t, a)), req.precision);
+        if req.format.as_deref() == Some("sarif") {
+            return Ok(Response::json(
+                200,
+                outcome.report.render_sarif("td-analyze"),
+            ));
+        }
+        // Registered schemas answer from the warm shared snapshot whose
+        // dispatch cache holds the analysis reports, so repeat requests —
+        // and requests after a delta re-registration — report
+        // `schema_cached`/`request_cached` truthfully.
+        let s = &outcome.stats;
+        Ok(Response::json(
+            200,
+            format!(
+                "{{\"precision\": {}, \"schema_cached\": {}, \"request_cached\": {}, \
+                 \"fallback_syntactic\": {}, \"fallback_semantic\": {}, \"report\": {}}}\n",
+                quote(s.precision.as_str()),
+                s.schema_cached,
+                s.request_cached,
+                s.fallback_syntactic,
+                s.fallback_semantic,
+                outcome.report.render_json().trim_end(),
+            ),
+        ))
+    }
+
     fn explain(&self, req: &ComputeRequest) -> Result<Response, ApiError> {
         let schema = self.resolve(req, req.ty.as_deref())?;
         let (source, projection) = self.view(&schema, req)?;
@@ -453,6 +503,10 @@ struct ComputeRequest {
     /// Lint parses inline text leniently so structural problems become
     /// diagnostics instead of a 400.
     lenient: bool,
+    /// Applicability-index precision for `analyze` (`syntactic` default).
+    precision: AnalysisPrecision,
+    /// Output shape for `analyze`: `"json"` (default) or `"sarif"`.
+    format: Option<String>,
 }
 
 impl ComputeRequest {
@@ -483,6 +537,17 @@ impl ComputeRequest {
                 "attrs",
                 "engine",
                 "method",
+                "delay_ms",
+            ],
+            "analyze" => &[
+                "tenant",
+                "schema",
+                "schema_text",
+                "type",
+                "attrs",
+                "engine",
+                "precision",
+                "format",
                 "delay_ms",
             ],
             _ => &[
@@ -548,6 +613,21 @@ impl ComputeRequest {
                 as u64,
         };
 
+        let precision = match get_str("precision")? {
+            None => AnalysisPrecision::default(),
+            Some(p) => p
+                .parse()
+                .map_err(|e: String| bad(format!("`precision`: {e}")))?,
+        };
+        let format = get_str("format")?;
+        if let Some(f) = &format {
+            if f != "json" && f != "sarif" {
+                return Err(bad(format!(
+                    "`format` must be `json` or `sarif`, not `{f}`"
+                )));
+            }
+        }
+
         Ok(ComputeRequest {
             tenant,
             schema: get_str("schema")?,
@@ -559,7 +639,9 @@ impl ComputeRequest {
             requests: get_str("requests")?,
             threads,
             delay_ms,
-            lenient: verb == "lint",
+            lenient: verb == "lint" || verb == "analyze",
+            precision,
+            format,
         })
     }
 }
@@ -773,6 +855,62 @@ mod tests {
         assert_eq!(batch.status, 200, "{}", batch.body);
         let doc = Json::parse(&batch.body).unwrap();
         assert_eq!(doc.as_obj().unwrap()["ok"].as_usize(), Some(2));
+    }
+
+    #[test]
+    fn analyze_answers_with_stats_and_sarif() {
+        let api = Api::new();
+        api.handle("PUT", "/v1/tenants/t/schemas/s", "", FIG.as_bytes());
+        let body = "{\"tenant\": \"t\", \"schema\": \"s\"}";
+        let cold = api.handle("POST", "/v1/analyze", "", body.as_bytes());
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        let doc = Json::parse(&cold.body).unwrap();
+        assert_eq!(
+            doc.as_obj().unwrap()["precision"].as_str(),
+            Some("syntactic")
+        );
+        assert!(doc.as_obj().unwrap()["report"].as_obj().is_some());
+
+        // Second request over the same registered schema answers from the
+        // warm shared snapshot's analysis cache.
+        let warm = api.handle("POST", "/v1/analyze", "", body.as_bytes());
+        let doc = Json::parse(&warm.body).unwrap();
+        assert_eq!(
+            doc.as_obj().unwrap()["schema_cached"],
+            Json::Bool(true),
+            "{}",
+            warm.body
+        );
+
+        // A projection-scoped request at semantic precision, as SARIF.
+        let sarif = api.handle(
+            "POST",
+            "/v1/analyze",
+            "",
+            concat!(
+                "{\"tenant\": \"t\", \"schema\": \"s\", \"type\": \"Employee\", ",
+                "\"attrs\": [\"SSN\"], \"precision\": \"semantic\", \"format\": \"sarif\"}"
+            )
+            .as_bytes(),
+        );
+        assert_eq!(sarif.status, 200, "{}", sarif.body);
+        assert!(sarif.body.contains("\"td-analyze\""), "{}", sarif.body);
+
+        // Bad knobs are 400s, not silent defaults.
+        let bad = api.handle(
+            "POST",
+            "/v1/analyze",
+            "",
+            "{\"tenant\": \"t\", \"schema\": \"s\", \"precision\": \"sharp\"}".as_bytes(),
+        );
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        let bad = api.handle(
+            "POST",
+            "/v1/analyze",
+            "",
+            "{\"tenant\": \"t\", \"schema\": \"s\", \"format\": \"xml\"}".as_bytes(),
+        );
+        assert_eq!(bad.status, 400, "{}", bad.body);
     }
 
     #[test]

@@ -1,28 +1,33 @@
-//! Writes the pathological lint corpus to disk for the CI lint gate.
+//! Writes the pathological lint corpus (or, with `--analysis`, the
+//! interprocedural analysis corpus) to disk for the CI gates.
 //!
 //! ```text
-//! gen_corpus <out-dir> [n-cases] [seed]
+//! gen_corpus <out-dir> [n-cases] [seed] [--analysis]
 //! ```
 //!
 //! Emits one `.td` file per case plus `manifest.txt`, whose lines are the
-//! positional arguments for `tdv lint` on that case:
+//! positional arguments for `tdv lint` (or `tdv analyze`) on that case:
 //!
 //! ```text
 //! case_000_ambiguous.td
 //! case_002_trap.td T t_a1,t_a2
 //! ```
 //!
-//! CI runs `tdv lint --deny warnings` on every line and requires each one
-//! to exit nonzero — the corpus is the gate's negative fixture set.
+//! CI runs the verb with `--deny warnings` on every line and requires
+//! each one to exit nonzero — the corpora are the gates' negative
+//! fixture sets. The analysis corpus additionally must pass the ordinary
+//! `tdv lint`: its defects are visible only interprocedurally.
 
 use std::fmt::Write as _;
 use td_model::text::schema_to_text;
-use td_workload::pathological_corpus;
+use td_workload::{analysis_corpus, pathological_corpus};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let analysis = args.iter().any(|a| a == "--analysis");
+    args.retain(|a| a != "--analysis");
     let Some(out_dir) = args.first() else {
-        eprintln!("usage: gen_corpus <out-dir> [n-cases] [seed]");
+        eprintln!("usage: gen_corpus <out-dir> [n-cases] [seed] [--analysis]");
         std::process::exit(2);
     };
     let n: usize = args.get(1).map_or(9, |v| {
@@ -39,8 +44,13 @@ fn main() {
     });
 
     std::fs::create_dir_all(out_dir).expect("create corpus directory");
+    let cases = if analysis {
+        analysis_corpus(n, seed)
+    } else {
+        pathological_corpus(n, seed)
+    };
     let mut manifest = String::new();
-    for (i, case) in pathological_corpus(n, seed).into_iter().enumerate() {
+    for (i, case) in cases.into_iter().enumerate() {
         let file = format!("case_{i:03}_{}.td", case.name);
         let path = format!("{out_dir}/{file}");
         std::fs::write(&path, schema_to_text(&case.schema)).expect("write case schema");
@@ -61,5 +71,8 @@ fn main() {
         manifest.push('\n');
     }
     std::fs::write(format!("{out_dir}/manifest.txt"), manifest).expect("write manifest");
-    println!("wrote {n} cases to {out_dir}");
+    println!(
+        "wrote {n} {} cases to {out_dir}",
+        if analysis { "analysis" } else { "lint" }
+    );
 }

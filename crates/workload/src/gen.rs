@@ -590,6 +590,92 @@ pub fn call_heavy_schema(
     s
 }
 
+/// A dispatch-polymorphic stressor for the semantic footprint
+/// refinement: base type `A`, subtype `B` (the intended projection
+/// source), and two flavours of disjunctive call unit.
+///
+/// A *demotable* unit's generic function has two candidates from `B` —
+/// an `A`-specialized method reading the unit's attribute and an empty
+/// `B`-specialized override — whose footprints nest (`∅ ⊆ {x}`), so the
+/// semantic refinement collapses the disjunction to one conjunctive
+/// edge. An *incomparable* unit's candidates read different attributes;
+/// no footprint is a minimum and the fallback seam survives at every
+/// precision. Each unit is topped by a chain of `depth` callers (the
+/// first holds the disjunctive site, the rest inherit the seam
+/// caller-ward), so the syntactic index marks
+/// `(demotable + incomparable) × depth` methods fallback while the
+/// semantic one marks only `incomparable × depth`: the demotion ratio
+/// is `demotable / (demotable + incomparable)`.
+pub fn disjunctive_schema(demotable: usize, incomparable: usize, depth: usize) -> Schema {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+    let b = s.add_type("B", &[a]).expect("fresh");
+    for (flavour, count) in [("d", demotable), ("i", incomparable)] {
+        for u in 0..count {
+            let x = s
+                .add_attr(format!("{flavour}{u}_x"), ValueType::INT, a)
+                .expect("unique");
+            let (get_x, _) = s.add_reader(x, a).expect("available");
+            let g = s
+                .add_gf(format!("g_{flavour}{u}"), 1, None)
+                .expect("unique");
+            let mut ga = BodyBuilder::new();
+            ga.call(get_x, vec![Expr::Param(0)]);
+            s.add_method(
+                g,
+                format!("g_{flavour}{u}_a"),
+                vec![Specializer::Type(a)],
+                MethodKind::General(ga.finish()),
+                None,
+            )
+            .expect("fresh");
+            let override_body = if flavour == "d" {
+                // Empty footprint: a ⊆-minimum of the candidate set.
+                BodyBuilder::new().finish()
+            } else {
+                // Reads a different attribute: incomparable with `{x}`.
+                let y = s
+                    .add_attr(format!("{flavour}{u}_y"), ValueType::INT, a)
+                    .expect("unique");
+                let (get_y, _) = s.add_reader(y, a).expect("available");
+                let mut gb = BodyBuilder::new();
+                gb.call(get_y, vec![Expr::Param(0)]);
+                gb.finish()
+            };
+            s.add_method(
+                g,
+                format!("g_{flavour}{u}_b"),
+                vec![Specializer::Type(b)],
+                MethodKind::General(override_body),
+                None,
+            )
+            .expect("fresh");
+            // The caller chain above the disjunctive site. From `B` the
+            // call to `g` sees both candidates, so the direct caller is
+            // the seam and the rest of the chain inherits it.
+            let mut callee = g;
+            for j in 0..depth.max(1) {
+                let h = s
+                    .add_gf(format!("h_{flavour}{u}_{j}"), 1, None)
+                    .expect("unique");
+                let mut bb = BodyBuilder::new();
+                bb.call(callee, vec![Expr::Param(0)]);
+                s.add_method(
+                    h,
+                    format!("h_{flavour}{u}_{j}_m"),
+                    vec![Specializer::Type(a)],
+                    MethodKind::General(bb.finish()),
+                    None,
+                )
+                .expect("fresh");
+                callee = h;
+            }
+        }
+    }
+    s.validate().expect("disjunctive schema is well-formed");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,5 +780,24 @@ mod tests {
         // No chains / no rings still validates.
         call_heavy_schema(0, 5, 2, 3, 1).validate().unwrap();
         call_heavy_schema(3, 0, 0, 4, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn disjunctive_schema_demotes_exactly_the_nested_units() {
+        use td_model::AnalysisPrecision;
+        let s = disjunctive_schema(3, 1, 2);
+        let b = s.type_id("B").unwrap();
+        let syn = s
+            .cached_applicability_index_at(b, AnalysisPrecision::Syntactic)
+            .unwrap();
+        let sem = s
+            .cached_applicability_index_at(b, AnalysisPrecision::Semantic)
+            .unwrap();
+        // 4 units × a 2-caller chain syntactically; the 3 demotable
+        // units collapse, the incomparable one survives.
+        assert_eq!(syn.fallback_methods(), 4 * 2);
+        assert_eq!(sem.fallback_methods(), 2);
+        let demoted = syn.fallback_methods() - sem.fallback_methods();
+        assert!(demoted as f64 / syn.fallback_methods() as f64 >= 0.3);
     }
 }

@@ -34,13 +34,14 @@ pub mod scenarios;
 pub use figures::{fig1, fig3, fig3_with_z1};
 pub use gen::{
     batch_requests, call_chain_schema, call_cycle_schema, call_heavy_schema, chain_schema,
-    deepest_type, ladder_schema, random_projection, random_schema, single_dispatch_schema,
-    wide_schema, GenParams,
+    deepest_type, disjunctive_schema, ladder_schema, random_projection, random_schema,
+    single_dispatch_schema, wide_schema, GenParams,
 };
 pub use mutate::apply_random_mutations;
 pub use pathological::{
-    ambiguous_multimethod_schema, diamond_conflict_schema, load_bearing_trap_schema,
-    pathological_corpus, PathologicalCase,
+    ambiguous_multimethod_schema, analysis_corpus, dead_branch_schema, diamond_conflict_schema,
+    load_bearing_trap_schema, null_arg_trap_schema, pathological_corpus, unreachable_method_schema,
+    PathologicalCase,
 };
 pub use replay::{server_replay, Replay, ReplayRequest, ReplaySpec};
 pub use scenarios::university;

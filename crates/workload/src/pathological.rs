@@ -18,7 +18,10 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
-use td_model::{AttrId, BodyBuilder, Expr, MethodKind, Schema, Specializer, TypeId, ValueType};
+use td_model::{
+    AttrId, BinOp, BodyBuilder, Expr, Literal, MethodKind, PrimType, Schema, Specializer, Stmt,
+    TypeId, ValueType,
+};
 
 /// A corpus entry: a schema plus (optionally) the projection request that
 /// triggers its diagnostic. Every case fails `lint --deny warnings`.
@@ -124,6 +127,122 @@ pub fn load_bearing_trap_schema(n_attrs: usize) -> (Schema, TypeId, BTreeSet<Att
     (s, t, request)
 }
 
+/// One type `A`, a generic function `sink` whose only method demands a
+/// primitive `int`, and `n` trap methods that call it with a
+/// definitely-null argument — even traps pass the literal `null`, odd
+/// traps launder it through a helper generic function that has no
+/// result type (so its call value is the null object reference). Every
+/// candidate of `sink` dies at the null position: TDL201 flags each trap
+/// as a guaranteed dispatch failure.
+pub fn null_arg_trap_schema(n: usize) -> Schema {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+    let sink = s.add_gf("sink", 1, None).expect("fresh");
+    s.add_method(
+        sink,
+        "sink_int",
+        vec![Specializer::Prim(PrimType::Int)],
+        MethodKind::General(BodyBuilder::new().finish()),
+        None,
+    )
+    .expect("fresh");
+    let mk_null = s.add_gf("mk_null", 1, None).expect("fresh");
+    s.add_method(
+        mk_null,
+        "mk_null_a",
+        vec![Specializer::Type(a)],
+        MethodKind::General(BodyBuilder::new().finish()),
+        None,
+    )
+    .expect("fresh");
+    for i in 0..n.max(1) {
+        let gf = s.add_gf(format!("trap{i}"), 1, None).expect("unique");
+        let mut bb = BodyBuilder::new();
+        let arg = if i % 2 == 0 {
+            Expr::Lit(Literal::Null)
+        } else {
+            Expr::call(mk_null, vec![Expr::Param(0)])
+        };
+        bb.call(sink, vec![arg]);
+        s.add_method(
+            gf,
+            format!("trap{i}_a"),
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh");
+    }
+    s.validate().expect("null-trap schema is well-formed");
+    s
+}
+
+/// One type `A` and `n` methods each branching on the constant `1 < 2`:
+/// the else arm — `i % 3 + 1` statements of it — can never execute.
+/// TDL202 flags every method with the folded condition and the dead
+/// statement count.
+pub fn dead_branch_schema(n: usize) -> Schema {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+    let x = s.add_attr("x", ValueType::INT, a).expect("fresh");
+    let (get_x, _) = s.add_reader(x, a).expect("available");
+    for i in 0..n.max(1) {
+        let gf = s.add_gf(format!("d{i}"), 1, None).expect("unique");
+        let mut bb = BodyBuilder::new();
+        let dead: Vec<Stmt> = (0..i % 3 + 1)
+            .map(|_| Stmt::Expr(Expr::call(get_x, vec![Expr::Param(0)])))
+            .collect();
+        bb.if_(
+            Expr::binop(BinOp::Lt, Expr::int(1), Expr::int(2)),
+            vec![Stmt::Expr(Expr::call(get_x, vec![Expr::Param(0)]))],
+            dead,
+        );
+        s.add_method(
+            gf,
+            format!("d{i}_a"),
+            vec![Specializer::Type(a)],
+            MethodKind::General(bb.finish()),
+            None,
+        )
+        .expect("fresh");
+    }
+    s.validate().expect("dead-branch schema is well-formed");
+    s
+}
+
+/// Base type `A`, subtype `B`, attribute `x`, and `n` overload pairs
+/// `f{i}_a(A)` / `f{i}_b(B)` with identical bodies (both read `x`).
+/// From the returned request — source `B`, projection `{x}` — both
+/// overloads survive, but dispatch from `B` always prefers `f{i}_b` and
+/// nothing else calls `f{i}_a`: TDL203 flags every general overload as
+/// shadowed and unreachable.
+pub fn unreachable_method_schema(n: usize) -> (Schema, TypeId, BTreeSet<AttrId>) {
+    let mut s = Schema::new();
+    let a = s.add_type("A", &[]).expect("fresh");
+    let b = s.add_type("B", &[a]).expect("fresh");
+    let x = s.add_attr("x", ValueType::INT, a).expect("fresh");
+    let (get_x, _) = s.add_reader(x, a).expect("available");
+    for i in 0..n.max(1) {
+        let f = s.add_gf(format!("f{i}"), 1, None).expect("unique");
+        for (label, spec) in [(format!("f{i}_a"), a), (format!("f{i}_b"), b)] {
+            let mut bb = BodyBuilder::new();
+            bb.call(get_x, vec![Expr::Param(0)]);
+            s.add_method(
+                f,
+                label,
+                vec![Specializer::Type(spec)],
+                MethodKind::General(bb.finish()),
+                None,
+            )
+            .expect("fresh");
+        }
+    }
+    s.validate()
+        .expect("unreachable-method schema is well-formed");
+    let projection: BTreeSet<AttrId> = [x].into_iter().collect();
+    (s, b, projection)
+}
+
 /// A deterministic corpus of `n` pathological cases cycling through the
 /// three families with seeded size variation. Every case fails
 /// `lint --deny warnings`; the diamond cases fail plain `lint` too.
@@ -145,6 +264,40 @@ pub fn pathological_corpus(n: usize, seed: u64) -> Vec<PathologicalCase> {
                 let (schema, source, projection) = load_bearing_trap_schema(rng.gen_range(2..=6));
                 PathologicalCase {
                     name: "trap".to_string(),
+                    schema,
+                    request: Some((source, projection)),
+                }
+            }
+        })
+        .collect()
+}
+
+/// A deterministic corpus of `n` interprocedural-analysis traps cycling
+/// through the [`null_arg_trap_schema`] (TDL201),
+/// [`dead_branch_schema`] (TDL202) and [`unreachable_method_schema`]
+/// (TDL203) families with seeded size variation. Every case passes the
+/// ordinary TDL lints but fails `analyze --deny warnings` — the findings
+/// exist only interprocedurally, which is exactly what separates
+/// `td-analyze` from `td_core::lint`. [`pathological_corpus`] stays
+/// TDL0xx-only, so the two corpora gate the two tools independently.
+pub fn analysis_corpus(n: usize, seed: u64) -> Vec<PathologicalCase> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => PathologicalCase {
+                name: "nulltrap".to_string(),
+                schema: null_arg_trap_schema(rng.gen_range(1..=4)),
+                request: None,
+            },
+            1 => PathologicalCase {
+                name: "deadbranch".to_string(),
+                schema: dead_branch_schema(rng.gen_range(1..=4)),
+                request: None,
+            },
+            _ => {
+                let (schema, source, projection) = unreachable_method_schema(rng.gen_range(1..=3));
+                PathologicalCase {
+                    name: "unreachable".to_string(),
                     schema,
                     request: Some((source, projection)),
                 }
@@ -199,6 +352,26 @@ mod tests {
         }
         for family in ["ambiguous", "diamond", "trap"] {
             assert_eq!(c1.iter().filter(|c| c.name == family).count(), 3);
+        }
+    }
+
+    #[test]
+    fn analysis_corpus_is_deterministic_and_covers_all_families() {
+        let c1 = analysis_corpus(9, 7);
+        let c2 = analysis_corpus(9, 7);
+        assert_eq!(c1.len(), 9);
+        for (a, b) in c1.iter().zip(&c2) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.schema.n_methods(), b.schema.n_methods());
+            assert_eq!(a.request, b.request);
+        }
+        for family in ["nulltrap", "deadbranch", "unreachable"] {
+            assert_eq!(c1.iter().filter(|c| c.name == family).count(), 3);
+        }
+        // Every case validates: unlike the diamond family these schemas
+        // are well-formed — their hazards are interprocedural.
+        for c in &c1 {
+            c.schema.validate().unwrap();
         }
     }
 }

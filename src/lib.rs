@@ -32,6 +32,7 @@
 //! |---|---|---|
 //! | [`model`] | `td-model` | the §2 object model: schema, hierarchy, CPLs, multi-methods, body IR, dataflow |
 //! | [`derive`][mod@derive] | `td-core` | the paper's algorithms + invariant checking + surrogate minimization |
+//! | [`analyze`] | `td-analyze` | interprocedural abstract interpretation: monotone framework, semantic footprints, TDL2xx deep lints |
 //! | [`driver`] | `td-driver` | parallel batch derivation engine over copy-on-write schema snapshots |
 //! | [`server`] | `td-server` | multi-tenant derivation service: hand-rolled HTTP/1.1, tenant schema registry, admission control |
 //! | [`store`] | `td-store` | executable OODB substrate: objects, extents, interpreter, view extents |
@@ -77,6 +78,7 @@
 #![forbid(unsafe_code)]
 
 pub use td_algebra as algebra;
+pub use td_analyze as analyze;
 pub use td_baselines as baselines;
 pub use td_core as derive;
 pub use td_driver as driver;
