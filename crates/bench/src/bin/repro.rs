@@ -133,6 +133,7 @@ fn main() {
     analyze_experiment(&mut report);
     serve_experiment(&mut report);
     telemetry_experiment(&mut report);
+    observability_experiment(&mut report);
     baseline_audit(&mut report);
     compose_ablation(&mut report);
     deviation_ablation(&mut report);
@@ -1064,6 +1065,87 @@ fn telemetry_experiment(report: &mut Report) {
         format!(
             "{spans_per_request} spans/request × {site_cost_ns:.2}ns/site = {added_us:.3}µs \
              vs {t_disabled:.0}µs/request ({:.4}% overhead; traced run {t_enabled:.0}µs)",
+            overhead * 100.0
+        ),
+        overhead < 0.05,
+    );
+}
+
+fn observability_experiment(report: &mut Report) {
+    // OBS: the PR-10 request-observability layer — trace scope + span
+    // stamping, the windowed SLO histograms, the flight-recorder push,
+    // the Traceparent echo — measured end to end through
+    // `Api::handle_with` on a warm registered-schema projection. The
+    // baseline is the untraced dispatch with telemetry off (the
+    // production default); the comparison is a fully traced request
+    // with telemetry on — the most expensive configuration the server
+    // ever runs (what `--slow-trace-dir` enables). The budget is 5% of
+    // request time; the gated metric is budget attainment,
+    // max(overhead, 0.05)/0.05 — the same clamp as TELEM, so the
+    // baseline sits at exactly 1.0 whenever the budget holds.
+    use td_server::{Api, RequestCtx};
+    let w = call_heavy_workload(16, 40, 0xC0DE);
+    let replay = td_workload::server_replay(&w.schema, &td_workload::ReplaySpec::default());
+    let api = Api::new();
+    for tenant in &replay.tenants {
+        let put = api.handle(
+            "PUT",
+            &format!("/v1/tenants/{tenant}/schemas/{}", replay.schema_name),
+            "",
+            replay.schema_text.as_bytes(),
+        );
+        assert!(
+            (200..300).contains(&put.status),
+            "schema registration failed: {}",
+            put.body
+        );
+    }
+    let request = replay
+        .requests
+        .iter()
+        .find(|r| r.path == "/v1/project")
+        .expect("replay contains a /v1/project request");
+    let (path, body) = (request.path.clone(), request.body.clone());
+
+    td_telemetry::set_enabled(false);
+    let check = api.handle("POST", &path, "", body.as_bytes());
+    assert_eq!(check.status, 200, "{}", check.body);
+    let t_plain = time_us(40, || {
+        api.handle("POST", &path, "", body.as_bytes());
+    });
+
+    let ctx = RequestCtx {
+        trace: Some(td_telemetry::TraceId::parse_hex("4bf92f3577b34da6a3ce929d0e0e4736").unwrap()),
+        tenant: replay.tenants.first().cloned(),
+        queue_us: 0,
+    };
+    td_telemetry::set_enabled(true);
+    let _ = td_telemetry::drain();
+    let traced = api.handle_with("POST", &path, "", body.as_bytes(), &ctx);
+    assert_eq!(traced.status, 200, "{}", traced.body);
+    assert!(
+        traced
+            .extra_headers
+            .iter()
+            .any(|(name, _)| name.eq_ignore_ascii_case("traceparent")),
+        "traced response must echo a Traceparent header"
+    );
+    let t_traced = time_us(40, || {
+        api.handle_with("POST", &path, "", body.as_bytes(), &ctx);
+    });
+    td_telemetry::set_enabled(false);
+    let _ = td_telemetry::drain();
+
+    let overhead = ((t_traced - t_plain) / t_plain.max(0.001)).max(0.0);
+    report.metric("ratio_observability_overhead", overhead.max(0.05) / 0.05);
+    report.metric("time_obs_plain_request_us", t_plain);
+    report.metric("time_obs_traced_request_us", t_traced);
+    report.row(
+        "OBS traced-request overhead",
+        "full request observability < 5% of untraced dispatch time (budget attainment = 1.0)",
+        format!(
+            "untraced+telemetry-off {t_plain:.0}µs vs traced+telemetry-on {t_traced:.0}µs \
+             ({:.2}% overhead)",
             overhead * 100.0
         ),
         overhead < 0.05,

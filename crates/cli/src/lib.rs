@@ -20,6 +20,8 @@
 //! tdv call      <schema.td> <data.td> <gf> <args>   execute a generic-function call
 //! tdv serve     [addr] [flags]                      run the multi-tenant derivation server
 //! tdv client    <addr> <METHOD> <path> [body|@file] one HTTP request against a server
+//! tdv top       <addr>                              live ops console over /v1/stats
+//! tdv trace-verify <trace.json>                     validate a Chrome trace artifact
 //! ```
 //!
 //! Every command accepts `--trace <file>` (write a Chrome trace-event
@@ -90,8 +92,13 @@ USAGE:
   tdv extent     <schema.td> <data.td> <Type>
   tdv call       <schema.td> <data.td> <gf> <arg,arg,…>
   tdv serve      [addr] [--port-file F] [--threads N] [--io-threads N]
-                 [--queue-slots N] [--snapshot-dir DIR]
+                 [--queue-slots N] [--snapshot-dir DIR] [--access-log F]
+                 [--slow-trace-dir DIR] [--slow-threshold-ms N]
+                 [--slo-objective-ms N]
   tdv client     <addr> <METHOD> <path> [body | @bodyfile]
+                 [--trace-id HEX32]
+  tdv top        <addr> [--interval MS] [--iterations N]
+  tdv trace-verify <trace.json>
   tdv watch      <addr> --tenant T --schema S [--type Ty --attrs a,b,…]
                  [--max-events N]
   tdv snapshot   save <schema.td> <out.tds> | load <file.tds>
@@ -140,7 +147,27 @@ cleanly. With --snapshot-dir, registered tenant schemas are persisted
 as warm binary snapshots and restored at the next boot — the registry
 survives restarts. `client` performs one request against it: a 2xx body
 goes to stdout verbatim, anything else exits nonzero with the error
-body.
+body. With --trace-id, the request carries a `traceparent` header so the
+server correlates every span, the flight-recorder record and the
+access-log line under your id (the response echoes it back).
+
+Observability flags on `serve`: --access-log appends one JSON line per
+request (trace id, tenant, endpoint, status, queue/exec/total µs),
+flushed per line and surviving the SIGTERM drain; --slow-trace-dir
+dumps a Chrome trace `slow-{trace}.json` for every request slower than
+--slow-threshold-ms (default: the SLO objective) — load it at
+https://ui.perfetto.dev; --slo-objective-ms sets the latency objective
+behind the windowed SLO burn-rate gauge (default 500ms). `/v1/stats`
+and `/metrics` expose sliding 60-second p50/p95/p99 and error/429 rates
+per endpoint and per tenant alongside the cumulative series.
+
+`top` is a polling ops console over `/v1/stats` and
+`/v1/debug/requests`: live windowed throughput, tail latencies,
+per-tenant backlog and the most recent requests, redrawn every
+--interval ms (default 1000). --iterations N renders N frames to
+stdout and exits (scripting/CI mode). `trace-verify` parses a Chrome
+trace artifact (e.g. a slow-trace capture) and fails nonzero unless it
+is well-formed.
 
 `watch` subscribes to a server's change feed (`GET /v1/watch`): every
 re-registration of the named tenant schema streams a `change` event with
@@ -228,6 +255,120 @@ fn watch_stream(addr: &str, query: &str, max_events: u64) -> Result<String, CliE
         }
     }
     Ok(format!("tdv watch: received {seen} event(s)\n"))
+}
+
+/// One rendered frame of the `tdv top` console: windowed throughput and
+/// tails from `/v1/stats` plus the newest flight-recorder rows from
+/// `/v1/debug/requests`.
+fn top_frame(addr: &str) -> Result<String, CliError> {
+    use td_server::json::Json;
+    let fetch = |path: &str| -> Result<Json, CliError> {
+        let (status, body) = td_server::http_call(addr, "GET", path, None)
+            .map_err(|e| fail(format!("top: cannot reach {addr}: {e}")))?;
+        if status != 200 {
+            return Err(fail(format!("top: {path} answered HTTP {status}")));
+        }
+        Json::parse(&body).map_err(|e| fail(format!("top: {path} answered invalid JSON: {e}")))
+    };
+    let stats = fetch("/v1/stats")?;
+    let debug = fetch("/v1/debug/requests")?;
+
+    let mut out = String::new();
+    let stats = stats
+        .as_obj()
+        .ok_or_else(|| fail("top: /v1/stats is not an object"))?;
+    let total = stats
+        .get("requests_total")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    let _ = writeln!(out, "tdv top — http://{addr} — {total} request(s) served");
+    let Some(window) = stats.get("window").and_then(Json::as_obj) else {
+        let _ = writeln!(out, "(server exposes no window section in /v1/stats)");
+        return Ok(out);
+    };
+    let num = |key: &str| window.get(key).and_then(Json::as_usize).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "last {}s: {} request(s), {} error(s), {} throttled (429), queue depth {}",
+        num("seconds"),
+        num("requests_60s"),
+        num("errors_60s"),
+        num("throttled_429_60s"),
+        num("queue_depth"),
+    );
+    let _ = writeln!(
+        out,
+        "SLO: objective {}µs, burn rate {:.2}x, spans dropped {}",
+        num("slo_objective_us"),
+        num("slo_burn_rate_milli") as f64 / 1000.0,
+        num("spans_dropped_total"),
+    );
+    let render_group = |out: &mut String, title: &str, key: &str| {
+        let Some(group) = window.get(key).and_then(Json::as_obj) else {
+            return;
+        };
+        if group.is_empty() {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "\n{title:<16} {:>8} {:>9} {:>9} {:>9}",
+            "count", "p50µs", "p95µs", "p99µs"
+        );
+        for (name, stats) in group {
+            let Some(stats) = stats.as_obj() else {
+                continue;
+            };
+            let stat = |s: &str| stats.get(s).and_then(Json::as_usize).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{name:<16} {:>8} {:>9} {:>9} {:>9}",
+                stat("window_count"),
+                stat("p50"),
+                stat("p95"),
+                stat("p99"),
+            );
+        }
+    };
+    render_group(&mut out, "ENDPOINT", "endpoints");
+    render_group(&mut out, "TENANT", "tenants");
+    if let Some(depths) = window.get("queue_depth_by_tenant").and_then(Json::as_obj) {
+        let busy: Vec<String> = depths
+            .iter()
+            .filter_map(|(t, d)| d.as_usize().map(|d| (t, d)))
+            .map(|(t, d)| format!("{t}={d}"))
+            .collect();
+        if !busy.is_empty() {
+            let _ = writeln!(out, "\nqueue by tenant: {}", busy.join(" "));
+        }
+    }
+    let recent = debug
+        .as_obj()
+        .and_then(|o| o.get("requests"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    if !recent.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nRECENT (newest first)  {:<34} {:<10} {:>6} {:>9} {:>9}",
+            "trace", "endpoint", "status", "queueµs", "totalµs"
+        );
+        for row in recent.iter().take(8) {
+            let Some(row) = row.as_obj() else { continue };
+            let s = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?");
+            let n = |k: &str| row.get(k).and_then(Json::as_usize).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "                       {:<34} {:<10} {:>6} {:>9} {:>9}",
+                s("trace"),
+                s("endpoint"),
+                n("status"),
+                n("queue_us"),
+                n("total_us"),
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// Strips a `--engine=NAME` / `--engine NAME` flag out of `args`,
@@ -391,6 +532,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let result = run_command(&args, engine);
     td_telemetry::set_enabled(false);
     let events = td_telemetry::drain();
+    // Ring overflow is silent at collection time; surface it so a
+    // truncated `tdv stats` / `--metrics` summary announces itself.
+    let dropped = td_telemetry::dropped_events_total();
+    if dropped > 0 {
+        td_telemetry::metrics::gauge("telemetry/spans_dropped_total").set(dropped as i64);
+    }
     let snapshot = td_telemetry::metrics::snapshot();
     td_telemetry::metrics::reset();
     let mut out = result?;
@@ -719,6 +866,24 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
                             .parse()
                             .map_err(|_| fail("serve: --queue-slots must be a number"))?;
                     }
+                    "--access-log" => {
+                        config.access_log = Some(value("--access-log")?);
+                    }
+                    "--slow-trace-dir" => {
+                        config.slow_trace_dir = Some(value("--slow-trace-dir")?);
+                    }
+                    "--slow-threshold-ms" => {
+                        let ms: u64 = value("--slow-threshold-ms")?
+                            .parse()
+                            .map_err(|_| fail("serve: --slow-threshold-ms must be a number"))?;
+                        config.slow_threshold_us = Some(ms.saturating_mul(1_000));
+                    }
+                    "--slo-objective-ms" => {
+                        let ms: u64 = value("--slo-objective-ms")?
+                            .parse()
+                            .map_err(|_| fail("serve: --slo-objective-ms must be a number"))?;
+                        config.slo_objective_us = ms.saturating_mul(1_000).max(1);
+                    }
                     flag if flag.starts_with("--") => {
                         return Err(fail(format!("serve: unknown flag {flag}")));
                     }
@@ -743,36 +908,151 @@ fn run_command(args: &[String], engine: Engine) -> Result<String, CliError> {
             Ok("tdv serve: drained in-flight requests and stopped\n".to_string())
         }
         "client" => {
-            let addr = args
-                .get(1)
+            let mut trace_arg: Option<String> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--trace-id" => {
+                        trace_arg = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| fail("client: --trace-id needs a value"))?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(fail(format!("client: unknown flag {flag}")));
+                    }
+                    _ => positional.push(a),
+                }
+            }
+            let addr = positional
+                .first()
                 .ok_or_else(|| fail("client: missing server address (host:port)"))?;
-            let method = args
-                .get(2)
+            let method = positional
+                .get(1)
                 .ok_or_else(|| fail("client: missing HTTP method"))?
                 .to_ascii_uppercase();
-            let path = args
-                .get(3)
+            let path = positional
+                .get(2)
                 .ok_or_else(|| fail("client: missing request path"))?;
-            let body = match args.get(4) {
+            let body = match positional.get(3) {
                 None => None,
                 Some(arg) => match arg.strip_prefix('@') {
                     Some(file) => Some(
                         std::fs::read(file)
                             .map_err(|e| fail(format!("client: cannot read `{file}`: {e}")))?,
                     ),
-                    None => Some(arg.clone().into_bytes()),
+                    None => Some(arg.as_bytes().to_vec()),
                 },
             };
-            let (status, body) = td_server::http_call(addr, &method, path, body.as_deref())
+            let trace = match &trace_arg {
+                Some(s) => Some(td_telemetry::TraceId::parse(s).ok_or_else(|| {
+                    fail("client: --trace-id must be 32 hex digits (or a traceparent header)")
+                })?),
+                None => None,
+            };
+            let traceparent = trace.map(|t| t.traceparent());
+            let headers: Vec<(&str, &str)> = traceparent
+                .iter()
+                .map(|v| ("traceparent", v.as_str()))
+                .collect();
+            let reply = td_server::http_request(addr, &method, path, &headers, body.as_deref())
                 .map_err(|e| fail(format!("client: {e}")))?;
-            if status < 400 {
-                Ok(body)
+            if let (Some(t), Some(echo)) = (trace, reply.header("traceparent")) {
+                // Stderr: stdout stays the verbatim response body.
+                eprintln!("tdv client: trace {t} (server echoed {echo})");
+            }
+            if reply.status < 400 {
+                Ok(reply.body)
             } else {
                 Err(CliError {
-                    message: format!("HTTP {status}\n{body}"),
+                    message: format!("HTTP {}\n{}", reply.status, reply.body),
                     code: 2,
                 })
             }
+        }
+        "top" => {
+            let mut addr: Option<String> = None;
+            let mut interval_ms: u64 = 1_000;
+            let mut iterations: u64 = 0;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--interval" | "--iterations" => {
+                        let v: u64 = it
+                            .next()
+                            .ok_or_else(|| fail(format!("top: {a} needs a value")))?
+                            .parse()
+                            .map_err(|_| fail(format!("top: {a} must be a number")))?;
+                        if a == "--interval" {
+                            interval_ms = v.max(50);
+                        } else {
+                            iterations = v;
+                        }
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(fail(format!("top: unknown flag {flag}")));
+                    }
+                    positional => {
+                        if addr.is_some() {
+                            return Err(fail(format!("top: unexpected argument `{positional}`")));
+                        }
+                        addr = Some(positional.to_string());
+                    }
+                }
+            }
+            let addr = addr.ok_or_else(|| fail("top: missing server address (host:port)"))?;
+            // --iterations N: render N frames to stdout and return
+            // (scripting/CI). Without it, redraw in place until the
+            // server goes away.
+            let mut out = String::new();
+            let mut frame_no: u64 = 0;
+            loop {
+                let frame = top_frame(&addr)?;
+                frame_no += 1;
+                if iterations > 0 {
+                    if frame_no > 1 {
+                        out.push('\n');
+                    }
+                    out.push_str(&frame);
+                    if frame_no >= iterations {
+                        return Ok(out);
+                    }
+                } else {
+                    use std::io::Write as IoWrite;
+                    // ANSI clear-and-home keeps the console in place.
+                    print!("\x1b[2J\x1b[H{frame}");
+                    let _ = std::io::stdout().flush();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+        }
+        "trace-verify" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| fail("trace-verify: missing trace file"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| fail(format!("trace-verify: cannot read `{path}`: {e}")))?;
+            let spans = td_telemetry::parse_chrome_trace(&text)
+                .map_err(|e| fail(format!("trace-verify: `{path}` is not a Chrome trace: {e}")))?;
+            if spans.is_empty() {
+                return Err(fail(format!("trace-verify: `{path}` holds no spans")));
+            }
+            let traces: BTreeSet<&str> = spans
+                .iter()
+                .filter_map(|s| s.args.get("trace").map(String::as_str))
+                .collect();
+            let stamped = spans
+                .iter()
+                .filter(|s| s.args.contains_key("trace"))
+                .count();
+            Ok(format!(
+                "trace-verify: {path}: {} span(s), {} stamped with {} trace id(s): OK\n",
+                spans.len(),
+                stamped,
+                traces.len(),
+            ))
         }
         "watch" => {
             let mut addr = None;
@@ -1814,5 +2094,55 @@ mod tests {
         // u1 is ring-free: no annotation.
         let out = run_ok(&["explain", f.to_str().unwrap(), "A", "a2,e2,h2", "u1"]);
         assert!(!out.contains("TDL003"), "{out}");
+    }
+
+    #[test]
+    fn trace_verify_round_trips_a_recorded_trace() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let f = fixture("trace_verify", FIG1);
+        let mut trace_path = std::env::temp_dir();
+        trace_path.push(format!("td_cli_test_{}_trace.json", std::process::id()));
+        let trace_arg = format!("--trace={}", trace_path.to_str().unwrap());
+        run_ok(&[
+            "project",
+            f.to_str().unwrap(),
+            "Employee",
+            "SSN",
+            &trace_arg,
+        ]);
+        let out = run_ok(&["trace-verify", trace_path.to_str().unwrap()]);
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("span(s)"), "{out}");
+
+        // Garbage is rejected, not summarized.
+        let bad = fixture("trace_verify_bad", "this is not json");
+        let e = run_err(&["trace-verify", bad.to_str().unwrap()]);
+        assert!(e.message.contains("not a Chrome trace"), "{}", e.message);
+        let _ = std::fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn observability_command_flag_errors() {
+        let e = run_err(&["top"]);
+        assert!(
+            e.message.contains("missing server address"),
+            "{}",
+            e.message
+        );
+        let e = run_err(&["top", "127.0.0.1:1", "--interval"]);
+        assert!(e.message.contains("needs a value"), "{}", e.message);
+        let e = run_err(&[
+            "client",
+            "127.0.0.1:1",
+            "GET",
+            "/healthz",
+            "--trace-id",
+            "zz",
+        ]);
+        assert!(e.message.contains("--trace-id must be"), "{}", e.message);
+        let e = run_err(&["trace-verify"]);
+        assert!(e.message.contains("missing trace file"), "{}", e.message);
+        let e = run_err(&["serve", "--slow-threshold-ms", "abc"]);
+        assert!(e.message.contains("must be a number"), "{}", e.message);
     }
 }

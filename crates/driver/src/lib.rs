@@ -462,11 +462,18 @@ impl BatchDeriver {
             .map(|p| p.get())
             .unwrap_or(1);
         let threads = self.threads.min(n.max(1)).min(cores);
+        // Trace scopes are thread-local; capture the ambient trace here
+        // so worker threads can re-establish it per request. Each item
+        // gets a child id sharing the parent's 16-hex family prefix —
+        // one grep over a drained trace finds the whole batch.
+        let parent_trace = td_telemetry::current_trace();
 
         let per_worker: Vec<Vec<RequestOutcome>> = if threads == 1 {
             // Spawn-free sequential fast path: one worker would only
             // add a scope, a spawn and a join around the same loop.
-            vec![(0..n).map(|i| self.run_one(i, &requests[i])).collect()]
+            vec![(0..n)
+                .map(|i| self.run_one(i, &requests[i], parent_trace))
+                .collect()]
         } else {
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
@@ -479,7 +486,7 @@ impl BatchDeriver {
                                 if i >= n {
                                     break;
                                 }
-                                mine.push(self.run_one(i, &requests[i]));
+                                mine.push(self.run_one(i, &requests[i], parent_trace));
                             }
                             mine
                         })
@@ -550,7 +557,12 @@ impl BatchDeriver {
         Ok(())
     }
 
-    fn run_one(&self, index: usize, request: &BatchRequest) -> RequestOutcome {
+    fn run_one(
+        &self,
+        index: usize,
+        request: &BatchRequest,
+        parent_trace: Option<td_telemetry::TraceId>,
+    ) -> RequestOutcome {
         let started = Instant::now();
         if let Err(e) = self.validate(request) {
             return RequestOutcome {
@@ -563,6 +575,10 @@ impl BatchDeriver {
                 duration: started.elapsed(),
             };
         }
+        // Only under an ambient trace (a traced server request): the
+        // untraced path must emit byte-identical spans regardless of
+        // thread count, which per-item ids would break.
+        let _trace = parent_trace.map(|p| td_telemetry::trace_scope(p.child(index)));
         let _span = td_telemetry::span_with_args(
             "batch",
             "request",

@@ -160,6 +160,18 @@ impl<T> FairQueue<T> {
     pub fn depth(&self) -> usize {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).depth
     }
+
+    /// Queued jobs per tenant, in first-seen order. Tenants that have
+    /// drained to zero stay listed — the caller needs them to reset
+    /// per-tenant depth gauges.
+    pub fn tenant_depths(&self) -> Vec<(String, usize)> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .order
+            .iter()
+            .map(|t| (t.clone(), state.queues.get(t).map_or(0, VecDeque::len)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -28,12 +28,14 @@
 //! path). The warm/cold split is the registry's reason to exist; the
 //! gated `ratio_serve_warm_vs_cold` metric keeps it honest.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use td_core::{explain, project, Derivation, Engine, ProjectionOptions};
 use td_model::{parse_schema_lenient, AnalysisPrecision, AttrId, Schema, TypeId};
+use td_telemetry::TraceId;
 
 use crate::http::Response;
 use crate::json::{quote, str_array, Json};
@@ -44,6 +46,98 @@ use crate::watch::WatchHub;
 /// a load-testing aid (it keeps a queue slot provably occupied for the
 /// admission-control tests), not a production feature.
 pub const MAX_DELAY_MS: u64 = 1_000;
+
+/// Completed-request records the flight recorder retains (oldest evicted
+/// first). Sized so `GET /v1/debug/requests` covers the last few minutes
+/// of moderate traffic while the ring stays a few tens of KiB.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// Default latency objective for the SLO burn-rate gauge: 99% of
+/// requests complete within this many microseconds (500 ms).
+pub const DEFAULT_SLO_OBJECTIVE_US: u64 = 500_000;
+
+/// Request-scoped context the connection layer hands to
+/// [`Api::handle_with`]: the trace id assigned at admission (or adopted
+/// from the client's `traceparent`), the tenant charged, and the time
+/// the job spent queued before an exec worker picked it up.
+#[derive(Debug, Clone, Default)]
+pub struct RequestCtx {
+    /// The request's trace id. `None` on the bare [`Api::handle`] path
+    /// (unit tests, the repro harness) — those requests skip the flight
+    /// recorder and response-header correlation.
+    pub trace: Option<TraceId>,
+    /// The admission-control tenant, when the connection layer resolved
+    /// one (queued compute jobs).
+    pub tenant: Option<String>,
+    /// Microseconds spent in the fair queue before execution.
+    pub queue_us: u64,
+}
+
+/// One completed request, as retained by the flight recorder and served
+/// from `GET /v1/debug/requests`.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// 32-hex trace id.
+    pub trace: String,
+    /// Admission-control tenant.
+    pub tenant: String,
+    /// Endpoint bucket (same key as the metrics).
+    pub endpoint: String,
+    /// HTTP method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Microseconds queued before execution.
+    pub queue_us: u64,
+    /// Microseconds executing the handler.
+    pub exec_us: u64,
+    /// End-to-end microseconds (queue + exec).
+    pub total_us: u64,
+    /// Dispatch/lint/analysis cache hits charged while the request ran
+    /// (registry `cache/*_hits` counter movement; zero while telemetry
+    /// is off, since cache stats publish through the telemetry switch).
+    pub cache_hits: u64,
+    /// Cache misses charged while the request ran.
+    pub cache_misses: u64,
+}
+
+impl RequestRecord {
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"trace\": {}, \"tenant\": {}, \"endpoint\": {}, \"method\": {}, \
+             \"path\": {}, \"status\": {}, \"queue_us\": {}, \"exec_us\": {}, \
+             \"total_us\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+            quote(&self.trace),
+            quote(&self.tenant),
+            quote(&self.endpoint),
+            quote(&self.method),
+            quote(&self.path),
+            self.status,
+            self.queue_us,
+            self.exec_us,
+            self.total_us,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+/// Sum of the registry's `cache/*` hit and miss counters — the
+/// before/after pair the flight recorder charges a request with.
+fn cache_counts() -> (u64, u64) {
+    use td_telemetry::metrics::counter;
+    let hits = ["cpl", "dispatch", "index", "lint", "analysis"]
+        .iter()
+        .map(|k| counter(&format!("cache/{k}_hits")).get())
+        .sum();
+    let misses = ["cpl", "dispatch", "index", "lint", "analysis"]
+        .iter()
+        .map(|k| counter(&format!("cache/{k}_misses")).get())
+        .sum();
+    (hits, misses)
+}
 
 /// The server's request-independent state: the tenant registry plus
 /// request accounting for `/v1/stats`.
@@ -56,6 +150,10 @@ pub struct Api {
     /// pool's borrow of the [`Api`].
     pub watch: Arc<WatchHub>,
     counts: Mutex<BTreeMap<String, u64>>,
+    /// Fixed-size ring of recently completed trace-correlated requests.
+    recorder: Mutex<VecDeque<RequestRecord>>,
+    /// Latency objective (µs) the SLO burn-rate gauge measures against.
+    slo_objective_us: AtomicU64,
 }
 
 /// A request-level failure: HTTP status plus message.
@@ -90,31 +188,134 @@ impl Api {
             registry,
             watch: Arc::new(WatchHub::default()),
             counts: Mutex::new(BTreeMap::new()),
+            recorder: Mutex::new(VecDeque::with_capacity(FLIGHT_RECORDER_CAPACITY)),
+            slo_objective_us: AtomicU64::new(DEFAULT_SLO_OBJECTIVE_US),
         }
+    }
+
+    /// Sets the latency objective (µs) the SLO burn-rate gauge measures
+    /// against: 99% of windowed requests must finish within it.
+    pub fn set_slo_objective_us(&self, us: u64) {
+        self.slo_objective_us.store(us.max(1), Ordering::Relaxed);
+    }
+
+    /// Dispatches one request with no connection context — unit tests
+    /// and the repro harness. Equivalent to [`Api::handle_with`] under a
+    /// default [`RequestCtx`]: no trace correlation, no flight-recorder
+    /// entry.
+    pub fn handle(&self, method: &str, path: &str, query: &str, body: &[u8]) -> Response {
+        self.handle_with(method, path, query, body, &RequestCtx::default())
     }
 
     /// Dispatches one request. Never panics on malformed input — every
     /// failure maps to a status code and a JSON error envelope.
-    pub fn handle(&self, method: &str, path: &str, query: &str, body: &[u8]) -> Response {
+    ///
+    /// When `ctx` carries a trace id, the whole dispatch runs under a
+    /// [`td_telemetry::trace_scope`] (every pipeline span is stamped
+    /// with the id), an umbrella `server/{endpoint}` span covering the
+    /// handler is emitted, the response echoes a `Traceparent` header,
+    /// and the completed request lands in the flight recorder.
+    pub fn handle_with(
+        &self,
+        method: &str,
+        path: &str,
+        query: &str,
+        body: &[u8],
+        ctx: &RequestCtx,
+    ) -> Response {
         let started = Instant::now();
+        let start_ns = td_telemetry::now_ns();
         let endpoint = endpoint_key(method, path);
+        let scope = ctx.trace.map(td_telemetry::trace_scope);
+        let cache_before = cache_counts();
         let result = self.route(method, path, query, body);
+        let end_ns = td_telemetry::now_ns();
         let elapsed_us = started.elapsed().as_micros() as u64;
+        let total_us = ctx.queue_us + elapsed_us;
+        let status = match &result {
+            Ok(r) => r.status,
+            Err(e) => e.status,
+        };
         // Per-endpoint traffic and latency; `/metrics` scrapes render
         // these as Prometheus histograms.
         td_telemetry::metrics::counter(&format!("server/requests/{endpoint}")).add(1);
         td_telemetry::metrics::histogram(&format!("server/latency_us/{endpoint}"))
             .record(elapsed_us);
+        // Sliding-window tails and rates (queue wait included — the SLO
+        // is end-to-end), per endpoint, per tenant, and overall.
+        {
+            use td_telemetry::metrics::{windowed_counter, windowed_histogram};
+            windowed_histogram(&format!("server/window_us/{endpoint}")).record_at(total_us, end_ns);
+            windowed_histogram("server/window_us/all").record_at(total_us, end_ns);
+            windowed_counter(&format!("server/window_requests/{endpoint}")).add_at(1, end_ns);
+            if status >= 400 {
+                windowed_counter(&format!("server/window_errors/{endpoint}")).add_at(1, end_ns);
+            }
+            if let Some(tenant) = &ctx.tenant {
+                windowed_histogram(&format!("server/window_us/tenant/{tenant}"))
+                    .record_at(total_us, end_ns);
+            }
+        }
         {
             let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
             *counts.entry(endpoint.clone()).or_insert(0) += 1;
         }
-        match result {
+        let mut response = match result {
             Ok(response) => response,
             Err(e) => {
                 td_telemetry::metrics::counter(&format!("server/errors/{}", e.status)).add(1);
                 Response::error(e.status, &e.message)
             }
+        };
+        if let Some(trace) = ctx.trace {
+            // The umbrella span must be pushed while the scope is still
+            // alive so it carries the trace stamp like its children.
+            td_telemetry::emit_span(
+                "server",
+                endpoint.clone(),
+                start_ns,
+                end_ns.saturating_sub(start_ns),
+                vec![("status", i64::from(status).into())],
+            );
+            let cache_after = cache_counts();
+            let record = RequestRecord {
+                trace: trace.to_string(),
+                tenant: ctx.tenant.clone().unwrap_or_else(|| "default".to_string()),
+                endpoint: endpoint.clone(),
+                method: method.to_string(),
+                path: path.to_string(),
+                status,
+                queue_us: ctx.queue_us,
+                exec_us: elapsed_us,
+                total_us,
+                cache_hits: cache_after.0.saturating_sub(cache_before.0),
+                cache_misses: cache_after.1.saturating_sub(cache_before.1),
+            };
+            let mut recorder = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+            if recorder.len() >= FLIGHT_RECORDER_CAPACITY {
+                recorder.pop_front();
+            }
+            recorder.push_back(record);
+            drop(recorder);
+            response
+                .extra_headers
+                .push(("Traceparent".to_string(), trace.traceparent()));
+        }
+        drop(scope);
+        response
+    }
+
+    /// Accounts a request rejected before dispatch (429 admission
+    /// backpressure, 503 shutdown): windowed request/error rates plus
+    /// the per-tenant 429 rate the `tdv top` dashboard watches.
+    pub fn record_rejection(&self, endpoint: &str, tenant: &str, status: u16) {
+        use td_telemetry::metrics::windowed_counter;
+        let now = td_telemetry::now_ns();
+        windowed_counter(&format!("server/window_requests/{endpoint}")).add_at(1, now);
+        windowed_counter(&format!("server/window_errors/{endpoint}")).add_at(1, now);
+        if status == 429 {
+            windowed_counter("server/window_429").add_at(1, now);
+            windowed_counter(&format!("server/window_429/tenant/{tenant}")).add_at(1, now);
         }
     }
 
@@ -130,9 +331,12 @@ impl Api {
             ("GET", ["healthz"]) => Ok(Response::text(200, "ok\n")),
             ("GET", ["metrics"]) => Ok(self.metrics(query)),
             ("GET", ["v1", "stats"]) => Ok(self.stats()),
+            ("GET", ["v1", "debug", "requests"]) => Ok(self.debug_requests()),
             (m, ["v1", "tenants", tenant, "schemas", name]) => self.schemas(m, tenant, name, body),
             ("POST", ["v1", verb]) => self.compute(verb, body),
-            (_, ["healthz" | "metrics"]) | (_, ["v1", "stats"]) => Err(ApiError {
+            (_, ["healthz" | "metrics"])
+            | (_, ["v1", "stats"])
+            | (_, ["v1", "debug", "requests"]) => Err(ApiError {
                 status: 405,
                 message: format!("{path} only answers GET"),
             }),
@@ -147,8 +351,26 @@ impl Api {
         }
     }
 
+    /// Refreshes the gauges derived from non-registry sources so every
+    /// scrape (`/metrics`, `/v1/stats`) sees current values: the
+    /// cumulative dropped-span total, the SLO objective and its windowed
+    /// burn rate. The burn rate is the share of windowed requests over
+    /// the latency objective divided by the 1% error budget (99% of
+    /// requests must meet the objective); 1000 ‰ means the budget is
+    /// being consumed exactly as fast as it accrues.
+    fn refresh_derived_gauges(&self, now_ns: u64) {
+        use td_telemetry::metrics::{gauge, windowed_histogram};
+        gauge("telemetry/spans_dropped_total").set(td_telemetry::dropped_events_total() as i64);
+        let objective = self.slo_objective_us.load(Ordering::Relaxed);
+        gauge("server/slo_objective_us").set(objective as i64);
+        let over = windowed_histogram("server/window_us/all").share_over_at(objective, now_ns);
+        gauge("server/slo_burn_rate_milli").set((over / 0.01 * 1000.0) as i64);
+    }
+
     fn metrics(&self, query: &str) -> Response {
-        let snapshot = td_telemetry::metrics::snapshot();
+        let now_ns = td_telemetry::now_ns();
+        self.refresh_derived_gauges(now_ns);
+        let snapshot = td_telemetry::metrics::snapshot_at(now_ns);
         if query.split('&').any(|p| p == "format=json") {
             Response::json(200, snapshot.render_json())
         } else {
@@ -174,6 +396,7 @@ impl Api {
             let _ = writeln!(out, "    {}: {count}{comma}", quote(endpoint));
         }
         let _ = writeln!(out, "  }},");
+        let _ = write!(out, "{}", self.window_stats_json());
         let _ = writeln!(out, "  \"schemas\": [");
         let inventory = self.registry.inventory();
         let n = inventory.len();
@@ -189,6 +412,114 @@ impl Api {
         let _ = writeln!(out, "  ]");
         let _ = writeln!(out, "}}");
         Response::json(200, out)
+    }
+
+    /// The `"window"` section of `/v1/stats`: 60 s-windowed tails per
+    /// endpoint and per tenant, windowed request/error/429 rates, the
+    /// SLO burn gauge, queue depths and the dropped-span total —
+    /// everything `tdv top` renders in one poll.
+    fn window_stats_json(&self) -> String {
+        use std::fmt::Write as _;
+        let now_ns = td_telemetry::now_ns();
+        self.refresh_derived_gauges(now_ns);
+        let snap = td_telemetry::metrics::snapshot_at(now_ns);
+        // Regroup the materialized `server/window_us/...` gauges into
+        // per-endpoint / per-tenant objects.
+        let mut endpoints: BTreeMap<&str, BTreeMap<&str, i64>> = BTreeMap::new();
+        let mut tenants: BTreeMap<&str, BTreeMap<&str, i64>> = BTreeMap::new();
+        let mut requests_60s = 0i64;
+        let mut errors_60s = 0i64;
+        for (name, &value) in &snap.gauges {
+            if let Some(rest) = name.strip_prefix("server/window_us/") {
+                let Some((key, stat)) = rest.rsplit_once('/') else {
+                    continue;
+                };
+                match key.strip_prefix("tenant/") {
+                    Some(tenant) => tenants.entry(tenant).or_default().insert(stat, value),
+                    None => endpoints.entry(key).or_default().insert(stat, value),
+                };
+            } else if name.starts_with("server/window_requests/") && name.ends_with("/60s") {
+                requests_60s += value;
+            } else if name.starts_with("server/window_errors/") && name.ends_with("/60s") {
+                errors_60s += value;
+            }
+        }
+        let group = |m: &BTreeMap<&str, BTreeMap<&str, i64>>| -> String {
+            m.iter()
+                .map(|(key, stats)| {
+                    let fields = stats
+                        .iter()
+                        .map(|(s, v)| format!("{}: {v}", quote(s)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("      {}: {{{fields}}}", quote(key))
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let gauge = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+        let mut queue_depths = String::new();
+        for (name, &value) in &snap.gauges {
+            if let Some(tenant) = name.strip_prefix("server/queue_depth/tenant/") {
+                if !queue_depths.is_empty() {
+                    queue_depths.push_str(", ");
+                }
+                let _ = write!(queue_depths, "{}: {value}", quote(tenant));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "  \"window\": {{");
+        let _ = writeln!(out, "    \"seconds\": {},", td_telemetry::WINDOW_SECONDS);
+        let _ = writeln!(out, "    \"requests_60s\": {requests_60s},");
+        let _ = writeln!(out, "    \"errors_60s\": {errors_60s},");
+        let _ = writeln!(
+            out,
+            "    \"throttled_429_60s\": {},",
+            gauge("server/window_429/60s")
+        );
+        let _ = writeln!(
+            out,
+            "    \"slo_objective_us\": {},",
+            gauge("server/slo_objective_us")
+        );
+        let _ = writeln!(
+            out,
+            "    \"slo_burn_rate_milli\": {},",
+            gauge("server/slo_burn_rate_milli")
+        );
+        let _ = writeln!(
+            out,
+            "    \"spans_dropped_total\": {},",
+            gauge("telemetry/spans_dropped_total")
+        );
+        let _ = writeln!(out, "    \"queue_depth\": {},", gauge("server/queue_depth"));
+        let _ = writeln!(out, "    \"queue_depth_by_tenant\": {{{queue_depths}}},");
+        let _ = writeln!(out, "    \"endpoints\": {{");
+        let _ = writeln!(out, "{}", group(&endpoints));
+        let _ = writeln!(out, "    }},");
+        let _ = writeln!(out, "    \"tenants\": {{");
+        let _ = writeln!(out, "{}", group(&tenants));
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }},");
+        out
+    }
+
+    /// `GET /v1/debug/requests`: the flight recorder, most recent first.
+    fn debug_requests(&self) -> Response {
+        let recorder = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = recorder
+            .iter()
+            .rev()
+            .map(|r| format!("    {}", r.render_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        drop(recorder);
+        Response::json(
+            200,
+            format!(
+                "{{\n  \"capacity\": {FLIGHT_RECORDER_CAPACITY},\n  \"requests\": [\n{rows}\n  ]\n}}\n"
+            ),
+        )
     }
 
     fn schemas(
@@ -661,12 +992,13 @@ pub fn tenant_of(body: &[u8]) -> String {
 }
 
 /// The endpoint bucket a request charges in metrics and `/v1/stats`.
-fn endpoint_key(method: &str, path: &str) -> String {
+pub(crate) fn endpoint_key(method: &str, path: &str) -> String {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         ["healthz"] => "healthz".to_string(),
         ["metrics"] => "metrics".to_string(),
         ["v1", "stats"] => "stats".to_string(),
+        ["v1", "debug", ..] => "debug".to_string(),
         ["v1", "tenants", ..] => format!("schemas_{}", method.to_ascii_lowercase()),
         ["v1", verb] => (*verb).to_string(),
         _ => "other".to_string(),
@@ -1019,5 +1351,139 @@ mod tests {
         assert_eq!(tenant_of(b"{\"tenant\": \"acme\"}"), "acme");
         assert_eq!(tenant_of(b"{}"), "default");
         assert_eq!(tenant_of(b"not json"), "default");
+    }
+
+    #[test]
+    fn traced_requests_echo_traceparent_and_land_in_the_flight_recorder() {
+        let api = Api::new();
+        let trace = TraceId::parse_hex("4bf92f3577b34da6a3ce929d0e0e4736").unwrap();
+        let ctx = RequestCtx {
+            trace: Some(trace),
+            tenant: Some("acme".to_string()),
+            queue_us: 7,
+        };
+        let r = api.handle_with("GET", "/healthz", "", b"", &ctx);
+        assert_eq!(r.status, 200);
+        let echoed = r
+            .extra_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("traceparent"))
+            .map(|(_, v)| v.clone())
+            .expect("traced response must echo a Traceparent header");
+        assert_eq!(echoed, trace.traceparent());
+
+        // A later traced request; the recorder serves most recent first.
+        let trace2 = TraceId::generate();
+        let ctx2 = RequestCtx {
+            trace: Some(trace2),
+            tenant: None,
+            queue_us: 0,
+        };
+        api.handle_with("GET", "/v1/stats", "", b"", &ctx2);
+
+        let dbg = api.handle("GET", "/v1/debug/requests", "", b"");
+        assert_eq!(dbg.status, 200, "{}", dbg.body);
+        let doc = Json::parse(&dbg.body).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["capacity"].as_usize(), Some(FLIGHT_RECORDER_CAPACITY));
+        let rows = obj["requests"].as_arr().unwrap();
+        assert!(rows.len() >= 2);
+        let newest = rows[0].as_obj().unwrap();
+        assert_eq!(
+            newest["trace"].as_str(),
+            Some(trace2.to_string()).as_deref()
+        );
+        let older = rows[1].as_obj().unwrap();
+        assert_eq!(
+            older["trace"].as_str(),
+            Some("4bf92f3577b34da6a3ce929d0e0e4736")
+        );
+        assert_eq!(older["tenant"].as_str(), Some("acme"));
+        assert_eq!(older["endpoint"].as_str(), Some("healthz"));
+        assert_eq!(older["queue_us"].as_usize(), Some(7));
+        let total = older["total_us"].as_usize().unwrap();
+        let exec = older["exec_us"].as_usize().unwrap();
+        assert_eq!(total, exec + 7);
+
+        // Untraced dispatches never enter the recorder.
+        let before = rows.len();
+        api.handle("GET", "/healthz", "", b"");
+        let dbg = api.handle("GET", "/v1/debug/requests", "", b"");
+        let doc = Json::parse(&dbg.body).unwrap();
+        let after = doc.as_obj().unwrap()["requests"].as_arr().unwrap().len();
+        // The debug GET above was itself untraced too.
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn flight_recorder_evicts_oldest_beyond_capacity() {
+        let api = Api::new();
+        let first = TraceId::generate();
+        let ctx = RequestCtx {
+            trace: Some(first),
+            tenant: None,
+            queue_us: 0,
+        };
+        api.handle_with("GET", "/healthz", "", b"", &ctx);
+        for _ in 0..FLIGHT_RECORDER_CAPACITY {
+            let ctx = RequestCtx {
+                trace: Some(TraceId::generate()),
+                tenant: None,
+                queue_us: 0,
+            };
+            api.handle_with("GET", "/healthz", "", b"", &ctx);
+        }
+        let recorder = api.recorder.lock().unwrap();
+        assert_eq!(recorder.len(), FLIGHT_RECORDER_CAPACITY);
+        assert!(recorder.iter().all(|r| r.trace != first.to_string()));
+    }
+
+    #[test]
+    fn stats_window_section_tracks_endpoints_tenants_and_rejections() {
+        let api = Api::new();
+        api.set_slo_objective_us(250_000);
+        let ctx = RequestCtx {
+            trace: None,
+            tenant: Some("acme".to_string()),
+            queue_us: 3,
+        };
+        api.handle_with("GET", "/healthz", "", b"", &ctx);
+        api.record_rejection("project", "acme", 429);
+
+        let stats = api.handle("GET", "/v1/stats", "", b"");
+        assert_eq!(stats.status, 200, "{}", stats.body);
+        let doc = Json::parse(&stats.body).unwrap();
+        let window = doc.as_obj().unwrap()["window"].as_obj().unwrap();
+        assert_eq!(
+            window["seconds"].as_usize(),
+            Some(td_telemetry::WINDOW_SECONDS as usize)
+        );
+        assert_eq!(window["slo_objective_us"].as_usize(), Some(250_000));
+        // The healthz dispatch plus the rejection (other tests in this
+        // process may add more — the metrics registry is global).
+        assert!(window["requests_60s"].as_usize().unwrap() >= 2);
+        assert!(window["errors_60s"].as_usize().unwrap() >= 1);
+        assert!(window["throttled_429_60s"].as_usize().unwrap() >= 1);
+        let endpoints = window["endpoints"].as_obj().unwrap();
+        let healthz = endpoints["healthz"].as_obj().unwrap();
+        assert!(healthz["window_count"].as_usize().unwrap() >= 1);
+        assert!(healthz.contains_key("p50"));
+        assert!(healthz.contains_key("p95"));
+        assert!(healthz.contains_key("p99"));
+        let tenants = window["tenants"].as_obj().unwrap();
+        assert!(
+            tenants["acme"].as_obj().unwrap()["window_count"]
+                .as_usize()
+                .unwrap()
+                >= 1
+        );
+
+        // The windowed tails also surface on the Prometheus exposition.
+        let prom = api.handle("GET", "/metrics", "", b"");
+        assert!(
+            prom.body.contains("server_window_us_healthz_p95"),
+            "{}",
+            prom.body
+        );
     }
 }

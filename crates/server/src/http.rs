@@ -33,6 +33,9 @@ pub struct Request {
     pub path: String,
     /// The raw query string (empty when absent), e.g. `format=json`.
     pub query: String,
+    /// The raw `traceparent` header value, when the client sent one
+    /// (either the full `00-…-…-01` form or a bare 32-hex trace id).
+    pub trace: Option<String>,
     /// The request body.
     pub body: Vec<u8>,
 }
@@ -116,15 +119,19 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     };
 
     let mut content_length = 0usize;
+    let mut trace = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::Malformed(format!("bad header line `{line}`")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
+        } else if name.eq_ignore_ascii_case("traceparent") {
+            trace = Some(value.trim().to_string());
         }
     }
     if content_length > max_body {
@@ -155,6 +162,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         method: method.to_ascii_uppercase(),
         path,
         query,
+        trace,
         body,
     })
 }
@@ -269,6 +277,28 @@ pub fn reject(stream: &mut TcpStream, response: &Response) {
     }
 }
 
+/// A fully parsed client-side response: status, headers and body.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers as `(lowercased name, value)` pairs in wire
+    /// order.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// A minimal HTTP client for `tdv client`, the CI smoke job and the
 /// loopback test suite: sends one request, returns `(status, body)`.
 ///
@@ -280,13 +310,34 @@ pub fn http_call(
     path_and_query: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<(u16, String)> {
+    let reply = http_request(addr, method, path_and_query, &[], body)?;
+    Ok((reply.status, reply.body))
+}
+
+/// [`http_call`] with explicit extra request headers and the full
+/// response ([`HttpReply`]) — the trace-correlated client path: pass a
+/// `("traceparent", id)` header and read the echoed one back.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> std::io::Result<HttpReply> {
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let body = body.unwrap_or(b"");
-    let head = format!(
-        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
@@ -300,16 +351,26 @@ pub fn http_call(
         )
     })?;
     let head = String::from_utf8_lossy(&raw[..head_end]);
-    let status = head
-        .split("\r\n")
+    let mut lines = head.split("\r\n");
+    let status = lines
         .next()
         .and_then(|line| line.split(' ').nth(1))
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response status line")
         })?;
+    let headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
     let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
-    Ok((status, body))
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -349,6 +410,23 @@ mod tests {
         assert_eq!(req.query_param("x"), Some("1"));
         assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.body, b"work");
+    }
+
+    #[test]
+    fn captures_the_traceparent_header() {
+        let req = parse_raw(
+            b"POST /v1/project HTTP/1.1\r\nHost: h\r\n\
+              Traceparent: 00-0123456789abcdef0123456789abcdef-0123456789abcdef-01\r\n\
+              Content-Length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(
+            req.trace.as_deref(),
+            Some("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+        );
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.trace, None);
     }
 
     #[test]

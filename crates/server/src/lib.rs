@@ -63,18 +63,21 @@ pub mod signal;
 pub mod watch;
 
 pub use admission::{FairQueue, Rejected, SubmitError};
-pub use api::{derivation_json, tenant_of, Api};
-pub use http::{http_call, Request, Response};
+pub use api::{derivation_json, tenant_of, Api, RequestCtx};
+pub use http::{http_call, http_request, HttpReply, Request, Response};
 pub use registry::{PutOutcome, Registry, SchemaEntry};
 pub use signal::{install_shutdown_handler, request_shutdown, shutdown_requested};
 pub use watch::{WatchHub, WatchView};
 
-use std::io;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use td_telemetry::TraceId;
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -93,6 +96,20 @@ pub struct ServerConfig {
     /// directory (one `.tds` file per tenant schema, written on PUT) and
     /// restored from it at bind time — the registry survives restarts.
     pub snapshot_dir: Option<String>,
+    /// When set, every completed request appends one JSON line to this
+    /// file (trace id, tenant, endpoint, status, timings), flushed per
+    /// line so a tail survives a crash and the SIGTERM drain loses
+    /// nothing.
+    pub access_log: Option<String>,
+    /// When set, any request slower than the threshold dumps its full
+    /// span trace (queue wait included) as a Chrome trace file
+    /// `slow-{trace}.json` in this directory. Implies telemetry on.
+    pub slow_trace_dir: Option<String>,
+    /// Slow-capture threshold in µs; defaults to the SLO objective.
+    pub slow_threshold_us: Option<u64>,
+    /// Latency objective (µs) for the windowed SLO burn-rate gauge:
+    /// 99% of requests must finish end-to-end within it.
+    pub slo_objective_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -106,14 +123,25 @@ impl Default for ServerConfig {
             queue_slots: 4,
             max_body: http::DEFAULT_MAX_BODY,
             snapshot_dir: None,
+            access_log: None,
+            slow_trace_dir: None,
+            slow_threshold_us: None,
+            slo_objective_us: api::DEFAULT_SLO_OBJECTIVE_US,
         }
     }
 }
 
-/// One compute job: the parsed request plus the socket to answer on.
+/// One compute job: the parsed request plus the socket to answer on and
+/// the observability context assigned at admission.
 struct Job {
     stream: TcpStream,
     request: Request,
+    /// Trace id adopted from the client's `traceparent` or generated.
+    trace: TraceId,
+    /// Admission-control tenant the job was queued under.
+    tenant: String,
+    /// [`td_telemetry::now_ns`] at submit — the queue-wait span's start.
+    submitted_ns: u64,
 }
 
 /// A bound derivation server. [`run`](Server::run) blocks until the
@@ -122,6 +150,12 @@ pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     api: Api,
+    /// JSONL access log, when configured. One line per completed or
+    /// rejected request, written *before* the response bytes so a client
+    /// that saw an answer always finds its line.
+    access_log: Mutex<Option<BufWriter<File>>>,
+    /// Resolved slow-capture threshold (µs).
+    slow_threshold_us: u64,
 }
 
 impl Server {
@@ -141,10 +175,28 @@ impl Server {
             }
             None => Api::new(),
         };
+        api.set_slo_objective_us(config.slo_objective_us);
+        let access_log = match &config.access_log {
+            Some(path) => Some(BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
+        if let Some(dir) = &config.slow_trace_dir {
+            std::fs::create_dir_all(dir)?;
+            // Slow capture needs spans, and spans need the switch on.
+            td_telemetry::set_enabled(true);
+        }
+        let slow_threshold_us = config.slow_threshold_us.unwrap_or(config.slo_objective_us);
         Ok(Server {
             listener,
             config,
             api,
+            access_log: Mutex::new(access_log),
+            slow_threshold_us,
         })
     }
 
@@ -191,12 +243,21 @@ impl Server {
                     let queue = &queue;
                     scope.spawn(move || {
                         while let Some(job) = queue.next() {
-                            td_telemetry::metrics::gauge("server/queue_depth")
-                                .set(queue.depth() as i64);
-                            let r = &job.request;
-                            let response = self.api.handle(&r.method, &r.path, &r.query, &r.body);
-                            let mut stream = job.stream;
-                            let _ = response.write_to(&mut stream);
+                            Self::publish_queue_depths(queue);
+                            let Job {
+                                stream,
+                                request,
+                                trace,
+                                tenant,
+                                submitted_ns,
+                            } = job;
+                            let wait_ns = td_telemetry::now_ns().saturating_sub(submitted_ns);
+                            let ctx = RequestCtx {
+                                trace: Some(trace),
+                                tenant: Some(tenant),
+                                queue_us: wait_ns / 1_000,
+                            };
+                            self.dispatch(stream, &request, ctx, Some(submitted_ns));
                         }
                     })
                 })
@@ -233,7 +294,121 @@ impl Server {
                 let _ = h.join();
             }
         });
+        // Every line was flushed as it was written; this catches the
+        // buffer tail if a write raced the drain.
+        if let Some(w) = self
+            .access_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = w.flush();
+        }
         Ok(())
+    }
+
+    /// Publishes the total and per-tenant queue-depth gauges. Called at
+    /// submit and dequeue so `tdv top` sees live backlog per tenant;
+    /// drained tenants report zero rather than vanishing.
+    fn publish_queue_depths(queue: &FairQueue<Job>) {
+        td_telemetry::metrics::gauge("server/queue_depth").set(queue.depth() as i64);
+        for (tenant, depth) in queue.tenant_depths() {
+            td_telemetry::metrics::gauge(&format!("server/queue_depth/tenant/{tenant}"))
+                .set(depth as i64);
+        }
+    }
+
+    /// Runs one request through [`Api::handle_with`] and finishes it:
+    /// queue-wait span, access-log line (written and flushed *before*
+    /// the response bytes), slow-trace capture, response write.
+    fn dispatch(
+        &self,
+        mut stream: TcpStream,
+        request: &Request,
+        ctx: RequestCtx,
+        submitted_ns: Option<u64>,
+    ) {
+        let started = Instant::now();
+        if let (Some(trace), Some(submitted_ns)) = (ctx.trace, submitted_ns) {
+            // The wait span carries the trace stamp like every other
+            // span of the request, so the Chrome trace shows the queue
+            // time as its own block.
+            let _scope = td_telemetry::trace_scope(trace);
+            let wait_ns = td_telemetry::now_ns().saturating_sub(submitted_ns);
+            td_telemetry::emit_span(
+                "server",
+                "queue_wait",
+                submitted_ns,
+                wait_ns,
+                vec![(
+                    "tenant",
+                    td_telemetry::ArgValue::Str(
+                        ctx.tenant.clone().unwrap_or_else(|| "default".to_string()),
+                    ),
+                )],
+            );
+        }
+        let response = self.api.handle_with(
+            &request.method,
+            &request.path,
+            &request.query,
+            &request.body,
+            &ctx,
+        );
+        let exec_us = started.elapsed().as_micros() as u64;
+        let total_us = ctx.queue_us + exec_us;
+        self.log_access(&ctx, request, response.status, exec_us, total_us);
+        self.capture_slow(&ctx, total_us);
+        let _ = response.write_to(&mut stream);
+    }
+
+    /// Appends one JSONL access-log line, flushed immediately.
+    fn log_access(
+        &self,
+        ctx: &RequestCtx,
+        request: &Request,
+        status: u16,
+        exec_us: u64,
+        total_us: u64,
+    ) {
+        let mut guard = self.access_log.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(w) = guard.as_mut() else {
+            return;
+        };
+        use crate::json::quote;
+        let line = format!(
+            "{{\"trace\": {}, \"tenant\": {}, \"endpoint\": {}, \"method\": {}, \
+             \"path\": {}, \"status\": {status}, \"queue_us\": {}, \"exec_us\": {exec_us}, \
+             \"total_us\": {total_us}}}\n",
+            quote(&ctx.trace.map(|t| t.to_string()).unwrap_or_default()),
+            quote(ctx.tenant.as_deref().unwrap_or("default")),
+            quote(&api::endpoint_key(&request.method, &request.path)),
+            quote(&request.method),
+            quote(&request.path),
+            ctx.queue_us,
+        );
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+
+    /// Dumps the request's full span trace as a Chrome trace file when
+    /// it ran slower than the configured threshold.
+    fn capture_slow(&self, ctx: &RequestCtx, total_us: u64) {
+        let Some(dir) = &self.config.slow_trace_dir else {
+            return;
+        };
+        if total_us < self.slow_threshold_us {
+            return;
+        }
+        let Some(trace) = ctx.trace else {
+            return;
+        };
+        let events = td_telemetry::events_for_trace(&trace.to_string());
+        if events.is_empty() {
+            return;
+        }
+        let path = format!("{dir}/slow-{trace}.json");
+        let _ = std::fs::write(path, td_telemetry::chrome_trace(&events));
     }
 
     /// IO-pool duty: parse one connection, answer it inline or admit it
@@ -264,31 +439,54 @@ impl Server {
             self.serve_watch(stream, &request);
             return;
         }
+        // Every request gets a trace id: the client's `traceparent` when
+        // it sent one (bare 32-hex also accepted), a fresh id otherwise.
+        let trace = request
+            .trace
+            .as_deref()
+            .and_then(TraceId::parse)
+            .unwrap_or_else(TraceId::generate);
         // Derivation endpoints go through admission control; everything
         // else (health, metrics, stats, registration) is cheap enough to
         // answer from the io pool directly.
         let is_compute = request.method == "POST" && request.path.starts_with("/v1/");
         if !is_compute {
-            let response = self.api.handle(
-                &request.method,
-                &request.path,
-                &request.query,
-                &request.body,
-            );
-            let _ = response.write_to(&mut stream);
+            let ctx = RequestCtx {
+                trace: Some(trace),
+                tenant: None,
+                queue_us: 0,
+            };
+            self.dispatch(stream, &request, ctx, None);
             return;
         }
         let tenant = tenant_of(&request.body);
-        match queue.submit(&tenant, Job { stream, request }) {
-            Ok(()) => {
-                td_telemetry::metrics::gauge("server/queue_depth").set(queue.depth() as i64);
-            }
+        let submitted_ns = td_telemetry::now_ns();
+        let job = Job {
+            stream,
+            request,
+            trace,
+            tenant: tenant.clone(),
+            submitted_ns,
+        };
+        match queue.submit(&tenant, job) {
+            Ok(()) => Self::publish_queue_depths(queue),
             Err(rejected) => {
                 let (status, retry_after) = match rejected.error {
                     SubmitError::Busy { .. } => (429, true),
                     SubmitError::Closed => (503, false),
                 };
                 td_telemetry::metrics::counter(&format!("server/errors/{status}")).add(1);
+                let endpoint =
+                    api::endpoint_key(&rejected.job.request.method, &rejected.job.request.path);
+                self.api.record_rejection(&endpoint, &tenant, status);
+                let ctx = RequestCtx {
+                    trace: Some(trace),
+                    tenant: Some(tenant),
+                    queue_us: 0,
+                };
+                // Rejections are requests too: they get an access-log
+                // line (zero exec time) before the response goes out.
+                self.log_access(&ctx, &rejected.job.request, status, 0, 0);
                 let mut response = Response::error(status, &rejected.error.to_string());
                 if retry_after {
                     response

@@ -10,7 +10,14 @@
 //!   monotonic epoch. A span records its category, name, wall-clock
 //!   window, nesting depth, logical thread id and a few key/value args.
 //! * **[`metrics`]** — a global registry of named counters, gauges and
-//!   log₂-bucketed histograms, snapshotted on demand.
+//!   log₂-bucketed histograms, snapshotted on demand; plus sliding
+//!   60-second [`window`] histograms/counters for tail latency over the
+//!   last minute, materialized as derived gauges by
+//!   [`metrics::snapshot_at`].
+//! * **[`trace`]** — request-scoped correlation: a [`TraceId`] installed
+//!   with [`trace_scope`] stamps every span completed on that thread, so
+//!   one request's spans group end-to-end across the pipeline and
+//!   [`events_for_trace`] can lift them out non-destructively.
 //! * **exporters** — a flat text summary ([`render_summary`]), metrics
 //!   JSON ([`MetricsSnapshot::render_json`]), and the Chrome trace-event
 //!   format ([`chrome_trace`]) loadable in Perfetto / `chrome://tracing`,
@@ -49,10 +56,17 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 pub use export::{chrome_trace, parse_chrome_trace, render_prometheus, render_summary, TraceSpan};
 pub use metrics::{MetricsSnapshot, Reset};
-pub use span::{drain, emit_span, span, span_with_args, ArgValue, SpanEvent, SpanGuard};
+pub use span::{
+    drain, dropped_events_total, emit_span, events_for_trace, span, span_with_args, ArgValue,
+    SpanEvent, SpanGuard,
+};
+pub use trace::{current_trace, trace_scope, TraceId, TraceScope};
+pub use window::{WindowSummary, WindowedCounter, WindowedHistogram, WINDOW_SECONDS};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -167,6 +167,8 @@ struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    windowed_histograms: Mutex<BTreeMap<String, Arc<crate::window::WindowedHistogram>>>,
+    windowed_counters: Mutex<BTreeMap<String, Arc<crate::window::WindowedCounter>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -197,6 +199,20 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// The histogram named `name`, created on first use.
 pub fn histogram(name: &str) -> Arc<Histogram> {
     get_or_insert(&registry().histograms, name)
+}
+
+/// The sliding-window histogram named `name`, created on first use.
+/// Windowed metrics materialize into [`snapshot_at`] as derived gauges
+/// (`{name}/p50`, `/p95`, `/p99`, `/window_count`) so every exporter
+/// renders them without knowing windows exist.
+pub fn windowed_histogram(name: &str) -> Arc<crate::window::WindowedHistogram> {
+    get_or_insert(&registry().windowed_histograms, name)
+}
+
+/// The sliding-window counter named `name`, created on first use.
+/// Materializes into [`snapshot_at`] as the derived gauge `{name}/60s`.
+pub fn windowed_counter(name: &str) -> Arc<crate::window::WindowedCounter> {
+    get_or_insert(&registry().windowed_counters, name)
 }
 
 /// Marker trait re-exported at the crate root so callers can say
@@ -239,6 +255,14 @@ pub fn reset() {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .clear();
+    r.windowed_histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    r.windowed_counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
 }
 
 /// A point-in-time copy of the whole registry, sorted by name.
@@ -278,6 +302,41 @@ pub fn snapshot() -> MetricsSnapshot {
             .map(|(n, h)| (n.clone(), h.freeze()))
             .collect(),
     }
+}
+
+/// Freezes the registry *including* the sliding-window metrics,
+/// evaluated at the given clock reading ([`crate::now_ns()`] for live
+/// use, a synthetic clock under test). Each windowed histogram becomes
+/// four derived gauges — `{name}/p50`, `{name}/p95`, `{name}/p99`,
+/// `{name}/window_count` — and each windowed counter becomes
+/// `{name}/60s`, so the text/JSON/Prometheus exporters render windowed
+/// metrics with no special cases.
+pub fn snapshot_at(now_ns: u64) -> MetricsSnapshot {
+    let mut snap = snapshot();
+    let r = registry();
+    for (name, w) in r
+        .windowed_histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+    {
+        let s = w.summary_at(now_ns);
+        snap.gauges.insert(format!("{name}/p50"), s.p50 as i64);
+        snap.gauges.insert(format!("{name}/p95"), s.p95 as i64);
+        snap.gauges.insert(format!("{name}/p99"), s.p99 as i64);
+        snap.gauges
+            .insert(format!("{name}/window_count"), s.count as i64);
+    }
+    for (name, c) in r
+        .windowed_counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+    {
+        snap.gauges
+            .insert(format!("{name}/60s"), c.total_at(now_ns) as i64);
+    }
+    snap
 }
 
 impl MetricsSnapshot {
@@ -415,6 +474,31 @@ mod tests {
                 assert!(v < bucket_lower_bound(i + 1).max(1));
             }
         }
+    }
+
+    #[test]
+    fn windowed_metrics_materialize_into_snapshot_gauges() {
+        let _guard = serial();
+        reset();
+        let now = 5_000_000_000u64; // second 5
+        let w = windowed_histogram("t/win_us");
+        for v in [100u64, 100, 100, 5000] {
+            w.record_at(v, now);
+        }
+        windowed_counter("t/win_reqs").add_at(4, now);
+        let snap = snapshot_at(now);
+        assert_eq!(snap.gauges["t/win_us/p50"], 127);
+        assert_eq!(snap.gauges["t/win_us/p99"], 8191);
+        assert_eq!(snap.gauges["t/win_us/window_count"], 4);
+        assert_eq!(snap.gauges["t/win_reqs/60s"], 4);
+        // The plain (instant-free) snapshot stays window-free.
+        assert!(snapshot().gauges.is_empty());
+        // The whole window ages out together.
+        let later = snapshot_at(now + 61 * 1_000_000_000);
+        assert_eq!(later.gauges["t/win_us/window_count"], 0);
+        assert_eq!(later.gauges["t/win_reqs/60s"], 0);
+        reset();
+        assert!(snapshot_at(now).is_empty(), "reset clears windowed maps");
     }
 
     #[test]

@@ -91,8 +91,20 @@ struct ThreadBuffer {
     ring: Mutex<Ring>,
 }
 
+/// Cumulative overflow drops since process start. [`drain`] zeroes the
+/// per-ring counters behind [`dropped_events`], but a long-running server
+/// needs a monotonic total it can export as a metric, so overflow bumps
+/// both.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
 impl ThreadBuffer {
     fn push(&self, mut event: SpanEvent) {
+        // Stamp the thread's current trace id (if a request scope is
+        // active) centrally, so every instrumentation site in the
+        // pipeline participates in correlation without knowing about it.
+        if let Some(trace) = crate::trace::current_trace() {
+            event.args.push(("trace", ArgValue::Str(trace.to_string())));
+        }
         let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         event.tid = self.tid;
         event.seq = ring.seq;
@@ -100,6 +112,7 @@ impl ThreadBuffer {
         if ring.events.len() >= RING_CAPACITY {
             ring.events.pop_front();
             ring.dropped += 1;
+            DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
         }
         ring.events.push_back(event);
     }
@@ -258,6 +271,45 @@ pub fn dropped_events() -> u64 {
         .sum()
 }
 
+/// Total events dropped to ring-buffer overflow since process start.
+/// Unlike [`dropped_events`], this never resets — it is the monotonic
+/// counter the server exports so 2¹⁶-event overflow is detectable
+/// instead of silent.
+pub fn dropped_events_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Collects — *without clearing* — every buffered event stamped with the
+/// given 32-hex trace id or any id in its *family*: ids sharing the
+/// 16-hex prefix that [`crate::trace::TraceId::child`] preserves, so a
+/// batch request's fan-out spans travel with their parent whichever id
+/// the query names. Sorted like [`drain`]. This powers slow-request
+/// capture: the server snapshots one request's spans while leaving the
+/// rings intact for a later full drain.
+pub fn events_for_trace(trace: &str) -> Vec<SpanEvent> {
+    let prefix = &trace[..trace.len().min(16)];
+    let matches = |event: &SpanEvent| {
+        event.args.iter().any(|(k, v)| {
+            *k == "trace"
+                && matches!(v, ArgValue::Str(s)
+                    if s == trace || (trace.len() == 32 && s.len() == 32 && s.starts_with(prefix)))
+        })
+    };
+    let buffers = buffers().lock().unwrap_or_else(|e| e.into_inner());
+    let mut events = Vec::new();
+    for buffer in buffers.iter() {
+        let ring = buffer.ring.lock().unwrap_or_else(|e| e.into_inner());
+        events.extend(ring.events.iter().filter(|e| matches(e)).cloned());
+    }
+    drop(buffers);
+    events.sort_by(|a, b| {
+        (a.start_ns, a.tid, a.seq)
+            .cmp(&(b.start_ns, b.tid, b.seq))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +395,7 @@ mod tests {
         let _guard = serial();
         crate::set_enabled(true);
         let _ = drain();
+        let total_before = dropped_events_total();
         for i in 0..(RING_CAPACITY + 10) {
             emit_span("test", "flood", i as u64, 1, Vec::new());
         }
@@ -353,5 +406,58 @@ mod tests {
         // The oldest 10 went overboard.
         assert_eq!(events[0].start_ns, 10);
         assert_eq!(dropped_events(), 0, "drain resets the dropped counter");
+        assert_eq!(
+            dropped_events_total(),
+            total_before + 10,
+            "the cumulative counter survives the drain"
+        );
+    }
+
+    #[test]
+    fn trace_scopes_stamp_spans_and_events_for_trace_finds_them() {
+        let _guard = serial();
+        crate::set_enabled(true);
+        let _ = drain();
+        let traced = crate::trace::TraceId::generate();
+        let other = crate::trace::TraceId::generate();
+        {
+            let _scope = crate::trace::trace_scope(traced);
+            let _s = span("test", "inside-scope");
+            emit_span("test", "premeasured-in-scope", 1, 2, Vec::new());
+        }
+        {
+            let _scope = crate::trace::trace_scope(other);
+            let _s = span("test", "other-request");
+        }
+        {
+            let _s = span("test", "no-scope");
+        }
+        // Non-destructive: the targeted scan sees only the traced spans…
+        let hex = traced.to_string();
+        let hit = events_for_trace(&hex);
+        assert_eq!(hit.len(), 2);
+        assert!(hit.iter().all(|e| e
+            .args
+            .iter()
+            .any(|(k, v)| *k == "trace" && *v == ArgValue::Str(hex.clone()))));
+        // …child spans match by prefix…
+        let child_hex = traced.child(3).to_string();
+        {
+            let _scope = crate::trace::trace_scope(traced.child(3));
+            let _s = span("test", "child-span");
+        }
+        assert_eq!(events_for_trace(&hex).len(), 3);
+        // Family matching is symmetric: querying by the child id also
+        // recovers the parent's spans (they share the 16-hex prefix).
+        assert_eq!(events_for_trace(&child_hex).len(), 3);
+        // …and the rings still hold everything for the full drain.
+        crate::set_enabled(false);
+        let all = drain();
+        assert_eq!(all.len(), 5);
+        let unstamped = all
+            .iter()
+            .filter(|e| e.args.iter().all(|(k, _)| *k != "trace"))
+            .count();
+        assert_eq!(unstamped, 1, "only the scope-less span lacks a trace arg");
     }
 }

@@ -1,0 +1,221 @@
+//! Request-scoped trace correlation.
+//!
+//! A [`TraceId`] is a 128-bit identifier shaped like a W3C trace-context
+//! trace id: 32 lowercase hex digits, never all-zero. The server assigns
+//! one per request (or adopts the caller's via a `traceparent` header),
+//! and [`trace_scope`] installs it as the thread's *current trace* for
+//! the duration of a scope. While a current trace is set, every span
+//! pushed on that thread is stamped with a `trace` argument, so a
+//! drained Chrome trace — or a targeted [`crate::span::events_for_trace`]
+//! scan — groups one request's spans end-to-end without any of the
+//! instrumentation sites in `td-core`/`td-lint`/`td-analyze` knowing
+//! traces exist.
+//!
+//! Batch items derive per-item ids with [`TraceId::child`], which keeps
+//! the parent's high 64 bits (the first 16 hex digits), so a prefix
+//! match recovers a whole fan-out from its root id.
+
+use std::cell::Cell;
+use std::collections::hash_map::RandomState;
+use std::fmt;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A 128-bit, non-zero request trace identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+/// The 64-bit finalizer from splitmix64 — a cheap, well-distributed
+/// mixer, the standard seed-expansion choice for non-cryptographic ids.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Generates a fresh process-unique id. Entropy comes from std's
+    /// per-process randomized hasher keys (the only randomness source
+    /// available without dependencies), mixed with the monotonic clock
+    /// and a process-wide counter so two calls can never collide.
+    pub fn generate() -> TraceId {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            let mut h = RandomState::new().build_hasher();
+            h.write_u64(u64::from(std::process::id()));
+            h.finish()
+        });
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(seed ^ splitmix64(n));
+        let lo = splitmix64(hi ^ crate::now_ns());
+        TraceId::non_zero((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// Derives the deterministic id for child `index` of this trace
+    /// (batch fan-out items). The high 64 bits — the first 16 hex digits
+    /// — are inherited, so children share a greppable prefix with their
+    /// parent; the low 64 bits are remixed per index.
+    pub fn child(self, index: usize) -> TraceId {
+        let hi = (self.0 >> 64) as u64;
+        let lo = splitmix64(self.0 as u64 ^ splitmix64(index as u64 + 1));
+        TraceId::non_zero((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    fn non_zero(v: u128) -> TraceId {
+        TraceId(if v == 0 { 1 } else { v })
+    }
+
+    /// Parses a bare 32-hex-digit trace id (the all-zero id is invalid).
+    pub fn parse_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16)
+            .ok()
+            .filter(|&v| v != 0)
+            .map(TraceId)
+    }
+
+    /// Parses either a bare 32-hex id or a full `traceparent` header
+    /// value (`00-<32 hex>-<16 hex>-<2 hex>`). Returns `None` for
+    /// malformed input — callers fall back to generating a fresh id.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        TraceId::parse_hex(s).or_else(|| TraceId::from_traceparent(s))
+    }
+
+    /// Parses a `traceparent` header value.
+    pub fn from_traceparent(header: &str) -> Option<TraceId> {
+        let mut parts = header.trim().split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let parent = parts.next()?;
+        let _flags = parts.next()?;
+        let hex = |s: &str, len: usize| s.len() == len && s.bytes().all(|b| b.is_ascii_hexdigit());
+        // Version 0xff is reserved-invalid in the trace-context spec.
+        if !hex(version, 2) || version.eq_ignore_ascii_case("ff") || !hex(parent, 16) {
+            return None;
+        }
+        TraceId::parse_hex(trace)
+    }
+
+    /// Renders the id as a `traceparent` header value. The parent-id
+    /// field is derived from the trace id (this service keeps one span
+    /// id per request); the `01` flags byte marks the trace sampled.
+    pub fn traceparent(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-01",
+            self.0,
+            splitmix64(self.0 as u64) | 1
+        )
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceId>> = const { Cell::new(None) };
+}
+
+/// The thread's current trace id, if a [`trace_scope`] is active.
+pub fn current_trace() -> Option<TraceId> {
+    CURRENT.with(|c| c.get())
+}
+
+/// An active trace scope. Dropping it restores the previously current
+/// trace (scopes nest).
+#[must_use = "a trace scope correlates spans for as long as it lives; dropping it immediately correlates nothing"]
+pub struct TraceScope {
+    previous: Option<TraceId>,
+}
+
+/// Installs `id` as the thread's current trace until the returned guard
+/// drops. Every span completed on this thread while the scope is active
+/// carries a `trace` argument with the id's 32-hex form.
+pub fn trace_scope(id: TraceId) -> TraceScope {
+    TraceScope {
+        previous: CURRENT.with(|c| c.replace(Some(id))),
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_unique_and_roundtrip_as_hex() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = TraceId::generate();
+            assert_ne!(id.0, 0);
+            assert!(seen.insert(id), "duplicate generated id {id}");
+            let hex = id.to_string();
+            assert_eq!(hex.len(), 32);
+            assert_eq!(TraceId::parse_hex(&hex), Some(id));
+        }
+    }
+
+    #[test]
+    fn traceparent_roundtrips_and_rejects_malformed() {
+        let id = TraceId(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        let header = id.traceparent();
+        assert_eq!(TraceId::from_traceparent(&header), Some(id));
+        assert_eq!(TraceId::parse(&header), Some(id));
+        assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        for bad in [
+            "",
+            "00",
+            "zz-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+            "ff-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+            "00-00000000000000000000000000000000-0123456789abcdef-01",
+            "00-0123456789abcdef-0123456789abcdef-01",
+            "00-0123456789abcdef0123456789abcdef-01",
+            "not a trace id at all",
+        ] {
+            assert_eq!(TraceId::parse(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn children_share_the_parent_prefix_and_differ_per_index() {
+        let parent = TraceId::generate();
+        let prefix = &parent.to_string()[..16];
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            let child = parent.child(i);
+            assert_eq!(parent.child(i), child, "child derivation is deterministic");
+            assert!(child.to_string().starts_with(prefix));
+            assert!(seen.insert(child), "children collide at index {i}");
+        }
+    }
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        assert_eq!(current_trace(), None);
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        {
+            let _outer = trace_scope(a);
+            assert_eq!(current_trace(), Some(a));
+            {
+                let _inner = trace_scope(b);
+                assert_eq!(current_trace(), Some(b));
+            }
+            assert_eq!(current_trace(), Some(a));
+        }
+        assert_eq!(current_trace(), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! Sliding-window metrics: a 60-second ring of one-second buckets.
+//!
+//! The registry's plain [`crate::metrics::Histogram`] is cumulative since
+//! boot — good for totals, useless for "p99 over the last minute" on a
+//! long-running server. A [`WindowedHistogram`] keeps
+//! [`WINDOW_SECONDS`] one-second slots, each a log₂ bucket array tagged
+//! with the epoch-second it covers; recording overwrites the slot whose
+//! tag has fallen out of the window, and summarising merges only the
+//! still-fresh slots. A [`WindowedCounter`] is the same ring holding one
+//! sum per second (windowed request / error rates).
+//!
+//! Every entry point takes the clock as an explicit `now_ns` argument
+//! (the caller passes [`crate::now_ns()`]), which makes window-boundary
+//! behaviour deterministic under test: the boundary tests in
+//! `tests/observability.rs` drive synthetic clocks through slot reuse
+//! and expiry without sleeping.
+
+use crate::metrics::{bucket_index, HISTOGRAM_BUCKETS};
+use std::sync::Mutex;
+
+/// Width of the sliding window, in one-second slots.
+pub const WINDOW_SECONDS: u64 = 60;
+
+const NS_PER_SECOND: u64 = 1_000_000_000;
+
+/// The tag value of a slot that has never been written. `u64::MAX` can
+/// never be a live epoch-second (the process would have to run for 584
+/// billion years), so it doubles as "empty".
+const EMPTY: u64 = u64::MAX;
+
+struct HistogramSlot {
+    /// Epoch-second this slot covers, or [`EMPTY`].
+    second: u64,
+    buckets: [u32; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+/// A sliding-window log₂ histogram (see module docs).
+pub struct WindowedHistogram {
+    slots: Mutex<Vec<HistogramSlot>>,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram {
+            slots: Mutex::new(
+                (0..WINDOW_SECONDS)
+                    .map(|_| HistogramSlot {
+                        second: EMPTY,
+                        buckets: [0; HISTOGRAM_BUCKETS],
+                        count: 0,
+                        sum: 0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Quantile summary of one window: sample count plus conservative
+/// (bucket-upper-bound) p50/p95/p99.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowSummary {
+    /// Samples recorded inside the window.
+    pub count: u64,
+    /// Median, reported as its bucket's inclusive upper bound.
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+/// The inclusive upper bound of log₂ bucket `i`: 0 for the zero bucket,
+/// `2^i − 1` otherwise (`u64::MAX` for the last).
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= 64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl WindowedHistogram {
+    /// Records one sample at the given clock reading.
+    pub fn record_at(&self, value: u64, now_ns: u64) {
+        let second = now_ns / NS_PER_SECOND;
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = &mut slots[(second % WINDOW_SECONDS) as usize];
+        if slot.second != second {
+            slot.second = second;
+            slot.buckets = [0; HISTOGRAM_BUCKETS];
+            slot.count = 0;
+            slot.sum = 0;
+        }
+        slot.buckets[bucket_index(value)] += 1;
+        slot.count += 1;
+        slot.sum = slot.sum.wrapping_add(value);
+    }
+
+    /// Merges the slots still inside the window ending at `now_ns`.
+    fn merged(&self, now_ns: u64) -> ([u64; HISTOGRAM_BUCKETS], u64) {
+        let second = now_ns / NS_PER_SECOND;
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut count = 0u64;
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in slots.iter() {
+            // A slot is live when its second is within the last
+            // WINDOW_SECONDS (clock-skewed "future" slots count too —
+            // they can only exist under synthetic test clocks).
+            if slot.second == EMPTY || second.saturating_sub(slot.second) >= WINDOW_SECONDS {
+                continue;
+            }
+            for (total, &n) in buckets.iter_mut().zip(slot.buckets.iter()) {
+                *total += u64::from(n);
+            }
+            count += slot.count;
+        }
+        (buckets, count)
+    }
+
+    /// Windowed quantile summary at the given clock reading. Quantiles
+    /// are the inclusive upper bound of the bucket containing the
+    /// rank-⌈q·count⌉ sample — a deterministic over-estimate by at most
+    /// one power of two, and 0 when the window is empty.
+    pub fn summary_at(&self, now_ns: u64) -> WindowSummary {
+        let (buckets, count) = self.merged(now_ns);
+        let quantile = |q_num: u64, q_den: u64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (count * q_num).div_ceil(q_den).max(1);
+            let mut cumulative = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                cumulative += n;
+                if cumulative >= rank {
+                    return bucket_upper_bound(i);
+                }
+            }
+            bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        };
+        WindowSummary {
+            count,
+            p50: quantile(1, 2),
+            p95: quantile(19, 20),
+            p99: quantile(99, 100),
+        }
+    }
+
+    /// Share of windowed samples whose log₂ bucket lies strictly above
+    /// the bucket containing `threshold` — i.e. samples provably over
+    /// the threshold at bucket granularity. 0.0 when the window is
+    /// empty. This is the burn-rate numerator for an SLO latency
+    /// objective.
+    pub fn share_over_at(&self, threshold: u64, now_ns: u64) -> f64 {
+        let (buckets, count) = self.merged(now_ns);
+        if count == 0 {
+            return 0.0;
+        }
+        let limit = bucket_index(threshold);
+        let over: u64 = buckets.iter().skip(limit + 1).sum();
+        over as f64 / count as f64
+    }
+}
+
+struct CounterSlot {
+    second: u64,
+    value: u64,
+}
+
+/// A sliding-window counter: the sum of additions over the last
+/// [`WINDOW_SECONDS`] seconds.
+pub struct WindowedCounter {
+    slots: Mutex<Vec<CounterSlot>>,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        WindowedCounter {
+            slots: Mutex::new(
+                (0..WINDOW_SECONDS)
+                    .map(|_| CounterSlot {
+                        second: EMPTY,
+                        value: 0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl WindowedCounter {
+    /// Adds `n` at the given clock reading.
+    pub fn add_at(&self, n: u64, now_ns: u64) {
+        let second = now_ns / NS_PER_SECOND;
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = &mut slots[(second % WINDOW_SECONDS) as usize];
+        if slot.second != second {
+            slot.second = second;
+            slot.value = 0;
+        }
+        slot.value += n;
+    }
+
+    /// Sum over the window ending at the given clock reading.
+    pub fn total_at(&self, now_ns: u64) -> u64 {
+        let second = now_ns / NS_PER_SECOND;
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .iter()
+            .filter(|s| s.second != EMPTY && second.saturating_sub(s.second) < WINDOW_SECONDS)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = NS_PER_SECOND;
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let w = WindowedHistogram::default();
+        // 90 fast samples (≤ 127 µs bucket), 10 slow (≤ 8191).
+        for _ in 0..90 {
+            w.record_at(100, 5 * S);
+        }
+        for _ in 0..10 {
+            w.record_at(5000, 5 * S);
+        }
+        let s = w.summary_at(5 * S);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 127, "median lands in [64,128)");
+        assert_eq!(s.p95, 8191, "rank 95 lands in [4096,8192)");
+        assert_eq!(s.p99, 8191);
+        assert_eq!(w.summary_at(5 * S), s, "summaries are deterministic");
+    }
+
+    #[test]
+    fn samples_expire_exactly_at_the_window_boundary() {
+        let w = WindowedHistogram::default();
+        w.record_at(100, 10 * S);
+        // Still visible 59 seconds later…
+        assert_eq!(w.summary_at((10 + 59) * S).count, 1);
+        // …gone at exactly +60, even with no intervening writes.
+        assert_eq!(w.summary_at((10 + 60) * S).count, 0);
+        assert_eq!(w.summary_at((10 + 60) * S).p99, 0);
+    }
+
+    #[test]
+    fn slot_reuse_discards_the_stale_second() {
+        let w = WindowedHistogram::default();
+        for _ in 0..5 {
+            w.record_at(100, 3 * S);
+        }
+        // 63 seconds later the ring wraps onto the same slot (3 % 60 ==
+        // 63 % 60); the stale five must not leak into the new second.
+        w.record_at(200, 63 * S);
+        let s = w.summary_at(63 * S);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 255);
+    }
+
+    #[test]
+    fn sub_second_boundaries_share_a_slot() {
+        let w = WindowedHistogram::default();
+        w.record_at(1, 7 * S);
+        w.record_at(1, 7 * S + NS_PER_SECOND - 1);
+        w.record_at(1, 8 * S);
+        // 7.000 and 7.999 share the second-7 slot; 8.000 starts a new one.
+        assert_eq!(w.summary_at(8 * S).count, 3);
+        assert_eq!(w.summary_at((7 + 60) * S).count, 1, "second 7 expired");
+    }
+
+    #[test]
+    fn share_over_counts_strictly_higher_buckets() {
+        let w = WindowedHistogram::default();
+        for _ in 0..3 {
+            w.record_at(100, S); // bucket [64,128)
+        }
+        w.record_at(5000, S); // bucket [4096,8192)
+                              // Threshold 150 shares bucket [128,256): the 100s sit below it,
+                              // the 5000 above.
+        assert_eq!(w.share_over_at(150, S), 0.25);
+        // Threshold inside the samples' own bucket → they don't count.
+        assert_eq!(w.share_over_at(100, S), 0.25);
+        assert_eq!(w.share_over_at(10_000, S), 0.0);
+        let empty = WindowedHistogram::default();
+        assert_eq!(empty.share_over_at(0, S), 0.0);
+    }
+
+    #[test]
+    fn windowed_counter_sums_and_expires() {
+        let c = WindowedCounter::default();
+        c.add_at(2, 10 * S);
+        c.add_at(3, 10 * S);
+        c.add_at(5, 40 * S);
+        assert_eq!(c.total_at(40 * S), 10);
+        assert_eq!(c.total_at(69 * S), 10, "second 10 still inside at +59");
+        assert_eq!(c.total_at(70 * S), 5, "second 10 expired at +60");
+        assert_eq!(c.total_at(100 * S), 0);
+    }
+}
